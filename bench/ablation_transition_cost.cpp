@@ -1,0 +1,45 @@
+// Ablation A — sensitivity of SplitBFT throughput to the enclave
+// transition cost (the §6 discussion attributes ~20% of the overhead to
+// transitions; this sweep shows the full curve from free transitions to 4x
+// the SGX cost).
+#include <cstdio>
+#include <vector>
+
+#include "runtime/bench_harness.hpp"
+
+using namespace sbft;
+using namespace sbft::runtime;
+
+int main() {
+  std::printf("Ablation — SplitBFT KVS throughput vs enclave transition "
+              "cost (40 clients, unbatched)\n");
+  std::printf("%14s %12s %11s\n", "transition-us", "ops/s", "mean-ms");
+
+  for (const double transition : {0.0, 1.0, 2.3, 4.0, 8.0, 16.0}) {
+    BenchPoint point;
+    point.system = System::Splitbft;
+    point.workload = Workload::KvStore;
+    point.clients = 40;
+    point.batched = false;
+    point.warmup_us = 150'000;
+    point.measure_us = 400'000;
+    point.profile.sgx.transition_us = transition;
+    const BenchResult result = run_bench_point(point);
+    std::printf("%14.1f %12.0f %11.2f\n", transition, result.ops_per_sec,
+                result.mean_latency_ms);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nFor reference, PBFT (no enclaves) at the same load:\n");
+  BenchPoint pbft;
+  pbft.system = System::Pbft;
+  pbft.workload = Workload::KvStore;
+  pbft.clients = 40;
+  pbft.batched = false;
+  pbft.warmup_us = 150'000;
+  pbft.measure_us = 400'000;
+  const BenchResult base = run_bench_point(pbft);
+  std::printf("%14s %12.0f %11.2f\n", "PBFT", base.ops_per_sec,
+              base.mean_latency_ms);
+  return 0;
+}

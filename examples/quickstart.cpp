@@ -1,0 +1,73 @@
+// Quickstart — a complete SplitBFT deployment in ~80 lines.
+//
+// Builds a 4-replica SplitBFT cluster (3 enclaves per replica + untrusted
+// broker each), attests the Execution enclaves, establishes an encrypted
+// client session, and runs a few key-value operations end-to-end.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "apps/kv_store.hpp"
+#include "runtime/splitbft_cluster.hpp"
+
+using namespace sbft;
+using namespace sbft::runtime;
+
+int main() {
+  // 1. Configure the cluster: n = 3f+1 replicas.
+  SplitClusterOptions options;
+  options.config.n = 4;
+  options.config.f = 1;
+  options.config.batch_max = 8;
+  options.seed = 2024;
+  // Real Ed25519 signatures between enclaves, as in the paper.
+  options.scheme = crypto::Scheme::Ed25519;
+
+  // 2. Each replica's Execution enclave hosts a key-value store.
+  SplitbftCluster cluster(
+      options,
+      splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+
+  // 3. Register a client and run attestation + session establishment:
+  //    the client verifies enclave quotes against the platform attestation
+  //    root, pins the expected compartment measurements, and provisions an
+  //    AEAD session key to every Execution enclave via X25519.
+  const ClientId client = kFirstClientId;
+  cluster.add_client(client);
+  if (!cluster.setup_sessions()) {
+    std::fprintf(stderr, "attestation/session setup failed\n");
+    return 1;
+  }
+  std::printf("sessions established with all %u Execution enclaves\n",
+              cluster.config().n);
+
+  // 4. Execute operations. Payloads are encrypted end-to-end: the ordering
+  //    compartments and every untrusted broker only ever see ciphertext.
+  const auto put = cluster.execute(
+      client, apps::kv::encode_put(to_bytes("balance/alice"), to_bytes("100")));
+  if (!put) {
+    std::fprintf(stderr, "PUT failed\n");
+    return 1;
+  }
+  std::printf("PUT balance/alice=100 -> status ok\n");
+
+  const auto get =
+      cluster.execute(client, apps::kv::encode_get(to_bytes("balance/alice")));
+  if (!get) {
+    std::fprintf(stderr, "GET failed\n");
+    return 1;
+  }
+  const auto reply = apps::kv::decode_reply(*get);
+  std::printf("GET balance/alice -> %s\n",
+              reply ? to_string_view_copy(reply->value).c_str() : "?");
+
+  // 5. Every replica executed the same history.
+  std::printf("agreement across replicas: %s\n",
+              cluster.check_agreement() ? "ok" : "VIOLATED");
+  for (ReplicaId r = 0; r < cluster.config().n; ++r) {
+    std::printf("  replica %u: executed through seq %llu\n", r,
+                static_cast<unsigned long long>(
+                    cluster.replica(r).exec().last_executed()));
+  }
+  return 0;
+}

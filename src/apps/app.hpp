@@ -1,0 +1,35 @@
+// Replicated application interface.
+//
+// Instances run inside the Execution compartment (SplitBFT) or the replica
+// process (PBFT baseline). Implementations must be deterministic: the same
+// operation sequence yields the same state and replies on every replica.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace sbft::apps {
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Executes one client operation and returns the reply payload.
+  [[nodiscard]] virtual Bytes execute(ByteView operation) = 0;
+
+  /// Serializes the full state (checkpoints, state transfer).
+  [[nodiscard]] virtual Bytes snapshot() const = 0;
+
+  /// Replaces the state from a snapshot; false if the snapshot is invalid.
+  [[nodiscard]] virtual bool restore(ByteView snapshot) = 0;
+
+  /// Digest over the current state (checkpoint agreement).
+  [[nodiscard]] virtual Digest state_digest() const = 0;
+};
+
+/// Factory so every replica can construct its own instance.
+using AppFactory = std::function<std::unique_ptr<Application>()>;
+
+}  // namespace sbft::apps

@@ -1,0 +1,60 @@
+// Trivial deterministic app used by protocol tests: a single integer the
+// clients add to; replies return the post-operation value, making
+// linearization checks straightforward.
+#pragma once
+
+#include "apps/app.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::apps {
+
+class CounterApp final : public Application {
+ public:
+  [[nodiscard]] Bytes execute(ByteView operation) override {
+    Reader r(operation);
+    const std::uint64_t delta = r.u64();
+    if (!r.done()) {
+      Writer w;
+      w.u64(value_);
+      w.boolean(false);
+      return std::move(w).take();
+    }
+    value_ += delta;
+    Writer w;
+    w.u64(value_);
+    w.boolean(true);
+    return std::move(w).take();
+  }
+
+  [[nodiscard]] Bytes snapshot() const override {
+    Writer w;
+    w.u64(value_);
+    return std::move(w).take();
+  }
+
+  [[nodiscard]] bool restore(ByteView snapshot) override {
+    Reader r(snapshot);
+    const std::uint64_t v = r.u64();
+    if (!r.done()) return false;
+    value_ = v;
+    return true;
+  }
+
+  [[nodiscard]] Digest state_digest() const override {
+    return crypto::sha256(snapshot());
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+  [[nodiscard]] static Bytes encode_add(std::uint64_t delta) {
+    Writer w;
+    w.u64(delta);
+    return std::move(w).take();
+  }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+}  // namespace sbft::apps

@@ -1,0 +1,111 @@
+#include "apps/kv_store.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::apps {
+
+namespace kv {
+
+namespace {
+[[nodiscard]] Bytes encode_op(KvOp op, ByteView key, ByteView a, ByteView b) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.bytes(key);
+  w.bytes(a);
+  w.bytes(b);
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes encode_put(ByteView key, ByteView value) {
+  return encode_op(KvOp::Put, key, value, {});
+}
+Bytes encode_get(ByteView key) { return encode_op(KvOp::Get, key, {}, {}); }
+Bytes encode_del(ByteView key) { return encode_op(KvOp::Del, key, {}, {}); }
+Bytes encode_cas(ByteView key, ByteView expected, ByteView value) {
+  return encode_op(KvOp::Cas, key, expected, value);
+}
+
+std::optional<Reply> decode_reply(ByteView data) {
+  Reader r(data);
+  Reply reply;
+  reply.status = static_cast<KvStatus>(r.u8());
+  reply.value = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return reply;
+}
+
+}  // namespace kv
+
+namespace {
+[[nodiscard]] Bytes encode_reply(KvStatus status, ByteView value = {}) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(status));
+  w.bytes(value);
+  return std::move(w).take();
+}
+}  // namespace
+
+Bytes KvStore::execute(ByteView operation) {
+  Reader r(operation);
+  const auto op = static_cast<KvOp>(r.u8());
+  const Bytes key = r.bytes();
+  const Bytes a = r.bytes();
+  const Bytes b = r.bytes();
+  if (!r.done()) return encode_reply(KvStatus::BadRequest);
+
+  switch (op) {
+    case KvOp::Put: {
+      table_[key] = a;
+      return encode_reply(KvStatus::Ok);
+    }
+    case KvOp::Get: {
+      const auto it = table_.find(key);
+      if (it == table_.end()) return encode_reply(KvStatus::NotFound);
+      return encode_reply(KvStatus::Ok, it->second);
+    }
+    case KvOp::Del: {
+      const auto erased = table_.erase(key);
+      return encode_reply(erased > 0 ? KvStatus::Ok : KvStatus::NotFound);
+    }
+    case KvOp::Cas: {
+      const auto it = table_.find(key);
+      if (it == table_.end()) return encode_reply(KvStatus::NotFound);
+      if (it->second != a) {
+        return encode_reply(KvStatus::CasMismatch, it->second);
+      }
+      it->second = b;
+      return encode_reply(KvStatus::Ok);
+    }
+  }
+  return encode_reply(KvStatus::BadRequest);
+}
+
+Bytes KvStore::snapshot() const {
+  Writer w;
+  w.u64(table_.size());
+  for (const auto& [key, value] : table_) {
+    w.bytes(key);
+    w.bytes(value);
+  }
+  return std::move(w).take();
+}
+
+bool KvStore::restore(ByteView snapshot) {
+  Reader r(snapshot);
+  const std::uint64_t count = r.u64();
+  std::map<Bytes, Bytes> table;
+  for (std::uint64_t i = 0; i < count && !r.failed(); ++i) {
+    Bytes key = r.bytes();
+    Bytes value = r.bytes();
+    table.emplace(std::move(key), std::move(value));
+  }
+  if (!r.done()) return false;
+  table_ = std::move(table);
+  return true;
+}
+
+Digest KvStore::state_digest() const { return crypto::sha256(snapshot()); }
+
+}  // namespace sbft::apps

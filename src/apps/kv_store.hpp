@@ -1,0 +1,53 @@
+// Replicated key-value store — the paper's primary evaluation workload.
+//
+// Operations are serialized with the project codec; `kv::` helpers build
+// and parse them so clients, tests and workload generators share one format.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "apps/app.hpp"
+
+namespace sbft::apps {
+
+enum class KvOp : std::uint8_t { Put = 1, Get = 2, Del = 3, Cas = 4 };
+enum class KvStatus : std::uint8_t {
+  Ok = 0,
+  NotFound = 1,
+  CasMismatch = 2,
+  BadRequest = 3,
+};
+
+namespace kv {
+
+[[nodiscard]] Bytes encode_put(ByteView key, ByteView value);
+[[nodiscard]] Bytes encode_get(ByteView key);
+[[nodiscard]] Bytes encode_del(ByteView key);
+/// Compare-and-swap: writes `value` only if the current value == expected.
+[[nodiscard]] Bytes encode_cas(ByteView key, ByteView expected, ByteView value);
+
+struct Reply {
+  KvStatus status{KvStatus::BadRequest};
+  Bytes value;  // previous/current value where applicable
+};
+[[nodiscard]] std::optional<Reply> decode_reply(ByteView data);
+
+}  // namespace kv
+
+class KvStore final : public Application {
+ public:
+  [[nodiscard]] Bytes execute(ByteView operation) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  [[nodiscard]] bool restore(ByteView snapshot) override;
+  [[nodiscard]] Digest state_digest() const override;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  // std::map keeps keys ordered so snapshots/digests are canonical.
+  std::map<Bytes, Bytes> table_;
+};
+
+}  // namespace sbft::apps

@@ -1,0 +1,105 @@
+#include "apps/ledger.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::apps {
+
+Bytes Block::serialize() const {
+  Writer w;
+  w.u64(height);
+  w.raw(prev_hash.view());
+  w.raw(tx_digest.view());
+  w.u32(static_cast<std::uint32_t>(transactions.size()));
+  for (const auto& tx : transactions) w.bytes(tx);
+  return std::move(w).take();
+}
+
+std::optional<Block> Block::deserialize(ByteView data) {
+  Reader r(data);
+  Block b;
+  b.height = r.u64();
+  const Bytes prev = r.raw(32);
+  const Bytes txd = r.raw(32);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    b.transactions.push_back(r.bytes());
+  }
+  if (!r.done()) return std::nullopt;
+  std::copy(prev.begin(), prev.end(), b.prev_hash.bytes.begin());
+  std::copy(txd.begin(), txd.end(), b.tx_digest.bytes.begin());
+  return b;
+}
+
+Digest Block::hash() const { return crypto::sha256(serialize()); }
+
+Ledger::Ledger(std::size_t block_size, BlockSink sink)
+    : block_size_(block_size == 0 ? 1 : block_size), sink_(std::move(sink)) {}
+
+Bytes Ledger::execute(ByteView operation) {
+  pending_.emplace_back(operation.begin(), operation.end());
+  const std::uint64_t tx_seq = total_txs_++;
+  if (pending_.size() >= block_size_) cut_block();
+
+  Writer w;
+  w.u64(tx_seq);
+  w.u64(height_);
+  return std::move(w).take();
+}
+
+void Ledger::cut_block() {
+  Block block;
+  block.height = height_ + 1;
+  block.prev_hash = head_hash_;
+  Writer txs;
+  for (const auto& tx : pending_) txs.bytes(tx);
+  block.tx_digest = crypto::sha256(txs.data());
+  block.transactions = std::move(pending_);
+  pending_.clear();
+
+  const Bytes serialized = block.serialize();
+  head_hash_ = crypto::sha256(serialized);
+  height_ = block.height;
+  if (sink_) sink_(serialized);
+}
+
+Bytes Ledger::snapshot() const {
+  Writer w;
+  w.u64(height_);
+  w.u64(total_txs_);
+  w.raw(head_hash_.view());
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& tx : pending_) w.bytes(tx);
+  return std::move(w).take();
+}
+
+bool Ledger::restore(ByteView snapshot) {
+  Reader r(snapshot);
+  const std::uint64_t height = r.u64();
+  const std::uint64_t total = r.u64();
+  const Bytes head = r.raw(32);
+  const std::uint32_t n = r.u32();
+  std::vector<Bytes> pending;
+  for (std::uint32_t i = 0; i < n && !r.failed(); ++i) {
+    pending.push_back(r.bytes());
+  }
+  if (!r.done()) return false;
+  height_ = height;
+  total_txs_ = total;
+  std::copy(head.begin(), head.end(), head_hash_.bytes.begin());
+  pending_ = std::move(pending);
+  return true;
+}
+
+Digest Ledger::state_digest() const { return crypto::sha256(snapshot()); }
+
+std::optional<LedgerReceipt> LedgerReceipt::decode(ByteView data) {
+  Reader r(data);
+  LedgerReceipt receipt;
+  receipt.tx_seq = r.u64();
+  receipt.height = r.u64();
+  if (!r.done()) return std::nullopt;
+  return receipt;
+}
+
+}  // namespace sbft::apps

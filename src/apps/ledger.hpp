@@ -1,0 +1,69 @@
+// Replicated ledger (the paper's "blockchain" workload).
+//
+// Transactions are opaque payloads. Every `block_size` transactions (5 in
+// the paper) the app cuts a block — header: height, previous-block hash,
+// transaction merkle-style digest — and pushes it to a BlockSink. In
+// SplitBFT the sink is an ocall into the untrusted environment writing via
+// the protected filesystem; in the PBFT baseline it is plain storage. That
+// per-block exit is exactly the extra cost the paper measures for the
+// blockchain application.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "apps/app.hpp"
+
+namespace sbft::apps {
+
+/// Receives serialized blocks as they are cut. Implementations decide where
+/// they go (protected FS via ocall, plain file, memory).
+using BlockSink = std::function<void(ByteView serialized_block)>;
+
+struct Block {
+  std::uint64_t height{0};
+  Digest prev_hash;
+  Digest tx_digest;
+  std::vector<Bytes> transactions;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Block> deserialize(ByteView data);
+  [[nodiscard]] Digest hash() const;
+};
+
+class Ledger final : public Application {
+ public:
+  /// `sink` may be empty (blocks are then only hashed into the chain).
+  explicit Ledger(std::size_t block_size = 5, BlockSink sink = {});
+
+  [[nodiscard]] Bytes execute(ByteView operation) override;
+  [[nodiscard]] Bytes snapshot() const override;
+  [[nodiscard]] bool restore(ByteView snapshot) override;
+  [[nodiscard]] Digest state_digest() const override;
+
+  [[nodiscard]] std::uint64_t height() const noexcept { return height_; }
+  [[nodiscard]] std::size_t pending_transactions() const noexcept {
+    return pending_.size();
+  }
+  [[nodiscard]] const Digest& head_hash() const noexcept { return head_hash_; }
+
+ private:
+  void cut_block();
+
+  std::size_t block_size_;
+  BlockSink sink_;
+  std::uint64_t height_{0};
+  std::uint64_t total_txs_{0};
+  Digest head_hash_;  // hash of the latest block (zero at genesis)
+  std::vector<Bytes> pending_;
+};
+
+/// Ledger reply payload: the assigned transaction sequence number and the
+/// chain height at execution time.
+struct LedgerReceipt {
+  std::uint64_t tx_seq{0};
+  std::uint64_t height{0};
+  [[nodiscard]] static std::optional<LedgerReceipt> decode(ByteView data);
+};
+
+}  // namespace sbft::apps

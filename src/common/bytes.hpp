@@ -1,0 +1,66 @@
+// Byte-buffer helpers: hex codecs, constant-time comparison, concatenation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbft {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex.
+[[nodiscard]] std::string to_hex(ByteView data);
+
+/// Decodes hex (upper or lower case); nullopt on odd length or bad digit.
+[[nodiscard]] std::optional<Bytes> from_hex(std::string_view hex);
+
+/// Constant-time equality, suitable for MAC/digest comparison.
+[[nodiscard]] bool ct_equal(ByteView a, ByteView b) noexcept;
+
+/// Builds a Bytes from a string literal / view (no NUL terminator).
+[[nodiscard]] Bytes to_bytes(std::string_view s);
+
+/// Interprets bytes as text (for tests and app payloads).
+[[nodiscard]] std::string to_string_view_copy(ByteView data);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteView src);
+
+/// A fixed 32-byte value (digests, keys). Value-semantic, hashable.
+struct Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  [[nodiscard]] friend bool operator==(const Digest&, const Digest&) = default;
+  [[nodiscard]] friend auto operator<=>(const Digest&, const Digest&) = default;
+
+  [[nodiscard]] ByteView view() const noexcept {
+    return ByteView{bytes.data(), bytes.size()};
+  }
+  [[nodiscard]] std::string hex() const { return to_hex(view()); }
+  [[nodiscard]] std::string short_hex() const { return hex().substr(0, 8); }
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (auto b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace sbft
+
+template <>
+struct std::hash<sbft::Digest> {
+  std::size_t operator()(const sbft::Digest& d) const noexcept {
+    std::size_t h = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      h = (h << 8) | d.bytes[i];
+    }
+    return h;
+  }
+};

@@ -1,0 +1,42 @@
+// Time abstraction: protocol code sees only microsecond timestamps, so the
+// same engines run under the discrete-event simulator (virtual time) and the
+// threaded runtime (steady_clock).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sbft {
+
+/// Microseconds since an arbitrary epoch.
+using Micros = std::uint64_t;
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Micros now() const = 0;
+};
+
+/// Wall-clock (steady) time for the threaded runtime.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Micros now() const override {
+    const auto d = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<Micros>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+};
+
+/// Manually advanced time for the simulator.
+class SimClock final : public Clock {
+ public:
+  [[nodiscard]] Micros now() const override { return now_; }
+  void advance_to(Micros t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Micros now_{0};
+};
+
+}  // namespace sbft

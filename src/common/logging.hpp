@@ -1,0 +1,57 @@
+// Thread-safe leveled logging. Silent (Warn) by default so benchmarks are
+// not perturbed; tests raise the level when debugging a failure.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace sbft {
+
+enum class LogLevel : int { Trace = 0, Debug = 1, Info = 2, Warn = 3, Off = 4 };
+
+namespace log_detail {
+void emit(LogLevel level, const std::string& component, const std::string& msg);
+[[nodiscard]] LogLevel current_level() noexcept;
+}  // namespace log_detail
+
+void set_log_level(LogLevel level) noexcept;
+
+/// Usage: Logger log{"pbft/r0"}; log.info() << "entered view " << v;
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  class Line {
+   public:
+    Line(LogLevel level, const std::string& component) noexcept
+        : level_(level), component_(component),
+          enabled_(level >= log_detail::current_level()) {}
+    Line(const Line&) = delete;
+    Line& operator=(const Line&) = delete;
+    ~Line() {
+      if (enabled_) log_detail::emit(level_, component_, stream_.str());
+    }
+
+    template <typename T>
+    Line& operator<<(const T& v) {
+      if (enabled_) stream_ << v;
+      return *this;
+    }
+
+   private:
+    LogLevel level_;
+    const std::string& component_;
+    bool enabled_;
+    std::ostringstream stream_;
+  };
+
+  [[nodiscard]] Line trace() const { return Line(LogLevel::Trace, component_); }
+  [[nodiscard]] Line debug() const { return Line(LogLevel::Debug, component_); }
+  [[nodiscard]] Line info() const { return Line(LogLevel::Info, component_); }
+  [[nodiscard]] Line warn() const { return Line(LogLevel::Warn, component_); }
+
+ private:
+  std::string component_;
+};
+
+}  // namespace sbft

@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// Every randomized component (simulated network, fault strategies, key
+// generation in tests) draws from a seeded engine so that failures are
+// reproducible from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/bytes.hpp"
+
+namespace sbft {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  [[nodiscard]] std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) {
+    return std::uniform_int_distribution<std::uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double unit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  [[nodiscard]] bool chance(double p) { return unit() < p; }
+
+  void fill(Bytes& out) {
+    for (auto& b : out) b = static_cast<std::uint8_t>(engine_());
+  }
+
+  [[nodiscard]] Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+  }
+
+  /// Derives an independent child generator (for per-node streams).
+  [[nodiscard]] Rng fork() { return Rng(next_u64() ^ 0x9e3779b97f4a7c15ULL); }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sbft

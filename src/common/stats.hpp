@@ -1,0 +1,52 @@
+// Latency/throughput measurement used by the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace sbft {
+
+/// Collects individual latency samples (microseconds) and reports
+/// mean/percentiles. Thread-safe recording.
+class LatencyRecorder {
+ public:
+  void record(Micros sample) {
+    const std::scoped_lock lock(mutex_);
+    samples_.push_back(sample);
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    const std::scoped_lock lock(mutex_);
+    return samples_.size();
+  }
+
+  struct Summary {
+    std::size_t count{0};
+    double mean_us{0.0};
+    Micros p50_us{0};
+    Micros p95_us{0};
+    Micros p99_us{0};
+    Micros max_us{0};
+  };
+
+  [[nodiscard]] Summary summarize() const;
+
+  void reset() {
+    const std::scoped_lock lock(mutex_);
+    samples_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Micros> samples_;
+};
+
+/// Formats an ops/s + latency table row (fixed-width, benchmark output).
+[[nodiscard]] std::string format_row(const std::string& label, int clients,
+                                     double ops_per_sec, double mean_lat_ms);
+
+}  // namespace sbft

@@ -1,0 +1,110 @@
+// Strong identifier and protocol-scalar types shared by every module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sbft {
+
+/// Index of a replica within the group, 0..n-1.
+using ReplicaId = std::uint32_t;
+
+/// Client identifiers live in a disjoint range from replica ids.
+using ClientId = std::uint32_t;
+
+/// First valid client id; everything below is reserved for replicas.
+inline constexpr ClientId kFirstClientId = 1000;
+
+/// PBFT view number. The primary of view v is replica (v mod n).
+using View = std::uint64_t;
+
+/// Agreement sequence number assigned by the primary.
+using SeqNum = std::uint64_t;
+
+/// Client-chosen request timestamp, monotonically increasing per client.
+using Timestamp = std::uint64_t;
+
+/// The three SplitBFT compartment types (paper §3.2, Figure 1).
+enum class Compartment : std::uint8_t {
+  Preparation = 0,
+  Confirmation = 1,
+  Execution = 2,
+};
+
+inline constexpr std::size_t kNumCompartments = 3;
+
+[[nodiscard]] constexpr const char* to_string(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::Preparation:
+      return "preparation";
+    case Compartment::Confirmation:
+      return "confirmation";
+    case Compartment::Execution:
+      return "execution";
+  }
+  return "?";
+}
+
+/// Identifies one enclave: a compartment instance on a specific replica.
+struct EnclaveId {
+  ReplicaId replica{0};
+  Compartment compartment{Compartment::Preparation};
+
+  [[nodiscard]] friend constexpr bool operator==(const EnclaveId&,
+                                                 const EnclaveId&) = default;
+  [[nodiscard]] friend constexpr auto operator<=>(const EnclaveId&,
+                                                  const EnclaveId&) = default;
+};
+
+[[nodiscard]] inline std::string to_string(const EnclaveId& id) {
+  return std::string(to_string(id.compartment)) + "@r" +
+         std::to_string(id.replica);
+}
+
+/// Principal-id namespace used by the KeyRing and message envelopes.
+/// Each protocol entity signs under exactly one principal id.
+namespace principal {
+
+using Id = std::uint64_t;
+
+/// PBFT baseline replica.
+[[nodiscard]] constexpr Id pbft_replica(ReplicaId r) noexcept {
+  return 0x0100 + r;
+}
+
+/// SplitBFT enclave (one per compartment per replica).
+[[nodiscard]] constexpr Id enclave(EnclaveId e) noexcept {
+  return 0x0200 + e.replica * kNumCompartments +
+         static_cast<std::uint64_t>(e.compartment);
+}
+
+/// Hybrid (MinBFT-style) replica; its USIG signs under this id too.
+[[nodiscard]] constexpr Id hybrid_replica(ReplicaId r) noexcept {
+  return 0x0300 + r;
+}
+
+/// A SplitBFT replica's untrusted environment (the broker). Client requests
+/// are addressed here; the broker never signs anything. The range must stay
+/// below kFirstClientId — client ids start at 1000.
+[[nodiscard]] constexpr Id splitbft_env(ReplicaId r) noexcept {
+  return 0x0380 + r;
+}
+
+static_assert(splitbft_env(99) < kFirstClientId,
+              "principal ranges must not overlap client ids");
+
+/// Client principal (client ids start at kFirstClientId).
+[[nodiscard]] constexpr Id client(ClientId c) noexcept { return c; }
+
+}  // namespace principal
+
+}  // namespace sbft
+
+template <>
+struct std::hash<sbft::EnclaveId> {
+  std::size_t operator()(const sbft::EnclaveId& id) const noexcept {
+    return (static_cast<std::size_t>(id.replica) << 2) |
+           static_cast<std::size_t>(id.compartment);
+  }
+};

@@ -1,0 +1,297 @@
+#include "crypto/aead.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace sbft::crypto {
+
+namespace {
+
+[[nodiscard]] constexpr std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+  return std::rotl(x, n);
+}
+
+[[nodiscard]] std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+  a += b;
+  d = rotl(d ^ a, 16);
+  c += d;
+  b = rotl(b ^ c, 12);
+  a += b;
+  d = rotl(d ^ a, 8);
+  c += d;
+  b = rotl(b ^ c, 7);
+}
+
+void chacha20_block(const Key32& key, const Nonce12& nonce,
+                    std::uint32_t counter,
+                    std::array<std::uint8_t, 64>& out) noexcept {
+  std::array<std::uint32_t, 16> state;
+  state[0] = 0x61707865;
+  state[1] = 0x3320646e;
+  state[2] = 0x79622d32;
+  state[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = load_le32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = load_le32(nonce.data() + 4 * i);
+  }
+
+  std::array<std::uint32_t, 16> x = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out.data() + 4 * i, x[i] + state[i]);
+  }
+}
+
+}  // namespace
+
+void chacha20_xor(const Key32& key, const Nonce12& nonce, std::uint32_t counter,
+                  ByteView input, std::uint8_t* output) noexcept {
+  std::array<std::uint8_t, 64> block;
+  std::size_t offset = 0;
+  while (offset < input.size()) {
+    chacha20_block(key, nonce, counter++, block);
+    const std::size_t take = std::min<std::size_t>(64, input.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) {
+      output[offset + i] = static_cast<std::uint8_t>(input[offset + i] ^
+                                                     block[i]);
+    }
+    offset += take;
+  }
+}
+
+Tag16 poly1305(const Key32& key, ByteView data) noexcept {
+  // 26-bit limb implementation (poly1305-donna style).
+  const std::uint32_t r0 = load_le32(key.data() + 0) & 0x3ffffff;
+  const std::uint32_t r1 = (load_le32(key.data() + 3) >> 2) & 0x3ffff03;
+  const std::uint32_t r2 = (load_le32(key.data() + 6) >> 4) & 0x3ffc0ff;
+  const std::uint32_t r3 = (load_le32(key.data() + 9) >> 6) & 0x3f03fff;
+  const std::uint32_t r4 = (load_le32(key.data() + 12) >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5;
+  const std::uint32_t s2 = r2 * 5;
+  const std::uint32_t s3 = r3 * 5;
+  const std::uint32_t s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    std::array<std::uint8_t, 16> block{};
+    const std::size_t take = std::min<std::size_t>(16, data.size() - pos);
+    std::memcpy(block.data(), data.data() + pos, take);
+    std::uint32_t hibit = 1u << 24;
+    if (take < 16) {
+      block[take] = 1;
+      hibit = 0;
+    }
+    pos += take;
+
+    h0 += load_le32(block.data() + 0) & 0x3ffffff;
+    h1 += (load_le32(block.data() + 3) >> 2) & 0x3ffffff;
+    h2 += (load_le32(block.data() + 6) >> 4) & 0x3ffffff;
+    h3 += (load_le32(block.data() + 9) >> 6) & 0x3ffffff;
+    h4 += (load_le32(block.data() + 12) >> 8) | hibit;
+
+    const std::uint64_t d0 =
+        static_cast<std::uint64_t>(h0) * r0 + static_cast<std::uint64_t>(h1) * s4 +
+        static_cast<std::uint64_t>(h2) * s3 + static_cast<std::uint64_t>(h3) * s2 +
+        static_cast<std::uint64_t>(h4) * s1;
+    std::uint64_t d1 =
+        static_cast<std::uint64_t>(h0) * r1 + static_cast<std::uint64_t>(h1) * r0 +
+        static_cast<std::uint64_t>(h2) * s4 + static_cast<std::uint64_t>(h3) * s3 +
+        static_cast<std::uint64_t>(h4) * s2;
+    std::uint64_t d2 =
+        static_cast<std::uint64_t>(h0) * r2 + static_cast<std::uint64_t>(h1) * r1 +
+        static_cast<std::uint64_t>(h2) * r0 + static_cast<std::uint64_t>(h3) * s4 +
+        static_cast<std::uint64_t>(h4) * s3;
+    std::uint64_t d3 =
+        static_cast<std::uint64_t>(h0) * r3 + static_cast<std::uint64_t>(h1) * r2 +
+        static_cast<std::uint64_t>(h2) * r1 + static_cast<std::uint64_t>(h3) * r0 +
+        static_cast<std::uint64_t>(h4) * s4;
+    std::uint64_t d4 =
+        static_cast<std::uint64_t>(h0) * r4 + static_cast<std::uint64_t>(h1) * r3 +
+        static_cast<std::uint64_t>(h2) * r2 + static_cast<std::uint64_t>(h3) * r1 +
+        static_cast<std::uint64_t>(h4) * r0;
+
+    std::uint64_t c = d0 >> 26;
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = d1 >> 26;
+    h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = d2 >> 26;
+    h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = d3 >> 26;
+    h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = d4 >> 26;
+    h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h0 += static_cast<std::uint32_t>(c) * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += static_cast<std::uint32_t>(c);
+  }
+
+  // Full carry propagation.
+  std::uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= 0x3ffffff;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= 0x3ffffff;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= 0x3ffffff;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= 0x3ffffff;
+  h1 += c;
+
+  // Compute h + -p and select.
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= 0x3ffffff;
+  std::uint32_t g4 = h4 + c - (1u << 26);
+
+  std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if g4 >= 0 (h >= p)
+  g0 &= mask;
+  g1 &= mask;
+  g2 &= mask;
+  g3 &= mask;
+  g4 &= mask;
+  mask = ~mask;
+  h0 = (h0 & mask) | g0;
+  h1 = (h1 & mask) | g1;
+  h2 = (h2 & mask) | g2;
+  h3 = (h3 & mask) | g3;
+  h4 = (h4 & mask) | g4;
+
+  // h %= 2^128, serialize and add s.
+  h0 = (h0 | (h1 << 26)) & 0xffffffff;
+  h1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffff;
+  h2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffff;
+  h3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffff;
+
+  std::uint64_t f = static_cast<std::uint64_t>(h0) + load_le32(key.data() + 16);
+  h0 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h1) + load_le32(key.data() + 20) + (f >> 32);
+  h1 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h2) + load_le32(key.data() + 24) + (f >> 32);
+  h2 = static_cast<std::uint32_t>(f);
+  f = static_cast<std::uint64_t>(h3) + load_le32(key.data() + 28) + (f >> 32);
+  h3 = static_cast<std::uint32_t>(f);
+
+  Tag16 tag;
+  store_le32(tag.data() + 0, h0);
+  store_le32(tag.data() + 4, h1);
+  store_le32(tag.data() + 8, h2);
+  store_le32(tag.data() + 12, h3);
+  return tag;
+}
+
+namespace {
+
+[[nodiscard]] Tag16 aead_tag(const Key32& key, const Nonce12& nonce,
+                             ByteView aad, ByteView ciphertext) {
+  // One-time Poly1305 key = first 32 bytes of block 0.
+  std::array<std::uint8_t, 64> block0{};
+  chacha20_xor(key, nonce, 0, ByteView{block0.data(), block0.size()},
+               block0.data());
+  Key32 otk;
+  std::memcpy(otk.data(), block0.data(), otk.size());
+
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  append(mac_data, aad);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  append(mac_data, ciphertext);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  for (int i = 0; i < 8; ++i) {
+    mac_data.push_back(
+        static_cast<std::uint8_t>(static_cast<std::uint64_t>(aad.size()) >>
+                                  (8 * i)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    mac_data.push_back(static_cast<std::uint8_t>(
+        static_cast<std::uint64_t>(ciphertext.size()) >> (8 * i)));
+  }
+  return poly1305(otk, ByteView{mac_data.data(), mac_data.size()});
+}
+
+}  // namespace
+
+Bytes aead_seal(const Key32& key, const Nonce12& nonce, ByteView aad,
+                ByteView plaintext) {
+  Bytes out(plaintext.size() + 16);
+  chacha20_xor(key, nonce, 1, plaintext, out.data());
+  const Tag16 tag =
+      aead_tag(key, nonce, aad, ByteView{out.data(), plaintext.size()});
+  std::memcpy(out.data() + plaintext.size(), tag.data(), tag.size());
+  return out;
+}
+
+std::optional<Bytes> aead_open(const Key32& key, const Nonce12& nonce,
+                               ByteView aad, ByteView sealed) {
+  if (sealed.size() < 16) return std::nullopt;
+  const ByteView ciphertext = sealed.subspan(0, sealed.size() - 16);
+  const ByteView tag = sealed.subspan(sealed.size() - 16);
+  const Tag16 expected = aead_tag(key, nonce, aad, ciphertext);
+  if (!ct_equal(ByteView{expected.data(), expected.size()}, tag)) {
+    return std::nullopt;
+  }
+  Bytes plaintext(ciphertext.size());
+  chacha20_xor(key, nonce, 1, ciphertext, plaintext.data());
+  return plaintext;
+}
+
+Nonce12 make_nonce(std::uint32_t channel, std::uint64_t seq) noexcept {
+  Nonce12 nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  for (int i = 0; i < 4; ++i) {
+    nonce[8 + i] = static_cast<std::uint8_t>(channel >> (8 * i));
+  }
+  return nonce;
+}
+
+}  // namespace sbft::crypto

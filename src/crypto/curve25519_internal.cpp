@@ -1,0 +1,281 @@
+#include "crypto/curve25519_internal.hpp"
+
+namespace sbft::crypto::fe {
+
+void carry(Gf& o) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    o[i] += std::int64_t{1} << 16;
+    const std::int64_t c = o[i] >> 16;
+    o[(i + 1) * (i < 15)] += c - 1 + 37 * (c - 1) * (i == 15);
+    o[i] -= c << 16;
+  }
+}
+
+void cswap(Gf& a, Gf& b, int bit) noexcept {
+  const std::int64_t mask = ~(static_cast<std::int64_t>(bit) - 1);
+  for (int i = 0; i < 16; ++i) {
+    const std::int64_t t = mask & (a[i] ^ b[i]);
+    a[i] ^= t;
+    b[i] ^= t;
+  }
+}
+
+void add(Gf& o, const Gf& a, const Gf& b) noexcept {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] + b[i];
+}
+
+void sub(Gf& o, const Gf& a, const Gf& b) noexcept {
+  for (int i = 0; i < 16; ++i) o[i] = a[i] - b[i];
+}
+
+void mul(Gf& o, const Gf& a, const Gf& b) noexcept {
+  std::int64_t t[31] = {};
+  for (int i = 0; i < 16; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      t[i + j] += a[i] * b[j];
+    }
+  }
+  for (int i = 0; i < 15; ++i) t[i] += 38 * t[i + 16];
+  for (int i = 0; i < 16; ++i) o[i] = t[i];
+  carry(o);
+  carry(o);
+}
+
+void sq(Gf& o, const Gf& a) noexcept { mul(o, a, a); }
+
+void invert(Gf& o, const Gf& a) noexcept {
+  // a^(p-2); p-2 = 2^255 - 21 has zero bits only at positions 2 and 4.
+  Gf c = a;
+  for (int i = 253; i >= 0; --i) {
+    sq(c, c);
+    if (i != 2 && i != 4) mul(c, c, a);
+  }
+  o = c;
+}
+
+void pow2523(Gf& o, const Gf& a) noexcept {
+  // a^((p-5)/8); (p-5)/8 = 2^252 - 3 has a zero bit only at position 1.
+  Gf c = a;
+  for (int i = 250; i >= 0; --i) {
+    sq(c, c);
+    if (i != 1) mul(c, c, a);
+  }
+  o = c;
+}
+
+void pow_bytes(Gf& o, const Gf& base,
+               const std::array<std::uint8_t, 32>& exp) noexcept {
+  Gf result = kOne;
+  for (int i = 255; i >= 0; --i) {
+    sq(result, result);
+    if ((exp[static_cast<std::size_t>(i / 8)] >> (i & 7)) & 1) {
+      mul(result, result, base);
+    }
+  }
+  o = result;
+}
+
+void pack(std::uint8_t out[32], const Gf& n) noexcept {
+  Gf t = n;
+  carry(t);
+  carry(t);
+  carry(t);
+  for (int pass = 0; pass < 2; ++pass) {
+    Gf m;
+    m[0] = t[0] - 0xffed;
+    for (int i = 1; i < 15; ++i) {
+      m[i] = t[i] - 0xffff - ((m[i - 1] >> 16) & 1);
+      m[i - 1] &= 0xffff;
+    }
+    m[15] = t[15] - 0x7fff - ((m[14] >> 16) & 1);
+    const int borrow = static_cast<int>((m[15] >> 16) & 1);
+    m[14] &= 0xffff;
+    cswap(t, m, 1 - borrow);
+  }
+  for (int i = 0; i < 16; ++i) {
+    out[2 * i] = static_cast<std::uint8_t>(t[i] & 0xff);
+    out[2 * i + 1] = static_cast<std::uint8_t>(t[i] >> 8);
+  }
+}
+
+void unpack(Gf& o, const std::uint8_t in[32]) noexcept {
+  for (int i = 0; i < 16; ++i) {
+    o[i] = in[2 * i] + (static_cast<std::int64_t>(in[2 * i + 1]) << 8);
+  }
+  o[15] &= 0x7fff;
+}
+
+void from_u64(Gf& o, std::uint64_t v) noexcept {
+  o = kZero;
+  for (int i = 0; i < 4; ++i) {
+    o[i] = static_cast<std::int64_t>((v >> (16 * i)) & 0xffff);
+  }
+}
+
+int parity(const Gf& a) noexcept {
+  std::uint8_t d[32];
+  pack(d, a);
+  return d[0] & 1;
+}
+
+bool eq(const Gf& a, const Gf& b) noexcept {
+  std::uint8_t da[32], db[32];
+  pack(da, a);
+  pack(db, b);
+  std::uint8_t acc = 0;
+  for (int i = 0; i < 32; ++i) acc |= static_cast<std::uint8_t>(da[i] ^ db[i]);
+  return acc == 0;
+}
+
+const Constants& constants() noexcept {
+  static const Constants kConstants = [] {
+    Constants c;
+    // d = -121665 / 121666 mod p.
+    Gf num, den, den_inv;
+    from_u64(num, 121665);
+    sub(num, kZero, num);
+    from_u64(den, 121666);
+    invert(den_inv, den);
+    mul(c.d, num, den_inv);
+    add(c.d2, c.d, c.d);
+
+    // sqrt(-1) = 2^((p-1)/4); (p-1)/4 = 2^253 - 5.
+    std::array<std::uint8_t, 32> exp{};
+    exp[0] = 0xfb;
+    for (int i = 1; i < 31; ++i) exp[i] = 0xff;
+    exp[31] = 0x1f;
+    Gf two;
+    from_u64(two, 2);
+    pow_bytes(c.sqrt_m1, two, exp);
+
+    // Base point: y = 4/5, x = the even square root of (y^2-1)/(d y^2+1).
+    Gf four, five, five_inv;
+    from_u64(four, 4);
+    from_u64(five, 5);
+    invert(five_inv, five);
+    mul(c.base_y, four, five_inv);
+
+    Gf y2, u, v, x;
+    sq(y2, c.base_y);
+    sub(u, y2, kOne);       // u = y^2 - 1
+    mul(v, y2, c.d);
+    add(v, v, kOne);        // v = d y^2 + 1
+    // x = u v^3 (u v^7)^((p-5)/8), then fix up by sqrt(-1) if needed.
+    Gf v3, v7, t;
+    sq(v3, v);
+    mul(v3, v3, v);         // v^3
+    sq(v7, v3);
+    mul(v7, v7, v);         // v^7
+    mul(t, u, v7);
+    pow2523(t, t);
+    mul(t, t, u);
+    mul(x, t, v3);
+    Gf chk;
+    sq(chk, x);
+    mul(chk, chk, v);
+    if (!eq(chk, u)) mul(x, x, c.sqrt_m1);
+    // Choose the even root (the standard base point has even x).
+    if (parity(x) == 1) sub(x, kZero, x);
+    c.base_x = x;
+    return c;
+  }();
+  return kConstants;
+}
+
+void point_add(Point& p, const Point& q) noexcept {
+  const Constants& k = constants();
+  Gf a, b, c, d, t, e, f, g, h;
+  sub(a, p[1], p[0]);
+  sub(t, q[1], q[0]);
+  mul(a, a, t);
+  add(b, p[0], p[1]);
+  add(t, q[0], q[1]);
+  mul(b, b, t);
+  mul(c, p[3], q[3]);
+  mul(c, c, k.d2);
+  mul(d, p[2], q[2]);
+  add(d, d, d);
+  sub(e, b, a);
+  sub(f, d, c);
+  add(g, d, c);
+  add(h, b, a);
+  mul(p[0], e, f);
+  mul(p[1], h, g);
+  mul(p[2], g, f);
+  mul(p[3], e, h);
+}
+
+namespace {
+void point_cswap(Point& p, Point& q, int bit) noexcept {
+  for (int i = 0; i < 4; ++i) cswap(p[i], q[i], bit);
+}
+}  // namespace
+
+void scalar_mult(Point& p, Point& q, const std::uint8_t s[32]) noexcept {
+  p[0] = kZero;
+  p[1] = kOne;
+  p[2] = kOne;
+  p[3] = kZero;
+  for (int i = 255; i >= 0; --i) {
+    const int bit = (s[i / 8] >> (i & 7)) & 1;
+    point_cswap(p, q, bit);
+    point_add(q, p);
+    point_add(p, p);
+    point_cswap(p, q, bit);
+  }
+}
+
+void scalar_base(Point& p, const std::uint8_t s[32]) noexcept {
+  const Constants& k = constants();
+  Point q;
+  q[0] = k.base_x;
+  q[1] = k.base_y;
+  q[2] = kOne;
+  mul(q[3], k.base_x, k.base_y);
+  scalar_mult(p, q, s);
+}
+
+void point_pack(std::uint8_t out[32], const Point& p) noexcept {
+  Gf zi, tx, ty;
+  invert(zi, p[2]);
+  mul(tx, p[0], zi);
+  mul(ty, p[1], zi);
+  pack(out, ty);
+  out[31] ^= static_cast<std::uint8_t>(parity(tx) << 7);
+}
+
+bool point_unpack_neg(Point& p, const std::uint8_t in[32]) noexcept {
+  const Constants& k = constants();
+  Gf t, chk, num, den, den2, den4, den6;
+  p[2] = kOne;
+  unpack(p[1], in);
+  sq(num, p[1]);
+  mul(den, num, k.d);
+  sub(num, num, p[2]);
+  add(den, p[2], den);
+
+  sq(den2, den);
+  sq(den4, den2);
+  mul(den6, den4, den2);
+  mul(t, den6, num);
+  mul(t, t, den);
+
+  pow2523(t, t);
+  mul(t, t, num);
+  mul(t, t, den);
+  mul(t, t, den);
+  mul(p[0], t, den);
+
+  sq(chk, p[0]);
+  mul(chk, chk, den);
+  if (!eq(chk, num)) mul(p[0], p[0], k.sqrt_m1);
+  sq(chk, p[0]);
+  mul(chk, chk, den);
+  if (!eq(chk, num)) return false;
+
+  if (parity(p[0]) == (in[31] >> 7)) sub(p[0], kZero, p[0]);
+  mul(p[3], p[0], p[1]);
+  return true;
+}
+
+}  // namespace sbft::crypto::fe

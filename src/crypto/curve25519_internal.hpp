@@ -1,0 +1,79 @@
+// Internal GF(2^255-19) field arithmetic shared by X25519 and Ed25519.
+//
+// Representation: 16 limbs of 16 bits each in int64 slots (TweetNaCl-style).
+// Not part of the public API; exposed in a header only so the property test
+// suite can exercise field laws directly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sbft::crypto::fe {
+
+using Gf = std::array<std::int64_t, 16>;
+
+inline constexpr Gf kZero{};
+inline constexpr Gf kOne{1};
+
+void carry(Gf& o) noexcept;
+/// Constant-time conditional swap of a and b when bit != 0.
+void cswap(Gf& a, Gf& b, int bit) noexcept;
+/// o = a + b (no reduction needed thanks to limb headroom).
+void add(Gf& o, const Gf& a, const Gf& b) noexcept;
+/// o = a - b.
+void sub(Gf& o, const Gf& a, const Gf& b) noexcept;
+/// o = a * b mod p.
+void mul(Gf& o, const Gf& a, const Gf& b) noexcept;
+/// o = a^2 mod p.
+void sq(Gf& o, const Gf& a) noexcept;
+/// o = a^-1 mod p (a != 0).
+void invert(Gf& o, const Gf& a) noexcept;
+/// o = a^((p-5)/8) mod p, used for square roots.
+void pow2523(Gf& o, const Gf& a) noexcept;
+/// o = base^exp where exp is 32 little-endian bytes (not constant time;
+/// used only to derive public curve constants).
+void pow_bytes(Gf& o, const Gf& base,
+               const std::array<std::uint8_t, 32>& exp) noexcept;
+
+/// Canonical (fully reduced) 32-byte little-endian encoding.
+void pack(std::uint8_t out[32], const Gf& n) noexcept;
+/// Parses 32 little-endian bytes; the top bit is ignored.
+void unpack(Gf& o, const std::uint8_t in[32]) noexcept;
+/// Loads a small constant.
+void from_u64(Gf& o, std::uint64_t v) noexcept;
+
+/// Parity of the canonical encoding (bit 0).
+[[nodiscard]] int parity(const Gf& a) noexcept;
+/// True iff a == b as field elements.
+[[nodiscard]] bool eq(const Gf& a, const Gf& b) noexcept;
+
+// --- Edwards curve (ed25519) group operations -------------------------------
+
+/// Point in extended coordinates (X:Y:Z:T), x=X/Z, y=Y/Z, T=XY/Z.
+using Point = std::array<Gf, 4>;
+
+/// Curve constants, derived on first use from first principles:
+/// d = -121665/121666, base point y = 4/5 with even x, sqrt(-1).
+struct Constants {
+  Gf d;
+  Gf d2;
+  Gf sqrt_m1;
+  Gf base_x;
+  Gf base_y;
+};
+[[nodiscard]] const Constants& constants() noexcept;
+
+/// p += q (unified twisted-Edwards addition, complete for a = -1).
+void point_add(Point& p, const Point& q) noexcept;
+/// p = s * q, s is a 32-byte little-endian scalar. Constant-time ladder.
+void scalar_mult(Point& p, Point& q, const std::uint8_t s[32]) noexcept;
+/// p = s * B for the curve base point B.
+void scalar_base(Point& p, const std::uint8_t s[32]) noexcept;
+/// Serializes a point (y with sign-of-x in bit 255).
+void point_pack(std::uint8_t out[32], const Point& p) noexcept;
+/// Deserializes the NEGATION of the encoded point; false if not on curve.
+[[nodiscard]] bool point_unpack_neg(Point& p, const std::uint8_t in[32]) noexcept;
+
+}  // namespace sbft::crypto::fe

@@ -1,0 +1,138 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/curve25519_internal.hpp"
+#include "crypto/sha512.hpp"
+
+namespace sbft::crypto {
+
+namespace {
+
+// Group order L = 2^252 + 27742317777372353535851937790883648493.
+constexpr std::array<std::int64_t, 32> kOrder = {
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+    0xa2, 0xde, 0xf9, 0xde, 0x14, 0,    0,    0,    0,    0,    0,
+    0,    0,    0,    0,    0,    0,    0,    0,    0,    0x10};
+
+/// Reduces a 64-limb little-endian byte expansion mod L into out[0..31].
+void mod_order(std::uint8_t out[32], std::int64_t x[64]) noexcept {
+  for (int i = 63; i >= 32; --i) {
+    std::int64_t c = 0;
+    int j;
+    for (j = i - 32; j < i - 12; ++j) {
+      x[j] += c - 16 * x[i] * kOrder[j - (i - 32)];
+      c = (x[j] + 128) >> 8;
+      x[j] -= c << 8;
+    }
+    x[j] += c;
+    x[i] = 0;
+  }
+  std::int64_t c = 0;
+  for (int j = 0; j < 32; ++j) {
+    x[j] += c - (x[31] >> 4) * kOrder[j];
+    c = x[j] >> 8;
+    x[j] &= 255;
+  }
+  for (int j = 0; j < 32; ++j) x[j] -= c * kOrder[j];
+  for (int i = 0; i < 32; ++i) {
+    x[i + 1] += x[i] >> 8;
+    out[i] = static_cast<std::uint8_t>(x[i] & 255);
+  }
+}
+
+/// Reduces a 64-byte hash output to a scalar mod L, in place (first 32 bytes).
+void reduce64(std::uint8_t r[64]) noexcept {
+  std::int64_t x[64];
+  for (int i = 0; i < 64; ++i) x[i] = r[i];
+  for (int i = 0; i < 64; ++i) r[i] = 0;
+  mod_order(r, x);
+}
+
+void clamp(std::uint8_t d[64]) noexcept {
+  d[0] &= 248;
+  d[31] &= 127;
+  d[31] |= 64;
+}
+
+}  // namespace
+
+Ed25519SecretKey Ed25519SecretKey::from_seed(
+    const std::array<std::uint8_t, 32>& seed) {
+  Ed25519SecretKey key;
+  key.seed_ = seed;
+  Digest64 d = sha512(ByteView{seed.data(), seed.size()});
+  clamp(d.data());
+  fe::Point p;
+  fe::scalar_base(p, d.data());
+  fe::point_pack(key.public_key_.bytes.data(), p);
+  return key;
+}
+
+Ed25519SecretKey Ed25519SecretKey::generate(Rng& rng) {
+  std::array<std::uint8_t, 32> seed;
+  for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next_u64());
+  return from_seed(seed);
+}
+
+Ed25519Signature Ed25519SecretKey::sign(ByteView message) const {
+  Digest64 d = sha512(ByteView{seed_.data(), seed_.size()});
+  clamp(d.data());
+
+  // r = H(d[32..64] || message) mod L.
+  Sha512 h;
+  h.update(ByteView{d.data() + 32, 32});
+  h.update(message);
+  Digest64 r = h.finalize();
+  reduce64(r.data());
+
+  Ed25519Signature sig;
+  fe::Point p;
+  fe::scalar_base(p, r.data());
+  fe::point_pack(sig.bytes.data(), p);
+
+  // k = H(R || pk || message) mod L.
+  Sha512 h2;
+  h2.update(ByteView{sig.bytes.data(), 32});
+  h2.update(public_key_.view());
+  h2.update(message);
+  Digest64 k = h2.finalize();
+  reduce64(k.data());
+
+  // s = (r + k * a) mod L.
+  std::int64_t x[64] = {};
+  for (int i = 0; i < 32; ++i) x[i] = r[i];
+  for (int i = 0; i < 32; ++i) {
+    for (int j = 0; j < 32; ++j) {
+      x[i + j] += static_cast<std::int64_t>(k[i]) * d[j];
+    }
+  }
+  mod_order(sig.bytes.data() + 32, x);
+  return sig;
+}
+
+bool ed25519_verify(const Ed25519PublicKey& key, ByteView message,
+                    const Ed25519Signature& sig) noexcept {
+  fe::Point neg_a;
+  if (!fe::point_unpack_neg(neg_a, key.bytes.data())) return false;
+
+  // k = H(R || pk || message) mod L.
+  Sha512 h;
+  h.update(ByteView{sig.bytes.data(), 32});
+  h.update(key.view());
+  h.update(message);
+  Digest64 k = h.finalize();
+  reduce64(k.data());
+
+  // Check R == s*B - k*A  (computed as s*B + k*(-A)).
+  fe::Point p, q;
+  fe::scalar_mult(p, neg_a, k.data());
+  fe::scalar_base(q, sig.bytes.data() + 32);
+  fe::point_add(p, q);
+
+  std::uint8_t packed[32];
+  fe::point_pack(packed, p);
+  return ct_equal(ByteView{packed, 32}, ByteView{sig.bytes.data(), 32});
+}
+
+}  // namespace sbft::crypto

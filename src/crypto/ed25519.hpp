@@ -1,0 +1,61 @@
+// Ed25519 signatures (RFC 8032).
+//
+// Every enclave and every client owns an Ed25519 key pair; replica-to-replica
+// protocol messages are signed (the paper signs with ring's ED25519).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace sbft::crypto {
+
+struct Ed25519PublicKey {
+  std::array<std::uint8_t, 32> bytes{};
+
+  [[nodiscard]] friend bool operator==(const Ed25519PublicKey&,
+                                       const Ed25519PublicKey&) = default;
+  [[nodiscard]] ByteView view() const noexcept {
+    return ByteView{bytes.data(), bytes.size()};
+  }
+};
+
+struct Ed25519Signature {
+  std::array<std::uint8_t, 64> bytes{};
+
+  [[nodiscard]] friend bool operator==(const Ed25519Signature&,
+                                       const Ed25519Signature&) = default;
+  [[nodiscard]] ByteView view() const noexcept {
+    return ByteView{bytes.data(), bytes.size()};
+  }
+};
+
+/// Private signing key (seed + cached public key).
+class Ed25519SecretKey {
+ public:
+  /// Deterministic key from a 32-byte seed.
+  [[nodiscard]] static Ed25519SecretKey from_seed(
+      const std::array<std::uint8_t, 32>& seed);
+  /// Random key from the given generator.
+  [[nodiscard]] static Ed25519SecretKey generate(Rng& rng);
+
+  [[nodiscard]] const Ed25519PublicKey& public_key() const noexcept {
+    return public_key_;
+  }
+  [[nodiscard]] Ed25519Signature sign(ByteView message) const;
+
+ private:
+  Ed25519SecretKey() = default;
+
+  std::array<std::uint8_t, 32> seed_{};
+  Ed25519PublicKey public_key_{};
+};
+
+/// True iff `sig` is a valid signature on `message` under `key`.
+[[nodiscard]] bool ed25519_verify(const Ed25519PublicKey& key, ByteView message,
+                                  const Ed25519Signature& sig) noexcept;
+
+}  // namespace sbft::crypto

@@ -1,0 +1,72 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace sbft::crypto {
+
+namespace {
+
+struct HmacState {
+  Sha256 inner;
+  std::array<std::uint8_t, 64> opad;
+};
+
+[[nodiscard]] HmacState hmac_begin(ByteView key) noexcept {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const Digest kd = sha256(key);
+    std::memcpy(block.data(), kd.bytes.data(), kd.bytes.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+  HmacState st;
+  std::array<std::uint8_t, 64> ipad;
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+    st.opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+  }
+  st.inner.update(ByteView{ipad.data(), ipad.size()});
+  return st;
+}
+
+[[nodiscard]] Digest hmac_end(HmacState& st) noexcept {
+  const Digest inner_digest = st.inner.finalize();
+  Sha256 outer;
+  outer.update(ByteView{st.opad.data(), st.opad.size()});
+  outer.update(inner_digest.view());
+  return outer.finalize();
+}
+
+}  // namespace
+
+Digest hmac_sha256(ByteView key, ByteView data) noexcept {
+  HmacState st = hmac_begin(key);
+  st.inner.update(data);
+  return hmac_end(st);
+}
+
+Digest hmac_sha256_concat(ByteView key, ByteView a, ByteView b) noexcept {
+  HmacState st = hmac_begin(key);
+  st.inner.update(a);
+  st.inner.update(b);
+  return hmac_end(st);
+}
+
+bool hmac_verify(ByteView key, ByteView data, ByteView mac) noexcept {
+  const Digest expected = hmac_sha256(key, data);
+  return ct_equal(expected.view(), mac);
+}
+
+Key32 derive_key(ByteView key, std::string_view label,
+                 ByteView context) noexcept {
+  const Digest d = hmac_sha256_concat(
+      key,
+      ByteView{reinterpret_cast<const std::uint8_t*>(label.data()),
+               label.size()},
+      context);
+  Key32 out;
+  std::memcpy(out.data(), d.bytes.data(), out.size());
+  return out;
+}
+
+}  // namespace sbft::crypto

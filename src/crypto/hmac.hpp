@@ -1,0 +1,32 @@
+// HMAC-SHA256 (RFC 2104) and a small HKDF-style key derivation helper.
+//
+// Used for client request/reply authentication (the paper uses HMAC-SHA2 for
+// clients and signatures between replicas) and for deriving session keys.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::crypto {
+
+using Key32 = std::array<std::uint8_t, 32>;
+
+[[nodiscard]] Digest hmac_sha256(ByteView key, ByteView data) noexcept;
+
+/// HMAC over the concatenation of two buffers.
+[[nodiscard]] Digest hmac_sha256_concat(ByteView key, ByteView a,
+                                        ByteView b) noexcept;
+
+/// Verifies a MAC in constant time.
+[[nodiscard]] bool hmac_verify(ByteView key, ByteView data,
+                               ByteView mac) noexcept;
+
+/// Derives a 32-byte subkey: HMAC(key, label || context). This is
+/// HKDF-Expand with a single block, sufficient for 32-byte outputs.
+[[nodiscard]] Key32 derive_key(ByteView key, std::string_view label,
+                               ByteView context = {}) noexcept;
+
+}  // namespace sbft::crypto

@@ -1,0 +1,78 @@
+// Principal key management and the pluggable signature scheme.
+//
+// Every protocol participant (PBFT replica, SplitBFT enclave, hybrid USIG,
+// client) is a *principal* with a numeric id. A KeyRing is built once at
+// cluster setup: it generates a key pair per principal, hands each principal
+// a private Signer (only that principal's secret), and exposes a shared
+// immutable Verifier holding only public material. This mirrors SGX
+// provisioning where each enclave owns its private key (paper §2.1) and all
+// public keys are known.
+//
+// Two schemes:
+//  * Ed25519     — real signatures; default for all correctness tests.
+//  * HmacShared  — HMAC-SHA256 under a group key, bound to the signer id.
+//                  Used by the virtual-time performance benchmarks where the
+//                  modeled signature cost is charged separately (documented
+//                  in DESIGN.md as a calibration substitution).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sbft::crypto {
+
+using PrincipalId = std::uint64_t;
+
+enum class Scheme : std::uint8_t { Ed25519 = 0, HmacShared = 1 };
+
+/// A principal's private signing capability.
+class Signer {
+ public:
+  virtual ~Signer() = default;
+  [[nodiscard]] virtual Bytes sign(ByteView message) const = 0;
+  [[nodiscard]] virtual PrincipalId id() const noexcept = 0;
+};
+
+/// Shared, immutable verification capability (public material only).
+class Verifier {
+ public:
+  virtual ~Verifier() = default;
+  /// True iff `sig` is `signer`'s signature on `message`.
+  [[nodiscard]] virtual bool verify(PrincipalId signer, ByteView message,
+                                    ByteView sig) const = 0;
+  /// True if the principal is known to this verifier.
+  [[nodiscard]] virtual bool knows(PrincipalId signer) const = 0;
+};
+
+/// Builds the key material for a fixed set of principals.
+class KeyRing {
+ public:
+  KeyRing(Scheme scheme, std::uint64_t seed);
+  ~KeyRing();
+  KeyRing(const KeyRing&) = delete;
+  KeyRing& operator=(const KeyRing&) = delete;
+
+  /// Generates a key pair for `id`. Must be called before freezing.
+  void add_principal(PrincipalId id);
+
+  /// Returns the private signer for a registered principal.
+  [[nodiscard]] std::shared_ptr<const Signer> signer(PrincipalId id) const;
+
+  /// Returns the shared verifier over all registered principals.
+  [[nodiscard]] std::shared_ptr<const Verifier> verifier() const;
+
+  [[nodiscard]] Scheme scheme() const noexcept { return scheme_; }
+
+ private:
+  struct Impl;
+  Scheme scheme_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sbft::crypto

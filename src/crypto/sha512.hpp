@@ -1,0 +1,32 @@
+// SHA-512 (FIPS 180-4). Required by Ed25519 signing/verification.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace sbft::crypto {
+
+using Digest64 = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512() noexcept { reset(); }
+
+  void reset() noexcept;
+  void update(ByteView data) noexcept;
+  [[nodiscard]] Digest64 finalize() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, 128> buffer_{};
+  std::size_t buffer_len_{0};
+  std::uint64_t total_len_{0};
+};
+
+[[nodiscard]] Digest64 sha512(ByteView data) noexcept;
+
+}  // namespace sbft::crypto

@@ -1,0 +1,78 @@
+#include "crypto/x25519.hpp"
+
+#include "crypto/curve25519_internal.hpp"
+
+namespace sbft::crypto {
+
+namespace {
+constexpr std::int64_t k121665_lo = 0xDB41;
+}
+
+Key32 x25519(const Key32& scalar, const Key32& point) noexcept {
+  using namespace fe;
+
+  std::array<std::uint8_t, 32> z = scalar;
+  z[31] = (scalar[31] & 127) | 64;
+  z[0] &= 248;
+
+  Gf x, a, b, c, d, e, f, c121665;
+  c121665 = kZero;
+  c121665[0] = k121665_lo;
+  c121665[1] = 1;
+
+  unpack(x, point.data());
+  b = x;
+  a = kZero;
+  c = kZero;
+  d = kZero;
+  a[0] = 1;
+  d[0] = 1;
+
+  for (int i = 254; i >= 0; --i) {
+    const int bit = (z[i >> 3] >> (i & 7)) & 1;
+    cswap(a, b, bit);
+    cswap(c, d, bit);
+    add(e, a, c);
+    sub(a, a, c);
+    add(c, b, d);
+    sub(b, b, d);
+    sq(d, e);
+    sq(f, a);
+    mul(a, c, a);
+    mul(c, b, e);
+    add(e, a, c);
+    sub(a, a, c);
+    sq(b, a);
+    sub(c, d, f);
+    mul(a, c, c121665);
+    add(a, a, d);
+    mul(c, c, a);
+    mul(a, d, f);
+    mul(d, b, x);
+    sq(b, e);
+    cswap(a, b, bit);
+    cswap(c, d, bit);
+  }
+
+  Gf c_inv, out;
+  invert(c_inv, c);
+  mul(out, a, c_inv);
+
+  Key32 result;
+  pack(result.data(), out);
+  return result;
+}
+
+Key32 x25519_base(const Key32& scalar) noexcept {
+  Key32 base{};
+  base[0] = 9;
+  return x25519(scalar, base);
+}
+
+Key32 x25519_keygen(Rng& rng) {
+  Key32 key;
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  return key;
+}
+
+}  // namespace sbft::crypto

@@ -1,0 +1,25 @@
+// X25519 Diffie-Hellman (RFC 7748).
+//
+// Clients establish session keys with the Execution enclave, and Execution
+// enclaves derive pairwise state-transfer keys, via X25519 + HKDF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"  // Key32
+
+namespace sbft::crypto {
+
+/// shared = scalar * point. Returns the 32-byte shared secret.
+[[nodiscard]] Key32 x25519(const Key32& scalar, const Key32& point) noexcept;
+
+/// public = scalar * base point (9).
+[[nodiscard]] Key32 x25519_base(const Key32& scalar) noexcept;
+
+/// Random X25519 private scalar.
+[[nodiscard]] Key32 x25519_keygen(Rng& rng);
+
+}  // namespace sbft::crypto

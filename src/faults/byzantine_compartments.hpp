@@ -1,0 +1,137 @@
+// Byzantine compartment wrappers (compromised enclaves).
+//
+// Each wrapper models an exploited enclave of one compartment type: it
+// holds the enclave's signing key and may emit arbitrary validly-signed
+// messages, stay silent, or corrupt its outputs. SplitBFT must keep safety
+// with up to f faulty enclaves of EACH type (paper Table 1).
+#pragma once
+
+#include <memory>
+
+#include "crypto/sha256.hpp"
+#include "pbft/client_directory.hpp"
+#include "pbft/config.hpp"
+#include "splitbft/compartment.hpp"
+
+namespace sbft::faults {
+
+/// Unresponsive enclave: processes inputs (state advances) but emits
+/// nothing. Indistinguishable from a crash to the rest of the system.
+class SilentCompartment final : public splitbft::CompartmentLogic {
+ public:
+  explicit SilentCompartment(std::unique_ptr<splitbft::CompartmentLogic> inner)
+      : inner_(std::move(inner)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override {
+    (void)inner_->deliver(env);
+    return {};
+  }
+  [[nodiscard]] Digest measurement() const override {
+    return inner_->measurement();
+  }
+
+ private:
+  std::unique_ptr<splitbft::CompartmentLogic> inner_;
+};
+
+/// Arbitrary output mutation (building block for custom attacks).
+class MutatingCompartment final : public splitbft::CompartmentLogic {
+ public:
+  using Mutator = std::function<std::vector<net::Envelope>(
+      const net::Envelope& input, std::vector<net::Envelope> honest_outputs)>;
+
+  MutatingCompartment(std::unique_ptr<splitbft::CompartmentLogic> inner,
+                      Mutator mutator)
+      : inner_(std::move(inner)), mutator_(std::move(mutator)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override {
+    return mutator_(env, inner_->deliver(env));
+  }
+  [[nodiscard]] Digest measurement() const override {
+    return inner_->measurement();
+  }
+
+ private:
+  std::unique_ptr<splitbft::CompartmentLogic> inner_;
+  Mutator mutator_;
+};
+
+/// Equivocating Preparation enclave at the primary: assigns the SAME
+/// sequence number to two different batches and shows each half of the
+/// group a different one. With 2f+1 correct Preparation enclaves no two
+/// conflicting prepare certificates can form, so agreement must survive.
+class EquivocatingPrep final : public splitbft::CompartmentLogic {
+ public:
+  EquivocatingPrep(std::unique_ptr<splitbft::CompartmentLogic> inner,
+                   pbft::Config config, ReplicaId self,
+                   std::shared_ptr<const crypto::Signer> signer)
+      : inner_(std::move(inner)),
+        config_(config),
+        self_(self),
+        signer_(std::move(signer)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return inner_->measurement();
+  }
+
+  [[nodiscard]] std::uint64_t equivocations() const noexcept {
+    return equivocations_;
+  }
+
+ private:
+  std::unique_ptr<splitbft::CompartmentLogic> inner_;
+  pbft::Config config_;
+  ReplicaId self_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  SeqNum next_seq_{0};
+  std::uint64_t equivocations_{0};
+};
+
+/// Execution enclave emitting checkpoints with corrupted state digests.
+/// Correct compartments must never reach a bogus stable checkpoint from
+/// f such enclaves.
+class CorruptCheckpointExec final : public splitbft::CompartmentLogic {
+ public:
+  CorruptCheckpointExec(std::unique_ptr<splitbft::CompartmentLogic> inner,
+                        std::shared_ptr<const crypto::Signer> signer)
+      : inner_(std::move(inner)), signer_(std::move(signer)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return inner_->measurement();
+  }
+
+ private:
+  std::unique_ptr<splitbft::CompartmentLogic> inner_;
+  std::shared_ptr<const crypto::Signer> signer_;
+};
+
+/// Execution enclave forging reply contents (it legitimately holds the
+/// client auth keys, so the MACs verify — only f+1 matching protects the
+/// client).
+class ForgingReplyExec final : public splitbft::CompartmentLogic {
+ public:
+  ForgingReplyExec(std::unique_ptr<splitbft::CompartmentLogic> inner,
+                   pbft::ClientDirectory directory, Bytes forged_result)
+      : inner_(std::move(inner)),
+        directory_(directory),
+        forged_result_(std::move(forged_result)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return inner_->measurement();
+  }
+
+ private:
+  std::unique_ptr<splitbft::CompartmentLogic> inner_;
+  pbft::ClientDirectory directory_;
+  Bytes forged_result_;
+};
+
+}  // namespace sbft::faults

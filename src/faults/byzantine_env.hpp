@@ -1,0 +1,98 @@
+// Byzantine environment (compromised replica host).
+//
+// Wraps a replica actor and gives the adversary full control over the
+// untrusted side: drop, delay, reorder, selectively deliver, duplicate and
+// observe every byte entering or leaving the machine. It cannot forge
+// enclave messages (no enclave keys) — exactly the paper's model where an
+// attacker is present on all n hosts but the enclaves stay intact.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "runtime/actor.hpp"
+
+namespace sbft::faults {
+
+struct EnvPolicy {
+  /// Random drop probabilities for inbound/outbound envelopes.
+  double drop_inbound{0.0};
+  double drop_outbound{0.0};
+  /// Selective delivery: returning true kills the envelope.
+  std::function<bool(const net::Envelope&)> drop_inbound_if{};
+  std::function<bool(const net::Envelope&)> drop_outbound_if{};
+  /// Duplicate every surviving outbound envelope.
+  bool duplicate_outbound{false};
+  /// Record every byte seen (confidentiality checker input).
+  bool record_observed{true};
+};
+
+class ByzantineEnv final : public runtime::Actor {
+ public:
+  ByzantineEnv(std::shared_ptr<runtime::Actor> inner, EnvPolicy policy,
+               std::uint64_t seed)
+      : inner_(std::move(inner)), policy_(std::move(policy)), rng_(seed) {}
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override {
+    observe(env);
+    if (should_drop(env, policy_.drop_inbound, policy_.drop_inbound_if)) {
+      ++dropped_inbound_;
+      return {};
+    }
+    return filter_out(inner_->handle(env, now));
+  }
+
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
+    return filter_out(inner_->tick(now));
+  }
+
+  /// Every serialized envelope this host observed (in either direction).
+  [[nodiscard]] const std::vector<Bytes>& observed() const noexcept {
+    return observed_;
+  }
+  [[nodiscard]] std::uint64_t dropped_inbound() const noexcept {
+    return dropped_inbound_;
+  }
+  [[nodiscard]] std::uint64_t dropped_outbound() const noexcept {
+    return dropped_outbound_;
+  }
+
+ private:
+  void observe(const net::Envelope& env) {
+    if (policy_.record_observed) observed_.push_back(env.serialize());
+  }
+
+  [[nodiscard]] bool should_drop(
+      const net::Envelope& env, double prob,
+      const std::function<bool(const net::Envelope&)>& pred) {
+    if (pred && pred(env)) return true;
+    return prob > 0 && rng_.chance(prob);
+  }
+
+  [[nodiscard]] std::vector<net::Envelope> filter_out(
+      std::vector<net::Envelope> outputs) {
+    std::vector<net::Envelope> kept;
+    kept.reserve(outputs.size());
+    for (auto& env : outputs) {
+      observe(env);
+      if (should_drop(env, policy_.drop_outbound, policy_.drop_outbound_if)) {
+        ++dropped_outbound_;
+        continue;
+      }
+      if (policy_.duplicate_outbound) kept.push_back(env);
+      kept.push_back(std::move(env));
+    }
+    return kept;
+  }
+
+  std::shared_ptr<runtime::Actor> inner_;
+  EnvPolicy policy_;
+  Rng rng_;
+  std::vector<Bytes> observed_;
+  std::uint64_t dropped_inbound_{0};
+  std::uint64_t dropped_outbound_{0};
+};
+
+}  // namespace sbft::faults

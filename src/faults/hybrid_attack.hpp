@@ -1,0 +1,45 @@
+// Hybrid-protocol TEE-compromise attack (Table 1, hybrid row).
+//
+// A hybrid (MinBFT-style) primary whose trusted counter has been
+// compromised can re-issue the SAME counter value for two different
+// requests — one per backup — and the two correct backups execute divergent
+// histories. This is the single point of failure SplitBFT removes: in the
+// hybrid fault model one broken TEE costs safety.
+#pragma once
+
+#include <memory>
+
+#include "hybrid/minbft.hpp"
+#include "pbft/client_directory.hpp"
+#include "runtime/actor.hpp"
+
+namespace sbft::faults {
+
+class HybridUsigAttack final : public runtime::Actor {
+ public:
+  /// `usig` must be the (compromised) USIG of the controlled primary.
+  /// `directory` provides client keys — replicas legitimately hold them in
+  /// the shared-MAC authentication model.
+  HybridUsigAttack(pbft::Config config, ReplicaId primary_id,
+                   std::shared_ptr<hybrid::Usig> usig,
+                   pbft::ClientDirectory directory)
+      : config_(config),
+        primary_id_(primary_id),
+        usig_(std::move(usig)),
+        directory_(directory) {}
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros) override { return {}; }
+
+  [[nodiscard]] bool attack_launched() const noexcept { return launched_; }
+
+ private:
+  pbft::Config config_;
+  ReplicaId primary_id_;
+  std::shared_ptr<hybrid::Usig> usig_;
+  pbft::ClientDirectory directory_;
+  bool launched_{false};
+};
+
+}  // namespace sbft::faults

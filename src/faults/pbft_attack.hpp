@@ -1,0 +1,47 @@
+// Scripted PBFT equivocation attack.
+//
+// Demonstrates the classic integrity loss of plain PBFT once MORE than f
+// replicas are compromised (Table 1, first row): with n=4 (f=1) the
+// attacker controlling replicas {0 (primary), 1} fabricates two complete
+// commit certificates for the same sequence number — the real batch for one
+// honest replica, the empty batch for the other — and the two correct
+// replicas execute divergent histories.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "crypto/keyring.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+#include "runtime/actor.hpp"
+
+namespace sbft::faults {
+
+class PbftEquivocationAttack final : public runtime::Actor {
+ public:
+  /// `signers` are the keys of the two controlled replicas (primary first).
+  PbftEquivocationAttack(pbft::Config config,
+                         std::shared_ptr<const crypto::Signer> primary_signer,
+                         std::shared_ptr<const crypto::Signer> backup_signer,
+                         ReplicaId primary_id, ReplicaId backup_id);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros) override { return {}; }
+
+  [[nodiscard]] bool attack_launched() const noexcept { return launched_; }
+
+ private:
+  void craft_certificate(const pbft::RequestBatch& batch, SeqNum seq,
+                         ReplicaId victim, std::vector<net::Envelope>& out);
+
+  pbft::Config config_;
+  std::shared_ptr<const crypto::Signer> primary_signer_;
+  std::shared_ptr<const crypto::Signer> backup_signer_;
+  ReplicaId primary_id_;
+  ReplicaId backup_id_;
+  bool launched_{false};
+};
+
+}  // namespace sbft::faults

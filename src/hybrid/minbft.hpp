@@ -1,0 +1,134 @@
+// MinBFT-style hybrid replica (Veronese et al. [58]).
+//
+// 2f+1 replicas; every protocol message carries a USIG-attested counter, so
+// a correct primary cannot equivocate and two phases suffice:
+//   Prepare(v, m, UI_p)  — primary assigns the order,
+//   Commit(v, Prepare, UI_i) — backups countersign,
+// execute once f+1 distinct replicas certified the prepare, in primary-
+// counter order. Clients are identical to PBFT (HMAC, f+1 matching).
+//
+// Scope: normal operation + crash tolerance + the compromised-TEE attack —
+// what the Table-1 fault-matrix experiment needs. View change is not
+// implemented (the hybrid row of Table 1 concerns safety, not primary
+// replacement).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "apps/app.hpp"
+#include "hybrid/usig.hpp"
+#include "pbft/client_directory.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+
+namespace sbft::hybrid {
+
+/// Message tags (disjoint from pbft::MsgType).
+enum class HybridMsg : std::uint32_t {
+  Prepare = 60,
+  Commit = 61,
+};
+
+[[nodiscard]] constexpr std::uint32_t tag(HybridMsg t) noexcept {
+  return static_cast<std::uint32_t>(t);
+}
+
+struct HybridPrepare {
+  View view{0};
+  pbft::Request request;
+  UI ui;  // primary's USIG identifier
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<HybridPrepare> deserialize(ByteView data);
+  /// Digest the primary's UI covers (view + request).
+  [[nodiscard]] Digest ui_digest() const;
+};
+
+struct HybridCommit {
+  HybridPrepare prepare;  // embedded, so any receiver can verify UI_p
+  UI ui;                  // committer's USIG identifier
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<HybridCommit> deserialize(ByteView data);
+  /// Digest the committer's UI covers (the embedded prepare).
+  [[nodiscard]] Digest ui_digest() const;
+};
+
+/// Hybrid configuration: n = 2f+1.
+[[nodiscard]] constexpr pbft::Config hybrid_config(std::uint32_t f) noexcept {
+  pbft::Config cfg;
+  cfg.f = f;
+  cfg.n = 2 * f + 1;
+  return cfg;
+}
+
+class HybridReplica {
+ public:
+  HybridReplica(pbft::Config config, ReplicaId id, std::shared_ptr<Usig> usig,
+                std::shared_ptr<const crypto::Verifier> verifier,
+                pbft::ClientDirectory clients, apps::AppFactory app_factory);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now);
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now);
+
+  [[nodiscard]] ReplicaId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t last_executed_counter() const noexcept {
+    return last_executed_;
+  }
+  [[nodiscard]] const apps::Application& app() const noexcept { return *app_; }
+  /// Primary-counter → request digest, for cross-replica agreement checks.
+  [[nodiscard]] const std::map<std::uint64_t, Digest>& execution_history()
+      const noexcept {
+    return executed_digests_;
+  }
+  [[nodiscard]] std::shared_ptr<Usig> usig() noexcept { return usig_; }
+
+ private:
+  struct PendingOrder {
+    HybridPrepare prepare;
+    std::set<ReplicaId> certifiers;
+    bool executed{false};
+  };
+
+  using Out = std::vector<net::Envelope>;
+
+  void on_request(const net::Envelope& env, Out& out);
+  void on_prepare(const net::Envelope& env, Out& out);
+  void on_commit(const net::Envelope& env, Out& out);
+  void certify(const HybridPrepare& prepare, ReplicaId certifier, Out& out);
+  void try_execute(Out& out);
+  [[nodiscard]] bool is_primary() const noexcept {
+    return config_.primary(view_) == id_;
+  }
+  [[nodiscard]] net::Envelope to_replica(HybridMsg type, ByteView payload,
+                                         ReplicaId dst) const;
+
+  pbft::Config config_;
+  ReplicaId id_;
+  std::shared_ptr<Usig> usig_;
+  std::shared_ptr<const crypto::Verifier> verifier_;
+  pbft::ClientDirectory clients_;
+  std::unique_ptr<apps::Application> app_;
+
+  View view_{0};
+  std::uint64_t last_executed_{0};
+  /// Primary counter -> agreement state.
+  std::map<std::uint64_t, PendingOrder> orders_;
+  /// Highest UI counter seen per replica (sequentiality enforcement).
+  std::map<ReplicaId, std::uint64_t> last_counter_;
+
+  struct ClientRecord {
+    Timestamp last_ts{0};
+    Bytes last_result;
+    bool has_reply{false};
+  };
+  std::map<ClientId, ClientRecord> client_records_;
+  std::map<std::uint64_t, Digest> executed_digests_;
+};
+
+}  // namespace sbft::hybrid

@@ -1,0 +1,64 @@
+#include "hybrid/usig.hpp"
+
+#include "common/serde.hpp"
+
+namespace sbft::hybrid {
+
+Bytes UI::serialize() const {
+  Writer w;
+  w.u64(counter);
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+std::optional<UI> UI::deserialize(ByteView data) {
+  Reader r(data);
+  UI ui;
+  ui.counter = r.u64();
+  ui.signature = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return ui;
+}
+
+Bytes ui_signing_input(const Digest& message_digest, std::uint64_t counter) {
+  Writer w;
+  w.str("usig-ui");
+  w.raw(message_digest.view());
+  w.u64(counter);
+  return std::move(w).take();
+}
+
+Usig::Usig(std::shared_ptr<const crypto::Signer> signer,
+           tee::MonotonicCounterService& counters, std::uint64_t counter_id)
+    : signer_(std::move(signer)),
+      counters_(counters),
+      counter_id_(counter_id) {}
+
+UI Usig::create(const Digest& message_digest) {
+  UI ui;
+  ui.counter = counters_.increment(counter_id_);
+  ui.signature = signer_->sign(ui_signing_input(message_digest, ui.counter));
+  return ui;
+}
+
+bool Usig::verify(const crypto::Verifier& verifier,
+                  principal::Id signer_principal, const Digest& message_digest,
+                  const UI& ui) {
+  return verifier.verify(signer_principal,
+                         ui_signing_input(message_digest, ui.counter),
+                         ui.signature);
+}
+
+UI Usig::forge(const Digest& message_digest, std::uint64_t counter) {
+  UI ui;
+  ui.counter = counter;
+  if (!compromised_) {
+    // An intact TEE never signs attacker-chosen counters.
+    ui.signature.clear();
+    return ui;
+  }
+  ui.signature = signer_->sign(ui_signing_input(message_digest, ui.counter));
+  return ui;
+}
+
+}  // namespace sbft::hybrid

@@ -1,0 +1,62 @@
+// USIG — Unique Sequential Identifier Generator (MinBFT [58]/CheapBFT [35]).
+//
+// The minimal trusted subsystem of hybrid BFT protocols: a monotonic
+// counter plus a signing key inside a TEE. Binding every message to a fresh
+// counter value makes equivocation impossible — AS LONG AS the TEE is
+// correct. The `compromise()` hook models the paper's core criticism: a
+// single exploited trusted component silently re-issues counter values and
+// the 2f+1 protocol loses safety (Table 1, hybrid row).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crypto/keyring.hpp"
+#include "tee/monotonic_counter.hpp"
+
+namespace sbft::hybrid {
+
+/// Unique identifier: (counter value, signature over message digest+counter).
+struct UI {
+  std::uint64_t counter{0};
+  Bytes signature;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<UI> deserialize(ByteView data);
+};
+
+/// The byte string a UI signature covers.
+[[nodiscard]] Bytes ui_signing_input(const Digest& message_digest,
+                                     std::uint64_t counter);
+
+class Usig {
+ public:
+  Usig(std::shared_ptr<const crypto::Signer> signer,
+       tee::MonotonicCounterService& counters, std::uint64_t counter_id);
+
+  /// Issues the next UI for a message digest (increments the counter).
+  [[nodiscard]] UI create(const Digest& message_digest);
+
+  /// Verifies that `ui` is `signer_principal`'s UI for `message_digest`.
+  [[nodiscard]] static bool verify(const crypto::Verifier& verifier,
+                                   principal::Id signer_principal,
+                                   const Digest& message_digest, const UI& ui);
+
+  /// FAULT INJECTION: marks the TEE as compromised. A compromised USIG
+  /// signs any counter value the attacker chooses (rollback/duplication).
+  void compromise() noexcept { compromised_ = true; }
+  [[nodiscard]] bool compromised() const noexcept { return compromised_; }
+
+  /// Only usable after compromise(): issues a UI with an arbitrary counter.
+  [[nodiscard]] UI forge(const Digest& message_digest, std::uint64_t counter);
+
+ private:
+  std::shared_ptr<const crypto::Signer> signer_;
+  tee::MonotonicCounterService& counters_;
+  std::uint64_t counter_id_;
+  bool compromised_{false};
+};
+
+}  // namespace sbft::hybrid

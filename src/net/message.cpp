@@ -1,0 +1,46 @@
+#include "net/message.hpp"
+
+#include "common/serde.hpp"
+
+namespace sbft::net {
+
+Bytes Envelope::serialize() const {
+  Writer w;
+  w.u64(src);
+  w.u64(dst);
+  w.u32(type);
+  w.bytes(payload);
+  w.bytes(signature);
+  return std::move(w).take();
+}
+
+std::optional<Envelope> Envelope::deserialize(ByteView data) {
+  Reader r(data);
+  Envelope env;
+  env.src = r.u64();
+  env.dst = r.u64();
+  env.type = r.u32();
+  env.payload = r.bytes();
+  env.signature = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return env;
+}
+
+Bytes signing_input(std::uint32_t type, ByteView payload) {
+  Writer w;
+  w.u32(type);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+void sign_envelope(Envelope& env, const crypto::Signer& signer) {
+  env.signature = signer.sign(signing_input(env.type, env.payload));
+}
+
+bool verify_envelope(const Envelope& env, const crypto::Verifier& verifier,
+                     principal::Id claimed_signer) {
+  const Bytes input = signing_input(env.type, env.payload);
+  return verifier.verify(claimed_signer, input, env.signature);
+}
+
+}  // namespace sbft::net

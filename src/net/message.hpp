@@ -1,0 +1,44 @@
+// Wire envelope shared by all protocols.
+//
+// The payload is an opaque, protocol-defined serialized body; the signature
+// covers (type || payload) so a quorum message stays valid no matter which
+// peer it is relayed to. The sender's identity is bound inside the payload
+// (every protocol message carries its sender field) — `src`/`dst` are
+// untrusted routing hints for the environment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crypto/keyring.hpp"
+
+namespace sbft::net {
+
+struct Envelope {
+  principal::Id src{0};
+  principal::Id dst{0};
+  std::uint32_t type{0};
+  Bytes payload;
+  Bytes signature;  // empty for unauthenticated messages
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Envelope> deserialize(ByteView data);
+
+  [[nodiscard]] friend bool operator==(const Envelope&,
+                                       const Envelope&) = default;
+};
+
+/// The byte string a signature covers.
+[[nodiscard]] Bytes signing_input(std::uint32_t type, ByteView payload);
+
+/// Signs an envelope in place with the given signer.
+void sign_envelope(Envelope& env, const crypto::Signer& signer);
+
+/// Verifies the envelope signature against the claimed principal.
+[[nodiscard]] bool verify_envelope(const Envelope& env,
+                                   const crypto::Verifier& verifier,
+                                   principal::Id claimed_signer);
+
+}  // namespace sbft::net

@@ -1,0 +1,81 @@
+#include "net/thread_net.hpp"
+
+namespace sbft::net {
+
+ThreadNetwork::~ThreadNetwork() { shutdown(); }
+
+void ThreadNetwork::register_endpoint(principal::Id id, DeliveryFn handler) {
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->handler = std::move(handler);
+  Endpoint* ep = endpoint.get();
+  endpoint->consumer = std::thread([ep] {
+    std::unique_lock lock(ep->mutex);
+    for (;;) {
+      ep->cv.wait(lock, [ep] { return ep->stopping || !ep->queue.empty(); });
+      if (ep->stopping) return;
+      Envelope env = std::move(ep->queue.front());
+      ep->queue.pop_front();
+      ep->busy = true;
+      lock.unlock();
+      ep->handler(std::move(env));
+      lock.lock();
+      ep->busy = false;
+      ep->cv.notify_all();
+    }
+  });
+
+  const std::scoped_lock lock(registry_mutex_);
+  endpoints_.emplace(id, std::move(endpoint));
+}
+
+void ThreadNetwork::send(Envelope env) {
+  Endpoint* ep = nullptr;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    const auto it = endpoints_.find(env.dst);
+    if (it == endpoints_.end()) return;  // unknown endpoint: drop
+    ep = it->second.get();
+  }
+  {
+    const std::scoped_lock lock(ep->mutex);
+    if (ep->stopping) return;
+    ep->queue.push_back(std::move(env));
+  }
+  ep->cv.notify_one();
+}
+
+void ThreadNetwork::shutdown() {
+  std::vector<Endpoint*> eps;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    for (auto& [id, ep] : endpoints_) eps.push_back(ep.get());
+  }
+  for (Endpoint* ep : eps) {
+    {
+      const std::scoped_lock lock(ep->mutex);
+      ep->stopping = true;
+    }
+    ep->cv.notify_all();
+  }
+  for (Endpoint* ep : eps) {
+    if (ep->consumer.joinable()) ep->consumer.join();
+  }
+}
+
+void ThreadNetwork::drain() {
+  std::vector<Endpoint*> eps;
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    for (auto& [id, ep] : endpoints_) eps.push_back(ep.get());
+  }
+  for (Endpoint* ep : eps) {
+    std::unique_lock lock(ep->mutex);
+    ep->cv.wait(lock, [ep] {
+      return ep->stopping || (ep->queue.empty() && !ep->busy);
+    });
+  }
+}
+
+}  // namespace sbft::net

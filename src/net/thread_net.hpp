@@ -1,0 +1,53 @@
+// In-process loopback transport for the threaded runtime.
+//
+// Each endpoint owns an MPSC queue drained by a dedicated consumer thread —
+// the moral equivalent of one TCP connection handler per peer. Used by the
+// runnable examples; correctness tests use the deterministic simulator.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "net/transport.hpp"
+
+namespace sbft::net {
+
+class ThreadNetwork final : public Transport {
+ public:
+  ThreadNetwork() = default;
+  ~ThreadNetwork() override;
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  void send(Envelope env) override;
+  void register_endpoint(principal::Id id, DeliveryFn handler) override;
+
+  /// Stops all consumer threads; messages still queued are dropped
+  /// (the network is allowed to be unreliable).
+  void shutdown();
+
+  /// Blocks until every queue is momentarily empty (test helper; this is
+  /// not a barrier — new sends may arrive right after).
+  void drain();
+
+ private:
+  struct Endpoint {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Envelope> queue;
+    bool stopping{false};
+    bool busy{false};
+    DeliveryFn handler;
+    std::thread consumer;
+  };
+
+  std::mutex registry_mutex_;
+  std::unordered_map<principal::Id, std::unique_ptr<Endpoint>> endpoints_;
+  bool shut_down_{false};
+};
+
+}  // namespace sbft::net

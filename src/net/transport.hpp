@@ -1,0 +1,23 @@
+// Transport interface: protocol engines and brokers only know `send`.
+#pragma once
+
+#include <functional>
+
+#include "net/message.hpp"
+
+namespace sbft::net {
+
+using DeliveryFn = std::function<void(Envelope)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Queues `env` for delivery to `env.dst`. Never blocks on the receiver.
+  virtual void send(Envelope env) = 0;
+
+  /// Registers the handler invoked when a message for `id` arrives.
+  virtual void register_endpoint(principal::Id id, DeliveryFn handler) = 0;
+};
+
+}  // namespace sbft::net

@@ -1,0 +1,78 @@
+#include "pbft/client.hpp"
+
+#include "crypto/hmac.hpp"
+
+namespace sbft::pbft {
+
+Client::Client(Config config, ClientId id, const ClientDirectory& directory,
+               Micros retry_timeout_us, ReplicaPrincipalFn replica_principal)
+    : config_(config),
+      id_(id),
+      auth_key_(directory.auth_key(id)),
+      retry_timeout_us_(retry_timeout_us),
+      replica_principal_(replica_principal) {}
+
+std::vector<net::Envelope> Client::broadcast_request() const {
+  std::vector<net::Envelope> out;
+  net::Envelope env;
+  env.src = principal::client(id_);
+  env.type = tag(MsgType::Request);
+  env.payload = request_.serialize();
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    env.dst = replica_principal_(r);
+    out.push_back(env);
+  }
+  return out;
+}
+
+std::vector<net::Envelope> Client::submit(Bytes operation, Micros now) {
+  in_flight_ = true;
+  votes_.clear();
+  operation_ = std::move(operation);
+  ++timestamp_;
+
+  request_ = Request{};
+  request_.client = id_;
+  request_.timestamp = timestamp_;
+  request_.payload = operation_;
+  const Digest mac = crypto::hmac_sha256(
+      ByteView{auth_key_.data(), auth_key_.size()}, request_.auth_input());
+  request_.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+  retry_deadline_ = now + retry_timeout_us_;
+  return broadcast_request();
+}
+
+std::optional<Bytes> Client::on_reply(const net::Envelope& env) {
+  if (!in_flight_ || env.type != tag(MsgType::Reply)) return std::nullopt;
+  auto reply = Reply::deserialize(env.payload);
+  if (!reply || reply->client != id_ || reply->timestamp != timestamp_ ||
+      reply->sender >= config_.n) {
+    return std::nullopt;
+  }
+  if (!crypto::hmac_verify(ByteView{auth_key_.data(), auth_key_.size()},
+                           reply->auth_input(), reply->auth)) {
+    return std::nullopt;  // forged reply
+  }
+  auto& senders = votes_[reply->result];
+  senders.insert(reply->sender);
+  if (senders.size() >= config_.f + 1) {
+    in_flight_ = false;
+    retry_deadline_ = 0;
+    return reply->result;
+  }
+  return std::nullopt;
+}
+
+std::vector<net::Envelope> Client::tick(Micros now) {
+  if (!in_flight_ || retry_deadline_ == 0 || now < retry_deadline_) return {};
+  retry_deadline_ = now + retry_timeout_us_;
+  return broadcast_request();
+}
+
+std::optional<Micros> Client::next_deadline() const {
+  if (!in_flight_ || retry_deadline_ == 0) return std::nullopt;
+  return retry_deadline_;
+}
+
+}  // namespace sbft::pbft

@@ -1,0 +1,68 @@
+// PBFT client engine (closed-loop, one outstanding request).
+//
+// Broadcasts authenticated requests to all replicas, accepts a result once
+// f+1 replicas returned matching authenticated replies, and retransmits on
+// timeout (which is also what eventually triggers a view change when the
+// primary is faulty).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/message.hpp"
+#include "pbft/client_directory.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+
+namespace sbft::pbft {
+
+class Client {
+ public:
+  /// Maps a replica index to the principal requests are addressed to —
+  /// lets the same client engine drive PBFT and the hybrid baseline.
+  using ReplicaPrincipalFn = principal::Id (*)(ReplicaId);
+
+  Client(Config config, ClientId id, const ClientDirectory& directory,
+         Micros retry_timeout_us = 1'000'000,
+         ReplicaPrincipalFn replica_principal = &principal::pbft_replica);
+
+  /// Starts a new operation. Returns the Request envelopes to broadcast.
+  /// Must not be called while another operation is in flight.
+  [[nodiscard]] std::vector<net::Envelope> submit(Bytes operation, Micros now);
+
+  /// Processes a Reply. Returns the result once f+1 matching replies arrived
+  /// for the in-flight request (exactly once per operation).
+  [[nodiscard]] std::optional<Bytes> on_reply(const net::Envelope& env);
+
+  /// Retransmits the in-flight request if the retry timer expired.
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now);
+
+  [[nodiscard]] std::optional<Micros> next_deadline() const;
+  [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] ClientId id() const noexcept { return id_; }
+  [[nodiscard]] Timestamp current_timestamp() const noexcept {
+    return timestamp_;
+  }
+
+ private:
+  [[nodiscard]] std::vector<net::Envelope> broadcast_request() const;
+
+  Config config_;
+  ClientId id_;
+  crypto::Key32 auth_key_;
+  Micros retry_timeout_us_;
+  ReplicaPrincipalFn replica_principal_;
+
+  Timestamp timestamp_{0};
+  Bytes operation_;
+  Request request_;
+  bool in_flight_{false};
+  Micros retry_deadline_{0};
+  // result bytes -> replicas that returned it.
+  std::map<Bytes, std::set<ReplicaId>> votes_;
+};
+
+}  // namespace sbft::pbft

@@ -1,0 +1,39 @@
+// Client authentication keys.
+//
+// The paper authenticates client requests and replies with HMAC-SHA2.
+// Key distribution is out of band (registration); we model it as
+// deterministic derivation from a deployment master secret, so replicas,
+// enclaves and clients constructed with the same secret agree on per-client
+// keys without a key-exchange protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sbft::pbft {
+
+class ClientDirectory {
+ public:
+  explicit ClientDirectory(std::uint64_t master_secret)
+      : master_secret_(master_secret) {}
+
+  [[nodiscard]] crypto::Key32 auth_key(ClientId client) const {
+    Bytes context;
+    for (int i = 0; i < 4; ++i) {
+      context.push_back(static_cast<std::uint8_t>(client >> (8 * i)));
+    }
+    Bytes master(8);
+    for (int i = 0; i < 8; ++i) {
+      master[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(master_secret_ >> (8 * i));
+    }
+    return crypto::derive_key(master, "client-auth", context);
+  }
+
+ private:
+  std::uint64_t master_secret_;
+};
+
+}  // namespace sbft::pbft

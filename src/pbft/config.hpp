@@ -1,0 +1,45 @@
+// Shared protocol configuration for PBFT and SplitBFT clusters.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/types.hpp"
+
+namespace sbft::pbft {
+
+struct Config {
+  std::uint32_t n{4};
+  std::uint32_t f{1};
+
+  /// Checkpoint every K sequence numbers.
+  SeqNum checkpoint_interval{50};
+  /// Log window L: accept sequence numbers in (h, h+L].
+  SeqNum watermark_window{200};
+
+  /// Maximum requests per batch (1 = unbatched mode).
+  std::size_t batch_max{200};
+  /// Cut a partial batch after this long (paper: 10 ms).
+  Micros batch_timeout_us{10'000};
+
+  /// Client-request timeout before suspecting the primary.
+  Micros request_timeout_us{400'000};
+  /// Escalation timeout while waiting for a NewView.
+  Micros view_change_retry_us{800'000};
+
+  [[nodiscard]] constexpr std::uint32_t quorum() const noexcept {
+    return 2 * f + 1;
+  }
+  /// Prepares needed in addition to the PrePrepare.
+  [[nodiscard]] constexpr std::uint32_t prepared_quorum() const noexcept {
+    return 2 * f;
+  }
+  [[nodiscard]] constexpr ReplicaId primary(View v) const noexcept {
+    return static_cast<ReplicaId>(v % n);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return n >= 3 * f + 1 && n > 0;
+  }
+};
+
+}  // namespace sbft::pbft

@@ -1,0 +1,350 @@
+#include "pbft/messages.hpp"
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::pbft {
+
+namespace {
+
+void put_digest(Writer& w, const Digest& d) { w.raw(d.view()); }
+
+[[nodiscard]] Digest get_digest(Reader& r) {
+  const Bytes b = r.raw(32);
+  Digest d;
+  if (b.size() == 32) std::copy(b.begin(), b.end(), d.bytes.begin());
+  return d;
+}
+
+void put_envelopes(Writer& w, const std::vector<net::Envelope>& envs) {
+  w.u32(static_cast<std::uint32_t>(envs.size()));
+  for (const auto& e : envs) w.bytes(e.serialize());
+}
+
+[[nodiscard]] std::optional<std::vector<net::Envelope>> get_envelopes(
+    Reader& r, std::size_t max = 1024) {
+  const std::uint32_t n = r.u32();
+  if (n > max) return std::nullopt;
+  std::vector<net::Envelope> envs;
+  envs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes b = r.bytes();
+    if (r.failed()) return std::nullopt;
+    auto env = net::Envelope::deserialize(b);
+    if (!env) return std::nullopt;
+    envs.push_back(std::move(*env));
+  }
+  return envs;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Request
+
+Bytes Request::serialize() const {
+  Writer w;
+  w.u32(client);
+  w.u64(timestamp);
+  w.bytes(payload);
+  w.bytes(auth);
+  return std::move(w).take();
+}
+
+std::optional<Request> Request::deserialize(ByteView data) {
+  Reader r(data);
+  Request req;
+  req.client = r.u32();
+  req.timestamp = r.u64();
+  req.payload = r.bytes();
+  req.auth = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return req;
+}
+
+Bytes Request::auth_input() const {
+  Writer w;
+  w.u32(client);
+  w.u64(timestamp);
+  w.bytes(payload);
+  return std::move(w).take();
+}
+
+Digest Request::digest() const { return crypto::sha256(auth_input()); }
+
+// ----------------------------------------------------------- RequestBatch
+
+Bytes RequestBatch::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(requests.size()));
+  for (const auto& req : requests) w.bytes(req.serialize());
+  return std::move(w).take();
+}
+
+std::optional<RequestBatch> RequestBatch::deserialize(ByteView data) {
+  Reader r(data);
+  const std::uint32_t n = r.u32();
+  if (n > 100'000) return std::nullopt;
+  RequestBatch batch;
+  batch.requests.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes b = r.bytes();
+    if (r.failed()) return std::nullopt;
+    auto req = Request::deserialize(b);
+    if (!req) return std::nullopt;
+    batch.requests.push_back(std::move(*req));
+  }
+  if (!r.done()) return std::nullopt;
+  return batch;
+}
+
+Digest RequestBatch::digest() const { return crypto::sha256(serialize()); }
+
+// ------------------------------------------------------------- PrePrepare
+
+Bytes PrePrepare::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u64(seq);
+  put_digest(w, batch_digest);
+  w.bytes(batch);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<PrePrepare> PrePrepare::deserialize(ByteView data) {
+  Reader r(data);
+  PrePrepare m;
+  m.view = r.u64();
+  m.seq = r.u64();
+  m.batch_digest = get_digest(r);
+  m.batch = r.bytes();
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ---------------------------------------------------------------- Prepare
+
+Bytes Prepare::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u64(seq);
+  put_digest(w, batch_digest);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<Prepare> Prepare::deserialize(ByteView data) {
+  Reader r(data);
+  Prepare m;
+  m.view = r.u64();
+  m.seq = r.u64();
+  m.batch_digest = get_digest(r);
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ----------------------------------------------------------------- Commit
+
+Bytes Commit::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u64(seq);
+  put_digest(w, batch_digest);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<Commit> Commit::deserialize(ByteView data) {
+  Reader r(data);
+  Commit m;
+  m.view = r.u64();
+  m.seq = r.u64();
+  m.batch_digest = get_digest(r);
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ------------------------------------------------------------------ Reply
+
+Bytes Reply::serialize() const {
+  Writer w;
+  w.u64(view);
+  w.u64(timestamp);
+  w.u32(client);
+  w.u32(sender);
+  w.bytes(result);
+  w.bytes(auth);
+  return std::move(w).take();
+}
+
+std::optional<Reply> Reply::deserialize(ByteView data) {
+  Reader r(data);
+  Reply m;
+  m.view = r.u64();
+  m.timestamp = r.u64();
+  m.client = r.u32();
+  m.sender = r.u32();
+  m.result = r.bytes();
+  m.auth = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes Reply::auth_input() const {
+  Writer w;
+  w.u64(view);
+  w.u64(timestamp);
+  w.u32(client);
+  w.u32(sender);
+  w.bytes(result);
+  return std::move(w).take();
+}
+
+// ------------------------------------------------------------- Checkpoint
+
+Bytes Checkpoint::serialize() const {
+  Writer w;
+  w.u64(seq);
+  put_digest(w, state_digest);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<Checkpoint> Checkpoint::deserialize(ByteView data) {
+  Reader r(data);
+  Checkpoint m;
+  m.seq = r.u64();
+  m.state_digest = get_digest(r);
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ---------------------------------------------------------- PreparedProof
+
+Bytes PreparedProof::serialize() const {
+  Writer w;
+  w.bytes(pre_prepare.serialize());
+  put_envelopes(w, prepares);
+  return std::move(w).take();
+}
+
+std::optional<PreparedProof> PreparedProof::deserialize(ByteView data) {
+  Reader r(data);
+  PreparedProof proof;
+  const Bytes pp = r.bytes();
+  if (r.failed()) return std::nullopt;
+  auto env = net::Envelope::deserialize(pp);
+  if (!env) return std::nullopt;
+  proof.pre_prepare = std::move(*env);
+  auto prepares = get_envelopes(r);
+  if (!prepares || !r.done()) return std::nullopt;
+  proof.prepares = std::move(*prepares);
+  return proof;
+}
+
+// ------------------------------------------------------------- ViewChange
+
+Bytes ViewChange::serialize() const {
+  Writer w;
+  w.u64(new_view);
+  w.u64(last_stable);
+  put_envelopes(w, checkpoint_proof);
+  w.u32(static_cast<std::uint32_t>(prepared.size()));
+  for (const auto& p : prepared) w.bytes(p.serialize());
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<ViewChange> ViewChange::deserialize(ByteView data) {
+  Reader r(data);
+  ViewChange m;
+  m.new_view = r.u64();
+  m.last_stable = r.u64();
+  auto proof = get_envelopes(r);
+  if (!proof) return std::nullopt;
+  m.checkpoint_proof = std::move(*proof);
+  const std::uint32_t n = r.u32();
+  if (n > 4096) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes b = r.bytes();
+    if (r.failed()) return std::nullopt;
+    auto p = PreparedProof::deserialize(b);
+    if (!p) return std::nullopt;
+    m.prepared.push_back(std::move(*p));
+  }
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ---------------------------------------------------------------- NewView
+
+Bytes NewView::serialize() const {
+  Writer w;
+  w.u64(new_view);
+  put_envelopes(w, view_changes);
+  put_envelopes(w, pre_prepares);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<NewView> NewView::deserialize(ByteView data) {
+  Reader r(data);
+  NewView m;
+  m.new_view = r.u64();
+  auto vcs = get_envelopes(r);
+  if (!vcs) return std::nullopt;
+  m.view_changes = std::move(*vcs);
+  auto pps = get_envelopes(r, 4096);
+  if (!pps) return std::nullopt;
+  m.pre_prepares = std::move(*pps);
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ------------------------------------------------------------ State xfer
+
+Bytes StateRequest::serialize() const {
+  Writer w;
+  w.u64(seq);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<StateRequest> StateRequest::deserialize(ByteView data) {
+  Reader r(data);
+  StateRequest m;
+  m.seq = r.u64();
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes StateResponse::serialize() const {
+  Writer w;
+  w.u64(seq);
+  w.bytes(snapshot);
+  put_envelopes(w, checkpoint_proof);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<StateResponse> StateResponse::deserialize(ByteView data) {
+  Reader r(data);
+  StateResponse m;
+  m.seq = r.u64();
+  m.snapshot = r.bytes();
+  auto proof = get_envelopes(r);
+  if (!proof) return std::nullopt;
+  m.checkpoint_proof = std::move(*proof);
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+}  // namespace sbft::pbft

@@ -1,0 +1,173 @@
+// PBFT message formats (Castro & Liskov, OSDI '99), shared with SplitBFT.
+//
+// Certificate-carrying messages (ViewChange, NewView) embed complete signed
+// envelopes so any receiver can re-check every signature in a proof without
+// trusting the relay.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "net/message.hpp"
+
+namespace sbft::pbft {
+
+/// Envelope `type` tags for PBFT and SplitBFT traffic.
+enum class MsgType : std::uint32_t {
+  Request = 1,
+  PrePrepare = 2,
+  Prepare = 3,
+  Commit = 4,
+  Reply = 5,
+  Checkpoint = 6,
+  ViewChange = 7,
+  NewView = 8,
+  StateRequest = 9,
+  StateResponse = 10,
+  // SplitBFT-only client/session traffic.
+  AttestRequest = 20,
+  AttestReport = 21,
+  SessionInit = 22,
+  SessionAck = 23,
+};
+
+[[nodiscard]] constexpr std::uint32_t tag(MsgType t) noexcept {
+  return static_cast<std::uint32_t>(t);
+}
+
+/// Client request. `payload` is the application operation — in SplitBFT it
+/// is AEAD-encrypted for the Execution enclave; the agreement layers only
+/// ever see ciphertext. `auth` is the client's HMAC.
+struct Request {
+  ClientId client{0};
+  Timestamp timestamp{0};
+  Bytes payload;
+  Bytes auth;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Request> deserialize(ByteView data);
+  /// The byte string the client MAC covers.
+  [[nodiscard]] Bytes auth_input() const;
+  /// Digest identifying the request (client, timestamp, payload).
+  [[nodiscard]] Digest digest() const;
+};
+
+/// Ordered batch of requests — the unit of agreement.
+struct RequestBatch {
+  std::vector<Request> requests;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<RequestBatch> deserialize(ByteView data);
+  [[nodiscard]] Digest digest() const;
+  [[nodiscard]] bool empty() const noexcept { return requests.empty(); }
+};
+
+struct PrePrepare {
+  View view{0};
+  SeqNum seq{0};
+  Digest batch_digest;
+  Bytes batch;  // serialized RequestBatch (full requests)
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<PrePrepare> deserialize(ByteView data);
+};
+
+struct Prepare {
+  View view{0};
+  SeqNum seq{0};
+  Digest batch_digest;
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Prepare> deserialize(ByteView data);
+};
+
+struct Commit {
+  View view{0};
+  SeqNum seq{0};
+  Digest batch_digest;
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Commit> deserialize(ByteView data);
+};
+
+struct Reply {
+  View view{0};
+  Timestamp timestamp{0};
+  ClientId client{0};
+  ReplicaId sender{0};
+  Bytes result;  // encrypted in SplitBFT
+  Bytes auth;    // HMAC for the client
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Reply> deserialize(ByteView data);
+  [[nodiscard]] Bytes auth_input() const;
+};
+
+struct Checkpoint {
+  SeqNum seq{0};
+  Digest state_digest;
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Checkpoint> deserialize(ByteView data);
+};
+
+/// Prepared certificate: one PrePrepare plus 2f matching Prepare envelopes.
+struct PreparedProof {
+  net::Envelope pre_prepare;
+  std::vector<net::Envelope> prepares;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<PreparedProof> deserialize(ByteView data);
+};
+
+struct ViewChange {
+  View new_view{0};
+  SeqNum last_stable{0};
+  /// 2f+1 signed Checkpoint envelopes proving `last_stable` (empty at 0).
+  std::vector<net::Envelope> checkpoint_proof;
+  /// Prepared certificates for sequence numbers above `last_stable`.
+  std::vector<PreparedProof> prepared;
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<ViewChange> deserialize(ByteView data);
+};
+
+struct NewView {
+  View new_view{0};
+  /// 2f+1 signed ViewChange envelopes.
+  std::vector<net::Envelope> view_changes;
+  /// Re-issued PrePrepare envelopes for the new view.
+  std::vector<net::Envelope> pre_prepares;
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<NewView> deserialize(ByteView data);
+};
+
+struct StateRequest {
+  SeqNum seq{0};
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<StateRequest> deserialize(ByteView data);
+};
+
+struct StateResponse {
+  SeqNum seq{0};
+  Bytes snapshot;
+  /// 2f+1 Checkpoint envelopes proving the snapshot digest at `seq`.
+  std::vector<net::Envelope> checkpoint_proof;
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<StateResponse> deserialize(ByteView data);
+};
+
+}  // namespace sbft::pbft

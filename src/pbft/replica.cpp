@@ -1,0 +1,925 @@
+#include "pbft/replica.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::pbft {
+
+namespace {
+const Logger& logger() {
+  static const Logger log{"pbft"};
+  return log;
+}
+}  // namespace
+
+Replica::Replica(Config config, ReplicaId id,
+                 std::shared_ptr<const crypto::Signer> signer,
+                 std::shared_ptr<const crypto::Verifier> verifier,
+                 ClientDirectory clients, apps::AppFactory app_factory)
+    : config_(config),
+      id_(id),
+      signer_(std::move(signer)),
+      verifier_(std::move(verifier)),
+      clients_(clients),
+      app_(app_factory()) {}
+
+// --------------------------------------------------------------- plumbing
+
+net::Envelope Replica::make_signed(MsgType type, ByteView payload,
+                                   principal::Id dst) const {
+  net::Envelope env;
+  env.src = principal::pbft_replica(id_);
+  env.dst = dst;
+  env.type = tag(type);
+  env.payload = Bytes(payload.begin(), payload.end());
+  net::sign_envelope(env, *signer_);
+  return env;
+}
+
+void Replica::broadcast(MsgType type, ByteView payload, Out& out) const {
+  // Sign once, then address a copy to every other replica.
+  net::Envelope env = make_signed(type, payload, 0);
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    if (r == id_) continue;
+    env.dst = principal::pbft_replica(r);
+    out.push_back(env);
+  }
+}
+
+bool Replica::in_window(SeqNum seq) const noexcept {
+  return seq > last_stable_ && seq <= last_stable_ + config_.watermark_window;
+}
+
+void Replica::update_request_timer(Micros now) {
+  if (pending_requests_.empty()) {
+    request_timer_ = 0;
+  } else if (request_timer_ == 0) {
+    request_timer_ = now + config_.request_timeout_us;
+  }
+}
+
+Digest Replica::executed_digest(SeqNum seq) const {
+  const auto it = executed_digests_.find(seq);
+  return it == executed_digests_.end() ? Digest{} : it->second;
+}
+
+// ------------------------------------------------------------ entry points
+
+std::vector<net::Envelope> Replica::handle(const net::Envelope& env,
+                                           Micros now) {
+  Out out;
+  switch (static_cast<MsgType>(env.type)) {
+    case MsgType::Request:
+      on_request(env, now, out);
+      break;
+    case MsgType::PrePrepare:
+      on_pre_prepare(env, now, out);
+      break;
+    case MsgType::Prepare:
+      on_prepare(env, now, out);
+      break;
+    case MsgType::Commit:
+      on_commit(env, now, out);
+      break;
+    case MsgType::Checkpoint:
+      on_checkpoint(env, now, out);
+      break;
+    case MsgType::ViewChange:
+      on_view_change(env, now, out);
+      break;
+    case MsgType::NewView:
+      on_new_view(env, now, out);
+      break;
+    case MsgType::StateRequest:
+      on_state_request(env, out);
+      break;
+    case MsgType::StateResponse:
+      on_state_response(env, now, out);
+      break;
+    default:
+      break;  // unknown type: drop
+  }
+  return out;
+}
+
+std::vector<net::Envelope> Replica::tick(Micros now) {
+  Out out;
+  if (batch_deadline_ != 0 && now >= batch_deadline_) {
+    batch_deadline_ = 0;
+    if (is_primary() && !in_view_change_) cut_batch(now, out);
+  }
+  if (!in_view_change_ && request_timer_ != 0 && now >= request_timer_) {
+    request_timer_ = 0;
+    logger().info() << "r" << id_ << " request timeout, view change to "
+                    << (view_ + 1);
+    start_view_change(view_ + 1, now, out);
+  }
+  if (in_view_change_ && view_change_timer_ != 0 &&
+      now >= view_change_timer_) {
+    start_view_change(pending_view_ + 1, now, out);
+  }
+  return out;
+}
+
+std::optional<Micros> Replica::next_deadline() const {
+  std::optional<Micros> next;
+  const auto consider = [&next](Micros t) {
+    if (t != 0 && (!next || t < *next)) next = t;
+  };
+  consider(batch_deadline_);
+  if (!in_view_change_) consider(request_timer_);
+  if (in_view_change_) consider(view_change_timer_);
+  return next;
+}
+
+// ----------------------------------------------------------------- request
+
+void Replica::on_request(const net::Envelope& env, Micros now, Out& out) {
+  auto req = Request::deserialize(env.payload);
+  if (!req) return;
+  const crypto::Key32 key = clients_.auth_key(req->client);
+  if (!crypto::hmac_verify(ByteView{key.data(), key.size()},
+                           req->auth_input(), req->auth)) {
+    return;  // unauthenticated client
+  }
+
+  auto& record = client_records_[req->client];
+  if (req->timestamp <= record.last_ts) {
+    // At-most-once: retransmit the cached reply for the latest request.
+    if (req->timestamp == record.last_ts && record.has_reply) {
+      Reply reply;
+      reply.view = record.last_view;
+      reply.timestamp = record.last_ts;
+      reply.client = req->client;
+      reply.sender = id_;
+      reply.result = record.last_result;
+      const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                             reply.auth_input());
+      reply.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+      net::Envelope renv;
+      renv.src = principal::pbft_replica(id_);
+      renv.dst = principal::client(req->client);
+      renv.type = tag(MsgType::Reply);
+      renv.payload = reply.serialize();
+      out.push_back(std::move(renv));
+    }
+    return;
+  }
+
+  pending_requests_[{req->client, req->timestamp}] = *req;
+  update_request_timer(now);
+
+  if (is_primary() && !in_view_change_) {
+    if (pending_requests_.size() >= config_.batch_max) {
+      cut_batch(now, out);
+    } else if (config_.batch_max <= 1) {
+      cut_batch(now, out);
+    } else if (batch_deadline_ == 0) {
+      batch_deadline_ = now + config_.batch_timeout_us;
+    }
+  }
+}
+
+void Replica::cut_batch(Micros now, Out& out) {
+  RequestBatch batch;
+  auto it = pending_requests_.begin();
+  while (it != pending_requests_.end() &&
+         batch.requests.size() < config_.batch_max) {
+    const auto& record = client_records_[it->second.client];
+    if (it->second.timestamp <= record.last_ts) {
+      it = pending_requests_.erase(it);  // stale
+      continue;
+    }
+    batch.requests.push_back(it->second);
+    it = pending_requests_.erase(it);
+  }
+  if (batch.empty()) return;
+  if (!in_window(next_seq_ + 1)) {
+    // Window full: wait for a checkpoint before assigning more.
+    for (auto& req : batch.requests) {
+      pending_requests_[{req.client, req.timestamp}] = req;
+    }
+    return;
+  }
+
+  PrePrepare pp;
+  pp.view = view_;
+  pp.seq = ++next_seq_;
+  pp.batch = batch.serialize();
+  pp.batch_digest = crypto::sha256(pp.batch);
+  pp.sender = id_;
+
+  Slot& s = slot(pp.seq);
+  s.pre_prepare_env = make_signed(MsgType::PrePrepare, pp.serialize(), 0);
+  s.pre_prepare = pp;
+  broadcast(MsgType::PrePrepare, pp.serialize(), out);
+
+  // Keep batching if more requests are queued.
+  if (!pending_requests_.empty() && is_primary()) {
+    if (pending_requests_.size() >= config_.batch_max || config_.batch_max <= 1) {
+      cut_batch(now, out);
+    } else if (batch_deadline_ == 0) {
+      batch_deadline_ = now + config_.batch_timeout_us;
+    }
+  }
+  check_prepared(pp.seq, now, out);
+}
+
+// ------------------------------------------------------------- pre-prepare
+
+void Replica::on_pre_prepare(const net::Envelope& env, Micros now, Out& out) {
+  if (in_view_change_) return;
+  auto pp = PrePrepare::deserialize(env.payload);
+  if (!pp) return;
+  if (pp->view != view_ || pp->sender != config_.primary(view_) ||
+      pp->sender == id_ || !in_window(pp->seq)) {
+    return;
+  }
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(pp->sender))) {
+    return;
+  }
+  if (crypto::sha256(pp->batch) != pp->batch_digest) return;
+  auto batch = RequestBatch::deserialize(pp->batch);
+  if (!batch) return;
+  for (const auto& req : batch->requests) {
+    const crypto::Key32 key = clients_.auth_key(req.client);
+    if (!crypto::hmac_verify(ByteView{key.data(), key.size()},
+                             req.auth_input(), req.auth)) {
+      return;  // batch smuggles an unauthenticated request
+    }
+  }
+
+  Slot& s = slot(pp->seq);
+  if (s.pre_prepare) {
+    // Conflicting pre-prepare from the primary is byzantine behaviour;
+    // keep the first, the view-change timer handles the rest.
+    return;
+  }
+  s.pre_prepare = *pp;
+  s.pre_prepare_env = env;
+  // Drop buffered prepares that do not match the accepted digest.
+  std::erase_if(s.prepares, [&](const auto& kv) {
+    return kv.second.first != pp->batch_digest;
+  });
+
+  Prepare prep;
+  prep.view = pp->view;
+  prep.seq = pp->seq;
+  prep.batch_digest = pp->batch_digest;
+  prep.sender = id_;
+  net::Envelope my_prepare = make_signed(MsgType::Prepare, prep.serialize(), 0);
+  s.prepares[id_] = {prep.batch_digest, my_prepare};
+  broadcast(MsgType::Prepare, prep.serialize(), out);
+
+  check_prepared(pp->seq, now, out);
+}
+
+// ----------------------------------------------------------------- prepare
+
+void Replica::on_prepare(const net::Envelope& env, Micros now, Out& out) {
+  if (in_view_change_) return;
+  auto prep = Prepare::deserialize(env.payload);
+  if (!prep) return;
+  if (prep->view != view_ || !in_window(prep->seq) ||
+      prep->sender == config_.primary(view_) || prep->sender == id_ ||
+      prep->sender >= config_.n) {
+    return;
+  }
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(prep->sender))) {
+    return;
+  }
+  Slot& s = slot(prep->seq);
+  if (s.pre_prepare && s.pre_prepare->batch_digest != prep->batch_digest) {
+    return;  // vote for a different proposal
+  }
+  s.prepares.emplace(prep->sender,
+                     std::make_pair(prep->batch_digest, env));
+  check_prepared(prep->seq, now, out);
+}
+
+void Replica::check_prepared(SeqNum seq, Micros now, Out& out) {
+  Slot& s = slot(seq);
+  if (s.prepared || !s.pre_prepare) return;
+  const Digest& digest = s.pre_prepare->batch_digest;
+  std::uint32_t matching = 0;
+  for (const auto& [sender, vote] : s.prepares) {
+    if (vote.first == digest) ++matching;
+  }
+  if (matching < config_.prepared_quorum()) return;
+  s.prepared = true;
+
+  Commit commit;
+  commit.view = s.pre_prepare->view;
+  commit.seq = seq;
+  commit.batch_digest = digest;
+  commit.sender = id_;
+  net::Envelope my_commit = make_signed(MsgType::Commit, commit.serialize(), 0);
+  s.commits[id_] = {digest, my_commit};
+  broadcast(MsgType::Commit, commit.serialize(), out);
+
+  check_committed(seq, now, out);
+}
+
+// ------------------------------------------------------------------ commit
+
+void Replica::on_commit(const net::Envelope& env, Micros now, Out& out) {
+  if (in_view_change_) return;
+  auto commit = Commit::deserialize(env.payload);
+  if (!commit) return;
+  if (commit->view != view_ || !in_window(commit->seq) ||
+      commit->sender == id_ || commit->sender >= config_.n) {
+    return;
+  }
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(commit->sender))) {
+    return;
+  }
+  Slot& s = slot(commit->seq);
+  s.commits.emplace(commit->sender,
+                    std::make_pair(commit->batch_digest, env));
+  check_committed(commit->seq, now, out);
+}
+
+void Replica::check_committed(SeqNum seq, Micros now, Out& out) {
+  Slot& s = slot(seq);
+  if (s.committed || !s.prepared || !s.pre_prepare) return;
+  const Digest& digest = s.pre_prepare->batch_digest;
+  std::uint32_t matching = 0;
+  for (const auto& [sender, vote] : s.commits) {
+    if (vote.first == digest) ++matching;
+  }
+  if (matching < config_.quorum()) return;
+  s.committed = true;
+  try_execute(now, out);
+}
+
+// --------------------------------------------------------------- execution
+
+void Replica::try_execute(Micros now, Out& out) {
+  while (!awaiting_state_) {
+    const SeqNum seq = last_executed_ + 1;
+    const auto it = log_.find(seq);
+    if (it == log_.end() || !it->second.committed || !it->second.pre_prepare) {
+      break;
+    }
+    auto batch = RequestBatch::deserialize(it->second.pre_prepare->batch);
+    if (!batch) break;  // cannot happen for validated slots
+    execute_batch(seq, *batch, now, out);
+    executed_digests_[seq] = it->second.pre_prepare->batch_digest;
+    last_executed_ = seq;
+    maybe_checkpoint(seq, now, out);
+  }
+  // Progress (or full drain) resets the fault-suspicion timer.
+  request_timer_ = 0;
+  update_request_timer(now);
+}
+
+void Replica::execute_batch(SeqNum seq, const RequestBatch& batch, Micros now,
+                            Out& out) {
+  (void)seq;
+  (void)now;
+  for (const auto& req : batch.requests) {
+    auto& record = client_records_[req.client];
+    Bytes result;
+    if (req.timestamp > record.last_ts) {
+      result = app_->execute(req.payload);
+      record.last_ts = req.timestamp;
+      record.last_result = result;
+      record.last_view = view_;
+      record.has_reply = true;
+      ++executed_requests_;
+    } else if (req.timestamp == record.last_ts && record.has_reply) {
+      result = record.last_result;  // duplicate: re-reply
+    } else {
+      continue;  // stale duplicate
+    }
+    pending_requests_.erase({req.client, req.timestamp});
+
+    Reply reply;
+    reply.view = view_;
+    reply.timestamp = req.timestamp;
+    reply.client = req.client;
+    reply.sender = id_;
+    reply.result = result;
+    const crypto::Key32 key = clients_.auth_key(req.client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           reply.auth_input());
+    reply.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+    net::Envelope env;
+    env.src = principal::pbft_replica(id_);
+    env.dst = principal::client(req.client);
+    env.type = tag(MsgType::Reply);
+    env.payload = reply.serialize();
+    out.push_back(std::move(env));
+  }
+}
+
+// -------------------------------------------------------------- checkpoint
+
+Bytes Replica::protocol_snapshot() const {
+  Writer w;
+  w.bytes(app_->snapshot());
+  w.u32(static_cast<std::uint32_t>(client_records_.size()));
+  // std::map view of the unordered table for canonical ordering.
+  std::map<ClientId, const ClientRecord*> ordered;
+  for (const auto& [client, record] : client_records_) {
+    ordered.emplace(client, &record);
+  }
+  for (const auto& [client, record] : ordered) {
+    w.u32(client);
+    w.u64(record->last_ts);
+    w.bytes(record->last_result);
+    w.u64(record->last_view);
+    w.boolean(record->has_reply);
+  }
+  return std::move(w).take();
+}
+
+bool Replica::restore_protocol_snapshot(ByteView data) {
+  Reader r(data);
+  const Bytes app_snapshot = r.bytes();
+  const std::uint32_t count = r.u32();
+  if (r.failed() || count > 1'000'000) return false;
+  std::unordered_map<ClientId, ClientRecord> records;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ClientId client = r.u32();
+    ClientRecord record;
+    record.last_ts = r.u64();
+    record.last_result = r.bytes();
+    record.last_view = r.u64();
+    record.has_reply = r.boolean();
+    records.emplace(client, std::move(record));
+  }
+  if (!r.done()) return false;
+  if (!app_->restore(app_snapshot)) return false;
+  client_records_ = std::move(records);
+  return true;
+}
+
+Digest Replica::snapshot_digest(ByteView snapshot) const {
+  return crypto::sha256(snapshot);
+}
+
+void Replica::maybe_checkpoint(SeqNum seq, Micros now, Out& out) {
+  if (config_.checkpoint_interval == 0 ||
+      seq % config_.checkpoint_interval != 0) {
+    return;
+  }
+  Bytes snapshot = protocol_snapshot();
+  Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest = snapshot_digest(snapshot);
+  cp.sender = id_;
+  snapshots_[seq] = std::move(snapshot);
+
+  const Bytes payload = cp.serialize();
+  broadcast(MsgType::Checkpoint, payload, out);
+  process_own_checkpoint(seq, make_signed(MsgType::Checkpoint, payload, 0),
+                         now, out);
+}
+
+void Replica::process_own_checkpoint(SeqNum seq, const net::Envelope& env,
+                                     Micros now, Out& out) {
+  auto cp = Checkpoint::deserialize(env.payload);
+  if (!cp) return;
+  auto& by_digest = checkpoints_[seq][cp->state_digest];
+  by_digest[id_] = env;
+  if (by_digest.size() >= config_.quorum()) {
+    std::vector<net::Envelope> proof;
+    for (const auto& [sender, e] : by_digest) proof.push_back(e);
+    make_stable(seq, std::move(proof), now, out);
+  }
+}
+
+void Replica::on_checkpoint(const net::Envelope& env, Micros now, Out& out) {
+  auto cp = Checkpoint::deserialize(env.payload);
+  if (!cp) return;
+  if (cp->seq <= last_stable_ || cp->sender == id_ ||
+      cp->sender >= config_.n) {
+    return;
+  }
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(cp->sender))) {
+    return;
+  }
+  auto& by_digest = checkpoints_[cp->seq][cp->state_digest];
+  by_digest.emplace(cp->sender, env);
+  if (by_digest.size() >= config_.quorum()) {
+    std::vector<net::Envelope> proof;
+    for (const auto& [sender, e] : by_digest) proof.push_back(e);
+    make_stable(cp->seq, std::move(proof), now, out);
+  }
+}
+
+void Replica::make_stable(SeqNum seq, std::vector<net::Envelope> proof,
+                          Micros now, Out& out) {
+  if (seq <= last_stable_) return;
+  last_stable_ = seq;
+  stable_proof_ = std::move(proof);
+
+  log_.erase(log_.begin(), log_.upper_bound(seq));
+  checkpoints_.erase(checkpoints_.begin(), checkpoints_.upper_bound(seq));
+  // Keep only the stable snapshot (if we have it).
+  for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+    if (it->first < seq) {
+      it = snapshots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  if (last_executed_ < seq && !awaiting_state_) {
+    // The group moved past us: fetch the checkpointed state.
+    awaiting_state_ = true;
+    awaited_state_seq_ = seq;
+    StateRequest sr;
+    sr.seq = seq;
+    sr.sender = id_;
+    broadcast(MsgType::StateRequest, sr.serialize(), out);
+  }
+  (void)now;
+}
+
+// ------------------------------------------------------------ state trans.
+
+void Replica::on_state_request(const net::Envelope& env, Out& out) {
+  auto sr = StateRequest::deserialize(env.payload);
+  if (!sr || sr->sender >= config_.n || sr->sender == id_) return;
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(sr->sender))) {
+    return;
+  }
+  const auto it = snapshots_.find(sr->seq);
+  if (it == snapshots_.end() || sr->seq != last_stable_) return;
+
+  StateResponse resp;
+  resp.seq = sr->seq;
+  resp.snapshot = it->second;
+  resp.checkpoint_proof = stable_proof_;
+  resp.sender = id_;
+  out.push_back(make_signed(MsgType::StateResponse, resp.serialize(),
+                            principal::pbft_replica(sr->sender)));
+}
+
+void Replica::on_state_response(const net::Envelope& env, Micros now,
+                                Out& out) {
+  if (!awaiting_state_) return;
+  auto resp = StateResponse::deserialize(env.payload);
+  if (!resp || resp->sender >= config_.n) return;
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(resp->sender))) {
+    return;
+  }
+  if (resp->seq < awaited_state_seq_ || resp->seq <= last_executed_) return;
+
+  // Validate the checkpoint certificate against the snapshot digest.
+  const Digest digest = snapshot_digest(resp->snapshot);
+  std::map<ReplicaId, bool> distinct;
+  for (const auto& cpe : resp->checkpoint_proof) {
+    auto cp = Checkpoint::deserialize(cpe.payload);
+    if (!cp || cp->seq != resp->seq || cp->state_digest != digest ||
+        cp->sender >= config_.n) {
+      continue;
+    }
+    if (!net::verify_envelope(cpe, *verifier_,
+                              principal::pbft_replica(cp->sender))) {
+      continue;
+    }
+    distinct[cp->sender] = true;
+  }
+  if (distinct.size() < config_.quorum()) return;
+
+  if (!restore_protocol_snapshot(resp->snapshot)) return;
+  last_executed_ = resp->seq;
+  if (resp->seq > last_stable_) {
+    last_stable_ = resp->seq;
+    stable_proof_ = resp->checkpoint_proof;
+  }
+  snapshots_[resp->seq] = resp->snapshot;
+  log_.erase(log_.begin(), log_.upper_bound(resp->seq));
+  awaiting_state_ = false;
+  logger().info() << "r" << id_ << " state transfer to seq " << resp->seq;
+  try_execute(now, out);
+}
+
+// ------------------------------------------------------------- view change
+
+void Replica::start_view_change(View target, Micros now, Out& out) {
+  if (target <= view_) return;
+  in_view_change_ = true;
+  pending_view_ = target;
+  view_change_timer_ = now + config_.view_change_retry_us;
+  batch_deadline_ = 0;
+
+  ViewChange vc;
+  vc.new_view = target;
+  vc.last_stable = last_stable_;
+  vc.checkpoint_proof = stable_proof_;
+  for (const auto& [seq, s] : log_) {
+    if (!s.prepared || !s.pre_prepare || seq <= last_stable_) continue;
+    PreparedProof proof;
+    proof.pre_prepare = s.pre_prepare_env;
+    for (const auto& [sender, vote] : s.prepares) {
+      if (vote.first != s.pre_prepare->batch_digest) continue;
+      proof.prepares.push_back(vote.second);
+      if (proof.prepares.size() >= config_.prepared_quorum()) break;
+    }
+    vc.prepared.push_back(std::move(proof));
+  }
+  vc.sender = id_;
+
+  const Bytes payload = vc.serialize();
+  broadcast(MsgType::ViewChange, payload, out);
+  view_changes_[target][id_] = make_signed(MsgType::ViewChange, payload, 0);
+  maybe_send_new_view(target, now, out);
+}
+
+bool Replica::validate_prepared_proof(const PreparedProof& proof, SeqNum& seq,
+                                      View& view, Digest& digest,
+                                      Bytes& batch) const {
+  auto pp = PrePrepare::deserialize(proof.pre_prepare.payload);
+  if (!pp || pp->sender != config_.primary(pp->view) ||
+      pp->sender >= config_.n) {
+    return false;
+  }
+  if (!net::verify_envelope(proof.pre_prepare, *verifier_,
+                            principal::pbft_replica(pp->sender))) {
+    return false;
+  }
+  if (crypto::sha256(pp->batch) != pp->batch_digest) return false;
+  if (!RequestBatch::deserialize(pp->batch)) return false;
+
+  std::map<ReplicaId, bool> distinct;
+  for (const auto& pe : proof.prepares) {
+    auto prep = Prepare::deserialize(pe.payload);
+    if (!prep || prep->view != pp->view || prep->seq != pp->seq ||
+        prep->batch_digest != pp->batch_digest ||
+        prep->sender == pp->sender || prep->sender >= config_.n) {
+      continue;
+    }
+    if (!net::verify_envelope(pe, *verifier_,
+                              principal::pbft_replica(prep->sender))) {
+      continue;
+    }
+    distinct[prep->sender] = true;
+  }
+  if (distinct.size() < config_.prepared_quorum()) return false;
+
+  seq = pp->seq;
+  view = pp->view;
+  digest = pp->batch_digest;
+  batch = pp->batch;
+  return true;
+}
+
+bool Replica::validate_view_change(const net::Envelope& env,
+                                   ViewChange& out_vc) const {
+  auto vc = ViewChange::deserialize(env.payload);
+  if (!vc || vc->sender >= config_.n) return false;
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(vc->sender))) {
+    return false;
+  }
+  if (vc->last_stable > 0) {
+    std::map<ReplicaId, bool> distinct;
+    std::optional<Digest> digest;
+    for (const auto& cpe : vc->checkpoint_proof) {
+      auto cp = Checkpoint::deserialize(cpe.payload);
+      if (!cp || cp->seq != vc->last_stable || cp->sender >= config_.n) {
+        continue;
+      }
+      if (digest && cp->state_digest != *digest) continue;
+      if (!net::verify_envelope(cpe, *verifier_,
+                                principal::pbft_replica(cp->sender))) {
+        continue;
+      }
+      digest = cp->state_digest;
+      distinct[cp->sender] = true;
+    }
+    if (distinct.size() < config_.quorum()) return false;
+  }
+  for (const auto& proof : vc->prepared) {
+    SeqNum seq{};
+    View view{};
+    Digest digest;
+    Bytes batch;
+    if (!validate_prepared_proof(proof, seq, view, digest, batch)) {
+      return false;
+    }
+    if (seq <= vc->last_stable ||
+        seq > vc->last_stable + config_.watermark_window) {
+      return false;
+    }
+  }
+  out_vc = std::move(*vc);
+  return true;
+}
+
+void Replica::on_view_change(const net::Envelope& env, Micros now, Out& out) {
+  ViewChange vc;
+  if (!validate_view_change(env, vc)) return;
+  if (vc.new_view <= view_) return;
+  view_changes_[vc.new_view][vc.sender] = env;
+
+  // Liveness rule: if f+1 replicas are already ahead, join the smallest
+  // such view even without a local timeout.
+  if (!in_view_change_ || vc.new_view > pending_view_) {
+    std::map<ReplicaId, View> ahead;
+    for (const auto& [target, senders] : view_changes_) {
+      if (target <= view_) continue;
+      for (const auto& [sender, e] : senders) {
+        const auto it = ahead.find(sender);
+        if (it == ahead.end() || target < it->second) {
+          ahead[sender] = target;
+        }
+      }
+    }
+    if (ahead.size() >= config_.f + 1) {
+      View smallest = 0;
+      for (const auto& [sender, target] : ahead) {
+        if (smallest == 0 || target < smallest) smallest = target;
+      }
+      if (!in_view_change_ || smallest > pending_view_) {
+        const View base = in_view_change_ ? pending_view_ : view_;
+        if (smallest > base) start_view_change(smallest, now, out);
+      }
+    }
+  }
+  maybe_send_new_view(vc.new_view, now, out);
+}
+
+std::optional<Replica::NewViewPlan> Replica::compute_new_view_plan(
+    const std::vector<net::Envelope>& view_change_envs) const {
+  NewViewPlan plan;
+  struct Best {
+    View view;
+    Digest digest;
+    Bytes batch;
+  };
+  std::map<SeqNum, Best> best;
+  for (const auto& env : view_change_envs) {
+    auto vc = ViewChange::deserialize(env.payload);
+    if (!vc) return std::nullopt;
+    plan.min_s = std::max(plan.min_s, vc->last_stable);
+    for (const auto& proof : vc->prepared) {
+      auto pp = PrePrepare::deserialize(proof.pre_prepare.payload);
+      if (!pp) return std::nullopt;
+      plan.max_s = std::max(plan.max_s, pp->seq);
+      const auto it = best.find(pp->seq);
+      if (it == best.end() || pp->view > it->second.view) {
+        best[pp->seq] = Best{pp->view, pp->batch_digest, pp->batch};
+      }
+    }
+  }
+  if (plan.max_s < plan.min_s) plan.max_s = plan.min_s;
+  const Bytes null_batch = RequestBatch{}.serialize();
+  const Digest null_digest = crypto::sha256(null_batch);
+  for (SeqNum seq = plan.min_s + 1; seq <= plan.max_s; ++seq) {
+    const auto it = best.find(seq);
+    if (it != best.end()) {
+      plan.proposals[seq] = {it->second.digest, it->second.batch};
+    } else {
+      plan.proposals[seq] = {null_digest, null_batch};
+    }
+  }
+  return plan;
+}
+
+void Replica::maybe_send_new_view(View target, Micros now, Out& out) {
+  if (config_.primary(target) != id_ || new_view_sent_[target]) return;
+  const auto it = view_changes_.find(target);
+  if (it == view_changes_.end() || it->second.size() < config_.quorum()) {
+    return;
+  }
+  std::vector<net::Envelope> vc_envs;
+  for (const auto& [sender, env] : it->second) {
+    vc_envs.push_back(env);
+    if (vc_envs.size() >= config_.quorum()) break;
+  }
+  auto plan = compute_new_view_plan(vc_envs);
+  if (!plan) return;
+  new_view_sent_[target] = true;
+
+  NewView nv;
+  nv.new_view = target;
+  nv.view_changes = vc_envs;
+  for (const auto& [seq, proposal] : plan->proposals) {
+    PrePrepare pp;
+    pp.view = target;
+    pp.seq = seq;
+    pp.batch_digest = proposal.first;
+    pp.batch = proposal.second;
+    pp.sender = id_;
+    nv.pre_prepares.push_back(
+        make_signed(MsgType::PrePrepare, pp.serialize(), 0));
+  }
+  nv.sender = id_;
+  broadcast(MsgType::NewView, nv.serialize(), out);
+  logger().info() << "r" << id_ << " sends NewView " << target;
+  enter_view(target, nv.pre_prepares, plan->min_s, now, out);
+}
+
+void Replica::on_new_view(const net::Envelope& env, Micros now, Out& out) {
+  auto nv = NewView::deserialize(env.payload);
+  if (!nv) return;
+  if (nv->new_view <= view_ || nv->sender != config_.primary(nv->new_view)) {
+    return;
+  }
+  if (!net::verify_envelope(env, *verifier_,
+                            principal::pbft_replica(nv->sender))) {
+    return;
+  }
+  // Validate the 2f+1 view-change certificate.
+  std::map<ReplicaId, bool> distinct;
+  for (const auto& vce : nv->view_changes) {
+    ViewChange vc;
+    if (!validate_view_change(vce, vc)) return;
+    if (vc.new_view != nv->new_view) return;
+    distinct[vc.sender] = true;
+  }
+  if (distinct.size() < config_.quorum()) return;
+
+  // Recompute the new-view proposals and insist on an exact match.
+  auto plan = compute_new_view_plan(nv->view_changes);
+  if (!plan) return;
+  if (nv->pre_prepares.size() != plan->proposals.size()) return;
+  for (const auto& ppe : nv->pre_prepares) {
+    auto pp = PrePrepare::deserialize(ppe.payload);
+    if (!pp || pp->view != nv->new_view || pp->sender != nv->sender) return;
+    if (!net::verify_envelope(ppe, *verifier_,
+                              principal::pbft_replica(pp->sender))) {
+      return;
+    }
+    const auto it = plan->proposals.find(pp->seq);
+    if (it == plan->proposals.end() || it->second.first != pp->batch_digest) {
+      return;
+    }
+    if (crypto::sha256(pp->batch) != pp->batch_digest) return;
+  }
+
+  // Adopt the highest stable checkpoint proven inside the view changes.
+  if (plan->min_s > last_stable_) {
+    for (const auto& vce : nv->view_changes) {
+      auto vc = ViewChange::deserialize(vce.payload);
+      if (vc && vc->last_stable == plan->min_s) {
+        make_stable(plan->min_s, vc->checkpoint_proof, now, out);
+        break;
+      }
+    }
+  }
+  enter_view(nv->new_view, nv->pre_prepares, plan->min_s, now, out);
+}
+
+void Replica::enter_view(View v,
+                         const std::vector<net::Envelope>& new_pre_prepares,
+                         SeqNum min_s, Micros now, Out& out) {
+  view_ = v;
+  in_view_change_ = false;
+  pending_view_ = v;
+  view_change_timer_ = 0;
+  request_timer_ = 0;
+  update_request_timer(now);
+  log_.clear();
+  view_changes_.erase(view_changes_.begin(),
+                      view_changes_.upper_bound(v));
+
+  SeqNum max_seq = std::max(min_s, last_stable_);
+  for (const auto& ppe : new_pre_prepares) {
+    auto pp = PrePrepare::deserialize(ppe.payload);
+    if (!pp) continue;
+    max_seq = std::max(max_seq, pp->seq);
+    if (pp->seq <= last_stable_) continue;
+
+    Slot& s = slot(pp->seq);
+    s.pre_prepare = *pp;
+    s.pre_prepare_env = ppe;
+    if (!is_primary()) {
+      Prepare prep;
+      prep.view = v;
+      prep.seq = pp->seq;
+      prep.batch_digest = pp->batch_digest;
+      prep.sender = id_;
+      net::Envelope my_prepare =
+          make_signed(MsgType::Prepare, prep.serialize(), 0);
+      s.prepares[id_] = {prep.batch_digest, my_prepare};
+      broadcast(MsgType::Prepare, prep.serialize(), out);
+    }
+    check_prepared(pp->seq, now, out);
+  }
+  next_seq_ = max_seq;
+  logger().info() << "r" << id_ << " entered view " << v << " (min_s=" << min_s
+                  << ", next_seq=" << next_seq_ << ")";
+
+  // Re-propose buffered client requests in the new view.
+  if (is_primary() && !pending_requests_.empty()) {
+    cut_batch(now, out);
+  }
+}
+
+}  // namespace sbft::pbft

@@ -1,0 +1,185 @@
+// PBFT replica engine (the paper's baseline system).
+//
+// Sans-I/O design: the engine consumes envelopes and timer ticks and returns
+// envelopes to transmit. It never touches sockets, threads or clocks, so the
+// identical engine runs under the deterministic simulator (correctness
+// tests), the virtual-time performance model (benchmarks) and the threaded
+// runtime (examples).
+//
+// Implements the complete protocol: request batching, the three-phase
+// normal case, reply caching / at-most-once execution, periodic
+// checkpointing with garbage collection, view change + new view, and
+// checkpoint-proof-validated state transfer for lagging replicas.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/types.hpp"
+#include "crypto/keyring.hpp"
+#include "net/message.hpp"
+#include "pbft/client_directory.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+
+namespace sbft::pbft {
+
+class Replica {
+ public:
+  Replica(Config config, ReplicaId id,
+          std::shared_ptr<const crypto::Signer> signer,
+          std::shared_ptr<const crypto::Verifier> verifier,
+          ClientDirectory clients, apps::AppFactory app_factory);
+
+  /// Processes one incoming envelope; returns envelopes to transmit.
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now);
+
+  /// Fires any expired timers (batch cut, view change).
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now);
+
+  /// Earliest pending timer deadline, if any.
+  [[nodiscard]] std::optional<Micros> next_deadline() const;
+
+  // ---- introspection (tests, benchmarks, safety checkers) ----
+  [[nodiscard]] ReplicaId id() const noexcept { return id_; }
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] bool in_view_change() const noexcept { return in_view_change_; }
+  [[nodiscard]] SeqNum last_executed() const noexcept { return last_executed_; }
+  [[nodiscard]] SeqNum last_stable() const noexcept { return last_stable_; }
+  [[nodiscard]] const apps::Application& app() const noexcept { return *app_; }
+  [[nodiscard]] std::uint64_t executed_requests() const noexcept {
+    return executed_requests_;
+  }
+  /// Batch digest executed at `seq` (zero digest if not executed) — the
+  /// cross-replica agreement checker compares these.
+  [[nodiscard]] Digest executed_digest(SeqNum seq) const;
+  [[nodiscard]] const std::map<SeqNum, Digest>& execution_history()
+      const noexcept {
+    return executed_digests_;
+  }
+
+ private:
+  struct Slot {
+    std::optional<PrePrepare> pre_prepare;
+    net::Envelope pre_prepare_env;
+    // Votes keyed by sender, with the digest each vote is for.
+    std::map<ReplicaId, std::pair<Digest, net::Envelope>> prepares;
+    std::map<ReplicaId, std::pair<Digest, net::Envelope>> commits;
+    bool prepared{false};
+    bool committed{false};
+  };
+
+  struct ClientRecord {
+    Timestamp last_ts{0};
+    Bytes last_result;
+    View last_view{0};
+    bool has_reply{false};
+  };
+
+  using Out = std::vector<net::Envelope>;
+
+  // -- event handlers --
+  void on_request(const net::Envelope& env, Micros now, Out& out);
+  void on_pre_prepare(const net::Envelope& env, Micros now, Out& out);
+  void on_prepare(const net::Envelope& env, Micros now, Out& out);
+  void on_commit(const net::Envelope& env, Micros now, Out& out);
+  void on_checkpoint(const net::Envelope& env, Micros now, Out& out);
+  void on_view_change(const net::Envelope& env, Micros now, Out& out);
+  void on_new_view(const net::Envelope& env, Micros now, Out& out);
+  void on_state_request(const net::Envelope& env, Out& out);
+  void on_state_response(const net::Envelope& env, Micros now, Out& out);
+
+  // -- normal operation helpers --
+  void cut_batch(Micros now, Out& out);
+  void check_prepared(SeqNum seq, Micros now, Out& out);
+  void check_committed(SeqNum seq, Micros now, Out& out);
+  void try_execute(Micros now, Out& out);
+  void execute_batch(SeqNum seq, const RequestBatch& batch, Micros now,
+                     Out& out);
+  void maybe_checkpoint(SeqNum seq, Micros now, Out& out);
+  void process_own_checkpoint(SeqNum seq, const net::Envelope& env, Micros now,
+                              Out& out);
+  void make_stable(SeqNum seq, std::vector<net::Envelope> proof, Micros now,
+                   Out& out);
+
+  // -- view change helpers --
+  void start_view_change(View target, Micros now, Out& out);
+  void maybe_send_new_view(View target, Micros now, Out& out);
+  void enter_view(View v, const std::vector<net::Envelope>& new_pre_prepares,
+                  SeqNum min_s, Micros now, Out& out);
+  [[nodiscard]] bool validate_view_change(const net::Envelope& env,
+                                          ViewChange& out_vc) const;
+  [[nodiscard]] bool validate_prepared_proof(const PreparedProof& proof,
+                                             SeqNum& seq, View& view,
+                                             Digest& digest,
+                                             Bytes& batch) const;
+
+  struct NewViewPlan {
+    SeqNum min_s{0};
+    SeqNum max_s{0};
+    // seq -> (digest, batch bytes) to re-propose.
+    std::map<SeqNum, std::pair<Digest, Bytes>> proposals;
+  };
+  [[nodiscard]] std::optional<NewViewPlan> compute_new_view_plan(
+      const std::vector<net::Envelope>& view_change_envs) const;
+
+  // -- state snapshot (app + client table, checkpointed together) --
+  [[nodiscard]] Bytes protocol_snapshot() const;
+  [[nodiscard]] bool restore_protocol_snapshot(ByteView data);
+  [[nodiscard]] Digest snapshot_digest(ByteView snapshot) const;
+
+  // -- plumbing --
+  [[nodiscard]] net::Envelope make_signed(MsgType type, ByteView payload,
+                                          principal::Id dst) const;
+  void broadcast(MsgType type, ByteView payload, Out& out) const;
+  [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
+  [[nodiscard]] bool is_primary() const noexcept {
+    return config_.primary(view_) == id_;
+  }
+  [[nodiscard]] Slot& slot(SeqNum seq) { return log_[seq]; }
+  void update_request_timer(Micros now);
+
+  Config config_;
+  ReplicaId id_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  std::shared_ptr<const crypto::Verifier> verifier_;
+  ClientDirectory clients_;
+  std::unique_ptr<apps::Application> app_;
+
+  View view_{0};
+  SeqNum next_seq_{0};      // last assigned (primary)
+  SeqNum last_executed_{0};
+  SeqNum last_stable_{0};
+  std::map<SeqNum, Slot> log_;
+
+  // Checkpoints: seq -> digest -> (sender -> envelope).
+  std::map<SeqNum, std::map<Digest, std::map<ReplicaId, net::Envelope>>>
+      checkpoints_;
+  std::map<SeqNum, Bytes> snapshots_;  // own snapshots (pending + stable)
+  std::vector<net::Envelope> stable_proof_;
+
+  std::unordered_map<ClientId, ClientRecord> client_records_;
+  std::map<std::pair<ClientId, Timestamp>, Request> pending_requests_;
+  Micros batch_deadline_{0};       // 0 = no batch pending
+  Micros request_timer_{0};        // 0 = not armed
+  Micros view_change_timer_{0};    // 0 = not armed
+
+  bool in_view_change_{false};
+  View pending_view_{0};
+  // view -> sender -> validated ViewChange envelope.
+  std::map<View, std::map<ReplicaId, net::Envelope>> view_changes_;
+  std::map<View, bool> new_view_sent_;
+
+  bool awaiting_state_{false};
+  SeqNum awaited_state_seq_{0};
+
+  std::map<SeqNum, Digest> executed_digests_;
+  std::uint64_t executed_requests_{0};
+};
+
+}  // namespace sbft::pbft

@@ -1,0 +1,27 @@
+// Actor: anything that consumes envelopes and emits envelopes.
+//
+// Replicas, compartment brokers, clients and byzantine attackers all
+// implement this interface so the simulation harness can host any mix of
+// honest and adversarial participants.
+#pragma once
+
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/message.hpp"
+
+namespace sbft::runtime {
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Processes one delivered envelope; returns envelopes to transmit.
+  [[nodiscard]] virtual std::vector<net::Envelope> handle(
+      const net::Envelope& env, Micros now) = 0;
+
+  /// Periodic timer; returns envelopes to transmit.
+  [[nodiscard]] virtual std::vector<net::Envelope> tick(Micros now) = 0;
+};
+
+}  // namespace sbft::runtime

@@ -1,0 +1,340 @@
+#include "runtime/bench_harness.hpp"
+
+#include <cstdio>
+
+#include "apps/kv_store.hpp"
+#include "apps/ledger.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sbft::runtime {
+
+const char* to_string(System s) noexcept {
+  switch (s) {
+    case System::Pbft:
+      return "PBFT";
+    case System::Splitbft:
+      return "SplitBFT";
+    case System::SplitbftSim:
+      return "SplitBFT-Simulation";
+    case System::SplitbftSingle:
+      return "SplitBFT-SingleThread";
+  }
+  return "?";
+}
+
+const char* to_string(Workload w) noexcept {
+  switch (w) {
+    case Workload::KvStore:
+      return "KVS";
+    case Workload::Blockchain:
+      return "Blockchain";
+  }
+  return "?";
+}
+
+namespace {
+
+/// 10-byte operation matching the paper's payload size.
+[[nodiscard]] Bytes bench_operation(Workload workload, ClientId client) {
+  if (workload == Workload::KvStore) {
+    Bytes key;
+    for (int i = 0; i < 4; ++i) {
+      key.push_back(static_cast<std::uint8_t>(client >> (8 * i)));
+    }
+    return apps::kv::encode_put(key, to_bytes("0123456789"));
+  }
+  Bytes tx = to_bytes("tx");
+  for (int i = 0; i < 8; ++i) {
+    tx.push_back(static_cast<std::uint8_t>(client >> (8 * (i % 4))));
+  }
+  return tx;
+}
+
+[[nodiscard]] pbft::Config bench_protocol_config(bool batched) {
+  pbft::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.batch_max = batched ? 200 : 1;
+  config.batch_timeout_us = 10'000;
+  config.checkpoint_interval = batched ? 50 : 500;
+  config.watermark_window = batched ? 400 : 4000;
+  config.request_timeout_us = 2'000'000;  // saturation must not trigger VCs
+  return config;
+}
+
+class PbftLoadClient final : public Actor {
+ public:
+  PbftLoadClient(SimHarness& harness, pbft::Config config, ClientId id,
+                 const pbft::ClientDirectory& directory, Bytes operation,
+                 LatencyRecorder& recorder)
+      : client_(config, id, directory, /*retry=*/4'000'000),
+        operation_(std::move(operation)),
+        driver_(harness,
+                [this](Micros now) { return client_.submit(operation_, now); },
+                recorder) {}
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override {
+    if (client_.on_reply(env)) driver_.completed(now);
+    return {};
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
+    return client_.tick(now);
+  }
+  [[nodiscard]] ClosedLoopDriver& driver() noexcept { return driver_; }
+
+ private:
+  pbft::Client client_;
+  Bytes operation_;
+  ClosedLoopDriver driver_;
+};
+
+class SplitLoadClient final : public Actor {
+ public:
+  SplitLoadClient(SimHarness& harness, pbft::Config config, ClientId id,
+                  const pbft::ClientDirectory& directory,
+                  splitbft::SplitClient::TrustAnchors anchors,
+                  std::uint64_t seed, Bytes operation,
+                  LatencyRecorder& recorder)
+      : client_(config, id, directory, anchors, seed, /*retry=*/4'000'000),
+        operation_(std::move(operation)),
+        driver_(harness,
+                [this](Micros now) { return client_.submit(operation_, now); },
+                recorder) {}
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override {
+    if (env.type == pbft::tag(pbft::MsgType::Reply)) {
+      if (client_.on_reply(env)) driver_.completed(now);
+      return {};
+    }
+    return client_.on_message(env, now);
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
+    return client_.tick(now);
+  }
+  [[nodiscard]] splitbft::SplitClient& client() noexcept { return client_; }
+  [[nodiscard]] ClosedLoopDriver& driver() noexcept { return driver_; }
+
+ private:
+  splitbft::SplitClient client_;
+  Bytes operation_;
+  ClosedLoopDriver driver_;
+};
+
+[[nodiscard]] crypto::Key32 bench_session_key(std::uint64_t seed,
+                                              ClientId client) {
+  Bytes context(4);
+  for (int i = 0; i < 4; ++i) {
+    context[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(client >> (8 * i));
+  }
+  Bytes master(8);
+  for (int i = 0; i < 8; ++i) {
+    master[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  return crypto::derive_key(master, "bench-session", context);
+}
+
+[[nodiscard]] BenchResult run_pbft(const BenchPoint& point) {
+  PbftClusterOptions options;
+  options.config = bench_protocol_config(point.batched);
+  options.seed = point.seed;
+  options.scheme = crypto::Scheme::HmacShared;
+  options.link_params.min_delay_us = 60;
+  options.link_params.max_delay_us = 140;
+
+  apps::AppFactory app_factory;
+  if (point.workload == Workload::KvStore) {
+    app_factory = [] { return std::make_unique<apps::KvStore>(); };
+  } else {
+    app_factory = [] { return std::make_unique<apps::Ledger>(5); };
+  }
+  PbftCluster cluster(options, app_factory);
+
+  // Interpose the performance model on every replica.
+  std::vector<std::shared_ptr<PbftPerfActor>> perf;
+  for (ReplicaId r = 0; r < options.config.n; ++r) {
+    auto actor = std::make_shared<PbftPerfActor>(
+        cluster.harness(), cluster.replica_actor(r), point.profile);
+    if (point.workload == Workload::Blockchain) {
+      pbft::Replica* replica = &cluster.replica(r);
+      actor->set_block_counter([replica] {
+        return dynamic_cast<const apps::Ledger&>(replica->app()).height();
+      });
+    }
+    cluster.harness().replace_actor(principal::pbft_replica(r), actor);
+    perf.push_back(std::move(actor));
+  }
+
+  const std::uint32_t total_clients = point.clients * point.outstanding;
+  LatencyRecorder recorder;
+  std::vector<std::shared_ptr<PbftLoadClient>> clients;
+  for (std::uint32_t i = 0; i < total_clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    auto client = std::make_shared<PbftLoadClient>(
+        cluster.harness(), options.config, id, cluster.directory(),
+        bench_operation(point.workload, id), recorder);
+    cluster.harness().add_actor(principal::client(id), client,
+                                /*tick_interval_us=*/500'000);
+    clients.push_back(std::move(client));
+  }
+
+  // Staggered starts avoid lock-step batches.
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto client = clients[i];
+    cluster.harness().scheduler().at(
+        static_cast<Micros>(i * 13),
+        [client, &cluster] { client->driver().start(cluster.harness().now()); });
+  }
+
+  cluster.harness().run_for(point.warmup_us);
+  for (auto& client : clients) client->driver().set_measuring(true);
+  cluster.harness().run_for(point.measure_us);
+
+  BenchResult result;
+  for (auto& client : clients) {
+    client->driver().set_measuring(false);
+    result.completed_ops += client->driver().completed_ops();
+  }
+  result.ops_per_sec = static_cast<double>(result.completed_ops) /
+                       (static_cast<double>(point.measure_us) / 1e6);
+  result.latency = recorder.summarize();
+  result.mean_latency_ms = result.latency.mean_us / 1000.0;
+  return result;
+}
+
+[[nodiscard]] BenchResult run_splitbft(const BenchPoint& point) {
+  SplitClusterOptions options;
+  options.config = bench_protocol_config(point.batched);
+  options.seed = point.seed;
+  options.scheme = crypto::Scheme::HmacShared;
+  options.link_params.min_delay_us = 60;
+  options.link_params.max_delay_us = 140;
+
+  CostProfile profile = point.profile;
+  if (point.system == System::SplitbftSim) {
+    profile.sgx = tee::CostModel::simulation();
+  }
+  options.cost_model = profile.sgx;
+
+  splitbft::ExecAppFactory app_factory;
+  if (point.workload == Workload::KvStore) {
+    app_factory =
+        splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); });
+  } else {
+    app_factory = [](splitbft::PersistHook persist) {
+      return std::make_unique<apps::Ledger>(
+          5, [persist](ByteView block) { persist(block); });
+    };
+  }
+  SplitbftCluster cluster(options, app_factory);
+
+  std::vector<std::shared_ptr<SplitPerfActor>> perf;
+  for (ReplicaId r = 0; r < options.config.n; ++r) {
+    auto actor = std::make_shared<SplitPerfActor>(
+        cluster.harness(), cluster.replica_actor(r), profile,
+        point.system == System::SplitbftSingle);
+    if (point.workload == Workload::Blockchain) {
+      splitbft::SplitbftReplica* replica = &cluster.replica(r);
+      actor->set_block_counter(
+          [replica] { return replica->block_store().size(); });
+    }
+    for (const principal::Id id : cluster.replica_principals(r)) {
+      cluster.harness().replace_actor(id, actor);
+    }
+    perf.push_back(std::move(actor));
+  }
+
+  const std::uint32_t total_clients = point.clients * point.outstanding;
+  LatencyRecorder recorder;
+  splitbft::SplitClient::TrustAnchors anchors;
+  anchors.attestation_root = cluster.attestation().root_public_key();
+
+  std::vector<std::shared_ptr<SplitLoadClient>> clients;
+  for (std::uint32_t i = 0; i < total_clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    auto client = std::make_shared<SplitLoadClient>(
+        cluster.harness(), options.config, id, cluster.directory(), anchors,
+        point.seed, bench_operation(point.workload, id), recorder);
+    // Sessions are provisioned out of band (the paper attests once before
+    // the measurements).
+    const crypto::Key32 session = bench_session_key(point.seed, id);
+    client->client().adopt_session(session);
+    for (ReplicaId r = 0; r < options.config.n; ++r) {
+      cluster.replica(r).exec_mutable().install_session(id, session);
+    }
+    cluster.harness().add_actor(principal::client(id), client,
+                                /*tick_interval_us=*/500'000);
+    clients.push_back(std::move(client));
+  }
+
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto client = clients[i];
+    cluster.harness().scheduler().at(
+        static_cast<Micros>(i * 13),
+        [client, &cluster] { client->driver().start(cluster.harness().now()); });
+  }
+
+  cluster.harness().run_for(point.warmup_us);
+  for (auto& client : clients) client->driver().set_measuring(true);
+  // Snapshot the leader's ecall accounting at measurement start (Fig. 4).
+  const EcallAccounting prep0 = perf[0]->ecall_stats(Compartment::Preparation);
+  const EcallAccounting conf0 = perf[0]->ecall_stats(Compartment::Confirmation);
+  const EcallAccounting exec0 = perf[0]->ecall_stats(Compartment::Execution);
+
+  cluster.harness().run_for(point.measure_us);
+
+  BenchResult result;
+  for (auto& client : clients) {
+    client->driver().set_measuring(false);
+    result.completed_ops += client->driver().completed_ops();
+  }
+  result.ops_per_sec = static_cast<double>(result.completed_ops) /
+                       (static_cast<double>(point.measure_us) / 1e6);
+  result.latency = recorder.summarize();
+  result.mean_latency_ms = result.latency.mean_us / 1000.0;
+
+  const EcallAccounting prep1 = perf[0]->ecall_stats(Compartment::Preparation);
+  const EcallAccounting conf1 = perf[0]->ecall_stats(Compartment::Confirmation);
+  const EcallAccounting exec1 = perf[0]->ecall_stats(Compartment::Execution);
+  const double ops = std::max<double>(1.0, static_cast<double>(
+      result.completed_ops));
+  const auto per_req = [ops](const EcallAccounting& a,
+                             const EcallAccounting& b) {
+    return static_cast<double>(b.total_us - a.total_us) / ops;
+  };
+  const auto per_call = [](const EcallAccounting& a,
+                           const EcallAccounting& b) {
+    const std::uint64_t calls = b.calls - a.calls;
+    return calls ? static_cast<double>(b.total_us - a.total_us) /
+                       static_cast<double>(calls)
+                 : 0.0;
+  };
+  result.leader_ecalls.prep_us_per_req = per_req(prep0, prep1);
+  result.leader_ecalls.conf_us_per_req = per_req(conf0, conf1);
+  result.leader_ecalls.exec_us_per_req = per_req(exec0, exec1);
+  result.leader_ecalls.prep_mean_ecall_us = per_call(prep0, prep1);
+  result.leader_ecalls.conf_mean_ecall_us = per_call(conf0, conf1);
+  result.leader_ecalls.exec_mean_ecall_us = per_call(exec0, exec1);
+  return result;
+}
+
+}  // namespace
+
+BenchResult run_bench_point(const BenchPoint& point) {
+  if (point.system == System::Pbft) return run_pbft(point);
+  return run_splitbft(point);
+}
+
+std::string bench_row(const BenchPoint& point, const BenchResult& result) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%-24s %-11s %8u %12.0f %11.2f %9.2f",
+                to_string(point.system), to_string(point.workload),
+                point.clients, result.ops_per_sec, result.mean_latency_ms,
+                static_cast<double>(result.latency.p99_us) / 1000.0);
+  return std::string(buf);
+}
+
+}  // namespace sbft::runtime

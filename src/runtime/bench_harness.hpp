@@ -1,0 +1,71 @@
+// Benchmark harness: assembles perf-modeled clusters with closed-loop
+// clients and measures a single load point in virtual time.
+//
+// One harness drives every evaluation experiment:
+//   Figures 3a/3b — throughput & latency vs client count, (un)batched,
+//                   KVS and blockchain, PBFT vs SplitBFT variants;
+//   Figure 4      — per-compartment ecall time on the leader;
+//   ablations     — transition-cost and batch-size sweeps.
+#pragma once
+
+#include <string>
+
+#include "runtime/perf_model.hpp"
+
+namespace sbft::runtime {
+
+enum class System {
+  Pbft,             // baseline, 4-worker pool
+  Splitbft,         // SGX cost model, thread per enclave
+  SplitbftSim,      // SGX simulation mode (no crossing costs)
+  SplitbftSingle,   // one thread performs all ecalls
+};
+
+enum class Workload {
+  KvStore,     // PUT of a 10-byte value (paper's KVS experiment)
+  Blockchain,  // opaque 10-byte transactions, 5-tx blocks persisted
+};
+
+[[nodiscard]] const char* to_string(System s) noexcept;
+[[nodiscard]] const char* to_string(Workload w) noexcept;
+
+struct BenchPoint {
+  System system{System::Splitbft};
+  Workload workload{Workload::KvStore};
+  std::uint32_t clients{40};
+  /// Outstanding requests per client (paper: 40 in the batched runs);
+  /// modeled as `clients * outstanding` independent closed-loop clients.
+  std::uint32_t outstanding{1};
+  bool batched{false};  // batch_max=200 + 10ms timer vs unbatched
+  CostProfile profile{};
+  Micros warmup_us{300'000};
+  Micros measure_us{1'000'000};
+  std::uint64_t seed{7};
+};
+
+/// Per-request time spent inside each compartment on the leader (Figure 4).
+struct EcallBreakdown {
+  double prep_us_per_req{0};
+  double conf_us_per_req{0};
+  double exec_us_per_req{0};
+  double prep_mean_ecall_us{0};
+  double conf_mean_ecall_us{0};
+  double exec_mean_ecall_us{0};
+};
+
+struct BenchResult {
+  double ops_per_sec{0};
+  double mean_latency_ms{0};
+  LatencyRecorder::Summary latency;
+  std::uint64_t completed_ops{0};
+  EcallBreakdown leader_ecalls;  // SplitBFT systems only
+};
+
+/// Runs one load point to completion in virtual time.
+[[nodiscard]] BenchResult run_bench_point(const BenchPoint& point);
+
+/// Formats a result row for the benchmark tables.
+[[nodiscard]] std::string bench_row(const BenchPoint& point,
+                                    const BenchResult& result);
+
+}  // namespace sbft::runtime

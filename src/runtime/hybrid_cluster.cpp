@@ -1,0 +1,67 @@
+#include "runtime/hybrid_cluster.hpp"
+
+namespace sbft::runtime {
+
+HybridCluster::HybridCluster(HybridClusterOptions options,
+                             apps::AppFactory app_factory)
+    : options_(options),
+      config_(hybrid::hybrid_config(options.f)),
+      harness_(options.seed, options.link_params),
+      keyring_(options.scheme, options.seed ^ 0x6879627269ULL),
+      directory_(options.client_master_secret) {
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    keyring_.add_principal(principal::hybrid_replica(r));
+  }
+  const auto verifier = keyring_.verifier();
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    counter_services_.push_back(
+        std::make_unique<tee::MonotonicCounterService>());
+    auto usig = std::make_shared<hybrid::Usig>(
+        keyring_.signer(principal::hybrid_replica(r)), *counter_services_[r],
+        /*counter_id=*/r);
+    auto replica = std::make_unique<hybrid::HybridReplica>(
+        config_, r, std::move(usig), verifier, directory_, app_factory);
+    auto actor = std::make_shared<HybridReplicaActor>(std::move(replica));
+    replicas_.push_back(actor);
+    harness_.add_actor(principal::hybrid_replica(r), actor);
+  }
+}
+
+void HybridCluster::add_client(ClientId id) {
+  auto actor = std::make_shared<HybridClientActor>(config_, id, directory_);
+  clients_[id] = actor;
+  harness_.add_actor(principal::client(id), actor);
+}
+
+std::optional<Bytes> HybridCluster::execute(ClientId id, Bytes operation,
+                                            Micros timeout_us) {
+  auto& actor = *clients_.at(id);
+  const std::size_t before = actor.results().size();
+  harness_.inject(actor.client().submit(std::move(operation), harness_.now()));
+  const bool ok = harness_.run_until(
+      [&] { return actor.results().size() > before; },
+      harness_.now() + timeout_us);
+  if (!ok) return std::nullopt;
+  return actor.results().back();
+}
+
+void HybridCluster::crash_replica(ReplicaId r) {
+  harness_.network().register_endpoint(principal::hybrid_replica(r),
+                                       [](net::Envelope) {});
+}
+
+bool HybridCluster::check_agreement() const {
+  for (std::size_t a = 0; a < replicas_.size(); ++a) {
+    for (std::size_t b = a + 1; b < replicas_.size(); ++b) {
+      const auto& ha = replicas_[a]->replica().execution_history();
+      const auto& hb = replicas_[b]->replica().execution_history();
+      for (const auto& [counter, digest] : ha) {
+        const auto it = hb.find(counter);
+        if (it != hb.end() && it->second != digest) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sbft::runtime

@@ -1,0 +1,114 @@
+// Test/bench helper: a MinBFT-style hybrid cluster (2f+1 replicas with
+// USIG enclaves) on the simulation harness.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "crypto/keyring.hpp"
+#include "hybrid/minbft.hpp"
+#include "pbft/client.hpp"
+#include "runtime/sim_harness.hpp"
+#include "tee/monotonic_counter.hpp"
+
+namespace sbft::runtime {
+
+class HybridReplicaActor final : public Actor {
+ public:
+  explicit HybridReplicaActor(std::unique_ptr<hybrid::HybridReplica> replica)
+      : replica_(std::move(replica)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override {
+    return replica_->handle(env, now);
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
+    return replica_->tick(now);
+  }
+  [[nodiscard]] hybrid::HybridReplica& replica() noexcept { return *replica_; }
+
+ private:
+  std::unique_ptr<hybrid::HybridReplica> replica_;
+};
+
+class HybridClientActor final : public Actor {
+ public:
+  HybridClientActor(pbft::Config config, ClientId id,
+                    const pbft::ClientDirectory& directory)
+      : client_(config, id, directory, 1'000'000,
+                &principal::hybrid_replica) {}
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros) override {
+    if (auto result = client_.on_reply(env)) {
+      results_.push_back(std::move(*result));
+    }
+    return {};
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
+    return client_.tick(now);
+  }
+  [[nodiscard]] pbft::Client& client() noexcept { return client_; }
+  [[nodiscard]] const std::vector<Bytes>& results() const noexcept {
+    return results_;
+  }
+
+ private:
+  pbft::Client client_;
+  std::vector<Bytes> results_;
+};
+
+struct HybridClusterOptions {
+  std::uint32_t f{1};  // n = 2f+1
+  std::uint64_t seed{1};
+  crypto::Scheme scheme{crypto::Scheme::HmacShared};
+  sim::LinkParams link_params{};
+  std::uint64_t client_master_secret{0x5ec7e7};
+};
+
+class HybridCluster {
+ public:
+  HybridCluster(HybridClusterOptions options, apps::AppFactory app_factory);
+
+  [[nodiscard]] hybrid::HybridReplica& replica(ReplicaId r) {
+    return replicas_.at(r)->replica();
+  }
+  [[nodiscard]] HybridClientActor& client(ClientId c) { return *clients_.at(c); }
+  void add_client(ClientId id);
+
+  [[nodiscard]] std::optional<Bytes> execute(ClientId id, Bytes operation,
+                                             Micros timeout_us = 10'000'000);
+
+  void crash_replica(ReplicaId r);
+
+  /// Agreement over primary-counter execution histories.
+  [[nodiscard]] bool check_agreement() const;
+
+  [[nodiscard]] SimHarness& harness() noexcept { return harness_; }
+  [[nodiscard]] const pbft::Config& config() const noexcept { return config_; }
+  [[nodiscard]] const crypto::KeyRing& keyring() const noexcept {
+    return keyring_;
+  }
+  [[nodiscard]] const pbft::ClientDirectory& directory() const noexcept {
+    return directory_;
+  }
+  /// Per-replica trusted counter services (fault injection targets).
+  [[nodiscard]] tee::MonotonicCounterService& counters(ReplicaId r) {
+    return *counter_services_.at(r);
+  }
+
+ private:
+  HybridClusterOptions options_;
+  pbft::Config config_;
+  SimHarness harness_;
+  crypto::KeyRing keyring_;
+  pbft::ClientDirectory directory_;
+  std::vector<std::unique_ptr<tee::MonotonicCounterService>> counter_services_;
+  std::vector<std::shared_ptr<HybridReplicaActor>> replicas_;
+  std::unordered_map<ClientId, std::shared_ptr<HybridClientActor>> clients_;
+};
+
+}  // namespace sbft::runtime

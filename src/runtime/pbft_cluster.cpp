@@ -1,0 +1,88 @@
+#include "runtime/pbft_cluster.hpp"
+
+namespace sbft::runtime {
+
+namespace {
+
+/// Swallows every message (crashed replica).
+class SinkActor final : public Actor {
+ public:
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope&,
+                                                  Micros) override {
+    return {};
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros) override { return {}; }
+};
+
+}  // namespace
+
+PbftCluster::PbftCluster(PbftClusterOptions options,
+                         apps::AppFactory app_factory)
+    : options_(options),
+      harness_(options.seed, options.link_params),
+      keyring_(options.scheme, options.seed ^ 0x6b657972696e67ULL),
+      directory_(options.client_master_secret) {
+  for (ReplicaId r = 0; r < options_.config.n; ++r) {
+    keyring_.add_principal(principal::pbft_replica(r));
+  }
+  const auto verifier = keyring_.verifier();
+  for (ReplicaId r = 0; r < options_.config.n; ++r) {
+    auto replica = std::make_unique<pbft::Replica>(
+        options_.config, r, keyring_.signer(principal::pbft_replica(r)),
+        verifier, directory_, app_factory);
+    auto actor = std::make_shared<PbftReplicaActor>(std::move(replica));
+    replicas_.push_back(actor);
+    harness_.add_actor(principal::pbft_replica(r), actor);
+  }
+}
+
+void PbftCluster::add_client(ClientId id) {
+  auto actor =
+      std::make_shared<PbftClientActor>(options_.config, id, directory_);
+  clients_[id] = actor;
+  harness_.add_actor(principal::client(id), actor);
+}
+
+std::optional<Bytes> PbftCluster::execute(ClientId id, Bytes operation,
+                                          Micros timeout_us) {
+  auto& actor = *clients_.at(id);
+  const std::size_t before = actor.results().size();
+  harness_.inject(actor.client().submit(std::move(operation), harness_.now()));
+  const bool ok = harness_.run_until(
+      [&] { return actor.results().size() > before; },
+      harness_.now() + timeout_us);
+  if (!ok) return std::nullopt;
+  return actor.results().back();
+}
+
+void PbftCluster::crash_replica(ReplicaId r) {
+  harness_.network().register_endpoint(
+      principal::pbft_replica(r),
+      [](net::Envelope) { /* crashed: drop everything */ });
+}
+
+void PbftCluster::restore_replica(ReplicaId r) {
+  auto actor = replicas_.at(r);
+  harness_.network().register_endpoint(
+      principal::pbft_replica(r), [this, actor](net::Envelope env) {
+        for (auto& out : actor->handle(env, harness_.now())) {
+          harness_.network().send(std::move(out));
+        }
+      });
+}
+
+bool PbftCluster::check_agreement() const {
+  for (std::size_t a = 0; a < replicas_.size(); ++a) {
+    for (std::size_t b = a + 1; b < replicas_.size(); ++b) {
+      const auto& ha = replicas_[a]->replica().execution_history();
+      const auto& hb = replicas_[b]->replica().execution_history();
+      for (const auto& [seq, digest] : ha) {
+        const auto it = hb.find(seq);
+        if (it != hb.end() && it->second != digest) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sbft::runtime

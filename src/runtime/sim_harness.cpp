@@ -1,0 +1,58 @@
+#include "runtime/sim_harness.hpp"
+
+namespace sbft::runtime {
+
+SimHarness::SimHarness(std::uint64_t seed, sim::LinkParams link_params)
+    : network_(scheduler_, Rng(seed), link_params) {}
+
+void SimHarness::dispatch(const std::vector<net::Envelope>& envs) {
+  for (const auto& env : envs) network_.send(env);
+}
+
+void SimHarness::add_actor(principal::Id id, std::shared_ptr<Actor> actor,
+                           Micros tick_interval_us) {
+  actors_[id] = actor;
+  network_.register_endpoint(id, [this, actor](net::Envelope env) {
+    dispatch(actor->handle(env, scheduler_.now()));
+  });
+  if (tick_interval_us > 0) schedule_tick(id, tick_interval_us);
+}
+
+void SimHarness::add_endpoint(principal::Id id, std::shared_ptr<Actor> actor) {
+  network_.register_endpoint(id, [this, actor](net::Envelope env) {
+    dispatch(actor->handle(env, scheduler_.now()));
+  });
+}
+
+void SimHarness::replace_actor(principal::Id id, std::shared_ptr<Actor> actor) {
+  actors_[id] = actor;  // tick loops look the actor up by id on each firing
+  add_endpoint(id, std::move(actor));
+}
+
+void SimHarness::schedule_tick(principal::Id id, Micros interval) {
+  scheduler_.after(interval, [this, id, interval] {
+    const auto it = actors_.find(id);
+    if (it == actors_.end()) return;
+    dispatch(it->second->tick(scheduler_.now()));
+    schedule_tick(id, interval);
+  });
+}
+
+void SimHarness::inject(const std::vector<net::Envelope>& envs) {
+  dispatch(envs);
+}
+
+void SimHarness::run_for(Micros duration) {
+  scheduler_.run_until(scheduler_.now() + duration);
+}
+
+bool SimHarness::run_until(const std::function<bool()>& done,
+                           Micros max_sim_time) {
+  while (!done()) {
+    if (scheduler_.now() > max_sim_time || scheduler_.empty()) return done();
+    (void)scheduler_.step();
+  }
+  return true;
+}
+
+}  // namespace sbft::runtime

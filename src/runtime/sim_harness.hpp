@@ -1,0 +1,57 @@
+// Deterministic simulation harness: actors + simulated network + timers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "runtime/actor.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sim_network.hpp"
+
+namespace sbft::runtime {
+
+class SimHarness {
+ public:
+  explicit SimHarness(std::uint64_t seed, sim::LinkParams link_params = {});
+
+  /// Registers an actor under a principal id; the harness delivers incoming
+  /// envelopes and fires tick() every `tick_interval_us` of simulated time.
+  void add_actor(principal::Id id, std::shared_ptr<Actor> actor,
+                 Micros tick_interval_us = 1'000);
+
+  /// Registers an additional delivery endpoint for an existing actor
+  /// (e.g. a SplitBFT broker answering for its three enclave principals).
+  /// No separate tick loop is created.
+  void add_endpoint(principal::Id id, std::shared_ptr<Actor> actor);
+
+  /// Replaces the actor behind `id` (and re-points its tick loop). Used by
+  /// fault-injection tests to interpose byzantine wrappers.
+  void replace_actor(principal::Id id, std::shared_ptr<Actor> actor);
+
+  /// Sends envelopes on behalf of an actor (e.g. a client kicking off an
+  /// operation from outside the event loop).
+  void inject(const std::vector<net::Envelope>& envs);
+
+  /// Runs simulated time forward by `duration`.
+  void run_for(Micros duration);
+
+  /// Steps until `done()` returns true or `max_sim_time` is reached.
+  /// Returns true iff the predicate fired.
+  bool run_until(const std::function<bool()>& done, Micros max_sim_time);
+
+  [[nodiscard]] sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  [[nodiscard]] sim::SimNetwork& network() noexcept { return network_; }
+  [[nodiscard]] Micros now() const noexcept { return scheduler_.now(); }
+
+ private:
+  void dispatch(const std::vector<net::Envelope>& envs);
+  void schedule_tick(principal::Id id, Micros interval);
+
+  sim::Scheduler scheduler_;
+  sim::SimNetwork network_;
+  std::unordered_map<principal::Id, std::shared_ptr<Actor>> actors_;
+};
+
+}  // namespace sbft::runtime

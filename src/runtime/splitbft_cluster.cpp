@@ -1,0 +1,132 @@
+#include "runtime/splitbft_cluster.hpp"
+
+#include "crypto/x25519.hpp"
+
+namespace sbft::runtime {
+
+SplitbftCluster::SplitbftCluster(SplitClusterOptions options,
+                                 splitbft::ExecAppFactory app_factory)
+    : options_(options),
+      harness_(options.seed, options.link_params),
+      keyring_(options.scheme, options.seed ^ 0x5b5f7b657972ULL),
+      directory_(options.client_master_secret),
+      attestation_(options.seed ^ 0xa77e57ULL),
+      sealing_(options.seed ^ 0x5ea1ULL) {
+  Rng rng(options.seed ^ 0x5b5f636c7573ULL);
+  crypto::Key32 exec_group_key;
+  for (auto& b : exec_group_key) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  for (ReplicaId r = 0; r < options_.config.n; ++r) {
+    for (const Compartment c :
+         {Compartment::Preparation, Compartment::Confirmation,
+          Compartment::Execution}) {
+      keyring_.add_principal(principal::enclave({r, c}));
+    }
+  }
+  splitbft::ReplicaOptions replica_options;
+  replica_options.config = options_.config;
+  replica_options.cost_model = options_.cost_model;
+  replica_options.charge_real_time = false;
+  replica_options.client_master_secret = options_.client_master_secret;
+
+  for (ReplicaId r = 0; r < options_.config.n; ++r) {
+    const crypto::Key32 dh_secret = crypto::x25519_keygen(rng);
+    const auto fault = options_.compartment_faults.find(r);
+    replica_options.decorate_logic =
+        fault != options_.compartment_faults.end()
+            ? fault->second(r, keyring_)
+            : splitbft::LogicDecorator{};
+    auto replica = std::make_shared<splitbft::SplitbftReplica>(
+        replica_options, r, keyring_, attestation_, sealing_, exec_group_key,
+        dh_secret, app_factory);
+    replicas_.push_back(replica);
+    harness_.add_actor(principal::splitbft_env(r), replica);
+    for (const principal::Id id : replica_principals(r)) {
+      if (id != principal::splitbft_env(r)) harness_.add_endpoint(id, replica);
+    }
+  }
+}
+
+std::vector<principal::Id> SplitbftCluster::replica_principals(
+    ReplicaId r) const {
+  return {
+      principal::splitbft_env(r),
+      principal::enclave({r, Compartment::Preparation}),
+      principal::enclave({r, Compartment::Confirmation}),
+      principal::enclave({r, Compartment::Execution}),
+  };
+}
+
+void SplitbftCluster::add_client(ClientId id) {
+  splitbft::SplitClient::TrustAnchors anchors;
+  anchors.attestation_root = attestation_.root_public_key();
+  auto actor = std::make_shared<SplitClientActor>(
+      options_.config, id, directory_, anchors, options_.seed);
+  clients_[id] = actor;
+  harness_.add_actor(principal::client(id), actor);
+}
+
+bool SplitbftCluster::setup_sessions(Micros timeout_us) {
+  for (auto& [id, actor] : clients_) {
+    harness_.inject(actor->client().begin_session(harness_.now()));
+  }
+  return harness_.run_until(
+      [&] {
+        for (const auto& [id, actor] : clients_) {
+          if (!actor->client().session_ready()) return false;
+        }
+        return true;
+      },
+      harness_.now() + timeout_us);
+}
+
+std::optional<Bytes> SplitbftCluster::execute(ClientId id, Bytes operation,
+                                              Micros timeout_us) {
+  auto& actor = *clients_.at(id);
+  const std::size_t before = actor.results().size();
+  harness_.inject(actor.client().submit(std::move(operation), harness_.now()));
+  const bool ok = harness_.run_until(
+      [&] { return actor.results().size() > before; },
+      harness_.now() + timeout_us);
+  if (!ok) return std::nullopt;
+  return actor.results().back();
+}
+
+void SplitbftCluster::crash_replica(ReplicaId r) {
+  for (const principal::Id id : replica_principals(r)) {
+    harness_.network().register_endpoint(id, [](net::Envelope) {});
+  }
+}
+
+void SplitbftCluster::restore_replica(ReplicaId r) {
+  auto replica = replicas_.at(r);
+  for (const principal::Id id : replica_principals(r)) {
+    harness_.add_endpoint(id, replica);
+  }
+}
+
+void SplitbftCluster::interpose_env(
+    ReplicaId r,
+    const std::function<std::shared_ptr<Actor>(std::shared_ptr<Actor>)>&
+        wrap) {
+  auto wrapper = wrap(replicas_.at(r));
+  for (const principal::Id id : replica_principals(r)) {
+    harness_.replace_actor(id, wrapper);
+  }
+}
+
+bool SplitbftCluster::check_agreement() const {
+  for (std::size_t a = 0; a < replicas_.size(); ++a) {
+    for (std::size_t b = a + 1; b < replicas_.size(); ++b) {
+      const auto& ha = replicas_[a]->exec().execution_history();
+      const auto& hb = replicas_[b]->exec().execution_history();
+      for (const auto& [seq, digest] : ha) {
+        const auto it = hb.find(seq);
+        if (it != hb.end() && it->second != digest) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sbft::runtime

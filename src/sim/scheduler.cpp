@@ -1,0 +1,38 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace sbft::sim {
+
+void Scheduler::at(Micros t, Action action) {
+  queue_.push(Event{t < now_ ? now_ : t, next_seq_++, std::move(action)});
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out before
+  // pop, so copy the metadata and steal the closure.
+  Event event = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = event.time;
+  event.action();
+  return true;
+}
+
+std::size_t Scheduler::run(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+std::size_t Scheduler::run_until(Micros deadline) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    (void)step();
+    ++executed;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return executed;
+}
+
+}  // namespace sbft::sim

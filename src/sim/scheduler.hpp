@@ -1,0 +1,62 @@
+// Deterministic discrete-event scheduler.
+//
+// All correctness tests run protocol clusters on this scheduler: given the
+// same seed, every message delivery, timer expiry and fault fires in the
+// same order, so failing schedules replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace sbft::sim {
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Schedules `action` at absolute time `t` (clamped to now).
+  void at(Micros t, Action action);
+
+  /// Schedules `action` `delay` microseconds from now.
+  void after(Micros delay, Action action) { at(now_ + delay, std::move(action)); }
+
+  [[nodiscard]] Micros now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Runs the next event; false if none pending.
+  bool step();
+
+  /// Runs events until the queue empties or `max_events` executed.
+  /// Returns the number of events run.
+  std::size_t run(std::size_t max_events = 10'000'000);
+
+  /// Runs events with time <= deadline.
+  std::size_t run_until(Micros deadline);
+
+ private:
+  struct Event {
+    Micros time;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    Action action;
+  };
+  struct Later {
+    [[nodiscard]] bool operator()(const Event& a, const Event& b) const {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Micros now_{0};
+  std::uint64_t next_seq_{0};
+};
+
+}  // namespace sbft::sim

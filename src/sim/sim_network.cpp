@@ -1,0 +1,95 @@
+#include "sim/sim_network.hpp"
+
+namespace sbft::sim {
+
+SimNetwork::SimNetwork(Scheduler& scheduler, Rng rng, LinkParams defaults)
+    : scheduler_(scheduler), rng_(std::move(rng)), defaults_(defaults) {}
+
+void SimNetwork::register_endpoint(principal::Id id, net::DeliveryFn handler) {
+  endpoints_[id] = std::move(handler);
+}
+
+void SimNetwork::set_link(principal::Id src, principal::Id dst,
+                          LinkParams params) {
+  links_[{src, dst}] = params;
+}
+
+void SimNetwork::set_partition(std::vector<std::set<principal::Id>> groups) {
+  partition_ = std::move(groups);
+}
+
+void SimNetwork::heal_partition() { partition_.clear(); }
+
+void SimNetwork::set_interceptor(Interceptor interceptor) {
+  interceptor_ = std::move(interceptor);
+}
+
+bool SimNetwork::crosses_partition(principal::Id a, principal::Id b) const {
+  if (partition_.empty()) return false;
+  int group_a = -1;
+  int group_b = -1;
+  for (std::size_t g = 0; g < partition_.size(); ++g) {
+    if (partition_[g].contains(a)) group_a = static_cast<int>(g);
+    if (partition_[g].contains(b)) group_b = static_cast<int>(g);
+  }
+  // Unlisted endpoints communicate freely.
+  if (group_a < 0 || group_b < 0) return false;
+  return group_a != group_b;
+}
+
+const LinkParams& SimNetwork::params_for(principal::Id src,
+                                         principal::Id dst) const {
+  const auto it = links_.find({src, dst});
+  return it == links_.end() ? defaults_ : it->second;
+}
+
+void SimNetwork::deliver_after(net::Envelope env, Micros delay) {
+  const auto it = endpoints_.find(env.dst);
+  if (it == endpoints_.end()) {
+    ++dropped_;
+    return;
+  }
+  net::DeliveryFn& handler = it->second;
+  scheduler_.after(delay, [this, handler, env = std::move(env)]() mutable {
+    ++delivered_;
+    handler(std::move(env));
+  });
+}
+
+void SimNetwork::send(net::Envelope env) {
+  if (interceptor_) {
+    if (auto plan = interceptor_(env)) {
+      if (plan->empty()) ++dropped_;
+      for (auto& [e, extra] : *plan) {
+        const LinkParams& p = params_for(e.src, e.dst);
+        const Micros jitter =
+            p.min_delay_us +
+            rng_.below(p.max_delay_us - p.min_delay_us + 1);
+        deliver_after(std::move(e), jitter + extra);
+      }
+      return;
+    }
+  }
+
+  if (crosses_partition(env.src, env.dst)) {
+    ++dropped_;
+    return;
+  }
+
+  const LinkParams& p = params_for(env.src, env.dst);
+  if (p.drop_prob > 0 && rng_.chance(p.drop_prob)) {
+    ++dropped_;
+    return;
+  }
+  const bool duplicate = p.duplicate_prob > 0 && rng_.chance(p.duplicate_prob);
+  const Micros jitter =
+      p.min_delay_us + rng_.below(p.max_delay_us - p.min_delay_us + 1);
+  if (duplicate) {
+    const Micros jitter2 =
+        p.min_delay_us + rng_.below(p.max_delay_us - p.min_delay_us + 1);
+    deliver_after(env, jitter2);
+  }
+  deliver_after(std::move(env), jitter);
+}
+
+}  // namespace sbft::sim

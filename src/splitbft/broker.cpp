@@ -1,0 +1,239 @@
+#include "splitbft/broker.hpp"
+
+#include <algorithm>
+
+namespace sbft::splitbft {
+
+Broker::Broker(pbft::Config config, ReplicaId self,
+               std::unique_ptr<tee::EnclaveHost> prep,
+               std::unique_ptr<tee::EnclaveHost> conf,
+               std::unique_ptr<tee::EnclaveHost> exec)
+    : config_(config),
+      self_(self),
+      prep_(std::move(prep)),
+      conf_(std::move(conf)),
+      exec_(std::move(exec)) {}
+
+tee::EnclaveHost& Broker::host(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::Preparation:
+      return *prep_;
+    case Compartment::Confirmation:
+      return *conf_;
+    case Compartment::Execution:
+      return *exec_;
+  }
+  return *prep_;
+}
+
+const tee::EnclaveHost& Broker::host(Compartment c) const noexcept {
+  return const_cast<Broker*>(this)->host(c);
+}
+
+bool Broker::is_local(principal::Id id,
+                      Compartment& out_compartment) const noexcept {
+  for (const Compartment c :
+       {Compartment::Preparation, Compartment::Confirmation,
+        Compartment::Execution}) {
+    if (id == principal::enclave({self_, c})) {
+      out_compartment = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Broker::deliver_to(Compartment c, const net::Envelope& env, Out& out) {
+  const Bytes result = host(c).ecall(
+      static_cast<std::uint32_t>(tee::EcallFn::DeliverMessage),
+      env.serialize());
+  auto outbox = decode_outbox(result);
+  if (!outbox) return;
+  for (auto& emitted : *outbox) {
+    if (emitted.type == pbft::tag(pbft::MsgType::NewView)) {
+      new_view_emitted_ = true;  // our Preparation enclave leads a new view
+    }
+    Compartment target{};
+    if (is_local(emitted.dst, target)) {
+      local_queue_.push_back(std::move(emitted));
+    } else {
+      // Replies pass the broker on their way out; clear suspicion timers
+      // (pure liveness bookkeeping on untrusted data).
+      if (emitted.type == pbft::tag(pbft::MsgType::Reply)) {
+        if (auto reply = pbft::Reply::deserialize(emitted.payload)) {
+          std::erase_if(outstanding_, [&reply](const auto& kv) {
+            return kv.first.first == reply->client &&
+                   kv.first.second <= reply->timestamp;
+          });
+        }
+      }
+      out.push_back(std::move(emitted));
+    }
+  }
+}
+
+void Broker::route(net::Envelope env, Out& out, Micros now) {
+  (void)now;
+  Compartment target{};
+  if (!is_local(env.dst, target)) {
+    out.push_back(std::move(env));  // pass-through (shouldn't happen)
+    return;
+  }
+
+  const auto type = static_cast<pbft::MsgType>(env.type);
+  if (type == pbft::MsgType::PrePrepare &&
+      target == Compartment::Preparation) {
+    // Duplicate into all three input logs (paper §3.2): full body for
+    // Preparation and Execution, header-only for Confirmation.
+    deliver_to(Compartment::Preparation, env, out);
+    net::Envelope stripped = env;
+    if (auto pp = SplitPrePrepare::deserialize(env.payload)) {
+      stripped.payload = pp->stripped().serialize();
+    }
+    stripped.dst = principal::enclave({self_, Compartment::Confirmation});
+    deliver_to(Compartment::Confirmation, stripped, out);
+    net::Envelope full = env;
+    full.dst = principal::enclave({self_, Compartment::Execution});
+    deliver_to(Compartment::Execution, full, out);
+    return;
+  }
+  if (type == pbft::MsgType::Checkpoint && target == Compartment::Execution) {
+    for (const Compartment c :
+         {Compartment::Preparation, Compartment::Confirmation,
+          Compartment::Execution}) {
+      net::Envelope copy = env;
+      copy.dst = principal::enclave({self_, c});
+      deliver_to(c, copy, out);
+    }
+    return;
+  }
+  if (type == pbft::MsgType::NewView && target == Compartment::Preparation) {
+    for (const Compartment c :
+         {Compartment::Preparation, Compartment::Confirmation,
+          Compartment::Execution}) {
+      net::Envelope copy = env;
+      copy.dst = principal::enclave({self_, c});
+      deliver_to(c, copy, out);
+    }
+    // A new view just started: hand any still-outstanding requests to the
+    // Preparation enclave (only the new primary's will act). Pure liveness.
+    requeue_outstanding(now, out);
+    return;
+  }
+  deliver_to(target, env, out);
+}
+
+void Broker::on_client_request(const net::Envelope& env, Micros now,
+                               Out& out) {
+  auto req = pbft::Request::deserialize(env.payload);
+  if (!req) return;
+  // Arm the suspicion timer — liveness only; the enclaves re-check
+  // authenticity themselves.
+  Outstanding tracked;
+  tracked.request = *req;
+  tracked.deadline = now + config_.request_timeout_us;
+  outstanding_.emplace(std::make_pair(req->client, req->timestamp),
+                       std::move(tracked));
+  pending_batch_[{req->client, req->timestamp}] = std::move(*req);
+  if (pending_batch_.size() >= config_.batch_max || config_.batch_max <= 1) {
+    cut_batch(now, out);
+  } else if (batch_deadline_ == 0) {
+    batch_deadline_ = now + config_.batch_timeout_us;
+  }
+}
+
+void Broker::cut_batch(Micros now, Out& out) {
+  (void)now;
+  batch_deadline_ = 0;
+  if (pending_batch_.empty()) return;
+  pbft::RequestBatch batch;
+  auto it = pending_batch_.begin();
+  while (it != pending_batch_.end() &&
+         batch.requests.size() < config_.batch_max) {
+    batch.requests.push_back(it->second);
+    it = pending_batch_.erase(it);
+  }
+  net::Envelope env;
+  env.src = 0;  // local, unauthenticated (the enclave re-checks everything)
+  env.dst = principal::enclave({self_, Compartment::Preparation});
+  env.type = tag(LocalMsg::Batch);
+  env.payload = batch.serialize();
+  deliver_to(Compartment::Preparation, env, out);
+
+  if (!pending_batch_.empty() && batch_deadline_ == 0) {
+    batch_deadline_ = now + config_.batch_timeout_us;
+  }
+}
+
+void Broker::requeue_outstanding(Micros now, Out& out) {
+  if (outstanding_.empty()) return;
+  for (const auto& [key, tracked] : outstanding_) {
+    if (!pending_batch_.contains(key)) {
+      pending_batch_[key] = tracked.request;
+    }
+  }
+  cut_batch(now, out);
+}
+
+std::vector<net::Envelope> Broker::handle(const net::Envelope& env,
+                                          Micros now) {
+  Out out;
+  if (env.type == pbft::tag(pbft::MsgType::Request)) {
+    on_client_request(env, now, out);
+  } else {
+    route(env, out, now);
+  }
+  // Drain cascaded local deliveries (enclave → enclave via the broker).
+  while (!local_queue_.empty()) {
+    net::Envelope next = std::move(local_queue_.front());
+    local_queue_.pop_front();
+    route(std::move(next), out, now);
+  }
+  if (new_view_emitted_) {
+    new_view_emitted_ = false;
+    requeue_outstanding(now, out);
+    while (!local_queue_.empty()) {
+      net::Envelope next = std::move(local_queue_.front());
+      local_queue_.pop_front();
+      route(std::move(next), out, now);
+    }
+  }
+  return out;
+}
+
+std::vector<net::Envelope> Broker::tick(Micros now) {
+  Out out;
+  if (batch_deadline_ != 0 && now >= batch_deadline_) {
+    cut_batch(now, out);
+  }
+  // Fire at most one suspicion per sweep, with exponential backoff (the
+  // PBFT view-change timeout doubling), and re-queue expired requests for
+  // the (possibly new) primary to propose.
+  bool suspected = false;
+  bool requeued = false;
+  for (auto& [key, tracked] : outstanding_) {
+    if (now < tracked.deadline) continue;
+    tracked.backoff = std::min<std::uint32_t>(tracked.backoff * 2, 64);
+    tracked.deadline =
+        now + config_.request_timeout_us * tracked.backoff;
+    if (!pending_batch_.contains(key)) {
+      pending_batch_[key] = tracked.request;
+      requeued = true;
+    }
+    if (suspected) continue;
+    suspected = true;
+    net::Envelope env;
+    env.dst = principal::enclave({self_, Compartment::Confirmation});
+    env.type = tag(LocalMsg::SuspectPrimary);
+    deliver_to(Compartment::Confirmation, env, out);
+  }
+  if (requeued) cut_batch(now, out);
+  while (!local_queue_.empty()) {
+    net::Envelope next = std::move(local_queue_.front());
+    local_queue_.pop_front();
+    route(std::move(next), out, now);
+  }
+  return out;
+}
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,76 @@
+// The untrusted broker (paper §5 "Untrusted broker").
+//
+// Lives in the environment of a replica and performs ALL I/O for the three
+// enclaves: receives network traffic and routes/duplicates it to the right
+// compartments (ecalls), ships enclave outputs to the network, batches
+// client requests, and runs the liveness timers (request suspicion → the
+// Confirmation enclave's view-change trigger). Compromising the broker can
+// cost liveness but never safety or confidentiality — the byzantine-
+// environment tests in tests/splitbft exercise exactly that.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+#include "runtime/actor.hpp"
+#include "splitbft/messages.hpp"
+#include "tee/enclave_host.hpp"
+
+namespace sbft::splitbft {
+
+class Broker final : public runtime::Actor {
+ public:
+  Broker(pbft::Config config, ReplicaId self,
+         std::unique_ptr<tee::EnclaveHost> prep,
+         std::unique_ptr<tee::EnclaveHost> conf,
+         std::unique_ptr<tee::EnclaveHost> exec);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override;
+
+  [[nodiscard]] ReplicaId id() const noexcept { return self_; }
+  [[nodiscard]] tee::EnclaveHost& host(Compartment c) noexcept;
+  [[nodiscard]] const tee::EnclaveHost& host(Compartment c) const noexcept;
+
+ private:
+  using Out = std::vector<net::Envelope>;
+
+  /// Ecalls into one compartment and queues/dispatches its outputs.
+  void deliver_to(Compartment c, const net::Envelope& env, Out& out);
+  /// Routes one envelope (network-arrived or enclave-emitted).
+  void route(net::Envelope env, Out& out, Micros now);
+  void on_client_request(const net::Envelope& env, Micros now, Out& out);
+  void cut_batch(Micros now, Out& out);
+  [[nodiscard]] bool is_local(principal::Id id,
+                              Compartment& out_compartment) const noexcept;
+
+  pbft::Config config_;
+  ReplicaId self_;
+  std::unique_ptr<tee::EnclaveHost> prep_;
+  std::unique_ptr<tee::EnclaveHost> conf_;
+  std::unique_ptr<tee::EnclaveHost> exec_;
+
+  // --- untrusted liveness state ---
+  struct Outstanding {
+    pbft::Request request;
+    Micros deadline{0};
+    std::uint32_t backoff{1};  // doubles per expiry (PBFT-style timeouts)
+  };
+
+  std::map<std::pair<ClientId, Timestamp>, pbft::Request> pending_batch_;
+  Micros batch_deadline_{0};
+  // Suspicion timers + request copies for post-view-change re-proposal.
+  std::map<std::pair<ClientId, Timestamp>, Outstanding> outstanding_;
+  std::deque<net::Envelope> local_queue_;
+  // Set when the local Preparation enclave emits a NewView (it is the new
+  // primary): outstanding requests are re-proposed right after.
+  bool new_view_emitted_{false};
+
+  void requeue_outstanding(Micros now, Out& out);
+};
+
+}  // namespace sbft::splitbft

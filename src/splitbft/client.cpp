@@ -1,0 +1,233 @@
+#include "splitbft/client.hpp"
+
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/x25519.hpp"
+#include "splitbft/compartment.hpp"
+#include "tee/attestation.hpp"
+
+namespace sbft::splitbft {
+
+SplitClient::SplitClient(pbft::Config config, ClientId id,
+                         const pbft::ClientDirectory& directory,
+                         TrustAnchors anchors, std::uint64_t seed,
+                         Micros retry_timeout_us)
+    : config_(config),
+      id_(id),
+      auth_key_(directory.auth_key(id)),
+      anchors_(anchors),
+      rng_(seed ^ (0xc11e47ULL + id)),
+      retry_timeout_us_(retry_timeout_us) {
+  for (auto& b : session_key_) b = static_cast<std::uint8_t>(rng_.next_u64());
+  dh_secret_ = crypto::x25519_keygen(rng_);
+  // dh_public_ is derived lazily on first attestation: deriving it costs a
+  // scalar multiplication, and benchmark runs with thousands of clients
+  // pre-install sessions without ever attesting.
+}
+
+std::vector<net::Envelope> SplitClient::begin_session(Micros now) {
+  session_retry_deadline_ = now + retry_timeout_us_;
+  attest_nonce_ = rng_.bytes(16);
+  AttestRequest req;
+  req.client = id_;
+  req.nonce = attest_nonce_;
+
+  std::vector<net::Envelope> out;
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    for (const Compartment c :
+         {Compartment::Execution, Compartment::Preparation}) {
+      net::Envelope env;
+      env.src = principal::client(id_);
+      env.dst = principal::enclave({r, c});
+      env.type = pbft::tag(pbft::MsgType::AttestRequest);
+      env.payload = req.serialize();
+      out.push_back(std::move(env));
+    }
+  }
+  return out;
+}
+
+void SplitClient::handle_attest_report(const net::Envelope& env,
+                                       std::vector<net::Envelope>& out) {
+  auto report = AttestReport::deserialize(env.payload);
+  if (!report || report->replica >= config_.n) return;
+  auto quote = tee::Quote::deserialize(report->quote);
+  if (!quote) return;
+
+  // Pin the expected code identity for the claimed compartment type.
+  const Digest expected = compartment_measurement(report->compartment);
+  if (!tee::verify_quote(anchors_.attestation_root, *quote, expected)) return;
+
+  auto rd = ReportData::deserialize(quote->report_data);
+  if (!rd || rd->nonce != attest_nonce_) return;  // replayed quote
+  const principal::Id expected_principal =
+      principal::enclave({report->replica, report->compartment});
+  if (rd->signing_principal != expected_principal) return;
+
+  if (report->compartment != Compartment::Execution) return;  // verified only
+  if (session_inits_sent_.contains(report->replica)) return;
+  session_inits_sent_.insert(report->replica);
+  if (!dh_public_ready_) {
+    dh_public_ = crypto::x25519_base(dh_secret_);
+    dh_public_ready_ = true;
+  }
+
+  // Wrap the session key for this Execution enclave.
+  const crypto::Key32 shared = crypto::x25519(dh_secret_, rd->dh_public);
+  const crypto::Key32 wrap_key = crypto::derive_key(
+      ByteView{shared.data(), shared.size()}, "session-wrap");
+
+  SessionInit init;
+  init.client = id_;
+  init.client_dh_public = dh_public_;
+  init.sealed_session_key = crypto::aead_seal(
+      wrap_key, crypto::make_nonce(channels::kSessionWrap, id_), {},
+      ByteView{session_key_.data(), session_key_.size()});
+  const Digest mac = crypto::hmac_sha256(
+      ByteView{auth_key_.data(), auth_key_.size()}, init.auth_input());
+  init.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+  net::Envelope msg;
+  msg.src = principal::client(id_);
+  msg.dst = principal::enclave({report->replica, Compartment::Execution});
+  msg.type = pbft::tag(pbft::MsgType::SessionInit);
+  msg.payload = init.serialize();
+  out.push_back(std::move(msg));
+}
+
+void SplitClient::handle_session_ack(const net::Envelope& env) {
+  auto ack = SessionAck::deserialize(env.payload);
+  if (!ack || ack->client != id_ || ack->replica >= config_.n) return;
+  if (!crypto::hmac_verify(
+          ByteView{session_key_.data(), session_key_.size()},
+          ack->auth_input(), ack->auth)) {
+    return;  // ack not under our fresh session key
+  }
+  acks_.insert(ack->replica);
+  if (session_ready()) session_retry_deadline_ = 0;
+}
+
+std::vector<net::Envelope> SplitClient::on_message(const net::Envelope& env,
+                                                   Micros now) {
+  (void)now;
+  std::vector<net::Envelope> out;
+  switch (static_cast<pbft::MsgType>(env.type)) {
+    case pbft::MsgType::AttestReport:
+      handle_attest_report(env, out);
+      break;
+    case pbft::MsgType::SessionAck:
+      handle_session_ack(env);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+std::vector<net::Envelope> SplitClient::broadcast_request() const {
+  std::vector<net::Envelope> out;
+  net::Envelope env;
+  env.src = principal::client(id_);
+  env.type = pbft::tag(pbft::MsgType::Request);
+  env.payload = request_.serialize();
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    env.dst = principal::splitbft_env(r);
+    out.push_back(env);
+  }
+  return out;
+}
+
+std::vector<net::Envelope> SplitClient::submit(Bytes operation, Micros now) {
+  in_flight_ = true;
+  votes_.clear();
+  ++timestamp_;
+
+  request_ = pbft::Request{};
+  request_.client = id_;
+  request_.timestamp = timestamp_;
+  // End-to-end encryption: only Execution enclaves hold the session key.
+  request_.payload = crypto::aead_seal(
+      session_key_, crypto::make_nonce(channels::kRequest, timestamp_), {},
+      operation);
+  const Digest mac = crypto::hmac_sha256(
+      ByteView{auth_key_.data(), auth_key_.size()}, request_.auth_input());
+  request_.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+  retry_deadline_ = now + retry_timeout_us_;
+  return broadcast_request();
+}
+
+std::optional<Bytes> SplitClient::on_reply(const net::Envelope& env) {
+  if (!in_flight_ || env.type != pbft::tag(pbft::MsgType::Reply)) {
+    return std::nullopt;
+  }
+  auto reply = pbft::Reply::deserialize(env.payload);
+  if (!reply || reply->client != id_ || reply->timestamp != timestamp_ ||
+      reply->sender >= config_.n) {
+    return std::nullopt;
+  }
+  if (!crypto::hmac_verify(ByteView{auth_key_.data(), auth_key_.size()},
+                           reply->auth_input(), reply->auth)) {
+    return std::nullopt;
+  }
+
+  Bytes vote;
+  if (reply->result == no_op_marker()) {
+    vote = no_op_marker();  // replica executed a no-op
+  } else {
+    const auto plain = crypto::aead_open(
+        session_key_,
+        crypto::make_nonce(channels::kReplyBase + reply->sender,
+                           reply->timestamp),
+        {}, reply->result);
+    if (!plain) return std::nullopt;  // not for us / corrupted
+    vote = *plain;
+  }
+  auto& senders = votes_[vote];
+  senders.insert(reply->sender);
+  if (senders.size() >= config_.f + 1) {
+    in_flight_ = false;
+    retry_deadline_ = 0;
+    return vote;
+  }
+  return std::nullopt;
+}
+
+std::vector<net::Envelope> SplitClient::tick(Micros now) {
+  std::vector<net::Envelope> out;
+  // Session setup retransmission: lossy links may drop any handshake leg.
+  if (!session_ready() && session_retry_deadline_ != 0 &&
+      now >= session_retry_deadline_) {
+    session_retry_deadline_ = now + retry_timeout_us_;
+    AttestRequest req;
+    req.client = id_;
+    req.nonce = attest_nonce_;
+    for (ReplicaId r = 0; r < config_.n; ++r) {
+      if (acks_.contains(r)) continue;
+      session_inits_sent_.erase(r);  // allow a fresh SessionInit
+      net::Envelope env;
+      env.src = principal::client(id_);
+      env.dst = principal::enclave({r, Compartment::Execution});
+      env.type = pbft::tag(pbft::MsgType::AttestRequest);
+      env.payload = req.serialize();
+      out.push_back(std::move(env));
+    }
+  }
+  if (in_flight_ && retry_deadline_ != 0 && now >= retry_deadline_) {
+    retry_deadline_ = now + retry_timeout_us_;
+    for (auto& env : broadcast_request()) out.push_back(std::move(env));
+  }
+  return out;
+}
+
+std::optional<Micros> SplitClient::next_deadline() const {
+  std::optional<Micros> next;
+  if (in_flight_ && retry_deadline_ != 0) next = retry_deadline_;
+  if (!session_ready() && session_retry_deadline_ != 0 &&
+      (!next || session_retry_deadline_ < *next)) {
+    next = session_retry_deadline_;
+  }
+  return next;
+}
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,108 @@
+// SplitBFT client.
+//
+// Protocol (paper §4 step 1):
+//  1. Attest the Execution (and Preparation) enclaves of every replica:
+//     nonce-fresh quotes signed by the platform attestation root, carrying
+//     the enclave's signing principal and X25519 key.
+//  2. Provision one session key to all Execution enclaves, each copy sealed
+//     under the pairwise X25519-derived wrap key.
+//  3. Submit requests whose operation payload is AEAD-encrypted end-to-end
+//     for the Execution compartment; the ordering layers and every
+//     untrusted environment only ever see ciphertext.
+//  4. Accept a result once f+1 replicas returned replies that decrypt to
+//     the same plaintext (each replica encrypts under its own nonce
+//     channel, so votes are compared after decryption).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+#include "pbft/client_directory.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+#include "splitbft/messages.hpp"
+
+namespace sbft::splitbft {
+
+class SplitClient {
+ public:
+  struct TrustAnchors {
+    crypto::Ed25519PublicKey attestation_root;
+  };
+
+  SplitClient(pbft::Config config, ClientId id,
+              const pbft::ClientDirectory& directory, TrustAnchors anchors,
+              std::uint64_t seed, Micros retry_timeout_us = 1'000'000);
+
+  /// Starts session establishment: attestation requests to every replica's
+  /// Execution enclave (and Preparation enclave, per the paper).
+  [[nodiscard]] std::vector<net::Envelope> begin_session(Micros now);
+
+  /// Feeds any non-Reply message (attestation reports, session acks).
+  /// Returns follow-up envelopes (SessionInit after a valid report).
+  [[nodiscard]] std::vector<net::Envelope> on_message(const net::Envelope& env,
+                                                      Micros now);
+
+  /// True once every Execution enclave acknowledged the session key.
+  [[nodiscard]] bool session_ready() const noexcept {
+    return acks_.size() >= config_.n;
+  }
+
+  /// Adopts a pre-established session (see ExecCompartment::install_session).
+  void adopt_session(const crypto::Key32& key) {
+    session_key_ = key;
+    for (ReplicaId r = 0; r < config_.n; ++r) acks_.insert(r);
+    session_retry_deadline_ = 0;
+  }
+
+  [[nodiscard]] const crypto::Key32& session_key() const noexcept {
+    return session_key_;
+  }
+  [[nodiscard]] std::size_t ack_count() const noexcept { return acks_.size(); }
+
+  /// Submits one operation (plaintext; encrypted internally).
+  [[nodiscard]] std::vector<net::Envelope> submit(Bytes operation, Micros now);
+
+  /// Feeds a Reply; returns the decrypted result once f+1 replicas agree.
+  [[nodiscard]] std::optional<Bytes> on_reply(const net::Envelope& env);
+
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now);
+  [[nodiscard]] std::optional<Micros> next_deadline() const;
+  [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] ClientId id() const noexcept { return id_; }
+
+ private:
+  [[nodiscard]] std::vector<net::Envelope> broadcast_request() const;
+  void handle_attest_report(const net::Envelope& env,
+                            std::vector<net::Envelope>& out);
+  void handle_session_ack(const net::Envelope& env);
+
+  pbft::Config config_;
+  ClientId id_;
+  crypto::Key32 auth_key_;
+  TrustAnchors anchors_;
+  Rng rng_;
+  Micros retry_timeout_us_;
+
+  crypto::Key32 session_key_{};
+  crypto::Key32 dh_secret_{};
+  crypto::Key32 dh_public_{};
+  bool dh_public_ready_{false};
+  Bytes attest_nonce_;
+  std::set<ReplicaId> session_inits_sent_;
+  std::set<ReplicaId> acks_;
+  Micros session_retry_deadline_{0};
+
+  Timestamp timestamp_{0};
+  pbft::Request request_;
+  bool in_flight_{false};
+  Micros retry_deadline_{0};
+  // Decrypted result -> voting replicas.
+  std::map<Bytes, std::set<ReplicaId>> votes_;
+};
+
+}  // namespace sbft::splitbft

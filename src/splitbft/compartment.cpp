@@ -1,0 +1,96 @@
+#include "splitbft/compartment.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace sbft::splitbft {
+
+Digest compartment_measurement(Compartment type) {
+  const std::string tag =
+      std::string("splitbft-enclave-v1:") + to_string(type);
+  return crypto::sha256(to_bytes(tag));
+}
+
+CheckpointCollector::CheckpointCollector(pbft::Config config, ReplicaId self)
+    : config_(config), self_(self) {}
+
+std::optional<CheckpointCollector::Stable> CheckpointCollector::add(
+    const net::Envelope& env, const crypto::Verifier& verifier) {
+  auto cp = pbft::Checkpoint::deserialize(env.payload);
+  if (!cp || cp->sender >= config_.n || cp->seq <= last_stable_) {
+    return std::nullopt;
+  }
+  const principal::Id signer =
+      principal::enclave({cp->sender, Compartment::Execution});
+  if (!net::verify_envelope(env, verifier, signer)) return std::nullopt;
+  return record(env, *cp);
+}
+
+std::optional<CheckpointCollector::Stable> CheckpointCollector::add_own(
+    const net::Envelope& env, const pbft::Checkpoint& cp) {
+  if (cp.seq <= last_stable_) return std::nullopt;
+  return record(env, cp);
+}
+
+std::optional<CheckpointCollector::Stable> CheckpointCollector::record(
+    const net::Envelope& env, const pbft::Checkpoint& cp) {
+  auto& by_sender = pending_[cp.seq][cp.state_digest];
+  by_sender.emplace(cp.sender, env);
+  if (by_sender.size() < config_.quorum()) return std::nullopt;
+
+  Stable stable;
+  stable.seq = cp.seq;
+  stable.digest = cp.state_digest;
+  for (const auto& [sender, e] : by_sender) stable.proof.push_back(e);
+
+  last_stable_ = cp.seq;
+  stable_proof_ = stable.proof;
+  pending_.erase(pending_.begin(), pending_.upper_bound(cp.seq));
+  return stable;
+}
+
+void CheckpointCollector::adopt(SeqNum seq, std::vector<net::Envelope> proof) {
+  if (seq <= last_stable_) return;
+  last_stable_ = seq;
+  stable_proof_ = std::move(proof);
+  pending_.erase(pending_.begin(), pending_.upper_bound(seq));
+}
+
+bool verify_checkpoint_proof(const std::vector<net::Envelope>& proof,
+                             SeqNum seq, std::optional<Digest> expected_digest,
+                             const pbft::Config& config,
+                             const crypto::Verifier& verifier) {
+  std::map<ReplicaId, bool> distinct;
+  std::optional<Digest> digest = expected_digest;
+  for (const auto& env : proof) {
+    auto cp = pbft::Checkpoint::deserialize(env.payload);
+    if (!cp || cp->seq != seq || cp->sender >= config.n) continue;
+    if (digest && cp->state_digest != *digest) continue;
+    const principal::Id signer =
+        principal::enclave({cp->sender, Compartment::Execution});
+    if (!net::verify_envelope(env, verifier, signer)) continue;
+    digest = cp->state_digest;
+    distinct[cp->sender] = true;
+  }
+  return distinct.size() >= config.quorum();
+}
+
+std::optional<Digest> checkpoint_proof_digest(
+    const std::vector<net::Envelope>& proof, SeqNum seq,
+    const pbft::Config& config, const crypto::Verifier& verifier) {
+  // Group by digest, return the digest achieving a quorum.
+  std::map<Digest, std::map<ReplicaId, bool>> groups;
+  for (const auto& env : proof) {
+    auto cp = pbft::Checkpoint::deserialize(env.payload);
+    if (!cp || cp->seq != seq || cp->sender >= config.n) continue;
+    const principal::Id signer =
+        principal::enclave({cp->sender, Compartment::Execution});
+    if (!net::verify_envelope(env, verifier, signer)) continue;
+    groups[cp->state_digest][cp->sender] = true;
+  }
+  for (const auto& [digest, senders] : groups) {
+    if (senders.size() >= config.quorum()) return digest;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,96 @@
+// Compartment interface and shared in-enclave helpers.
+//
+// A compartment is the code of one SplitBFT enclave type (paper §3.2). It is
+// a pure event-driven state machine: `deliver` consumes one envelope and
+// returns the envelopes to emit. Everything else (threads, timers, sockets,
+// persistence) lives in the untrusted environment.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+#include "crypto/keyring.hpp"
+#include "net/message.hpp"
+#include "pbft/config.hpp"
+#include "pbft/messages.hpp"
+#include "splitbft/messages.hpp"
+
+namespace sbft::splitbft {
+
+class CompartmentLogic {
+ public:
+  virtual ~CompartmentLogic() = default;
+
+  /// Processes one delivered envelope, returns envelopes to emit.
+  [[nodiscard]] virtual std::vector<net::Envelope> deliver(
+      const net::Envelope& env) = 0;
+
+  /// Code identity for attestation (MRENCLAVE equivalent).
+  [[nodiscard]] virtual Digest measurement() const = 0;
+};
+
+/// Deterministic per-compartment-type measurement. In real SGX this is the
+/// hash of the enclave binary; here it hashes the compartment type + ABI
+/// version, which is what diversity-aware clients pin.
+[[nodiscard]] Digest compartment_measurement(Compartment type);
+
+/// Collects Execution-enclave Checkpoint messages; every compartment runs
+/// one instance (the paper duplicates handler (9) across compartments).
+class CheckpointCollector {
+ public:
+  CheckpointCollector(pbft::Config config, ReplicaId self);
+
+  struct Stable {
+    SeqNum seq{0};
+    Digest digest;
+    std::vector<net::Envelope> proof;
+  };
+
+  /// Validates (signature by the sender's Execution enclave) and records a
+  /// checkpoint message. Returns a newly reached stable checkpoint, if any.
+  [[nodiscard]] std::optional<Stable> add(const net::Envelope& env,
+                                          const crypto::Verifier& verifier);
+
+  /// Records this replica's own Execution checkpoint (pre-validated).
+  [[nodiscard]] std::optional<Stable> add_own(const net::Envelope& env,
+                                              const pbft::Checkpoint& cp);
+
+  [[nodiscard]] SeqNum last_stable() const noexcept { return last_stable_; }
+  [[nodiscard]] const std::vector<net::Envelope>& stable_proof()
+      const noexcept {
+    return stable_proof_;
+  }
+
+  /// Adopts an externally proven stable checkpoint (from a NewView).
+  void adopt(SeqNum seq, std::vector<net::Envelope> proof);
+
+ private:
+  [[nodiscard]] std::optional<Stable> record(const net::Envelope& env,
+                                             const pbft::Checkpoint& cp);
+
+  pbft::Config config_;
+  ReplicaId self_;
+  SeqNum last_stable_{0};
+  std::vector<net::Envelope> stable_proof_;
+  std::map<SeqNum, std::map<Digest, std::map<ReplicaId, net::Envelope>>>
+      pending_;
+};
+
+/// Validates a checkpoint-proof certificate: at least 2f+1 Checkpoint
+/// envelopes from distinct replicas' Execution enclaves for (seq, digest).
+[[nodiscard]] bool verify_checkpoint_proof(
+    const std::vector<net::Envelope>& proof, SeqNum seq,
+    std::optional<Digest> expected_digest, const pbft::Config& config,
+    const crypto::Verifier& verifier);
+
+/// Extracts the (seq, digest) a checkpoint proof certifies, if valid for
+/// any digest.
+[[nodiscard]] std::optional<Digest> checkpoint_proof_digest(
+    const std::vector<net::Envelope>& proof, SeqNum seq,
+    const pbft::Config& config, const crypto::Verifier& verifier);
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,263 @@
+#include "splitbft/conf_compartment.hpp"
+
+#include "common/logging.hpp"
+
+namespace sbft::splitbft {
+
+namespace {
+const Logger& logger() {
+  static const Logger log{"splitbft/conf"};
+  return log;
+}
+}  // namespace
+
+ConfCompartment::ConfCompartment(pbft::Config config, ReplicaId self,
+                                 std::shared_ptr<const crypto::Signer> signer,
+                                 std::shared_ptr<const crypto::Verifier> verifier)
+    : config_(config),
+      self_(self),
+      signer_(std::move(signer)),
+      verifier_(std::move(verifier)),
+      checkpoints_(config, self) {}
+
+bool ConfCompartment::in_window(SeqNum seq) const noexcept {
+  return seq > checkpoints_.last_stable() &&
+         seq <= checkpoints_.last_stable() + config_.watermark_window;
+}
+
+std::vector<net::Envelope> ConfCompartment::deliver(const net::Envelope& env) {
+  Out out;
+  if (env.type == tag(LocalMsg::SuspectPrimary)) {
+    on_suspect_primary(env, out);
+    return out;
+  }
+  switch (static_cast<pbft::MsgType>(env.type)) {
+    case pbft::MsgType::PrePrepare:
+      on_pre_prepare(env, out);
+      break;
+    case pbft::MsgType::Prepare:
+      on_prepare(env, out);
+      break;
+    case pbft::MsgType::NewView:
+      on_new_view(env, out);
+      break;
+    case pbft::MsgType::Checkpoint:
+      on_checkpoint(env, out);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+bool ConfCompartment::accept_header(const net::Envelope& env,
+                                    const SplitPrePrepare& pp) {
+  if (pp.view != view_ || pp.sender != config_.primary(pp.view) ||
+      !in_window(pp.seq)) {
+    return false;
+  }
+  const principal::Id signer_id =
+      principal::enclave({pp.sender, Compartment::Preparation});
+  if (!verify_pre_prepare_envelope(env, pp, *verifier_, signer_id)) {
+    return false;
+  }
+  Slot& s = log_[pp.seq];
+  if (s.header) return s.header->batch_digest == pp.batch_digest;
+  s.header = pp.stripped();
+  s.header_env = env;
+  // Purge buffered prepares for other digests.
+  std::erase_if(s.prepares, [&](const auto& kv) {
+    return kv.second.first != pp.batch_digest;
+  });
+  return true;
+}
+
+// -------------------------------------------------------------- handler (3)
+
+void ConfCompartment::on_pre_prepare(const net::Envelope& env, Out& out) {
+  if (in_view_change_) return;
+  auto pp = SplitPrePrepare::deserialize(env.payload);
+  if (!pp) return;
+  if (accept_header(env, *pp)) check_prepared(pp->seq, out);
+}
+
+void ConfCompartment::on_prepare(const net::Envelope& env, Out& out) {
+  auto prep = pbft::Prepare::deserialize(env.payload);
+  if (!prep) return;
+  if (prep->view != view_ || !in_window(prep->seq) ||
+      prep->sender == config_.primary(view_) || prep->sender >= config_.n) {
+    return;
+  }
+  const principal::Id signer_id =
+      principal::enclave({prep->sender, Compartment::Preparation});
+  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+
+  if (in_view_change_) {
+    // New-view prepares may outrace the NewView itself; hold them until
+    // the headers arrive.
+    buffered_prepares_[prep->seq][prep->sender] =
+        BufferedPrepare{prep->view, prep->batch_digest, env};
+    return;
+  }
+
+  Slot& s = log_[prep->seq];
+  if (s.header && s.header->batch_digest != prep->batch_digest) return;
+  s.prepares.emplace(prep->sender,
+                     std::make_pair(prep->batch_digest, env));
+  check_prepared(prep->seq, out);
+}
+
+void ConfCompartment::check_prepared(SeqNum seq, Out& out) {
+  Slot& s = log_[seq];
+  if (s.commit_sent || !s.header) return;
+  const Digest& digest = s.header->batch_digest;
+  std::uint32_t matching = 0;
+  for (const auto& [sender, vote] : s.prepares) {
+    if (vote.first == digest) ++matching;
+  }
+  if (matching < config_.prepared_quorum()) return;
+
+  // P5: the prepare certificate is complete — record it (for ViewChange)
+  // and emit the Commit to every Execution enclave.
+  s.commit_sent = true;
+  pbft::PreparedProof proof;
+  proof.pre_prepare = s.header_env;
+  for (const auto& [sender, vote] : s.prepares) {
+    if (vote.first != digest) continue;
+    proof.prepares.push_back(vote.second);
+    if (proof.prepares.size() >= config_.prepared_quorum()) break;
+  }
+  s.prepared_proof = std::move(proof);
+
+  pbft::Commit commit;
+  commit.view = s.header->view;
+  commit.seq = seq;
+  commit.batch_digest = digest;
+  commit.sender = self_;
+  const Bytes payload = commit.serialize();
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    net::Envelope env;
+    env.src = signer_->id();
+    env.dst = principal::enclave({r, Compartment::Execution});
+    env.type = pbft::tag(pbft::MsgType::Commit);
+    env.payload = payload;
+    net::sign_envelope(env, *signer_);
+    out.push_back(std::move(env));
+  }
+}
+
+// -------------------------------------------------------------- handler (5)
+
+void ConfCompartment::on_suspect_primary(const net::Envelope& env, Out& out) {
+  (void)env;  // content is untrusted; only the *event* matters
+  const View target = view_ + 1;
+
+  pbft::ViewChange vc;
+  vc.new_view = target;
+  vc.last_stable = checkpoints_.last_stable();
+  vc.checkpoint_proof = checkpoints_.stable_proof();
+  for (const auto& [seq, s] : log_) {
+    if (s.prepared_proof && seq > vc.last_stable) {
+      vc.prepared.push_back(*s.prepared_proof);
+    }
+  }
+  vc.sender = self_;
+
+  // Paper §4: upon sending the ViewChange the Confirmation enclave
+  // increases its view and stops processing Prepares / sending Commits in
+  // the old view.
+  view_ = target;
+  in_view_change_ = true;
+  logger().info() << "conf@r" << self_ << " view change to " << target;
+
+  const Bytes payload = vc.serialize();
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    net::Envelope out_env;
+    out_env.src = signer_->id();
+    out_env.dst = principal::enclave({r, Compartment::Preparation});
+    out_env.type = pbft::tag(pbft::MsgType::ViewChange);
+    out_env.payload = payload;
+    net::sign_envelope(out_env, *signer_);
+    out.push_back(std::move(out_env));
+  }
+}
+
+// ----------------------------------------------------- handler (7') on conf
+
+void ConfCompartment::on_new_view(const net::Envelope& env, Out& out) {
+  auto nv = pbft::NewView::deserialize(env.payload);
+  if (!nv) return;
+  if (nv->new_view < view_ || (nv->new_view == view_ && !in_view_change_)) {
+    return;
+  }
+  if (nv->sender != config_.primary(nv->new_view)) return;
+  const principal::Id nv_signer =
+      principal::enclave({nv->sender, Compartment::Preparation});
+  if (!net::verify_envelope(env, *verifier_, nv_signer)) return;
+
+  // The Confirmation compartment does NOT validate the embedded
+  // PrePrepares (paper §4); it validates and applies the checkpoint
+  // certificates and updates its view.
+  SeqNum min_s = 0;
+  for (const auto& vce : nv->view_changes) {
+    auto vc = pbft::ViewChange::deserialize(vce.payload);
+    if (!vc) continue;
+    if (vc->last_stable > checkpoints_.last_stable() &&
+        vc->last_stable > min_s &&
+        verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
+                                std::nullopt, config_, *verifier_)) {
+      min_s = vc->last_stable;
+      checkpoints_.adopt(vc->last_stable, vc->checkpoint_proof);
+    }
+  }
+  if (min_s > 0) garbage_collect(min_s);
+
+  view_ = nv->new_view;
+  in_view_change_ = false;
+  log_.clear();
+
+  // Store the new-view PrePrepare headers after a cheap signature check —
+  // wrong ones can never gather 2f Prepares from correct Preparation
+  // enclaves, so safety is unaffected (paper's corner-case argument).
+  for (const auto& ppe : nv->pre_prepares) {
+    auto pp = SplitPrePrepare::deserialize(ppe.payload);
+    if (!pp || pp->view != nv->new_view || pp->sender != nv->sender) continue;
+    if (!verify_pre_prepare_envelope(ppe, *pp, *verifier_, nv_signer)) {
+      continue;
+    }
+    if (!in_window(pp->seq)) continue;
+    Slot& s = log_[pp->seq];
+    s.header = pp->stripped();
+    s.header_env = ppe;
+  }
+  // Replay prepares that outraced this NewView (already signature-checked).
+  for (auto& [seq, by_sender] : buffered_prepares_) {
+    for (auto& [sender, buffered] : by_sender) {
+      if (buffered.view != view_ || sender == config_.primary(view_)) {
+        continue;
+      }
+      Slot& s = log_[seq];
+      if (s.header && s.header->batch_digest != buffered.digest) continue;
+      s.prepares.emplace(sender,
+                         std::make_pair(buffered.digest, buffered.env));
+    }
+  }
+  buffered_prepares_.clear();
+  for (auto& [seq, s] : log_) check_prepared(seq, out);
+  logger().info() << "conf@r" << self_ << " entered view " << view_;
+}
+
+// -------------------------------------------------------------- handler (9)
+
+void ConfCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
+  (void)out;
+  if (auto stable = checkpoints_.add(env, *verifier_)) {
+    garbage_collect(stable->seq);
+  }
+}
+
+void ConfCompartment::garbage_collect(SeqNum stable) {
+  log_.erase(log_.begin(), log_.upper_bound(stable));
+}
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,79 @@
+// Confirmation compartment (paper §3.2, Figure 2 handlers 3, 5, 9).
+//
+// Confirms that a request was prepared by a quorum: collects one PrePrepare
+// header plus 2f matching Prepares from distinct Preparation enclaves, then
+// emits a signed Commit to all Execution enclaves. Only ever sees batch
+// *hashes* — the broker strips request bodies (the header-only signature
+// keeps verification possible). Starts view changes on (untrusted) broker
+// suspicion, embedding its prepared certificates and the latest checkpoint
+// certificate.
+#pragma once
+
+#include "splitbft/compartment.hpp"
+
+namespace sbft::splitbft {
+
+class ConfCompartment final : public CompartmentLogic {
+ public:
+  ConfCompartment(pbft::Config config, ReplicaId self,
+                  std::shared_ptr<const crypto::Signer> signer,
+                  std::shared_ptr<const crypto::Verifier> verifier);
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return compartment_measurement(Compartment::Confirmation);
+  }
+
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] bool in_view_change() const noexcept {
+    return in_view_change_;
+  }
+  [[nodiscard]] SeqNum last_stable() const noexcept {
+    return checkpoints_.last_stable();
+  }
+
+ private:
+  struct Slot {
+    std::optional<SplitPrePrepare> header;  // stripped pre-prepare
+    net::Envelope header_env;
+    std::map<ReplicaId, std::pair<Digest, net::Envelope>> prepares;
+    bool commit_sent{false};
+    std::optional<pbft::PreparedProof> prepared_proof;
+  };
+
+  using Out = std::vector<net::Envelope>;
+
+  void on_pre_prepare(const net::Envelope& env, Out& out);
+  void on_prepare(const net::Envelope& env, Out& out);
+  void on_suspect_primary(const net::Envelope& env, Out& out);
+  void on_new_view(const net::Envelope& env, Out& out);
+  void on_checkpoint(const net::Envelope& env, Out& out);
+
+  void check_prepared(SeqNum seq, Out& out);
+  [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
+  void garbage_collect(SeqNum stable);
+  [[nodiscard]] bool accept_header(const net::Envelope& env,
+                                   const SplitPrePrepare& pp);
+
+  pbft::Config config_;
+  ReplicaId self_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  std::shared_ptr<const crypto::Verifier> verifier_;
+
+  View view_{0};
+  bool in_view_change_{false};
+  /// Input log in_conf: per-sequence agreement state.
+  std::map<SeqNum, Slot> log_;
+  /// Prepares for the pending view that arrived before its NewView
+  /// (message reordering); replayed once the NewView installs headers.
+  struct BufferedPrepare {
+    View view{0};
+    Digest digest;
+    net::Envelope env;
+  };
+  std::map<SeqNum, std::map<ReplicaId, BufferedPrepare>> buffered_prepares_;
+  CheckpointCollector checkpoints_;
+};
+
+}  // namespace sbft::splitbft

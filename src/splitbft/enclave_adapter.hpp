@@ -1,0 +1,45 @@
+// Adapts a CompartmentLogic to the tee::Enclave byte-boundary interface.
+//
+// Everything entering or leaving the compartment is a serialized buffer —
+// the moral equivalent of the SGX edger8r-generated bridge. The EnclaveHost
+// wrapping this adapter charges transition + copy costs and records the
+// per-ecall statistics behind Figure 4.
+#pragma once
+
+#include <memory>
+
+#include "splitbft/compartment.hpp"
+#include "splitbft/messages.hpp"
+#include "tee/enclave.hpp"
+
+namespace sbft::splitbft {
+
+class CompartmentEnclave final : public tee::Enclave {
+ public:
+  explicit CompartmentEnclave(std::unique_ptr<CompartmentLogic> logic)
+      : logic_(std::move(logic)) {}
+
+  [[nodiscard]] Digest measurement() const override {
+    return logic_->measurement();
+  }
+
+  [[nodiscard]] Bytes ecall(std::uint32_t fn, ByteView args) override {
+    switch (static_cast<tee::EcallFn>(fn)) {
+      case tee::EcallFn::DeliverMessage: {
+        auto env = net::Envelope::deserialize(args);
+        if (!env) return encode_outbox({});  // malformed input: ignore
+        return encode_outbox(logic_->deliver(*env));
+      }
+      default:
+        return encode_outbox({});
+    }
+  }
+
+  /// Test-only introspection; a real enclave would never expose this.
+  [[nodiscard]] CompartmentLogic& logic() noexcept { return *logic_; }
+
+ private:
+  std::unique_ptr<CompartmentLogic> logic_;
+};
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,499 @@
+#include "splitbft/exec_compartment.hpp"
+
+#include "common/logging.hpp"
+#include "common/serde.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace sbft::splitbft {
+
+namespace {
+
+const Logger& logger() {
+  static const Logger log{"splitbft/exec"};
+  return log;
+}
+
+constexpr std::uint32_t kRequestChannel = channels::kRequest;
+constexpr std::uint32_t kReplyChannelBase = channels::kReplyBase;
+constexpr std::uint32_t kSessionWrapChannel = channels::kSessionWrap;
+constexpr std::uint32_t kStateChannel = channels::kState;
+
+}  // namespace
+
+ExecAppFactory plain_app(apps::AppFactory factory) {
+  return [factory = std::move(factory)](PersistHook) { return factory(); };
+}
+
+ExecCompartment::ExecCompartment(pbft::Config config, ReplicaId self,
+                                 std::shared_ptr<const crypto::Signer> signer,
+                                 std::shared_ptr<const crypto::Verifier> verifier,
+                                 pbft::ClientDirectory clients,
+                                 ExecAppFactory app_factory,
+                                 crypto::Key32 exec_group_key,
+                                 crypto::Key32 dh_secret, crypto::Key32 fs_key,
+                                 tee::BlockStore* block_store)
+    : config_(config),
+      self_(self),
+      signer_(std::move(signer)),
+      verifier_(std::move(verifier)),
+      clients_(clients),
+      exec_group_key_(exec_group_key),
+      dh_secret_(dh_secret),
+      dh_public_(crypto::x25519_base(dh_secret)),
+      checkpoints_(config, self),
+      null_batch_digest_(pbft::RequestBatch{}.digest()) {
+  if (block_store != nullptr) {
+    protected_file_.emplace(fs_key, *block_store);
+  }
+  // The persist hook seals each record in-enclave, then the ciphertext
+  // leaves through the block-store ocall.
+  app_ = app_factory([this](ByteView record) {
+    if (protected_file_) (void)protected_file_->append(record);
+  });
+}
+
+bool ExecCompartment::in_window(SeqNum seq) const noexcept {
+  return seq > checkpoints_.last_stable() &&
+         seq <= checkpoints_.last_stable() + config_.watermark_window;
+}
+
+std::vector<net::Envelope> ExecCompartment::deliver(const net::Envelope& env) {
+  Out out;
+  switch (static_cast<pbft::MsgType>(env.type)) {
+    case pbft::MsgType::PrePrepare:
+      on_pre_prepare(env);
+      try_execute(out);
+      break;
+    case pbft::MsgType::Commit:
+      on_commit(env, out);
+      break;
+    case pbft::MsgType::Checkpoint:
+      on_checkpoint(env, out);
+      break;
+    case pbft::MsgType::NewView:
+      on_new_view(env, out);
+      break;
+    case pbft::MsgType::AttestRequest:
+      on_attest_request(env, out);
+      break;
+    case pbft::MsgType::SessionInit:
+      on_session_init(env, out);
+      break;
+    case pbft::MsgType::StateRequest:
+      on_state_request(env, out);
+      break;
+    case pbft::MsgType::StateResponse:
+      on_state_response(env, out);
+      break;
+    default:
+      break;
+  }
+  return out;
+}
+
+// ------------------------------------------------------- duplicated inputs
+
+void ExecCompartment::on_pre_prepare(const net::Envelope& env) {
+  auto pp = SplitPrePrepare::deserialize(env.payload);
+  if (!pp || !pp->has_batch || !in_window(pp->seq)) return;
+  if (pp->sender != config_.primary(pp->view) || pp->sender >= config_.n) {
+    return;
+  }
+  const principal::Id signer_id =
+      principal::enclave({pp->sender, Compartment::Preparation});
+  if (!verify_pre_prepare_envelope(env, *pp, *verifier_, signer_id)) return;
+  if (crypto::sha256(pp->batch) != pp->batch_digest) return;
+  log_[pp->seq].batches[pp->batch_digest] = pp->batch;
+}
+
+// -------------------------------------------------------------- handler (4)
+
+void ExecCompartment::on_commit(const net::Envelope& env, Out& out) {
+  auto commit = pbft::Commit::deserialize(env.payload);
+  if (!commit || commit->sender >= config_.n || !in_window(commit->seq)) {
+    return;
+  }
+  if (commit->view < view_) return;  // stale view
+  const principal::Id signer_id =
+      principal::enclave({commit->sender, Compartment::Confirmation});
+  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+
+  Slot& s = log_[commit->seq];
+  // A sender's newer-view commit supersedes its older vote (after a view
+  // change every Confirmation enclave re-commits in the new view).
+  const auto existing = s.commits.find(commit->sender);
+  if (existing == s.commits.end() ||
+      commit->view > existing->second.first.first) {
+    s.commits[commit->sender] = std::make_pair(
+        std::make_pair(commit->view, commit->batch_digest), env);
+  }
+
+  if (!s.committed_digest) {
+    // A commit certificate requires 2f+1 matching (view, digest) votes.
+    std::map<std::pair<View, Digest>, std::uint32_t> counts;
+    for (const auto& [sender, vote] : s.commits) counts[vote.first] += 1;
+    for (const auto& [key, count] : counts) {
+      if (count >= config_.quorum()) {
+        s.committed_digest = key.second;
+        break;
+      }
+    }
+  }
+  try_execute(out);
+}
+
+void ExecCompartment::try_execute(Out& out) {
+  while (!awaiting_state_) {
+    const SeqNum seq = last_executed_ + 1;
+    const auto it = log_.find(seq);
+    if (it == log_.end() || !it->second.committed_digest) break;
+    const Digest digest = *it->second.committed_digest;
+
+    pbft::RequestBatch batch;  // empty for null requests
+    if (digest != null_batch_digest_) {
+      const auto batch_it = it->second.batches.find(digest);
+      if (batch_it == it->second.batches.end()) {
+        // Commit certificate without the body (withheld by the broker):
+        // cannot execute yet; state transfer will eventually heal us.
+        break;
+      }
+      auto parsed = pbft::RequestBatch::deserialize(batch_it->second);
+      if (!parsed) break;
+      batch = std::move(*parsed);
+    }
+    for (const auto& req : batch.requests) execute_request(req, out);
+    executed_digests_[seq] = digest;
+    last_executed_ = seq;
+    maybe_checkpoint(seq, out);
+  }
+}
+
+void ExecCompartment::execute_request(const pbft::Request& req, Out& out) {
+  // Authenticate (defence in depth — Preparation already checked).
+  const crypto::Key32 auth_key = clients_.auth_key(req.client);
+  if (!crypto::hmac_verify(ByteView{auth_key.data(), auth_key.size()},
+                           req.auth_input(), req.auth)) {
+    return;
+  }
+  auto& record = client_records_[req.client];
+  if (req.timestamp <= record.last_ts) {
+    if (req.timestamp == record.last_ts && record.has_reply) {
+      out.push_back(reply_envelope(req.client, req.timestamp, record));
+    }
+    return;
+  }
+  record.last_ts = req.timestamp;
+
+  // Decrypt the operation with the client session key; on any failure the
+  // enclave executes a no-op instead (paper §4 step 1).
+  record.no_op = true;
+  record.last_result.clear();
+  const auto session = sessions_.find(req.client);
+  if (session != sessions_.end()) {
+    const auto op = crypto::aead_open(
+        session->second, crypto::make_nonce(kRequestChannel, req.timestamp),
+        {}, req.payload);
+    if (op) {
+      record.last_result = app_->execute(*op);
+      record.no_op = false;
+      ++executed_requests_;
+    }
+  }
+  record.has_reply = true;
+  out.push_back(reply_envelope(req.client, req.timestamp, record));
+}
+
+net::Envelope ExecCompartment::reply_envelope(
+    ClientId client, Timestamp ts, const ClientRecord& record) const {
+  pbft::Reply reply;
+  reply.view = view_;
+  reply.timestamp = ts;
+  reply.client = client;
+  reply.sender = self_;
+  const auto session = sessions_.find(client);
+  if (record.no_op || session == sessions_.end()) {
+    reply.result = no_op_marker();
+  } else {
+    reply.result = crypto::aead_seal(
+        session->second, crypto::make_nonce(kReplyChannelBase + self_, ts), {},
+        record.last_result);
+  }
+  const crypto::Key32 auth_key = clients_.auth_key(client);
+  const Digest mac = crypto::hmac_sha256(
+      ByteView{auth_key.data(), auth_key.size()}, reply.auth_input());
+  reply.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+  net::Envelope env;
+  env.src = signer_->id();
+  env.dst = principal::client(client);
+  env.type = pbft::tag(pbft::MsgType::Reply);
+  env.payload = reply.serialize();
+  return env;
+}
+
+// -------------------------------------------------------------- handler (8)
+
+Bytes ExecCompartment::exec_snapshot() const {
+  // Only deterministic, order-induced state enters the snapshot (and thus
+  // the checkpoint digest): application state + client table with plaintext
+  // results. Session keys are deliberately excluded — their installation is
+  // not ordered by consensus, so including them would make checkpoint
+  // digests of correct replicas race with SessionInit delivery.
+  Writer w;
+  w.bytes(app_->snapshot());
+  std::map<ClientId, const ClientRecord*> records;
+  for (const auto& [c, r] : client_records_) records.emplace(c, &r);
+  w.u32(static_cast<std::uint32_t>(records.size()));
+  for (const auto& [c, r] : records) {
+    w.u32(c);
+    w.u64(r->last_ts);
+    w.bytes(r->last_result);
+    w.boolean(r->no_op);
+    w.boolean(r->has_reply);
+  }
+  return std::move(w).take();
+}
+
+bool ExecCompartment::restore_exec_snapshot(ByteView data) {
+  Reader r(data);
+  const Bytes app_snapshot = r.bytes();
+  const std::uint32_t n_records = r.u32();
+  if (r.failed() || n_records > 1'000'000) return false;
+  std::unordered_map<ClientId, ClientRecord> records;
+  for (std::uint32_t i = 0; i < n_records; ++i) {
+    const ClientId c = r.u32();
+    ClientRecord rec;
+    rec.last_ts = r.u64();
+    rec.last_result = r.bytes();
+    rec.no_op = r.boolean();
+    rec.has_reply = r.boolean();
+    records.emplace(c, std::move(rec));
+  }
+  if (!r.done()) return false;
+  if (!app_->restore(app_snapshot)) return false;
+  client_records_ = std::move(records);
+  return true;
+}
+
+void ExecCompartment::maybe_checkpoint(SeqNum seq, Out& out) {
+  if (config_.checkpoint_interval == 0 ||
+      seq % config_.checkpoint_interval != 0) {
+    return;
+  }
+  Bytes snapshot = exec_snapshot();
+  pbft::Checkpoint cp;
+  cp.seq = seq;
+  cp.state_digest = crypto::sha256(snapshot);
+  cp.sender = self_;
+  snapshots_[seq] = std::move(snapshot);
+
+  const Bytes payload = cp.serialize();
+  // To peer Execution enclaves (their brokers fan out to all three
+  // compartments) and to this replica's own Preparation/Confirmation.
+  net::Envelope env;
+  env.src = signer_->id();
+  env.type = pbft::tag(pbft::MsgType::Checkpoint);
+  env.payload = payload;
+  net::sign_envelope(env, *signer_);
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    if (r == self_) continue;
+    env.dst = principal::enclave({r, Compartment::Execution});
+    out.push_back(env);
+  }
+  for (const Compartment c :
+       {Compartment::Preparation, Compartment::Confirmation}) {
+    env.dst = principal::enclave({self_, c});
+    out.push_back(env);
+  }
+  if (auto stable = checkpoints_.add_own(env, cp)) {
+    garbage_collect(stable->seq);
+  }
+}
+
+void ExecCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
+  if (auto stable = checkpoints_.add(env, *verifier_)) {
+    garbage_collect(stable->seq);
+    if (last_executed_ < stable->seq) request_state(stable->seq, out);
+  }
+}
+
+void ExecCompartment::garbage_collect(SeqNum stable) {
+  log_.erase(log_.begin(), log_.upper_bound(stable));
+  for (auto it = snapshots_.begin(); it != snapshots_.end();) {
+    it = it->first < stable ? snapshots_.erase(it) : std::next(it);
+  }
+}
+
+// ---------------------------------------------------------- state transfer
+
+void ExecCompartment::request_state(SeqNum seq, Out& out) {
+  if (awaiting_state_) return;
+  awaiting_state_ = true;
+  awaited_state_seq_ = seq;
+  pbft::StateRequest sr;
+  sr.seq = seq;
+  sr.sender = self_;
+  const Bytes payload = sr.serialize();
+  for (ReplicaId r = 0; r < config_.n; ++r) {
+    if (r == self_) continue;
+    net::Envelope env;
+    env.src = signer_->id();
+    env.dst = principal::enclave({r, Compartment::Execution});
+    env.type = pbft::tag(pbft::MsgType::StateRequest);
+    env.payload = payload;
+    net::sign_envelope(env, *signer_);
+    out.push_back(std::move(env));
+  }
+}
+
+void ExecCompartment::on_state_request(const net::Envelope& env, Out& out) {
+  auto sr = pbft::StateRequest::deserialize(env.payload);
+  if (!sr || sr->sender >= config_.n || sr->sender == self_) return;
+  const principal::Id signer_id =
+      principal::enclave({sr->sender, Compartment::Execution});
+  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+  const auto it = snapshots_.find(sr->seq);
+  if (it == snapshots_.end() || sr->seq != checkpoints_.last_stable()) return;
+
+  // Snapshots hold confidential state (app data, session keys): encrypt
+  // under the execution-compartment group key before it crosses the
+  // untrusted environment.
+  pbft::StateResponse resp;
+  resp.seq = sr->seq;
+  resp.snapshot = crypto::aead_seal(
+      exec_group_key_, crypto::make_nonce(kStateChannel, sr->seq), {},
+      it->second);
+  resp.checkpoint_proof = checkpoints_.stable_proof();
+  resp.sender = self_;
+
+  net::Envelope out_env;
+  out_env.src = signer_->id();
+  out_env.dst = principal::enclave({sr->sender, Compartment::Execution});
+  out_env.type = pbft::tag(pbft::MsgType::StateResponse);
+  out_env.payload = resp.serialize();
+  net::sign_envelope(out_env, *signer_);
+  out.push_back(std::move(out_env));
+}
+
+void ExecCompartment::on_state_response(const net::Envelope& env, Out& out) {
+  if (!awaiting_state_) return;
+  auto resp = pbft::StateResponse::deserialize(env.payload);
+  if (!resp || resp->sender >= config_.n) return;
+  const principal::Id signer_id =
+      principal::enclave({resp->sender, Compartment::Execution});
+  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+  if (resp->seq < awaited_state_seq_ || resp->seq <= last_executed_) return;
+
+  const auto snapshot = crypto::aead_open(
+      exec_group_key_, crypto::make_nonce(kStateChannel, resp->seq), {},
+      resp->snapshot);
+  if (!snapshot) return;
+  const Digest digest = crypto::sha256(*snapshot);
+  if (!verify_checkpoint_proof(resp->checkpoint_proof, resp->seq, digest,
+                               config_, *verifier_)) {
+    return;
+  }
+  if (!restore_exec_snapshot(*snapshot)) return;
+  last_executed_ = resp->seq;
+  checkpoints_.adopt(resp->seq, resp->checkpoint_proof);
+  snapshots_[resp->seq] = *snapshot;
+  garbage_collect(resp->seq);
+  awaiting_state_ = false;
+  logger().info() << "exec@r" << self_ << " state transfer to " << resp->seq;
+  try_execute(out);
+}
+
+// ------------------------------------------------------------- view change
+
+void ExecCompartment::on_new_view(const net::Envelope& env, Out& out) {
+  auto nv = pbft::NewView::deserialize(env.payload);
+  if (!nv || nv->new_view <= view_) return;
+  if (nv->sender != config_.primary(nv->new_view)) return;
+  const principal::Id nv_signer =
+      principal::enclave({nv->sender, Compartment::Preparation});
+  if (!net::verify_envelope(env, *verifier_, nv_signer)) return;
+
+  // Execution validates/applies only the checkpoint part (paper §4) and
+  // adopts the new view number.
+  for (const auto& vce : nv->view_changes) {
+    auto vc = pbft::ViewChange::deserialize(vce.payload);
+    if (!vc) continue;
+    if (vc->last_stable > checkpoints_.last_stable() &&
+        verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
+                                std::nullopt, config_, *verifier_)) {
+      checkpoints_.adopt(vc->last_stable, vc->checkpoint_proof);
+      garbage_collect(vc->last_stable);
+      if (last_executed_ < vc->last_stable) {
+        request_state(vc->last_stable, out);
+      }
+    }
+  }
+  view_ = nv->new_view;
+  // Also pick up any full batches the new primary re-attached.
+  for (const auto& ppe : nv->pre_prepares) on_pre_prepare(ppe);
+  try_execute(out);
+}
+
+// ----------------------------------------------------- attestation/session
+
+void ExecCompartment::on_attest_request(const net::Envelope& env, Out& out) {
+  auto req = AttestRequest::deserialize(env.payload);
+  if (!req || !quote_fn_) return;
+
+  ReportData rd;
+  rd.signing_principal = signer_->id();
+  rd.dh_public = dh_public_;
+  rd.nonce = req->nonce;
+
+  AttestReport report;
+  report.replica = self_;
+  report.compartment = Compartment::Execution;
+  report.quote = quote_fn_(rd.serialize());
+
+  net::Envelope reply;
+  reply.src = signer_->id();
+  reply.dst = principal::client(req->client);
+  reply.type = pbft::tag(pbft::MsgType::AttestReport);
+  reply.payload = report.serialize();
+  out.push_back(std::move(reply));
+}
+
+void ExecCompartment::on_session_init(const net::Envelope& env, Out& out) {
+  auto init = SessionInit::deserialize(env.payload);
+  if (!init) return;
+  const crypto::Key32 auth_key = clients_.auth_key(init->client);
+  if (!crypto::hmac_verify(ByteView{auth_key.data(), auth_key.size()},
+                           init->auth_input(), init->auth)) {
+    return;
+  }
+  const crypto::Key32 shared =
+      crypto::x25519(dh_secret_, init->client_dh_public);
+  const crypto::Key32 wrap_key = crypto::derive_key(
+      ByteView{shared.data(), shared.size()}, "session-wrap");
+  const auto session_key = crypto::aead_open(
+      wrap_key, crypto::make_nonce(kSessionWrapChannel, init->client), {},
+      init->sealed_session_key);
+  if (!session_key || session_key->size() != 32) return;
+
+  crypto::Key32 key{};
+  std::copy(session_key->begin(), session_key->end(), key.begin());
+  sessions_[init->client] = key;
+
+  SessionAck ack;
+  ack.client = init->client;
+  ack.replica = self_;
+  const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                         ack.auth_input());
+  ack.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+  net::Envelope reply;
+  reply.src = signer_->id();
+  reply.dst = principal::client(init->client);
+  reply.type = pbft::tag(pbft::MsgType::SessionAck);
+  reply.payload = ack.serialize();
+  out.push_back(std::move(reply));
+}
+
+}  // namespace sbft::splitbft

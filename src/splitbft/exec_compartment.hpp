@@ -1,0 +1,159 @@
+// Execution compartment (paper §3.2, Figure 2 handlers 4, 8, 9).
+//
+// Holds the application state. Collects commit certificates (2f+1 Commits
+// from distinct Confirmation enclaves), matches them with the full request
+// batches duplicated into its input log, executes operations in sequence
+// order, and answers clients with encrypted, authenticated replies.
+// Also: session establishment (attestation + X25519 key provisioning),
+// periodic checkpoints with snapshots, garbage collection, and encrypted
+// state transfer between Execution enclaves.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "apps/app.hpp"
+#include "pbft/client_directory.hpp"
+#include "splitbft/compartment.hpp"
+#include "tee/protected_fs.hpp"
+
+namespace sbft::splitbft {
+
+/// Persist hook handed to the application: blocks written through it are
+/// encrypted + MAC-chained inside the enclave (protected FS) and then leave
+/// through an ocall to untrusted storage — the paper's per-block cost.
+using PersistHook = std::function<void(ByteView record)>;
+
+/// App factory variant receiving the persist hook (the ledger uses it as
+/// its BlockSink; the KVS ignores it).
+using ExecAppFactory =
+    std::function<std::unique_ptr<apps::Application>(PersistHook)>;
+
+/// Adapts a plain AppFactory (apps that never persist).
+[[nodiscard]] ExecAppFactory plain_app(apps::AppFactory factory);
+
+class ExecCompartment final : public CompartmentLogic {
+ public:
+  /// `block_store` is the UNTRUSTED storage behind the protected FS; may be
+  /// nullptr for apps that never persist.
+  ExecCompartment(pbft::Config config, ReplicaId self,
+                  std::shared_ptr<const crypto::Signer> signer,
+                  std::shared_ptr<const crypto::Verifier> verifier,
+                  pbft::ClientDirectory clients, ExecAppFactory app_factory,
+                  crypto::Key32 exec_group_key, crypto::Key32 dh_secret,
+                  crypto::Key32 fs_key = {},
+                  tee::BlockStore* block_store = nullptr);
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return compartment_measurement(Compartment::Execution);
+  }
+
+  using QuoteFn = std::function<Bytes(ByteView report_data)>;
+  void set_quote_fn(QuoteFn fn) { quote_fn_ = std::move(fn); }
+
+  // Introspection (tests, safety checkers).
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] SeqNum last_executed() const noexcept {
+    return last_executed_;
+  }
+  [[nodiscard]] SeqNum last_stable() const noexcept {
+    return checkpoints_.last_stable();
+  }
+  [[nodiscard]] const apps::Application& app() const noexcept { return *app_; }
+  [[nodiscard]] std::uint64_t executed_requests() const noexcept {
+    return executed_requests_;
+  }
+  [[nodiscard]] const std::map<SeqNum, Digest>& execution_history()
+      const noexcept {
+    return executed_digests_;
+  }
+  [[nodiscard]] bool has_session(ClientId c) const {
+    return sessions_.contains(c);
+  }
+
+  /// Out-of-band session provisioning: installs a pre-established client
+  /// session key, as a deployment would after offline attestation. The
+  /// benchmark harness uses this to skip the per-client handshake, exactly
+  /// like the paper's measurements which attest once before the runs.
+  void install_session(ClientId client, const crypto::Key32& key) {
+    sessions_[client] = key;
+  }
+
+ private:
+  struct Slot {
+    // Commit votes keyed by sender: (view, digest) they vote for.
+    std::map<ReplicaId, std::pair<std::pair<View, Digest>, net::Envelope>>
+        commits;
+    // Full batches keyed by digest (from duplicated PrePrepares).
+    std::map<Digest, Bytes> batches;
+    std::optional<Digest> committed_digest;
+  };
+
+  // Client table entries cache the PLAINTEXT result: ciphertexts are
+  // replica-specific (per-replica reply nonces), so only plaintext state is
+  // deterministic across replicas and may enter the checkpoint digest.
+  // Replies are re-encrypted deterministically on retransmission.
+  struct ClientRecord {
+    Timestamp last_ts{0};
+    Bytes last_result;  // plaintext result
+    bool no_op{false};
+    bool has_reply{false};
+  };
+
+  using Out = std::vector<net::Envelope>;
+
+  void on_pre_prepare(const net::Envelope& env);
+  void on_commit(const net::Envelope& env, Out& out);
+  void on_checkpoint(const net::Envelope& env, Out& out);
+  void on_new_view(const net::Envelope& env, Out& out);
+  void on_attest_request(const net::Envelope& env, Out& out);
+  void on_session_init(const net::Envelope& env, Out& out);
+  void on_state_request(const net::Envelope& env, Out& out);
+  void on_state_response(const net::Envelope& env, Out& out);
+
+  void try_execute(Out& out);
+  void execute_request(const pbft::Request& req, Out& out);
+  void maybe_checkpoint(SeqNum seq, Out& out);
+  void garbage_collect(SeqNum stable);
+  void request_state(SeqNum seq, Out& out);
+
+  [[nodiscard]] Bytes exec_snapshot() const;
+  [[nodiscard]] bool restore_exec_snapshot(ByteView data);
+  [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
+  /// Builds the (deterministically encrypted) reply for a client record.
+  [[nodiscard]] net::Envelope reply_envelope(ClientId client, Timestamp ts,
+                                             const ClientRecord& record) const;
+
+  pbft::Config config_;
+  ReplicaId self_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  std::shared_ptr<const crypto::Verifier> verifier_;
+  pbft::ClientDirectory clients_;
+  crypto::Key32 exec_group_key_;
+  crypto::Key32 dh_secret_;
+  crypto::Key32 dh_public_;
+  std::optional<tee::ProtectedFile> protected_file_;
+  std::unique_ptr<apps::Application> app_;
+  QuoteFn quote_fn_;
+
+  View view_{0};
+  SeqNum last_executed_{0};
+  /// Input log in_exec.
+  std::map<SeqNum, Slot> log_;
+  CheckpointCollector checkpoints_;
+  std::map<SeqNum, Bytes> snapshots_;
+
+  std::unordered_map<ClientId, crypto::Key32> sessions_;
+  std::unordered_map<ClientId, ClientRecord> client_records_;
+
+  bool awaiting_state_{false};
+  SeqNum awaited_state_seq_{0};
+
+  std::map<SeqNum, Digest> executed_digests_;
+  std::uint64_t executed_requests_{0};
+  Digest null_batch_digest_;
+};
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,222 @@
+#include "splitbft/messages.hpp"
+
+#include "common/serde.hpp"
+
+namespace sbft::splitbft {
+
+namespace {
+
+void put_digest(Writer& w, const Digest& d) { w.raw(d.view()); }
+
+[[nodiscard]] Digest get_digest(Reader& r) {
+  const Bytes b = r.raw(32);
+  Digest d;
+  if (b.size() == 32) std::copy(b.begin(), b.end(), d.bytes.begin());
+  return d;
+}
+
+void put_key(Writer& w, const crypto::Key32& k) {
+  w.raw(ByteView{k.data(), k.size()});
+}
+
+[[nodiscard]] crypto::Key32 get_key(Reader& r) {
+  const Bytes b = r.raw(32);
+  crypto::Key32 k{};
+  if (b.size() == 32) std::copy(b.begin(), b.end(), k.begin());
+  return k;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- SplitPrePrepare
+
+Bytes SplitPrePrepare::header_bytes() const {
+  Writer w;
+  w.u64(view);
+  w.u64(seq);
+  put_digest(w, batch_digest);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+Bytes SplitPrePrepare::serialize() const {
+  Writer w;
+  w.raw(header_bytes());
+  w.boolean(has_batch);
+  if (has_batch) w.bytes(batch);
+  return std::move(w).take();
+}
+
+std::optional<SplitPrePrepare> SplitPrePrepare::deserialize(ByteView data) {
+  Reader r(data);
+  SplitPrePrepare pp;
+  pp.view = r.u64();
+  pp.seq = r.u64();
+  pp.batch_digest = get_digest(r);
+  pp.sender = r.u32();
+  pp.has_batch = r.boolean();
+  if (pp.has_batch) pp.batch = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return pp;
+}
+
+SplitPrePrepare SplitPrePrepare::stripped() const {
+  SplitPrePrepare copy = *this;
+  copy.batch.clear();
+  copy.has_batch = false;
+  return copy;
+}
+
+net::Envelope make_pre_prepare_envelope(const SplitPrePrepare& pp,
+                                        const crypto::Signer& signer,
+                                        principal::Id dst) {
+  net::Envelope env;
+  env.src = signer.id();
+  env.dst = dst;
+  env.type = pbft::tag(pbft::MsgType::PrePrepare);
+  env.payload = pp.serialize();
+  env.signature = signer.sign(pp.header_bytes());
+  return env;
+}
+
+bool verify_pre_prepare_envelope(const net::Envelope& env,
+                                 const SplitPrePrepare& pp,
+                                 const crypto::Verifier& verifier,
+                                 principal::Id signer) {
+  (void)env;
+  return verifier.verify(signer, pp.header_bytes(), env.signature);
+}
+
+// ----------------------------------------------------------------- attest
+
+Bytes AttestRequest::serialize() const {
+  Writer w;
+  w.u32(client);
+  w.bytes(nonce);
+  return std::move(w).take();
+}
+
+std::optional<AttestRequest> AttestRequest::deserialize(ByteView data) {
+  Reader r(data);
+  AttestRequest m;
+  m.client = r.u32();
+  m.nonce = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes AttestReport::serialize() const {
+  Writer w;
+  w.u32(replica);
+  w.u8(static_cast<std::uint8_t>(compartment));
+  w.bytes(quote);
+  return std::move(w).take();
+}
+
+std::optional<AttestReport> AttestReport::deserialize(ByteView data) {
+  Reader r(data);
+  AttestReport m;
+  m.replica = r.u32();
+  m.compartment = static_cast<Compartment>(r.u8());
+  m.quote = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes ReportData::serialize() const {
+  Writer w;
+  w.u64(signing_principal);
+  put_key(w, dh_public);
+  w.bytes(nonce);
+  return std::move(w).take();
+}
+
+std::optional<ReportData> ReportData::deserialize(ByteView data) {
+  Reader r(data);
+  ReportData m;
+  m.signing_principal = r.u64();
+  m.dh_public = get_key(r);
+  m.nonce = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ---------------------------------------------------------------- session
+
+Bytes SessionInit::auth_input() const {
+  Writer w;
+  w.u32(client);
+  put_key(w, client_dh_public);
+  w.bytes(sealed_session_key);
+  return std::move(w).take();
+}
+
+Bytes SessionInit::serialize() const {
+  Writer w;
+  w.raw(auth_input());
+  w.bytes(auth);
+  return std::move(w).take();
+}
+
+std::optional<SessionInit> SessionInit::deserialize(ByteView data) {
+  Reader r(data);
+  SessionInit m;
+  m.client = r.u32();
+  m.client_dh_public = get_key(r);
+  m.sealed_session_key = r.bytes();
+  m.auth = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes SessionAck::auth_input() const {
+  Writer w;
+  w.u32(client);
+  w.u32(replica);
+  return std::move(w).take();
+}
+
+Bytes SessionAck::serialize() const {
+  Writer w;
+  w.raw(auth_input());
+  w.bytes(auth);
+  return std::move(w).take();
+}
+
+std::optional<SessionAck> SessionAck::deserialize(ByteView data) {
+  Reader r(data);
+  SessionAck m;
+  m.client = r.u32();
+  m.replica = r.u32();
+  m.auth = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+// ----------------------------------------------------------------- outbox
+
+Bytes encode_outbox(const std::vector<net::Envelope>& envs) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(envs.size()));
+  for (const auto& env : envs) w.bytes(env.serialize());
+  return std::move(w).take();
+}
+
+std::optional<std::vector<net::Envelope>> decode_outbox(ByteView data) {
+  Reader r(data);
+  const std::uint32_t n = r.u32();
+  if (n > 100'000) return std::nullopt;
+  std::vector<net::Envelope> envs;
+  envs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes b = r.bytes();
+    if (r.failed()) return std::nullopt;
+    auto env = net::Envelope::deserialize(b);
+    if (!env) return std::nullopt;
+    envs.push_back(std::move(*env));
+  }
+  if (!r.done()) return std::nullopt;
+  return envs;
+}
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,98 @@
+// Preparation compartment (paper §3.2, Figure 2 handlers 1, 2, 6, 7, 7', 9).
+//
+// Primary role: authenticate client request batches, assign sequence
+// numbers, emit header-signed PrePrepares. Backup role: validate the
+// primary's PrePrepare and emit Prepares to all Confirmation enclaves.
+// Also creates and validates NewView messages (the complex re-proposal
+// logic lives here, co-located with PrePrepare handling per principle P4),
+// and garbage-collects its input log on checkpoint certificates (duplicated
+// handler 9).
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "pbft/client_directory.hpp"
+#include "splitbft/compartment.hpp"
+
+namespace sbft::splitbft {
+
+class PrepCompartment final : public CompartmentLogic {
+ public:
+  PrepCompartment(pbft::Config config, ReplicaId self,
+                  std::shared_ptr<const crypto::Signer> signer,
+                  std::shared_ptr<const crypto::Verifier> verifier,
+                  pbft::ClientDirectory clients, Bytes attestation_context);
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return compartment_measurement(Compartment::Preparation);
+  }
+
+  // Introspection (tests).
+  [[nodiscard]] View view() const noexcept { return view_; }
+  [[nodiscard]] SeqNum next_seq() const noexcept { return next_seq_; }
+  [[nodiscard]] SeqNum last_stable() const noexcept {
+    return checkpoints_.last_stable();
+  }
+
+  /// Callback used by the replica assembly to answer attestation requests;
+  /// set once at construction time by the trusted platform glue.
+  using QuoteFn = std::function<Bytes(ByteView report_data)>;
+  void set_quote_fn(QuoteFn fn) { quote_fn_ = std::move(fn); }
+
+ private:
+  using Out = std::vector<net::Envelope>;
+
+  void on_local_batch(const net::Envelope& env, Out& out);
+  void on_pre_prepare(const net::Envelope& env, Out& out);
+  void on_view_change(const net::Envelope& env, Out& out);
+  void on_new_view(const net::Envelope& env, Out& out);
+  void on_checkpoint(const net::Envelope& env, Out& out);
+  void on_attest_request(const net::Envelope& env, Out& out);
+
+  [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
+  [[nodiscard]] bool is_primary() const noexcept {
+    return config_.primary(view_) == self_;
+  }
+  void emit_prepare(const SplitPrePrepare& pp, Out& out);
+  void garbage_collect(SeqNum stable);
+
+  // View-change machinery.
+  struct Plan {
+    SeqNum min_s{0};
+    SeqNum max_s{0};
+    std::map<SeqNum, Digest> proposals;
+  };
+  [[nodiscard]] bool validate_view_change(const net::Envelope& env,
+                                          pbft::ViewChange& out_vc) const;
+  [[nodiscard]] bool validate_prepared_proof(const pbft::PreparedProof& proof,
+                                             SeqNum& seq, View& view,
+                                             Digest& digest) const;
+  [[nodiscard]] std::optional<Plan> compute_plan(
+      const std::vector<net::Envelope>& vc_envs) const;
+  void maybe_send_new_view(View target, Out& out);
+  void enter_view(View v, const std::vector<net::Envelope>& o_pre_prepares,
+                  Out& out);
+
+  pbft::Config config_;
+  ReplicaId self_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  std::shared_ptr<const crypto::Verifier> verifier_;
+  pbft::ClientDirectory clients_;
+  Bytes attestation_context_;
+  QuoteFn quote_fn_;
+
+  View view_{0};
+  SeqNum next_seq_{0};
+  /// Input log in_prep: accepted PrePrepares by sequence number.
+  std::map<SeqNum, SplitPrePrepare> log_;
+  CheckpointCollector checkpoints_;
+
+  /// Collected ViewChange envelopes by target view (new-primary duty).
+  std::map<View, std::map<ReplicaId, net::Envelope>> view_changes_;
+  std::set<View> new_view_sent_;
+};
+
+}  // namespace sbft::splitbft

@@ -1,0 +1,63 @@
+#include "splitbft/replica.hpp"
+
+namespace sbft::splitbft {
+
+SplitbftReplica::SplitbftReplica(ReplicaOptions options, ReplicaId id,
+                                 const crypto::KeyRing& keyring,
+                                 const tee::AttestationService& attestation,
+                                 const tee::SealingService& sealing,
+                                 crypto::Key32 exec_group_key,
+                                 crypto::Key32 dh_secret,
+                                 ExecAppFactory app_factory)
+    : id_(id) {
+  const auto verifier = keyring.verifier();
+  const pbft::ClientDirectory clients(options.client_master_secret);
+
+  auto prep_logic = std::make_unique<PrepCompartment>(
+      options.config, id,
+      keyring.signer(principal::enclave({id, Compartment::Preparation})),
+      verifier, clients, Bytes{});
+  prep_ = prep_logic.get();
+  {
+    const Digest m = prep_logic->measurement();
+    prep_logic->set_quote_fn([&attestation, m](ByteView report_data) {
+      return attestation.issue(m, report_data).serialize();
+    });
+  }
+
+  auto conf_logic = std::make_unique<ConfCompartment>(
+      options.config, id,
+      keyring.signer(principal::enclave({id, Compartment::Confirmation})),
+      verifier);
+  conf_ = conf_logic.get();
+
+  const Digest exec_measurement =
+      compartment_measurement(Compartment::Execution);
+  auto exec_logic = std::make_unique<ExecCompartment>(
+      options.config, id,
+      keyring.signer(principal::enclave({id, Compartment::Execution})),
+      verifier, clients, std::move(app_factory), exec_group_key, dh_secret,
+      sealing.sealing_key(exec_measurement), &block_store_);
+  exec_ = exec_logic.get();
+  exec_logic->set_quote_fn(
+      [&attestation, exec_measurement](ByteView report_data) {
+        return attestation.issue(exec_measurement, report_data).serialize();
+      });
+
+  const auto make_host = [&](Compartment type,
+                             std::unique_ptr<CompartmentLogic> logic) {
+    if (options.decorate_logic) {
+      logic = options.decorate_logic(type, std::move(logic));
+    }
+    return std::make_unique<tee::EnclaveHost>(
+        std::make_unique<CompartmentEnclave>(std::move(logic)),
+        options.cost_model, options.charge_real_time);
+  };
+  broker_ = std::make_unique<Broker>(
+      options.config, id,
+      make_host(Compartment::Preparation, std::move(prep_logic)),
+      make_host(Compartment::Confirmation, std::move(conf_logic)),
+      make_host(Compartment::Execution, std::move(exec_logic)));
+}
+
+}  // namespace sbft::splitbft

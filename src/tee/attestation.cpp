@@ -1,0 +1,68 @@
+#include "tee/attestation.hpp"
+
+#include "common/serde.hpp"
+
+namespace sbft::tee {
+
+namespace {
+
+[[nodiscard]] Bytes quote_signing_input(const Digest& measurement,
+                                        ByteView report_data) {
+  Writer w;
+  w.raw(measurement.view());
+  w.bytes(report_data);
+  return std::move(w).take();
+}
+
+}  // namespace
+
+Bytes Quote::serialize() const {
+  Writer w;
+  w.raw(measurement.view());
+  w.bytes(report_data);
+  w.raw(signature.view());
+  return std::move(w).take();
+}
+
+std::optional<Quote> Quote::deserialize(ByteView data) {
+  Reader r(data);
+  Quote q;
+  const Bytes m = r.raw(32);
+  q.report_data = r.bytes();
+  const Bytes sig = r.raw(64);
+  if (!r.done()) return std::nullopt;
+  std::copy(m.begin(), m.end(), q.measurement.bytes.begin());
+  std::copy(sig.begin(), sig.end(), q.signature.bytes.begin());
+  return q;
+}
+
+AttestationService::AttestationService(std::uint64_t seed)
+    : root_key_([seed] {
+        Rng rng(seed ^ 0xa77e57a7107a57edULL);
+        return crypto::Ed25519SecretKey::generate(rng);
+      }()),
+      root_public_(root_key_.public_key()) {}
+
+Quote AttestationService::issue(const Digest& measurement,
+                                ByteView report_data) const {
+  Quote q;
+  q.measurement = measurement;
+  q.report_data = Bytes(report_data.begin(), report_data.end());
+  const Bytes input = quote_signing_input(measurement, report_data);
+  q.signature = root_key_.sign(input);
+  return q;
+}
+
+bool verify_quote(const crypto::Ed25519PublicKey& root, const Quote& quote) {
+  const Bytes input =
+      quote_signing_input(quote.measurement, quote.report_data);
+  return crypto::ed25519_verify(root, input, quote.signature);
+}
+
+bool verify_quote(const crypto::Ed25519PublicKey& root, const Quote& quote,
+                  const Digest& expected_measurement) {
+  if (quote.measurement != expected_measurement) return false;
+  return verify_quote(root, quote);
+}
+
+}  // namespace sbft::tee

@@ -1,0 +1,50 @@
+// Simulated remote attestation.
+//
+// Stands in for Intel's attestation infrastructure (IAS/DCAP): a platform
+// "quoting enclave" signs (measurement, report_data) with a root key whose
+// public half all verifiers know. SplitBFT clients attest the Preparation
+// and Execution enclaves before provisioning session keys (paper §4 step 1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace sbft::tee {
+
+struct Quote {
+  Digest measurement;
+  Bytes report_data;  // enclave-chosen binding, e.g. its public keys
+  crypto::Ed25519Signature signature;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<Quote> deserialize(ByteView data);
+};
+
+class AttestationService {
+ public:
+  explicit AttestationService(std::uint64_t seed);
+
+  /// Issues a quote binding `report_data` to the enclave identity.
+  [[nodiscard]] Quote issue(const Digest& measurement,
+                            ByteView report_data) const;
+
+  [[nodiscard]] const crypto::Ed25519PublicKey& root_public_key()
+      const noexcept {
+    return root_public_;
+  }
+
+ private:
+  crypto::Ed25519SecretKey root_key_;
+  crypto::Ed25519PublicKey root_public_;
+};
+
+/// Verifies a quote chain and (optionally) the expected code identity.
+[[nodiscard]] bool verify_quote(const crypto::Ed25519PublicKey& root,
+                                const Quote& quote);
+[[nodiscard]] bool verify_quote(const crypto::Ed25519PublicKey& root,
+                                const Quote& quote,
+                                const Digest& expected_measurement);
+
+}  // namespace sbft::tee

@@ -1,0 +1,62 @@
+// The enclave abstraction.
+//
+// An Enclave is code+state reachable only through its single serialized
+// entry point (ecall). Everything crossing the boundary is a byte buffer,
+// exactly as with the SGX SDK's edger8r interface: the host cannot see
+// enclave memory, and the enclave never trusts pointers from outside.
+//
+// Enclaves reach back into the untrusted world through an OcallSink
+// (network sends, persistent writes, timer registration). Ocalls are
+// fire-and-forget or return bytes; the enclave must treat every ocall
+// result as untrusted input.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace sbft::tee {
+
+/// Well-known ecall function ids shared by all compartment enclaves.
+enum class EcallFn : std::uint32_t {
+  /// Deliver one protocol message (args: serialized envelope).
+  DeliverMessage = 1,
+  /// Timer/tick event from the untrusted environment (args: u64 now_us).
+  Tick = 2,
+  /// Administrative query used by tests (enclave-defined semantics).
+  Inspect = 3,
+  /// Initialization payload (configuration, keys provisioning).
+  Init = 4,
+};
+
+/// Untrusted services the enclave may invoke.
+class OcallSink {
+ public:
+  virtual ~OcallSink() = default;
+  /// Generic ocall: function id + serialized args, returns serialized result.
+  virtual Bytes ocall(std::uint32_t fn, ByteView args) = 0;
+};
+
+/// Well-known ocall function ids.
+enum class OcallFn : std::uint32_t {
+  /// Append an encrypted block to untrusted persistent storage.
+  PersistBlock = 1,
+  /// Read an encrypted block back (args: u64 index).
+  ReadBlock = 2,
+};
+
+class Enclave {
+ public:
+  virtual ~Enclave() = default;
+
+  /// Code identity (MRENCLAVE equivalent): digest of the compartment type
+  /// and its build configuration.
+  [[nodiscard]] virtual Digest measurement() const = 0;
+
+  /// Serialized entry point. Implementations must not retain references
+  /// into `args` beyond the call.
+  [[nodiscard]] virtual Bytes ecall(std::uint32_t fn, ByteView args) = 0;
+};
+
+}  // namespace sbft::tee

@@ -1,0 +1,71 @@
+#include "tee/enclave_host.hpp"
+
+#include <chrono>
+
+namespace sbft::tee {
+
+namespace {
+
+void spin_for(Micros us) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  // Busy-wait: an SGX transition burns CPU, it does not yield.
+  while (std::chrono::steady_clock::now() < deadline) {
+  }
+}
+
+}  // namespace
+
+EnclaveHost::EnclaveHost(std::unique_ptr<Enclave> enclave, CostModel cost,
+                         bool charge_real_time)
+    : enclave_(std::move(enclave)),
+      cost_(cost),
+      charge_real_time_(charge_real_time) {}
+
+Bytes EnclaveHost::ecall(std::uint32_t fn, ByteView args) {
+  const std::scoped_lock lock(mutex_);
+  const auto start = std::chrono::steady_clock::now();
+
+  Bytes result = enclave_->ecall(fn, args);
+
+  const Micros crossing = cost_.crossing_cost(args.size(), result.size());
+  if (charge_real_time_ && crossing > 0) spin_for(crossing);
+
+  const auto end = std::chrono::steady_clock::now();
+  Micros elapsed = static_cast<Micros>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  if (!charge_real_time_) elapsed += crossing;
+
+  const std::size_t slot = fn < kMaxFn ? fn : 0;
+  EcallStats& s = stats_[slot];
+  s.calls += 1;
+  s.total_us += elapsed;
+  s.bytes_in += args.size();
+  s.bytes_out += result.size();
+  return result;
+}
+
+EcallStats EnclaveHost::stats(std::uint32_t fn) const {
+  const std::scoped_lock lock(mutex_);
+  return stats_[fn < kMaxFn ? fn : 0];
+}
+
+EcallStats EnclaveHost::total_stats() const {
+  const std::scoped_lock lock(mutex_);
+  EcallStats total;
+  for (const auto& s : stats_) {
+    total.calls += s.calls;
+    total.total_us += s.total_us;
+    total.bytes_in += s.bytes_in;
+    total.bytes_out += s.bytes_out;
+  }
+  return total;
+}
+
+void EnclaveHost::reset_stats() {
+  const std::scoped_lock lock(mutex_);
+  stats_ = {};
+}
+
+}  // namespace sbft::tee

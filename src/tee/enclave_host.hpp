@@ -1,0 +1,67 @@
+// EnclaveHost: the untrusted side's handle to a loaded enclave.
+//
+// Responsibilities:
+//  * serializes entry (SplitBFT runs a single thread per enclave; the SGX
+//    SDK equivalent is an exclusive TCS) — a mutex guards the ecall path;
+//  * charges the CostModel for every crossing, either by busy-waiting
+//    (threaded runtime, real time) or by pure accounting (virtual time);
+//  * records per-function-id latency statistics; the Figure-4 experiment
+//    reads these to report mean ecall time per compartment.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "common/clock.hpp"
+#include "tee/cost_model.hpp"
+#include "tee/enclave.hpp"
+
+namespace sbft::tee {
+
+struct EcallStats {
+  std::uint64_t calls{0};
+  std::uint64_t total_us{0};
+  std::uint64_t bytes_in{0};
+  std::uint64_t bytes_out{0};
+
+  [[nodiscard]] double mean_us() const noexcept {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(total_us) /
+                            static_cast<double>(calls);
+  }
+};
+
+class EnclaveHost {
+ public:
+  /// `charge_real_time`: if true, the crossing cost is burned as actual
+  /// wall-clock spin (threaded runtime); if false it is only recorded
+  /// (virtual-time benchmarks charge it through the queueing model).
+  EnclaveHost(std::unique_ptr<Enclave> enclave, CostModel cost,
+              bool charge_real_time);
+
+  /// Invokes the enclave entry point, charging transition costs.
+  [[nodiscard]] Bytes ecall(std::uint32_t fn, ByteView args);
+
+  [[nodiscard]] EcallStats stats(std::uint32_t fn) const;
+  [[nodiscard]] EcallStats total_stats() const;
+  void reset_stats();
+
+  [[nodiscard]] Digest measurement() const { return enclave_->measurement(); }
+  [[nodiscard]] const CostModel& cost_model() const noexcept { return cost_; }
+
+  /// Direct access for setup-time calls (Init) in tests.
+  [[nodiscard]] Enclave& enclave() noexcept { return *enclave_; }
+
+ private:
+  static constexpr std::size_t kMaxFn = 8;
+
+  std::unique_ptr<Enclave> enclave_;
+  CostModel cost_;
+  bool charge_real_time_;
+  mutable std::mutex mutex_;
+  std::array<EcallStats, kMaxFn> stats_{};
+};
+
+}  // namespace sbft::tee

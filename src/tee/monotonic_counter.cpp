@@ -1,0 +1,22 @@
+#include "tee/monotonic_counter.hpp"
+
+namespace sbft::tee {
+
+std::uint64_t MonotonicCounterService::increment(std::uint64_t id) {
+  const std::scoped_lock lock(mutex_);
+  return ++counters_[id];
+}
+
+std::uint64_t MonotonicCounterService::read(std::uint64_t id) const {
+  const std::scoped_lock lock(mutex_);
+  const auto it = counters_.find(id);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void MonotonicCounterService::corrupt_set(std::uint64_t id,
+                                          std::uint64_t value) {
+  const std::scoped_lock lock(mutex_);
+  counters_[id] = value;
+}
+
+}  // namespace sbft::tee

@@ -1,0 +1,34 @@
+// Trusted monotonic counters.
+//
+// Two uses: (i) the hybrid baseline's USIG assigns counter values to
+// messages (MinBFT/CheapBFT style), and (ii) rollback detection for sealed
+// state. The platform owns the counters; a fault-injection hook lets the
+// Table-1 experiment model a compromised TEE that rolls counters back.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace sbft::tee {
+
+class MonotonicCounterService {
+ public:
+  MonotonicCounterService() = default;
+
+  /// Atomically increments counter `id` and returns the NEW value.
+  [[nodiscard]] std::uint64_t increment(std::uint64_t id);
+
+  /// Reads the current value (0 if never incremented).
+  [[nodiscard]] std::uint64_t read(std::uint64_t id) const;
+
+  /// FAULT INJECTION ONLY: models a compromised platform rolling a counter
+  /// back (e.g. SGX counter wear-out reset or snapshot restore attack).
+  void corrupt_set(std::uint64_t id, std::uint64_t value);
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> counters_;
+};
+
+}  // namespace sbft::tee

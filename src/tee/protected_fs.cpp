@@ -1,0 +1,60 @@
+#include "tee/protected_fs.hpp"
+
+namespace sbft::tee {
+
+namespace {
+constexpr std::uint32_t kFsChannel = 0xf5;
+}
+
+void MemoryBlockStore::append(ByteView ciphertext) {
+  blocks_.emplace_back(ciphertext.begin(), ciphertext.end());
+}
+
+std::optional<Bytes> MemoryBlockStore::read(std::uint64_t index) const {
+  if (index >= blocks_.size()) return std::nullopt;
+  return blocks_[index];
+}
+
+std::uint64_t MemoryBlockStore::size() const { return blocks_.size(); }
+
+void MemoryBlockStore::corrupt(std::uint64_t index, std::size_t byte_offset) {
+  if (index < blocks_.size() && byte_offset < blocks_[index].size()) {
+    blocks_[index][byte_offset] ^= 0x01;
+  }
+}
+
+void MemoryBlockStore::truncate(std::uint64_t new_size) {
+  if (new_size < blocks_.size()) blocks_.resize(new_size);
+}
+
+ProtectedFile::ProtectedFile(crypto::Key32 key, BlockStore& store)
+    : key_(key), store_(store) {}
+
+std::uint64_t ProtectedFile::append(ByteView record) {
+  const std::uint64_t index = count_;
+  const Bytes sealed = crypto::aead_seal(
+      key_, crypto::make_nonce(kFsChannel, index), chain_tag_, record);
+  // The chain tag is the AEAD tag (last 16 bytes) of this record.
+  chain_tag_.assign(sealed.end() - 16, sealed.end());
+  store_.append(sealed);
+  count_ += 1;
+  return index;
+}
+
+std::optional<std::vector<Bytes>> ProtectedFile::read_all() const {
+  std::vector<Bytes> records;
+  Bytes prev_tag;
+  if (store_.size() < count_) return std::nullopt;  // truncation
+  for (std::uint64_t i = 0; i < count_; ++i) {
+    const auto sealed = store_.read(i);
+    if (!sealed) return std::nullopt;
+    auto plain = crypto::aead_open(key_, crypto::make_nonce(kFsChannel, i),
+                                   prev_tag, *sealed);
+    if (!plain) return std::nullopt;  // tamper / reorder detected
+    prev_tag.assign(sealed->end() - 16, sealed->end());
+    records.push_back(std::move(*plain));
+  }
+  return records;
+}
+
+}  // namespace sbft::tee

@@ -1,0 +1,37 @@
+#include "tee/sealing.hpp"
+
+#include "common/rng.hpp"
+#include "crypto/hmac.hpp"
+
+namespace sbft::tee {
+
+namespace {
+constexpr std::uint32_t kSealChannel = 0x5ea1;
+}
+
+SealingService::SealingService(std::uint64_t platform_seed) {
+  Rng rng(platform_seed ^ 0x5ea11e55b007c0deULL);
+  for (auto& b : platform_root_) {
+    b = static_cast<std::uint8_t>(rng.next_u64());
+  }
+}
+
+crypto::Key32 SealingService::sealing_key(const Digest& measurement) const {
+  return crypto::derive_key(
+      ByteView{platform_root_.data(), platform_root_.size()}, "sgx-seal-key",
+      measurement.view());
+}
+
+Bytes seal_data(const crypto::Key32& key, std::uint64_t seq, ByteView aad,
+                ByteView plaintext) {
+  return crypto::aead_seal(key, crypto::make_nonce(kSealChannel, seq), aad,
+                           plaintext);
+}
+
+std::optional<Bytes> unseal_data(const crypto::Key32& key, std::uint64_t seq,
+                                 ByteView aad, ByteView sealed) {
+  return crypto::aead_open(key, crypto::make_nonce(kSealChannel, seq), aad,
+                           sealed);
+}
+
+}  // namespace sbft::tee

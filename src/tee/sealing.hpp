@@ -1,0 +1,39 @@
+// Enclave sealing (SGX sgx_seal_data equivalent).
+//
+// A platform-wide sealing root plus the enclave measurement derive a
+// per-identity sealing key (MRENCLAVE policy): only the same enclave code on
+// the same platform can unseal. Used for enclave recovery (paper §4
+// "Enclave recovery") and the protected filesystem.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+
+namespace sbft::tee {
+
+class SealingService {
+ public:
+  /// One service per simulated platform (CPU).
+  explicit SealingService(std::uint64_t platform_seed);
+
+  /// Derives the sealing key for an enclave identity.
+  [[nodiscard]] crypto::Key32 sealing_key(const Digest& measurement) const;
+
+ private:
+  crypto::Key32 platform_root_{};
+};
+
+/// Seals `plaintext` under `key`; `seq` must be unique per key
+/// (e.g. a persisted monotonic counter) to keep nonces fresh.
+[[nodiscard]] Bytes seal_data(const crypto::Key32& key, std::uint64_t seq,
+                              ByteView aad, ByteView plaintext);
+
+/// Reverses seal_data; nullopt on tamper or wrong key/seq/aad.
+[[nodiscard]] std::optional<Bytes> unseal_data(const crypto::Key32& key,
+                                               std::uint64_t seq, ByteView aad,
+                                               ByteView sealed);
+
+}  // namespace sbft::tee

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "apps/counter_app.hpp"
+#include "apps/kv_store.hpp"
+#include "apps/ledger.hpp"
+
+namespace sbft::apps {
+namespace {
+
+TEST(KvStore, PutGetDelete) {
+  KvStore store;
+  auto reply = kv::decode_reply(
+      store.execute(kv::encode_put(to_bytes("k1"), to_bytes("v1"))));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, KvStatus::Ok);
+
+  reply = kv::decode_reply(store.execute(kv::encode_get(to_bytes("k1"))));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, KvStatus::Ok);
+  EXPECT_EQ(reply->value, to_bytes("v1"));
+
+  reply = kv::decode_reply(store.execute(kv::encode_del(to_bytes("k1"))));
+  EXPECT_EQ(reply->status, KvStatus::Ok);
+  reply = kv::decode_reply(store.execute(kv::encode_get(to_bytes("k1"))));
+  EXPECT_EQ(reply->status, KvStatus::NotFound);
+}
+
+TEST(KvStore, GetMissingKey) {
+  KvStore store;
+  const auto reply =
+      kv::decode_reply(store.execute(kv::encode_get(to_bytes("nope"))));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, KvStatus::NotFound);
+}
+
+TEST(KvStore, DeleteMissingKey) {
+  KvStore store;
+  const auto reply =
+      kv::decode_reply(store.execute(kv::encode_del(to_bytes("nope"))));
+  EXPECT_EQ(reply->status, KvStatus::NotFound);
+}
+
+TEST(KvStore, CompareAndSwap) {
+  KvStore store;
+  (void)store.execute(kv::encode_put(to_bytes("k"), to_bytes("a")));
+
+  auto reply = kv::decode_reply(
+      store.execute(kv::encode_cas(to_bytes("k"), to_bytes("a"), to_bytes("b"))));
+  EXPECT_EQ(reply->status, KvStatus::Ok);
+
+  reply = kv::decode_reply(
+      store.execute(kv::encode_cas(to_bytes("k"), to_bytes("a"), to_bytes("c"))));
+  EXPECT_EQ(reply->status, KvStatus::CasMismatch);
+  EXPECT_EQ(reply->value, to_bytes("b"));  // current value returned
+
+  reply = kv::decode_reply(store.execute(
+      kv::encode_cas(to_bytes("missing"), to_bytes("a"), to_bytes("c"))));
+  EXPECT_EQ(reply->status, KvStatus::NotFound);
+}
+
+TEST(KvStore, MalformedOperationIsBadRequest) {
+  KvStore store;
+  const auto reply = kv::decode_reply(store.execute(to_bytes("garbage")));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, KvStatus::BadRequest);
+}
+
+TEST(KvStore, SnapshotRestoreRoundTrip) {
+  KvStore a;
+  (void)a.execute(kv::encode_put(to_bytes("x"), to_bytes("1")));
+  (void)a.execute(kv::encode_put(to_bytes("y"), to_bytes("2")));
+
+  KvStore b;
+  ASSERT_TRUE(b.restore(a.snapshot()));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  const auto reply = kv::decode_reply(b.execute(kv::encode_get(to_bytes("y"))));
+  EXPECT_EQ(reply->value, to_bytes("2"));
+}
+
+TEST(KvStore, DigestReflectsState) {
+  KvStore a, b;
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  (void)a.execute(kv::encode_put(to_bytes("k"), to_bytes("v")));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+  (void)b.execute(kv::encode_put(to_bytes("k"), to_bytes("v")));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+TEST(KvStore, RestoreRejectsGarbage) {
+  KvStore store;
+  EXPECT_FALSE(store.restore(to_bytes("not a snapshot")));
+}
+
+TEST(Ledger, CutsBlockEveryN) {
+  std::vector<Bytes> blocks;
+  Ledger ledger(5, [&](ByteView b) { blocks.emplace_back(b.begin(), b.end()); });
+  for (int i = 0; i < 12; ++i) {
+    (void)ledger.execute(to_bytes("tx"));
+  }
+  EXPECT_EQ(ledger.height(), 2u);
+  EXPECT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(ledger.pending_transactions(), 2u);
+}
+
+TEST(Ledger, ReceiptsCarrySequence) {
+  Ledger ledger(5);
+  const auto r0 = LedgerReceipt::decode(ledger.execute(to_bytes("a")));
+  const auto r1 = LedgerReceipt::decode(ledger.execute(to_bytes("b")));
+  ASSERT_TRUE(r0 && r1);
+  EXPECT_EQ(r0->tx_seq, 0u);
+  EXPECT_EQ(r1->tx_seq, 1u);
+}
+
+TEST(Ledger, BlocksChainByPrevHash) {
+  std::vector<Bytes> blocks;
+  Ledger ledger(2, [&](ByteView b) { blocks.emplace_back(b.begin(), b.end()); });
+  for (int i = 0; i < 4; ++i) (void)ledger.execute(to_bytes("tx"));
+  ASSERT_EQ(blocks.size(), 2u);
+
+  const auto b0 = Block::deserialize(blocks[0]);
+  const auto b1 = Block::deserialize(blocks[1]);
+  ASSERT_TRUE(b0 && b1);
+  EXPECT_EQ(b0->height, 1u);
+  EXPECT_EQ(b1->height, 2u);
+  EXPECT_TRUE(b0->prev_hash.is_zero());
+  EXPECT_EQ(b1->prev_hash, b0->hash());
+  EXPECT_EQ(ledger.head_hash(), b1->hash());
+}
+
+TEST(Ledger, SnapshotRestorePreservesChain) {
+  Ledger a(3);
+  for (int i = 0; i < 7; ++i) (void)a.execute(to_bytes("tx"));
+
+  Ledger b(3);
+  ASSERT_TRUE(b.restore(a.snapshot()));
+  EXPECT_EQ(b.height(), a.height());
+  EXPECT_EQ(b.head_hash(), a.head_hash());
+  EXPECT_EQ(b.pending_transactions(), a.pending_transactions());
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  // Executing the same op on both keeps them convergent.
+  (void)a.execute(to_bytes("x"));
+  (void)b.execute(to_bytes("x"));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+TEST(Ledger, DeterministicAcrossInstances) {
+  Ledger a(5), b(5);
+  for (int i = 0; i < 11; ++i) {
+    const Bytes tx = to_bytes("tx-" + std::to_string(i));
+    (void)a.execute(tx);
+    (void)b.execute(tx);
+  }
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  EXPECT_EQ(a.head_hash(), b.head_hash());
+}
+
+TEST(Ledger, BlockSerializationRoundTrip) {
+  Block block;
+  block.height = 3;
+  block.prev_hash.bytes[0] = 1;
+  block.tx_digest.bytes[1] = 2;
+  block.transactions = {to_bytes("t1"), to_bytes("t2")};
+  const auto decoded = Block::deserialize(block.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->height, 3u);
+  EXPECT_EQ(decoded->transactions.size(), 2u);
+  EXPECT_EQ(decoded->hash(), block.hash());
+}
+
+TEST(CounterApp, AddAndValue) {
+  CounterApp app;
+  (void)app.execute(CounterApp::encode_add(5));
+  (void)app.execute(CounterApp::encode_add(7));
+  EXPECT_EQ(app.value(), 12u);
+}
+
+TEST(CounterApp, SnapshotRestore) {
+  CounterApp a;
+  (void)a.execute(CounterApp::encode_add(9));
+  CounterApp b;
+  ASSERT_TRUE(b.restore(a.snapshot()));
+  EXPECT_EQ(b.value(), 9u);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+}  // namespace
+}  // namespace sbft::apps

@@ -1,0 +1,87 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = to_hex(data);
+  EXPECT_EQ(hex, "0001abff7f");
+  const auto decoded = from_hex(hex);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Bytes, HexUppercaseAccepted) {
+  const auto decoded = from_hex("ABCDEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(to_hex(*decoded), "abcdef");
+}
+
+TEST(Bytes, HexRejectsOddLength) {
+  EXPECT_FALSE(from_hex("abc").has_value());
+}
+
+TEST(Bytes, HexRejectsBadDigit) {
+  EXPECT_FALSE(from_hex("zz").has_value());
+  EXPECT_FALSE(from_hex("0g").has_value());
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  const auto decoded = from_hex("");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(Bytes, CtEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(Bytes, ToBytesAndBack) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string_view_copy(b), "hello");
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1, 2};
+  const Bytes src = {3, 4};
+  append(dst, src);
+  EXPECT_EQ(dst, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(Digest, DefaultIsZero) {
+  Digest d;
+  EXPECT_TRUE(d.is_zero());
+  d.bytes[31] = 1;
+  EXPECT_FALSE(d.is_zero());
+}
+
+TEST(Digest, Comparison) {
+  Digest a, b;
+  EXPECT_EQ(a, b);
+  b.bytes[0] = 1;
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(Digest, HexHelpers) {
+  Digest d;
+  d.bytes[0] = 0xab;
+  EXPECT_EQ(d.hex().size(), 64u);
+  EXPECT_EQ(d.hex().substr(0, 2), "ab");
+  EXPECT_EQ(d.short_hex(), "ab000000");
+}
+
+}  // namespace
+}  // namespace sbft

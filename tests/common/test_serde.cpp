@@ -1,0 +1,101 @@
+#include "common/serde.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sbft {
+namespace {
+
+TEST(Serde, ScalarRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.boolean(true);
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, BytesRoundTrip) {
+  Writer w;
+  const Bytes payload = {1, 2, 3, 4, 5};
+  w.bytes(payload);
+  w.str("hello");
+
+  Reader r(w.data());
+  EXPECT_EQ(r.bytes(), payload);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, EmptyBytes) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, RawRoundTrip) {
+  Writer w;
+  const Bytes payload = {9, 8, 7};
+  w.raw(payload);
+  Reader r(w.data());
+  EXPECT_EQ(r.raw(3), payload);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, ReaderFailsOnTruncatedScalar) {
+  const Bytes data = {1, 2};
+  Reader r(data);
+  (void)r.u32();
+  EXPECT_TRUE(r.failed());
+  EXPECT_FALSE(r.done());
+}
+
+TEST(Serde, ReaderFailsOnOversizedLength) {
+  // Length prefix claims 1000 bytes but only 2 follow.
+  Writer w;
+  w.u32(1000);
+  w.u16(0xffff);
+  Reader r(w.data());
+  (void)r.bytes();
+  EXPECT_TRUE(r.failed());
+}
+
+TEST(Serde, FailureIsSticky) {
+  const Bytes data = {1};
+  Reader r(data);
+  (void)r.u64();
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.u8(), 0);  // still failed, returns 0
+  EXPECT_TRUE(r.failed());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Serde, DoneRequiresFullConsumption) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.data());
+  (void)r.u16();
+  EXPECT_FALSE(r.done());
+  (void)r.u16();
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 0x04);
+  EXPECT_EQ(w.data()[3], 0x01);
+}
+
+}  // namespace
+}  // namespace sbft

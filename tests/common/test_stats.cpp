@@ -1,0 +1,52 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(LatencyRecorder, EmptySummary) {
+  LatencyRecorder rec;
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean_us, 0.0);
+}
+
+TEST(LatencyRecorder, BasicPercentiles) {
+  LatencyRecorder rec;
+  for (Micros v = 1; v <= 100; ++v) rec.record(v);
+  const auto s = rec.summarize();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 50.5);
+  EXPECT_NEAR(static_cast<double>(s.p50_us), 50.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(s.p95_us), 95.0, 2.0);
+  EXPECT_EQ(s.max_us, 100u);
+}
+
+TEST(LatencyRecorder, Reset) {
+  LatencyRecorder rec;
+  rec.record(5);
+  rec.reset();
+  EXPECT_EQ(rec.count(), 0u);
+}
+
+TEST(SimClock, AdvanceMonotonic) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance_to(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance_to(50);  // never goes backwards
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(SteadyClock, Monotonic) {
+  SteadyClock clock;
+  const Micros a = clock.now();
+  const Micros b = clock.now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace sbft

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+[[nodiscard]] Key32 test_key(std::uint8_t fill = 0) {
+  Key32 k{};
+  for (std::size_t i = 0; i < k.size(); ++i) {
+    k[i] = static_cast<std::uint8_t>(i + fill);
+  }
+  return k;
+}
+
+TEST(ChaCha20, Rfc8439KeystreamBlock) {
+  // RFC 8439 §2.3.2: key 00..1f, nonce 00:00:00:09:00:00:00:4a:00:00:00:00,
+  // counter 1.
+  const Key32 key = test_key();
+  Nonce12 nonce{};
+  nonce[3] = 0x09;
+  nonce[7] = 0x4a;
+
+  const Bytes zeros(64, 0);
+  Bytes keystream(64);
+  chacha20_xor(key, nonce, 1, zeros, keystream.data());
+  EXPECT_EQ(to_hex(keystream),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(Poly1305, Rfc8439TagVector) {
+  // RFC 8439 §2.5.2.
+  const auto key_bytes = from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  ASSERT_TRUE(key_bytes.has_value());
+  Key32 key;
+  std::copy(key_bytes->begin(), key_bytes->end(), key.begin());
+  const Bytes msg = to_bytes("Cryptographic Forum Research Group");
+  const Tag16 tag = poly1305(key, msg);
+  EXPECT_EQ(to_hex(ByteView{tag.data(), tag.size()}),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Aead, RoundTrip) {
+  const Key32 key = test_key(7);
+  const Nonce12 nonce = make_nonce(1, 42);
+  const Bytes aad = to_bytes("header");
+  const Bytes plaintext = to_bytes("attack at dawn");
+
+  const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+  EXPECT_EQ(sealed.size(), plaintext.size() + 16);
+
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST(Aead, EmptyPlaintext) {
+  const Key32 key = test_key();
+  const Nonce12 nonce = make_nonce(0, 0);
+  const Bytes sealed = aead_seal(key, nonce, {}, {});
+  EXPECT_EQ(sealed.size(), 16u);
+  const auto opened = aead_open(key, nonce, {}, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST(Aead, RejectsTamperedCiphertext) {
+  const Key32 key = test_key();
+  const Nonce12 nonce = make_nonce(1, 1);
+  Bytes sealed = aead_seal(key, nonce, {}, to_bytes("secret"));
+  sealed[0] ^= 1;
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, RejectsTamperedTag) {
+  const Key32 key = test_key();
+  const Nonce12 nonce = make_nonce(1, 1);
+  Bytes sealed = aead_seal(key, nonce, {}, to_bytes("secret"));
+  sealed.back() ^= 1;
+  EXPECT_FALSE(aead_open(key, nonce, {}, sealed).has_value());
+}
+
+TEST(Aead, RejectsWrongAad) {
+  const Key32 key = test_key();
+  const Nonce12 nonce = make_nonce(1, 1);
+  const Bytes sealed = aead_seal(key, nonce, to_bytes("aad1"), to_bytes("x"));
+  EXPECT_FALSE(aead_open(key, nonce, to_bytes("aad2"), sealed).has_value());
+  EXPECT_TRUE(aead_open(key, nonce, to_bytes("aad1"), sealed).has_value());
+}
+
+TEST(Aead, RejectsWrongNonce) {
+  const Key32 key = test_key();
+  const Bytes sealed = aead_seal(key, make_nonce(1, 1), {}, to_bytes("x"));
+  EXPECT_FALSE(aead_open(key, make_nonce(1, 2), {}, sealed).has_value());
+}
+
+TEST(Aead, RejectsWrongKey) {
+  const Bytes sealed = aead_seal(test_key(1), make_nonce(1, 1), {},
+                                 to_bytes("x"));
+  EXPECT_FALSE(aead_open(test_key(2), make_nonce(1, 1), {}, sealed).has_value());
+}
+
+TEST(Aead, RejectsTruncated) {
+  const Key32 key = test_key();
+  const Bytes sealed = aead_seal(key, make_nonce(1, 1), {}, to_bytes("x"));
+  const ByteView truncated{sealed.data(), 10};
+  EXPECT_FALSE(aead_open(key, make_nonce(1, 1), {}, truncated).has_value());
+}
+
+TEST(Aead, RandomizedRoundTrips) {
+  Rng rng(1234);
+  const Key32 key = test_key(3);
+  for (int i = 0; i < 50; ++i) {
+    const Bytes plaintext = rng.bytes(rng.below(500));
+    const Bytes aad = rng.bytes(rng.below(40));
+    const Nonce12 nonce = make_nonce(2, static_cast<std::uint64_t>(i));
+    const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+    const auto opened = aead_open(key, nonce, aad, sealed);
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(*opened, plaintext);
+  }
+}
+
+TEST(Nonce, ChannelAndSeqLayout) {
+  const Nonce12 n = make_nonce(0x01020304, 0x0506070809aabbccULL);
+  // Low 8 bytes = seq (LE), high 4 = channel (LE).
+  EXPECT_EQ(n[8], 0x04);
+  EXPECT_EQ(n[11], 0x01);
+  EXPECT_NE(make_nonce(1, 5), make_nonce(2, 5));
+  EXPECT_NE(make_nonce(1, 5), make_nonce(1, 6));
+}
+
+}  // namespace
+}  // namespace sbft::crypto

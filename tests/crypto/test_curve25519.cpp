@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/curve25519_internal.hpp"
+#include "crypto/x25519.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+using fe::Gf;
+
+[[nodiscard]] Gf random_element(Rng& rng) {
+  Gf g{};
+  for (auto& limb : g) {
+    limb = static_cast<std::int64_t>(rng.next_u64() & 0xffff);
+  }
+  g[15] &= 0x7fff;
+  return g;
+}
+
+TEST(Fe25519, PackUnpackRoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const Gf a = random_element(rng);
+    std::uint8_t packed[32];
+    fe::pack(packed, a);
+    Gf b;
+    fe::unpack(b, packed);
+    EXPECT_TRUE(fe::eq(a, b));
+  }
+}
+
+TEST(Fe25519, AdditionCommutes) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Gf a = random_element(rng);
+    const Gf b = random_element(rng);
+    Gf ab, ba;
+    fe::add(ab, a, b);
+    fe::add(ba, b, a);
+    EXPECT_TRUE(fe::eq(ab, ba));
+  }
+}
+
+TEST(Fe25519, MultiplicationCommutesAndAssociates) {
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const Gf a = random_element(rng);
+    const Gf b = random_element(rng);
+    const Gf c = random_element(rng);
+    Gf ab, ba, ab_c, bc, a_bc;
+    fe::mul(ab, a, b);
+    fe::mul(ba, b, a);
+    EXPECT_TRUE(fe::eq(ab, ba));
+    fe::mul(ab_c, ab, c);
+    fe::mul(bc, b, c);
+    fe::mul(a_bc, a, bc);
+    EXPECT_TRUE(fe::eq(ab_c, a_bc));
+  }
+}
+
+TEST(Fe25519, Distributivity) {
+  Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const Gf a = random_element(rng);
+    const Gf b = random_element(rng);
+    const Gf c = random_element(rng);
+    Gf b_plus_c, lhs, ab, ac, rhs;
+    fe::add(b_plus_c, b, c);
+    fe::mul(lhs, a, b_plus_c);
+    fe::mul(ab, a, b);
+    fe::mul(ac, a, c);
+    fe::add(rhs, ab, ac);
+    EXPECT_TRUE(fe::eq(lhs, rhs));
+  }
+}
+
+TEST(Fe25519, InverseIsInverse) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) {
+    Gf a = random_element(rng);
+    if (fe::eq(a, fe::kZero)) continue;
+    Gf a_inv, prod;
+    fe::invert(a_inv, a);
+    fe::mul(prod, a, a_inv);
+    EXPECT_TRUE(fe::eq(prod, fe::kOne));
+  }
+}
+
+TEST(Fe25519, SquareMatchesMul) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const Gf a = random_element(rng);
+    Gf sq, mul;
+    fe::sq(sq, a);
+    fe::mul(mul, a, a);
+    EXPECT_TRUE(fe::eq(sq, mul));
+  }
+}
+
+TEST(Fe25519, SubThenAddRestores) {
+  Rng rng(12);
+  const Gf a = random_element(rng);
+  const Gf b = random_element(rng);
+  Gf diff, restored;
+  fe::sub(diff, a, b);
+  fe::add(restored, diff, b);
+  EXPECT_TRUE(fe::eq(restored, a));
+}
+
+TEST(Fe25519, SqrtMinusOneSquaresToMinusOne) {
+  const auto& k = fe::constants();
+  Gf sq, minus_one;
+  fe::sq(sq, k.sqrt_m1);
+  fe::sub(minus_one, fe::kZero, fe::kOne);
+  EXPECT_TRUE(fe::eq(sq, minus_one));
+}
+
+TEST(Fe25519, CurveConstantD) {
+  // d * 121666 == -121665.
+  const auto& k = fe::constants();
+  Gf c121666, c121665, lhs, rhs;
+  fe::from_u64(c121666, 121666);
+  fe::from_u64(c121665, 121665);
+  fe::mul(lhs, k.d, c121666);
+  fe::sub(rhs, fe::kZero, c121665);
+  EXPECT_TRUE(fe::eq(lhs, rhs));
+}
+
+TEST(Fe25519, BasePointOnCurve) {
+  // -x^2 + y^2 == 1 + d x^2 y^2.
+  const auto& k = fe::constants();
+  Gf x2, y2, lhs, dx2y2, rhs;
+  fe::sq(x2, k.base_x);
+  fe::sq(y2, k.base_y);
+  fe::sub(lhs, y2, x2);
+  fe::mul(dx2y2, x2, y2);
+  fe::mul(dx2y2, dx2y2, k.d);
+  fe::add(rhs, fe::kOne, dx2y2);
+  EXPECT_TRUE(fe::eq(lhs, rhs));
+}
+
+TEST(Fe25519, BasePointMatchesRfc8032) {
+  // The standard base point y = 4/5 packs to 5866...66 with sign bit 0 and
+  // x ending in ...d51a (checked via the full point encoding).
+  const auto& k = fe::constants();
+  std::uint8_t y_packed[32];
+  fe::pack(y_packed, k.base_y);
+  EXPECT_EQ(to_hex(ByteView{y_packed, 32}),
+            "5866666666666666666666666666666666666666666666666666666666666666");
+  std::uint8_t x_packed[32];
+  fe::pack(x_packed, k.base_x);
+  EXPECT_EQ(to_hex(ByteView{x_packed, 32}),
+            "1ad5258f602d56c9b2a7259560c72c695cdcd6fd31e2a4c0fe536ecdd3366921");
+}
+
+TEST(Fe25519, PointUnpackRejectsNonCurvePoint) {
+  // y = 2 gives x^2 = (y^2-1)/(dy^2+1) which is a non-residue for this y.
+  std::uint8_t encoded[32] = {};
+  encoded[0] = 2;
+  fe::Point p;
+  // Try a handful of y values; at least one must be rejected (roughly half
+  // of all field elements are not on the curve).
+  int rejected = 0;
+  for (std::uint8_t y = 2; y < 12; ++y) {
+    encoded[0] = y;
+    if (!fe::point_unpack_neg(p, encoded)) ++rejected;
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(X25519, Rfc7748AliceBob) {
+  const auto alice_priv_v = from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv_v = from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+  ASSERT_TRUE(alice_priv_v && bob_priv_v);
+  Key32 alice_priv, bob_priv;
+  std::copy(alice_priv_v->begin(), alice_priv_v->end(), alice_priv.begin());
+  std::copy(bob_priv_v->begin(), bob_priv_v->end(), bob_priv.begin());
+
+  const Key32 alice_pub = x25519_base(alice_priv);
+  EXPECT_EQ(to_hex(ByteView{alice_pub.data(), alice_pub.size()}),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+
+  const Key32 bob_pub = x25519_base(bob_priv);
+  EXPECT_EQ(to_hex(ByteView{bob_pub.data(), bob_pub.size()}),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const Key32 shared_a = x25519(alice_priv, bob_pub);
+  const Key32 shared_b = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(shared_a, shared_b);
+  EXPECT_EQ(to_hex(ByteView{shared_a.data(), shared_a.size()}),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretAgreementRandomKeys) {
+  Rng rng(404);
+  for (int i = 0; i < 5; ++i) {
+    const Key32 a = x25519_keygen(rng);
+    const Key32 b = x25519_keygen(rng);
+    const Key32 shared_ab = x25519(a, x25519_base(b));
+    const Key32 shared_ba = x25519(b, x25519_base(a));
+    EXPECT_EQ(shared_ab, shared_ba);
+  }
+}
+
+TEST(X25519, DifferentKeysDifferentSecrets) {
+  Rng rng(405);
+  const Key32 a = x25519_keygen(rng);
+  const Key32 b = x25519_keygen(rng);
+  const Key32 c = x25519_keygen(rng);
+  EXPECT_NE(x25519(a, x25519_base(c)), x25519(b, x25519_base(c)));
+}
+
+}  // namespace
+}  // namespace sbft::crypto

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/ed25519.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+[[nodiscard]] std::array<std::uint8_t, 32> seed_from_hex(
+    const std::string& hex) {
+  const auto v = from_hex(hex);
+  std::array<std::uint8_t, 32> out{};
+  if (v && v->size() == 32) std::copy(v->begin(), v->end(), out.begin());
+  return out;
+}
+
+TEST(Ed25519, Rfc8032Test1EmptyMessage) {
+  const auto seed = seed_from_hex(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto key = Ed25519SecretKey::from_seed(seed);
+  EXPECT_EQ(to_hex(key.public_key().view()),
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a");
+
+  const Ed25519Signature sig = key.sign({});
+  EXPECT_EQ(to_hex(sig.view()),
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b");
+  EXPECT_TRUE(ed25519_verify(key.public_key(), {}, sig));
+}
+
+TEST(Ed25519, Rfc8032Test2OneByte) {
+  const auto seed = seed_from_hex(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const auto key = Ed25519SecretKey::from_seed(seed);
+  EXPECT_EQ(to_hex(key.public_key().view()),
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c");
+
+  const Bytes msg = {0x72};
+  const Ed25519Signature sig = key.sign(msg);
+  EXPECT_EQ(to_hex(sig.view()),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00");
+  EXPECT_TRUE(ed25519_verify(key.public_key(), msg, sig));
+}
+
+TEST(Ed25519, SignVerifyRoundTrip) {
+  Rng rng(42);
+  const auto key = Ed25519SecretKey::generate(rng);
+  const Bytes msg = to_bytes("the quick brown fox");
+  const Ed25519Signature sig = key.sign(msg);
+  EXPECT_TRUE(ed25519_verify(key.public_key(), msg, sig));
+}
+
+TEST(Ed25519, RejectsTamperedMessage) {
+  Rng rng(43);
+  const auto key = Ed25519SecretKey::generate(rng);
+  const Bytes msg = to_bytes("original");
+  const Ed25519Signature sig = key.sign(msg);
+  EXPECT_FALSE(ed25519_verify(key.public_key(), to_bytes("originaX"), sig));
+}
+
+TEST(Ed25519, RejectsTamperedSignature) {
+  Rng rng(44);
+  const auto key = Ed25519SecretKey::generate(rng);
+  const Bytes msg = to_bytes("message");
+  Ed25519Signature sig = key.sign(msg);
+  sig.bytes[0] ^= 1;
+  EXPECT_FALSE(ed25519_verify(key.public_key(), msg, sig));
+  sig.bytes[0] ^= 1;
+  sig.bytes[63] ^= 0x10;
+  EXPECT_FALSE(ed25519_verify(key.public_key(), msg, sig));
+}
+
+TEST(Ed25519, RejectsWrongKey) {
+  Rng rng(45);
+  const auto key1 = Ed25519SecretKey::generate(rng);
+  const auto key2 = Ed25519SecretKey::generate(rng);
+  const Bytes msg = to_bytes("message");
+  const Ed25519Signature sig = key1.sign(msg);
+  EXPECT_FALSE(ed25519_verify(key2.public_key(), msg, sig));
+}
+
+TEST(Ed25519, DeterministicSignatures) {
+  Rng rng(46);
+  const auto key = Ed25519SecretKey::generate(rng);
+  const Bytes msg = to_bytes("same input");
+  EXPECT_EQ(key.sign(msg), key.sign(msg));
+}
+
+TEST(Ed25519, DistinctMessagesDistinctSignatures) {
+  Rng rng(47);
+  const auto key = Ed25519SecretKey::generate(rng);
+  EXPECT_NE(key.sign(to_bytes("a")), key.sign(to_bytes("b")));
+}
+
+TEST(Ed25519, RandomizedRoundTrips) {
+  Rng rng(48);
+  for (int i = 0; i < 3; ++i) {
+    const auto key = Ed25519SecretKey::generate(rng);
+    const Bytes msg = rng.bytes(1 + rng.below(200));
+    const Ed25519Signature sig = key.sign(msg);
+    EXPECT_TRUE(ed25519_verify(key.public_key(), msg, sig));
+    Bytes tampered = msg;
+    tampered[rng.below(tampered.size())] ^= 0x80;
+    EXPECT_FALSE(ed25519_verify(key.public_key(), tampered, sig));
+  }
+}
+
+TEST(Ed25519, RejectsGarbagePublicKey) {
+  Ed25519PublicKey garbage;
+  for (std::size_t i = 0; i < 32; ++i) {
+    garbage.bytes[i] = static_cast<std::uint8_t>(0xa0 + i);
+  }
+  Rng rng(49);
+  const auto key = Ed25519SecretKey::generate(rng);
+  const Bytes msg = to_bytes("m");
+  const Ed25519Signature sig = key.sign(msg);
+  EXPECT_FALSE(ed25519_verify(garbage, msg, sig));
+}
+
+}  // namespace
+}  // namespace sbft::crypto

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/keyring.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+class KeyRingTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(KeyRingTest, SignVerifyRoundTrip) {
+  KeyRing ring(GetParam(), 1);
+  ring.add_principal(10);
+  ring.add_principal(20);
+
+  const auto signer = ring.signer(10);
+  const auto verifier = ring.verifier();
+  const Bytes msg = to_bytes("hello");
+  const Bytes sig = signer->sign(msg);
+  EXPECT_TRUE(verifier->verify(10, msg, sig));
+}
+
+TEST_P(KeyRingTest, RejectsWrongPrincipal) {
+  KeyRing ring(GetParam(), 2);
+  ring.add_principal(10);
+  ring.add_principal(20);
+
+  const auto verifier = ring.verifier();
+  const Bytes msg = to_bytes("hello");
+  const Bytes sig = ring.signer(10)->sign(msg);
+  // Signature from 10 must not verify as 20 (id binding).
+  EXPECT_FALSE(verifier->verify(20, msg, sig));
+}
+
+TEST_P(KeyRingTest, RejectsUnknownPrincipal) {
+  KeyRing ring(GetParam(), 3);
+  ring.add_principal(10);
+  const auto verifier = ring.verifier();
+  const Bytes sig = ring.signer(10)->sign(to_bytes("m"));
+  EXPECT_FALSE(verifier->verify(99, to_bytes("m"), sig));
+  EXPECT_FALSE(verifier->knows(99));
+  EXPECT_TRUE(verifier->knows(10));
+}
+
+TEST_P(KeyRingTest, RejectsTamperedMessage) {
+  KeyRing ring(GetParam(), 4);
+  ring.add_principal(1);
+  const auto verifier = ring.verifier();
+  const Bytes sig = ring.signer(1)->sign(to_bytes("aaa"));
+  EXPECT_FALSE(verifier->verify(1, to_bytes("aab"), sig));
+}
+
+TEST_P(KeyRingTest, RejectsTamperedSignature) {
+  KeyRing ring(GetParam(), 5);
+  ring.add_principal(1);
+  const auto verifier = ring.verifier();
+  Bytes sig = ring.signer(1)->sign(to_bytes("m"));
+  sig[0] ^= 1;
+  EXPECT_FALSE(verifier->verify(1, to_bytes("m"), sig));
+}
+
+TEST_P(KeyRingTest, DuplicatePrincipalThrows) {
+  KeyRing ring(GetParam(), 6);
+  ring.add_principal(1);
+  EXPECT_THROW(ring.add_principal(1), std::invalid_argument);
+}
+
+TEST_P(KeyRingTest, UnknownSignerThrows) {
+  KeyRing ring(GetParam(), 7);
+  EXPECT_THROW((void)ring.signer(5), std::out_of_range);
+}
+
+TEST_P(KeyRingTest, SignerKnowsItsId) {
+  KeyRing ring(GetParam(), 8);
+  ring.add_principal(77);
+  EXPECT_EQ(ring.signer(77)->id(), 77u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, KeyRingTest,
+                         ::testing::Values(Scheme::Ed25519,
+                                           Scheme::HmacShared),
+                         [](const auto& info) {
+                           return info.param == Scheme::Ed25519 ? "Ed25519"
+                                                                : "HmacShared";
+                         });
+
+TEST(KeyRing, SchemesAreIndependent) {
+  KeyRing ed(Scheme::Ed25519, 1);
+  KeyRing mac(Scheme::HmacShared, 1);
+  ed.add_principal(1);
+  mac.add_principal(1);
+  const Bytes msg = to_bytes("m");
+  // An HMAC "signature" must not verify under the Ed25519 ring and
+  // vice versa.
+  EXPECT_FALSE(ed.verifier()->verify(1, msg, mac.signer(1)->sign(msg)));
+  EXPECT_FALSE(mac.verifier()->verify(1, msg, ed.signer(1)->sign(msg)));
+}
+
+}  // namespace
+}  // namespace sbft::crypto

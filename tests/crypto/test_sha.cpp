@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+TEST(Sha256, EmptyVector) {
+  EXPECT_EQ(sha256({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, AbcVector) {
+  EXPECT_EQ(sha256(to_bytes("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockVector) {
+  // FIPS 180-4 two-block message test.
+  const auto msg =
+      to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(sha256(msg).hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const Digest expected = sha256(data);
+
+  // Feed in awkward chunk sizes crossing block boundaries.
+  for (const std::size_t chunk : {1u, 3u, 63u, 64u, 65u, 127u, 129u}) {
+    Sha256 h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t take = std::min(chunk, data.size() - off);
+      h.update(ByteView{data.data() + off, take});
+      off += take;
+    }
+    EXPECT_EQ(h.finalize(), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes exercise all padding paths.
+  for (const std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    Bytes data(n, 0x61);
+    Sha256 h;
+    h.update(data);
+    EXPECT_EQ(h.finalize(), sha256(data)) << "n=" << n;
+  }
+}
+
+TEST(Sha256, ConcatHelper) {
+  const Bytes a = to_bytes("hello ");
+  const Bytes b = to_bytes("world");
+  Bytes joined = a;
+  append(joined, b);
+  EXPECT_EQ(sha256_concat(a, b), sha256(joined));
+}
+
+TEST(Sha256, ResetReuses) {
+  Sha256 h;
+  h.update(to_bytes("abc"));
+  (void)h.finalize();
+  h.reset();
+  h.update(to_bytes("abc"));
+  EXPECT_EQ(h.finalize().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(sha256(to_bytes("a")), sha256(to_bytes("b")));
+  EXPECT_NE(sha256(to_bytes("")), sha256(Bytes{0}));
+}
+
+TEST(Sha512, EmptyVector) {
+  const Digest64 d = sha512({});
+  EXPECT_EQ(to_hex(ByteView{d.data(), d.size()}),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, AbcVector) {
+  const Digest64 d = sha512(to_bytes("abc"));
+  EXPECT_EQ(to_hex(ByteView{d.data(), d.size()}),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, StreamingMatchesOneShot) {
+  Bytes data;
+  for (int i = 0; i < 3000; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  const Digest64 expected = sha512(data);
+  for (const std::size_t chunk : {1u, 7u, 127u, 128u, 129u, 255u}) {
+    Sha512 h;
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t take = std::min(chunk, data.size() - off);
+      h.update(ByteView{data.data() + off, take});
+      off += take;
+    }
+    EXPECT_EQ(h.finalize(), expected) << "chunk=" << chunk;
+  }
+}
+
+TEST(Sha512, PaddingBoundaries) {
+  for (const std::size_t n : {111u, 112u, 127u, 128u, 129u, 240u}) {
+    Bytes data(n, 0x62);
+    Sha512 h;
+    h.update(data);
+    EXPECT_EQ(h.finalize(), sha512(data)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace sbft::crypto

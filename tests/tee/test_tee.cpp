@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "common/serde.hpp"
+#include "tee/attestation.hpp"
+#include "tee/cost_model.hpp"
+#include "tee/enclave_host.hpp"
+#include "tee/monotonic_counter.hpp"
+#include "tee/protected_fs.hpp"
+#include "tee/sealing.hpp"
+
+namespace sbft::tee {
+namespace {
+
+/// Minimal enclave echoing its input, for host-layer tests.
+class EchoEnclave final : public Enclave {
+ public:
+  [[nodiscard]] Digest measurement() const override {
+    Digest d;
+    d.bytes[0] = 0xec;
+    return d;
+  }
+  [[nodiscard]] Bytes ecall(std::uint32_t fn, ByteView args) override {
+    Bytes out;
+    out.push_back(static_cast<std::uint8_t>(fn));
+    append(out, args);
+    return out;
+  }
+};
+
+TEST(CostModel, SimulationModeIsFree) {
+  const CostModel sim = CostModel::simulation();
+  EXPECT_EQ(sim.crossing_cost(10'000, 10'000), 0u);
+}
+
+TEST(CostModel, SgxChargesTransitionAndCopy) {
+  const CostModel sgx = CostModel::sgx();
+  const Micros small = sgx.crossing_cost(16, 16);
+  const Micros large = sgx.crossing_cost(64 * 1024, 0);
+  EXPECT_GT(small, 0u);
+  EXPECT_GT(large, small + 40);  // copying 64 KiB dominates
+}
+
+TEST(EnclaveHost, EcallRunsAndRecordsStats) {
+  EnclaveHost host(std::make_unique<EchoEnclave>(), CostModel::simulation(),
+                   /*charge_real_time=*/false);
+  const Bytes args = to_bytes("hello");
+  const Bytes result =
+      host.ecall(static_cast<std::uint32_t>(EcallFn::DeliverMessage), args);
+  ASSERT_EQ(result.size(), args.size() + 1);
+  EXPECT_EQ(result[0], static_cast<std::uint8_t>(EcallFn::DeliverMessage));
+
+  const auto stats =
+      host.stats(static_cast<std::uint32_t>(EcallFn::DeliverMessage));
+  EXPECT_EQ(stats.calls, 1u);
+  EXPECT_EQ(stats.bytes_in, args.size());
+  EXPECT_EQ(stats.bytes_out, result.size());
+}
+
+TEST(EnclaveHost, VirtualChargeAddsCrossingCost) {
+  EnclaveHost host(std::make_unique<EchoEnclave>(), CostModel::sgx(),
+                   /*charge_real_time=*/false);
+  (void)host.ecall(1, Bytes(1024, 0));
+  const auto stats = host.stats(1);
+  // At least the two transitions (2 * 2.3 us) must be accounted.
+  EXPECT_GE(stats.total_us, 4u);
+}
+
+TEST(EnclaveHost, TotalStatsAggregate) {
+  EnclaveHost host(std::make_unique<EchoEnclave>(), CostModel::simulation(),
+                   false);
+  (void)host.ecall(1, {});
+  (void)host.ecall(2, {});
+  (void)host.ecall(2, {});
+  EXPECT_EQ(host.total_stats().calls, 3u);
+  host.reset_stats();
+  EXPECT_EQ(host.total_stats().calls, 0u);
+}
+
+TEST(Attestation, QuoteVerifies) {
+  const AttestationService service(42);
+  Digest measurement;
+  measurement.bytes[0] = 1;
+  const Quote quote = service.issue(measurement, to_bytes("report"));
+  EXPECT_TRUE(verify_quote(service.root_public_key(), quote));
+  EXPECT_TRUE(verify_quote(service.root_public_key(), quote, measurement));
+}
+
+TEST(Attestation, RejectsWrongMeasurement) {
+  const AttestationService service(42);
+  Digest m1, m2;
+  m1.bytes[0] = 1;
+  m2.bytes[0] = 2;
+  const Quote quote = service.issue(m1, to_bytes("r"));
+  EXPECT_FALSE(verify_quote(service.root_public_key(), quote, m2));
+}
+
+TEST(Attestation, RejectsTamperedReportData) {
+  const AttestationService service(42);
+  Digest m;
+  Quote quote = service.issue(m, to_bytes("data"));
+  quote.report_data.push_back(0x42);
+  EXPECT_FALSE(verify_quote(service.root_public_key(), quote));
+}
+
+TEST(Attestation, RejectsForeignRoot) {
+  const AttestationService real(42);
+  const AttestationService fake(43);
+  Digest m;
+  const Quote quote = fake.issue(m, to_bytes("d"));
+  EXPECT_FALSE(verify_quote(real.root_public_key(), quote));
+}
+
+TEST(Attestation, QuoteSerializationRoundTrip) {
+  const AttestationService service(7);
+  Digest m;
+  m.bytes[3] = 9;
+  const Quote quote = service.issue(m, to_bytes("rd"));
+  const auto decoded = Quote::deserialize(quote.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->measurement, m);
+  EXPECT_EQ(decoded->report_data, to_bytes("rd"));
+  EXPECT_TRUE(verify_quote(service.root_public_key(), *decoded));
+}
+
+TEST(Sealing, SealUnsealRoundTrip) {
+  const SealingService platform(1);
+  Digest m;
+  m.bytes[0] = 5;
+  const auto key = platform.sealing_key(m);
+  const Bytes sealed = seal_data(key, 1, to_bytes("aad"), to_bytes("secret"));
+  const auto opened = unseal_data(key, 1, to_bytes("aad"), sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, to_bytes("secret"));
+}
+
+TEST(Sealing, DifferentEnclaveCannotUnseal) {
+  const SealingService platform(1);
+  Digest m1, m2;
+  m1.bytes[0] = 1;
+  m2.bytes[0] = 2;
+  const Bytes sealed =
+      seal_data(platform.sealing_key(m1), 1, {}, to_bytes("secret"));
+  EXPECT_FALSE(unseal_data(platform.sealing_key(m2), 1, {}, sealed).has_value());
+}
+
+TEST(Sealing, DifferentPlatformCannotUnseal) {
+  const SealingService p1(1), p2(2);
+  Digest m;
+  const Bytes sealed = seal_data(p1.sealing_key(m), 1, {}, to_bytes("s"));
+  EXPECT_FALSE(unseal_data(p2.sealing_key(m), 1, {}, sealed).has_value());
+}
+
+TEST(MonotonicCounter, IncrementsMonotonically) {
+  MonotonicCounterService counters;
+  EXPECT_EQ(counters.read(1), 0u);
+  EXPECT_EQ(counters.increment(1), 1u);
+  EXPECT_EQ(counters.increment(1), 2u);
+  EXPECT_EQ(counters.read(1), 2u);
+  EXPECT_EQ(counters.read(2), 0u);  // independent counters
+}
+
+TEST(MonotonicCounter, CorruptSetModelsRollback) {
+  MonotonicCounterService counters;
+  (void)counters.increment(1);
+  (void)counters.increment(1);
+  counters.corrupt_set(1, 0);
+  EXPECT_EQ(counters.increment(1), 1u);  // counter was rolled back
+}
+
+TEST(ProtectedFs, WriteReadRoundTrip) {
+  MemoryBlockStore store;
+  crypto::Key32 key{};
+  key[0] = 1;
+  ProtectedFile file(key, store);
+  EXPECT_EQ(file.append(to_bytes("block-0")), 0u);
+  EXPECT_EQ(file.append(to_bytes("block-1")), 1u);
+
+  const auto records = file.read_all();
+  ASSERT_TRUE(records.has_value());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0], to_bytes("block-0"));
+  EXPECT_EQ((*records)[1], to_bytes("block-1"));
+}
+
+TEST(ProtectedFs, DetectsTamperedBlock) {
+  MemoryBlockStore store;
+  crypto::Key32 key{};
+  ProtectedFile file(key, store);
+  (void)file.append(to_bytes("block-0"));
+  store.corrupt(0, 3);
+  EXPECT_FALSE(file.read_all().has_value());
+}
+
+TEST(ProtectedFs, DetectsTruncation) {
+  MemoryBlockStore store;
+  crypto::Key32 key{};
+  ProtectedFile file(key, store);
+  (void)file.append(to_bytes("a"));
+  (void)file.append(to_bytes("b"));
+  store.truncate(1);
+  EXPECT_FALSE(file.read_all().has_value());
+}
+
+TEST(ProtectedFs, CiphertextHidesPlaintext) {
+  MemoryBlockStore store;
+  crypto::Key32 key{};
+  ProtectedFile file(key, store);
+  const Bytes secret = to_bytes("super-secret-transaction-data");
+  (void)file.append(secret);
+  const auto stored = store.read(0);
+  ASSERT_TRUE(stored.has_value());
+  // The stored bytes must not contain the plaintext.
+  const std::string haystack(stored->begin(), stored->end());
+  EXPECT_EQ(haystack.find("super-secret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbft::tee
