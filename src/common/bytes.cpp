@@ -50,6 +50,9 @@ Bytes to_bytes(std::string_view s) {
 }
 
 std::string to_string_view_copy(ByteView data) {
+  // data() may be null for an empty view, which the (ptr, len) string
+  // constructor does not permit even with len == 0.
+  if (data.empty()) return {};
   return std::string(reinterpret_cast<const char*>(data.data()), data.size());
 }
 

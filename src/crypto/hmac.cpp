@@ -16,7 +16,8 @@ struct HmacState {
   if (key.size() > 64) {
     const Digest kd = sha256(key);
     std::memcpy(block.data(), kd.bytes.data(), kd.bytes.size());
-  } else {
+  } else if (!key.empty()) {
+    // key.data() may be null for an empty view; null memcpy source is UB.
     std::memcpy(block.data(), key.data(), key.size());
   }
   HmacState st;

@@ -77,6 +77,9 @@ void Sha256::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha256::update(ByteView data) noexcept {
+  // An empty view may carry a null data(); memcpy from null is UB even
+  // with a zero length, so bail out before touching pointers.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -95,6 +95,9 @@ void Sha512::process_block(const std::uint8_t* block) noexcept {
 }
 
 void Sha512::update(ByteView data) noexcept {
+  // An empty view may carry a null data(); memcpy from null is UB even
+  // with a zero length, so bail out before touching pointers.
+  if (data.empty()) return;
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {
