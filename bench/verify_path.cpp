@@ -1,0 +1,187 @@
+// Verify-path throughput microbenchmark (the auth-layer counterpart of
+// crypto_micro).
+//
+// Measures the three regimes of the net::auth subsystem over real Ed25519
+// envelopes:
+//   serial — eager per-call-site verify_envelope (the pre-auth-layer code),
+//   pool   — a VerifierPool with N workers batch-verifying cold envelopes,
+//   cached — a warm VerifyCache answering repeated certificate re-checks.
+//
+// Emits a human-readable summary on stdout and machine-readable JSON to the
+// first non-flag argument (default BENCH_verify_path.json) so CI can archive
+// the numbers as a bench trajectory. With --enforce, exit status is nonzero
+// if the parallel pool fails to reach 2x serial throughput on a machine
+// with >= 4 cores (the acceptance bar); without it the shortfall is only
+// warned about, since shared CI runners make wall-clock ratios noisy.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/keyring.hpp"
+#include "net/auth.hpp"
+#include "net/message.hpp"
+
+namespace {
+
+using namespace sbft;
+
+constexpr std::size_t kSigners = 8;
+constexpr std::size_t kEnvelopes = 256;
+constexpr std::size_t kPayloadBytes = 256;
+constexpr double kMinSeconds = 0.3;
+
+[[nodiscard]] double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  std::uint64_t ops{0};
+  double seconds{0};
+  [[nodiscard]] double ops_per_sec() const {
+    return seconds > 0 ? static_cast<double>(ops) / seconds : 0;
+  }
+};
+
+/// Runs `round` (which performs `ops_per_round` verifications) until the
+/// measurement window is filled.
+template <typename Fn>
+[[nodiscard]] Measurement measure(std::size_t ops_per_round, Fn&& round) {
+  Measurement m;
+  const double start = now_seconds();
+  do {
+    round();
+    m.ops += ops_per_round;
+    m.seconds = now_seconds() - start;
+  } while (m.seconds < kMinSeconds);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_verify_path.json";
+  bool enforce = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--enforce") {
+      enforce = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  const std::size_t pool_workers = std::min<std::size_t>(cores, 8);
+
+  crypto::KeyRing ring(crypto::Scheme::Ed25519, 0xbe9c);
+  for (std::size_t s = 0; s < kSigners; ++s) {
+    ring.add_principal(static_cast<principal::Id>(s + 1));
+  }
+  const auto verifier = ring.verifier();
+
+  Rng rng(42);
+  std::vector<net::VerifierPool::Job> jobs;
+  jobs.reserve(kEnvelopes);
+  for (std::size_t i = 0; i < kEnvelopes; ++i) {
+    const auto signer_id = static_cast<principal::Id>(i % kSigners + 1);
+    net::Envelope env;
+    env.src = signer_id;
+    env.dst = 1;
+    env.type = static_cast<std::uint32_t>(3 + i % 4);
+    env.payload = rng.bytes(kPayloadBytes);
+    net::sign_envelope(env, *ring.signer(signer_id));
+    jobs.push_back({std::move(env), signer_id});
+  }
+
+  // --- serial baseline: eager verify_envelope, no cache, one thread ---
+  const Measurement serial = measure(kEnvelopes, [&] {
+    for (const auto& job : jobs) {
+      if (!net::verify_envelope(job.env, *verifier, job.claimed_signer)) {
+        std::fprintf(stderr, "serial verification failed\n");
+        std::exit(2);
+      }
+    }
+  });
+
+  // --- parallel pool, cold cache (capacity 1 => every round re-verifies) ---
+  auto cold_cache = std::make_shared<net::VerifyCache>(verifier, 1);
+  net::VerifierPool pool(cold_cache, pool_workers);
+  const Measurement pooled = measure(kEnvelopes, [&] {
+    const auto results = pool.verify_batch(jobs);
+    for (const auto& r : results) {
+      if (!r) {
+        std::fprintf(stderr, "pooled verification failed\n");
+        std::exit(2);
+      }
+    }
+  });
+
+  // --- warm cache: repeated certificate re-checks become hash lookups ---
+  net::VerifyCache warm(verifier, 2 * kEnvelopes);
+  for (const auto& job : jobs) {
+    if (!warm.check(job.env, job.claimed_signer)) {
+      std::fprintf(stderr, "warm-up verification failed\n");
+      return 2;
+    }
+  }
+  const Measurement cached = measure(kEnvelopes, [&] {
+    for (const auto& job : jobs) {
+      if (!warm.check(job.env, job.claimed_signer)) {
+        std::fprintf(stderr, "cached verification failed\n");
+        std::exit(2);
+      }
+    }
+  });
+  const net::VerifyStats warm_stats = warm.stats();
+
+  const double speedup =
+      serial.ops_per_sec() > 0 ? pooled.ops_per_sec() / serial.ops_per_sec()
+                               : 0;
+  const double cache_speedup =
+      serial.ops_per_sec() > 0 ? cached.ops_per_sec() / serial.ops_per_sec()
+                               : 0;
+
+  std::printf("verify_path: %zu envelopes x %zu-byte payloads, %zu signers, "
+              "%u core(s)\n",
+              kEnvelopes, kPayloadBytes, kSigners, cores);
+  std::printf("  %-28s %12.0f ops/s\n", "serial verify_envelope",
+              serial.ops_per_sec());
+  std::printf("  %-28s %12.0f ops/s  (%zu workers, %.2fx serial)\n",
+              "VerifierPool (cold cache)", pooled.ops_per_sec(), pool_workers,
+              speedup);
+  std::printf("  %-28s %12.0f ops/s  (%.0fx serial, %llu hits)\n",
+              "VerifyCache (warm)", cached.ops_per_sec(), cache_speedup,
+              static_cast<unsigned long long>(warm_stats.hits));
+
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"bench\": \"verify_path\",\n"
+       << "  \"cores\": " << cores << ",\n"
+       << "  \"pool_workers\": " << pool_workers << ",\n"
+       << "  \"envelopes\": " << kEnvelopes << ",\n"
+       << "  \"payload_bytes\": " << kPayloadBytes << ",\n"
+       << "  \"serial_ops_per_sec\": " << serial.ops_per_sec() << ",\n"
+       << "  \"pool_ops_per_sec\": " << pooled.ops_per_sec() << ",\n"
+       << "  \"pool_speedup\": " << speedup << ",\n"
+       << "  \"cached_ops_per_sec\": " << cached.ops_per_sec() << ",\n"
+       << "  \"cached_speedup\": " << cache_speedup << ",\n"
+       << "  \"cache_hits\": " << warm_stats.hits << ",\n"
+       << "  \"cache_misses\": " << warm_stats.misses << "\n"
+       << "}\n";
+  json.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (cores >= 4 && speedup < 2.0) {
+    std::fprintf(stderr, "%s: pool speedup %.2fx < 2x serial on %u cores\n",
+                 enforce ? "FAIL" : "WARN", speedup, cores);
+    return enforce ? 1 : 0;
+  }
+  return 0;
+}

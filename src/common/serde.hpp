@@ -28,6 +28,11 @@ class Writer {
   void str(const std::string& s);
   void boolean(bool v) { u8(v ? 1 : 0); }
 
+  /// Pre-sizes the buffer for `n` more bytes of writes. Hot paths that know
+  /// their encoded size (envelope serialization, signing input) call this
+  /// once instead of growing the vector byte by byte.
+  void reserve(std::size_t n) { buf_.reserve(buf_.size() + n); }
+
   [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
   [[nodiscard]] Bytes take() && noexcept { return std::move(buf_); }
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }

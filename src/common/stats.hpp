@@ -1,6 +1,9 @@
-// Latency/throughput measurement used by the benchmark harness.
+// Latency/throughput measurement used by the benchmark harness, plus the
+// lightweight event counters exported by hot-path subsystems (e.g. the
+// signature-verification cache).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -9,6 +12,25 @@
 #include "common/clock.hpp"
 
 namespace sbft {
+
+/// Monotonic event counter. Thread-safe (relaxed atomics: counters are
+/// statistics, not synchronization). Non-copyable, like the atomic it
+/// wraps — snapshot value() into plain integers instead.
+class Counter {
+ public:
+  Counter() = default;
+
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
 
 /// Collects individual latency samples (microseconds) and reports
 /// mean/percentiles. Thread-safe recording.

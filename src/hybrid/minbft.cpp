@@ -77,7 +77,7 @@ HybridReplica::HybridReplica(pbft::Config config, ReplicaId id,
     : config_(config),
       id_(id),
       usig_(std::move(usig)),
-      verifier_(std::move(verifier)),
+      auth_(std::move(verifier)),
       clients_(clients),
       app_(app_factory()) {}
 
@@ -153,7 +153,7 @@ void HybridReplica::on_prepare(const net::Envelope& env, Out& out) {
   }
   // Verify the primary's UI and counter freshness: a UI counter may be
   // used exactly once (non-equivocation — given an intact TEE).
-  if (!Usig::verify(*verifier_, principal::hybrid_replica(prepare->sender),
+  if (!Usig::verify(auth_, principal::hybrid_replica(prepare->sender),
                     prepare->ui_digest(), prepare->ui)) {
     return;
   }
@@ -182,11 +182,11 @@ void HybridReplica::on_commit(const net::Envelope& env, Out& out) {
   if (prepare.view != view_ || prepare.sender != config_.primary(view_)) {
     return;
   }
-  if (!Usig::verify(*verifier_, principal::hybrid_replica(prepare.sender),
+  if (!Usig::verify(auth_, principal::hybrid_replica(prepare.sender),
                     prepare.ui_digest(), prepare.ui)) {
     return;
   }
-  if (!Usig::verify(*verifier_, principal::hybrid_replica(commit->sender),
+  if (!Usig::verify(auth_, principal::hybrid_replica(commit->sender),
                     commit->ui_digest(), commit->ui)) {
     return;
   }

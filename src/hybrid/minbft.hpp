@@ -19,6 +19,7 @@
 
 #include "apps/app.hpp"
 #include "hybrid/usig.hpp"
+#include "net/auth.hpp"
 #include "pbft/client_directory.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
@@ -87,6 +88,8 @@ class HybridReplica {
     return executed_digests_;
   }
   [[nodiscard]] std::shared_ptr<Usig> usig() noexcept { return usig_; }
+  /// UI-verification cache (hit/miss counters for tests).
+  [[nodiscard]] const net::VerifyCache& auth() const noexcept { return auth_; }
 
  private:
   struct PendingOrder {
@@ -111,7 +114,7 @@ class HybridReplica {
   pbft::Config config_;
   ReplicaId id_;
   std::shared_ptr<Usig> usig_;
-  std::shared_ptr<const crypto::Verifier> verifier_;
+  net::VerifyCache auth_;
   pbft::ClientDirectory clients_;
   std::unique_ptr<apps::Application> app_;
 

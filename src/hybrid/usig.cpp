@@ -49,6 +49,13 @@ bool Usig::verify(const crypto::Verifier& verifier,
                          ui.signature);
 }
 
+bool Usig::verify(net::VerifyCache& cache, principal::Id signer_principal,
+                  const Digest& message_digest, const UI& ui) {
+  return cache.check_raw(signer_principal,
+                         ui_signing_input(message_digest, ui.counter),
+                         ui.signature);
+}
+
 UI Usig::forge(const Digest& message_digest, std::uint64_t counter) {
   UI ui;
   ui.counter = counter;

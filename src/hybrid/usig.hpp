@@ -14,6 +14,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "crypto/keyring.hpp"
+#include "net/auth.hpp"
 #include "tee/monotonic_counter.hpp"
 
 namespace sbft::hybrid {
@@ -41,6 +42,12 @@ class Usig {
 
   /// Verifies that `ui` is `signer_principal`'s UI for `message_digest`.
   [[nodiscard]] static bool verify(const crypto::Verifier& verifier,
+                                   principal::Id signer_principal,
+                                   const Digest& message_digest, const UI& ui);
+
+  /// Cache-backed variant: a UI embedded in relayed commits verifies once
+  /// per replica, every later check is a cache hit.
+  [[nodiscard]] static bool verify(net::VerifyCache& cache,
                                    principal::Id signer_principal,
                                    const Digest& message_digest, const UI& ui);
 

@@ -1,0 +1,236 @@
+#include "net/auth.hpp"
+
+#include <cassert>
+
+#include "common/serde.hpp"
+#include "crypto/sha256.hpp"
+
+namespace sbft::net {
+
+std::vector<Envelope> unwrap(const std::vector<VerifiedEnvelope>& envs) {
+  std::vector<Envelope> out;
+  out.reserve(envs.size());
+  for (const auto& ve : envs) out.push_back(ve.envelope());
+  return out;
+}
+
+// -------------------------------------------------------------- VerifyCache
+
+VerifyCache::VerifyCache(std::shared_ptr<const crypto::Verifier> verifier,
+                         std::size_t capacity)
+    : verifier_(std::move(verifier)),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+Digest VerifyCache::key_of(principal::Id signer, ByteView message,
+                           ByteView signature) {
+  // Length-prefixing message and signature makes the encoding injective, so
+  // a key collision requires a SHA-256 collision.
+  Writer w;
+  w.reserve(8 + 4 + message.size() + 4 + signature.size());
+  w.u64(signer);
+  w.bytes(message);
+  w.bytes(signature);
+  return crypto::sha256(w.data());
+}
+
+bool VerifyCache::lookup_or_verify(principal::Id signer, ByteView message,
+                                   ByteView signature) {
+  const Digest key = key_of(signer, message, signature);
+  std::shared_ptr<Inflight> job;
+  {
+    std::unique_lock lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // touch
+      hits_.add();
+      return true;
+    }
+    const auto busy = inflight_.find(key);
+    if (busy != inflight_.end()) {
+      // Another thread is verifying this exact triple: consume its result
+      // instead of duplicating the work (matters most for forged-message
+      // floods, where the result is never cached).
+      job = busy->second;
+      ++job->waiters;
+      inflight_cv_.wait(lock, [&] { return job->done; });
+      --job->waiters;
+      // The map entry may already belong to a newer verification of the
+      // same key; only the last reader of THIS job may erase it.
+      const auto cur = inflight_.find(key);
+      if (cur != inflight_.end() && cur->second == job &&
+          job->waiters == 0) {
+        inflight_.erase(cur);
+      }
+      if (job->ok) {
+        hits_.add();
+      } else {
+        failures_.add();
+      }
+      return job->ok;
+    }
+    job = std::make_shared<Inflight>();
+    inflight_.emplace(key, job);
+  }
+  // Verify outside the lock: this is the expensive part, and pool workers
+  // must be able to verify *different* triples concurrently.
+  const bool ok = verifier_->verify(signer, message, signature);
+  {
+    const std::scoped_lock lock(mutex_);
+    job->done = true;
+    job->ok = ok;
+    if (ok) insert_locked(key);
+    const auto cur = inflight_.find(key);
+    if (cur != inflight_.end() && cur->second == job && job->waiters == 0) {
+      inflight_.erase(cur);
+    }
+  }
+  inflight_cv_.notify_all();
+  if (ok) {
+    misses_.add();
+  } else {
+    failures_.add();
+  }
+  return ok;
+}
+
+void VerifyCache::insert(const Digest& key) {
+  const std::scoped_lock lock(mutex_);
+  insert_locked(key);
+}
+
+void VerifyCache::insert_locked(const Digest& key) {
+  if (index_.contains(key)) return;  // already present; fine
+  lru_.push_front(key);
+  index_.emplace(key, lru_.begin());
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+    evictions_.add();
+  }
+}
+
+std::optional<VerifiedEnvelope> VerifyCache::verify(
+    const Envelope& env, principal::Id claimed_signer) {
+  const Bytes input = signing_input(env.type, env.payload);
+  if (!lookup_or_verify(claimed_signer, input, env.signature)) {
+    return std::nullopt;
+  }
+  return VerifiedEnvelope(env, claimed_signer);
+}
+
+std::optional<VerifiedEnvelope> VerifyCache::verify(
+    Envelope&& env, principal::Id claimed_signer) {
+  const Bytes input = signing_input(env.type, env.payload);
+  if (!lookup_or_verify(claimed_signer, input, env.signature)) {
+    return std::nullopt;
+  }
+  return VerifiedEnvelope(std::move(env), claimed_signer);
+}
+
+bool VerifyCache::check(const Envelope& env, principal::Id claimed_signer) {
+  const Bytes input = signing_input(env.type, env.payload);
+  return lookup_or_verify(claimed_signer, input, env.signature);
+}
+
+bool VerifyCache::check_raw(principal::Id signer, ByteView message,
+                            ByteView signature) {
+  return lookup_or_verify(signer, message, signature);
+}
+
+VerifiedEnvelope VerifyCache::attest_own(Envelope env,
+                                         const crypto::Signer& signer) {
+  const principal::Id id = signer.id();
+  if (!env.signature.empty()) {
+    // Debug guard on the cache invariant: both schemes are deterministic,
+    // so authorship is checkable by re-signing. A call site that attests
+    // an envelope the signer did not produce would otherwise poison the
+    // cache silently.
+    assert(env.signature ==
+           signer.sign(signing_input(env.type, env.payload)));
+    insert(key_of(id, signing_input(env.type, env.payload), env.signature));
+  }
+  return VerifiedEnvelope(std::move(env), id);
+}
+
+VerifyStats VerifyCache::stats() const {
+  VerifyStats s;
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.failures = failures_.value();
+  s.evictions = evictions_.value();
+  return s;
+}
+
+std::size_t VerifyCache::size() const {
+  const std::scoped_lock lock(mutex_);
+  return index_.size();
+}
+
+// ------------------------------------------------------------- VerifierPool
+
+VerifierPool::VerifierPool(std::shared_ptr<VerifyCache> cache,
+                           std::size_t workers)
+    : cache_(std::move(cache)) {
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] {
+      std::unique_lock lock(mutex_);
+      for (;;) {
+        work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+        if (stopping_) return;
+        Batch& batch = *pending_.front();
+        drain(batch, lock);
+      }
+    });
+  }
+}
+
+VerifierPool::~VerifierPool() {
+  {
+    const std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void VerifierPool::drain(Batch& batch, std::unique_lock<std::mutex>& lock) {
+  while (batch.next < batch.jobs.size()) {
+    const std::size_t i = batch.next++;
+    if (batch.next == batch.jobs.size()) {
+      // Fully claimed: stop advertising the batch to other workers.
+      pending_.remove(&batch);
+    }
+    lock.unlock();
+    auto result = cache_->verify(std::move(batch.jobs[i].env),
+                                 batch.jobs[i].claimed_signer);
+    lock.lock();
+    batch.results[i] = std::move(result);
+    if (--batch.remaining == 0) done_cv_.notify_all();
+  }
+}
+
+std::vector<std::optional<VerifiedEnvelope>> VerifierPool::verify_batch(
+    std::vector<Job> jobs) {
+  Batch batch;
+  batch.results.resize(jobs.size());
+  batch.remaining = jobs.size();
+  batch.jobs = std::move(jobs);
+  if (batch.jobs.empty()) return {};
+
+  std::unique_lock lock(mutex_);
+  if (!workers_.empty()) {
+    pending_.push_back(&batch);
+    work_cv_.notify_all();
+  }
+  // The submitter always helps drain its own batch: in synchronous mode
+  // (zero workers) it does all the work, in pooled mode it races the
+  // workers for unclaimed jobs.
+  drain(batch, lock);
+  done_cv_.wait(lock, [&batch] { return batch.remaining == 0; });
+  return std::move(batch.results);
+}
+
+}  // namespace sbft::net

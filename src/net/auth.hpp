@@ -1,0 +1,215 @@
+// Unified message-authentication layer.
+//
+// Ed25519 verification dominates the non-TEE cost of every protocol in this
+// reproduction, and the same stored quorum envelopes (prepared certificates,
+// checkpoint proofs, view-change proofs) are re-checked at many call sites.
+// This layer makes "verified" a property the type system tracks and the
+// runtime caches:
+//
+//  * VerifiedEnvelope — a move-only wrapper that can only be produced by the
+//    auth layer. Code that stores or forwards quorum messages holds
+//    VerifiedEnvelope, so proof-of-verification travels with the bytes and
+//    redundant re-verification paths can be deleted.
+//  * VerifyCache — a bounded LRU over (signer, message, signature) triples.
+//    Envelopes that recur across view-change/new-view proofs and relayed
+//    certificates verify exactly once per replica; every later check is a
+//    hash lookup. Only *successful* verifications are cached, and the key
+//    covers the signature bytes, so re-sending a cached payload with a
+//    forged signature can never hit.
+//  * VerifierPool — N worker threads verifying batches of inbound envelopes
+//    in parallel ahead of delivery (the dsnet-style n_worker runner), with a
+//    synchronous zero-worker mode so the deterministic simulator stays
+//    reproducible.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "net/message.hpp"
+
+namespace sbft::net {
+
+/// Snapshot of VerifyCache counters (exported via common/stats Counters).
+struct VerifyStats {
+  std::uint64_t hits{0};       // checks answered without verifying (cache or
+                               // a concurrent verification's result)
+  std::uint64_t misses{0};     // full verifications that succeeded
+  std::uint64_t failures{0};   // checks that failed (never cached)
+  std::uint64_t evictions{0};  // LRU entries dropped at capacity
+  [[nodiscard]] std::uint64_t lookups() const noexcept {
+    return hits + misses + failures;
+  }
+};
+
+/// An envelope whose signature has been checked against a specific signer.
+/// Only the auth layer can construct one; holders may clone() it (copying a
+/// proven envelope preserves the invariant) but never forge one.
+class VerifiedEnvelope {
+ public:
+  VerifiedEnvelope(VerifiedEnvelope&&) noexcept = default;
+  VerifiedEnvelope& operator=(VerifiedEnvelope&&) noexcept = default;
+  VerifiedEnvelope(const VerifiedEnvelope&) = delete;
+  VerifiedEnvelope& operator=(const VerifiedEnvelope&) = delete;
+
+  [[nodiscard]] const Envelope& envelope() const noexcept { return env_; }
+  /// The principal whose signature was checked.
+  [[nodiscard]] principal::Id signer() const noexcept { return signer_; }
+  /// Explicit copy of an already-proven envelope.
+  [[nodiscard]] VerifiedEnvelope clone() const {
+    return VerifiedEnvelope(env_, signer_);
+  }
+  /// Consumes the wrapper, releasing the envelope without a copy (delivery
+  /// paths that hand the verified bytes onward).
+  [[nodiscard]] Envelope release() && noexcept { return std::move(env_); }
+
+ private:
+  friend class VerifyCache;
+  VerifiedEnvelope(Envelope env, principal::Id signer)
+      : env_(std::move(env)), signer_(signer) {}
+
+  Envelope env_;
+  principal::Id signer_;
+};
+
+/// Unwraps verified envelopes for wire serialization (proof fields of
+/// ViewChange / StateResponse messages carry plain envelopes).
+[[nodiscard]] std::vector<Envelope> unwrap(
+    const std::vector<VerifiedEnvelope>& envs);
+
+/// Bounded LRU signature-verification cache. Thread-safe: the protocol
+/// engines use it single-threaded, the VerifierPool shares one across
+/// workers. A cache entry asserts "this exact (signer, message, signature)
+/// triple verified true under this cache's Verifier".
+class VerifyCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit VerifyCache(std::shared_ptr<const crypto::Verifier> verifier,
+                       std::size_t capacity = kDefaultCapacity);
+
+  /// Verifies an envelope signed over signing_input(type, payload) and wraps
+  /// it on success.
+  [[nodiscard]] std::optional<VerifiedEnvelope> verify(
+      const Envelope& env, principal::Id claimed_signer);
+  /// Move overload: the wrapped envelope is moved, not copied (batch
+  /// delivery paths).
+  [[nodiscard]] std::optional<VerifiedEnvelope> verify(
+      Envelope&& env, principal::Id claimed_signer);
+
+  /// Boolean variant of verify() for call sites that do not store the
+  /// envelope.
+  [[nodiscard]] bool check(const Envelope& env, principal::Id claimed_signer);
+
+  /// Verifies an arbitrary (signer, message, signature) triple — SplitBFT
+  /// header-signed pre-prepares and USIG UIs sign different byte strings
+  /// than the generic envelope input.
+  [[nodiscard]] bool check_raw(principal::Id signer, ByteView message,
+                               ByteView signature);
+
+  /// Wraps an envelope this node signed itself (no verification needed) and
+  /// records it in the cache so later proof validations that include our own
+  /// messages hit. Requires the private Signer as proof of authorship —
+  /// holding a VerifyCache alone never mints a VerifiedEnvelope for a
+  /// signature the holder could not have produced.
+  [[nodiscard]] VerifiedEnvelope attest_own(Envelope env,
+                                            const crypto::Signer& signer);
+
+  [[nodiscard]] VerifyStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] const crypto::Verifier& verifier() const noexcept {
+    return *verifier_;
+  }
+
+ private:
+  /// Collision-resistant cache key over the full triple.
+  [[nodiscard]] static Digest key_of(principal::Id signer, ByteView message,
+                                     ByteView signature);
+  [[nodiscard]] bool lookup_or_verify(principal::Id signer, ByteView message,
+                                      ByteView signature);
+  void insert(const Digest& key);
+  void insert_locked(const Digest& key);
+
+  std::shared_ptr<const crypto::Verifier> verifier_;
+  std::size_t capacity_;
+
+  /// A verification some thread is running (or has just finished). Waiters
+  /// consume the claimer's result, so concurrent checks of the same triple
+  /// — valid or forged — execute the verifier exactly once.
+  struct Inflight {
+    bool done{false};
+    bool ok{false};
+    std::size_t waiters{0};
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable inflight_cv_;
+  std::list<Digest> lru_;  // front = most recent
+  std::unordered_map<Digest, std::list<Digest>::iterator> index_;
+  std::unordered_map<Digest, std::shared_ptr<Inflight>> inflight_;
+
+  Counter hits_;
+  Counter misses_;
+  Counter failures_;
+  Counter evictions_;
+};
+
+/// Verifies batches of envelopes across N worker threads sharing one
+/// VerifyCache. With zero workers every batch is verified synchronously on
+/// the calling thread — bit-identical results, deterministic order — which
+/// is what the simulator uses. The calling thread always participates in
+/// draining its own batch, so no configuration can deadlock on a missing
+/// worker.
+class VerifierPool {
+ public:
+  struct Job {
+    Envelope env;
+    principal::Id claimed_signer{0};
+  };
+
+  VerifierPool(std::shared_ptr<VerifyCache> cache, std::size_t workers);
+  ~VerifierPool();
+  VerifierPool(const VerifierPool&) = delete;
+  VerifierPool& operator=(const VerifierPool&) = delete;
+
+  /// Verifies all jobs; result i corresponds to job i (nullopt = rejected).
+  /// Blocks until the whole batch is complete.
+  [[nodiscard]] std::vector<std::optional<VerifiedEnvelope>> verify_batch(
+      std::vector<Job> jobs);
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] VerifyCache& cache() noexcept { return *cache_; }
+
+ private:
+  struct Batch {
+    std::vector<Job> jobs;
+    std::vector<std::optional<VerifiedEnvelope>> results;
+    std::size_t next{0};       // next unclaimed job index (under pool mutex)
+    std::size_t remaining{0};  // jobs not yet completed (under pool mutex)
+  };
+
+  /// Claims and runs jobs from `batch` until none are left unclaimed.
+  /// Returns with the pool mutex held in `lock`.
+  void drain(Batch& batch, std::unique_lock<std::mutex>& lock);
+
+  std::shared_ptr<VerifyCache> cache_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers wait for batches
+  std::condition_variable done_cv_;  // submitters wait for completion
+  std::list<Batch*> pending_;        // batches with unclaimed jobs
+  bool stopping_{false};
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sbft::net

@@ -6,6 +6,7 @@ namespace sbft::net {
 
 Bytes Envelope::serialize() const {
   Writer w;
+  w.reserve(8 + 8 + 4 + 4 + payload.size() + 4 + signature.size());
   w.u64(src);
   w.u64(dst);
   w.u32(type);
@@ -28,6 +29,7 @@ std::optional<Envelope> Envelope::deserialize(ByteView data) {
 
 Bytes signing_input(std::uint32_t type, ByteView payload) {
   Writer w;
+  w.reserve(4 + 4 + payload.size());
   w.u32(type);
   w.bytes(payload);
   return std::move(w).take();

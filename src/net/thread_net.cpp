@@ -1,23 +1,67 @@
 #include "net/thread_net.hpp"
 
+#include <vector>
+
 namespace sbft::net {
 
 ThreadNetwork::~ThreadNetwork() { shutdown(); }
 
+void ThreadNetwork::enable_ingress_auth(std::shared_ptr<VerifierPool> pool,
+                                        AuthPolicy policy) {
+  const std::scoped_lock lock(registry_mutex_);
+  auth_pool_ = std::move(pool);
+  auth_policy_ = std::move(policy);
+}
+
+void ThreadNetwork::deliver_batch(Endpoint& ep, std::deque<Envelope> batch) {
+  if (!ep.auth_pool || !ep.auth_policy) {
+    for (auto& env : batch) ep.handler(std::move(env));
+    return;
+  }
+  // Move the signature-authenticated subset into one parallel batch, then
+  // deliver survivors in arrival order (verified envelopes come back from
+  // the pool; unauthenticated ones are delivered from the original batch).
+  std::vector<VerifierPool::Job> jobs;
+  std::vector<std::size_t> job_index(batch.size(), SIZE_MAX);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (const auto signer = ep.auth_policy(batch[i])) {
+      job_index[i] = jobs.size();
+      jobs.push_back({std::move(batch[i]), *signer});
+    }
+  }
+  auto results = ep.auth_pool->verify_batch(std::move(jobs));
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (job_index[i] == SIZE_MAX) {
+      ep.handler(std::move(batch[i]));
+    } else if (auto& verified = results[job_index[i]]) {
+      ep.handler(std::move(*verified).release());
+    }
+    // else: failed authentication, dropped before delivery
+  }
+}
+
 void ThreadNetwork::register_endpoint(principal::Id id, DeliveryFn handler) {
   auto endpoint = std::make_unique<Endpoint>();
   endpoint->handler = std::move(handler);
+  {
+    const std::scoped_lock lock(registry_mutex_);
+    endpoint->auth_pool = auth_pool_;
+    endpoint->auth_policy = auth_policy_;
+  }
   Endpoint* ep = endpoint.get();
   endpoint->consumer = std::thread([ep] {
     std::unique_lock lock(ep->mutex);
     for (;;) {
       ep->cv.wait(lock, [ep] { return ep->stopping || !ep->queue.empty(); });
       if (ep->stopping) return;
-      Envelope env = std::move(ep->queue.front());
-      ep->queue.pop_front();
+      // Swap the whole queue out and raise `busy` under one critical
+      // section — the drain() handshake relies on "empty queue + !busy"
+      // implying no in-flight deliveries.
+      std::deque<Envelope> batch;
+      batch.swap(ep->queue);
       ep->busy = true;
       lock.unlock();
-      ep->handler(std::move(env));
+      deliver_batch(*ep, std::move(batch));
       lock.lock();
       ep->busy = false;
       ep->cv.notify_all();

@@ -1,23 +1,36 @@
 // In-process loopback transport for the threaded runtime.
 //
 // Each endpoint owns an MPSC queue drained by a dedicated consumer thread —
-// the moral equivalent of one TCP connection handler per peer. Used by the
-// runnable examples; correctness tests use the deterministic simulator.
+// the moral equivalent of one TCP connection handler per peer. The consumer
+// drains the whole queue per wakeup, and an optional ingress-authentication
+// stage hands each drained batch to a VerifierPool so signature checks run
+// in parallel (and populate a shared VerifyCache) before delivery. Used by
+// the runnable examples; correctness tests use the deterministic simulator.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
+#include "net/auth.hpp"
 #include "net/transport.hpp"
 
 namespace sbft::net {
 
 class ThreadNetwork final : public Transport {
  public:
+  /// Maps an inbound envelope to the principal whose signature it must
+  /// carry; nullopt means "not signature-authenticated here" (client HMACs,
+  /// local messages) and the envelope is delivered unfiltered — the
+  /// handler's own checks still apply.
+  using AuthPolicy = std::function<std::optional<principal::Id>(
+      const Envelope&)>;
+
   ThreadNetwork() = default;
   ~ThreadNetwork() override;
   ThreadNetwork(const ThreadNetwork&) = delete;
@@ -26,12 +39,28 @@ class ThreadNetwork final : public Transport {
   void send(Envelope env) override;
   void register_endpoint(principal::Id id, DeliveryFn handler) override;
 
+  /// Enables batched ingress signature verification. Envelopes the policy
+  /// maps to a signer are verified through `pool` (parallel across its
+  /// workers, deduplicated by its VerifyCache); failures are dropped before
+  /// delivery. Must be called before the endpoints it should cover are
+  /// registered.
+  void enable_ingress_auth(std::shared_ptr<VerifierPool> pool,
+                           AuthPolicy policy);
+
   /// Stops all consumer threads; messages still queued are dropped
   /// (the network is allowed to be unreliable).
   void shutdown();
 
-  /// Blocks until every queue is momentarily empty (test helper; this is
-  /// not a barrier — new sends may arrive right after).
+  /// Blocks until every queue is momentarily empty AND no handler is
+  /// mid-delivery (this is not a barrier — new sends may arrive right
+  /// after). The handshake with the consumer: the consumer swaps the queue
+  /// out and raises `busy` under the SAME lock, so drain() can never
+  /// observe "queue empty, consumer idle" while a drained batch is still
+  /// being delivered; `busy` drops (again under the lock) only after the
+  /// whole batch was handed to the handler. A concurrent shutdown() raises
+  /// `stopping` (never cleared by drain or the consumer), which both the
+  /// consumer and drain() treat as a terminal wake-up condition, so
+  /// drain + send + shutdown cannot deadlock.
   void drain();
 
  private:
@@ -40,13 +69,20 @@ class ThreadNetwork final : public Transport {
     std::condition_variable cv;
     std::deque<Envelope> queue;
     bool stopping{false};
-    bool busy{false};
+    bool busy{false};  // a drained batch is being verified/delivered
     DeliveryFn handler;
+    std::shared_ptr<VerifierPool> auth_pool;  // null = no ingress auth
+    AuthPolicy auth_policy;
     std::thread consumer;
   };
 
+  /// Verifies (if configured) and delivers one drained batch, in order.
+  static void deliver_batch(Endpoint& ep, std::deque<Envelope> batch);
+
   std::mutex registry_mutex_;
   std::unordered_map<principal::Id, std::unique_ptr<Endpoint>> endpoints_;
+  std::shared_ptr<VerifierPool> auth_pool_;
+  AuthPolicy auth_policy_;
   bool shut_down_{false};
 };
 

@@ -18,11 +18,13 @@ const Logger& logger() {
 Replica::Replica(Config config, ReplicaId id,
                  std::shared_ptr<const crypto::Signer> signer,
                  std::shared_ptr<const crypto::Verifier> verifier,
-                 ClientDirectory clients, apps::AppFactory app_factory)
+                 ClientDirectory clients, apps::AppFactory app_factory,
+                 std::shared_ptr<net::VerifyCache> auth)
     : config_(config),
       id_(id),
       signer_(std::move(signer)),
-      verifier_(std::move(verifier)),
+      auth_(auth ? std::move(auth)
+                 : std::make_shared<net::VerifyCache>(std::move(verifier))),
       clients_(clients),
       app_(app_factory()) {}
 
@@ -41,11 +43,15 @@ net::Envelope Replica::make_signed(MsgType type, ByteView payload,
 
 void Replica::broadcast(MsgType type, ByteView payload, Out& out) const {
   // Sign once, then address a copy to every other replica.
-  net::Envelope env = make_signed(type, payload, 0);
+  broadcast_env(make_signed(type, payload, 0), out);
+}
+
+void Replica::broadcast_env(const net::Envelope& env, Out& out) const {
+  net::Envelope copy = env;
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == id_) continue;
-    env.dst = principal::pbft_replica(r);
-    out.push_back(env);
+    copy.dst = principal::pbft_replica(r);
+    out.push_back(copy);
   }
 }
 
@@ -213,9 +219,12 @@ void Replica::cut_batch(Micros now, Out& out) {
   pp.sender = id_;
 
   Slot& s = slot(pp.seq);
-  s.pre_prepare_env = make_signed(MsgType::PrePrepare, pp.serialize(), 0);
+  // Sign once; the stored copy is attested (we are the signer) and the
+  // broadcast copies reuse the signature.
+  net::Envelope ppe = make_signed(MsgType::PrePrepare, pp.serialize(), 0);
   s.pre_prepare = pp;
-  broadcast(MsgType::PrePrepare, pp.serialize(), out);
+  broadcast_env(ppe, out);
+  s.pre_prepare_env = auth_->attest_own(std::move(ppe), *signer_);
 
   // Keep batching if more requests are queued.
   if (!pending_requests_.empty() && is_primary()) {
@@ -238,10 +247,8 @@ void Replica::on_pre_prepare(const net::Envelope& env, Micros now, Out& out) {
       pp->sender == id_ || !in_window(pp->seq)) {
     return;
   }
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(pp->sender))) {
-    return;
-  }
+  auto verified = auth_->verify(env, principal::pbft_replica(pp->sender));
+  if (!verified) return;
   if (crypto::sha256(pp->batch) != pp->batch_digest) return;
   auto batch = RequestBatch::deserialize(pp->batch);
   if (!batch) return;
@@ -260,7 +267,7 @@ void Replica::on_pre_prepare(const net::Envelope& env, Micros now, Out& out) {
     return;
   }
   s.pre_prepare = *pp;
-  s.pre_prepare_env = env;
+  s.pre_prepare_env = std::move(*verified);
   // Drop buffered prepares that do not match the accepted digest.
   std::erase_if(s.prepares, [&](const auto& kv) {
     return kv.second.first != pp->batch_digest;
@@ -272,7 +279,8 @@ void Replica::on_pre_prepare(const net::Envelope& env, Micros now, Out& out) {
   prep.batch_digest = pp->batch_digest;
   prep.sender = id_;
   net::Envelope my_prepare = make_signed(MsgType::Prepare, prep.serialize(), 0);
-  s.prepares[id_] = {prep.batch_digest, my_prepare};
+  s.prepares.try_emplace(id_, prep.batch_digest,
+                         auth_->attest_own(std::move(my_prepare), *signer_));
   broadcast(MsgType::Prepare, prep.serialize(), out);
 
   check_prepared(pp->seq, now, out);
@@ -289,16 +297,14 @@ void Replica::on_prepare(const net::Envelope& env, Micros now, Out& out) {
       prep->sender >= config_.n) {
     return;
   }
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(prep->sender))) {
-    return;
-  }
+  auto verified = auth_->verify(env, principal::pbft_replica(prep->sender));
+  if (!verified) return;
   Slot& s = slot(prep->seq);
   if (s.pre_prepare && s.pre_prepare->batch_digest != prep->batch_digest) {
     return;  // vote for a different proposal
   }
-  s.prepares.emplace(prep->sender,
-                     std::make_pair(prep->batch_digest, env));
+  s.prepares.try_emplace(prep->sender, prep->batch_digest,
+                         std::move(*verified));
   check_prepared(prep->seq, now, out);
 }
 
@@ -319,7 +325,8 @@ void Replica::check_prepared(SeqNum seq, Micros now, Out& out) {
   commit.batch_digest = digest;
   commit.sender = id_;
   net::Envelope my_commit = make_signed(MsgType::Commit, commit.serialize(), 0);
-  s.commits[id_] = {digest, my_commit};
+  s.commits.try_emplace(id_, digest,
+                        auth_->attest_own(std::move(my_commit), *signer_));
   broadcast(MsgType::Commit, commit.serialize(), out);
 
   check_committed(seq, now, out);
@@ -335,13 +342,11 @@ void Replica::on_commit(const net::Envelope& env, Micros now, Out& out) {
       commit->sender == id_ || commit->sender >= config_.n) {
     return;
   }
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(commit->sender))) {
-    return;
-  }
+  auto verified = auth_->verify(env, principal::pbft_replica(commit->sender));
+  if (!verified) return;
   Slot& s = slot(commit->seq);
-  s.commits.emplace(commit->sender,
-                    std::make_pair(commit->batch_digest, env));
+  s.commits.try_emplace(commit->sender, commit->batch_digest,
+                        std::move(*verified));
   check_committed(commit->seq, now, out);
 }
 
@@ -489,10 +494,10 @@ void Replica::process_own_checkpoint(SeqNum seq, const net::Envelope& env,
   auto cp = Checkpoint::deserialize(env.payload);
   if (!cp) return;
   auto& by_digest = checkpoints_[seq][cp->state_digest];
-  by_digest[id_] = env;
+  by_digest.insert_or_assign(id_, auth_->attest_own(env, *signer_));
   if (by_digest.size() >= config_.quorum()) {
-    std::vector<net::Envelope> proof;
-    for (const auto& [sender, e] : by_digest) proof.push_back(e);
+    std::vector<net::VerifiedEnvelope> proof;
+    for (const auto& [sender, e] : by_digest) proof.push_back(e.clone());
     make_stable(seq, std::move(proof), now, out);
   }
 }
@@ -504,20 +509,18 @@ void Replica::on_checkpoint(const net::Envelope& env, Micros now, Out& out) {
       cp->sender >= config_.n) {
     return;
   }
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(cp->sender))) {
-    return;
-  }
+  auto verified = auth_->verify(env, principal::pbft_replica(cp->sender));
+  if (!verified) return;
   auto& by_digest = checkpoints_[cp->seq][cp->state_digest];
-  by_digest.emplace(cp->sender, env);
+  by_digest.try_emplace(cp->sender, std::move(*verified));
   if (by_digest.size() >= config_.quorum()) {
-    std::vector<net::Envelope> proof;
-    for (const auto& [sender, e] : by_digest) proof.push_back(e);
+    std::vector<net::VerifiedEnvelope> proof;
+    for (const auto& [sender, e] : by_digest) proof.push_back(e.clone());
     make_stable(cp->seq, std::move(proof), now, out);
   }
 }
 
-void Replica::make_stable(SeqNum seq, std::vector<net::Envelope> proof,
+void Replica::make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
                           Micros now, Out& out) {
   if (seq <= last_stable_) return;
   last_stable_ = seq;
@@ -551,17 +554,14 @@ void Replica::make_stable(SeqNum seq, std::vector<net::Envelope> proof,
 void Replica::on_state_request(const net::Envelope& env, Out& out) {
   auto sr = StateRequest::deserialize(env.payload);
   if (!sr || sr->sender >= config_.n || sr->sender == id_) return;
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(sr->sender))) {
-    return;
-  }
+  if (!auth_->check(env, principal::pbft_replica(sr->sender))) return;
   const auto it = snapshots_.find(sr->seq);
   if (it == snapshots_.end() || sr->seq != last_stable_) return;
 
   StateResponse resp;
   resp.seq = sr->seq;
   resp.snapshot = it->second;
-  resp.checkpoint_proof = stable_proof_;
+  resp.checkpoint_proof = net::unwrap(stable_proof_);
   resp.sender = id_;
   out.push_back(make_signed(MsgType::StateResponse, resp.serialize(),
                             principal::pbft_replica(sr->sender)));
@@ -572,34 +572,20 @@ void Replica::on_state_response(const net::Envelope& env, Micros now,
   if (!awaiting_state_) return;
   auto resp = StateResponse::deserialize(env.payload);
   if (!resp || resp->sender >= config_.n) return;
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(resp->sender))) {
-    return;
-  }
+  if (!auth_->check(env, principal::pbft_replica(resp->sender))) return;
   if (resp->seq < awaited_state_seq_ || resp->seq <= last_executed_) return;
 
-  // Validate the checkpoint certificate against the snapshot digest.
-  const Digest digest = snapshot_digest(resp->snapshot);
-  std::map<ReplicaId, bool> distinct;
-  for (const auto& cpe : resp->checkpoint_proof) {
-    auto cp = Checkpoint::deserialize(cpe.payload);
-    if (!cp || cp->seq != resp->seq || cp->state_digest != digest ||
-        cp->sender >= config_.n) {
-      continue;
-    }
-    if (!net::verify_envelope(cpe, *verifier_,
-                              principal::pbft_replica(cp->sender))) {
-      continue;
-    }
-    distinct[cp->sender] = true;
-  }
-  if (distinct.size() < config_.quorum()) return;
+  // Validate the checkpoint certificate against the snapshot digest,
+  // keeping only the envelopes that actually verify.
+  std::vector<net::VerifiedEnvelope> proof = verified_checkpoint_proof(
+      resp->checkpoint_proof, resp->seq, snapshot_digest(resp->snapshot));
+  if (proof.size() < config_.quorum()) return;
 
   if (!restore_protocol_snapshot(resp->snapshot)) return;
   last_executed_ = resp->seq;
   if (resp->seq > last_stable_) {
     last_stable_ = resp->seq;
-    stable_proof_ = resp->checkpoint_proof;
+    stable_proof_ = std::move(proof);
   }
   snapshots_[resp->seq] = resp->snapshot;
   log_.erase(log_.begin(), log_.upper_bound(resp->seq));
@@ -620,14 +606,14 @@ void Replica::start_view_change(View target, Micros now, Out& out) {
   ViewChange vc;
   vc.new_view = target;
   vc.last_stable = last_stable_;
-  vc.checkpoint_proof = stable_proof_;
+  vc.checkpoint_proof = net::unwrap(stable_proof_);
   for (const auto& [seq, s] : log_) {
     if (!s.prepared || !s.pre_prepare || seq <= last_stable_) continue;
     PreparedProof proof;
-    proof.pre_prepare = s.pre_prepare_env;
+    proof.pre_prepare = s.pre_prepare_env->envelope();
     for (const auto& [sender, vote] : s.prepares) {
       if (vote.first != s.pre_prepare->batch_digest) continue;
-      proof.prepares.push_back(vote.second);
+      proof.prepares.push_back(vote.second.envelope());
       if (proof.prepares.size() >= config_.prepared_quorum()) break;
     }
     vc.prepared.push_back(std::move(proof));
@@ -636,7 +622,8 @@ void Replica::start_view_change(View target, Micros now, Out& out) {
 
   const Bytes payload = vc.serialize();
   broadcast(MsgType::ViewChange, payload, out);
-  view_changes_[target][id_] = make_signed(MsgType::ViewChange, payload, 0);
+  view_changes_[target].insert_or_assign(
+      id_, auth_->attest_own(make_signed(MsgType::ViewChange, payload, 0), *signer_));
   maybe_send_new_view(target, now, out);
 }
 
@@ -648,8 +635,7 @@ bool Replica::validate_prepared_proof(const PreparedProof& proof, SeqNum& seq,
       pp->sender >= config_.n) {
     return false;
   }
-  if (!net::verify_envelope(proof.pre_prepare, *verifier_,
-                            principal::pbft_replica(pp->sender))) {
+  if (!auth_->check(proof.pre_prepare, principal::pbft_replica(pp->sender))) {
     return false;
   }
   if (crypto::sha256(pp->batch) != pp->batch_digest) return false;
@@ -663,10 +649,7 @@ bool Replica::validate_prepared_proof(const PreparedProof& proof, SeqNum& seq,
         prep->sender == pp->sender || prep->sender >= config_.n) {
       continue;
     }
-    if (!net::verify_envelope(pe, *verifier_,
-                              principal::pbft_replica(prep->sender))) {
-      continue;
-    }
+    if (!auth_->check(pe, principal::pbft_replica(prep->sender))) continue;
     distinct[prep->sender] = true;
   }
   if (distinct.size() < config_.prepared_quorum()) return false;
@@ -678,31 +661,16 @@ bool Replica::validate_prepared_proof(const PreparedProof& proof, SeqNum& seq,
   return true;
 }
 
-bool Replica::validate_view_change(const net::Envelope& env,
-                                   ViewChange& out_vc) const {
+std::optional<net::VerifiedEnvelope> Replica::validate_view_change(
+    const net::Envelope& env, ViewChange& out_vc) const {
   auto vc = ViewChange::deserialize(env.payload);
-  if (!vc || vc->sender >= config_.n) return false;
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(vc->sender))) {
-    return false;
-  }
-  if (vc->last_stable > 0) {
-    std::map<ReplicaId, bool> distinct;
-    std::optional<Digest> digest;
-    for (const auto& cpe : vc->checkpoint_proof) {
-      auto cp = Checkpoint::deserialize(cpe.payload);
-      if (!cp || cp->seq != vc->last_stable || cp->sender >= config_.n) {
-        continue;
-      }
-      if (digest && cp->state_digest != *digest) continue;
-      if (!net::verify_envelope(cpe, *verifier_,
-                                principal::pbft_replica(cp->sender))) {
-        continue;
-      }
-      digest = cp->state_digest;
-      distinct[cp->sender] = true;
-    }
-    if (distinct.size() < config_.quorum()) return false;
+  if (!vc || vc->sender >= config_.n) return std::nullopt;
+  auto verified = auth_->verify(env, principal::pbft_replica(vc->sender));
+  if (!verified) return std::nullopt;
+  if (vc->last_stable > 0 &&
+      verified_checkpoint_proof(vc->checkpoint_proof, vc->last_stable)
+              .size() < config_.quorum()) {
+    return std::nullopt;
   }
   for (const auto& proof : vc->prepared) {
     SeqNum seq{};
@@ -710,22 +678,24 @@ bool Replica::validate_view_change(const net::Envelope& env,
     Digest digest;
     Bytes batch;
     if (!validate_prepared_proof(proof, seq, view, digest, batch)) {
-      return false;
+      return std::nullopt;
     }
     if (seq <= vc->last_stable ||
         seq > vc->last_stable + config_.watermark_window) {
-      return false;
+      return std::nullopt;
     }
   }
   out_vc = std::move(*vc);
-  return true;
+  return verified;
 }
 
 void Replica::on_view_change(const net::Envelope& env, Micros now, Out& out) {
   ViewChange vc;
-  if (!validate_view_change(env, vc)) return;
+  auto verified = validate_view_change(env, vc);
+  if (!verified) return;
   if (vc.new_view <= view_) return;
-  view_changes_[vc.new_view][vc.sender] = env;
+  view_changes_[vc.new_view].insert_or_assign(vc.sender,
+                                              std::move(*verified));
 
   // Liveness rule: if f+1 replicas are already ahead, join the smallest
   // such view even without a local timeout.
@@ -799,7 +769,7 @@ void Replica::maybe_send_new_view(View target, Micros now, Out& out) {
   }
   std::vector<net::Envelope> vc_envs;
   for (const auto& [sender, env] : it->second) {
-    vc_envs.push_back(env);
+    vc_envs.push_back(env.envelope());
     if (vc_envs.size() >= config_.quorum()) break;
   }
   auto plan = compute_new_view_plan(vc_envs);
@@ -822,7 +792,12 @@ void Replica::maybe_send_new_view(View target, Micros now, Out& out) {
   nv.sender = id_;
   broadcast(MsgType::NewView, nv.serialize(), out);
   logger().info() << "r" << id_ << " sends NewView " << target;
-  enter_view(target, nv.pre_prepares, plan->min_s, now, out);
+  std::vector<net::VerifiedEnvelope> own_pps;
+  own_pps.reserve(nv.pre_prepares.size());
+  for (const auto& ppe : nv.pre_prepares) {
+    own_pps.push_back(auth_->attest_own(ppe, *signer_));
+  }
+  enter_view(target, own_pps, plan->min_s, now, out);
 }
 
 void Replica::on_new_view(const net::Envelope& env, Micros now, Out& out) {
@@ -831,10 +806,7 @@ void Replica::on_new_view(const net::Envelope& env, Micros now, Out& out) {
   if (nv->new_view <= view_ || nv->sender != config_.primary(nv->new_view)) {
     return;
   }
-  if (!net::verify_envelope(env, *verifier_,
-                            principal::pbft_replica(nv->sender))) {
-    return;
-  }
+  if (!auth_->check(env, principal::pbft_replica(nv->sender))) return;
   // Validate the 2f+1 view-change certificate.
   std::map<ReplicaId, bool> distinct;
   for (const auto& vce : nv->view_changes) {
@@ -849,18 +821,19 @@ void Replica::on_new_view(const net::Envelope& env, Micros now, Out& out) {
   auto plan = compute_new_view_plan(nv->view_changes);
   if (!plan) return;
   if (nv->pre_prepares.size() != plan->proposals.size()) return;
+  std::vector<net::VerifiedEnvelope> new_pps;
+  new_pps.reserve(nv->pre_prepares.size());
   for (const auto& ppe : nv->pre_prepares) {
     auto pp = PrePrepare::deserialize(ppe.payload);
     if (!pp || pp->view != nv->new_view || pp->sender != nv->sender) return;
-    if (!net::verify_envelope(ppe, *verifier_,
-                              principal::pbft_replica(pp->sender))) {
-      return;
-    }
+    auto verified = auth_->verify(ppe, principal::pbft_replica(pp->sender));
+    if (!verified) return;
     const auto it = plan->proposals.find(pp->seq);
     if (it == plan->proposals.end() || it->second.first != pp->batch_digest) {
       return;
     }
     if (crypto::sha256(pp->batch) != pp->batch_digest) return;
+    new_pps.push_back(std::move(*verified));
   }
 
   // Adopt the highest stable checkpoint proven inside the view changes.
@@ -868,17 +841,40 @@ void Replica::on_new_view(const net::Envelope& env, Micros now, Out& out) {
     for (const auto& vce : nv->view_changes) {
       auto vc = ViewChange::deserialize(vce.payload);
       if (vc && vc->last_stable == plan->min_s) {
-        make_stable(plan->min_s, vc->checkpoint_proof, now, out);
+        make_stable(plan->min_s,
+                    verified_checkpoint_proof(vc->checkpoint_proof,
+                                              plan->min_s),
+                    now, out);
         break;
       }
     }
   }
-  enter_view(nv->new_view, nv->pre_prepares, plan->min_s, now, out);
+  enter_view(nv->new_view, new_pps, plan->min_s, now, out);
 }
 
-void Replica::enter_view(View v,
-                         const std::vector<net::Envelope>& new_pre_prepares,
-                         SeqNum min_s, Micros now, Out& out) {
+std::vector<net::VerifiedEnvelope> Replica::verified_checkpoint_proof(
+    const std::vector<net::Envelope>& proof, SeqNum seq,
+    std::optional<Digest> expected_digest) const {
+  std::vector<net::VerifiedEnvelope> out;
+  std::optional<Digest> digest = expected_digest;
+  std::map<ReplicaId, bool> seen;
+  for (const auto& cpe : proof) {
+    auto cp = Checkpoint::deserialize(cpe.payload);
+    if (!cp || cp->seq != seq || cp->sender >= config_.n) continue;
+    if (digest && cp->state_digest != *digest) continue;
+    auto verified = auth_->verify(cpe, principal::pbft_replica(cp->sender));
+    if (!verified) continue;
+    digest = cp->state_digest;
+    if (seen.emplace(cp->sender, true).second) {
+      out.push_back(std::move(*verified));
+    }
+  }
+  return out;
+}
+
+void Replica::enter_view(
+    View v, const std::vector<net::VerifiedEnvelope>& new_pre_prepares,
+    SeqNum min_s, Micros now, Out& out) {
   view_ = v;
   in_view_change_ = false;
   pending_view_ = v;
@@ -891,14 +887,14 @@ void Replica::enter_view(View v,
 
   SeqNum max_seq = std::max(min_s, last_stable_);
   for (const auto& ppe : new_pre_prepares) {
-    auto pp = PrePrepare::deserialize(ppe.payload);
+    auto pp = PrePrepare::deserialize(ppe.envelope().payload);
     if (!pp) continue;
     max_seq = std::max(max_seq, pp->seq);
     if (pp->seq <= last_stable_) continue;
 
     Slot& s = slot(pp->seq);
     s.pre_prepare = *pp;
-    s.pre_prepare_env = ppe;
+    s.pre_prepare_env = ppe.clone();
     if (!is_primary()) {
       Prepare prep;
       prep.view = v;
@@ -907,7 +903,8 @@ void Replica::enter_view(View v,
       prep.sender = id_;
       net::Envelope my_prepare =
           make_signed(MsgType::Prepare, prep.serialize(), 0);
-      s.prepares[id_] = {prep.batch_digest, my_prepare};
+      s.prepares.try_emplace(id_, prep.batch_digest,
+                             auth_->attest_own(std::move(my_prepare), *signer_));
       broadcast(MsgType::Prepare, prep.serialize(), out);
     }
     check_prepared(pp->seq, now, out);

@@ -10,6 +10,13 @@
 // normal case, reply caching / at-most-once execution, periodic
 // checkpointing with garbage collection, view change + new view, and
 // checkpoint-proof-validated state transfer for lagging replicas.
+//
+// All signature checks go through a net::VerifyCache, and every stored
+// quorum message (pre-prepares, prepare/commit votes, checkpoint and
+// view-change certificates) is held as a net::VerifiedEnvelope — proof of
+// verification travels in the type system, and re-validating proofs that
+// embed already-seen envelopes costs a cache hit instead of an Ed25519
+// verification.
 #pragma once
 
 #include <map>
@@ -21,6 +28,7 @@
 #include "apps/app.hpp"
 #include "common/types.hpp"
 #include "crypto/keyring.hpp"
+#include "net/auth.hpp"
 #include "net/message.hpp"
 #include "pbft/client_directory.hpp"
 #include "pbft/config.hpp"
@@ -30,10 +38,15 @@ namespace sbft::pbft {
 
 class Replica {
  public:
+  /// `auth` (optional) is the signature-verification cache; pass the cache
+  /// a ThreadNetwork ingress VerifierPool shares so envelopes pre-verified
+  /// at the transport are cache hits here (verify once per replica).
+  /// Defaults to a private cache over `verifier`.
   Replica(Config config, ReplicaId id,
           std::shared_ptr<const crypto::Signer> signer,
           std::shared_ptr<const crypto::Verifier> verifier,
-          ClientDirectory clients, apps::AppFactory app_factory);
+          ClientDirectory clients, apps::AppFactory app_factory,
+          std::shared_ptr<net::VerifyCache> auth = nullptr);
 
   /// Processes one incoming envelope; returns envelopes to transmit.
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
@@ -62,14 +75,19 @@ class Replica {
       const noexcept {
     return executed_digests_;
   }
+  /// Signature-verification cache (hit/miss counters for tests and the
+  /// performance model).
+  [[nodiscard]] const net::VerifyCache& auth() const noexcept {
+    return *auth_;
+  }
 
  private:
   struct Slot {
     std::optional<PrePrepare> pre_prepare;
-    net::Envelope pre_prepare_env;
+    std::optional<net::VerifiedEnvelope> pre_prepare_env;
     // Votes keyed by sender, with the digest each vote is for.
-    std::map<ReplicaId, std::pair<Digest, net::Envelope>> prepares;
-    std::map<ReplicaId, std::pair<Digest, net::Envelope>> commits;
+    std::map<ReplicaId, std::pair<Digest, net::VerifiedEnvelope>> prepares;
+    std::map<ReplicaId, std::pair<Digest, net::VerifiedEnvelope>> commits;
     bool prepared{false};
     bool committed{false};
   };
@@ -104,16 +122,26 @@ class Replica {
   void maybe_checkpoint(SeqNum seq, Micros now, Out& out);
   void process_own_checkpoint(SeqNum seq, const net::Envelope& env, Micros now,
                               Out& out);
-  void make_stable(SeqNum seq, std::vector<net::Envelope> proof, Micros now,
-                   Out& out);
+  void make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
+                   Micros now, Out& out);
 
   // -- view change helpers --
   void start_view_change(View target, Micros now, Out& out);
   void maybe_send_new_view(View target, Micros now, Out& out);
-  void enter_view(View v, const std::vector<net::Envelope>& new_pre_prepares,
+  void enter_view(View v,
+                  const std::vector<net::VerifiedEnvelope>& new_pre_prepares,
                   SeqNum min_s, Micros now, Out& out);
-  [[nodiscard]] bool validate_view_change(const net::Envelope& env,
-                                          ViewChange& out_vc) const;
+  /// Collects the verified, sender-deduplicated subset of a checkpoint
+  /// certificate for `seq` (cache hits when the quorum was already
+  /// established). With no `expected_digest` the digest latches to the
+  /// first verifying entry; with one, only matching entries count.
+  [[nodiscard]] std::vector<net::VerifiedEnvelope> verified_checkpoint_proof(
+      const std::vector<net::Envelope>& proof, SeqNum seq,
+      std::optional<Digest> expected_digest = std::nullopt) const;
+  /// Returns the verified envelope (for storing in view_changes_) on
+  /// success, filling `out_vc` with the parsed message.
+  [[nodiscard]] std::optional<net::VerifiedEnvelope> validate_view_change(
+      const net::Envelope& env, ViewChange& out_vc) const;
   [[nodiscard]] bool validate_prepared_proof(const PreparedProof& proof,
                                              SeqNum& seq, View& view,
                                              Digest& digest,
@@ -137,6 +165,8 @@ class Replica {
   [[nodiscard]] net::Envelope make_signed(MsgType type, ByteView payload,
                                           principal::Id dst) const;
   void broadcast(MsgType type, ByteView payload, Out& out) const;
+  /// Addresses a copy of an already-signed envelope to every other replica.
+  void broadcast_env(const net::Envelope& env, Out& out) const;
   [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
   [[nodiscard]] bool is_primary() const noexcept {
     return config_.primary(view_) == id_;
@@ -147,7 +177,8 @@ class Replica {
   Config config_;
   ReplicaId id_;
   std::shared_ptr<const crypto::Signer> signer_;
-  std::shared_ptr<const crypto::Verifier> verifier_;
+  // Possibly shared with the transport's ingress VerifierPool.
+  std::shared_ptr<net::VerifyCache> auth_;
   ClientDirectory clients_;
   std::unique_ptr<apps::Application> app_;
 
@@ -157,11 +188,12 @@ class Replica {
   SeqNum last_stable_{0};
   std::map<SeqNum, Slot> log_;
 
-  // Checkpoints: seq -> digest -> (sender -> envelope).
-  std::map<SeqNum, std::map<Digest, std::map<ReplicaId, net::Envelope>>>
+  // Checkpoints: seq -> digest -> (sender -> verified envelope).
+  std::map<SeqNum,
+           std::map<Digest, std::map<ReplicaId, net::VerifiedEnvelope>>>
       checkpoints_;
   std::map<SeqNum, Bytes> snapshots_;  // own snapshots (pending + stable)
-  std::vector<net::Envelope> stable_proof_;
+  std::vector<net::VerifiedEnvelope> stable_proof_;
 
   std::unordered_map<ClientId, ClientRecord> client_records_;
   std::map<std::pair<ClientId, Timestamp>, Request> pending_requests_;
@@ -172,7 +204,7 @@ class Replica {
   bool in_view_change_{false};
   View pending_view_{0};
   // view -> sender -> validated ViewChange envelope.
-  std::map<View, std::map<ReplicaId, net::Envelope>> view_changes_;
+  std::map<View, std::map<ReplicaId, net::VerifiedEnvelope>> view_changes_;
   std::map<View, bool> new_view_sent_;
 
   bool awaiting_state_{false};

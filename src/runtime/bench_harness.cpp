@@ -158,6 +158,12 @@ class SplitLoadClient final : public Actor {
   for (ReplicaId r = 0; r < options.config.n; ++r) {
     auto actor = std::make_shared<PbftPerfActor>(
         cluster.harness(), cluster.replica_actor(r), point.profile);
+    {
+      // Charge the measured verify-cache hit/miss mix instead of static
+      // per-message estimates.
+      pbft::Replica* replica = &cluster.replica(r);
+      actor->set_auth_stats([replica] { return replica->auth().stats(); });
+    }
     if (point.workload == Workload::Blockchain) {
       pbft::Replica* replica = &cluster.replica(r);
       actor->set_block_counter([replica] {
@@ -236,6 +242,18 @@ class SplitLoadClient final : public Actor {
     auto actor = std::make_shared<SplitPerfActor>(
         cluster.harness(), cluster.replica_actor(r), profile,
         point.system == System::SplitbftSingle);
+    {
+      splitbft::SplitbftReplica* replica = &cluster.replica(r);
+      actor->set_auth_stats(Compartment::Preparation, [replica] {
+        return replica->prep().auth().stats();
+      });
+      actor->set_auth_stats(Compartment::Confirmation, [replica] {
+        return replica->conf().auth().stats();
+      });
+      actor->set_auth_stats(Compartment::Execution, [replica] {
+        return replica->exec().auth().stats();
+      });
+    }
     if (point.workload == Workload::Blockchain) {
       splitbft::SplitbftReplica* replica = &cluster.replica(r);
       actor->set_block_counter(

@@ -90,6 +90,10 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
   // Run the real engine immediately; outputs are released when the modeled
   // service completes.
   const std::uint64_t blocks_before = blocks_fn_ ? blocks_fn_() : 0;
+  std::array<net::VerifyStats, kNumCompartments> auth_before{};
+  for (std::size_t c = 0; c < kNumCompartments; ++c) {
+    if (auth_fns_[c]) auth_before[c] = auth_fns_[c]();
+  }
   std::vector<net::Envelope> outs = inner_->handle(env, now);
   const std::uint64_t blocks_written =
       blocks_fn_ ? blocks_fn_() - blocks_before : 0;
@@ -101,8 +105,16 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
   std::array<double, kNumCompartments> service{};  // [prep, conf, exec]
   std::array<std::size_t, kNumCompartments> ecall_bytes_in{};
   std::array<bool, kNumCompartments> involved{};
+  // Signature verifications per compartment, kept separate so a wired-up
+  // VerifyCache sampler can replace the static estimate with the measured
+  // hit/miss mix.
+  std::array<double, kNumCompartments> verify_units{};
   const auto add = [&](Compartment c, double us) {
     service[static_cast<std::size_t>(c)] += us;
+    involved[static_cast<std::size_t>(c)] = true;
+  };
+  const auto add_verify = [&](Compartment c, double units) {
+    verify_units[static_cast<std::size_t>(c)] += units;
     involved[static_cast<std::size_t>(c)] = true;
   };
   const auto add_in_bytes = [&](Compartment c, std::size_t bytes) {
@@ -121,42 +133,43 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
       const std::size_t k = split_batch_size(env.payload);
       // Preparation: header sig + per-request client MACs + batch digest.
       add(Compartment::Preparation,
-          p.verify_us + static_cast<double>(k) * p.hmac_us +
+          static_cast<double>(k) * p.hmac_us +
               hash_cost(p, env.payload.size()));
+      add_verify(Compartment::Preparation, 1);
       add_in_bytes(Compartment::Preparation, env.payload.size());
       // Confirmation sees only the header.
-      add(Compartment::Confirmation, p.verify_us);
+      add_verify(Compartment::Confirmation, 1);
       add_in_bytes(Compartment::Confirmation, 64);
       // Execution stores the full batch (sig + digest check).
-      add(Compartment::Execution,
-          p.verify_us + hash_cost(p, env.payload.size()));
+      add(Compartment::Execution, hash_cost(p, env.payload.size()));
+      add_verify(Compartment::Execution, 1);
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
     }
     case MsgType::Prepare:
-      add(Compartment::Confirmation, p.verify_us);
+      add_verify(Compartment::Confirmation, 1);
       add_in_bytes(Compartment::Confirmation, env.payload.size());
       break;
     case MsgType::Commit:
-      add(Compartment::Execution, p.verify_us);
+      add_verify(Compartment::Execution, 1);
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
     case MsgType::Checkpoint:
       for (const Compartment c :
            {Compartment::Preparation, Compartment::Confirmation,
             Compartment::Execution}) {
-        add(c, p.verify_us);
+        add_verify(c, 1);
         add_in_bytes(c, env.payload.size());
       }
       break;
     case MsgType::ViewChange:
-      add(Compartment::Preparation, 4 * p.verify_us);
+      add_verify(Compartment::Preparation, 4);
       add_in_bytes(Compartment::Preparation, env.payload.size());
       break;
     case MsgType::NewView:
-      add(Compartment::Preparation, 8 * p.verify_us);
-      add(Compartment::Confirmation, 3 * p.verify_us);
-      add(Compartment::Execution, 3 * p.verify_us);
+      add_verify(Compartment::Preparation, 8);
+      add_verify(Compartment::Confirmation, 3);
+      add_verify(Compartment::Execution, 3);
       for (const Compartment c :
            {Compartment::Preparation, Compartment::Confirmation,
             Compartment::Execution}) {
@@ -164,12 +177,12 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
       }
       break;
     case MsgType::StateRequest:
-      add(Compartment::Execution, p.verify_us);
+      add_verify(Compartment::Execution, 1);
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
     case MsgType::StateResponse:
-      add(Compartment::Execution,
-          3 * p.verify_us + aead_cost(p, env.payload.size()));
+      add(Compartment::Execution, aead_cost(p, env.payload.size()));
+      add_verify(Compartment::Execution, 3);
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
     case MsgType::AttestRequest:
@@ -177,12 +190,31 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
     case MsgType::SessionInit:
-      // X25519 + KDF + AEAD open: dominated by the DH scalar mult.
+      // X25519 + KDF + AEAD open: dominated by the DH scalar mult (charged
+      // in verify-equivalents, but NOT signature verification — a sampler
+      // never replaces this).
       add(Compartment::Execution, 4 * p.verify_us);
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
     default:
       break;
+  }
+
+  // Resolve signature-verification work: measured hit/miss mix where a
+  // cache sampler is wired up, static estimate otherwise.
+  for (std::size_t c = 0; c < kNumCompartments; ++c) {
+    if (auth_fns_[c]) {
+      const net::VerifyStats after = auth_fns_[c]();
+      const double full =
+          static_cast<double>((after.misses - auth_before[c].misses) +
+                              (after.failures - auth_before[c].failures));
+      const double hits =
+          static_cast<double>(after.hits - auth_before[c].hits);
+      const double us = full * p.verify_us + hits * p.verify_cached_us;
+      if (us > 0) add(static_cast<Compartment>(c), us);
+    } else if (verify_units[c] > 0) {
+      add(static_cast<Compartment>(c), verify_units[c] * p.verify_us);
+    }
   }
 
   // --- service from produced outputs, attributed by message type ---
@@ -337,6 +369,8 @@ void PbftPerfActor::release(std::vector<net::Envelope> outs, Micros at) {
 std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
                                                  Micros now) {
   const std::uint64_t blocks_before = blocks_fn_ ? blocks_fn_() : 0;
+  const net::VerifyStats auth_before =
+      auth_fn_ ? auth_fn_() : net::VerifyStats{};
   std::vector<net::Envelope> outs = inner_->handle(env, now);
   const std::uint64_t blocks_written =
       blocks_fn_ ? blocks_fn_() - blocks_before : 0;
@@ -346,6 +380,9 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
 
   // Inbound crypto/marshalling (parallelized across the worker pool).
   double worker_in_us = serde_cost(p, env.payload.size());
+  // Signature verifications, kept separate so the VerifyCache sampler can
+  // replace the static per-type estimate with the measured hit/miss mix.
+  double verify_units = 0;
   // Agreement messages pay protocol bookkeeping; buffering a client
   // request is a cheap queue append.
   double protocol_us =
@@ -356,26 +393,37 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
       break;
     case MsgType::PrePrepare: {
       const std::size_t k = pbft_batch_size(env.payload);
-      worker_in_us += p.verify_us + static_cast<double>(k) * p.hmac_us +
+      verify_units = 1;
+      worker_in_us += static_cast<double>(k) * p.hmac_us +
                       hash_cost(p, env.payload.size());
       break;
     }
     case MsgType::Prepare:
     case MsgType::Commit:
     case MsgType::Checkpoint:
-      worker_in_us += p.verify_us;
+      verify_units = 1;
       break;
     case MsgType::ViewChange:
-      worker_in_us += 4 * p.verify_us;
+      verify_units = 4;
       break;
     case MsgType::NewView:
-      worker_in_us += 8 * p.verify_us;
+      verify_units = 8;
       break;
     case MsgType::StateResponse:
-      worker_in_us += 3 * p.verify_us;
+      verify_units = 3;
       break;
     default:
       break;
+  }
+  if (auth_fn_) {
+    const net::VerifyStats after = auth_fn_();
+    const double full =
+        static_cast<double>((after.misses - auth_before.misses) +
+                            (after.failures - auth_before.failures));
+    const double hits = static_cast<double>(after.hits - auth_before.hits);
+    worker_in_us += full * p.verify_us + hits * p.verify_cached_us;
+  } else {
+    worker_in_us += verify_units * p.verify_us;
   }
 
   // Outbound crypto (signatures once per distinct message; reply auth and

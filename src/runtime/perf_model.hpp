@@ -27,6 +27,7 @@
 #include <memory>
 
 #include "common/stats.hpp"
+#include "net/auth.hpp"
 #include "runtime/pbft_cluster.hpp"
 #include "runtime/splitbft_cluster.hpp"
 #include "tee/cost_model.hpp"
@@ -37,6 +38,8 @@ struct CostProfile {
   // Asymmetric crypto (paper: ring ED25519 on Azure DC4s_v2).
   double sign_us{28};
   double verify_us{62};
+  // A VerifyCache hit replaces the full verification with a hash lookup.
+  double verify_cached_us{0.6};
   // Symmetric crypto.
   double hmac_us{1.1};
   double aead_base_us{1.0};
@@ -107,6 +110,15 @@ class SplitPerfActor final : public Actor {
     blocks_fn_ = std::move(fn);
   }
 
+  /// Wires a compartment's VerifyCache counters into the model: with a
+  /// sampler set, that compartment's signature-verification service time is
+  /// the MEASURED mix of cache misses (verify_us) and hits
+  /// (verify_cached_us) from the real engine, instead of the static
+  /// per-message-type estimate.
+  void set_auth_stats(Compartment c, std::function<net::VerifyStats()> fn) {
+    auth_fns_[static_cast<std::size_t>(c)] = std::move(fn);
+  }
+
  private:
   [[nodiscard]] Resource& resource_for(Compartment c);
   void release(std::vector<net::Envelope> outs, Micros at);
@@ -116,6 +128,7 @@ class SplitPerfActor final : public Actor {
   CostProfile profile_;
   bool single_thread_;
   std::function<std::uint64_t()> blocks_fn_;
+  std::array<std::function<net::VerifyStats()>, kNumCompartments> auth_fns_{};
   Resource broker_;
   std::array<Resource, kNumCompartments> enclaves_;  // [prep, conf, exec]
   Resource shared_ecall_;                            // single-thread variant
@@ -137,6 +150,12 @@ class PbftPerfActor final : public Actor {
     blocks_fn_ = std::move(fn);
   }
 
+  /// Wires the replica's VerifyCache counters into the model (see
+  /// SplitPerfActor::set_auth_stats).
+  void set_auth_stats(std::function<net::VerifyStats()> fn) {
+    auth_fn_ = std::move(fn);
+  }
+
  private:
   void release(std::vector<net::Envelope> outs, Micros at);
 
@@ -144,6 +163,7 @@ class PbftPerfActor final : public Actor {
   std::shared_ptr<Actor> inner_;
   CostProfile profile_;
   std::function<std::uint64_t()> blocks_fn_;
+  std::function<net::VerifyStats()> auth_fn_;
   std::vector<Resource> workers_;
   Resource protocol_;
 };

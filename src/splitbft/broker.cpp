@@ -30,6 +30,78 @@ const tee::EnclaveHost& Broker::host(Compartment c) const noexcept {
   return const_cast<Broker*>(this)->host(c);
 }
 
+void Broker::enable_ingress_filter(
+    std::shared_ptr<const crypto::Verifier> verifier) {
+  ingress_ = std::make_unique<net::VerifyCache>(std::move(verifier));
+}
+
+bool Broker::passes_ingress_filter(const net::Envelope& env) {
+  if (!ingress_) return true;
+  // Map each signed wire type to the enclave principal the receiving
+  // compartment will check (sender is taken from the payload, exactly as
+  // the enclave does). Anything unparseable or not signature-carrying is
+  // passed through: the enclaves are authoritative, this filter only
+  // short-circuits provably invalid signatures before an ecall.
+  const auto expect = [&](ReplicaId sender,
+                          Compartment c) -> std::optional<principal::Id> {
+    if (sender >= config_.n) return std::nullopt;
+    return principal::enclave({sender, c});
+  };
+  switch (static_cast<pbft::MsgType>(env.type)) {
+    case pbft::MsgType::PrePrepare: {
+      const auto pp = SplitPrePrepare::deserialize(env.payload);
+      if (!pp) return true;
+      const auto signer = expect(pp->sender, Compartment::Preparation);
+      if (!signer) return true;
+      return ingress_->check_raw(*signer, pp->header_bytes(), env.signature);
+    }
+    case pbft::MsgType::Prepare: {
+      const auto prep = pbft::Prepare::deserialize(env.payload);
+      if (!prep) return true;
+      const auto signer = expect(prep->sender, Compartment::Preparation);
+      return !signer || ingress_->check(env, *signer);
+    }
+    case pbft::MsgType::Commit: {
+      const auto commit = pbft::Commit::deserialize(env.payload);
+      if (!commit) return true;
+      const auto signer = expect(commit->sender, Compartment::Confirmation);
+      return !signer || ingress_->check(env, *signer);
+    }
+    case pbft::MsgType::Checkpoint: {
+      const auto cp = pbft::Checkpoint::deserialize(env.payload);
+      if (!cp) return true;
+      const auto signer = expect(cp->sender, Compartment::Execution);
+      return !signer || ingress_->check(env, *signer);
+    }
+    case pbft::MsgType::ViewChange: {
+      const auto vc = pbft::ViewChange::deserialize(env.payload);
+      if (!vc) return true;
+      const auto signer = expect(vc->sender, Compartment::Confirmation);
+      return !signer || ingress_->check(env, *signer);
+    }
+    case pbft::MsgType::NewView: {
+      const auto nv = pbft::NewView::deserialize(env.payload);
+      if (!nv) return true;
+      const auto signer = expect(nv->sender, Compartment::Preparation);
+      return !signer || ingress_->check(env, *signer);
+    }
+    case pbft::MsgType::StateRequest: {
+      const auto sr = pbft::StateRequest::deserialize(env.payload);
+      if (!sr) return true;
+      const auto signer = expect(sr->sender, Compartment::Execution);
+      return !signer || ingress_->check(env, *signer);
+    }
+    case pbft::MsgType::StateResponse: {
+      const auto resp = pbft::StateResponse::deserialize(env.payload);
+      if (!resp) return true;
+      const auto signer = expect(resp->sender, Compartment::Execution);
+      return !signer || ingress_->check(env, *signer);
+    }
+    default:
+      return true;  // client traffic / local messages: not our concern
+  }
+}
+
 bool Broker::is_local(principal::Id id,
                       Compartment& out_compartment) const noexcept {
   for (const Compartment c :
@@ -180,7 +252,7 @@ std::vector<net::Envelope> Broker::handle(const net::Envelope& env,
   Out out;
   if (env.type == pbft::tag(pbft::MsgType::Request)) {
     on_client_request(env, now, out);
-  } else {
+  } else if (passes_ingress_filter(env)) {
     route(env, out, now);
   }
   // Drain cascaded local deliveries (enclave → enclave via the broker).

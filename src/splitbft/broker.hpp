@@ -12,7 +12,9 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 
+#include "net/auth.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
 #include "runtime/actor.hpp"
@@ -36,6 +38,18 @@ class Broker final : public runtime::Actor {
   [[nodiscard]] tee::EnclaveHost& host(Compartment c) noexcept;
   [[nodiscard]] const tee::EnclaveHost& host(Compartment c) const noexcept;
 
+  /// Enables broker-side pre-verification of inbound wire messages:
+  /// envelopes whose signature fails under the expected enclave principal
+  /// are dropped before paying an ecall. Liveness-only filtering on public
+  /// material — the enclaves keep their own in-enclave caches and remain
+  /// authoritative (an untrusted broker's cache must never be trusted).
+  void enable_ingress_filter(
+      std::shared_ptr<const crypto::Verifier> verifier);
+  /// Filter cache, if enabled (counters for tests/benchmarks).
+  [[nodiscard]] const net::VerifyCache* ingress_cache() const noexcept {
+    return ingress_.get();
+  }
+
  private:
   using Out = std::vector<net::Envelope>;
 
@@ -47,12 +61,16 @@ class Broker final : public runtime::Actor {
   void cut_batch(Micros now, Out& out);
   [[nodiscard]] bool is_local(principal::Id id,
                               Compartment& out_compartment) const noexcept;
+  /// False iff the ingress filter is on and the envelope carries a
+  /// signature that provably fails under the signer the protocol expects.
+  [[nodiscard]] bool passes_ingress_filter(const net::Envelope& env);
 
   pbft::Config config_;
   ReplicaId self_;
   std::unique_ptr<tee::EnclaveHost> prep_;
   std::unique_ptr<tee::EnclaveHost> conf_;
   std::unique_ptr<tee::EnclaveHost> exec_;
+  std::unique_ptr<net::VerifyCache> ingress_;  // null = filter disabled
 
   // --- untrusted liveness state ---
   struct Outstanding {

@@ -14,69 +14,77 @@ CheckpointCollector::CheckpointCollector(pbft::Config config, ReplicaId self)
     : config_(config), self_(self) {}
 
 std::optional<CheckpointCollector::Stable> CheckpointCollector::add(
-    const net::Envelope& env, const crypto::Verifier& verifier) {
+    const net::Envelope& env, net::VerifyCache& auth) {
   auto cp = pbft::Checkpoint::deserialize(env.payload);
   if (!cp || cp->sender >= config_.n || cp->seq <= last_stable_) {
     return std::nullopt;
   }
   const principal::Id signer =
       principal::enclave({cp->sender, Compartment::Execution});
-  if (!net::verify_envelope(env, verifier, signer)) return std::nullopt;
-  return record(env, *cp);
+  auto verified = auth.verify(env, signer);
+  if (!verified) return std::nullopt;
+  return record(std::move(*verified), *cp);
 }
 
 std::optional<CheckpointCollector::Stable> CheckpointCollector::add_own(
-    const net::Envelope& env, const pbft::Checkpoint& cp) {
+    const net::Envelope& env, const pbft::Checkpoint& cp,
+    net::VerifyCache& auth, const crypto::Signer& signer) {
   if (cp.seq <= last_stable_) return std::nullopt;
-  return record(env, cp);
+  return record(auth.attest_own(env, signer), cp);
 }
 
 std::optional<CheckpointCollector::Stable> CheckpointCollector::record(
-    const net::Envelope& env, const pbft::Checkpoint& cp) {
+    net::VerifiedEnvelope env, const pbft::Checkpoint& cp) {
   auto& by_sender = pending_[cp.seq][cp.state_digest];
-  by_sender.emplace(cp.sender, env);
+  by_sender.try_emplace(cp.sender, std::move(env));
   if (by_sender.size() < config_.quorum()) return std::nullopt;
 
   Stable stable;
   stable.seq = cp.seq;
   stable.digest = cp.state_digest;
-  for (const auto& [sender, e] : by_sender) stable.proof.push_back(e);
 
+  stable_proof_.clear();
+  for (const auto& [sender, e] : by_sender) stable_proof_.push_back(e.clone());
   last_stable_ = cp.seq;
-  stable_proof_ = stable.proof;
   pending_.erase(pending_.begin(), pending_.upper_bound(cp.seq));
   return stable;
 }
 
-void CheckpointCollector::adopt(SeqNum seq, std::vector<net::Envelope> proof) {
+void CheckpointCollector::adopt(SeqNum seq,
+                                std::vector<net::VerifiedEnvelope> proof) {
   if (seq <= last_stable_) return;
   last_stable_ = seq;
   stable_proof_ = std::move(proof);
   pending_.erase(pending_.begin(), pending_.upper_bound(seq));
 }
 
-bool verify_checkpoint_proof(const std::vector<net::Envelope>& proof,
-                             SeqNum seq, std::optional<Digest> expected_digest,
-                             const pbft::Config& config,
-                             const crypto::Verifier& verifier) {
+std::optional<std::vector<net::VerifiedEnvelope>> verify_checkpoint_proof(
+    const std::vector<net::Envelope>& proof, SeqNum seq,
+    std::optional<Digest> expected_digest, const pbft::Config& config,
+    net::VerifyCache& auth) {
   std::map<ReplicaId, bool> distinct;
   std::optional<Digest> digest = expected_digest;
+  std::vector<net::VerifiedEnvelope> verified;
   for (const auto& env : proof) {
     auto cp = pbft::Checkpoint::deserialize(env.payload);
     if (!cp || cp->seq != seq || cp->sender >= config.n) continue;
     if (digest && cp->state_digest != *digest) continue;
     const principal::Id signer =
         principal::enclave({cp->sender, Compartment::Execution});
-    if (!net::verify_envelope(env, verifier, signer)) continue;
+    auto ve = auth.verify(env, signer);
+    if (!ve) continue;
     digest = cp->state_digest;
-    distinct[cp->sender] = true;
+    if (distinct.emplace(cp->sender, true).second) {
+      verified.push_back(std::move(*ve));
+    }
   }
-  return distinct.size() >= config.quorum();
+  if (distinct.size() < config.quorum()) return std::nullopt;
+  return verified;
 }
 
 std::optional<Digest> checkpoint_proof_digest(
     const std::vector<net::Envelope>& proof, SeqNum seq,
-    const pbft::Config& config, const crypto::Verifier& verifier) {
+    const pbft::Config& config, net::VerifyCache& auth) {
   // Group by digest, return the digest achieving a quorum.
   std::map<Digest, std::map<ReplicaId, bool>> groups;
   for (const auto& env : proof) {
@@ -84,7 +92,7 @@ std::optional<Digest> checkpoint_proof_digest(
     if (!cp || cp->seq != seq || cp->sender >= config.n) continue;
     const principal::Id signer =
         principal::enclave({cp->sender, Compartment::Execution});
-    if (!net::verify_envelope(env, verifier, signer)) continue;
+    if (!auth.check(env, signer)) continue;
     groups[cp->state_digest][cp->sender] = true;
   }
   for (const auto& [digest, senders] : groups) {

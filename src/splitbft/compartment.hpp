@@ -14,6 +14,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "crypto/keyring.hpp"
+#include "net/auth.hpp"
 #include "net/message.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
@@ -40,6 +41,8 @@ class CompartmentLogic {
 
 /// Collects Execution-enclave Checkpoint messages; every compartment runs
 /// one instance (the paper duplicates handler (9) across compartments).
+/// Every recorded envelope is a net::VerifiedEnvelope — the collector never
+/// stores an unchecked signature.
 class CheckpointCollector {
  public:
   CheckpointCollector(pbft::Config config, ReplicaId self);
@@ -47,50 +50,57 @@ class CheckpointCollector {
   struct Stable {
     SeqNum seq{0};
     Digest digest;
-    std::vector<net::Envelope> proof;
   };
 
-  /// Validates (signature by the sender's Execution enclave) and records a
-  /// checkpoint message. Returns a newly reached stable checkpoint, if any.
+  /// Validates (signature by the sender's Execution enclave, through the
+  /// cache) and records a checkpoint message. Returns a newly reached
+  /// stable checkpoint, if any.
   [[nodiscard]] std::optional<Stable> add(const net::Envelope& env,
-                                          const crypto::Verifier& verifier);
+                                          net::VerifyCache& auth);
 
-  /// Records this replica's own Execution checkpoint (pre-validated).
+  /// Records this replica's own Execution checkpoint, attested by the
+  /// enclave's private signer instead of re-verified.
   [[nodiscard]] std::optional<Stable> add_own(const net::Envelope& env,
-                                              const pbft::Checkpoint& cp);
+                                              const pbft::Checkpoint& cp,
+                                              net::VerifyCache& auth,
+                                              const crypto::Signer& signer);
 
   [[nodiscard]] SeqNum last_stable() const noexcept { return last_stable_; }
-  [[nodiscard]] const std::vector<net::Envelope>& stable_proof()
-      const noexcept {
-    return stable_proof_;
+  /// Wire copy of the stable certificate (for ViewChange / StateResponse
+  /// proof fields).
+  [[nodiscard]] std::vector<net::Envelope> stable_proof() const {
+    return net::unwrap(stable_proof_);
   }
 
   /// Adopts an externally proven stable checkpoint (from a NewView).
-  void adopt(SeqNum seq, std::vector<net::Envelope> proof);
+  void adopt(SeqNum seq, std::vector<net::VerifiedEnvelope> proof);
 
  private:
-  [[nodiscard]] std::optional<Stable> record(const net::Envelope& env,
+  [[nodiscard]] std::optional<Stable> record(net::VerifiedEnvelope env,
                                              const pbft::Checkpoint& cp);
 
   pbft::Config config_;
   ReplicaId self_;
   SeqNum last_stable_{0};
-  std::vector<net::Envelope> stable_proof_;
-  std::map<SeqNum, std::map<Digest, std::map<ReplicaId, net::Envelope>>>
+  std::vector<net::VerifiedEnvelope> stable_proof_;
+  std::map<SeqNum,
+           std::map<Digest, std::map<ReplicaId, net::VerifiedEnvelope>>>
       pending_;
 };
 
 /// Validates a checkpoint-proof certificate: at least 2f+1 Checkpoint
 /// envelopes from distinct replicas' Execution enclaves for (seq, digest).
-[[nodiscard]] bool verify_checkpoint_proof(
-    const std::vector<net::Envelope>& proof, SeqNum seq,
-    std::optional<Digest> expected_digest, const pbft::Config& config,
-    const crypto::Verifier& verifier);
+/// On success returns the verified quorum (ready for
+/// CheckpointCollector::adopt); nullopt otherwise.
+[[nodiscard]] std::optional<std::vector<net::VerifiedEnvelope>>
+verify_checkpoint_proof(const std::vector<net::Envelope>& proof, SeqNum seq,
+                        std::optional<Digest> expected_digest,
+                        const pbft::Config& config, net::VerifyCache& auth);
 
 /// Extracts the (seq, digest) a checkpoint proof certifies, if valid for
 /// any digest.
 [[nodiscard]] std::optional<Digest> checkpoint_proof_digest(
     const std::vector<net::Envelope>& proof, SeqNum seq,
-    const pbft::Config& config, const crypto::Verifier& verifier);
+    const pbft::Config& config, net::VerifyCache& auth);
 
 }  // namespace sbft::splitbft

@@ -17,7 +17,7 @@ ConfCompartment::ConfCompartment(pbft::Config config, ReplicaId self,
     : config_(config),
       self_(self),
       signer_(std::move(signer)),
-      verifier_(std::move(verifier)),
+      auth_(std::move(verifier)),
       checkpoints_(config, self) {}
 
 bool ConfCompartment::in_window(SeqNum seq) const noexcept {
@@ -58,7 +58,7 @@ bool ConfCompartment::accept_header(const net::Envelope& env,
   }
   const principal::Id signer_id =
       principal::enclave({pp.sender, Compartment::Preparation});
-  if (!verify_pre_prepare_envelope(env, pp, *verifier_, signer_id)) {
+  if (!verify_pre_prepare_envelope(env, pp, auth_, signer_id)) {
     return false;
   }
   Slot& s = log_[pp.seq];
@@ -90,7 +90,7 @@ void ConfCompartment::on_prepare(const net::Envelope& env, Out& out) {
   }
   const principal::Id signer_id =
       principal::enclave({prep->sender, Compartment::Preparation});
-  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+  if (!auth_.check(env, signer_id)) return;
 
   if (in_view_change_) {
     // New-view prepares may outrace the NewView itself; hold them until
@@ -193,7 +193,7 @@ void ConfCompartment::on_new_view(const net::Envelope& env, Out& out) {
   if (nv->sender != config_.primary(nv->new_view)) return;
   const principal::Id nv_signer =
       principal::enclave({nv->sender, Compartment::Preparation});
-  if (!net::verify_envelope(env, *verifier_, nv_signer)) return;
+  if (!auth_.check(env, nv_signer)) return;
 
   // The Confirmation compartment does NOT validate the embedded
   // PrePrepares (paper §4); it validates and applies the checkpoint
@@ -202,12 +202,15 @@ void ConfCompartment::on_new_view(const net::Envelope& env, Out& out) {
   for (const auto& vce : nv->view_changes) {
     auto vc = pbft::ViewChange::deserialize(vce.payload);
     if (!vc) continue;
-    if (vc->last_stable > checkpoints_.last_stable() &&
-        vc->last_stable > min_s &&
-        verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
-                                std::nullopt, config_, *verifier_)) {
+    if (vc->last_stable <= checkpoints_.last_stable() ||
+        vc->last_stable <= min_s) {
+      continue;
+    }
+    if (auto proof =
+            verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
+                                    std::nullopt, config_, auth_)) {
       min_s = vc->last_stable;
-      checkpoints_.adopt(vc->last_stable, vc->checkpoint_proof);
+      checkpoints_.adopt(vc->last_stable, std::move(*proof));
     }
   }
   if (min_s > 0) garbage_collect(min_s);
@@ -222,7 +225,7 @@ void ConfCompartment::on_new_view(const net::Envelope& env, Out& out) {
   for (const auto& ppe : nv->pre_prepares) {
     auto pp = SplitPrePrepare::deserialize(ppe.payload);
     if (!pp || pp->view != nv->new_view || pp->sender != nv->sender) continue;
-    if (!verify_pre_prepare_envelope(ppe, *pp, *verifier_, nv_signer)) {
+    if (!verify_pre_prepare_envelope(ppe, *pp, auth_, nv_signer)) {
       continue;
     }
     if (!in_window(pp->seq)) continue;
@@ -251,7 +254,7 @@ void ConfCompartment::on_new_view(const net::Envelope& env, Out& out) {
 
 void ConfCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
   (void)out;
-  if (auto stable = checkpoints_.add(env, *verifier_)) {
+  if (auto stable = checkpoints_.add(env, auth_)) {
     garbage_collect(stable->seq);
   }
 }

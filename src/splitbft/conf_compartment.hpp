@@ -32,6 +32,7 @@ class ConfCompartment final : public CompartmentLogic {
   [[nodiscard]] SeqNum last_stable() const noexcept {
     return checkpoints_.last_stable();
   }
+  [[nodiscard]] const net::VerifyCache& auth() const noexcept { return auth_; }
 
  private:
   struct Slot {
@@ -59,7 +60,7 @@ class ConfCompartment final : public CompartmentLogic {
   pbft::Config config_;
   ReplicaId self_;
   std::shared_ptr<const crypto::Signer> signer_;
-  std::shared_ptr<const crypto::Verifier> verifier_;
+  net::VerifyCache auth_;
 
   View view_{0};
   bool in_view_change_{false};

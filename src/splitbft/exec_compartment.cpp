@@ -37,7 +37,7 @@ ExecCompartment::ExecCompartment(pbft::Config config, ReplicaId self,
     : config_(config),
       self_(self),
       signer_(std::move(signer)),
-      verifier_(std::move(verifier)),
+      auth_(std::move(verifier)),
       clients_(clients),
       exec_group_key_(exec_group_key),
       dh_secret_(dh_secret),
@@ -103,7 +103,7 @@ void ExecCompartment::on_pre_prepare(const net::Envelope& env) {
   }
   const principal::Id signer_id =
       principal::enclave({pp->sender, Compartment::Preparation});
-  if (!verify_pre_prepare_envelope(env, *pp, *verifier_, signer_id)) return;
+  if (!verify_pre_prepare_envelope(env, *pp, auth_, signer_id)) return;
   if (crypto::sha256(pp->batch) != pp->batch_digest) return;
   log_[pp->seq].batches[pp->batch_digest] = pp->batch;
 }
@@ -118,7 +118,7 @@ void ExecCompartment::on_commit(const net::Envelope& env, Out& out) {
   if (commit->view < view_) return;  // stale view
   const principal::Id signer_id =
       principal::enclave({commit->sender, Compartment::Confirmation});
-  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+  if (!auth_.check(env, signer_id)) return;
 
   Slot& s = log_[commit->seq];
   // A sender's newer-view commit supersedes its older vote (after a view
@@ -307,13 +307,13 @@ void ExecCompartment::maybe_checkpoint(SeqNum seq, Out& out) {
     env.dst = principal::enclave({self_, c});
     out.push_back(env);
   }
-  if (auto stable = checkpoints_.add_own(env, cp)) {
+  if (auto stable = checkpoints_.add_own(env, cp, auth_, *signer_)) {
     garbage_collect(stable->seq);
   }
 }
 
 void ExecCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
-  if (auto stable = checkpoints_.add(env, *verifier_)) {
+  if (auto stable = checkpoints_.add(env, auth_)) {
     garbage_collect(stable->seq);
     if (last_executed_ < stable->seq) request_state(stable->seq, out);
   }
@@ -353,7 +353,7 @@ void ExecCompartment::on_state_request(const net::Envelope& env, Out& out) {
   if (!sr || sr->sender >= config_.n || sr->sender == self_) return;
   const principal::Id signer_id =
       principal::enclave({sr->sender, Compartment::Execution});
-  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+  if (!auth_.check(env, signer_id)) return;
   const auto it = snapshots_.find(sr->seq);
   if (it == snapshots_.end() || sr->seq != checkpoints_.last_stable()) return;
 
@@ -383,7 +383,7 @@ void ExecCompartment::on_state_response(const net::Envelope& env, Out& out) {
   if (!resp || resp->sender >= config_.n) return;
   const principal::Id signer_id =
       principal::enclave({resp->sender, Compartment::Execution});
-  if (!net::verify_envelope(env, *verifier_, signer_id)) return;
+  if (!auth_.check(env, signer_id)) return;
   if (resp->seq < awaited_state_seq_ || resp->seq <= last_executed_) return;
 
   const auto snapshot = crypto::aead_open(
@@ -391,13 +391,12 @@ void ExecCompartment::on_state_response(const net::Envelope& env, Out& out) {
       resp->snapshot);
   if (!snapshot) return;
   const Digest digest = crypto::sha256(*snapshot);
-  if (!verify_checkpoint_proof(resp->checkpoint_proof, resp->seq, digest,
-                               config_, *verifier_)) {
-    return;
-  }
+  auto proof = verify_checkpoint_proof(resp->checkpoint_proof, resp->seq,
+                                       digest, config_, auth_);
+  if (!proof) return;
   if (!restore_exec_snapshot(*snapshot)) return;
   last_executed_ = resp->seq;
-  checkpoints_.adopt(resp->seq, resp->checkpoint_proof);
+  checkpoints_.adopt(resp->seq, std::move(*proof));
   snapshots_[resp->seq] = *snapshot;
   garbage_collect(resp->seq);
   awaiting_state_ = false;
@@ -413,17 +412,17 @@ void ExecCompartment::on_new_view(const net::Envelope& env, Out& out) {
   if (nv->sender != config_.primary(nv->new_view)) return;
   const principal::Id nv_signer =
       principal::enclave({nv->sender, Compartment::Preparation});
-  if (!net::verify_envelope(env, *verifier_, nv_signer)) return;
+  if (!auth_.check(env, nv_signer)) return;
 
   // Execution validates/applies only the checkpoint part (paper §4) and
   // adopts the new view number.
   for (const auto& vce : nv->view_changes) {
     auto vc = pbft::ViewChange::deserialize(vce.payload);
-    if (!vc) continue;
-    if (vc->last_stable > checkpoints_.last_stable() &&
-        verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
-                                std::nullopt, config_, *verifier_)) {
-      checkpoints_.adopt(vc->last_stable, vc->checkpoint_proof);
+    if (!vc || vc->last_stable <= checkpoints_.last_stable()) continue;
+    if (auto proof =
+            verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
+                                    std::nullopt, config_, auth_)) {
+      checkpoints_.adopt(vc->last_stable, std::move(*proof));
       garbage_collect(vc->last_stable);
       if (last_executed_ < vc->last_stable) {
         request_state(vc->last_stable, out);

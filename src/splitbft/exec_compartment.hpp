@@ -72,6 +72,7 @@ class ExecCompartment final : public CompartmentLogic {
   [[nodiscard]] bool has_session(ClientId c) const {
     return sessions_.contains(c);
   }
+  [[nodiscard]] const net::VerifyCache& auth() const noexcept { return auth_; }
 
   /// Out-of-band session provisioning: installs a pre-established client
   /// session key, as a deployment would after offline attestation. The
@@ -129,7 +130,7 @@ class ExecCompartment final : public CompartmentLogic {
   pbft::Config config_;
   ReplicaId self_;
   std::shared_ptr<const crypto::Signer> signer_;
-  std::shared_ptr<const crypto::Verifier> verifier_;
+  net::VerifyCache auth_;
   pbft::ClientDirectory clients_;
   crypto::Key32 exec_group_key_;
   crypto::Key32 dh_secret_;

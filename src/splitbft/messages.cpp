@@ -87,6 +87,13 @@ bool verify_pre_prepare_envelope(const net::Envelope& env,
   return verifier.verify(signer, pp.header_bytes(), env.signature);
 }
 
+bool verify_pre_prepare_envelope(const net::Envelope& env,
+                                 const SplitPrePrepare& pp,
+                                 net::VerifyCache& cache,
+                                 principal::Id signer) {
+  return cache.check_raw(signer, pp.header_bytes(), env.signature);
+}
+
 // ----------------------------------------------------------------- attest
 
 Bytes AttestRequest::serialize() const {

@@ -16,6 +16,7 @@
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "crypto/keyring.hpp"
+#include "net/auth.hpp"
 #include "net/message.hpp"
 #include "pbft/messages.hpp"
 
@@ -77,6 +78,12 @@ struct SplitPrePrepare {
 [[nodiscard]] bool verify_pre_prepare_envelope(
     const net::Envelope& env, const SplitPrePrepare& pp,
     const crypto::Verifier& verifier, principal::Id signer);
+/// Cache-backed variant (header signatures recur across NewView proofs and
+/// duplicated compartment inputs).
+[[nodiscard]] bool verify_pre_prepare_envelope(const net::Envelope& env,
+                                               const SplitPrePrepare& pp,
+                                               net::VerifyCache& cache,
+                                               principal::Id signer);
 
 // ---------------------------------------------------------------- sessions
 

@@ -21,7 +21,7 @@ PrepCompartment::PrepCompartment(pbft::Config config, ReplicaId self,
     : config_(config),
       self_(self),
       signer_(std::move(signer)),
-      verifier_(std::move(verifier)),
+      auth_(std::move(verifier)),
       clients_(clients),
       attestation_context_(std::move(attestation_context)),
       checkpoints_(config, self) {}
@@ -111,7 +111,7 @@ void PrepCompartment::on_pre_prepare(const net::Envelope& env, Out& out) {
   }
   const principal::Id signer_id =
       principal::enclave({pp->sender, Compartment::Preparation});
-  if (!verify_pre_prepare_envelope(env, *pp, *verifier_, signer_id)) return;
+  if (!verify_pre_prepare_envelope(env, *pp, auth_, signer_id)) return;
   if (crypto::sha256(pp->batch) != pp->batch_digest) return;
 
   auto batch = pbft::RequestBatch::deserialize(pp->batch);
@@ -156,7 +156,7 @@ void PrepCompartment::emit_prepare(const SplitPrePrepare& pp, Out& out) {
 
 void PrepCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
   (void)out;
-  if (auto stable = checkpoints_.add(env, *verifier_)) {
+  if (auto stable = checkpoints_.add(env, auth_)) {
     garbage_collect(stable->seq);
   }
 }
@@ -178,7 +178,7 @@ bool PrepCompartment::validate_prepared_proof(const pbft::PreparedProof& proof,
   }
   const principal::Id pp_signer =
       principal::enclave({pp->sender, Compartment::Preparation});
-  if (!verify_pre_prepare_envelope(proof.pre_prepare, *pp, *verifier_,
+  if (!verify_pre_prepare_envelope(proof.pre_prepare, *pp, auth_,
                                    pp_signer)) {
     return false;
   }
@@ -192,7 +192,7 @@ bool PrepCompartment::validate_prepared_proof(const pbft::PreparedProof& proof,
     }
     const principal::Id p_signer =
         principal::enclave({prep->sender, Compartment::Preparation});
-    if (!net::verify_envelope(pe, *verifier_, p_signer)) continue;
+    if (!auth_.check(pe, p_signer)) continue;
     distinct[prep->sender] = true;
   }
   if (distinct.size() < config_.prepared_quorum()) return false;
@@ -208,10 +208,10 @@ bool PrepCompartment::validate_view_change(const net::Envelope& env,
   if (!vc || vc->sender >= config_.n) return false;
   const principal::Id vc_signer =
       principal::enclave({vc->sender, Compartment::Confirmation});
-  if (!net::verify_envelope(env, *verifier_, vc_signer)) return false;
+  if (!auth_.check(env, vc_signer)) return false;
   if (vc->last_stable > 0 &&
       !verify_checkpoint_proof(vc->checkpoint_proof, vc->last_stable,
-                               std::nullopt, config_, *verifier_)) {
+                               std::nullopt, config_, auth_)) {
     return false;
   }
   for (const auto& proof : vc->prepared) {
@@ -343,7 +343,7 @@ void PrepCompartment::on_new_view(const net::Envelope& env, Out& out) {
   }
   const principal::Id nv_signer =
       principal::enclave({nv->sender, Compartment::Preparation});
-  if (!net::verify_envelope(env, *verifier_, nv_signer)) return;
+  if (!auth_.check(env, nv_signer)) return;
 
   std::map<ReplicaId, bool> distinct;
   for (const auto& vce : nv->view_changes) {
@@ -360,7 +360,7 @@ void PrepCompartment::on_new_view(const net::Envelope& env, Out& out) {
   for (const auto& ppe : nv->pre_prepares) {
     auto pp = SplitPrePrepare::deserialize(ppe.payload);
     if (!pp || pp->view != nv->new_view || pp->sender != nv->sender) return;
-    if (!verify_pre_prepare_envelope(ppe, *pp, *verifier_, nv_signer)) return;
+    if (!verify_pre_prepare_envelope(ppe, *pp, auth_, nv_signer)) return;
     const auto it = plan->proposals.find(pp->seq);
     if (it == plan->proposals.end() || it->second != pp->batch_digest) return;
     if (pp->has_batch && crypto::sha256(pp->batch) != pp->batch_digest) {
@@ -372,11 +372,16 @@ void PrepCompartment::on_new_view(const net::Envelope& env, Out& out) {
   if (plan->min_s > checkpoints_.last_stable()) {
     for (const auto& vce : nv->view_changes) {
       auto vc = pbft::ViewChange::deserialize(vce.payload);
-      if (vc && vc->last_stable == plan->min_s) {
-        checkpoints_.adopt(plan->min_s, vc->checkpoint_proof);
+      if (!vc || vc->last_stable != plan->min_s) continue;
+      // validate_view_change already proved this certificate; re-wrapping
+      // it is all cache hits.
+      if (auto proof =
+              verify_checkpoint_proof(vc->checkpoint_proof, plan->min_s,
+                                      std::nullopt, config_, auth_)) {
+        checkpoints_.adopt(plan->min_s, std::move(*proof));
         garbage_collect(plan->min_s);
-        break;
       }
+      break;
     }
   }
   enter_view(nv->new_view, nv->pre_prepares, out);

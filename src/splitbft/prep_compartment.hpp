@@ -36,6 +36,7 @@ class PrepCompartment final : public CompartmentLogic {
   [[nodiscard]] SeqNum last_stable() const noexcept {
     return checkpoints_.last_stable();
   }
+  [[nodiscard]] const net::VerifyCache& auth() const noexcept { return auth_; }
 
   /// Callback used by the replica assembly to answer attestation requests;
   /// set once at construction time by the trusted platform glue.
@@ -79,7 +80,9 @@ class PrepCompartment final : public CompartmentLogic {
   pbft::Config config_;
   ReplicaId self_;
   std::shared_ptr<const crypto::Signer> signer_;
-  std::shared_ptr<const crypto::Verifier> verifier_;
+  // In-enclave verification cache; mutable because validation helpers are
+  // const member functions.
+  mutable net::VerifyCache auth_;
   pbft::ClientDirectory clients_;
   Bytes attestation_context_;
   QuoteFn quote_fn_;

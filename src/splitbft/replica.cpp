@@ -58,6 +58,11 @@ SplitbftReplica::SplitbftReplica(ReplicaOptions options, ReplicaId id,
       make_host(Compartment::Preparation, std::move(prep_logic)),
       make_host(Compartment::Confirmation, std::move(conf_logic)),
       make_host(Compartment::Execution, std::move(exec_logic)));
+  // Opt-in DoS defense: pre-filter provably invalid signatures so garbage
+  // never pays an ecall. Off by default — on the honest path it re-verifies
+  // traffic the enclaves check anyway (broker and enclave caches cannot be
+  // shared across the trust boundary).
+  if (options.broker_ingress_filter) broker_->enable_ingress_filter(verifier);
 }
 
 }  // namespace sbft::splitbft

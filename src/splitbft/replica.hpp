@@ -38,6 +38,9 @@ struct ReplicaOptions {
   std::uint64_t client_master_secret{0x5ec7e7};
   /// Optional byzantine-compartment injection (tests only).
   LogicDecorator decorate_logic{};
+  /// Broker-side pre-verification of inbound wire signatures (DoS defense;
+  /// costs one extra verification per honest message, so default off).
+  bool broker_ingress_filter{false};
 };
 
 class SplitbftReplica final : public runtime::Actor {

@@ -1,0 +1,291 @@
+// Auth-layer tests: VerifyCache semantics (including tampered envelopes and
+// cache-poisoning attempts), VerifiedEnvelope, VerifierPool, and the
+// ThreadNetwork ingress-authentication path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "crypto/keyring.hpp"
+#include "net/auth.hpp"
+#include "net/message.hpp"
+#include "net/thread_net.hpp"
+
+namespace sbft::net {
+namespace {
+
+struct AuthFixture {
+  explicit AuthFixture(crypto::Scheme scheme = crypto::Scheme::Ed25519,
+                       std::size_t principals = 4)
+      : ring(scheme, 7) {
+    for (std::size_t p = 1; p <= principals; ++p) {
+      ring.add_principal(p);
+    }
+  }
+
+  [[nodiscard]] Envelope signed_envelope(principal::Id signer,
+                                         std::string_view payload,
+                                         std::uint32_t type = 3) const {
+    Envelope env;
+    env.src = signer;
+    env.dst = 99;
+    env.type = type;
+    env.payload = to_bytes(payload);
+    sign_envelope(env, *ring.signer(signer));
+    return env;
+  }
+
+  crypto::KeyRing ring;
+};
+
+TEST(VerifyCache, VerifiesAndCachesSuccess) {
+  AuthFixture f;
+  VerifyCache cache(f.ring.verifier());
+  const Envelope env = f.signed_envelope(1, "hello");
+
+  auto verified = cache.verify(env, 1);
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_EQ(verified->signer(), 1u);
+  EXPECT_EQ(verified->envelope(), env);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+
+  // Second check of the identical envelope is a hit, not a re-verification.
+  EXPECT_TRUE(cache.check(env, 1));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(VerifyCache, TamperedEnvelopesRejected) {
+  AuthFixture f;
+  VerifyCache cache(f.ring.verifier());
+  const Envelope env = f.signed_envelope(1, "payload");
+  ASSERT_TRUE(cache.check(env, 1));
+
+  Envelope flipped = env;
+  flipped.payload[0] ^= 0x01;  // flipped payload byte
+  EXPECT_FALSE(cache.check(flipped, 1));
+
+  Envelope truncated = env;
+  truncated.signature.pop_back();  // truncated signature
+  EXPECT_FALSE(cache.check(truncated, 1));
+
+  // Signer-ID substitution: a valid signature by 1 never verifies as 2.
+  EXPECT_FALSE(cache.check(env, 2));
+
+  // Type is covered by the signing input.
+  Envelope retyped = env;
+  retyped.type = 4;
+  EXPECT_FALSE(cache.check(retyped, 1));
+
+  const VerifyStats s = cache.stats();
+  EXPECT_EQ(s.failures, 4u);
+  EXPECT_EQ(s.misses, 1u);  // only the original verified (and was cached)
+}
+
+TEST(VerifyCache, PoisoningAttemptMissesDespitePriorHit) {
+  AuthFixture f;
+  VerifyCache cache(f.ring.verifier());
+  const Envelope env = f.signed_envelope(1, "quorum message");
+  ASSERT_TRUE(cache.check(env, 1));
+  ASSERT_TRUE(cache.check(env, 1));  // cached
+  ASSERT_EQ(cache.stats().hits, 1u);
+
+  // Re-send the SAME payload with a forged signature: signature bytes are
+  // part of the cache key, so the prior hit cannot be reused.
+  Envelope forged = env;
+  forged.signature = f.signed_envelope(2, "quorum message").signature;
+  EXPECT_FALSE(cache.check(forged, 1));
+
+  Envelope garbage = env;
+  garbage.signature.assign(64, 0xab);
+  EXPECT_FALSE(cache.check(garbage, 1));
+
+  EXPECT_EQ(cache.stats().failures, 2u);
+  // And the legitimate envelope still hits.
+  EXPECT_TRUE(cache.check(env, 1));
+}
+
+TEST(VerifyCache, LruEvictionAtCapacity) {
+  AuthFixture f(crypto::Scheme::HmacShared);
+  VerifyCache cache(f.ring.verifier(), /*capacity=*/2);
+  const Envelope a = f.signed_envelope(1, "a");
+  const Envelope b = f.signed_envelope(1, "b");
+  const Envelope c = f.signed_envelope(1, "c");
+
+  EXPECT_TRUE(cache.check(a, 1));
+  EXPECT_TRUE(cache.check(b, 1));
+  EXPECT_TRUE(cache.check(c, 1));  // evicts a (least recently used)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // `a` still verifies — through the verifier again, not the cache.
+  EXPECT_TRUE(cache.check(a, 1));
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(VerifyCache, AttestOwnSeedsTheCache) {
+  AuthFixture f;
+  VerifyCache cache(f.ring.verifier());
+  Envelope env = f.signed_envelope(1, "own message");
+
+  const VerifiedEnvelope own = cache.attest_own(env, *f.ring.signer(1));
+  EXPECT_EQ(own.signer(), 1u);
+  EXPECT_EQ(cache.stats().misses, 0u);  // no verification ran
+
+  // A later proof validation that includes our own envelope hits.
+  EXPECT_TRUE(cache.check(env, 1));
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  const VerifiedEnvelope copy = own.clone();
+  EXPECT_EQ(copy.envelope(), own.envelope());
+  EXPECT_EQ(copy.signer(), own.signer());
+}
+
+TEST(VerifyCache, UnwrapPreservesOrder) {
+  AuthFixture f(crypto::Scheme::HmacShared);
+  VerifyCache cache(f.ring.verifier());
+  std::vector<VerifiedEnvelope> verified;
+  verified.push_back(*cache.verify(f.signed_envelope(1, "x"), 1));
+  verified.push_back(*cache.verify(f.signed_envelope(2, "y"), 2));
+  const std::vector<Envelope> wire = unwrap(verified);
+  ASSERT_EQ(wire.size(), 2u);
+  EXPECT_EQ(wire[0].payload, to_bytes("x"));
+  EXPECT_EQ(wire[1].payload, to_bytes("y"));
+}
+
+TEST(VerifierPool, SynchronousModeMatchesSerial) {
+  AuthFixture f;
+  auto cache = std::make_shared<VerifyCache>(f.ring.verifier());
+  VerifierPool pool(cache, /*workers=*/0);
+
+  std::vector<VerifierPool::Job> jobs;
+  jobs.push_back({f.signed_envelope(1, "good"), 1});
+  Envelope bad = f.signed_envelope(2, "bad");
+  bad.payload[0] ^= 0xff;
+  jobs.push_back({bad, 2});
+  jobs.push_back({f.signed_envelope(3, "also good"), 3});
+
+  const auto results = pool.verify_batch(jobs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].has_value());
+  EXPECT_FALSE(results[1].has_value());
+  EXPECT_TRUE(results[2].has_value());
+  EXPECT_EQ(results[0]->signer(), 1u);
+}
+
+TEST(VerifierPool, ParallelWorkersProduceSameResultsAndShareCache) {
+  AuthFixture f;
+  auto cache = std::make_shared<VerifyCache>(f.ring.verifier());
+  VerifierPool pool(cache, /*workers=*/4);
+
+  std::vector<VerifierPool::Job> jobs;
+  for (int i = 0; i < 40; ++i) {
+    const principal::Id signer = 1 + (static_cast<principal::Id>(i) % 4);
+    Envelope env = f.signed_envelope(signer, "msg " + std::to_string(i));
+    if (i % 5 == 0) env.payload.push_back(0x00);  // corrupt every 5th
+    jobs.push_back({std::move(env), signer});
+  }
+  const auto results = pool.verify_batch(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].has_value(), i % 5 != 0) << "job " << i;
+  }
+
+  // Re-submitting the same batch is answered from the shared cache.
+  const auto before = cache->stats();
+  (void)pool.verify_batch(jobs);
+  const auto after = cache->stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.hits, before.hits + 32);
+}
+
+TEST(VerifierPool, EmptyBatch) {
+  AuthFixture f;
+  VerifierPool pool(std::make_shared<VerifyCache>(f.ring.verifier()), 2);
+  EXPECT_TRUE(pool.verify_batch({}).empty());
+}
+
+// --------------------------------------------------- ThreadNetwork ingress
+
+TEST(ThreadNetworkAuth, DropsTamperedEnvelopesBeforeDelivery) {
+  AuthFixture f;
+  auto cache = std::make_shared<VerifyCache>(f.ring.verifier());
+  auto pool = std::make_shared<VerifierPool>(cache, 2);
+
+  ThreadNetwork network;
+  network.enable_ingress_auth(
+      pool, [](const Envelope& env) -> std::optional<principal::Id> {
+        if (env.signature.empty()) return std::nullopt;
+        return env.src;  // protocol rule: signer == src for signed traffic
+      });
+
+  std::atomic<int> delivered{0};
+  std::atomic<int> unsigned_delivered{0};
+  network.register_endpoint(99, [&](Envelope env) {
+    if (env.signature.empty()) {
+      unsigned_delivered.fetch_add(1);
+    } else {
+      delivered.fetch_add(1);
+    }
+  });
+
+  // 10 valid, 5 tampered (flipped payload), 5 forged (signer substitution
+  // via src rewrite), 3 unsigned pass-through.
+  for (int i = 0; i < 10; ++i) {
+    network.send(f.signed_envelope(1, "valid " + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    Envelope env = f.signed_envelope(1, "tampered " + std::to_string(i));
+    env.payload[0] ^= 0x80;
+    network.send(std::move(env));
+  }
+  for (int i = 0; i < 5; ++i) {
+    Envelope env = f.signed_envelope(2, "forged " + std::to_string(i));
+    env.src = 1;  // claims to be principal 1, carries 2's signature
+    network.send(std::move(env));
+  }
+  for (int i = 0; i < 3; ++i) {
+    Envelope env;
+    env.src = 1;
+    env.dst = 99;
+    env.type = 1;
+    env.payload = to_bytes("unsigned");
+    network.send(std::move(env));
+  }
+
+  network.drain();
+  EXPECT_EQ(delivered.load(), 10);
+  EXPECT_EQ(unsigned_delivered.load(), 3);
+  EXPECT_EQ(cache->stats().failures, 10u);
+  network.shutdown();
+}
+
+TEST(ThreadNetworkAuth, RepeatedCertificateTrafficHitsSharedCache) {
+  AuthFixture f;
+  auto cache = std::make_shared<VerifyCache>(f.ring.verifier());
+  auto pool = std::make_shared<VerifierPool>(cache, 2);
+
+  ThreadNetwork network;
+  network.enable_ingress_auth(
+      pool, [](const Envelope& env) -> std::optional<principal::Id> {
+        if (env.signature.empty()) return std::nullopt;
+        return env.src;
+      });
+  std::atomic<int> delivered{0};
+  network.register_endpoint(99, [&](Envelope) { delivered.fetch_add(1); });
+
+  const Envelope cert = f.signed_envelope(1, "relayed certificate");
+  for (int i = 0; i < 8; ++i) network.send(cert);
+  network.drain();
+  EXPECT_EQ(delivered.load(), 8);
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_EQ(cache->stats().hits, 7u);
+  network.shutdown();
+}
+
+}  // namespace
+}  // namespace sbft::net

@@ -122,5 +122,48 @@ TEST(ThreadNetwork, ShutdownIsIdempotent) {
   net.shutdown();
 }
 
+// Regression for the drain handshake: concurrent senders and drainers must
+// neither deadlock nor lose deliveries, and a shutdown arriving while
+// drain() waits must terminate the wait (the stopping flag is never
+// cleared). The test completing inside the ctest timeout IS the
+// no-deadlock assertion.
+TEST(ThreadNetwork, DrainWithConcurrentSendsAndShutdown) {
+  ThreadNetwork net;
+  std::atomic<int> received{0};
+  net.register_endpoint(1, [&](Envelope) { received.fetch_add(1); });
+  net.register_endpoint(2, [&](Envelope) { received.fetch_add(1); });
+
+  constexpr int kPerSender = 200;
+  std::vector<std::thread> senders;
+  for (int t = 0; t < 3; ++t) {
+    senders.emplace_back([&net] {
+      Envelope env;
+      for (int i = 0; i < kPerSender; ++i) {
+        env.dst = 1 + static_cast<principal::Id>(i % 2);
+        net.send(env);
+        if (i % 32 == 0) std::this_thread::yield();
+      }
+    });
+  }
+  // Drain repeatedly while the senders are still running.
+  std::thread drainer([&net] {
+    for (int i = 0; i < 50; ++i) net.drain();
+  });
+  for (auto& t : senders) t.join();
+  drainer.join();
+
+  // All sends happened-before this final drain; nothing may be lost.
+  net.drain();
+  EXPECT_EQ(received.load(), 3 * kPerSender);
+
+  // A drain racing shutdown must return (stopping flag wins, and is not
+  // dropped by the concurrent wait).
+  std::thread late_drainer([&net] {
+    for (int i = 0; i < 100; ++i) net.drain();
+  });
+  net.shutdown();
+  late_drainer.join();
+}
+
 }  // namespace
 }  // namespace sbft::net

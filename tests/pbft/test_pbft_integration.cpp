@@ -35,6 +35,63 @@ using apps::KvStore;
   return v;
 }
 
+// A VerifyCache shared between the transport-level VerifierPool and the
+// replica makes "verify once per replica" hold end-to-end: the pool's
+// ingress verification is the only full signature check; the engine's own
+// validation of the same envelope is a cache hit.
+TEST(PbftIntegration, SharedAuthCacheVerifiesIngressEnvelopesOnce) {
+  pbft::Config config;
+  config.n = 4;
+  config.f = 1;
+
+  crypto::KeyRing ring(crypto::Scheme::Ed25519, 77);
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    ring.add_principal(principal::pbft_replica(r));
+  }
+  const pbft::ClientDirectory directory(0x5ec7e7);
+  auto cache = std::make_shared<net::VerifyCache>(ring.verifier());
+
+  // Replica 1 (a backup in view 0) shares its cache with the ingress pool.
+  pbft::Replica replica(config, 1, ring.signer(principal::pbft_replica(1)),
+                        ring.verifier(), directory, counter_factory(), cache);
+
+  // Primary's signed PrePrepare for one authenticated request.
+  pbft::Request req;
+  req.client = kFirstClientId;
+  req.timestamp = 1;
+  req.payload = CounterApp::encode_add(1);
+  const crypto::Key32 key = directory.auth_key(req.client);
+  const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                         req.auth_input());
+  req.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+  pbft::PrePrepare pp;
+  pp.view = 0;
+  pp.seq = 1;
+  pp.batch = pbft::RequestBatch{{req}}.serialize();
+  pp.batch_digest = crypto::sha256(pp.batch);
+  pp.sender = 0;
+  net::Envelope env;
+  env.src = principal::pbft_replica(0);
+  env.dst = principal::pbft_replica(1);
+  env.type = pbft::tag(pbft::MsgType::PrePrepare);
+  env.payload = pp.serialize();
+  net::sign_envelope(env, *ring.signer(principal::pbft_replica(0)));
+
+  // Ingress pre-verification (synchronous pool mode, as the simulator
+  // would use) pays the one full verification...
+  net::VerifierPool pool(cache, /*workers=*/0);
+  auto results = pool.verify_batch({{env, env.src}});
+  ASSERT_TRUE(results.at(0).has_value());
+  EXPECT_EQ(cache->stats().misses, 1u);
+
+  // ...and the replica's own validation of the delivered envelope hits.
+  const auto out = replica.handle(env, /*now=*/1);
+  EXPECT_FALSE(out.empty());  // the PrePrepare was accepted: Prepares emitted
+  EXPECT_EQ(cache->stats().misses, 1u);
+  EXPECT_GE(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().failures, 0u);
+}
+
 TEST(PbftIntegration, SingleRequestExecutesEverywhere) {
   PbftCluster cluster(small_config(1), counter_factory());
   cluster.add_client(kFirstClientId);
@@ -187,6 +244,18 @@ TEST(PbftIntegration, ViewChangeOnCrashedPrimary) {
     EXPECT_GE(cluster.replica(r).view(), 1u) << "replica " << r;
   }
   EXPECT_TRUE(cluster.check_agreement());
+
+  // The view-change and new-view proofs embed prepare/checkpoint envelopes
+  // the survivors already verified (or signed) during normal operation —
+  // with the VerifyCache those re-validations are hits, so no envelope is
+  // verified twice per replica in steady state.
+  std::uint64_t hits = 0;
+  for (ReplicaId r = 1; r < 4; ++r) {
+    const net::VerifyStats stats = cluster.replica(r).auth().stats();
+    hits += stats.hits;
+    EXPECT_EQ(stats.failures, 0u) << "replica " << r;
+  }
+  EXPECT_GT(hits, 0u);
 }
 
 TEST(PbftIntegration, RecoveredReplicaCatchesUpViaStateTransfer) {

@@ -317,5 +317,45 @@ TEST_P(SplitSeedSweep, AgreementHoldsUnderRandomSchedules) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SplitSeedSweep,
                          ::testing::Values(21, 22, 23, 24, 25, 26));
 
+TEST(SplitbftIntegration, BrokerIngressFilterDropsForgedEnvelopes) {
+  SplitbftCluster cluster(small_config(31), counter_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+  ASSERT_TRUE(
+      cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+
+  // Opt in to the DoS defense on replica 0's (untrusted) broker.
+  auto& broker = cluster.replica(0).broker();
+  EXPECT_EQ(broker.ingress_cache(), nullptr);  // off by default
+  broker.enable_ingress_filter(cluster.keyring().verifier());
+  ASSERT_NE(broker.ingress_cache(), nullptr);
+
+  // Forge a Prepare claiming to come from replica 1's Preparation enclave,
+  // addressed at replica 0's Confirmation enclave, with a garbage
+  // signature. The broker pre-verifies on public material and drops it
+  // before paying an ecall.
+  const net::VerifyStats before = broker.ingress_cache()->stats();
+
+  pbft::Prepare prep;
+  prep.view = 0;
+  prep.seq = 999;
+  prep.sender = 1;
+  net::Envelope forged;
+  forged.src = principal::enclave({1, Compartment::Preparation});
+  forged.dst = principal::enclave({0, Compartment::Confirmation});
+  forged.type = pbft::tag(pbft::MsgType::Prepare);
+  forged.payload = prep.serialize();
+  forged.signature.assign(64, 0x5a);
+  cluster.harness().inject({forged});
+  cluster.harness().run_for(100'000);
+
+  const net::VerifyStats after = broker.ingress_cache()->stats();
+  EXPECT_EQ(after.failures, before.failures + 1);
+  // Honest traffic still flows and agreement is intact.
+  ASSERT_TRUE(
+      cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
 }  // namespace
 }  // namespace sbft::runtime
