@@ -1,0 +1,45 @@
+#include "common/frame.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sbft {
+
+namespace {
+std::atomic<std::uint64_t> g_frame_allocations{0};
+std::atomic<std::uint64_t> g_frame_bytes{0};
+}  // namespace
+
+SharedBytes::SharedBytes(Bytes&& owned)
+    : owner_(std::make_shared<const Bytes>(std::move(owned))) {
+  data_ = owner_->data();
+  size_ = owner_->size();
+  g_frame_allocations.fetch_add(1, std::memory_order_relaxed);
+  g_frame_bytes.fetch_add(size_, std::memory_order_relaxed);
+}
+
+SharedBytes SharedBytes::copy_of(ByteView data) {
+  return SharedBytes(Bytes(data.begin(), data.end()));
+}
+
+SharedBytes SharedBytes::slice(std::size_t offset, std::size_t length) const {
+  SharedBytes out;
+  if (offset >= size_) return out;
+  out.owner_ = owner_;
+  out.data_ = data_ + offset;
+  out.size_ = std::min(length, size_ - offset);
+  return out;
+}
+
+bool SharedBytes::view_equal(ByteView other) const noexcept {
+  return size_ == other.size() && std::equal(begin(), end(), other.begin());
+}
+
+FrameAllocStats SharedBytes::alloc_stats() noexcept {
+  FrameAllocStats s;
+  s.allocations = g_frame_allocations.load(std::memory_order_relaxed);
+  s.bytes = g_frame_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sbft

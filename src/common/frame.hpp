@@ -1,0 +1,105 @@
+// SharedBytes: the zero-copy message-fabric frame.
+//
+// A ref-counted, immutable flat buffer plus an (offset, length) view into
+// it. Copying a SharedBytes bumps a reference count instead of duplicating
+// the bytes, and slice() carves sub-views that share the same allocation —
+// so an envelope's payload, signature and signing input can all alias one
+// wire image, and an N-way broadcast costs one payload allocation instead
+// of N deep copies.
+//
+// Immutability is the load-bearing invariant: once bytes enter a frame they
+// are never modified, which is what makes sharing across envelope copies,
+// transport queues and worker threads safe, and what makes memoized digests
+// over frame contents sound. There is deliberately no mutable access; to
+// "change" a frame's bytes (tamper tests, attack code), copy them out with
+// to_bytes(), edit, and build a new frame.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace sbft {
+
+/// Fabric-wide allocation counters (bench/message_fabric reads these to
+/// prove broadcast is O(1) allocations). Relaxed atomics, always on.
+struct FrameAllocStats {
+  std::uint64_t allocations{0};  // owning buffers created
+  std::uint64_t bytes{0};        // total bytes those buffers hold
+};
+
+class SharedBytes {
+ public:
+  /// Empty frame; no allocation.
+  SharedBytes() = default;
+
+  /// Takes ownership of an existing buffer (no byte copy; one control-block
+  /// allocation). The buffer must not be modified afterwards — the frame
+  /// now owns it.
+  explicit SharedBytes(Bytes&& owned);
+
+  /// Copies `data` into a fresh owning buffer.
+  [[nodiscard]] static SharedBytes copy_of(ByteView data);
+
+  SharedBytes(const SharedBytes&) = default;             // refcount bump
+  SharedBytes(SharedBytes&&) noexcept = default;
+  SharedBytes& operator=(const SharedBytes&) = default;  // refcount bump
+  SharedBytes& operator=(SharedBytes&&) noexcept = default;
+
+  /// Rebinds this frame to own `b` (move, no byte copy).
+  SharedBytes& operator=(Bytes&& b) {
+    *this = SharedBytes(std::move(b));
+    return *this;
+  }
+
+  /// Sub-view sharing the same underlying buffer (no copy). Clamps to the
+  /// frame's bounds.
+  [[nodiscard]] SharedBytes slice(std::size_t offset, std::size_t length) const;
+
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] const std::uint8_t* begin() const noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* end() const noexcept {
+    return data_ + size_;
+  }
+  [[nodiscard]] ByteView view() const noexcept { return {data_, size_}; }
+  /*implicit*/ operator ByteView() const noexcept { return view(); }
+
+  /// Copies the viewed bytes out into a plain, mutable Bytes.
+  [[nodiscard]] Bytes to_bytes() const { return Bytes(begin(), end()); }
+
+  /// True iff both views alias the exact same bytes of the same buffer —
+  /// the broadcast-identity property (content equality is operator==).
+  [[nodiscard]] bool same_buffer(const SharedBytes& other) const noexcept {
+    return data_ == other.data_ && size_ == other.size_ &&
+           owner_ == other.owner_;
+  }
+
+  /// Owners (frames + slices) currently sharing this buffer; 0 for empty.
+  [[nodiscard]] long use_count() const noexcept { return owner_.use_count(); }
+
+  /// Content equality.
+  [[nodiscard]] friend bool operator==(const SharedBytes& a,
+                                       const SharedBytes& b) noexcept {
+    return a.view_equal(b.view());
+  }
+  [[nodiscard]] friend bool operator==(const SharedBytes& a,
+                                       ByteView b) noexcept {
+    return a.view_equal(b);
+  }
+
+  /// Process-wide owning-buffer allocation counters.
+  [[nodiscard]] static FrameAllocStats alloc_stats() noexcept;
+
+ private:
+  [[nodiscard]] bool view_equal(ByteView other) const noexcept;
+
+  std::shared_ptr<const Bytes> owner_;
+  const std::uint8_t* data_{nullptr};
+  std::size_t size_{0};
+};
+
+}  // namespace sbft

@@ -88,6 +88,18 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+void Reader::skip(std::size_t n) noexcept {
+  if (!need(n)) return;
+  pos_ += n;
+}
+
+ByteView Reader::view(std::size_t n) noexcept {
+  if (!need(n)) return {};
+  const ByteView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string Reader::str() {
   const Bytes b = bytes();
   return std::string(b.begin(), b.end());

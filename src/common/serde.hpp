@@ -55,6 +55,15 @@ class Reader {
   [[nodiscard]] std::string str();
   [[nodiscard]] bool boolean() { return u8() != 0; }
 
+  /// Advances past `n` bytes without materializing them (zero-copy parsers
+  /// that slice the underlying frame instead of copying out).
+  void skip(std::size_t n) noexcept;
+  /// Reads `n` raw bytes as a view into the input (no copy; valid only as
+  /// long as the input buffer). Empty view + failed() on underrun.
+  [[nodiscard]] ByteView view(std::size_t n) noexcept;
+  /// Current read offset from the start of the input.
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
   /// True if any read ran past the end of input.
   [[nodiscard]] bool failed() const noexcept { return failed_; }
   /// True if the input was fully consumed without errors.

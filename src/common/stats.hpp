@@ -13,10 +13,23 @@
 
 namespace sbft {
 
+/// One cache line, for padding hot atomics. Hardcoded rather than
+/// std::hardware_destructive_interference_size: the standard constant is an
+/// ABI hazard (GCC warns when it leaks into public headers) and 64 bytes is
+/// correct for every x86-64 and the common AArch64 parts this targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
 /// Monotonic event counter. Thread-safe (relaxed atomics: counters are
 /// statistics, not synchronization). Non-copyable, like the atomic it
 /// wraps — snapshot value() into plain integers instead.
-class Counter {
+///
+/// Cache-line aligned: the VerifyCache hit/miss/failure/eviction counters
+/// and the VerifierPool workers bump these concurrently from every worker
+/// thread; without the alignment, adjacent counters declared as consecutive
+/// members share a line and every add() ping-pongs that line between cores
+/// (false sharing). Padding each counter to its own line keeps the hot path
+/// a local RMW.
+class alignas(kCacheLineBytes) Counter {
  public:
   Counter() = default;
 

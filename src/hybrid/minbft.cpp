@@ -81,13 +81,13 @@ HybridReplica::HybridReplica(pbft::Config config, ReplicaId id,
       clients_(clients),
       app_(app_factory()) {}
 
-net::Envelope HybridReplica::to_replica(HybridMsg type, ByteView payload,
+net::Envelope HybridReplica::to_replica(HybridMsg type, SharedBytes payload,
                                         ReplicaId dst) const {
   net::Envelope env;
   env.src = principal::hybrid_replica(id_);
   env.dst = principal::hybrid_replica(dst);
   env.type = tag(type);
-  env.payload = Bytes(payload.begin(), payload.end());
+  env.payload = std::move(payload);  // broadcast copies share one frame
   // Authentication comes from the embedded USIG signatures.
   return env;
 }
@@ -129,7 +129,7 @@ void HybridReplica::on_request(const net::Envelope& env, Out& out) {
   prepare.sender = id_;
   prepare.ui = usig_->create(prepare.ui_digest());
 
-  const Bytes payload = prepare.serialize();
+  const SharedBytes payload(prepare.serialize());
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == id_) continue;
     out.push_back(to_replica(HybridMsg::Prepare, payload, r));
@@ -166,7 +166,7 @@ void HybridReplica::on_prepare(const net::Envelope& env, Out& out) {
   commit.sender = id_;
   commit.ui = usig_->create(commit.ui_digest());
 
-  const Bytes payload = commit.serialize();
+  const SharedBytes payload(commit.serialize());
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == id_) continue;
     out.push_back(to_replica(HybridMsg::Commit, payload, r));

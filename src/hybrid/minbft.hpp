@@ -108,7 +108,7 @@ class HybridReplica {
   [[nodiscard]] bool is_primary() const noexcept {
     return config_.primary(view_) == id_;
   }
-  [[nodiscard]] net::Envelope to_replica(HybridMsg type, ByteView payload,
+  [[nodiscard]] net::Envelope to_replica(HybridMsg type, SharedBytes payload,
                                          ReplicaId dst) const;
 
   pbft::Config config_;

@@ -21,21 +21,52 @@ VerifyCache::VerifyCache(std::shared_ptr<const crypto::Verifier> verifier,
     : verifier_(std::move(verifier)),
       capacity_(capacity == 0 ? 1 : capacity) {}
 
+namespace {
+// Domain tags keep the raw-message and envelope-digest key schemes
+// injective with respect to each other: a 32-byte raw message can never
+// produce the same preimage as an envelope digest.
+constexpr std::uint8_t kKeyDomainRaw = 0x01;
+constexpr std::uint8_t kKeyDomainEnvelope = 0x02;
+}  // namespace
+
 Digest VerifyCache::key_of(principal::Id signer, ByteView message,
                            ByteView signature) {
   // Length-prefixing message and signature makes the encoding injective, so
   // a key collision requires a SHA-256 collision.
   Writer w;
-  w.reserve(8 + 4 + message.size() + 4 + signature.size());
+  w.reserve(1 + 8 + 4 + message.size() + 4 + signature.size());
+  w.u8(kKeyDomainRaw);
   w.u64(signer);
   w.bytes(message);
   w.bytes(signature);
   return crypto::sha256(w.data());
 }
 
+Digest VerifyCache::key_of_envelope(principal::Id signer,
+                                    const Envelope& env) {
+  // env.digest() is the memoized one-shot SHA-256 over the signing input —
+  // computed at most once per message per replica, so a repeat check hashes
+  // 109 bytes here instead of the full message, and builds no signing-input
+  // buffer at all.
+  Writer w;
+  w.reserve(1 + 8 + 32 + 4 + env.signature.size());
+  w.u8(kKeyDomainEnvelope);
+  w.u64(signer);
+  w.raw(env.digest().view());
+  w.bytes(env.signature);
+  return crypto::sha256(w.data());
+}
+
 bool VerifyCache::lookup_or_verify(principal::Id signer, ByteView message,
                                    ByteView signature) {
-  const Digest key = key_of(signer, message, signature);
+  return lookup_or_verify_keyed(key_of(signer, message, signature), signer,
+                                message, signature);
+}
+
+bool VerifyCache::lookup_or_verify_keyed(const Digest& key,
+                                         principal::Id signer,
+                                         ByteView message,
+                                         ByteView signature) {
   std::shared_ptr<Inflight> job;
   {
     std::unique_lock lock(mutex_);
@@ -111,25 +142,22 @@ void VerifyCache::insert_locked(const Digest& key) {
 
 std::optional<VerifiedEnvelope> VerifyCache::verify(
     const Envelope& env, principal::Id claimed_signer) {
-  const Bytes input = signing_input(env.type, env.payload);
-  if (!lookup_or_verify(claimed_signer, input, env.signature)) {
-    return std::nullopt;
-  }
+  if (!check(env, claimed_signer)) return std::nullopt;
   return VerifiedEnvelope(env, claimed_signer);
 }
 
 std::optional<VerifiedEnvelope> VerifyCache::verify(
     Envelope&& env, principal::Id claimed_signer) {
-  const Bytes input = signing_input(env.type, env.payload);
-  if (!lookup_or_verify(claimed_signer, input, env.signature)) {
-    return std::nullopt;
-  }
+  if (!check(env, claimed_signer)) return std::nullopt;
   return VerifiedEnvelope(std::move(env), claimed_signer);
 }
 
 bool VerifyCache::check(const Envelope& env, principal::Id claimed_signer) {
-  const Bytes input = signing_input(env.type, env.payload);
-  return lookup_or_verify(claimed_signer, input, env.signature);
+  // Keyed on the envelope's memoized digest; the signing input is a view
+  // into the message's single wire image (no per-check allocation).
+  return lookup_or_verify_keyed(key_of_envelope(claimed_signer, env),
+                                claimed_signer, env.signing_input_view(),
+                                env.signature);
 }
 
 bool VerifyCache::check_raw(principal::Id signer, ByteView message,
@@ -145,9 +173,8 @@ VerifiedEnvelope VerifyCache::attest_own(Envelope env,
     // so authorship is checkable by re-signing. A call site that attests
     // an envelope the signer did not produce would otherwise poison the
     // cache silently.
-    assert(env.signature ==
-           signer.sign(signing_input(env.type, env.payload)));
-    insert(key_of(id, signing_input(env.type, env.payload), env.signature));
+    assert(env.signature == ByteView{signer.sign(env.signing_input_view())});
+    insert(key_of_envelope(id, env));
   }
   return VerifiedEnvelope(std::move(env), id);
 }

@@ -130,11 +130,22 @@ class VerifyCache {
   }
 
  private:
-  /// Collision-resistant cache key over the full triple.
+  /// Collision-resistant cache key over the full triple (check_raw path).
   [[nodiscard]] static Digest key_of(principal::Id signer, ByteView message,
                                      ByteView signature);
+  /// Envelope-path key: built from the envelope's memoized one-shot digest
+  /// instead of re-hashing the full message bytes. Domain-separated from
+  /// key_of so the two schemes can never alias within one cache.
+  [[nodiscard]] static Digest key_of_envelope(principal::Id signer,
+                                              const Envelope& env);
   [[nodiscard]] bool lookup_or_verify(principal::Id signer, ByteView message,
                                       ByteView signature);
+  /// Shared cache/inflight logic with a caller-computed key; `message` is
+  /// only touched on a miss (the actual Ed25519 check).
+  [[nodiscard]] bool lookup_or_verify_keyed(const Digest& key,
+                                            principal::Id signer,
+                                            ByteView message,
+                                            ByteView signature);
   void insert(const Digest& key);
   void insert_locked(const Digest& key);
 

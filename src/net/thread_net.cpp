@@ -13,7 +13,7 @@ void ThreadNetwork::enable_ingress_auth(std::shared_ptr<VerifierPool> pool,
   auth_policy_ = std::move(policy);
 }
 
-void ThreadNetwork::deliver_batch(Endpoint& ep, std::deque<Envelope> batch) {
+void ThreadNetwork::deliver_batch(Endpoint& ep, std::deque<Envelope>&& batch) {
   if (!ep.auth_pool || !ep.auth_policy) {
     for (auto& env : batch) ep.handler(std::move(env));
     return;
@@ -21,7 +21,10 @@ void ThreadNetwork::deliver_batch(Endpoint& ep, std::deque<Envelope> batch) {
   // Move the signature-authenticated subset into one parallel batch, then
   // deliver survivors in arrival order (verified envelopes come back from
   // the pool; unauthenticated ones are delivered from the original batch).
+  // Reserve up front: worst case every envelope is a job, and a frame-backed
+  // envelope move is pointer-width — the reserve is the only allocation.
   std::vector<VerifierPool::Job> jobs;
+  jobs.reserve(batch.size());
   std::vector<std::size_t> job_index(batch.size(), SIZE_MAX);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (const auto signer = ep.auth_policy(batch[i])) {

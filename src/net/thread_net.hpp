@@ -77,7 +77,9 @@ class ThreadNetwork final : public Transport {
   };
 
   /// Verifies (if configured) and delivers one drained batch, in order.
-  static void deliver_batch(Endpoint& ep, std::deque<Envelope> batch);
+  /// Takes the batch by rvalue reference: the consumer swaps the queue out
+  /// and hands it straight down — envelopes are moved, never re-copied.
+  static void deliver_batch(Endpoint& ep, std::deque<Envelope>&& batch);
 
   std::mutex registry_mutex_;
   std::unordered_map<principal::Id, std::unique_ptr<Endpoint>> endpoints_;

@@ -18,7 +18,9 @@ void put_digest(Writer& w, const Digest& d) { w.raw(d.view()); }
 
 void put_envelopes(Writer& w, const std::vector<net::Envelope>& envs) {
   w.u32(static_cast<std::uint32_t>(envs.size()));
-  for (const auto& e : envs) w.bytes(e.serialize());
+  // wire() is the envelope's memoized single serialization — embedding a
+  // stored quorum envelope in a proof re-uses it instead of re-encoding.
+  for (const auto& e : envs) w.bytes(e.wire());
 }
 
 [[nodiscard]] std::optional<std::vector<net::Envelope>> get_envelopes(
@@ -28,7 +30,8 @@ void put_envelopes(Writer& w, const std::vector<net::Envelope>& envs) {
   std::vector<net::Envelope> envs;
   envs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const Bytes b = r.bytes();
+    const std::uint32_t len = r.u32();
+    const ByteView b = r.view(len);  // view, not copy; deserialize frames it
     if (r.failed()) return std::nullopt;
     auto env = net::Envelope::deserialize(b);
     if (!env) return std::nullopt;

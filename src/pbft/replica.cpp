@@ -30,20 +30,20 @@ Replica::Replica(Config config, ReplicaId id,
 
 // --------------------------------------------------------------- plumbing
 
-net::Envelope Replica::make_signed(MsgType type, ByteView payload,
+net::Envelope Replica::make_signed(MsgType type, SharedBytes payload,
                                    principal::Id dst) const {
   net::Envelope env;
   env.src = principal::pbft_replica(id_);
   env.dst = dst;
   env.type = tag(type);
-  env.payload = Bytes(payload.begin(), payload.end());
+  env.payload = std::move(payload);
   net::sign_envelope(env, *signer_);
   return env;
 }
 
-void Replica::broadcast(MsgType type, ByteView payload, Out& out) const {
+void Replica::broadcast(MsgType type, SharedBytes payload, Out& out) const {
   // Sign once, then address a copy to every other replica.
-  broadcast_env(make_signed(type, payload, 0), out);
+  broadcast_env(make_signed(type, std::move(payload), 0), out);
 }
 
 void Replica::broadcast_env(const net::Envelope& env, Out& out) const {
@@ -221,7 +221,8 @@ void Replica::cut_batch(Micros now, Out& out) {
   Slot& s = slot(pp.seq);
   // Sign once; the stored copy is attested (we are the signer) and the
   // broadcast copies reuse the signature.
-  net::Envelope ppe = make_signed(MsgType::PrePrepare, pp.serialize(), 0);
+  net::Envelope ppe =
+      make_signed(MsgType::PrePrepare, SharedBytes(pp.serialize()), 0);
   s.pre_prepare = pp;
   broadcast_env(ppe, out);
   s.pre_prepare_env = auth_->attest_own(std::move(ppe), *signer_);
@@ -278,10 +279,13 @@ void Replica::on_pre_prepare(const net::Envelope& env, Micros now, Out& out) {
   prep.seq = pp->seq;
   prep.batch_digest = pp->batch_digest;
   prep.sender = id_;
-  net::Envelope my_prepare = make_signed(MsgType::Prepare, prep.serialize(), 0);
+  // Serialize and sign the prepare once: the broadcast copies and the
+  // stored own-vote all share the same frames.
+  net::Envelope my_prepare =
+      make_signed(MsgType::Prepare, SharedBytes(prep.serialize()), 0);
+  broadcast_env(my_prepare, out);
   s.prepares.try_emplace(id_, prep.batch_digest,
                          auth_->attest_own(std::move(my_prepare), *signer_));
-  broadcast(MsgType::Prepare, prep.serialize(), out);
 
   check_prepared(pp->seq, now, out);
 }
@@ -324,10 +328,12 @@ void Replica::check_prepared(SeqNum seq, Micros now, Out& out) {
   commit.seq = seq;
   commit.batch_digest = digest;
   commit.sender = id_;
-  net::Envelope my_commit = make_signed(MsgType::Commit, commit.serialize(), 0);
+  // One serialization + one signature for own vote and broadcast alike.
+  net::Envelope my_commit =
+      make_signed(MsgType::Commit, SharedBytes(commit.serialize()), 0);
+  broadcast_env(my_commit, out);
   s.commits.try_emplace(id_, digest,
                         auth_->attest_own(std::move(my_commit), *signer_));
-  broadcast(MsgType::Commit, commit.serialize(), out);
 
   check_committed(seq, now, out);
 }
@@ -483,10 +489,12 @@ void Replica::maybe_checkpoint(SeqNum seq, Micros now, Out& out) {
   cp.sender = id_;
   snapshots_[seq] = std::move(snapshot);
 
-  const Bytes payload = cp.serialize();
-  broadcast(MsgType::Checkpoint, payload, out);
-  process_own_checkpoint(seq, make_signed(MsgType::Checkpoint, payload, 0),
-                         now, out);
+  // Sign the checkpoint once; broadcast copies and the locally-processed
+  // own vote share the frames and the memoized digest.
+  const net::Envelope my_cp =
+      make_signed(MsgType::Checkpoint, SharedBytes(cp.serialize()), 0);
+  broadcast_env(my_cp, out);
+  process_own_checkpoint(seq, my_cp, now, out);
 }
 
 void Replica::process_own_checkpoint(SeqNum seq, const net::Envelope& env,
@@ -544,7 +552,7 @@ void Replica::make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
     StateRequest sr;
     sr.seq = seq;
     sr.sender = id_;
-    broadcast(MsgType::StateRequest, sr.serialize(), out);
+    broadcast(MsgType::StateRequest, SharedBytes(sr.serialize()), out);
   }
   (void)now;
 }
@@ -563,7 +571,8 @@ void Replica::on_state_request(const net::Envelope& env, Out& out) {
   resp.snapshot = it->second;
   resp.checkpoint_proof = net::unwrap(stable_proof_);
   resp.sender = id_;
-  out.push_back(make_signed(MsgType::StateResponse, resp.serialize(),
+  out.push_back(make_signed(MsgType::StateResponse,
+                            SharedBytes(resp.serialize()),
                             principal::pbft_replica(sr->sender)));
 }
 
@@ -620,10 +629,12 @@ void Replica::start_view_change(View target, Micros now, Out& out) {
   }
   vc.sender = id_;
 
-  const Bytes payload = vc.serialize();
-  broadcast(MsgType::ViewChange, payload, out);
+  // Serialize and sign the view change once for broadcast + own record.
+  net::Envelope my_vc =
+      make_signed(MsgType::ViewChange, SharedBytes(vc.serialize()), 0);
+  broadcast_env(my_vc, out);
   view_changes_[target].insert_or_assign(
-      id_, auth_->attest_own(make_signed(MsgType::ViewChange, payload, 0), *signer_));
+      id_, auth_->attest_own(std::move(my_vc), *signer_));
   maybe_send_new_view(target, now, out);
 }
 
@@ -787,10 +798,10 @@ void Replica::maybe_send_new_view(View target, Micros now, Out& out) {
     pp.batch = proposal.second;
     pp.sender = id_;
     nv.pre_prepares.push_back(
-        make_signed(MsgType::PrePrepare, pp.serialize(), 0));
+        make_signed(MsgType::PrePrepare, SharedBytes(pp.serialize()), 0));
   }
   nv.sender = id_;
-  broadcast(MsgType::NewView, nv.serialize(), out);
+  broadcast(MsgType::NewView, SharedBytes(nv.serialize()), out);
   logger().info() << "r" << id_ << " sends NewView " << target;
   std::vector<net::VerifiedEnvelope> own_pps;
   own_pps.reserve(nv.pre_prepares.size());
@@ -902,10 +913,11 @@ void Replica::enter_view(
       prep.batch_digest = pp->batch_digest;
       prep.sender = id_;
       net::Envelope my_prepare =
-          make_signed(MsgType::Prepare, prep.serialize(), 0);
-      s.prepares.try_emplace(id_, prep.batch_digest,
-                             auth_->attest_own(std::move(my_prepare), *signer_));
-      broadcast(MsgType::Prepare, prep.serialize(), out);
+          make_signed(MsgType::Prepare, SharedBytes(prep.serialize()), 0);
+      broadcast_env(my_prepare, out);
+      s.prepares.try_emplace(
+          id_, prep.batch_digest,
+          auth_->attest_own(std::move(my_prepare), *signer_));
     }
     check_prepared(pp->seq, now, out);
   }

@@ -162,10 +162,15 @@ class Replica {
   [[nodiscard]] Digest snapshot_digest(ByteView snapshot) const;
 
   // -- plumbing --
-  [[nodiscard]] net::Envelope make_signed(MsgType type, ByteView payload,
+  /// Builds and signs an envelope around a payload frame. The frame is
+  /// moved, not copied — callers serialize a message body exactly once and
+  /// every copy of the envelope shares that one allocation.
+  [[nodiscard]] net::Envelope make_signed(MsgType type, SharedBytes payload,
                                           principal::Id dst) const;
-  void broadcast(MsgType type, ByteView payload, Out& out) const;
+  void broadcast(MsgType type, SharedBytes payload, Out& out) const;
   /// Addresses a copy of an already-signed envelope to every other replica.
+  /// Copies are frame-backed: O(1) refcount bumps per recipient, no payload
+  /// duplication.
   void broadcast_env(const net::Envelope& env, Out& out) const;
   [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
   [[nodiscard]] bool is_primary() const noexcept {

@@ -29,14 +29,14 @@ using pbft::MsgType;
 }
 
 /// Number of requests in a (serialized) SplitPrePrepare's batch.
-[[nodiscard]] std::size_t split_batch_size(const Bytes& payload) {
+[[nodiscard]] std::size_t split_batch_size(ByteView payload) {
   const auto pp = splitbft::SplitPrePrepare::deserialize(payload);
   if (!pp || !pp->has_batch) return 0;
   const auto batch = pbft::RequestBatch::deserialize(pp->batch);
   return batch ? batch->requests.size() : 0;
 }
 
-[[nodiscard]] std::size_t pbft_batch_size(const Bytes& payload) {
+[[nodiscard]] std::size_t pbft_batch_size(ByteView payload) {
   const auto pp = pbft::PrePrepare::deserialize(payload);
   if (!pp) return 0;
   const auto batch = pbft::RequestBatch::deserialize(pp->batch);
@@ -49,12 +49,14 @@ class DistinctSignTracker {
  public:
   [[nodiscard]] bool first(const net::Envelope& env) {
     if (env.signature.empty()) return false;
-    const auto key = std::make_pair(env.type, crypto::sha256(env.payload));
-    return seen_.insert(key).second;
+    // env.digest() commits to (type || payload) and is memoized on the
+    // envelope — broadcast copies share it, so tracking a copy costs a set
+    // insert, not a hash of the payload.
+    return seen_.insert(env.digest()).second;
   }
 
  private:
-  std::set<std::pair<std::uint32_t, Digest>> seen_;
+  std::set<Digest> seen_;
 };
 
 }  // namespace

@@ -9,6 +9,10 @@ void SimHarness::dispatch(const std::vector<net::Envelope>& envs) {
   for (const auto& env : envs) network_.send(env);
 }
 
+void SimHarness::dispatch(std::vector<net::Envelope>&& envs) {
+  for (auto& env : envs) network_.send(std::move(env));
+}
+
 void SimHarness::add_actor(principal::Id id, std::shared_ptr<Actor> actor,
                            Micros tick_interval_us) {
   actors_[id] = actor;

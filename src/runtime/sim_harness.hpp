@@ -47,6 +47,9 @@ class SimHarness {
 
  private:
   void dispatch(const std::vector<net::Envelope>& envs);
+  /// Move overload: actor outboxes are rvalues — envelopes (frame-backed,
+  /// cheap to move) go straight into the network without a copy.
+  void dispatch(std::vector<net::Envelope>&& envs);
   void schedule_tick(principal::Id id, Micros interval);
 
   sim::Scheduler scheduler_;

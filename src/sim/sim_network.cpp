@@ -6,7 +6,7 @@ SimNetwork::SimNetwork(Scheduler& scheduler, Rng rng, LinkParams defaults)
     : scheduler_(scheduler), rng_(std::move(rng)), defaults_(defaults) {}
 
 void SimNetwork::register_endpoint(principal::Id id, net::DeliveryFn handler) {
-  endpoints_[id] = std::move(handler);
+  endpoints_[id] = std::make_shared<net::DeliveryFn>(std::move(handler));
 }
 
 void SimNetwork::set_link(principal::Id src, principal::Id dst,
@@ -49,11 +49,16 @@ void SimNetwork::deliver_after(net::Envelope env, Micros delay) {
     ++dropped_;
     return;
   }
-  net::DeliveryFn& handler = it->second;
-  scheduler_.after(delay, [this, handler, env = std::move(env)]() mutable {
-    ++delivered_;
-    handler(std::move(env));
-  });
+  // Capturing the shared_ptr (refcount bump) instead of the std::function
+  // (deep copy) makes a scheduled delivery O(1) regardless of handler size;
+  // the envelope itself is frame-backed, so the capture copies no payload.
+  std::shared_ptr<net::DeliveryFn> handler = it->second;
+  scheduler_.after(delay,
+                   [this, handler = std::move(handler),
+                    env = std::move(env)]() mutable {
+                     ++delivered_;
+                     (*handler)(std::move(env));
+                   });
 }
 
 void SimNetwork::send(net::Envelope env) {

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -65,7 +66,13 @@ class SimNetwork final : public net::Transport {
   Scheduler& scheduler_;
   Rng rng_;
   LinkParams defaults_;
-  std::unordered_map<principal::Id, net::DeliveryFn> endpoints_;
+  // Handlers are held behind shared_ptr so a scheduled delivery captures a
+  // refcount bump, not a deep copy of the std::function (one per delivered
+  // message otherwise). In-flight messages keep the handler that was
+  // registered when they were sent — re-registration (crash/restore) only
+  // affects later sends, exactly as before.
+  std::unordered_map<principal::Id, std::shared_ptr<net::DeliveryFn>>
+      endpoints_;
   std::map<std::pair<principal::Id, principal::Id>, LinkParams> links_;
   std::vector<std::set<principal::Id>> partition_;
   Interceptor interceptor_;

@@ -116,9 +116,13 @@ bool Broker::is_local(principal::Id id,
 }
 
 void Broker::deliver_to(Compartment c, const net::Envelope& env, Out& out) {
+  // wire() is the envelope's memoized serialization: an envelope that
+  // arrived off the wire crosses the ecall boundary as its received frame
+  // (no re-encode); duplicated deliveries that rewrite dst re-encode once
+  // per distinct destination, same as one send would.
   const Bytes result = host(c).ecall(
       static_cast<std::uint32_t>(tee::EcallFn::DeliverMessage),
-      env.serialize());
+      env.wire());
   auto outbox = decode_outbox(result);
   if (!outbox) return;
   for (auto& emitted : *outbox) {

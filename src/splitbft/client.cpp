@@ -33,6 +33,7 @@ std::vector<net::Envelope> SplitClient::begin_session(Micros now) {
   req.nonce = attest_nonce_;
 
   std::vector<net::Envelope> out;
+  const SharedBytes payload(req.serialize());  // one frame for all copies
   for (ReplicaId r = 0; r < config_.n; ++r) {
     for (const Compartment c :
          {Compartment::Execution, Compartment::Preparation}) {
@@ -40,7 +41,7 @@ std::vector<net::Envelope> SplitClient::begin_session(Micros now) {
       env.src = principal::client(id_);
       env.dst = principal::enclave({r, c});
       env.type = pbft::tag(pbft::MsgType::AttestRequest);
-      env.payload = req.serialize();
+      env.payload = payload;
       out.push_back(std::move(env));
     }
   }
@@ -202,6 +203,7 @@ std::vector<net::Envelope> SplitClient::tick(Micros now) {
     AttestRequest req;
     req.client = id_;
     req.nonce = attest_nonce_;
+    const SharedBytes payload(req.serialize());  // one frame for all copies
     for (ReplicaId r = 0; r < config_.n; ++r) {
       if (acks_.contains(r)) continue;
       session_inits_sent_.erase(r);  // allow a fresh SessionInit
@@ -209,7 +211,7 @@ std::vector<net::Envelope> SplitClient::tick(Micros now) {
       env.src = principal::client(id_);
       env.dst = principal::enclave({r, Compartment::Execution});
       env.type = pbft::tag(pbft::MsgType::AttestRequest);
-      env.payload = req.serialize();
+      env.payload = payload;
       out.push_back(std::move(env));
     }
   }

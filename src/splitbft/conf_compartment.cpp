@@ -134,14 +134,14 @@ void ConfCompartment::check_prepared(SeqNum seq, Out& out) {
   commit.seq = seq;
   commit.batch_digest = digest;
   commit.sender = self_;
-  const Bytes payload = commit.serialize();
+  // Serialize + sign the commit once; all Execution enclaves' copies share
+  // the frames and the memoized digest.
+  const net::Envelope proto = make_signed_proto(
+      *signer_, pbft::tag(pbft::MsgType::Commit),
+      SharedBytes(commit.serialize()));
   for (ReplicaId r = 0; r < config_.n; ++r) {
-    net::Envelope env;
-    env.src = signer_->id();
+    net::Envelope env = proto;
     env.dst = principal::enclave({r, Compartment::Execution});
-    env.type = pbft::tag(pbft::MsgType::Commit);
-    env.payload = payload;
-    net::sign_envelope(env, *signer_);
     out.push_back(std::move(env));
   }
 }
@@ -170,15 +170,14 @@ void ConfCompartment::on_suspect_primary(const net::Envelope& env, Out& out) {
   in_view_change_ = true;
   logger().info() << "conf@r" << self_ << " view change to " << target;
 
-  const Bytes payload = vc.serialize();
+  // Serialize + sign the view change once; copies share the frames.
+  const net::Envelope proto = make_signed_proto(
+      *signer_, pbft::tag(pbft::MsgType::ViewChange),
+      SharedBytes(vc.serialize()));
   for (ReplicaId r = 0; r < config_.n; ++r) {
-    net::Envelope out_env;
-    out_env.src = signer_->id();
-    out_env.dst = principal::enclave({r, Compartment::Preparation});
-    out_env.type = pbft::tag(pbft::MsgType::ViewChange);
-    out_env.payload = payload;
-    net::sign_envelope(out_env, *signer_);
-    out.push_back(std::move(out_env));
+    net::Envelope env = proto;
+    env.dst = principal::enclave({r, Compartment::Preparation});
+    out.push_back(std::move(env));
   }
 }
 

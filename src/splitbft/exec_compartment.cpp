@@ -289,14 +289,12 @@ void ExecCompartment::maybe_checkpoint(SeqNum seq, Out& out) {
   cp.sender = self_;
   snapshots_[seq] = std::move(snapshot);
 
-  const Bytes payload = cp.serialize();
   // To peer Execution enclaves (their brokers fan out to all three
   // compartments) and to this replica's own Preparation/Confirmation.
-  net::Envelope env;
-  env.src = signer_->id();
-  env.type = pbft::tag(pbft::MsgType::Checkpoint);
-  env.payload = payload;
-  net::sign_envelope(env, *signer_);
+  // Serialized and signed once; every copy below shares the frames.
+  net::Envelope env = make_signed_proto(
+      *signer_, pbft::tag(pbft::MsgType::Checkpoint),
+      SharedBytes(cp.serialize()));
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == self_) continue;
     env.dst = principal::enclave({r, Compartment::Execution});
@@ -335,15 +333,14 @@ void ExecCompartment::request_state(SeqNum seq, Out& out) {
   pbft::StateRequest sr;
   sr.seq = seq;
   sr.sender = self_;
-  const Bytes payload = sr.serialize();
+  // Serialize + sign the state request once; copies share the frames.
+  const net::Envelope proto = make_signed_proto(
+      *signer_, pbft::tag(pbft::MsgType::StateRequest),
+      SharedBytes(sr.serialize()));
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == self_) continue;
-    net::Envelope env;
-    env.src = signer_->id();
+    net::Envelope env = proto;
     env.dst = principal::enclave({r, Compartment::Execution});
-    env.type = pbft::tag(pbft::MsgType::StateRequest);
-    env.payload = payload;
-    net::sign_envelope(env, *signer_);
     out.push_back(std::move(env));
   }
 }

@@ -67,6 +67,16 @@ SplitPrePrepare SplitPrePrepare::stripped() const {
   return copy;
 }
 
+net::Envelope make_signed_proto(const crypto::Signer& signer,
+                                std::uint32_t type, SharedBytes payload) {
+  net::Envelope env;
+  env.src = signer.id();
+  env.type = type;
+  env.payload = std::move(payload);
+  net::sign_envelope(env, signer);
+  return env;
+}
+
 net::Envelope make_pre_prepare_envelope(const SplitPrePrepare& pp,
                                         const crypto::Signer& signer,
                                         principal::Id dst) {
@@ -205,7 +215,8 @@ std::optional<SessionAck> SessionAck::deserialize(ByteView data) {
 Bytes encode_outbox(const std::vector<net::Envelope>& envs) {
   Writer w;
   w.u32(static_cast<std::uint32_t>(envs.size()));
-  for (const auto& env : envs) w.bytes(env.serialize());
+  // Memoized wire images: an enclave's broadcast copies serialize once.
+  for (const auto& env : envs) w.bytes(env.wire());
   return std::move(w).take();
 }
 
@@ -216,7 +227,8 @@ std::optional<std::vector<net::Envelope>> decode_outbox(ByteView data) {
   std::vector<net::Envelope> envs;
   envs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
-    const Bytes b = r.bytes();
+    const std::uint32_t len = r.u32();
+    const ByteView b = r.view(len);  // view, not copy; deserialize frames it
     if (r.failed()) return std::nullopt;
     auto env = net::Envelope::deserialize(b);
     if (!env) return std::nullopt;

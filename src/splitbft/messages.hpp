@@ -71,6 +71,14 @@ struct SplitPrePrepare {
   [[nodiscard]] SplitPrePrepare stripped() const;
 };
 
+/// Builds the sign-once fan-out prototype: one envelope from this enclave,
+/// signed over (type || payload), dst left 0. Broadcast loops copy it and
+/// rewrite dst — every copy shares the payload/signature frames, so an
+/// N-way enclave broadcast costs one signature and O(1) allocations.
+[[nodiscard]] net::Envelope make_signed_proto(const crypto::Signer& signer,
+                                              std::uint32_t type,
+                                              SharedBytes payload);
+
 /// Signs/verifies a SplitPrePrepare envelope (header-only signature).
 [[nodiscard]] net::Envelope make_pre_prepare_envelope(
     const SplitPrePrepare& pp, const crypto::Signer& signer,

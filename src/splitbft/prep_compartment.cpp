@@ -87,17 +87,22 @@ void PrepCompartment::on_local_batch(const net::Envelope& env, Out& out) {
 
   // Full copy to every backup Preparation enclave (their broker duplicates
   // to Confirmation/Execution); own Confirmation gets the stripped header,
-  // own Execution the full body.
+  // own Execution the full body. The signature covers only the header, so
+  // it is produced ONCE and shared by every copy — including the stripped
+  // one — and all full copies share one payload frame.
+  net::Envelope full = make_pre_prepare_envelope(
+      pp, *signer_, principal::enclave({self_, Compartment::Execution}));
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == self_) continue;
-    out.push_back(make_pre_prepare_envelope(
-        pp, *signer_, principal::enclave({r, Compartment::Preparation})));
+    net::Envelope copy = full;
+    copy.dst = principal::enclave({r, Compartment::Preparation});
+    out.push_back(std::move(copy));
   }
-  out.push_back(make_pre_prepare_envelope(
-      pp.stripped(), *signer_,
-      principal::enclave({self_, Compartment::Confirmation})));
-  out.push_back(make_pre_prepare_envelope(
-      pp, *signer_, principal::enclave({self_, Compartment::Execution})));
+  net::Envelope stripped = full;  // header signature still valid
+  stripped.payload = SharedBytes(pp.stripped().serialize());
+  stripped.dst = principal::enclave({self_, Compartment::Confirmation});
+  out.push_back(std::move(stripped));
+  out.push_back(std::move(full));
 }
 
 // -------------------------------------------------------------- handler (2)
@@ -140,15 +145,15 @@ void PrepCompartment::emit_prepare(const SplitPrePrepare& pp, Out& out) {
   prep.seq = pp.seq;
   prep.batch_digest = pp.batch_digest;
   prep.sender = self_;
-  const Bytes payload = prep.serialize();
+  // Serialize and sign once; every Confirmation enclave's copy shares the
+  // same payload/signature frames.
+  const net::Envelope proto = make_signed_proto(
+      *signer_, pbft::tag(pbft::MsgType::Prepare),
+      SharedBytes(prep.serialize()));
   for (ReplicaId r = 0; r < config_.n; ++r) {
-    net::Envelope out_env;
-    out_env.src = signer_->id();
-    out_env.dst = principal::enclave({r, Compartment::Confirmation});
-    out_env.type = pbft::tag(pbft::MsgType::Prepare);
-    out_env.payload = payload;
-    net::sign_envelope(out_env, *signer_);
-    out.push_back(std::move(out_env));
+    net::Envelope env = proto;
+    env.dst = principal::enclave({r, Compartment::Confirmation});
+    out.push_back(std::move(env));
   }
 }
 
@@ -307,27 +312,21 @@ void PrepCompartment::maybe_send_new_view(View target, Out& out) {
   }
   nv.sender = self_;
 
-  const Bytes payload = nv.serialize();
+  // One serialization + one signature; all copies share the frames.
+  const net::Envelope proto = make_signed_proto(
+      *signer_, pbft::tag(pbft::MsgType::NewView), SharedBytes(nv.serialize()));
   for (ReplicaId r = 0; r < config_.n; ++r) {
     if (r == self_) continue;
-    net::Envelope env;
-    env.src = signer_->id();
+    net::Envelope env = proto;
     env.dst = principal::enclave({r, Compartment::Preparation});
-    env.type = pbft::tag(pbft::MsgType::NewView);
-    env.payload = payload;
-    net::sign_envelope(env, *signer_);
-    out.push_back(env);
+    out.push_back(std::move(env));
   }
   // Own Confirmation and Execution get the NewView directly.
   for (const Compartment c :
        {Compartment::Confirmation, Compartment::Execution}) {
-    net::Envelope env;
-    env.src = signer_->id();
+    net::Envelope env = proto;
     env.dst = principal::enclave({self_, c});
-    env.type = pbft::tag(pbft::MsgType::NewView);
-    env.payload = payload;
-    net::sign_envelope(env, *signer_);
-    out.push_back(env);
+    out.push_back(std::move(env));
   }
   logger().info() << "prep@r" << self_ << " sends NewView " << target;
   enter_view(target, nv.pre_prepares, out);

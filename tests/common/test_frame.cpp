@@ -1,0 +1,89 @@
+// SharedBytes (message-fabric frame) unit tests: sharing, slicing,
+// lifetime, and allocation accounting.
+#include "common/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "common/bytes.hpp"
+
+namespace sbft {
+namespace {
+
+TEST(SharedBytes, EmptyFrameAllocatesNothing) {
+  const auto before = SharedBytes::alloc_stats();
+  const SharedBytes empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.use_count(), 0);
+  const auto after = SharedBytes::alloc_stats();
+  EXPECT_EQ(after.allocations, before.allocations);
+}
+
+TEST(SharedBytes, TakesOwnershipWithoutCopying) {
+  Bytes buf = to_bytes("hello fabric");
+  const std::uint8_t* raw = buf.data();
+  const SharedBytes frame(std::move(buf));
+  // The frame views the very same heap storage the vector owned.
+  EXPECT_EQ(frame.data(), raw);
+  EXPECT_EQ(frame, to_bytes("hello fabric"));
+}
+
+TEST(SharedBytes, CopyIsRefcountNotAllocation) {
+  const SharedBytes a(to_bytes("payload"));
+  const auto before = SharedBytes::alloc_stats();
+  const SharedBytes b = a;      // NOLINT(performance-unnecessary-copy-...)
+  const SharedBytes c = b;
+  const auto after = SharedBytes::alloc_stats();
+  EXPECT_EQ(after.allocations, before.allocations);  // zero new buffers
+  EXPECT_TRUE(a.same_buffer(b));
+  EXPECT_TRUE(a.same_buffer(c));
+  EXPECT_EQ(a.use_count(), 3);
+}
+
+TEST(SharedBytes, SliceSharesTheBuffer) {
+  const SharedBytes frame(to_bytes("abcdefgh"));
+  const SharedBytes mid = frame.slice(2, 4);
+  EXPECT_EQ(mid, to_bytes("cdef"));
+  EXPECT_EQ(mid.data(), frame.data() + 2);
+  EXPECT_EQ(frame.use_count(), 2);  // slice holds the buffer too
+
+  // Clamping: length past the end is trimmed, offset past the end is empty.
+  EXPECT_EQ(frame.slice(6, 100), to_bytes("gh"));
+  EXPECT_TRUE(frame.slice(8, 1).empty());
+  EXPECT_TRUE(frame.slice(100, 1).empty());
+}
+
+TEST(SharedBytes, SliceOutlivesTheOwningHandle) {
+  SharedBytes view;
+  {
+    SharedBytes frame(to_bytes("long-lived contents"));
+    view = frame.slice(5, 5);
+  }  // frame handle destroyed; the buffer must survive through `view`
+  EXPECT_EQ(view, to_bytes("lived"));
+  EXPECT_EQ(view.use_count(), 1);
+}
+
+TEST(SharedBytes, ContentEqualityVsIdentity) {
+  const SharedBytes a(to_bytes("same bytes"));
+  const SharedBytes b(to_bytes("same bytes"));
+  EXPECT_EQ(a, b);                   // equal contents
+  EXPECT_FALSE(a.same_buffer(b));    // distinct allocations
+  EXPECT_EQ(a, ByteView{b.view()});  // heterogeneous comparison
+  const SharedBytes c(to_bytes("other"));
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SharedBytes, AllocStatsCountBuffersAndBytes) {
+  const auto before = SharedBytes::alloc_stats();
+  const SharedBytes a(Bytes(100, 0x11));
+  const SharedBytes b = SharedBytes::copy_of(a.view());
+  (void)b;
+  const auto after = SharedBytes::alloc_stats();
+  EXPECT_EQ(after.allocations, before.allocations + 2);
+  EXPECT_EQ(after.bytes, before.bytes + 200);
+}
+
+}  // namespace
+}  // namespace sbft

@@ -75,5 +75,22 @@ TEST(SteadyClock, Monotonic) {
   EXPECT_GE(b, a);
 }
 
+// Hot counters (VerifyCache hits/misses, pool workers) must each own a
+// cache line: adjacent counters sharing one would false-share under
+// concurrent add() from worker threads.
+static_assert(alignof(Counter) >= kCacheLineBytes);
+static_assert(sizeof(Counter) >= kCacheLineBytes);
+
+TEST(Counter, AdjacentCountersDoNotShareACacheLine) {
+  struct HotPair {
+    Counter a;
+    Counter b;
+  } pair;
+  const auto delta =
+      reinterpret_cast<const char*>(&pair.b) -
+      reinterpret_cast<const char*>(&pair.a);
+  EXPECT_GE(delta, static_cast<std::ptrdiff_t>(kCacheLineBytes));
+}
+
 }  // namespace
 }  // namespace sbft

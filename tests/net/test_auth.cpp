@@ -64,12 +64,18 @@ TEST(VerifyCache, TamperedEnvelopesRejected) {
   const Envelope env = f.signed_envelope(1, "payload");
   ASSERT_TRUE(cache.check(env, 1));
 
+  // Frames are immutable: tampering means copying bytes out, editing, and
+  // rebinding a fresh frame.
   Envelope flipped = env;
-  flipped.payload[0] ^= 0x01;  // flipped payload byte
+  Bytes flipped_payload = env.payload.to_bytes();
+  flipped_payload[0] ^= 0x01;  // flipped payload byte
+  flipped.payload = std::move(flipped_payload);
   EXPECT_FALSE(cache.check(flipped, 1));
 
   Envelope truncated = env;
-  truncated.signature.pop_back();  // truncated signature
+  Bytes short_sig = env.signature.to_bytes();
+  short_sig.pop_back();  // truncated signature
+  truncated.signature = std::move(short_sig);
   EXPECT_FALSE(cache.check(truncated, 1));
 
   // Signer-ID substitution: a valid signature by 1 never verifies as 2.
@@ -100,7 +106,7 @@ TEST(VerifyCache, PoisoningAttemptMissesDespitePriorHit) {
   EXPECT_FALSE(cache.check(forged, 1));
 
   Envelope garbage = env;
-  garbage.signature.assign(64, 0xab);
+  garbage.signature = Bytes(64, 0xab);
   EXPECT_FALSE(cache.check(garbage, 1));
 
   EXPECT_EQ(cache.stats().failures, 2u);
@@ -165,7 +171,9 @@ TEST(VerifierPool, SynchronousModeMatchesSerial) {
   std::vector<VerifierPool::Job> jobs;
   jobs.push_back({f.signed_envelope(1, "good"), 1});
   Envelope bad = f.signed_envelope(2, "bad");
-  bad.payload[0] ^= 0xff;
+  Bytes bad_payload = bad.payload.to_bytes();
+  bad_payload[0] ^= 0xff;
+  bad.payload = std::move(bad_payload);
   jobs.push_back({bad, 2});
   jobs.push_back({f.signed_envelope(3, "also good"), 3});
 
@@ -186,7 +194,11 @@ TEST(VerifierPool, ParallelWorkersProduceSameResultsAndShareCache) {
   for (int i = 0; i < 40; ++i) {
     const principal::Id signer = 1 + (static_cast<principal::Id>(i) % 4);
     Envelope env = f.signed_envelope(signer, "msg " + std::to_string(i));
-    if (i % 5 == 0) env.payload.push_back(0x00);  // corrupt every 5th
+    if (i % 5 == 0) {  // corrupt every 5th (append a byte)
+      Bytes grown = env.payload.to_bytes();
+      grown.push_back(0x00);
+      env.payload = std::move(grown);
+    }
     jobs.push_back({std::move(env), signer});
   }
   const auto results = pool.verify_batch(jobs);
@@ -240,7 +252,9 @@ TEST(ThreadNetworkAuth, DropsTamperedEnvelopesBeforeDelivery) {
   }
   for (int i = 0; i < 5; ++i) {
     Envelope env = f.signed_envelope(1, "tampered " + std::to_string(i));
-    env.payload[0] ^= 0x80;
+    Bytes tampered = env.payload.to_bytes();
+    tampered[0] ^= 0x80;
+    env.payload = std::move(tampered);
     network.send(std::move(env));
   }
   for (int i = 0; i < 5; ++i) {

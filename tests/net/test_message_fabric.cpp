@@ -1,0 +1,226 @@
+// Frame-backed envelope tests: the single-allocation invariant, memoized
+// wire/digest products, serde edge cases, aliasing/lifetime, and the
+// broadcast-identity property (all recipients observe the same frame).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/frame.hpp"
+#include "common/serde.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/sha256.hpp"
+#include "net/message.hpp"
+#include "net/thread_net.hpp"
+
+namespace sbft::net {
+namespace {
+
+[[nodiscard]] Envelope make_envelope(std::string_view payload) {
+  Envelope env;
+  env.src = 7;
+  env.dst = 9;
+  env.type = 42;
+  env.payload = to_bytes(payload);
+  env.signature = to_bytes("sig-bytes");
+  return env;
+}
+
+// ------------------------------------------------------- serde round trips
+
+TEST(FrameEnvelope, RoundTripBasic) {
+  const Envelope env = make_envelope("hello");
+  const auto decoded = Envelope::deserialize(env.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, env);
+}
+
+TEST(FrameEnvelope, RoundTripEmptyPayloadAndSignature) {
+  Envelope env;
+  env.src = 1;
+  env.dst = 2;
+  env.type = 3;
+  const auto decoded = Envelope::deserialize(env.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, env);
+  EXPECT_TRUE(decoded->payload.empty());
+  EXPECT_TRUE(decoded->signature.empty());
+  // And the decoded envelope re-serializes identically.
+  EXPECT_EQ(decoded->serialize(), env.serialize());
+}
+
+TEST(FrameEnvelope, RoundTripLargeFields) {
+  Envelope env;
+  env.src = ~0ULL;
+  env.dst = ~0ULL;
+  env.type = ~0U;
+  env.payload = Bytes(1 << 20, 0xa5);  // 1 MiB payload
+  env.signature = Bytes(64, 0x5a);
+  const auto decoded = Envelope::deserialize(env.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, env);
+}
+
+TEST(FrameEnvelope, TruncatedFramesRejectedAtEveryBoundary) {
+  const Envelope env = make_envelope("truncate me");
+  const Bytes wire = env.serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const auto decoded =
+        Envelope::deserialize(ByteView{wire.data(), cut});
+    EXPECT_FALSE(decoded.has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(FrameEnvelope, TrailingGarbageRejected) {
+  Bytes wire = make_envelope("x").serialize();
+  wire.push_back(0x00);
+  EXPECT_FALSE(Envelope::deserialize(wire).has_value());
+}
+
+// ------------------------------------------- the single-allocation invariant
+
+TEST(FrameEnvelope, FromFrameAliasesInsteadOfAllocating) {
+  const Envelope sent = make_envelope("zero copy payload");
+  SharedBytes frame(sent.serialize());
+
+  const auto before = SharedBytes::alloc_stats();
+  auto received = Envelope::from_frame(frame);
+  ASSERT_TRUE(received.has_value());
+  // Parsing allocated nothing: payload/signature are views into `frame`.
+  EXPECT_EQ(SharedBytes::alloc_stats().allocations, before.allocations);
+  EXPECT_EQ(received->payload, sent.payload);
+  EXPECT_GE(received->payload.data(), frame.data());
+  EXPECT_LT(received->payload.data(), frame.data() + frame.size());
+
+  // Relaying re-uses the received frame as the wire image — serialize once,
+  // relay everywhere.
+  EXPECT_TRUE(received->wire().same_buffer(frame));
+  EXPECT_EQ(SharedBytes::alloc_stats().allocations, before.allocations);
+
+  // The signing input aliases the frame too (no rebuild on verify).
+  const ByteView input = received->signing_input_view();
+  EXPECT_GE(input.data(), frame.data());
+  EXPECT_LT(input.data(), frame.data() + frame.size());
+  EXPECT_EQ(SharedBytes::alloc_stats().allocations, before.allocations);
+}
+
+TEST(FrameEnvelope, PayloadViewOutlivesTheEnvelopeHandle) {
+  SharedBytes payload_view;
+  {
+    auto env = Envelope::from_frame(
+        SharedBytes(make_envelope("outlives the envelope").serialize()));
+    ASSERT_TRUE(env.has_value());
+    payload_view = env->payload;
+  }  // envelope (and its frame handle) destroyed
+  EXPECT_EQ(payload_view, to_bytes("outlives the envelope"));
+}
+
+TEST(FrameEnvelope, WireIsMemoizedAcrossCallsAndCopies) {
+  const Envelope env = make_envelope("memo");
+  const std::uint64_t before = envelope_wire_builds();
+  const SharedBytes w1 = env.wire();
+  const SharedBytes w2 = env.wire();
+  const Envelope copy = env;
+  const SharedBytes w3 = copy.wire();
+  EXPECT_EQ(envelope_wire_builds(), before + 1);  // built exactly once
+  EXPECT_TRUE(w1.same_buffer(w2));
+  EXPECT_TRUE(w1.same_buffer(w3));
+  // Old-style serialize() agrees with the frame path.
+  EXPECT_EQ(w1, env.serialize());
+
+  // Rewriting the destination (broadcast) re-encodes — the wire image
+  // contains dst — but the digest below does not.
+  Envelope readdressed = env;
+  readdressed.dst = env.dst + 1;
+  EXPECT_FALSE(readdressed.wire().same_buffer(w1));
+}
+
+TEST(FrameEnvelope, DigestComputedOnceAndSharedByBroadcastCopies) {
+  const Envelope env = make_envelope("digest once");
+  const std::uint64_t before = envelope_digests_computed();
+  const Digest d = env.digest();
+  // The digest covers the signing input, i.e. (type || payload).
+  EXPECT_EQ(d, crypto::sha256(env.signing_input_view()));
+
+  // Copies with different destinations — a broadcast — share the memo.
+  for (int r = 0; r < 16; ++r) {
+    Envelope copy = env;
+    copy.dst = static_cast<principal::Id>(r);
+    EXPECT_EQ(copy.digest(), d);
+  }
+  EXPECT_EQ(envelope_digests_computed(), before + 1);
+}
+
+TEST(FrameEnvelope, MemoInvalidatesWhenFieldsChange) {
+  Envelope env = make_envelope("original");
+  const Digest d1 = env.digest();
+  env.payload = to_bytes("mutated");
+  const Digest d2 = env.digest();
+  EXPECT_NE(d1, d2);
+  env.type += 1;
+  EXPECT_NE(env.digest(), d2);  // type is covered too
+
+  // The re-signed envelope round-trips and verifies consistently.
+  crypto::KeyRing ring(crypto::Scheme::Ed25519, /*seed=*/1234);
+  ring.add_principal(1);
+  sign_envelope(env, *ring.signer(1));
+  EXPECT_TRUE(verify_envelope(env, *ring.verifier(), 1));
+  const auto decoded = Envelope::deserialize(env.serialize());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->digest(), env.digest());
+}
+
+// ----------------------------------------------------- broadcast identity
+
+TEST(FrameEnvelope, BroadcastCopiesShareOnePayloadFrame) {
+  const Envelope proto = make_envelope("fan out");
+  const auto before = SharedBytes::alloc_stats();
+  std::vector<Envelope> out;
+  for (int r = 0; r < 100; ++r) {
+    Envelope copy = proto;
+    copy.dst = static_cast<principal::Id>(r);
+    out.push_back(std::move(copy));
+  }
+  // O(1) allocations for a 100-way broadcast (here: zero — the proto's
+  // frames already exist).
+  EXPECT_EQ(SharedBytes::alloc_stats().allocations, before.allocations);
+  for (const auto& env : out) {
+    EXPECT_TRUE(env.payload.same_buffer(proto.payload));
+    EXPECT_TRUE(env.signature.same_buffer(proto.signature));
+  }
+}
+
+TEST(FrameEnvelope, ThreadNetworkRecipientsObserveTheSameFrame) {
+  constexpr int kRecipients = 8;
+  ThreadNetwork network;
+  std::mutex mutex;
+  std::vector<Envelope> received;
+  for (int r = 0; r < kRecipients; ++r) {
+    network.register_endpoint(
+        static_cast<principal::Id>(r), [&](Envelope env) {
+          const std::scoped_lock lock(mutex);
+          received.push_back(std::move(env));
+        });
+  }
+
+  const Envelope proto = make_envelope("broadcast identity");
+  for (int r = 0; r < kRecipients; ++r) {
+    Envelope copy = proto;
+    copy.dst = static_cast<principal::Id>(r);
+    network.send(std::move(copy));
+  }
+  network.drain();
+
+  const std::scoped_lock lock(mutex);
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kRecipients));
+  for (const auto& env : received) {
+    // Not just equal bytes: the exact same underlying allocation.
+    EXPECT_TRUE(env.payload.same_buffer(proto.payload));
+    EXPECT_EQ(env.payload, proto.payload);
+  }
+}
+
+}  // namespace
+}  // namespace sbft::net

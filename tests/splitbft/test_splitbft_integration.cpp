@@ -345,7 +345,7 @@ TEST(SplitbftIntegration, BrokerIngressFilterDropsForgedEnvelopes) {
   forged.dst = principal::enclave({0, Compartment::Confirmation});
   forged.type = pbft::tag(pbft::MsgType::Prepare);
   forged.payload = prep.serialize();
-  forged.signature.assign(64, 0x5a);
+  forged.signature = Bytes(64, 0x5a);
   cluster.harness().inject({forged});
   cluster.harness().run_for(100'000);
 
