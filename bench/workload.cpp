@@ -1,0 +1,183 @@
+// Scale-out workload benchmark — the first harness that drives the stacks
+// with a realistic traffic shape instead of replaying paper figures.
+//
+// Closed-loop sweeps at N ∈ {100, 1000, 4000} concurrent clients against
+// BOTH the PBFT baseline and the SplitBFT stack (virtual-time simulator,
+// perf-modeled replicas, deterministic from the seed), a pipeline-depth
+// comparison at 1000 clients, an open-loop point (latency measured from
+// arrival — queueing under overload stays visible), and two wall-clock
+// spot checks over the real ThreadNetwork runtime.
+//
+// Structural properties are hard-asserted (exit != 0):
+//   * the 1000-client closed-loop run must SUSTAIN traffic on both stacks
+//     (completions in every quarter of the measurement window);
+//   * deterministic-sim runs must complete operations at every N.
+// Throughput/latency numbers are trajectory-only. Emits machine-readable
+// JSON to the first non-flag argument (default BENCH_workload.json).
+//
+//   --smoke   CI configuration: shorter windows, 4000-client point skipped.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "runtime/workload/sim_driver.hpp"
+#include "runtime/workload/thread_driver.hpp"
+
+using namespace sbft;
+using namespace sbft::runtime;
+using workload::LoadMode;
+using workload::Options;
+using workload::Report;
+using workload::Stack;
+
+namespace {
+
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++failures;
+  }
+}
+
+[[nodiscard]] pbft::Config protocol_config(std::size_t pipeline_depth) {
+  pbft::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.batch_max = 200;
+  config.batch_timeout_us = 10'000;
+  config.checkpoint_interval = 50;
+  config.watermark_window = 400;
+  config.pipeline_depth = pipeline_depth;
+  config.request_timeout_us = 2'000'000;  // saturation must not trigger VCs
+  return config;
+}
+
+void print_row(const char* driver, const Options& options,
+               const Report& report) {
+  std::printf("%-7s %-9s %-7s %7u %5zu %12.0f %9.2f %9.2f %9.2f %9.2f  %s\n",
+              driver, to_string(options.stack), to_string(options.mode),
+              options.clients, options.protocol.pipeline_depth,
+              report.ops_per_sec, report.mean_latency_ms,
+              static_cast<double>(report.p50_us) / 1000.0,
+              static_cast<double>(report.p95_us) / 1000.0,
+              static_cast<double>(report.p99_us) / 1000.0,
+              report.sustained ? "sustained" : "STALLED");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_workload.json";
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (argv[i][0] != '-') {
+      json_path = argv[i];
+    }
+  }
+
+  const Micros warmup = smoke ? 100'000 : 150'000;
+  const Micros measure = smoke ? 200'000 : 400'000;
+
+  std::printf("workload engine — %s configuration\n",
+              smoke ? "smoke" : "full");
+  std::printf("%-7s %-9s %-7s %7s %5s %12s %9s %9s %9s %9s\n", "driver",
+              "stack", "mode", "clients", "depth", "ops/s", "mean-ms",
+              "p50-ms", "p95-ms", "p99-ms");
+
+  std::vector<std::string> json_runs;
+  const auto run_sim = [&](const Options& options) {
+    const Report report = workload::run_sim_workload(options);
+    print_row("sim", options, report);
+    json_runs.push_back(workload::report_json(options, report));
+    return report;
+  };
+
+  // ---- closed-loop client sweep, both stacks ---------------------------
+  std::vector<std::uint32_t> sweep = {100, 1000};
+  if (!smoke) sweep.push_back(4000);
+  for (const Stack stack : {Stack::Pbft, Stack::Splitbft}) {
+    for (const std::uint32_t clients : sweep) {
+      Options options;
+      options.stack = stack;
+      options.mode = LoadMode::Closed;
+      options.clients = clients;
+      options.protocol = protocol_config(/*pipeline_depth=*/8);
+      options.warmup_us = warmup;
+      options.measure_us = measure;
+      const Report report = run_sim(options);
+      expect(report.completed_ops > 0, "sim sweep point must complete ops");
+      if (clients == 1000) {
+        // The acceptance bar: a 1000-client closed-loop run sustains
+        // traffic across the whole measurement window on this stack.
+        expect(report.sustained,
+               "1000-client closed-loop run must sustain traffic");
+      }
+    }
+  }
+
+  // ---- pipeline-depth comparison at 1000 clients (PBFT) ----------------
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{8}}) {
+    Options options;
+    options.stack = Stack::Pbft;
+    options.mode = LoadMode::Closed;
+    options.clients = 1000;
+    options.protocol = protocol_config(depth);
+    options.warmup_us = warmup;
+    options.measure_us = measure;
+    const Report report = run_sim(options);
+    expect(report.completed_ops > 0, "pipeline comparison must complete ops");
+  }
+
+  // ---- open-loop point: latency from arrival ---------------------------
+  {
+    Options options;
+    options.stack = Stack::Pbft;
+    options.mode = LoadMode::Open;
+    options.clients = smoke ? 200 : 500;
+    options.interarrival_us = 50'000;  // 20 req/s per client offered
+    options.protocol = protocol_config(/*pipeline_depth=*/8);
+    options.warmup_us = warmup;
+    options.measure_us = measure;
+    const Report report = run_sim(options);
+    expect(report.completed_ops > 0, "open-loop point must complete ops");
+  }
+
+  // ---- wall-clock spot checks over the real ThreadNetwork --------------
+  for (const Stack stack : {Stack::Pbft, Stack::Splitbft}) {
+    Options options;
+    options.stack = stack;
+    options.mode = LoadMode::Closed;
+    options.clients = smoke ? 100 : 200;
+    // A touch of think time keeps the wall-clock run off the CPU redline
+    // so the trajectory numbers are comparable between runners.
+    options.think_time_us = 1'000;
+    options.protocol = protocol_config(/*pipeline_depth=*/8);
+    options.warmup_us = smoke ? 100'000 : 150'000;
+    options.measure_us = smoke ? 200'000 : 400'000;
+    const Report report = workload::run_thread_workload(options);
+    print_row("thread", options, report);
+    json_runs.push_back(workload::report_json(options, report));
+    expect(report.completed_ops > 0,
+           "thread-runtime spot check must complete ops");
+  }
+
+  std::ofstream json(json_path);
+  json << "{\n  \"bench\": \"workload\",\n  \"smoke\": "
+       << (smoke ? "true" : "false") << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < json_runs.size(); ++i) {
+    json << "    " << json_runs[i] << (i + 1 < json_runs.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ],\n  \"structural_failures\": " << failures << "\n}\n";
+  json.close();
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return failures == 0 ? 0 : 1;
+}

@@ -21,6 +21,14 @@ namespace {
 Bytes encode_put(ByteView key, ByteView value) {
   return encode_op(KvOp::Put, key, value, {});
 }
+Bytes encode_key(std::uint64_t index) {
+  Bytes key(8);
+  for (int i = 0; i < 8; ++i) {
+    key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(index >> (8 * i));
+  }
+  return key;
+}
 Bytes encode_get(ByteView key) { return encode_op(KvOp::Get, key, {}, {}); }
 Bytes encode_del(ByteView key) { return encode_op(KvOp::Del, key, {}, {}); }
 Bytes encode_cas(ByteView key, ByteView expected, ByteView value) {

@@ -24,6 +24,10 @@ namespace kv {
 
 [[nodiscard]] Bytes encode_put(ByteView key, ByteView value);
 [[nodiscard]] Bytes encode_get(ByteView key);
+/// Canonical fixed-width key for synthetic workloads: the 8-byte
+/// little-endian encoding of a key index, so load generators, tests and
+/// debugging tools agree on the key-space layout.
+[[nodiscard]] Bytes encode_key(std::uint64_t index);
 [[nodiscard]] Bytes encode_del(ByteView key);
 /// Compare-and-swap: writes `value` only if the current value == expected.
 [[nodiscard]] Bytes encode_cas(ByteView key, ByteView expected, ByteView value);

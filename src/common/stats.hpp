@@ -80,6 +80,54 @@ class LatencyRecorder {
   std::vector<Micros> samples_;
 };
 
+/// Fixed-memory latency histogram: logarithmic buckets with ~4% relative
+/// resolution, so a sustained workload run records millions of samples in
+/// a few KiB where LatencyRecorder's sample vector would grow without
+/// bound. Thread-safe recording (the threaded workload driver records from
+/// many ThreadNetwork consumer threads).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void record(Micros sample_us);
+
+  /// Quantile in [0, 1]; returns the representative value (bucket
+  /// midpoint) of the bucket containing it. 0 with no samples.
+  [[nodiscard]] Micros quantile(double q) const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double mean_us() const;
+  [[nodiscard]] Micros max_us() const;
+
+  struct Bucket {
+    Micros lower_us{0};  // inclusive
+    Micros upper_us{0};  // exclusive
+    std::uint64_t count{0};
+  };
+  /// Non-empty buckets in ascending order (JSON export).
+  [[nodiscard]] std::vector<Bucket> buckets() const;
+
+  void reset();
+
+ private:
+  // Buckets: [0..kLinear) are exact 1 us bins; above that, kSubBuckets
+  // log-spaced bins per power of two.
+  static constexpr std::uint64_t kLinear = 128;
+  static constexpr std::uint64_t kSubBuckets = 16;
+  // 128 linear bins + 16 sub-buckets for each power of two from 2^7 up to
+  // 2^63 — covers any Micros value without overflow or clamping surprises.
+  static constexpr std::size_t kBucketCount = 128 + (63 - 7 + 1) * 16;
+
+  [[nodiscard]] static std::size_t bucket_index(Micros v) noexcept;
+  [[nodiscard]] static Micros bucket_lower(std::size_t index) noexcept;
+  [[nodiscard]] static Micros bucket_upper(std::size_t index) noexcept;
+
+  mutable std::mutex mutex_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+  double sum_us_{0};
+  Micros max_us_{0};
+};
+
 /// Formats an ops/s + latency table row (fixed-width, benchmark output).
 [[nodiscard]] std::string format_row(const std::string& label, int clients,
                                      double ops_per_sec, double mean_lat_ms);

@@ -43,45 +43,86 @@ void ThreadNetwork::deliver_batch(Endpoint& ep, std::deque<Envelope>&& batch) {
   }
 }
 
-void ThreadNetwork::register_endpoint(principal::Id id, DeliveryFn handler) {
-  auto endpoint = std::make_unique<Endpoint>();
+void ThreadNetwork::stop_endpoint(Endpoint& ep) {
+  {
+    const std::scoped_lock lock(ep.mutex);
+    ep.stopping = true;
+  }
+  ep.cv.notify_all();
+  if (ep.consumer.joinable()) ep.consumer.join();
+}
+
+void ThreadNetwork::register_endpoints(
+    const std::vector<principal::Id>& ids, DeliveryFn handler) {
+  auto endpoint = std::make_shared<Endpoint>();
   endpoint->handler = std::move(handler);
+
+  std::vector<std::shared_ptr<Endpoint>> replaced;
   {
     const std::scoped_lock lock(registry_mutex_);
+    // After shutdown() nothing may spawn a consumer: it would never be
+    // stopped or joined (shutdown already swept the registry), and its
+    // joinable std::thread would terminate the process on destruction.
+    if (shut_down_) return;
     endpoint->auth_pool = auth_pool_;
     endpoint->auth_policy = auth_policy_;
-  }
-  Endpoint* ep = endpoint.get();
-  endpoint->consumer = std::thread([ep] {
-    std::unique_lock lock(ep->mutex);
-    for (;;) {
-      ep->cv.wait(lock, [ep] { return ep->stopping || !ep->queue.empty(); });
-      if (ep->stopping) return;
-      // Swap the whole queue out and raise `busy` under one critical
-      // section — the drain() handshake relies on "empty queue + !busy"
-      // implying no in-flight deliveries.
-      std::deque<Envelope> batch;
-      batch.swap(ep->queue);
-      ep->busy = true;
-      lock.unlock();
-      deliver_batch(*ep, std::move(batch));
-      lock.lock();
-      ep->busy = false;
-      ep->cv.notify_all();
+    Endpoint* ep = endpoint.get();
+    endpoint->consumer = std::thread([ep] {
+      std::unique_lock lock(ep->mutex);
+      for (;;) {
+        ep->cv.wait(lock, [ep] { return ep->stopping || !ep->queue.empty(); });
+        if (ep->stopping) return;
+        // Swap the whole queue out and raise `busy` under one critical
+        // section — the drain() handshake relies on "empty queue + !busy"
+        // implying no in-flight deliveries.
+        std::deque<Envelope> batch;
+        batch.swap(ep->queue);
+        ep->busy = true;
+        lock.unlock();
+        deliver_batch(*ep, std::move(batch));
+        lock.lock();
+        ep->busy = false;
+        ep->cv.notify_all();
+      }
+    });
+    // Re-registration replaces an endpoint (crash/restore in the cluster
+    // helpers does this): old consumers are stopped OUTSIDE the registry
+    // lock, after the new endpoint is visible. The shared_ptr keeps a
+    // replaced Endpoint alive for any send() that already resolved it.
+    for (const principal::Id id : ids) {
+      auto it = endpoints_.find(id);
+      if (it != endpoints_.end()) {
+        if (it->second != endpoint) replaced.push_back(std::move(it->second));
+        it->second = endpoint;
+      } else {
+        endpoints_.emplace(id, endpoint);
+      }
     }
-  });
+  }
+  for (auto& old : replaced) {
+    // The same old endpoint may have served several ids of this group;
+    // stop_endpoint is idempotent (stopping is sticky, join checks
+    // joinable).
+    stop_endpoint(*old);
+  }
+}
 
-  const std::scoped_lock lock(registry_mutex_);
-  endpoints_.emplace(id, std::move(endpoint));
+void ThreadNetwork::register_endpoint(principal::Id id, DeliveryFn handler) {
+  register_endpoints({id}, std::move(handler));
+}
+
+void ThreadNetwork::register_endpoint_group(
+    const std::vector<principal::Id>& ids, DeliveryFn handler) {
+  register_endpoints(ids, std::move(handler));
 }
 
 void ThreadNetwork::send(Envelope env) {
-  Endpoint* ep = nullptr;
+  std::shared_ptr<Endpoint> ep;
   {
     const std::scoped_lock lock(registry_mutex_);
     const auto it = endpoints_.find(env.dst);
     if (it == endpoints_.end()) return;  // unknown endpoint: drop
-    ep = it->second.get();
+    ep = it->second;  // refcount bump: survives concurrent replacement
   }
   {
     const std::scoped_lock lock(ep->mutex);
@@ -92,34 +133,32 @@ void ThreadNetwork::send(Envelope env) {
 }
 
 void ThreadNetwork::shutdown() {
-  std::vector<Endpoint*> eps;
+  std::vector<std::shared_ptr<Endpoint>> eps;
   {
     const std::scoped_lock lock(registry_mutex_);
     if (shut_down_) return;
     shut_down_ = true;
-    for (auto& [id, ep] : endpoints_) eps.push_back(ep.get());
+    for (auto& [id, ep] : endpoints_) eps.push_back(ep);
   }
-  for (Endpoint* ep : eps) {
-    {
-      const std::scoped_lock lock(ep->mutex);
-      ep->stopping = true;
-    }
-    ep->cv.notify_all();
+  for (auto& ep : eps) {
+    const std::scoped_lock lock(ep->mutex);
+    ep->stopping = true;
   }
-  for (Endpoint* ep : eps) {
+  for (auto& ep : eps) ep->cv.notify_all();
+  for (auto& ep : eps) {
     if (ep->consumer.joinable()) ep->consumer.join();
   }
 }
 
 void ThreadNetwork::drain() {
-  std::vector<Endpoint*> eps;
+  std::vector<std::shared_ptr<Endpoint>> eps;
   {
     const std::scoped_lock lock(registry_mutex_);
-    for (auto& [id, ep] : endpoints_) eps.push_back(ep.get());
+    for (auto& [id, ep] : endpoints_) eps.push_back(ep);
   }
-  for (Endpoint* ep : eps) {
+  for (auto& ep : eps) {
     std::unique_lock lock(ep->mutex);
-    ep->cv.wait(lock, [ep] {
+    ep->cv.wait(lock, [&ep] {
       return ep->stopping || (ep->queue.empty() && !ep->busy);
     });
   }

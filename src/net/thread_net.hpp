@@ -16,6 +16,7 @@
 #include <optional>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "net/auth.hpp"
 #include "net/transport.hpp"
@@ -37,7 +38,21 @@ class ThreadNetwork final : public Transport {
   ThreadNetwork& operator=(const ThreadNetwork&) = delete;
 
   void send(Envelope env) override;
+  /// Registers (or, for an id already registered, REPLACES) the endpoint.
+  /// Replacement stops and joins the previous consumer; envelopes still
+  /// queued on it are dropped (the network is allowed to be unreliable).
+  /// After shutdown() this is a no-op — no consumer may outlive the sweep.
   void register_endpoint(principal::Id id, DeliveryFn handler) override;
+
+  /// Registers ONE queue + consumer thread serving several principal ids
+  /// (delivery order is the arrival order across the whole group). This is
+  /// the scale path: a workload station multiplexing thousands of client
+  /// principals, or a SplitBFT replica's four principals whose underlying
+  /// broker is one serial object anyway — a thread per principal would
+  /// melt the host at those counts. Same replacement and post-shutdown
+  /// semantics as register_endpoint.
+  void register_endpoint_group(const std::vector<principal::Id>& ids,
+                               DeliveryFn handler);
 
   /// Enables batched ingress signature verification. Envelopes the policy
   /// maps to a signer are verified through `pool` (parallel across its
@@ -80,9 +95,17 @@ class ThreadNetwork final : public Transport {
   /// Takes the batch by rvalue reference: the consumer swaps the queue out
   /// and hands it straight down — envelopes are moved, never re-copied.
   static void deliver_batch(Endpoint& ep, std::deque<Envelope>&& batch);
+  /// Raises `stopping`, wakes the consumer and joins it. Idempotent.
+  static void stop_endpoint(Endpoint& ep);
+  /// Shared implementation of single and group registration.
+  void register_endpoints(const std::vector<principal::Id>& ids,
+                          DeliveryFn handler);
 
   std::mutex registry_mutex_;
-  std::unordered_map<principal::Id, std::unique_ptr<Endpoint>> endpoints_;
+  // shared_ptr: send() resolves an endpoint under the registry lock but
+  // enqueues outside it — the reference keeps the Endpoint alive across a
+  // concurrent replacement by register_endpoint().
+  std::unordered_map<principal::Id, std::shared_ptr<Endpoint>> endpoints_;
   std::shared_ptr<VerifierPool> auth_pool_;
   AuthPolicy auth_policy_;
   bool shut_down_{false};

@@ -5,9 +5,21 @@
 // deterministic derivation from a deployment master secret, so replicas,
 // enclaves and clients constructed with the same secret agree on per-client
 // keys without a key-exchange protocol.
+//
+// Derivation (two HMAC-SHA256 invocations) sits on the per-message hot
+// path — every request authentication and every reply MAC needs the
+// client's key — so the directory memoizes derived keys in a sharded
+// table: ClientId hashes to one of kShards independently-locked maps, so
+// concurrent completions for different clients (the ThreadNetwork runtime
+// delivers replica outputs from many consumer threads) never serialize on
+// a single lock. Copies of a directory share the cache.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 
 #include "common/types.hpp"
 #include "crypto/hmac.hpp"
@@ -16,24 +28,34 @@ namespace sbft::pbft {
 
 class ClientDirectory {
  public:
-  explicit ClientDirectory(std::uint64_t master_secret)
-      : master_secret_(master_secret) {}
+  explicit ClientDirectory(std::uint64_t master_secret);
 
-  [[nodiscard]] crypto::Key32 auth_key(ClientId client) const {
-    Bytes context;
-    for (int i = 0; i < 4; ++i) {
-      context.push_back(static_cast<std::uint8_t>(client >> (8 * i)));
-    }
-    Bytes master(8);
-    for (int i = 0; i < 8; ++i) {
-      master[static_cast<std::size_t>(i)] =
-          static_cast<std::uint8_t>(master_secret_ >> (8 * i));
-    }
-    return crypto::derive_key(master, "client-auth", context);
-  }
+  /// The client's HMAC key: derived on first use, cached thereafter.
+  [[nodiscard]] crypto::Key32 auth_key(ClientId client) const;
+
+  /// Cached-key count across all shards (tests / capacity planning).
+  [[nodiscard]] std::size_t cached_keys() const;
 
  private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<ClientId, crypto::Key32> keys;
+  };
+
+  [[nodiscard]] crypto::Key32 derive(ClientId client) const;
+  [[nodiscard]] Shard& shard_for(ClientId client) const noexcept {
+    // Multiplicative hash so consecutive client ids (the common workload
+    // allocation pattern) spread across shards instead of striding.
+    const std::uint64_t h = client * 0x9e3779b97f4a7c15ULL;
+    return (*shards_)[(h >> 32) % kShards];
+  }
+
   std::uint64_t master_secret_;
+  // shared_ptr: the directory is passed by value throughout (replicas,
+  // compartments, clients); all copies feed one cache.
+  std::shared_ptr<std::array<Shard, kShards>> shards_;
 };
 
 }  // namespace sbft::pbft

@@ -21,6 +21,18 @@ struct Config {
   std::size_t batch_max{200};
   /// Cut a partial batch after this long (paper: 10 ms).
   Micros batch_timeout_us{10'000};
+  /// Pipelined batching: maximum number of batches the primary keeps in
+  /// flight (assigned a sequence number but not yet executed locally).
+  /// 1 = stop-and-wait (cut the next batch only after the previous one
+  /// executed); D > 1 = up to D concurrent instances inside the watermark
+  /// window; 0 = unbounded (limited by the window alone).
+  ///
+  /// The SplitBFT Preparation compartment applies the same knob, but its
+  /// only execution-progress signal inside the enclave is the checkpoint
+  /// certificate, so its effective bound is checkpoint_interval +
+  /// pipeline_depth sequence numbers past the stable checkpoint (see
+  /// pipeline_window()).
+  std::size_t pipeline_depth{0};
 
   /// Client-request timeout before suspecting the primary.
   Micros request_timeout_us{400'000};
@@ -39,6 +51,21 @@ struct Config {
   }
   [[nodiscard]] constexpr bool valid() const noexcept {
     return n >= 3 * f + 1 && n > 0;
+  }
+  /// True when a primary with `in_flight` unexecuted batches may start
+  /// another protocol instance under this pipeline depth.
+  [[nodiscard]] constexpr bool pipeline_open(SeqNum in_flight) const noexcept {
+    return pipeline_depth == 0 || in_flight < pipeline_depth;
+  }
+  /// Checkpoint-granular pipeline bound for components whose only progress
+  /// signal is the stable checkpoint (SplitBFT Preparation): how far past
+  /// last_stable sequence assignment may run. Never below one checkpoint
+  /// interval + depth (or assignment would stall waiting for a checkpoint
+  /// that can no longer form), never above the watermark window.
+  [[nodiscard]] constexpr SeqNum pipeline_window() const noexcept {
+    if (pipeline_depth == 0) return watermark_window;
+    const SeqNum w = checkpoint_interval + pipeline_depth;
+    return w < watermark_window ? w : watermark_window;
   }
 };
 

@@ -27,6 +27,10 @@ void put_envelopes(Writer& w, const std::vector<net::Envelope>& envs) {
     Reader& r, std::size_t max = 1024) {
   const std::uint32_t n = r.u32();
   if (n > max) return std::nullopt;
+  // Plausibility bound before reserving: each entry costs at least its
+  // 4-byte length prefix plus a minimal envelope, so a tiny message cannot
+  // command a huge allocation just by writing a large count.
+  if (n > r.remaining() / 8) return std::nullopt;
   std::vector<net::Envelope> envs;
   envs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -87,6 +91,9 @@ std::optional<RequestBatch> RequestBatch::deserialize(ByteView data) {
   Reader r(data);
   const std::uint32_t n = r.u32();
   if (n > 100'000) return std::nullopt;
+  // A serialized request is at least 20 bytes (length prefix + fixed
+  // fields): bound the count by the remaining input before reserving.
+  if (n > r.remaining() / 20) return std::nullopt;
   RequestBatch batch;
   batch.requests.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -60,16 +60,42 @@ bool Replica::in_window(SeqNum seq) const noexcept {
 }
 
 void Replica::update_request_timer(Micros now) {
-  if (pending_requests_.empty()) {
-    request_timer_ = 0;
-  } else if (request_timer_ == 0) {
-    request_timer_ = now + config_.request_timeout_us;
+  (void)now;
+  // The suspicion deadline tracks the OLDEST still-pending request, not
+  // "time since last progress": a primary that keeps serving other clients
+  // must still be suspected when one client's request starves. Arrivals
+  // are recorded in order, so the front of the queue (skipping entries
+  // whose request has since executed or been superseded) is the oldest.
+  while (!pending_arrivals_.empty() &&
+         !pending_requests_.contains(pending_arrivals_.front().second)) {
+    pending_arrivals_.pop_front();
   }
+  request_timer_ = pending_arrivals_.empty()
+                       ? 0
+                       : pending_arrivals_.front().first +
+                             config_.request_timeout_us;
 }
 
 Digest Replica::executed_digest(SeqNum seq) const {
   const auto it = executed_digests_.find(seq);
   return it == executed_digests_.end() ? Digest{} : it->second;
+}
+
+Replica::GcFootprint Replica::gc_footprint() const {
+  GcFootprint fp;
+  fp.log_slots = log_.size();
+  if (!log_.empty()) fp.min_log_seq = log_.begin()->first;
+  fp.checkpoint_seqs = checkpoints_.size();
+  if (!checkpoints_.empty()) fp.min_checkpoint_seq = checkpoints_.begin()->first;
+  fp.snapshots = snapshots_.size();
+  if (!snapshots_.empty()) fp.min_snapshot_seq = snapshots_.begin()->first;
+  fp.view_change_views = view_changes_.size();
+  if (!view_changes_.empty()) {
+    fp.min_view_change_view = view_changes_.begin()->first;
+  }
+  fp.new_view_markers = new_view_sent_.size();
+  fp.pending_requests = pending_requests_.size();
+  return fp;
 }
 
 // ------------------------------------------------------------ entry points
@@ -175,7 +201,12 @@ void Replica::on_request(const net::Envelope& env, Micros now, Out& out) {
     return;
   }
 
-  pending_requests_[{req->client, req->timestamp}] = *req;
+  const auto pending_key = std::make_pair(req->client, req->timestamp);
+  const bool fresh = !pending_requests_.contains(pending_key);
+  pending_requests_[pending_key] = *req;
+  // Record the FIRST arrival only: a retransmit of a still-pending request
+  // must not refresh its suspicion deadline (nor grow the queue).
+  if (fresh) pending_arrivals_.emplace_back(now, pending_key);
   update_request_timer(now);
 
   if (is_primary() && !in_view_change_) {
@@ -189,7 +220,23 @@ void Replica::on_request(const net::Envelope& env, Micros now, Out& out) {
   }
 }
 
+SeqNum Replica::in_flight_batches() const noexcept {
+  // Sequence numbers assigned but not yet executed locally. Saturating:
+  // a state transfer can move last_executed_ past a backup's stale
+  // next_seq_ before it ever leads a view.
+  return next_seq_ > last_executed_ ? next_seq_ - last_executed_ : 0;
+}
+
 void Replica::cut_batch(Micros now, Out& out) {
+  if (!is_primary() || in_view_change_ || pending_requests_.empty()) return;
+  if (!in_window(next_seq_ + 1) ||
+      !config_.pipeline_open(in_flight_batches())) {
+    // Window full or pipeline at depth: requests stay buffered and the
+    // gate flag re-triggers cutting on execution/stability progress.
+    batch_gated_ = true;
+    return;
+  }
+  batch_gated_ = false;
   RequestBatch batch;
   auto it = pending_requests_.begin();
   while (it != pending_requests_.end() &&
@@ -203,13 +250,6 @@ void Replica::cut_batch(Micros now, Out& out) {
     it = pending_requests_.erase(it);
   }
   if (batch.empty()) return;
-  if (!in_window(next_seq_ + 1)) {
-    // Window full: wait for a checkpoint before assigning more.
-    for (auto& req : batch.requests) {
-      pending_requests_[{req.client, req.timestamp}] = req;
-    }
-    return;
-  }
 
   PrePrepare pp;
   pp.view = view_;
@@ -227,9 +267,10 @@ void Replica::cut_batch(Micros now, Out& out) {
   broadcast_env(ppe, out);
   s.pre_prepare_env = auth_->attest_own(std::move(ppe), *signer_);
 
-  // Keep batching if more requests are queued.
-  if (!pending_requests_.empty() && is_primary()) {
-    if (pending_requests_.size() >= config_.batch_max || config_.batch_max <= 1) {
+  // Keep batching if more requests are queued and the pipeline has room.
+  if (!pending_requests_.empty()) {
+    if (pending_requests_.size() >= config_.batch_max ||
+        config_.batch_max <= 1) {
       cut_batch(now, out);
     } else if (batch_deadline_ == 0) {
       batch_deadline_ = now + config_.batch_timeout_us;
@@ -372,6 +413,7 @@ void Replica::check_committed(SeqNum seq, Micros now, Out& out) {
 // --------------------------------------------------------------- execution
 
 void Replica::try_execute(Micros now, Out& out) {
+  const SeqNum executed_before = last_executed_;
   while (!awaiting_state_) {
     const SeqNum seq = last_executed_ + 1;
     const auto it = log_.find(seq);
@@ -385,8 +427,14 @@ void Replica::try_execute(Micros now, Out& out) {
     last_executed_ = seq;
     maybe_checkpoint(seq, now, out);
   }
-  // Progress (or full drain) resets the fault-suspicion timer.
-  request_timer_ = 0;
+  // An execution slot freed: cut the next pipelined batch immediately.
+  if (last_executed_ != executed_before && batch_gated_) {
+    cut_batch(now, out);
+  }
+  // Recompute the suspicion deadline from the oldest STILL-pending
+  // request: progress on other clients' batches must not shield a primary
+  // that censors one client (the deadline moves only when the starved
+  // request itself executes or is superseded).
   update_request_timer(now);
 }
 
@@ -554,7 +602,8 @@ void Replica::make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
     sr.sender = id_;
     broadcast(MsgType::StateRequest, SharedBytes(sr.serialize()), out);
   }
-  (void)now;
+  // The watermark window advanced: release a batch the window was gating.
+  if (batch_gated_) cut_batch(now, out);
 }
 
 // ------------------------------------------------------------ state trans.
@@ -890,11 +939,22 @@ void Replica::enter_view(
   in_view_change_ = false;
   pending_view_ = v;
   view_change_timer_ = 0;
-  request_timer_ = 0;
+  batch_gated_ = false;
+  // PBFT restarts request timers when a view installs: every pending
+  // request gets a fresh grant measured from the new view's start (or an
+  // installed view would instantly re-expire on old arrivals).
+  pending_arrivals_.clear();
+  for (const auto& [key, req] : pending_requests_) {
+    pending_arrivals_.emplace_back(now, key);
+  }
   update_request_timer(now);
   log_.clear();
+  // Drop view-change bookkeeping for views at or below the one installed —
+  // on_view_change ignores targets <= view_, so these entries (including
+  // the sent-NewView markers) can never be consulted again.
   view_changes_.erase(view_changes_.begin(),
                       view_changes_.upper_bound(v));
+  new_view_sent_.erase(new_view_sent_.begin(), new_view_sent_.upper_bound(v));
 
   SeqNum max_seq = std::max(min_s, last_stable_);
   for (const auto& ppe : new_pre_prepares) {

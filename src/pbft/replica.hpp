@@ -19,6 +19,7 @@
 // verification.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -80,6 +81,24 @@ class Replica {
   [[nodiscard]] const net::VerifyCache& auth() const noexcept {
     return *auth_;
   }
+
+  /// Bookkeeping footprint, for garbage-collection bounds tests: after a
+  /// checkpoint stabilizes, every seq-keyed structure must hold nothing at
+  /// or below last_stable(), and view-change bookkeeping nothing at or
+  /// below view().
+  struct GcFootprint {
+    std::size_t log_slots{0};
+    SeqNum min_log_seq{0};  // 0 when the log is empty
+    std::size_t checkpoint_seqs{0};
+    SeqNum min_checkpoint_seq{0};  // 0 when no pending certificates
+    std::size_t snapshots{0};
+    SeqNum min_snapshot_seq{0};  // 0 when none retained
+    std::size_t view_change_views{0};
+    View min_view_change_view{0};  // 0 when none retained
+    std::size_t new_view_markers{0};
+    std::size_t pending_requests{0};
+  };
+  [[nodiscard]] GcFootprint gc_footprint() const;
 
  private:
   struct Slot {
@@ -173,6 +192,9 @@ class Replica {
   /// duplication.
   void broadcast_env(const net::Envelope& env, Out& out) const;
   [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
+  /// Batches assigned a sequence number but not yet executed locally —
+  /// the quantity Config::pipeline_depth bounds on the primary.
+  [[nodiscard]] SeqNum in_flight_batches() const noexcept;
   [[nodiscard]] bool is_primary() const noexcept {
     return config_.primary(view_) == id_;
   }
@@ -202,9 +224,17 @@ class Replica {
 
   std::unordered_map<ClientId, ClientRecord> client_records_;
   std::map<std::pair<ClientId, Timestamp>, Request> pending_requests_;
+  // First-arrival times of pending requests, in arrival order, pruned
+  // lazily: the front entry still present in pending_requests_ is the
+  // oldest starving request and anchors the suspicion deadline.
+  std::deque<std::pair<Micros, std::pair<ClientId, Timestamp>>>
+      pending_arrivals_;
   Micros batch_deadline_{0};       // 0 = no batch pending
   Micros request_timer_{0};        // 0 = not armed
   Micros view_change_timer_{0};    // 0 = not armed
+  // True when cut_batch was held back by the watermark window or the
+  // pipeline depth; execution/stability progress retries the cut.
+  bool batch_gated_{false};
 
   bool in_view_change_{false};
   View pending_view_{0};

@@ -1,0 +1,264 @@
+#include "runtime/workload/sim_driver.hpp"
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/kv_store.hpp"
+#include "runtime/perf_model.hpp"
+
+namespace sbft::runtime::workload {
+namespace {
+
+/// Per-client load actor shared by both stacks: submission pacing (closed
+/// loop with think time, open loop with Poisson arrivals and an arrival
+/// queue), latency measurement from the correct origin (submission vs
+/// arrival), and the client's private operation stream.
+template <typename Engine>
+class LoadClient final : public Actor,
+                         public std::enable_shared_from_this<LoadClient<Engine>> {
+ public:
+  LoadClient(SimHarness& harness, Engine engine, const Options& options,
+             std::uint64_t client_seed, LatencyHistogram& hist)
+      : harness_(harness),
+        engine_(std::move(engine)),
+        gen_(options, client_seed),
+        rng_(client_seed ^ 0x10adc11e47ULL),
+        mode_(options.mode),
+        think_us_(options.think_time_us),
+        interarrival_us_(options.interarrival_us),
+        hist_(hist) {}
+
+  void start(Micros now) {
+    if (mode_ == LoadMode::Open) {
+      schedule_arrival();
+    } else {
+      submit(gen_.next(), now, now);
+    }
+  }
+
+  void set_measuring(bool on) noexcept { measuring_ = on; }
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override {
+    if (env.type == pbft::tag(pbft::MsgType::Reply)) {
+      if (engine_.on_reply(env)) completed(now);
+      return {};
+    }
+    if constexpr (requires(Engine& e, const net::Envelope& v, Micros t) {
+                    e.on_message(v, t);
+                  }) {
+      return engine_.on_message(env, now);
+    } else {
+      return {};
+    }
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
+    return engine_.tick(now);
+  }
+
+ private:
+  static constexpr std::size_t kMaxQueued = 256;
+
+  void submit(Bytes op, Micros measured_from, Micros now) {
+    inflight_measured_from_ = measured_from;
+    harness_.inject(engine_.submit(std::move(op), now));
+  }
+
+  void completed(Micros now) {
+    if (measuring_) hist_.record(now - inflight_measured_from_);
+    if (mode_ == LoadMode::Open) {
+      if (!queued_.empty()) {
+        auto [arrived, op] = std::move(queued_.front());
+        queued_.pop_front();
+        // Open loop measures from ARRIVAL: queueing delay stays visible.
+        submit(std::move(op), arrived, now);
+      }
+      return;
+    }
+    const Micros think = exponential_us(rng_, think_us_);
+    if (think == 0) {
+      submit(gen_.next(), now, now);
+      return;
+    }
+    auto self = this->shared_from_this();
+    harness_.scheduler().after(think, [self] {
+      const Micros t = self->harness_.scheduler().now();
+      self->submit(self->gen_.next(), t, t);
+    });
+  }
+
+  void schedule_arrival() {
+    const Micros gap =
+        std::max<Micros>(1, exponential_us(rng_, interarrival_us_));
+    auto self = this->shared_from_this();
+    harness_.scheduler().after(gap, [self] {
+      const Micros t = self->harness_.scheduler().now();
+      self->on_arrival(t);
+      self->schedule_arrival();
+    });
+  }
+
+  void on_arrival(Micros now) {
+    if (!engine_.in_flight()) {
+      submit(gen_.next(), now, now);
+    } else if (queued_.size() < kMaxQueued) {
+      queued_.emplace_back(now, gen_.next());
+    }
+    // else: shed load — a real open-loop generator applies back-pressure
+    // somewhere; an unbounded queue would only measure its own memory.
+  }
+
+  SimHarness& harness_;
+  Engine engine_;
+  OpGenerator gen_;
+  Rng rng_;
+  LoadMode mode_;
+  Micros think_us_;
+  Micros interarrival_us_;
+  LatencyHistogram& hist_;
+  bool measuring_{false};
+  Micros inflight_measured_from_{0};
+  std::deque<std::pair<Micros, Bytes>> queued_;
+};
+
+/// Runs warmup + a quartered measurement window; `sustained` requires
+/// completions in every quarter (a stalled pipeline or view-change livelock
+/// shows up as an empty quarter even when the totals look plausible).
+template <typename Client>
+Report measure(SimHarness& harness, const Options& options,
+               std::vector<std::shared_ptr<Client>>& clients,
+               LatencyHistogram& hist) {
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    auto client = clients[i];
+    harness.scheduler().at(harness.now() + static_cast<Micros>(i * 13 + 1),
+                           [client, &harness] { client->start(harness.now()); });
+  }
+  harness.run_for(options.warmup_us);
+  for (auto& client : clients) client->set_measuring(true);
+  bool sustained = true;
+  std::uint64_t prev = hist.count();
+  for (int quarter = 0; quarter < 4; ++quarter) {
+    harness.run_for(options.measure_us / 4);
+    const std::uint64_t now_count = hist.count();
+    if (now_count == prev) sustained = false;
+    prev = now_count;
+  }
+  for (auto& client : clients) client->set_measuring(false);
+
+  Report report;
+  summarize_into(hist, options.measure_us, report);
+  report.sustained = sustained && report.completed_ops > 0;
+  return report;
+}
+
+[[nodiscard]] Report run_pbft(const Options& options) {
+  PbftClusterOptions copts;
+  copts.config = options.protocol;
+  copts.seed = options.seed;
+  copts.scheme = crypto::Scheme::HmacShared;
+  copts.link_params.min_delay_us = 60;
+  copts.link_params.max_delay_us = 140;
+  PbftCluster cluster(copts,
+                      [] { return std::make_unique<apps::KvStore>(); });
+
+  const CostProfile profile{};
+  std::vector<std::shared_ptr<PbftPerfActor>> perf;
+  for (ReplicaId r = 0; r < copts.config.n; ++r) {
+    auto actor = std::make_shared<PbftPerfActor>(
+        cluster.harness(), cluster.replica_actor(r), profile);
+    pbft::Replica* replica = &cluster.replica(r);
+    actor->set_auth_stats([replica] { return replica->auth().stats(); });
+    cluster.harness().replace_actor(principal::pbft_replica(r), actor);
+    perf.push_back(std::move(actor));
+  }
+
+  LatencyHistogram hist;
+  using Client = LoadClient<pbft::Client>;
+  std::vector<std::shared_ptr<Client>> clients;
+  clients.reserve(options.clients);
+  for (std::uint32_t i = 0; i < options.clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    auto client = std::make_shared<Client>(
+        cluster.harness(),
+        pbft::Client(copts.config, id, cluster.directory(),
+                     /*retry=*/4'000'000),
+        options, options.seed * 1'000'003 + i, hist);
+    cluster.harness().add_actor(principal::client(id), client,
+                                /*tick_interval_us=*/500'000);
+    clients.push_back(std::move(client));
+  }
+  return measure(cluster.harness(), options, clients, hist);
+}
+
+[[nodiscard]] Report run_splitbft(const Options& options) {
+  SplitClusterOptions copts;
+  copts.config = options.protocol;
+  copts.seed = options.seed;
+  copts.scheme = crypto::Scheme::HmacShared;
+  copts.link_params.min_delay_us = 60;
+  copts.link_params.max_delay_us = 140;
+  SplitbftCluster cluster(
+      copts,
+      splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+
+  const CostProfile profile{};
+  std::vector<std::shared_ptr<SplitPerfActor>> perf;
+  for (ReplicaId r = 0; r < copts.config.n; ++r) {
+    auto actor = std::make_shared<SplitPerfActor>(
+        cluster.harness(), cluster.replica_actor(r), profile,
+        /*single_ecall_thread=*/false);
+    splitbft::SplitbftReplica* replica = &cluster.replica(r);
+    actor->set_auth_stats(Compartment::Preparation, [replica] {
+      return replica->prep().auth().stats();
+    });
+    actor->set_auth_stats(Compartment::Confirmation, [replica] {
+      return replica->conf().auth().stats();
+    });
+    actor->set_auth_stats(Compartment::Execution, [replica] {
+      return replica->exec().auth().stats();
+    });
+    for (const principal::Id id : cluster.replica_principals(r)) {
+      cluster.harness().replace_actor(id, actor);
+    }
+    perf.push_back(std::move(actor));
+  }
+
+  splitbft::SplitClient::TrustAnchors anchors;
+  anchors.attestation_root = cluster.attestation().root_public_key();
+
+  LatencyHistogram hist;
+  using Client = LoadClient<splitbft::SplitClient>;
+  std::vector<std::shared_ptr<Client>> clients;
+  clients.reserve(options.clients);
+  for (std::uint32_t i = 0; i < options.clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    splitbft::SplitClient engine(copts.config, id, cluster.directory(),
+                                 anchors, options.seed, /*retry=*/4'000'000);
+    // Sessions are provisioned out of band: the paper attests once before
+    // the measured run, and per-client attestation for thousands of
+    // clients would only measure the attestation service.
+    const crypto::Key32 session = session_key(options.seed, id);
+    engine.adopt_session(session);
+    for (ReplicaId r = 0; r < copts.config.n; ++r) {
+      cluster.replica(r).exec_mutable().install_session(id, session);
+    }
+    auto client = std::make_shared<Client>(cluster.harness(),
+                                           std::move(engine), options,
+                                           options.seed * 1'000'003 + i, hist);
+    cluster.harness().add_actor(principal::client(id), client,
+                                /*tick_interval_us=*/500'000);
+    clients.push_back(std::move(client));
+  }
+  return measure(cluster.harness(), options, clients, hist);
+}
+
+}  // namespace
+
+Report run_sim_workload(const Options& options) {
+  return options.stack == Stack::Pbft ? run_pbft(options)
+                                      : run_splitbft(options);
+}
+
+}  // namespace sbft::runtime::workload

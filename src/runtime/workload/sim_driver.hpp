@@ -1,0 +1,17 @@
+// Workload engine, simulator driver.
+//
+// Runs the configured load shape against a perf-modeled PBFT or SplitBFT
+// cluster in virtual time: thousands of closed- or open-loop clients on
+// the deterministic SimHarness, replicas wrapped in the PR 2 performance
+// model so queueing and pipeline effects emerge as on real hardware.
+// Deterministic from Options::seed.
+#pragma once
+
+#include "runtime/workload/workload.hpp"
+
+namespace sbft::runtime::workload {
+
+/// Runs one load point to completion in virtual time.
+[[nodiscard]] Report run_sim_workload(const Options& options);
+
+}  // namespace sbft::runtime::workload

@@ -1,0 +1,409 @@
+#include "runtime/workload/thread_driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "apps/kv_store.hpp"
+#include "common/rng.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/x25519.hpp"
+#include "net/thread_net.hpp"
+#include "pbft/client.hpp"
+#include "pbft/replica.hpp"
+#include "splitbft/client.hpp"
+#include "splitbft/replica.hpp"
+#include "tee/attestation.hpp"
+#include "tee/sealing.hpp"
+
+namespace sbft::runtime::workload {
+namespace {
+
+[[nodiscard]] Micros now_us() {
+  static const SteadyClock clock;
+  return clock.now();
+}
+
+/// One client's pacing state inside a station.
+template <typename Engine>
+struct StationClient {
+  StationClient(Engine e, const Options& options, std::uint64_t seed)
+      : engine(std::move(e)),
+        gen(options, seed),
+        rng(seed ^ 0x10adc11e47ULL) {}
+
+  Engine engine;
+  OpGenerator gen;
+  Rng rng;
+  Micros inflight_from{0};
+  /// Closed loop: pending think-time release (0 = none). Open loop: the
+  /// next Poisson arrival.
+  Micros due_at{0};
+  std::deque<std::pair<Micros, Bytes>> queued;  // open-loop waiting arrivals
+};
+
+/// A station multiplexes many clients onto ONE ThreadNetwork endpoint
+/// group: replies arrive on the station's consumer thread, timers fire
+/// from the ticker thread; the station mutex serializes both.
+template <typename Engine>
+class Station {
+ public:
+  Station(const Options& options, net::ThreadNetwork& net,
+          LatencyHistogram& hist, const std::atomic<bool>& measuring)
+      : options_(options), net_(net), hist_(hist), measuring_(measuring) {}
+
+  void add_client(ClientId id, Engine engine) {
+    clients_.emplace(id, StationClient<Engine>(std::move(engine), options_,
+                                               options_.seed * 1'000'003 + id));
+  }
+
+  [[nodiscard]] std::vector<principal::Id> principals() const {
+    std::vector<principal::Id> ids;
+    ids.reserve(clients_.size());
+    for (const auto& [id, client] : clients_) {
+      ids.push_back(principal::client(id));
+    }
+    return ids;
+  }
+
+  void start(Micros now) {
+    const std::scoped_lock lock(mutex_);
+    for (auto& [id, c] : clients_) {
+      if (options_.mode == LoadMode::Open) {
+        c.due_at = now + std::max<Micros>(
+                             1, exponential_us(c.rng, options_.interarrival_us));
+      } else {
+        submit(c, c.gen.next(), now, now);
+      }
+    }
+  }
+
+  void deliver(net::Envelope env) {
+    const Micros now = now_us();
+    // principal::client is the identity mapping: the dst IS the client id.
+    const auto target = static_cast<ClientId>(env.dst);
+    std::vector<net::Envelope> outs;
+    {
+      const std::scoped_lock lock(mutex_);
+      const auto it = clients_.find(target);
+      if (it == clients_.end()) return;
+      auto& c = it->second;
+      if (env.type == pbft::tag(pbft::MsgType::Reply)) {
+        if (c.engine.on_reply(env)) completed(c, now);
+      } else if constexpr (requires(Engine& e, const net::Envelope& v,
+                                    Micros t) { e.on_message(v, t); }) {
+        outs = c.engine.on_message(env, now);
+      }
+    }
+    for (auto& out : outs) net_.send(std::move(out));
+  }
+
+  /// Ticker entry: due submissions, open-loop arrivals, engine retries.
+  void tick(Micros now) {
+    std::vector<net::Envelope> outs;
+    {
+      const std::scoped_lock lock(mutex_);
+      for (auto& [id, c] : clients_) {
+        if (options_.mode == LoadMode::Open) {
+          while (c.due_at != 0 && now >= c.due_at) {
+            on_arrival(c, c.due_at);
+            c.due_at += std::max<Micros>(
+                1, exponential_us(c.rng, options_.interarrival_us));
+          }
+        } else if (c.due_at != 0 && now >= c.due_at) {
+          c.due_at = 0;
+          submit(c, c.gen.next(), now, now);
+        }
+        auto retries = c.engine.tick(now);
+        outs.insert(outs.end(), std::make_move_iterator(retries.begin()),
+                    std::make_move_iterator(retries.end()));
+      }
+    }
+    for (auto& out : outs) net_.send(std::move(out));
+  }
+
+ private:
+  static constexpr std::size_t kMaxQueued = 256;
+
+  void submit(StationClient<Engine>& c, Bytes op, Micros measured_from,
+              Micros now) {
+    c.inflight_from = measured_from;
+    // Sending under the station lock is deadlock-free: ThreadNetwork
+    // queue mutexes are leaves, and no endpoint handler takes another
+    // station's lock.
+    for (auto& env : c.engine.submit(std::move(op), now)) {
+      net_.send(std::move(env));
+    }
+  }
+
+  void completed(StationClient<Engine>& c, Micros now) {
+    if (measuring_.load(std::memory_order_relaxed)) {
+      hist_.record(now - c.inflight_from);
+    }
+    if (options_.mode == LoadMode::Open) {
+      if (!c.queued.empty()) {
+        auto [arrived, op] = std::move(c.queued.front());
+        c.queued.pop_front();
+        submit(c, std::move(op), arrived, now);
+      }
+      return;
+    }
+    const Micros think = exponential_us(c.rng, options_.think_time_us);
+    if (think == 0) {
+      submit(c, c.gen.next(), now, now);
+    } else {
+      c.due_at = now + think;
+    }
+  }
+
+  void on_arrival(StationClient<Engine>& c, Micros arrived) {
+    if (!c.engine.in_flight()) {
+      submit(c, c.gen.next(), arrived, now_us());
+    } else if (c.queued.size() < kMaxQueued) {
+      c.queued.emplace_back(arrived, c.gen.next());
+    }
+    // else: shed load (open-loop back-pressure)
+  }
+
+  const Options& options_;
+  net::ThreadNetwork& net_;
+  LatencyHistogram& hist_;
+  const std::atomic<bool>& measuring_;
+  std::mutex mutex_;
+  std::unordered_map<ClientId, StationClient<Engine>> clients_;
+};
+
+/// Shared run skeleton: `replica_tick(now)` drives protocol timers,
+/// stations drive client pacing; measurement is quartered for the
+/// sustained check, exactly as in the simulator driver.
+template <typename Engine, typename ReplicaTickFn>
+Report drive(const Options& options, net::ThreadNetwork& net,
+             std::vector<std::unique_ptr<Station<Engine>>>& stations,
+             LatencyHistogram& hist, std::atomic<bool>& measuring,
+             ReplicaTickFn&& replica_tick) {
+  for (auto& station : stations) {
+    Station<Engine>* s = station.get();
+    net.register_endpoint_group(
+        s->principals(), [s](net::Envelope env) { s->deliver(std::move(env)); });
+  }
+
+  std::atomic<bool> quit{false};
+  std::thread ticker([&] {
+    while (!quit.load(std::memory_order_relaxed)) {
+      const Micros now = now_us();
+      replica_tick(now);
+      for (auto& station : stations) station->tick(now);
+      std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+  });
+
+  const Micros start = now_us();
+  for (auto& station : stations) station->start(start);
+  std::this_thread::sleep_for(std::chrono::microseconds(options.warmup_us));
+
+  measuring.store(true);
+  bool sustained = true;
+  std::uint64_t prev = hist.count();
+  for (int quarter = 0; quarter < 4; ++quarter) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options.measure_us / 4));
+    const std::uint64_t count = hist.count();
+    if (count == prev) sustained = false;
+    prev = count;
+  }
+  measuring.store(false);
+
+  quit.store(true);
+  ticker.join();
+  net.shutdown();
+
+  Report report;
+  summarize_into(hist, options.measure_us, report);
+  report.sustained = sustained && report.completed_ops > 0;
+  return report;
+}
+
+[[nodiscard]] std::size_t station_count(const Options& options) {
+  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+  return std::max<std::size_t>(
+      1, std::min<std::size_t>({hw / 2, 8, options.clients}));
+}
+
+[[nodiscard]] Report run_pbft(const Options& options) {
+  const pbft::Config config = options.protocol;
+  crypto::KeyRing keyring(crypto::Scheme::HmacShared,
+                          options.seed ^ 0x6b657972696e67ULL);
+  pbft::ClientDirectory directory(0x5ec7e7);
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    keyring.add_principal(principal::pbft_replica(r));
+  }
+  const auto verifier = keyring.verifier();
+
+  struct LockedReplica {
+    std::mutex mutex;
+    std::unique_ptr<pbft::Replica> replica;
+  };
+  std::vector<std::unique_ptr<LockedReplica>> replicas;
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    auto locked = std::make_unique<LockedReplica>();
+    locked->replica = std::make_unique<pbft::Replica>(
+        config, r, keyring.signer(principal::pbft_replica(r)), verifier,
+        directory, [] { return std::make_unique<apps::KvStore>(); });
+    replicas.push_back(std::move(locked));
+  }
+
+  net::ThreadNetwork net;
+  LatencyHistogram hist;
+  std::atomic<bool> measuring{false};
+
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    LockedReplica* locked = replicas[r].get();
+    net.register_endpoint(
+        principal::pbft_replica(r), [locked, &net](net::Envelope env) {
+          std::vector<net::Envelope> outs;
+          {
+            const std::scoped_lock lock(locked->mutex);
+            outs = locked->replica->handle(env, now_us());
+          }
+          for (auto& out : outs) net.send(std::move(out));
+        });
+  }
+
+  using S = Station<pbft::Client>;
+  std::vector<std::unique_ptr<S>> stations;
+  const std::size_t n_stations = station_count(options);
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    stations.push_back(std::make_unique<S>(options, net, hist, measuring));
+  }
+  for (std::uint32_t i = 0; i < options.clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    stations[i % n_stations]->add_client(
+        id, pbft::Client(config, id, directory, /*retry=*/2'000'000));
+  }
+
+  return drive<pbft::Client>(
+      options, net, stations, hist, measuring, [&](Micros now) {
+        for (auto& locked : replicas) {
+          std::vector<net::Envelope> outs;
+          {
+            const std::scoped_lock lock(locked->mutex);
+            outs = locked->replica->tick(now);
+          }
+          for (auto& out : outs) net.send(std::move(out));
+        }
+      });
+}
+
+[[nodiscard]] Report run_splitbft(const Options& options) {
+  const pbft::Config config = options.protocol;
+  crypto::KeyRing keyring(crypto::Scheme::HmacShared,
+                          options.seed ^ 0x5b5f7b657972ULL);
+  pbft::ClientDirectory directory(0x5ec7e7);
+  tee::AttestationService attestation(options.seed ^ 0xa77e57ULL);
+  tee::SealingService sealing(options.seed ^ 0x5ea1ULL);
+  Rng rng(options.seed ^ 0x5b5f636c7573ULL);
+  crypto::Key32 exec_group_key;
+  for (auto& b : exec_group_key) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    for (const Compartment c :
+         {Compartment::Preparation, Compartment::Confirmation,
+          Compartment::Execution}) {
+      keyring.add_principal(principal::enclave({r, c}));
+    }
+  }
+
+  splitbft::ReplicaOptions replica_options;
+  replica_options.config = config;
+  // Simulation-mode cost model: the threaded driver measures the software
+  // stack itself; burning synthetic SGX crossing delays as real CPU time
+  // would only measure the cost model.
+  replica_options.cost_model = tee::CostModel::simulation();
+  replica_options.charge_real_time = false;
+
+  struct LockedReplica {
+    std::mutex mutex;
+    std::shared_ptr<splitbft::SplitbftReplica> replica;
+  };
+  std::vector<std::unique_ptr<LockedReplica>> replicas;
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    auto locked = std::make_unique<LockedReplica>();
+    locked->replica = std::make_shared<splitbft::SplitbftReplica>(
+        replica_options, r, keyring, attestation, sealing, exec_group_key,
+        crypto::x25519_keygen(rng),
+        splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+    replicas.push_back(std::move(locked));
+  }
+
+  net::ThreadNetwork net;
+  LatencyHistogram hist;
+  std::atomic<bool> measuring{false};
+
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    LockedReplica* locked = replicas[r].get();
+    // One consumer for all four principals: the broker behind them is one
+    // serial event loop anyway.
+    net.register_endpoint_group(
+        {principal::splitbft_env(r),
+         principal::enclave({r, Compartment::Preparation}),
+         principal::enclave({r, Compartment::Confirmation}),
+         principal::enclave({r, Compartment::Execution})},
+        [locked, &net](net::Envelope env) {
+          std::vector<net::Envelope> outs;
+          {
+            const std::scoped_lock lock(locked->mutex);
+            outs = locked->replica->handle(env, now_us());
+          }
+          for (auto& out : outs) net.send(std::move(out));
+        });
+  }
+
+  splitbft::SplitClient::TrustAnchors anchors;
+  anchors.attestation_root = attestation.root_public_key();
+
+  using S = Station<splitbft::SplitClient>;
+  std::vector<std::unique_ptr<S>> stations;
+  const std::size_t n_stations = station_count(options);
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    stations.push_back(std::make_unique<S>(options, net, hist, measuring));
+  }
+  for (std::uint32_t i = 0; i < options.clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    splitbft::SplitClient engine(config, id, directory, anchors, options.seed,
+                                 /*retry=*/2'000'000);
+    // Out-of-band session provisioning, as in the virtual-time benchmarks.
+    const crypto::Key32 session = session_key(options.seed, id);
+    engine.adopt_session(session);
+    for (ReplicaId r = 0; r < config.n; ++r) {
+      replicas[r]->replica->exec_mutable().install_session(id, session);
+    }
+    stations[i % n_stations]->add_client(id, std::move(engine));
+  }
+
+  return drive<splitbft::SplitClient>(
+      options, net, stations, hist, measuring, [&](Micros now) {
+        for (auto& locked : replicas) {
+          std::vector<net::Envelope> outs;
+          {
+            const std::scoped_lock lock(locked->mutex);
+            outs = locked->replica->tick(now);
+          }
+          for (auto& out : outs) net.send(std::move(out));
+        }
+      });
+}
+
+}  // namespace
+
+Report run_thread_workload(const Options& options) {
+  return options.stack == Stack::Pbft ? run_pbft(options)
+                                      : run_splitbft(options);
+}
+
+}  // namespace sbft::runtime::workload

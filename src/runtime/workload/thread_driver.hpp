@@ -1,0 +1,22 @@
+// Workload engine, threaded-runtime driver.
+//
+// The same load shapes as the simulator driver, but over the REAL
+// ThreadNetwork in wall-clock time: every replica runs behind its own
+// consumer thread, clients are multiplexed onto a small set of station
+// endpoints (register_endpoint_group — one queue + consumer per station,
+// not one thread per client), and a ticker thread drives protocol and
+// client timers. This is the configuration that actually contends on the
+// pipelined-batching paths, the sharded client directory and the
+// ThreadNetwork drain/shutdown handshake.
+#pragma once
+
+#include "runtime/workload/workload.hpp"
+
+namespace sbft::runtime::workload {
+
+/// Runs one load point in wall-clock time. `Options::warmup_us` and
+/// `measure_us` are real durations — keep them short (hundreds of ms);
+/// wall-clock numbers are trajectory-only, never hard-asserted.
+[[nodiscard]] Report run_thread_workload(const Options& options);
+
+}  // namespace sbft::runtime::workload

@@ -1,0 +1,165 @@
+#include "runtime/workload/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "apps/kv_store.hpp"
+
+namespace sbft::runtime::workload {
+
+const char* to_string(Stack s) noexcept {
+  switch (s) {
+    case Stack::Pbft:
+      return "pbft";
+    case Stack::Splitbft:
+      return "splitbft";
+  }
+  return "?";
+}
+
+const char* to_string(LoadMode m) noexcept {
+  switch (m) {
+    case LoadMode::Closed:
+      return "closed";
+    case LoadMode::Open:
+      return "open";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------------- zipf
+
+namespace {
+
+[[nodiscard]] double zeta(std::uint64_t n, double theta) {
+  // Exact up to a cap, then the Euler-Maclaurin tail approximation — the
+  // constant matters much less than the shape, and key spaces can be huge.
+  constexpr std::uint64_t kExact = 100'000;
+  double sum = 0;
+  const std::uint64_t exact = std::min(n, kExact);
+  for (std::uint64_t i = 1; i <= exact; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > exact) {
+    const double a = static_cast<double>(exact);
+    const double b = static_cast<double>(n);
+    sum += (std::pow(b, 1 - theta) - std::pow(a, 1 - theta)) / (1 - theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta)
+    : n_(std::max<std::uint64_t>(n, 1)), theta_(theta) {
+  if (theta_ <= 0) return;  // uniform
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfGenerator::next(Rng& rng) {
+  if (theta_ <= 0) return rng.below(n_);
+  const double u = rng.unit();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, n_ - 1);
+}
+
+// ------------------------------------------------------------ op stream
+
+OpGenerator::OpGenerator(const Options& options, std::uint64_t client_seed)
+    : zipf_(options.key_space, options.key_skew),
+      get_fraction_(options.get_fraction),
+      value_min_(options.value_min_bytes),
+      value_max_(std::max(options.value_max_bytes, options.value_min_bytes)),
+      rng_(client_seed) {}
+
+Bytes OpGenerator::next() {
+  const Bytes key = apps::kv::encode_key(zipf_.next(rng_));
+  if (rng_.chance(get_fraction_)) return apps::kv::encode_get(key);
+  const std::size_t len =
+      value_min_ +
+      (value_max_ > value_min_
+           ? rng_.below(value_max_ - value_min_ + 1)
+           : 0);
+  return apps::kv::encode_put(key, rng_.bytes(len));
+}
+
+crypto::Key32 session_key(std::uint64_t seed, ClientId client) {
+  Bytes context(4);
+  for (int i = 0; i < 4; ++i) {
+    context[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(client >> (8 * i));
+  }
+  Bytes master(8);
+  for (int i = 0; i < 8; ++i) {
+    master[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  return crypto::derive_key(master, "workload-session", context);
+}
+
+Micros exponential_us(Rng& rng, Micros mean_us) {
+  if (mean_us == 0) return 0;
+  // Inverse CDF; clamp the argument away from 0 so log() stays finite.
+  const double u = std::max(rng.unit(), 1e-12);
+  const double d = -std::log(u) * static_cast<double>(mean_us);
+  return static_cast<Micros>(d);
+}
+
+// ---------------------------------------------------------------- report
+
+void summarize_into(const LatencyHistogram& hist, Micros measure_us,
+                    Report& report) {
+  report.completed_ops = hist.count();
+  report.ops_per_sec =
+      measure_us ? static_cast<double>(report.completed_ops) /
+                       (static_cast<double>(measure_us) / 1e6)
+                 : 0;
+  report.mean_latency_ms = hist.mean_us() / 1000.0;
+  report.p50_us = hist.quantile(0.50);
+  report.p95_us = hist.quantile(0.95);
+  report.p99_us = hist.quantile(0.99);
+  report.max_us = hist.max_us();
+  report.histogram = hist.buckets();
+}
+
+std::string report_json(const Options& options, const Report& report) {
+  std::ostringstream os;
+  os << "{"
+     << "\"stack\": \"" << to_string(options.stack) << "\", "
+     << "\"mode\": \"" << to_string(options.mode) << "\", "
+     << "\"clients\": " << options.clients << ", "
+     << "\"pipeline_depth\": " << options.protocol.pipeline_depth << ", "
+     << "\"batch_max\": " << options.protocol.batch_max << ", "
+     << "\"key_space\": " << options.key_space << ", "
+     << "\"key_skew\": " << options.key_skew << ", "
+     << "\"get_fraction\": " << options.get_fraction << ", "
+     << "\"measure_us\": " << options.measure_us << ", "
+     << "\"completed_ops\": " << report.completed_ops << ", "
+     << "\"ops_per_sec\": " << report.ops_per_sec << ", "
+     << "\"mean_latency_ms\": " << report.mean_latency_ms << ", "
+     << "\"p50_us\": " << report.p50_us << ", "
+     << "\"p95_us\": " << report.p95_us << ", "
+     << "\"p99_us\": " << report.p99_us << ", "
+     << "\"max_us\": " << report.max_us << ", "
+     << "\"sustained\": " << (report.sustained ? "true" : "false") << ", "
+     << "\"histogram\": [";
+  for (std::size_t i = 0; i < report.histogram.size(); ++i) {
+    const auto& b = report.histogram[i];
+    if (i) os << ", ";
+    os << "[" << b.lower_us << ", " << b.upper_us << ", " << b.count << "]";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace sbft::runtime::workload

@@ -1,0 +1,136 @@
+// Scale-out workload engine — configuration, generators and reports.
+//
+// Turns the protocol reproduction into a system that can be saturated: an
+// open/closed-loop load generator driving thousands of concurrent clients
+// (per-client session state, think times, request-size distribution and
+// Zipf key skew for the KV application) over either the deterministic
+// simulator (runtime/workload/sim_driver.hpp — virtual time, perf-modeled
+// replicas, reproducible from the seed) or the real threaded runtime
+// (runtime/workload/thread_driver.hpp — ThreadNetwork endpoints, wall
+// clock, real contention on the pipelined-batching paths).
+//
+//  * Closed loop: each client keeps exactly one request in flight and
+//    thinks for an exponentially distributed pause after each completion —
+//    throughput is offered by the system's own speed (classic closed
+//    queueing network; what the paper's figures measure).
+//  * Open loop: requests arrive per client as a Poisson process regardless
+//    of completions; a client whose previous request is still in flight
+//    queues the arrival and submits it on completion. Latency is measured
+//    from ARRIVAL, so queueing delay under overload is visible (the
+//    coordinated-omission-free measurement closed loops cannot give).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "crypto/hmac.hpp"
+#include "pbft/config.hpp"
+
+namespace sbft::runtime::workload {
+
+enum class Stack { Pbft, Splitbft };
+enum class LoadMode { Closed, Open };
+
+[[nodiscard]] const char* to_string(Stack s) noexcept;
+[[nodiscard]] const char* to_string(LoadMode m) noexcept;
+
+struct Options {
+  Stack stack{Stack::Pbft};
+  LoadMode mode{LoadMode::Closed};
+  std::uint32_t clients{1000};
+
+  /// Closed loop: mean think time between a completion and the next
+  /// submission (exponential; 0 = immediate re-submission).
+  Micros think_time_us{0};
+  /// Open loop: mean inter-arrival time per client (Poisson arrivals).
+  Micros interarrival_us{20'000};
+
+  // --- KV workload shape ---
+  /// Number of distinct keys (per deployment, shared across clients).
+  std::uint64_t key_space{16'384};
+  /// Zipf skew theta in [0, 1): 0 = uniform, 0.99 = YCSB-style hot keys.
+  double key_skew{0.99};
+  /// Fraction of GETs (remainder are PUTs with a fresh value).
+  double get_fraction{0.5};
+  /// Value size: uniform in [value_min_bytes, value_max_bytes].
+  std::size_t value_min_bytes{10};
+  std::size_t value_max_bytes{10};
+
+  /// Protocol configuration (n, f, batch_max, pipeline_depth, ...).
+  pbft::Config protocol{};
+  Micros warmup_us{200'000};
+  Micros measure_us{1'000'000};
+  std::uint64_t seed{42};
+};
+
+struct Report {
+  std::uint64_t completed_ops{0};
+  double ops_per_sec{0};
+  double mean_latency_ms{0};
+  Micros p50_us{0};
+  Micros p95_us{0};
+  Micros p99_us{0};
+  Micros max_us{0};
+  /// Non-empty latency-histogram buckets (JSON export).
+  std::vector<LatencyHistogram::Bucket> histogram;
+  /// True when the run sustained traffic: every measured window completed
+  /// operations and no client starved (its in-flight request survived the
+  /// whole measurement).
+  bool sustained{false};
+};
+
+/// Fills the percentile/histogram fields of `report` from `hist`.
+void summarize_into(const LatencyHistogram& hist, Micros measure_us,
+                    Report& report);
+
+/// Bounded Zipf(θ) sampler over [0, n) — Gray et al.'s incremental zeta
+/// method, O(1) per sample after O(n_distinct_ranks) setup approximation.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  [[nodiscard]] std::uint64_t next(Rng& rng);
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+
+ private:
+  std::uint64_t n_{1};
+  double theta_{0};
+  double zetan_{1};
+  double alpha_{0};
+  double eta_{0};
+};
+
+/// Per-client operation stream: KV GET/PUT ops with skewed keys and sized
+/// values, or opaque payloads for non-KV stacks. Deterministic from the
+/// seed; each client forks its own stream.
+class OpGenerator {
+ public:
+  OpGenerator(const Options& options, std::uint64_t client_seed);
+
+  /// Next serialized application operation.
+  [[nodiscard]] Bytes next();
+
+ private:
+  ZipfGenerator zipf_;
+  double get_fraction_;
+  std::size_t value_min_;
+  std::size_t value_max_;
+  Rng rng_;
+};
+
+/// Exponentially distributed duration with the given mean (0 -> 0).
+[[nodiscard]] Micros exponential_us(Rng& rng, Micros mean_us);
+
+/// Deterministic out-of-band SplitBFT session key for a workload client.
+/// Both drivers derive from here — the client adopts this key and every
+/// Execution enclave has it pre-installed, so the two sides MUST agree.
+[[nodiscard]] crypto::Key32 session_key(std::uint64_t seed, ClientId client);
+
+/// One JSON object describing a run (no trailing newline).
+[[nodiscard]] std::string report_json(const Options& options,
+                                      const Report& report);
+
+}  // namespace sbft::runtime::workload

@@ -31,6 +31,11 @@ bool PrepCompartment::in_window(SeqNum seq) const noexcept {
          seq <= checkpoints_.last_stable() + config_.watermark_window;
 }
 
+bool PrepCompartment::pipeline_open() const noexcept {
+  return next_seq_ + 1 <=
+         checkpoints_.last_stable() + config_.pipeline_window();
+}
+
 std::vector<net::Envelope> PrepCompartment::deliver(const net::Envelope& env) {
   Out out;
   if (env.type == tag(LocalMsg::Batch)) {
@@ -74,12 +79,24 @@ void PrepCompartment::on_local_batch(const net::Envelope& env, Out& out) {
       return;  // reject the whole (untrusted broker-built) batch
     }
   }
-  if (!in_window(next_seq_ + 1)) return;  // wait for a checkpoint
+  if (!pipeline_open()) {
+    // Pipeline at depth (or watermark window full): hold the authenticated
+    // batch until a checkpoint certificate frees a slot, instead of
+    // dropping it and waiting for the broker's suspicion timer to fire.
+    constexpr std::size_t kMaxDeferred = 128;
+    if (deferred_.size() < kMaxDeferred) {
+      deferred_.push_back(batch->serialize());
+    }
+    return;
+  }
+  propose_batch(batch->serialize(), out);
+}
 
+void PrepCompartment::propose_batch(Bytes batch_bytes, Out& out) {
   SplitPrePrepare pp;
   pp.view = view_;
   pp.seq = ++next_seq_;
-  pp.batch = batch->serialize();
+  pp.batch = std::move(batch_bytes);
   pp.batch_digest = crypto::sha256(pp.batch);
   pp.sender = self_;
   pp.has_batch = true;
@@ -160,15 +177,27 @@ void PrepCompartment::emit_prepare(const SplitPrePrepare& pp, Out& out) {
 // -------------------------------------------------------------- handler (9)
 
 void PrepCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
-  (void)out;
   if (auto stable = checkpoints_.add(env, auth_)) {
     garbage_collect(stable->seq);
+    release_deferred(out);
   }
 }
 
 void PrepCompartment::garbage_collect(SeqNum stable) {
   log_.erase(log_.begin(), log_.upper_bound(stable));
   if (next_seq_ < stable) next_seq_ = stable;
+}
+
+void PrepCompartment::release_deferred(Out& out) {
+  // A checkpoint certificate advanced the stable point: propose deferred
+  // batches into the freed pipeline slots (primary only; backups never
+  // defer). Never called mid-view-transition — a deferred batch must not
+  // be proposed under a view the enclave is about to leave.
+  while (is_primary() && !deferred_.empty() && pipeline_open()) {
+    Bytes batch_bytes = std::move(deferred_.front());
+    deferred_.pop_front();
+    propose_batch(std::move(batch_bytes), out);
+  }
 }
 
 // ---------------------------------------------------------- view change (6)
@@ -390,7 +419,12 @@ void PrepCompartment::enter_view(
     View v, const std::vector<net::Envelope>& o_pre_prepares, Out& out) {
   view_ = v;
   log_.clear();
+  // Deferred batches die with the old view: the broker re-proposes every
+  // still-outstanding request to the new primary right after the NewView,
+  // so releasing them here would only double-propose.
+  deferred_.clear();
   view_changes_.erase(view_changes_.begin(), view_changes_.upper_bound(v));
+  new_view_sent_.erase(new_view_sent_.begin(), new_view_sent_.upper_bound(v));
 
   SeqNum max_seq = checkpoints_.last_stable();
   for (const auto& ppe : o_pre_prepares) {

@@ -9,6 +9,7 @@
 // handler 9).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <set>
 
@@ -37,6 +38,13 @@ class PrepCompartment final : public CompartmentLogic {
     return checkpoints_.last_stable();
   }
   [[nodiscard]] const net::VerifyCache& auth() const noexcept { return auth_; }
+  /// Batches authenticated but held back by the pipeline window (released
+  /// when a checkpoint certificate advances the stable sequence number).
+  [[nodiscard]] std::size_t deferred_batches() const noexcept {
+    return deferred_.size();
+  }
+  /// Input-log size (garbage-collection bounds tests).
+  [[nodiscard]] std::size_t log_slots() const noexcept { return log_.size(); }
 
   /// Callback used by the replica assembly to answer attestation requests;
   /// set once at construction time by the trusted platform glue.
@@ -54,10 +62,20 @@ class PrepCompartment final : public CompartmentLogic {
   void on_attest_request(const net::Envelope& env, Out& out);
 
   [[nodiscard]] bool in_window(SeqNum seq) const noexcept;
+  /// Pipeline gate: may the primary assign next_seq_ + 1? The enclave's
+  /// only execution-progress signal is the checkpoint certificate, so the
+  /// bound is Config::pipeline_window() sequence numbers past the stable
+  /// checkpoint (== the watermark window when pipeline_depth is 0).
+  [[nodiscard]] bool pipeline_open() const noexcept;
   [[nodiscard]] bool is_primary() const noexcept {
     return config_.primary(view_) == self_;
   }
   void emit_prepare(const SplitPrePrepare& pp, Out& out);
+  /// Assigns the next sequence number to an authenticated serialized batch
+  /// and emits the PrePrepare fan-out.
+  void propose_batch(Bytes batch_bytes, Out& out);
+  /// Proposes deferred batches into freed pipeline slots.
+  void release_deferred(Out& out);
   void garbage_collect(SeqNum stable);
 
   // View-change machinery.
@@ -92,6 +110,9 @@ class PrepCompartment final : public CompartmentLogic {
   /// Input log in_prep: accepted PrePrepares by sequence number.
   std::map<SeqNum, SplitPrePrepare> log_;
   CheckpointCollector checkpoints_;
+  /// Authenticated batches awaiting a pipeline slot (bounded; overflow is
+  /// dropped and re-proposed by the broker's liveness timers).
+  std::deque<Bytes> deferred_;
 
   /// Collected ViewChange envelopes by target view (new-primary duty).
   std::map<View, std::map<ReplicaId, net::Envelope>> view_changes_;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "crypto/keyring.hpp"
 #include "net/message.hpp"
@@ -163,6 +166,118 @@ TEST(ThreadNetwork, DrainWithConcurrentSendsAndShutdown) {
   });
   net.shutdown();
   late_drainer.join();
+}
+
+// Regression: registering an endpoint after shutdown() must not spawn a
+// consumer thread — before the fix the thread was never joined and the
+// Endpoint destructor called std::terminate.
+TEST(ThreadNetwork, RegisterAfterShutdownIsInert) {
+  ThreadNetwork net;
+  std::atomic<int> received{0};
+  net.register_endpoint(1, [&](Envelope) { received.fetch_add(1); });
+  net.shutdown();
+  net.register_endpoint(2, [&](Envelope) { received.fetch_add(1); });
+  Envelope env;
+  env.dst = 2;
+  net.send(env);  // dropped: the network is stopped
+  EXPECT_EQ(received.load(), 0);
+}  // ~ThreadNetwork must not terminate
+
+// Regression: re-registering an id replaces the endpoint. Before the fix
+// the new Endpoint (with its running consumer thread) was destroyed on the
+// failed map emplace — joinable-thread destruction terminates the process.
+TEST(ThreadNetwork, ReRegisterReplacesEndpoint) {
+  ThreadNetwork net;
+  std::atomic<int> first{0}, second{0};
+  net.register_endpoint(1, [&](Envelope) { first.fetch_add(1); });
+  Envelope env;
+  env.dst = 1;
+  net.send(env);
+  net.drain();
+  EXPECT_EQ(first.load(), 1);
+
+  net.register_endpoint(1, [&](Envelope) { second.fetch_add(1); });
+  net.send(env);
+  net.drain();
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 1);
+  net.shutdown();
+}
+
+// Soak of the shutdown/drain/send race surface, repeated so schedule
+// interleavings vary: concurrent send() during shutdown() and drain()
+// racing a consumer mid-batch must neither deadlock (ctest timeout is the
+// assertion) nor deliver after shutdown() returned. Run under TSan locally
+// and ASan in CI.
+TEST(ThreadNetwork, ShutdownDrainSendStress) {
+  constexpr int kIterations = 25;
+  constexpr int kSenders = 4;
+  constexpr int kEndpoints = 3;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    ThreadNetwork net;
+    std::atomic<std::uint64_t> delivered{0};
+    std::atomic<bool> stopped{false};
+    std::atomic<bool> delivered_after_stop{false};
+    for (principal::Id id = 1; id <= kEndpoints; ++id) {
+      net.register_endpoint(id, [&](Envelope) {
+        if (stopped.load()) delivered_after_stop.store(true);
+        delivered.fetch_add(1);
+      });
+    }
+
+    std::atomic<bool> quit{false};
+    std::vector<std::thread> senders;
+    for (int t = 0; t < kSenders; ++t) {
+      senders.emplace_back([&net, &quit, t] {
+        Envelope env;
+        for (int i = 0; !quit.load(); ++i) {
+          env.dst = 1 + static_cast<principal::Id>((i + t) % kEndpoints);
+          net.send(env);
+          if (i % 64 == 0) std::this_thread::yield();
+        }
+      });
+    }
+    std::thread drainer([&net, &quit] {
+      while (!quit.load()) net.drain();
+    });
+
+    // Let traffic build, then shut down while senders/drainer still run.
+    std::this_thread::sleep_for(std::chrono::milliseconds(iter % 3));
+    net.shutdown();
+    stopped.store(true);
+    const std::uint64_t at_stop = delivered.load();
+    quit.store(true);
+    for (auto& t : senders) t.join();
+    drainer.join();
+
+    // shutdown() joins every consumer: nothing may arrive afterwards.
+    EXPECT_FALSE(delivered_after_stop.load());
+    EXPECT_EQ(delivered.load(), at_stop);
+  }
+}
+
+// Drain must observe batches a consumer holds mid-delivery: a slow handler
+// keeps `busy` raised, and drain() returning implies the whole drained
+// batch reached the handler.
+TEST(ThreadNetwork, DrainWaitsForConsumerMidBatch) {
+  for (int iter = 0; iter < 20; ++iter) {
+    ThreadNetwork net;
+    std::atomic<int> received{0};
+    net.register_endpoint(1, [&](Envelope) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      received.fetch_add(1);
+    });
+    constexpr int kMessages = 40;
+    std::thread sender([&net] {
+      Envelope env;
+      env.dst = 1;
+      for (int i = 0; i < kMessages; ++i) net.send(env);
+    });
+    sender.join();
+    net.drain();
+    EXPECT_EQ(received.load(), kMessages);
+    net.shutdown();
+  }
 }
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/serde.hpp"
 #include "pbft/messages.hpp"
 
 namespace sbft::pbft {
@@ -201,6 +202,113 @@ TEST(PbftMessages, MalformedInputsRejected) {
   EXPECT_FALSE(PrePrepare::deserialize({}).has_value());
   EXPECT_FALSE(ViewChange::deserialize(to_bytes("junk")).has_value());
   EXPECT_FALSE(NewView::deserialize(to_bytes("{}")).has_value());
+}
+
+namespace {
+
+/// A deep certificate-carrying structure exercising every nested parse
+/// layer: an Envelope wrapping a ViewChange, whose checkpoint proof and
+/// PreparedProofs embed further complete envelopes (the PR 3
+/// Reader::view/skip/position zero-copy paths).
+[[nodiscard]] net::Envelope nested_proof_envelope() {
+  const auto make_env = [](MsgType type, Bytes payload) {
+    net::Envelope env;
+    env.src = principal::pbft_replica(2);
+    env.dst = principal::pbft_replica(1);
+    env.type = tag(type);
+    env.payload = std::move(payload);
+    env.signature = SharedBytes(Bytes(32, 0x5c));
+    return env;
+  };
+
+  ViewChange vc;
+  vc.new_view = 3;
+  vc.last_stable = 10;
+  Checkpoint cp;
+  cp.seq = 10;
+  cp.state_digest.bytes.fill(0xcd);
+  for (ReplicaId r = 0; r < 3; ++r) {
+    cp.sender = r;
+    vc.checkpoint_proof.push_back(
+        make_env(MsgType::Checkpoint, cp.serialize()));
+  }
+  PrePrepare pp;
+  pp.view = 2;
+  pp.seq = 11;
+  pp.batch = RequestBatch{{sample_request()}}.serialize();
+  pp.batch_digest.bytes.fill(0xab);
+  pp.sender = 2;
+  PreparedProof proof;
+  proof.pre_prepare = make_env(MsgType::PrePrepare, pp.serialize());
+  Prepare prep;
+  prep.view = 2;
+  prep.seq = 11;
+  prep.batch_digest = pp.batch_digest;
+  for (ReplicaId r = 0; r < 2; ++r) {
+    prep.sender = r;
+    proof.prepares.push_back(make_env(MsgType::Prepare, prep.serialize()));
+  }
+  vc.prepared.push_back(std::move(proof));
+  vc.sender = 1;
+  return make_env(MsgType::ViewChange, vc.serialize());
+}
+
+}  // namespace
+
+// Exhaustive truncation hardening: for EVERY strict prefix of the wire
+// image of an envelope embedding a proof embedding envelopes, parsing must
+// fail cleanly — no out-of-bounds read (the ASan job enforces that), no
+// silent success on a shorter input. Only the full image parses.
+TEST(PbftMessages, NestedProofTruncatedAtEveryByteIsRejected) {
+  const net::Envelope env = nested_proof_envelope();
+  const Bytes wire = env.serialize();
+  ASSERT_GT(wire.size(), 100u);
+
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const ByteView prefix{wire.data(), len};
+    EXPECT_FALSE(net::Envelope::deserialize(prefix).has_value())
+        << "prefix of " << len << " bytes parsed as a complete envelope";
+  }
+  const auto full = net::Envelope::deserialize(wire);
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(ViewChange::deserialize(full->payload).has_value());
+
+  // Same property one layer down: every strict prefix of the ViewChange
+  // payload (the layer whose parse walks nested envelope views) fails.
+  const Bytes payload = full->payload.to_bytes();
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const ByteView prefix{payload.data(), len};
+    EXPECT_FALSE(ViewChange::deserialize(prefix).has_value())
+        << "ViewChange prefix of " << len << " bytes parsed";
+  }
+
+  // And for the PreparedProof layer inside it.
+  const auto vc = ViewChange::deserialize(payload);
+  ASSERT_TRUE(vc.has_value());
+  const Bytes proof_bytes = vc->prepared.at(0).serialize();
+  for (std::size_t len = 0; len < proof_bytes.size(); ++len) {
+    const ByteView prefix{proof_bytes.data(), len};
+    EXPECT_FALSE(PreparedProof::deserialize(prefix).has_value())
+        << "PreparedProof prefix of " << len << " bytes parsed";
+  }
+}
+
+// Hostile counts must not command allocations the input cannot back: a
+// tiny message claiming millions of entries is rejected before reserve.
+TEST(PbftMessages, ImplausibleCountsRejectedBeforeAllocation) {
+  {
+    Writer w;
+    w.u32(99'999);  // batch "contains" 99,999 requests... in 4 more bytes
+    w.u32(0);
+    EXPECT_FALSE(RequestBatch::deserialize(std::move(w).take()).has_value());
+  }
+  {
+    Writer w;
+    w.u64(1);    // new_view
+    w.u64(0);    // last_stable
+    w.u32(900);  // 900 checkpoint envelopes claimed, no bytes behind them
+    EXPECT_FALSE(ViewChange::deserialize(std::move(w).take()).has_value());
+  }
 }
 
 }  // namespace

@@ -213,6 +213,387 @@ TEST(PbftIntegration, CheckpointsAdvanceAndGarbageCollect) {
   }
 }
 
+// Pipelined batching, gate level: with pipeline_depth = 1 the primary is
+// stop-and-wait — a second request must NOT produce a second PrePrepare
+// while the first batch is unexecuted; depth 2 starts both instances.
+TEST(PbftIntegration, PipelineDepthGatesConcurrentBatches) {
+  const auto count_pre_prepares = [](std::size_t depth) {
+    pbft::Config config;
+    config.n = 4;
+    config.f = 1;
+    config.batch_max = 1;
+    config.pipeline_depth = depth;
+    crypto::KeyRing ring(crypto::Scheme::HmacShared, 21);
+    for (ReplicaId r = 0; r < config.n; ++r) {
+      ring.add_principal(principal::pbft_replica(r));
+    }
+    const pbft::ClientDirectory directory(0x5ec7e7);
+    pbft::Replica primary(config, 0, ring.signer(principal::pbft_replica(0)),
+                          ring.verifier(), directory, counter_factory());
+
+    std::size_t pre_prepares = 0;
+    for (ClientId c = kFirstClientId; c < kFirstClientId + 2; ++c) {
+      pbft::Request req;
+      req.client = c;
+      req.timestamp = 1;
+      req.payload = CounterApp::encode_add(1);
+      const crypto::Key32 key = directory.auth_key(c);
+      const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                             req.auth_input());
+      req.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+      net::Envelope env;
+      env.src = principal::client(c);
+      env.dst = principal::pbft_replica(0);
+      env.type = pbft::tag(pbft::MsgType::Request);
+      env.payload = req.serialize();
+      for (const auto& out : primary.handle(env, /*now=*/1'000)) {
+        if (out.type == pbft::tag(pbft::MsgType::PrePrepare)) ++pre_prepares;
+      }
+    }
+    return pre_prepares;
+  };
+  // One broadcast = n-1 = 3 PrePrepare copies.
+  EXPECT_EQ(count_pre_prepares(1), 3u);  // second batch gated
+  EXPECT_EQ(count_pre_prepares(2), 6u);  // both instances in flight
+  EXPECT_EQ(count_pre_prepares(0), 6u);  // unbounded legacy behaviour
+}
+
+// Pipelined batching, safety level: depths 1 and 4 must drive the cluster
+// to the SAME application state for the same client workload (execution
+// stays sequence-ordered no matter how many instances run concurrently),
+// and agreement must hold within each run.
+TEST(PbftIntegration, PipelineDepthsProduceIdenticalKvState) {
+  constexpr int kClients = 8;
+  constexpr int kRounds = 3;
+  std::vector<Digest> state_digests;
+  std::vector<std::uint64_t> executed;
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{4}}) {
+    auto options = small_config(11);
+    options.config.batch_max = 4;
+    options.config.pipeline_depth = depth;
+    PbftCluster cluster(options, [] { return std::make_unique<KvStore>(); });
+    for (int c = 0; c < kClients; ++c) {
+      cluster.add_client(kFirstClientId + static_cast<ClientId>(c));
+    }
+    for (int round = 1; round <= kRounds; ++round) {
+      // All clients submit concurrently: with depth 4 several batches are
+      // in flight at once; with depth 1 they serialize.
+      for (int c = 0; c < kClients; ++c) {
+        const ClientId id = kFirstClientId + static_cast<ClientId>(c);
+        auto& actor = cluster.client(id);
+        cluster.harness().inject(actor.client().submit(
+            apps::kv::encode_put(apps::kv::encode_key(id),
+                                 CounterApp::encode_add(
+                                     static_cast<std::uint64_t>(round))),
+            cluster.harness().now()));
+      }
+      const bool done = cluster.harness().run_until(
+          [&] {
+            for (int c = 0; c < kClients; ++c) {
+              const ClientId id = kFirstClientId + static_cast<ClientId>(c);
+              if (cluster.client(id).results().size() <
+                  static_cast<std::size_t>(round)) {
+                return false;
+              }
+            }
+            return true;
+          },
+          cluster.harness().now() + 30'000'000);
+      ASSERT_TRUE(done) << "depth " << depth << " round " << round;
+    }
+    cluster.harness().run_for(2'000'000);
+    EXPECT_TRUE(cluster.check_agreement()) << "depth " << depth;
+    // Every replica converged to the same state within the run...
+    const Digest d0 = cluster.replica(0).app().state_digest();
+    for (ReplicaId r = 1; r < 4; ++r) {
+      EXPECT_EQ(cluster.replica(r).app().state_digest(), d0)
+          << "depth " << depth << " replica " << r;
+    }
+    state_digests.push_back(d0);
+    executed.push_back(cluster.replica(0).executed_requests());
+  }
+  // ...and across depths the final state and executed-op count agree.
+  ASSERT_EQ(state_digests.size(), 2u);
+  EXPECT_EQ(state_digests[0], state_digests[1]);
+  EXPECT_EQ(executed[0], executed[1]);
+  EXPECT_EQ(executed[0],
+            static_cast<std::uint64_t>(kClients) * kRounds);
+}
+
+// Pipelined batching + view change: a primary crash with several instances
+// in flight must still recover into a consistent new view.
+TEST(PbftIntegration, ViewChangeWithPipelinedBatchesRecovers) {
+  auto options = small_config(12);
+  options.config.batch_max = 2;
+  options.config.pipeline_depth = 4;
+  PbftCluster cluster(options, counter_factory());
+  constexpr int kClients = 4;
+  for (int c = 0; c < kClients; ++c) {
+    cluster.add_client(kFirstClientId + static_cast<ClientId>(c));
+  }
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(cluster
+                    .execute(kFirstClientId + static_cast<ClientId>(c),
+                             CounterApp::encode_add(1))
+                    .has_value());
+  }
+
+  cluster.crash_replica(0);
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(cluster
+                    .execute(kFirstClientId + static_cast<ClientId>(c),
+                             CounterApp::encode_add(1), 30'000'000)
+                    .has_value());
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+  for (ReplicaId r = 1; r < 4; ++r) {
+    EXPECT_GE(cluster.replica(r).view(), 1u);
+    // View-change bookkeeping for installed views was garbage-collected
+    // (the sent-NewView marker map used to grow forever).
+    const auto fp = cluster.replica(r).gc_footprint();
+    EXPECT_EQ(fp.new_view_markers, 0u) << "replica " << r;
+    EXPECT_TRUE(fp.view_change_views == 0 ||
+                fp.min_view_change_view > cluster.replica(r).view())
+        << "replica " << r;
+  }
+}
+
+// Checkpoint garbage collection stays bounded under pipelining: after
+// stabilization nothing seq-keyed survives at or below last_stable.
+TEST(PbftIntegration, CheckpointGcBoundsUnderPipelining) {
+  auto options = small_config(13);
+  options.config.checkpoint_interval = 5;
+  options.config.watermark_window = 40;
+  options.config.batch_max = 2;
+  options.config.pipeline_depth = 4;
+  PbftCluster cluster(options, counter_factory());
+  cluster.add_client(kFirstClientId);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(
+        cluster.execute(kFirstClientId, CounterApp::encode_add(1)).has_value());
+  }
+  cluster.harness().run_for(2'000'000);
+
+  for (ReplicaId r = 0; r < 4; ++r) {
+    const SeqNum stable = cluster.replica(r).last_stable();
+    EXPECT_GE(stable, 20u) << "replica " << r;
+    const auto fp = cluster.replica(r).gc_footprint();
+    EXPECT_TRUE(fp.log_slots == 0 || fp.min_log_seq > stable)
+        << "replica " << r << ": log slot at/below stable retained";
+    EXPECT_TRUE(fp.checkpoint_seqs == 0 || fp.min_checkpoint_seq > stable)
+        << "replica " << r << ": checkpoint certificate below stable";
+    EXPECT_TRUE(fp.snapshots == 0 || fp.min_snapshot_seq >= stable)
+        << "replica " << r << ": pre-stable snapshot retained";
+    EXPECT_LE(fp.snapshots, 2u) << "replica " << r;
+    EXPECT_LE(fp.log_slots,
+              static_cast<std::size_t>(options.config.watermark_window))
+        << "replica " << r;
+    EXPECT_EQ(fp.view_change_views, 0u) << "replica " << r;
+    EXPECT_EQ(fp.new_view_markers, 0u) << "replica " << r;
+    EXPECT_EQ(fp.pending_requests, 0u) << "replica " << r;
+  }
+}
+
+// Regression: a commit quorum for a LATER sequence number (the next one to
+// execute still missing) is not progress — it must not push the request
+// suspicion timer, or a primary censoring one client while serving others
+// would never be suspected.
+TEST(PbftIntegration, RequestTimerSurvivesCommitsWithoutProgress) {
+  pbft::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.batch_max = 1;
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 31);
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    ring.add_principal(principal::pbft_replica(r));
+  }
+  const pbft::ClientDirectory directory(0x5ec7e7);
+  // Replica 1: a backup in view 0.
+  pbft::Replica backup(config, 1, ring.signer(principal::pbft_replica(1)),
+                       ring.verifier(), directory, counter_factory());
+
+  const auto signed_from = [&](ReplicaId sender, pbft::MsgType type,
+                               Bytes payload) {
+    net::Envelope env;
+    env.src = principal::pbft_replica(sender);
+    env.dst = principal::pbft_replica(1);
+    env.type = pbft::tag(type);
+    env.payload = std::move(payload);
+    net::sign_envelope(env, *ring.signer(principal::pbft_replica(sender)));
+    return env;
+  };
+
+  // A censored client's request arms the suspicion timer at t=1000.
+  pbft::Request censored;
+  censored.client = kFirstClientId;
+  censored.timestamp = 1;
+  censored.payload = CounterApp::encode_add(1);
+  {
+    const crypto::Key32 key = directory.auth_key(censored.client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           censored.auth_input());
+    censored.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+  }
+  net::Envelope req_env;
+  req_env.src = principal::client(censored.client);
+  req_env.dst = principal::pbft_replica(1);
+  req_env.type = pbft::tag(pbft::MsgType::Request);
+  req_env.payload = censored.serialize();
+  (void)backup.handle(req_env, 1'000);
+  const Micros armed = 1'000 + config.request_timeout_us;
+  ASSERT_EQ(backup.next_deadline(), std::optional<Micros>(armed));
+
+  // The byzantine primary orders a DIFFERENT client at seq 2 and never
+  // proposes seq 1. The backup prepares, commits — and cannot execute.
+  pbft::Request other;
+  other.client = kFirstClientId + 1;
+  other.timestamp = 1;
+  other.payload = CounterApp::encode_add(1);
+  {
+    const crypto::Key32 key = directory.auth_key(other.client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           other.auth_input());
+    other.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+  }
+  pbft::PrePrepare pp;
+  pp.view = 0;
+  pp.seq = 2;
+  pp.batch = pbft::RequestBatch{{other}}.serialize();
+  pp.batch_digest = crypto::sha256(pp.batch);
+  pp.sender = 0;
+  (void)backup.handle(
+      signed_from(0, pbft::MsgType::PrePrepare, pp.serialize()), 2'000);
+  for (const ReplicaId sender : {ReplicaId{2}, ReplicaId{3}}) {
+    pbft::Prepare prep;
+    prep.view = 0;
+    prep.seq = 2;
+    prep.batch_digest = pp.batch_digest;
+    prep.sender = sender;
+    (void)backup.handle(
+        signed_from(sender, pbft::MsgType::Prepare, prep.serialize()), 3'000);
+  }
+  for (const ReplicaId sender : {ReplicaId{0}, ReplicaId{2}}) {
+    pbft::Commit commit;
+    commit.view = 0;
+    commit.seq = 2;
+    commit.batch_digest = pp.batch_digest;
+    commit.sender = sender;
+    (void)backup.handle(
+        signed_from(sender, pbft::MsgType::Commit, commit.serialize()),
+        4'000);
+  }
+  EXPECT_EQ(backup.last_executed(), 0u);  // seq 1 is still missing
+
+  // No execution progress happened: the censored request's deadline must
+  // be untouched (before the fix it was pushed to 4'000 + timeout).
+  EXPECT_EQ(backup.next_deadline(), std::optional<Micros>(armed));
+
+  // And at the deadline the backup suspects the primary.
+  bool view_change_sent = false;
+  for (const auto& out : backup.tick(armed)) {
+    if (out.type == pbft::tag(pbft::MsgType::ViewChange)) {
+      view_change_sent = true;
+    }
+  }
+  EXPECT_TRUE(view_change_sent);
+  EXPECT_TRUE(backup.in_view_change());
+}
+
+// Stronger censorship case: the primary keeps EXECUTING other clients'
+// requests. That progress must not refresh the starved request's deadline
+// either — the timer anchors to the oldest still-pending arrival.
+TEST(PbftIntegration, RequestTimerSurvivesProgressOnOtherClients) {
+  pbft::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.batch_max = 1;
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 32);
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    ring.add_principal(principal::pbft_replica(r));
+  }
+  const pbft::ClientDirectory directory(0x5ec7e7);
+  pbft::Replica backup(config, 1, ring.signer(principal::pbft_replica(1)),
+                       ring.verifier(), directory, counter_factory());
+
+  const auto authed_request = [&](ClientId client) {
+    pbft::Request req;
+    req.client = client;
+    req.timestamp = 1;
+    req.payload = CounterApp::encode_add(1);
+    const crypto::Key32 key = directory.auth_key(client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           req.auth_input());
+    req.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+    return req;
+  };
+  const auto signed_from = [&](ReplicaId sender, pbft::MsgType type,
+                               Bytes payload) {
+    net::Envelope env;
+    env.src = principal::pbft_replica(sender);
+    env.dst = principal::pbft_replica(1);
+    env.type = pbft::tag(type);
+    env.payload = std::move(payload);
+    net::sign_envelope(env, *ring.signer(principal::pbft_replica(sender)));
+    return env;
+  };
+
+  // The censored client's request arrives first.
+  net::Envelope censored_env;
+  censored_env.src = principal::client(kFirstClientId);
+  censored_env.dst = principal::pbft_replica(1);
+  censored_env.type = pbft::tag(pbft::MsgType::Request);
+  censored_env.payload = authed_request(kFirstClientId).serialize();
+  (void)backup.handle(censored_env, 1'000);
+  const Micros armed = 1'000 + config.request_timeout_us;
+  ASSERT_EQ(backup.next_deadline(), std::optional<Micros>(armed));
+
+  // The primary orders and the cluster EXECUTES three other clients'
+  // requests (seqs 1-3) while the censored one stays unordered.
+  for (SeqNum seq = 1; seq <= 3; ++seq) {
+    const Micros t = 2'000 * seq;
+    pbft::PrePrepare pp;
+    pp.view = 0;
+    pp.seq = seq;
+    pp.batch = pbft::RequestBatch{
+        {authed_request(kFirstClientId + static_cast<ClientId>(seq))}}
+        .serialize();
+    pp.batch_digest = crypto::sha256(pp.batch);
+    pp.sender = 0;
+    (void)backup.handle(
+        signed_from(0, pbft::MsgType::PrePrepare, pp.serialize()), t);
+    for (const ReplicaId sender : {ReplicaId{2}, ReplicaId{3}}) {
+      pbft::Prepare prep;
+      prep.view = 0;
+      prep.seq = seq;
+      prep.batch_digest = pp.batch_digest;
+      prep.sender = sender;
+      (void)backup.handle(
+          signed_from(sender, pbft::MsgType::Prepare, prep.serialize()), t);
+    }
+    for (const ReplicaId sender : {ReplicaId{0}, ReplicaId{2}}) {
+      pbft::Commit commit;
+      commit.view = 0;
+      commit.seq = seq;
+      commit.batch_digest = pp.batch_digest;
+      commit.sender = sender;
+      (void)backup.handle(
+          signed_from(sender, pbft::MsgType::Commit, commit.serialize()), t);
+    }
+    ASSERT_EQ(backup.last_executed(), seq);
+  }
+
+  // Real execution progress happened — but not for the censored client:
+  // its deadline must be exactly where it was armed.
+  EXPECT_EQ(backup.next_deadline(), std::optional<Micros>(armed));
+  bool view_change_sent = false;
+  for (const auto& out : backup.tick(armed)) {
+    if (out.type == pbft::tag(pbft::MsgType::ViewChange)) {
+      view_change_sent = true;
+    }
+  }
+  EXPECT_TRUE(view_change_sent);
+}
+
 TEST(PbftIntegration, ToleratesCrashedBackup) {
   PbftCluster cluster(small_config(7), counter_factory());
   cluster.add_client(kFirstClientId);

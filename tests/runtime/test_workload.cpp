@@ -1,0 +1,175 @@
+// Workload-engine tests: generator properties, determinism, and small
+// end-to-end load points over both stacks and both drivers.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "runtime/workload/sim_driver.hpp"
+#include "runtime/workload/thread_driver.hpp"
+
+namespace sbft::runtime::workload {
+namespace {
+
+TEST(ZipfGenerator, UniformWhenThetaZero) {
+  ZipfGenerator zipf(100, 0.0);
+  Rng rng(1);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  for (int i = 0; i < 20'000; ++i) ++counts[zipf.next(rng)];
+  // Every rank in range, rough uniformity (each expected 200).
+  for (const auto& [rank, count] : counts) {
+    ASSERT_LT(rank, 100u);
+    EXPECT_GT(count, 100u);
+    EXPECT_LT(count, 400u);
+  }
+}
+
+TEST(ZipfGenerator, SkewConcentratesOnHotKeys) {
+  ZipfGenerator zipf(10'000, 0.99);
+  Rng rng(2);
+  std::map<std::uint64_t, std::uint64_t> counts;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const std::uint64_t rank = zipf.next(rng);
+    ASSERT_LT(rank, 10'000u);
+    ++counts[rank];
+  }
+  // Rank 0 must be by far the hottest, and the top-10 ranks a large
+  // fraction of all draws (YCSB-style head concentration).
+  std::uint64_t top10 = 0;
+  for (std::uint64_t r = 0; r < 10; ++r) {
+    const auto it = counts.find(r);
+    if (it != counts.end()) top10 += it->second;
+  }
+  EXPECT_GT(counts[0], static_cast<std::uint64_t>(kSamples) / 25);
+  EXPECT_GT(top10, static_cast<std::uint64_t>(kSamples) / 5);
+}
+
+TEST(Workload, ExponentialHasRoughlyTheRequestedMean) {
+  Rng rng(3);
+  double sum = 0;
+  constexpr int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += static_cast<double>(exponential_us(rng, 1'000));
+  }
+  const double mean = sum / kSamples;
+  EXPECT_GT(mean, 900.0);
+  EXPECT_LT(mean, 1'100.0);
+  EXPECT_EQ(exponential_us(rng, 0), 0u);
+}
+
+TEST(Workload, OpStreamIsDeterministicPerSeed) {
+  Options options;
+  OpGenerator a(options, 77);
+  OpGenerator b(options, 77);
+  OpGenerator c(options, 78);
+  bool diverged = false;
+  for (int i = 0; i < 32; ++i) {
+    const Bytes oa = a.next();
+    EXPECT_EQ(oa, b.next());
+    if (oa != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);  // different seeds -> different streams
+}
+
+[[nodiscard]] Options small_point(Stack stack) {
+  Options options;
+  options.stack = stack;
+  options.mode = LoadMode::Closed;
+  options.clients = 24;
+  options.protocol.n = 4;
+  options.protocol.f = 1;
+  options.protocol.batch_max = 8;
+  options.protocol.pipeline_depth = 4;
+  options.protocol.checkpoint_interval = 20;
+  options.protocol.watermark_window = 100;
+  options.protocol.request_timeout_us = 2'000'000;
+  options.warmup_us = 50'000;
+  options.measure_us = 200'000;
+  options.seed = 9;
+  return options;
+}
+
+TEST(SimWorkload, SustainsClosedLoopOnPbft) {
+  const Report report = run_sim_workload(small_point(Stack::Pbft));
+  EXPECT_GT(report.completed_ops, 0u);
+  EXPECT_TRUE(report.sustained);
+  EXPECT_GT(report.p99_us, 0u);
+  EXPECT_GE(report.p99_us, report.p50_us);
+  EXPECT_FALSE(report.histogram.empty());
+}
+
+TEST(SimWorkload, SustainsClosedLoopOnSplitbft) {
+  const Report report = run_sim_workload(small_point(Stack::Splitbft));
+  EXPECT_GT(report.completed_ops, 0u);
+  EXPECT_TRUE(report.sustained);
+}
+
+TEST(SimWorkload, DeterministicFromSeed) {
+  const Options options = small_point(Stack::Pbft);
+  const Report a = run_sim_workload(options);
+  const Report b = run_sim_workload(options);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.p50_us, b.p50_us);
+  EXPECT_EQ(a.p95_us, b.p95_us);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+  EXPECT_EQ(a.max_us, b.max_us);
+}
+
+TEST(SimWorkload, OpenLoopMeasuresFromArrival) {
+  Options options = small_point(Stack::Pbft);
+  options.mode = LoadMode::Open;
+  options.clients = 32;
+  options.interarrival_us = 20'000;
+  const Report report = run_sim_workload(options);
+  EXPECT_GT(report.completed_ops, 0u);
+  EXPECT_TRUE(report.sustained);
+}
+
+TEST(SimWorkload, ThinkTimeLowersOfferedLoad) {
+  Options busy = small_point(Stack::Pbft);
+  const Report busy_report = run_sim_workload(busy);
+  Options idle = small_point(Stack::Pbft);
+  idle.think_time_us = 50'000;
+  const Report idle_report = run_sim_workload(idle);
+  EXPECT_GT(busy_report.completed_ops, idle_report.completed_ops);
+  EXPECT_TRUE(idle_report.sustained);
+}
+
+// The real ThreadNetwork driver: short wall-clock runs, structure-only
+// assertions (wall-clock throughput is runner noise).
+TEST(ThreadWorkload, CompletesOnPbft) {
+  Options options = small_point(Stack::Pbft);
+  options.clients = 16;
+  options.warmup_us = 50'000;
+  options.measure_us = 100'000;
+  const Report report = run_thread_workload(options);
+  EXPECT_GT(report.completed_ops, 0u);
+}
+
+TEST(ThreadWorkload, CompletesOnSplitbft) {
+  Options options = small_point(Stack::Splitbft);
+  options.clients = 16;
+  options.warmup_us = 50'000;
+  options.measure_us = 100'000;
+  const Report report = run_thread_workload(options);
+  EXPECT_GT(report.completed_ops, 0u);
+}
+
+TEST(Workload, ReportJsonContainsPercentiles) {
+  Options options;
+  Report report;
+  report.completed_ops = 10;
+  report.ops_per_sec = 100;
+  report.p50_us = 1000;
+  report.p95_us = 2000;
+  report.p99_us = 3000;
+  report.sustained = true;
+  const std::string json = report_json(options, report);
+  EXPECT_NE(json.find("\"p50_us\": 1000"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_us\": 2000"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\": 3000"), std::string::npos);
+  EXPECT_NE(json.find("\"sustained\": true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbft::runtime::workload

@@ -85,6 +85,56 @@ TEST(PrepCompartmentUnit, PrimaryProposesAuthenticatedBatch) {
   EXPECT_TRUE(found_stripped);
 }
 
+// Pipelined batching: with pipeline_depth = D the Preparation enclave
+// assigns at most checkpoint_interval + D sequence numbers past the stable
+// checkpoint; authenticated overflow batches are DEFERRED (not dropped)
+// and released when a checkpoint certificate advances the stable point.
+TEST(PrepCompartmentUnit, PipelineDefersBatchesBeyondWindowAndReleasesOnCheckpoint) {
+  Fixture fx;
+  fx.config.checkpoint_interval = 2;
+  fx.config.pipeline_depth = 1;  // window = interval + depth = 3 seqs
+  PrepCompartment prep(fx.config, 0, fx.signer(0, Compartment::Preparation),
+                       fx.verifier, fx.clients, {});
+
+  for (Timestamp ts = 1; ts <= 5; ++ts) {
+    pbft::RequestBatch batch;
+    batch.requests.push_back(fx.make_request(kFirstClientId, ts));
+    const auto out = prep.deliver(fx.local_batch(batch, 0));
+    if (ts <= 3) {
+      EXPECT_FALSE(out.empty()) << "batch " << ts << " fits the pipeline";
+    } else {
+      EXPECT_TRUE(out.empty()) << "batch " << ts << " must be deferred";
+    }
+  }
+  EXPECT_EQ(prep.next_seq(), 3u);
+  EXPECT_EQ(prep.deferred_batches(), 2u);
+
+  // A 2f+1 checkpoint certificate at seq 2 advances the stable point;
+  // both deferred batches now fit (window reaches seq 5) and are proposed.
+  pbft::Checkpoint cp;
+  cp.seq = 2;
+  cp.state_digest = crypto::sha256(to_bytes("state@2"));
+  std::vector<net::Envelope> released;
+  for (ReplicaId r = 1; r <= 3; ++r) {
+    cp.sender = r;
+    net::Envelope env;
+    env.src = principal::enclave({r, Compartment::Execution});
+    env.dst = principal::enclave({0, Compartment::Preparation});
+    env.type = pbft::tag(pbft::MsgType::Checkpoint);
+    env.payload = cp.serialize();
+    net::sign_envelope(env, *fx.signer(r, Compartment::Execution));
+    auto out = prep.deliver(env);
+    released.insert(released.end(), out.begin(), out.end());
+  }
+  EXPECT_EQ(prep.last_stable(), 2u);
+  EXPECT_EQ(prep.deferred_batches(), 0u);
+  EXPECT_EQ(prep.next_seq(), 5u);
+  // Two proposals, 5 envelopes each (n-1 peers + own conf + own exec).
+  EXPECT_EQ(released.size(), 10u);
+  // Garbage collection freed the input log at or below the stable seq.
+  EXPECT_EQ(prep.log_slots(), 3u);  // seqs 3, 4, 5
+}
+
 TEST(PrepCompartmentUnit, BackupIgnoresBatches) {
   Fixture fx;
   PrepCompartment prep(fx.config, 1, fx.signer(1, Compartment::Preparation),
