@@ -19,6 +19,23 @@ class Application {
   /// Executes one client operation and returns the reply payload.
   [[nodiscard]] virtual Bytes execute(ByteView operation) = 0;
 
+  /// True iff `operation` never mutates state, making it eligible for the
+  /// single-round read fast path (served via execute_read against the
+  /// replica's last-executed state, bypassing ordering). Default: nothing
+  /// is read-only, so apps opt in per operation.
+  [[nodiscard]] virtual bool is_read_only(ByteView operation) const {
+    (void)operation;
+    return false;
+  }
+
+  /// Executes a read-only operation against current state. Must return
+  /// exactly what execute() would return for the same operation and state,
+  /// without mutating anything. Only called when is_read_only() is true.
+  [[nodiscard]] virtual Bytes execute_read(ByteView operation) const {
+    (void)operation;
+    return {};
+  }
+
   /// Serializes the full state (checkpoints, state transfer).
   [[nodiscard]] virtual Bytes snapshot() const = 0;
 

@@ -35,6 +35,17 @@ Bytes encode_cas(ByteView key, ByteView expected, ByteView value) {
   return encode_op(KvOp::Cas, key, expected, value);
 }
 
+bool is_read_only(ByteView operation) {
+  Reader r(operation);
+  const auto op = static_cast<KvOp>(r.u8());
+  const Bytes key = r.bytes();
+  const Bytes a = r.bytes();
+  const Bytes b = r.bytes();
+  if (!r.done() || !a.empty() || !b.empty()) return false;
+  (void)key;
+  return op == KvOp::Get;
+}
+
 std::optional<Reply> decode_reply(ByteView data) {
   Reader r(data);
   Reply reply;
@@ -88,6 +99,22 @@ Bytes KvStore::execute(ByteView operation) {
     }
   }
   return encode_reply(KvStatus::BadRequest);
+}
+
+bool KvStore::is_read_only(ByteView operation) const {
+  return kv::is_read_only(operation);
+}
+
+Bytes KvStore::execute_read(ByteView operation) const {
+  Reader r(operation);
+  const auto op = static_cast<KvOp>(r.u8());
+  const Bytes key = r.bytes();
+  (void)r.bytes();
+  (void)r.bytes();
+  if (!r.done() || op != KvOp::Get) return encode_reply(KvStatus::BadRequest);
+  const auto it = table_.find(key);
+  if (it == table_.end()) return encode_reply(KvStatus::NotFound);
+  return encode_reply(KvStatus::Ok, it->second);
 }
 
 Bytes KvStore::snapshot() const {

@@ -38,11 +38,18 @@ struct Reply {
 };
 [[nodiscard]] std::optional<Reply> decode_reply(ByteView data);
 
+/// True iff `operation` is a well-formed read-only KV op (currently: Get).
+/// Shared by the KvStore itself and load generators that must tag the
+/// requests they emit for the read fast path.
+[[nodiscard]] bool is_read_only(ByteView operation);
+
 }  // namespace kv
 
 class KvStore final : public Application {
  public:
   [[nodiscard]] Bytes execute(ByteView operation) override;
+  [[nodiscard]] bool is_read_only(ByteView operation) const override;
+  [[nodiscard]] Bytes execute_read(ByteView operation) const override;
   [[nodiscard]] Bytes snapshot() const override;
   [[nodiscard]] bool restore(ByteView snapshot) override;
   [[nodiscard]] Digest state_digest() const override;

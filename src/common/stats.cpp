@@ -116,6 +116,17 @@ std::vector<LatencyHistogram::Bucket> LatencyHistogram::buckets() const {
   return out;
 }
 
+LatencySummary LatencyHistogram::summarize() const {
+  LatencySummary s;
+  s.count = static_cast<std::size_t>(count());
+  s.mean_us = mean_us();
+  s.p50_us = quantile(0.50);
+  s.p95_us = quantile(0.95);
+  s.p99_us = quantile(0.99);
+  s.max_us = max_us();
+  return s;
+}
+
 void LatencyHistogram::reset() {
   const std::scoped_lock lock(mutex_);
   std::fill(counts_.begin(), counts_.end(), 0);

@@ -45,8 +45,21 @@ class alignas(kCacheLineBytes) Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Latency summary (count/mean/percentiles) shared by both samplers:
+/// LatencyRecorder computes it from raw samples, LatencyHistogram from its
+/// fixed-memory buckets — consumers keep the same field names either way.
+struct LatencySummary {
+  std::size_t count{0};
+  double mean_us{0.0};
+  Micros p50_us{0};
+  Micros p95_us{0};
+  Micros p99_us{0};
+  Micros max_us{0};
+};
+
 /// Collects individual latency samples (microseconds) and reports
-/// mean/percentiles. Thread-safe recording.
+/// mean/percentiles. Thread-safe recording. Memory grows with the sample
+/// count — prefer LatencyHistogram for sustained workloads.
 class LatencyRecorder {
  public:
   void record(Micros sample) {
@@ -59,14 +72,7 @@ class LatencyRecorder {
     return samples_.size();
   }
 
-  struct Summary {
-    std::size_t count{0};
-    double mean_us{0.0};
-    Micros p50_us{0};
-    Micros p95_us{0};
-    Micros p99_us{0};
-    Micros max_us{0};
-  };
+  using Summary = LatencySummary;
 
   [[nodiscard]] Summary summarize() const;
 
@@ -105,6 +111,10 @@ class LatencyHistogram {
   };
   /// Non-empty buckets in ascending order (JSON export).
   [[nodiscard]] std::vector<Bucket> buckets() const;
+
+  /// Count/mean/percentile summary with the same fields LatencyRecorder
+  /// reports (quantiles are bucket-resolution, ~4% relative error).
+  [[nodiscard]] LatencySummary summarize() const;
 
   void reset();
 

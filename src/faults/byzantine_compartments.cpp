@@ -84,4 +84,26 @@ std::vector<net::Envelope> ForgingReplyExec::deliver(const net::Envelope& env) {
   return out;
 }
 
+std::vector<net::Envelope> ForgingReadExec::deliver(const net::Envelope& env) {
+  std::vector<net::Envelope> out = inner_->deliver(env);
+  for (auto& e : out) {
+    if (e.type != pbft::tag(pbft::MsgType::ReadReply)) continue;
+    auto rr = pbft::ReadReply::deserialize(e.payload);
+    if (!rr) continue;
+    // A stale/forged vote: corrupted digest, attacker value in place of
+    // the honest one. The client auth key is enclave-held, so the MAC
+    // verifies — only the 2f+1 (digest, seq) quorum protects the client.
+    rr->result_digest.bytes[0] ^= 0xff;
+    rr->result_digest.bytes[31] ^= 0xff;
+    if (rr->has_result) rr->result = forged_result_;
+    const crypto::Key32 key = directory_.auth_key(rr->client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           rr->auth_input());
+    rr->auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+    e.payload = rr->serialize();
+    ++forged_;
+  }
+  return out;
+}
+
 }  // namespace sbft::faults

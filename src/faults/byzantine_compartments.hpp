@@ -134,4 +134,33 @@ class ForgingReplyExec final : public splitbft::CompartmentLogic {
   Bytes forged_result_;
 };
 
+/// Execution enclave serving stale/forged fast-path read replies: every
+/// ReadReply it emits gets a corrupted result digest (and a forged value
+/// when it is the designated responder), re-MACed with the client auth key
+/// it legitimately holds. A single such enclave (f=1) can never assemble a
+/// 2f+1 read quorum: the client either accepts the honest quorum or falls
+/// back to the ordered path.
+class ForgingReadExec final : public splitbft::CompartmentLogic {
+ public:
+  ForgingReadExec(std::unique_ptr<splitbft::CompartmentLogic> inner,
+                  pbft::ClientDirectory directory, Bytes forged_result)
+      : inner_(std::move(inner)),
+        directory_(directory),
+        forged_result_(std::move(forged_result)) {}
+
+  [[nodiscard]] std::vector<net::Envelope> deliver(
+      const net::Envelope& env) override;
+  [[nodiscard]] Digest measurement() const override {
+    return inner_->measurement();
+  }
+
+  [[nodiscard]] std::uint64_t forged() const noexcept { return forged_; }
+
+ private:
+  std::unique_ptr<splitbft::CompartmentLogic> inner_;
+  pbft::ClientDirectory directory_;
+  Bytes forged_result_;
+  std::uint64_t forged_{0};
+};
+
 }  // namespace sbft::faults

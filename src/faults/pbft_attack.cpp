@@ -1,5 +1,6 @@
 #include "faults/pbft_attack.hpp"
 
+#include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 
 namespace sbft::faults {
@@ -89,6 +90,48 @@ std::vector<net::Envelope> PbftEquivocationAttack::handle(
   for (std::size_t i = 0; i < victims.size(); ++i) {
     craft_certificate(i % 2 == 0 ? batch_a : batch_b, 1, victims[i], out);
   }
+  return out;
+}
+
+// ---------------------------------------------------------- read forgery
+
+ReadReplyForger::ReadReplyForger(std::shared_ptr<runtime::Actor> inner,
+                                 pbft::ClientDirectory directory,
+                                 Bytes forged_result)
+    : inner_(std::move(inner)),
+      directory_(directory),
+      forged_result_(std::move(forged_result)) {}
+
+void ReadReplyForger::forge(std::vector<net::Envelope>& envs) {
+  for (auto& e : envs) {
+    if (e.type != pbft::tag(pbft::MsgType::ReadReply)) continue;
+    auto rr = pbft::ReadReply::deserialize(e.payload);
+    if (!rr) continue;
+    // Consistent forgery: attacker value with its matching digest and a
+    // VALID client MAC (replicas hold the shared client auth keys). The
+    // vote verifies in isolation — only the 2f+1 quorum rule defeats it.
+    rr->result_digest = crypto::sha256(forged_result_);
+    rr->has_result = true;
+    rr->result = forged_result_;
+    const crypto::Key32 key = directory_.auth_key(rr->client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           rr->auth_input());
+    rr->auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+    e.payload = rr->serialize();
+    ++forged_;
+  }
+}
+
+std::vector<net::Envelope> ReadReplyForger::handle(const net::Envelope& env,
+                                                   Micros now) {
+  std::vector<net::Envelope> out = inner_->handle(env, now);
+  forge(out);
+  return out;
+}
+
+std::vector<net::Envelope> ReadReplyForger::tick(Micros now) {
+  std::vector<net::Envelope> out = inner_->tick(now);
+  forge(out);
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "crypto/keyring.hpp"
+#include "pbft/client_directory.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
 #include "runtime/actor.hpp"
@@ -42,6 +43,32 @@ class PbftEquivocationAttack final : public runtime::Actor {
   ReplicaId primary_id_;
   ReplicaId backup_id_;
   bool launched_{false};
+};
+
+/// Byzantine PBFT replica serving stale/forged fast-path read replies: it
+/// processes traffic honestly (the wrapped engine keeps the group live)
+/// but rewrites every ReadReply it emits — attacker-chosen value, matching
+/// forged digest, valid client MAC (replicas hold the client auth keys).
+/// The read quorum rule (2f+1 matching digest+seq votes plus a value that
+/// hashes to the quorum digest) must outvote it.
+class ReadReplyForger final : public runtime::Actor {
+ public:
+  ReadReplyForger(std::shared_ptr<runtime::Actor> inner,
+                  pbft::ClientDirectory directory, Bytes forged_result);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override;
+
+  [[nodiscard]] std::uint64_t forged() const noexcept { return forged_; }
+
+ private:
+  void forge(std::vector<net::Envelope>& envs);
+
+  std::shared_ptr<runtime::Actor> inner_;
+  pbft::ClientDirectory directory_;
+  Bytes forged_result_;
+  std::uint64_t forged_{0};
 };
 
 }  // namespace sbft::faults

@@ -34,6 +34,34 @@ struct Config {
   /// pipeline_window()).
   std::size_t pipeline_depth{0};
 
+  /// Enables the single-round read-only fast path: clients broadcast
+  /// read-only operations as ReadRequest, replicas execute them against
+  /// last-executed state without assigning a sequence number, and the
+  /// client accepts on 2f+1 matching (result-digest, exec-seq) replies.
+  /// Timeout or mismatch falls back to the ordered path, so linearizable
+  /// semantics survive concurrent writes and view changes.
+  bool read_path{false};
+  /// Client-side deadline before a pending fast read gives up and falls
+  /// back to the ordered path (mismatch among n replies falls back
+  /// immediately; this bound covers loss and silent replicas).
+  Micros read_fallback_timeout_us{200'000};
+  /// SplitBFT broker-side read coalescing: up to this many fast-path reads
+  /// are delivered per Execution ecall, amortizing the enclave-crossing
+  /// cost the same way request batching amortizes it for ordering
+  /// (1 = one ecall per read).
+  std::size_t read_batch_max{32};
+  /// Longest a queued fast-path read may wait for coalescing before the
+  /// broker cuts a partial read batch.
+  Micros read_batch_delay_us{500};
+  /// Bound on RETAINED reply bodies in the per-client last-reply cache.
+  /// When more than this many records hold a cached result after a batch
+  /// executes, the oldest-timestamp results are stripped deterministically
+  /// (all replicas prune identically, keeping checkpoint digests aligned).
+  /// The (client, last_ts) at-most-once floor is never dropped, so old
+  /// timestamps can never re-execute. Should exceed the number of
+  /// concurrently active clients; 0 = unbounded.
+  std::size_t client_record_cap{65'536};
+
   /// Client-request timeout before suspecting the primary.
   Micros request_timeout_us{400'000};
   /// Escalation timeout while waiting for a NewView.
@@ -51,6 +79,13 @@ struct Config {
   }
   [[nodiscard]] constexpr bool valid() const noexcept {
     return n >= 3 * f + 1 && n > 0;
+  }
+  /// Designated full-value responder for a read (reply-digest
+  /// suppression): rotates with the timestamp so the full-reply bandwidth
+  /// spreads across the group.
+  [[nodiscard]] constexpr ReplicaId read_responder(ClientId c,
+                                                   Timestamp t) const noexcept {
+    return static_cast<ReplicaId>((c + t) % n);
   }
   /// True when a primary with `in_flight` unexecuted batches may start
   /// another protocol instance under this pipeline depth.

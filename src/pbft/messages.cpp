@@ -213,6 +213,48 @@ Bytes Reply::auth_input() const {
   return std::move(w).take();
 }
 
+// -------------------------------------------------------------- ReadReply
+
+Bytes ReadReply::serialize() const {
+  Writer w;
+  w.u64(timestamp);
+  w.u32(client);
+  w.u32(sender);
+  w.u64(exec_seq);
+  put_digest(w, result_digest);
+  w.boolean(has_result);
+  w.bytes(result);
+  w.bytes(auth);
+  return std::move(w).take();
+}
+
+std::optional<ReadReply> ReadReply::deserialize(ByteView data) {
+  Reader r(data);
+  ReadReply m;
+  m.timestamp = r.u64();
+  m.client = r.u32();
+  m.sender = r.u32();
+  m.exec_seq = r.u64();
+  m.result_digest = get_digest(r);
+  m.has_result = r.boolean();
+  m.result = r.bytes();
+  m.auth = r.bytes();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes ReadReply::auth_input() const {
+  Writer w;
+  w.u64(timestamp);
+  w.u32(client);
+  w.u32(sender);
+  w.u64(exec_seq);
+  put_digest(w, result_digest);
+  w.boolean(has_result);
+  w.bytes(result);
+  return std::move(w).take();
+}
+
 // ------------------------------------------------------------- Checkpoint
 
 Bytes Checkpoint::serialize() const {

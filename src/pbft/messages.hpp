@@ -26,6 +26,12 @@ enum class MsgType : std::uint32_t {
   NewView = 8,
   StateRequest = 9,
   StateResponse = 10,
+  // Read-only fast path (classic PBFT read optimization): the payload is a
+  // regular serialized Request, but replicas execute it against committed
+  // state and answer directly instead of ordering it. Falling back to the
+  // ordered path re-broadcasts the identical Request bytes as Request.
+  ReadRequest = 11,
+  ReadReply = 12,
   // SplitBFT-only client/session traffic.
   AttestRequest = 20,
   AttestReport = 21,
@@ -105,6 +111,32 @@ struct Reply {
 
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static std::optional<Reply> deserialize(ByteView data);
+  [[nodiscard]] Bytes auth_input() const;
+};
+
+/// Answer to a ReadRequest, served from committed state without ordering.
+/// Reply-digest suppression: only the designated responder for the read
+/// (Config::read_responder) carries the full `result`; every other replica
+/// votes with `result_digest` alone, cutting reply bandwidth to one value +
+/// n-1 digests. The client accepts once 2f+1 replies match on
+/// (result_digest, exec_seq) AND a full result hashing to that digest
+/// arrived; anything else falls back to the ordered path.
+struct ReadReply {
+  Timestamp timestamp{0};
+  ClientId client{0};
+  ReplicaId sender{0};
+  /// Last executed sequence number when the read was served — the state
+  /// version the vote is for.
+  SeqNum exec_seq{0};
+  /// Digest of the (plaintext) result under the stack's read-digest rule:
+  /// sha256(result) for PBFT, a session-keyed HMAC for SplitBFT.
+  Digest result_digest;
+  bool has_result{false};
+  Bytes result;  // full value, designated responder only (encrypted in SplitBFT)
+  Bytes auth;    // HMAC for the client
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<ReadReply> deserialize(ByteView data);
   [[nodiscard]] Bytes auth_input() const;
 };
 

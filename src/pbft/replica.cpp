@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "pbft/reply_cache.hpp"
 #include "common/serde.hpp"
 #include "crypto/sha256.hpp"
 
@@ -95,6 +96,10 @@ Replica::GcFootprint Replica::gc_footprint() const {
   }
   fp.new_view_markers = new_view_sent_.size();
   fp.pending_requests = pending_requests_.size();
+  fp.client_records = client_records_.size();
+  for (const auto& [client, record] : client_records_) {
+    if (record.has_reply) ++fp.cached_replies;
+  }
   return fp;
 }
 
@@ -106,6 +111,9 @@ std::vector<net::Envelope> Replica::handle(const net::Envelope& env,
   switch (static_cast<MsgType>(env.type)) {
     case MsgType::Request:
       on_request(env, now, out);
+      break;
+    case MsgType::ReadRequest:
+      on_read_request(env, now, out);
       break;
     case MsgType::PrePrepare:
       on_pre_prepare(env, now, out);
@@ -178,8 +186,14 @@ void Replica::on_request(const net::Envelope& env, Micros now, Out& out) {
     return;  // unauthenticated client
   }
 
-  auto& record = client_records_[req->client];
-  if (req->timestamp <= record.last_ts) {
+  // Lookup only — records are created at EXECUTION, never on arrival:
+  // arrival-time creation would leak timing-dependent entries into the
+  // checkpointed client table (and grow it without bound for clients whose
+  // requests never commit).
+  const auto rec_it = client_records_.find(req->client);
+  if (rec_it != client_records_.end() &&
+      req->timestamp <= rec_it->second.last_ts) {
+    const ClientRecord& record = rec_it->second;
     // At-most-once: retransmit the cached reply for the latest request.
     if (req->timestamp == record.last_ts && record.has_reply) {
       Reply reply;
@@ -220,6 +234,53 @@ void Replica::on_request(const net::Envelope& env, Micros now, Out& out) {
   }
 }
 
+void Replica::on_read_request(const net::Envelope& env, Micros now, Out& out) {
+  if (!config_.read_path) {
+    // Fast path disabled on this replica: the payload is a regular
+    // serialized Request, so serve it through ordering instead. The client
+    // accepts ordered Replies for an in-flight read, so mixed
+    // configurations stay live.
+    on_request(env, now, out);
+    return;
+  }
+  auto req = Request::deserialize(env.payload);
+  if (!req) return;
+  const crypto::Key32 key = clients_.auth_key(req->client);
+  if (!crypto::hmac_verify(ByteView{key.data(), key.size()},
+                           req->auth_input(), req->auth)) {
+    return;  // unauthenticated client
+  }
+  // Only operations the app declares read-only may bypass ordering; for
+  // anything else the client's fallback timeout re-submits through the
+  // ordered path.
+  if (!app_->is_read_only(req->payload)) return;
+
+  // Execute against last-executed state. No sequence number, no client
+  // record (reads must not grow the at-most-once table), no timers.
+  Bytes result = app_->execute_read(req->payload);
+  ReadReply rr;
+  rr.timestamp = req->timestamp;
+  rr.client = req->client;
+  rr.sender = id_;
+  rr.exec_seq = last_executed_;
+  rr.result_digest = crypto::sha256(result);
+  if (config_.read_responder(req->client, req->timestamp) == id_) {
+    rr.has_result = true;
+    rr.result = std::move(result);
+  }
+  const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                         rr.auth_input());
+  rr.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+  ++reads_served_;
+
+  net::Envelope renv;
+  renv.src = principal::pbft_replica(id_);
+  renv.dst = principal::client(req->client);
+  renv.type = tag(MsgType::ReadReply);
+  renv.payload = rr.serialize();
+  out.push_back(std::move(renv));
+}
+
 SeqNum Replica::in_flight_batches() const noexcept {
   // Sequence numbers assigned but not yet executed locally. Saturating:
   // a state transfer can move last_executed_ past a backup's stale
@@ -241,8 +302,9 @@ void Replica::cut_batch(Micros now, Out& out) {
   auto it = pending_requests_.begin();
   while (it != pending_requests_.end() &&
          batch.requests.size() < config_.batch_max) {
-    const auto& record = client_records_[it->second.client];
-    if (it->second.timestamp <= record.last_ts) {
+    const auto rec_it = client_records_.find(it->second.client);
+    if (rec_it != client_records_.end() &&
+        it->second.timestamp <= rec_it->second.last_ts) {
       it = pending_requests_.erase(it);  // stale
       continue;
     }
@@ -423,6 +485,10 @@ void Replica::try_execute(Micros now, Out& out) {
     auto batch = RequestBatch::deserialize(it->second.pre_prepare->batch);
     if (!batch) break;  // cannot happen for validated slots
     execute_batch(seq, *batch, now, out);
+    // Prune the at-most-once table at the execution point only: every
+    // replica has executed the identical prefix here, so they evict the
+    // identical records and checkpoint digests stay aligned.
+    gc_client_records();
     executed_digests_[seq] = it->second.pre_prepare->batch_digest;
     last_executed_ = seq;
     maybe_checkpoint(seq, now, out);
@@ -477,6 +543,10 @@ void Replica::execute_batch(SeqNum seq, const RequestBatch& batch, Micros now,
     env.payload = reply.serialize();
     out.push_back(std::move(env));
   }
+}
+
+void Replica::gc_client_records() {
+  strip_reply_cache(client_records_, config_.client_record_cap);
 }
 
 // -------------------------------------------------------------- checkpoint

@@ -69,6 +69,10 @@ class Replica {
   [[nodiscard]] std::uint64_t executed_requests() const noexcept {
     return executed_requests_;
   }
+  /// Read-only requests served via the fast path (no sequence number).
+  [[nodiscard]] std::uint64_t reads_served() const noexcept {
+    return reads_served_;
+  }
   /// Batch digest executed at `seq` (zero digest if not executed) — the
   /// cross-replica agreement checker compares these.
   [[nodiscard]] Digest executed_digest(SeqNum seq) const;
@@ -97,6 +101,11 @@ class Replica {
     View min_view_change_view{0};  // 0 when none retained
     std::size_t new_view_markers{0};
     std::size_t pending_requests{0};
+    std::size_t client_records{0};
+    /// Records still holding a cached reply body — the quantity
+    /// Config::client_record_cap bounds (records themselves are only
+    /// stripped, never erased, preserving the at-most-once floor).
+    std::size_t cached_replies{0};
   };
   [[nodiscard]] GcFootprint gc_footprint() const;
 
@@ -122,6 +131,7 @@ class Replica {
 
   // -- event handlers --
   void on_request(const net::Envelope& env, Micros now, Out& out);
+  void on_read_request(const net::Envelope& env, Micros now, Out& out);
   void on_pre_prepare(const net::Envelope& env, Micros now, Out& out);
   void on_prepare(const net::Envelope& env, Micros now, Out& out);
   void on_commit(const net::Envelope& env, Micros now, Out& out);
@@ -139,6 +149,10 @@ class Replica {
   void execute_batch(SeqNum seq, const RequestBatch& batch, Micros now,
                      Out& out);
   void maybe_checkpoint(SeqNum seq, Micros now, Out& out);
+  /// Deterministic stripping keeping cached reply bodies under
+  /// Config::client_record_cap. Runs only at execution points, so every
+  /// replica prunes the identical set and checkpoint digests stay aligned.
+  void gc_client_records();
   void process_own_checkpoint(SeqNum seq, const net::Envelope& env, Micros now,
                               Out& out);
   void make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
@@ -247,6 +261,7 @@ class Replica {
 
   std::map<SeqNum, Digest> executed_digests_;
   std::uint64_t executed_requests_{0};
+  std::uint64_t reads_served_{0};
 };
 
 }  // namespace sbft::pbft

@@ -66,17 +66,18 @@ class PbftLoadClient final : public Actor {
  public:
   PbftLoadClient(SimHarness& harness, pbft::Config config, ClientId id,
                  const pbft::ClientDirectory& directory, Bytes operation,
-                 LatencyRecorder& recorder)
+                 LatencyHistogram& hist)
       : client_(config, id, directory, /*retry=*/4'000'000),
         operation_(std::move(operation)),
         driver_(harness,
                 [this](Micros now) { return client_.submit(operation_, now); },
-                recorder) {}
+                hist) {}
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
                                                   Micros now) override {
-    if (client_.on_reply(env)) driver_.completed(now);
-    return {};
+    std::vector<net::Envelope> out;
+    if (client_.on_reply(env, now, out)) driver_.completed(now);
+    return out;
   }
   [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
     return client_.tick(now);
@@ -95,18 +96,20 @@ class SplitLoadClient final : public Actor {
                   const pbft::ClientDirectory& directory,
                   splitbft::SplitClient::TrustAnchors anchors,
                   std::uint64_t seed, Bytes operation,
-                  LatencyRecorder& recorder)
+                  LatencyHistogram& hist)
       : client_(config, id, directory, anchors, seed, /*retry=*/4'000'000),
         operation_(std::move(operation)),
         driver_(harness,
                 [this](Micros now) { return client_.submit(operation_, now); },
-                recorder) {}
+                hist) {}
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
                                                   Micros now) override {
-    if (env.type == pbft::tag(pbft::MsgType::Reply)) {
-      if (client_.on_reply(env)) driver_.completed(now);
-      return {};
+    if (env.type == pbft::tag(pbft::MsgType::Reply) ||
+        env.type == pbft::tag(pbft::MsgType::ReadReply)) {
+      std::vector<net::Envelope> out;
+      if (client_.on_reply(env, now, out)) driver_.completed(now);
+      return out;
     }
     return client_.on_message(env, now);
   }
@@ -175,13 +178,13 @@ class SplitLoadClient final : public Actor {
   }
 
   const std::uint32_t total_clients = point.clients * point.outstanding;
-  LatencyRecorder recorder;
+  LatencyHistogram hist;
   std::vector<std::shared_ptr<PbftLoadClient>> clients;
   for (std::uint32_t i = 0; i < total_clients; ++i) {
     const ClientId id = kFirstClientId + i;
     auto client = std::make_shared<PbftLoadClient>(
         cluster.harness(), options.config, id, cluster.directory(),
-        bench_operation(point.workload, id), recorder);
+        bench_operation(point.workload, id), hist);
     cluster.harness().add_actor(principal::client(id), client,
                                 /*tick_interval_us=*/500'000);
     clients.push_back(std::move(client));
@@ -206,7 +209,7 @@ class SplitLoadClient final : public Actor {
   }
   result.ops_per_sec = static_cast<double>(result.completed_ops) /
                        (static_cast<double>(point.measure_us) / 1e6);
-  result.latency = recorder.summarize();
+  result.latency = hist.summarize();
   result.mean_latency_ms = result.latency.mean_us / 1000.0;
   return result;
 }
@@ -266,7 +269,7 @@ class SplitLoadClient final : public Actor {
   }
 
   const std::uint32_t total_clients = point.clients * point.outstanding;
-  LatencyRecorder recorder;
+  LatencyHistogram hist;
   splitbft::SplitClient::TrustAnchors anchors;
   anchors.attestation_root = cluster.attestation().root_public_key();
 
@@ -275,7 +278,7 @@ class SplitLoadClient final : public Actor {
     const ClientId id = kFirstClientId + i;
     auto client = std::make_shared<SplitLoadClient>(
         cluster.harness(), options.config, id, cluster.directory(), anchors,
-        point.seed, bench_operation(point.workload, id), recorder);
+        point.seed, bench_operation(point.workload, id), hist);
     // Sessions are provisioned out of band (the paper attests once before
     // the measurements).
     const crypto::Key32 session = bench_session_key(point.seed, id);
@@ -311,7 +314,7 @@ class SplitLoadClient final : public Actor {
   }
   result.ops_per_sec = static_cast<double>(result.completed_ops) /
                        (static_cast<double>(point.measure_us) / 1e6);
-  result.latency = recorder.summarize();
+  result.latency = hist.summarize();
   result.mean_latency_ms = result.latency.mean_us / 1000.0;
 
   const EcallAccounting prep1 = perf[0]->ecall_stats(Compartment::Preparation);

@@ -56,7 +56,9 @@ struct EcallBreakdown {
 struct BenchResult {
   double ops_per_sec{0};
   double mean_latency_ms{0};
-  LatencyRecorder::Summary latency;
+  /// Summarized from a fixed-memory LatencyHistogram (same fields the old
+  /// unbounded LatencyRecorder reported; quantiles are bucket-resolution).
+  LatencySummary latency;
   std::uint64_t completed_ops{0};
   EcallBreakdown leader_ecalls;  // SplitBFT systems only
 };

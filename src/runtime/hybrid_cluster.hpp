@@ -42,11 +42,12 @@ class HybridClientActor final : public Actor {
                 &principal::hybrid_replica) {}
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
-                                                  Micros) override {
-    if (auto result = client_.on_reply(env)) {
+                                                  Micros now) override {
+    std::vector<net::Envelope> out;
+    if (auto result = client_.on_reply(env, now, out)) {
       results_.push_back(std::move(*result));
     }
-    return {};
+    return out;
   }
   [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
     return client_.tick(now);

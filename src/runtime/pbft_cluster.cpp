@@ -45,9 +45,23 @@ void PbftCluster::add_client(ClientId id) {
 
 std::optional<Bytes> PbftCluster::execute(ClientId id, Bytes operation,
                                           Micros timeout_us) {
+  return execute_impl(id, std::move(operation), /*read_only=*/false,
+                      timeout_us);
+}
+
+std::optional<Bytes> PbftCluster::execute_read(ClientId id, Bytes operation,
+                                               Micros timeout_us) {
+  return execute_impl(id, std::move(operation), /*read_only=*/true,
+                      timeout_us);
+}
+
+std::optional<Bytes> PbftCluster::execute_impl(ClientId id, Bytes operation,
+                                               bool read_only,
+                                               Micros timeout_us) {
   auto& actor = *clients_.at(id);
   const std::size_t before = actor.results().size();
-  harness_.inject(actor.client().submit(std::move(operation), harness_.now()));
+  harness_.inject(
+      actor.client().submit(std::move(operation), harness_.now(), read_only));
   const bool ok = harness_.run_until(
       [&] { return actor.results().size() > before; },
       harness_.now() + timeout_us);

@@ -40,11 +40,12 @@ class PbftClientActor final : public Actor {
       : client_(config, id, directory) {}
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
-                                                  Micros) override {
-    if (auto result = client_.on_reply(env)) {
+                                                  Micros now) override {
+    std::vector<net::Envelope> out;
+    if (auto result = client_.on_reply(env, now, out)) {
       results_.push_back(std::move(*result));
     }
-    return {};
+    return out;
   }
   [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override {
     return client_.tick(now);
@@ -89,6 +90,12 @@ class PbftCluster {
   [[nodiscard]] std::optional<Bytes> execute(ClientId id, Bytes operation,
                                              Micros timeout_us = 10'000'000);
 
+  /// Like execute(), but submits as a read-only request — the fast path
+  /// when Config::read_path is on, falling back to ordering as the
+  /// protocol dictates.
+  [[nodiscard]] std::optional<Bytes> execute_read(
+      ClientId id, Bytes operation, Micros timeout_us = 10'000'000);
+
   /// Detaches a replica from the network (crash fault) by replacing its
   /// handler with a sink. The Replica object stays inspectable.
   void crash_replica(ReplicaId r);
@@ -113,6 +120,10 @@ class PbftCluster {
   }
 
  private:
+  [[nodiscard]] std::optional<Bytes> execute_impl(ClientId id, Bytes operation,
+                                                  bool read_only,
+                                                  Micros timeout_us);
+
   PbftClusterOptions options_;
   SimHarness harness_;
   crypto::KeyRing keyring_;

@@ -131,6 +131,11 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
       // Batching happens on the broker; the Preparation ecall (if a batch
       // was cut) is accounted through the PrePrepare outputs below.
       break;
+    case MsgType::ReadRequest:
+      // Read fast path: the broker queues the read for a coalesced
+      // Execution ecall (like request batching, the ecall is accounted
+      // when the ReadReply outputs emerge — one crossing per batch).
+      break;
     case MsgType::PrePrepare: {
       const std::size_t k = split_batch_size(env.payload);
       // Preparation: header sig + per-request client MACs + batch digest.
@@ -142,8 +147,12 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
       // Confirmation sees only the header.
       add_verify(Compartment::Confirmation, 1);
       add_in_bytes(Compartment::Confirmation, 64);
-      // Execution stores the full batch (sig + digest check).
-      add(Compartment::Execution, hash_cost(p, env.payload.size()));
+      // Execution stores the full batch (sig + digest check) and, at
+      // execution time, re-authenticates and AEAD-opens every request
+      // (defence in depth in the engine — charge what the code does).
+      add(Compartment::Execution,
+          hash_cost(p, env.payload.size()) +
+              static_cast<double>(k) * (p.hmac_us + p.aead_base_us));
       add_verify(Compartment::Execution, 1);
       add_in_bytes(Compartment::Execution, env.payload.size());
       break;
@@ -259,6 +268,22 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
         ecall_bytes_out[static_cast<std::size_t>(Compartment::Execution)] +=
             out.payload.size();
         break;
+      case MsgType::ReadReply: {
+        // One served read: request MAC check + AEAD open, the app read,
+        // the reply MAC and marshalling — and the value seal ONLY on the
+        // designated responder (digest-only replies skip the AEAD, the
+        // bandwidth/CPU saving of reply-digest suppression).
+        double read_us = p.hmac_us + aead_cost(p, 64) + p.app_op_us +
+                         p.hmac_us + serde_cost(p, out.payload.size());
+        const auto rr = pbft::ReadReply::deserialize(out.payload);
+        if (rr && rr->has_result) {
+          read_us += aead_cost(p, out.payload.size());
+        }
+        add(Compartment::Execution, read_us);
+        ecall_bytes_out[static_cast<std::size_t>(Compartment::Execution)] +=
+            out.payload.size();
+        break;
+      }
       case MsgType::Checkpoint:
         if (signs.first(out)) {
           add(Compartment::Execution,
@@ -317,25 +342,38 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
 }
 
 std::vector<net::Envelope> SplitPerfActor::tick(Micros now) {
-  // Timer work (batch cut) may emit a PrePrepare — run it through the same
-  // accounting path by treating outputs like handle() does.
+  // Timer work (batch cut, read-batch cut) may emit PrePrepares or
+  // ReadReplies — run it through the same accounting path as handle().
   std::vector<net::Envelope> outs = inner_->tick(now);
   if (outs.empty()) return {};
 
   DistinctSignTracker signs;
   double prep_us = 0;
+  double exec_us = 0;
   std::size_t prep_bytes = 0;
+  std::size_t exec_bytes = 0;
   double broker_us = profile_.broker_msg_us;
   for (const auto& out : outs) {
     broker_us += profile_.broker_msg_us;
-    if (static_cast<MsgType>(out.type) == MsgType::PrePrepare &&
-        signs.first(out)) {
+    const auto type = static_cast<MsgType>(out.type);
+    if (type == MsgType::PrePrepare && signs.first(out)) {
       const std::size_t k = split_batch_size(out.payload);
       prep_us += profile_.sign_us +
                  static_cast<double>(k) * profile_.hmac_us +
                  hash_cost(profile_, out.payload.size()) +
                  serde_cost(profile_, out.payload.size());
       prep_bytes += out.payload.size();
+    } else if (type == MsgType::ReadReply) {
+      // Coalesced fast-path reads served from the read-batch timer: same
+      // per-read cost as in handle(), one crossing for the whole batch.
+      exec_us += profile_.hmac_us + aead_cost(profile_, 64) +
+                 profile_.app_op_us + profile_.hmac_us +
+                 serde_cost(profile_, out.payload.size());
+      const auto rr = pbft::ReadReply::deserialize(out.payload);
+      if (rr && rr->has_result) {
+        exec_us += aead_cost(profile_, out.payload.size());
+      }
+      exec_bytes += out.payload.size();
     }
   }
   const Micros broker_done = broker_.book(now, static_cast<Micros>(broker_us));
@@ -348,6 +386,18 @@ std::vector<net::Envelope> SplitPerfActor::tick(Micros now) {
         ecall_stats_[static_cast<std::size_t>(Compartment::Preparation)];
     stats.calls += 1;
     stats.total_us += static_cast<Micros>(prep_us) + crossing;
+  }
+  if (exec_us > 0) {
+    const Micros crossing =
+        profile_.sgx.crossing_cost(exec_bytes, exec_bytes);
+    Resource& r = resource_for(Compartment::Execution);
+    const Micros end =
+        r.book(broker_done, static_cast<Micros>(exec_us) + crossing);
+    done = std::max(done, end);
+    auto& stats =
+        ecall_stats_[static_cast<std::size_t>(Compartment::Execution)];
+    stats.calls += 1;
+    stats.total_us += static_cast<Micros>(exec_us) + crossing;
   }
   release(std::move(outs), done);
   return {};
@@ -386,11 +436,15 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
   // replace the static per-type estimate with the measured hit/miss mix.
   double verify_units = 0;
   // Agreement messages pay protocol bookkeeping; buffering a client
-  // request is a cheap queue append.
+  // request (or picking up a fast read) is a cheap queue append — the
+  // read's execution cost is charged on its ReadReply output.
   double protocol_us =
-      type == MsgType::Request ? 1.0 : p.proto_msg_us;
+      type == MsgType::Request || type == MsgType::ReadRequest
+          ? 1.0
+          : p.proto_msg_us;
   switch (type) {
     case MsgType::Request:
+    case MsgType::ReadRequest:
       worker_in_us += p.hmac_us;
       break;
     case MsgType::PrePrepare: {
@@ -456,8 +510,10 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
         if (signs.first(out)) worker_out_us += 4 * p.sign_us;
         break;
       case MsgType::Reply:
-        // Execution itself is protocol-serial; reply auth + marshalling
-        // run on the workers.
+      case MsgType::ReadReply:
+        // Execution itself is protocol-serial (reads execute against the
+        // same committed state); reply auth + marshalling run on the
+        // workers.
         protocol_us += p.app_op_us;
         worker_out_us += p.hmac_us + serde_cost(p, out.payload.size());
         break;
@@ -534,7 +590,7 @@ void ClosedLoopDriver::start(Micros now) {
 void ClosedLoopDriver::completed(Micros now) {
   if (measuring_) {
     ++ops_;
-    recorder_.record(now - submitted_at_);
+    hist_.record(now - submitted_at_);
   }
   submitted_at_ = now;
   harness_.inject(submit_(now));

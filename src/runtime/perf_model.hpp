@@ -171,14 +171,15 @@ class PbftPerfActor final : public Actor {
 // ----------------------------------------------------------- measurement
 
 /// Closed-loop client driver: re-submits immediately upon completion and
-/// records per-operation latency (into a shared recorder) while measuring.
+/// records per-operation latency (into a shared fixed-memory histogram)
+/// while measuring.
 class ClosedLoopDriver {
  public:
   using SubmitFn = std::function<std::vector<net::Envelope>(Micros now)>;
 
   ClosedLoopDriver(SimHarness& harness, SubmitFn submit,
-                   LatencyRecorder& recorder)
-      : harness_(harness), submit_(std::move(submit)), recorder_(recorder) {}
+                   LatencyHistogram& hist)
+      : harness_(harness), submit_(std::move(submit)), hist_(hist) {}
 
   void start(Micros now);
   /// Called by the owning actor when the in-flight op completed.
@@ -190,7 +191,7 @@ class ClosedLoopDriver {
  private:
   SimHarness& harness_;
   SubmitFn submit_;
-  LatencyRecorder& recorder_;
+  LatencyHistogram& hist_;
   Micros submitted_at_{0};
   bool measuring_{false};
   std::uint64_t ops_{0};
@@ -199,7 +200,7 @@ class ClosedLoopDriver {
 struct LoadResult {
   double ops_per_sec{0};
   double mean_latency_ms{0};
-  LatencyRecorder::Summary latency;
+  LatencySummary latency;
 };
 
 }  // namespace sbft::runtime

@@ -28,11 +28,13 @@ class SplitClientActor final : public Actor {
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
                                                   Micros now) override {
-    if (env.type == pbft::tag(pbft::MsgType::Reply)) {
-      if (auto result = client_.on_reply(env)) {
+    if (env.type == pbft::tag(pbft::MsgType::Reply) ||
+        env.type == pbft::tag(pbft::MsgType::ReadReply)) {
+      std::vector<net::Envelope> out;
+      if (auto result = client_.on_reply(env, now, out)) {
         results_.push_back(std::move(*result));
       }
-      return {};
+      return out;
     }
     return client_.on_message(env, now);
   }
@@ -88,6 +90,12 @@ class SplitbftCluster {
   [[nodiscard]] std::optional<Bytes> execute(ClientId id, Bytes operation,
                                              Micros timeout_us = 20'000'000);
 
+  /// Like execute(), but submits as a read-only request — the fast path
+  /// when Config::read_path is on, falling back to ordering as the
+  /// protocol dictates.
+  [[nodiscard]] std::optional<Bytes> execute_read(
+      ClientId id, Bytes operation, Micros timeout_us = 20'000'000);
+
   /// Crash the whole replica (environment + enclaves stop responding).
   void crash_replica(ReplicaId r);
   void restore_replica(ReplicaId r);
@@ -122,6 +130,10 @@ class SplitbftCluster {
       ReplicaId r) const;
 
  private:
+  [[nodiscard]] std::optional<Bytes> execute_impl(ClientId id, Bytes operation,
+                                                  bool read_only,
+                                                  Micros timeout_us);
+
   SplitClusterOptions options_;
   SimHarness harness_;
   crypto::KeyRing keyring_;

@@ -39,12 +39,16 @@ class LoadClient final : public Actor,
   }
 
   void set_measuring(bool on) noexcept { measuring_ = on; }
+  [[nodiscard]] const Engine& engine() const noexcept { return engine_; }
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
                                                   Micros now) override {
-    if (env.type == pbft::tag(pbft::MsgType::Reply)) {
-      if (engine_.on_reply(env)) completed(now);
-      return {};
+    if (env.type == pbft::tag(pbft::MsgType::Reply) ||
+        env.type == pbft::tag(pbft::MsgType::ReadReply)) {
+      // `out` carries the ordered re-broadcast when a fast read falls back.
+      std::vector<net::Envelope> out;
+      if (engine_.on_reply(env, now, out)) completed(now);
+      return out;
     }
     if constexpr (requires(Engine& e, const net::Envelope& v, Micros t) {
                     e.on_message(v, t);
@@ -61,9 +65,9 @@ class LoadClient final : public Actor,
  private:
   static constexpr std::size_t kMaxQueued = 256;
 
-  void submit(Bytes op, Micros measured_from, Micros now) {
+  void submit(GeneratedOp op, Micros measured_from, Micros now) {
     inflight_measured_from_ = measured_from;
-    harness_.inject(engine_.submit(std::move(op), now));
+    harness_.inject(engine_.submit(std::move(op.op), now, op.read_only));
   }
 
   void completed(Micros now) {
@@ -120,7 +124,7 @@ class LoadClient final : public Actor,
   LatencyHistogram& hist_;
   bool measuring_{false};
   Micros inflight_measured_from_{0};
-  std::deque<std::pair<Micros, Bytes>> queued_;
+  std::deque<std::pair<Micros, GeneratedOp>> queued_;
 };
 
 /// Runs warmup + a quartered measurement window; `sustained` requires
@@ -150,6 +154,10 @@ Report measure(SimHarness& harness, const Options& options,
   Report report;
   summarize_into(hist, options.measure_us, report);
   report.sustained = sustained && report.completed_ops > 0;
+  for (const auto& client : clients) {
+    report.fast_reads += client->engine().fast_reads();
+    report.read_fallbacks += client->engine().read_fallbacks();
+  }
   return report;
 }
 

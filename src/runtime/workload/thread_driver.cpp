@@ -45,7 +45,8 @@ struct StationClient {
   /// Closed loop: pending think-time release (0 = none). Open loop: the
   /// next Poisson arrival.
   Micros due_at{0};
-  std::deque<std::pair<Micros, Bytes>> queued;  // open-loop waiting arrivals
+  // open-loop waiting arrivals
+  std::deque<std::pair<Micros, GeneratedOp>> queued;
 };
 
 /// A station multiplexes many clients onto ONE ThreadNetwork endpoint
@@ -61,6 +62,16 @@ class Station {
   void add_client(ClientId id, Engine engine) {
     clients_.emplace(id, StationClient<Engine>(std::move(engine), options_,
                                                options_.seed * 1'000'003 + id));
+  }
+
+  /// Sums the clients' read fast-path counters (post-run reporting).
+  void accumulate_read_stats(std::uint64_t& fast_reads,
+                             std::uint64_t& read_fallbacks) {
+    const std::scoped_lock lock(mutex_);
+    for (const auto& [id, c] : clients_) {
+      fast_reads += c.engine.fast_reads();
+      read_fallbacks += c.engine.read_fallbacks();
+    }
   }
 
   [[nodiscard]] std::vector<principal::Id> principals() const {
@@ -94,8 +105,10 @@ class Station {
       const auto it = clients_.find(target);
       if (it == clients_.end()) return;
       auto& c = it->second;
-      if (env.type == pbft::tag(pbft::MsgType::Reply)) {
-        if (c.engine.on_reply(env)) completed(c, now);
+      if (env.type == pbft::tag(pbft::MsgType::Reply) ||
+          env.type == pbft::tag(pbft::MsgType::ReadReply)) {
+        // `outs` carries the ordered re-broadcast on a fast-read fallback.
+        if (c.engine.on_reply(env, now, outs)) completed(c, now);
       } else if constexpr (requires(Engine& e, const net::Envelope& v,
                                     Micros t) { e.on_message(v, t); }) {
         outs = c.engine.on_message(env, now);
@@ -131,13 +144,13 @@ class Station {
  private:
   static constexpr std::size_t kMaxQueued = 256;
 
-  void submit(StationClient<Engine>& c, Bytes op, Micros measured_from,
+  void submit(StationClient<Engine>& c, GeneratedOp op, Micros measured_from,
               Micros now) {
     c.inflight_from = measured_from;
     // Sending under the station lock is deadlock-free: ThreadNetwork
     // queue mutexes are leaves, and no endpoint handler takes another
     // station's lock.
-    for (auto& env : c.engine.submit(std::move(op), now)) {
+    for (auto& env : c.engine.submit(std::move(op.op), now, op.read_only)) {
       net_.send(std::move(env));
     }
   }
@@ -226,6 +239,9 @@ Report drive(const Options& options, net::ThreadNetwork& net,
   Report report;
   summarize_into(hist, options.measure_us, report);
   report.sustained = sustained && report.completed_ops > 0;
+  for (auto& station : stations) {
+    station->accumulate_read_stats(report.fast_reads, report.read_fallbacks);
+  }
   return report;
 }
 

@@ -82,15 +82,17 @@ OpGenerator::OpGenerator(const Options& options, std::uint64_t client_seed)
       value_max_(std::max(options.value_max_bytes, options.value_min_bytes)),
       rng_(client_seed) {}
 
-Bytes OpGenerator::next() {
+GeneratedOp OpGenerator::next() {
   const Bytes key = apps::kv::encode_key(zipf_.next(rng_));
-  if (rng_.chance(get_fraction_)) return apps::kv::encode_get(key);
+  if (rng_.chance(get_fraction_)) {
+    return {apps::kv::encode_get(key), /*read_only=*/true};
+  }
   const std::size_t len =
       value_min_ +
       (value_max_ > value_min_
            ? rng_.below(value_max_ - value_min_ + 1)
            : 0);
-  return apps::kv::encode_put(key, rng_.bytes(len));
+  return {apps::kv::encode_put(key, rng_.bytes(len)), /*read_only=*/false};
 }
 
 crypto::Key32 session_key(std::uint64_t seed, ClientId client) {
@@ -143,8 +145,12 @@ std::string report_json(const Options& options, const Report& report) {
      << "\"key_space\": " << options.key_space << ", "
      << "\"key_skew\": " << options.key_skew << ", "
      << "\"get_fraction\": " << options.get_fraction << ", "
+     << "\"read_path\": " << (options.protocol.read_path ? "true" : "false")
+     << ", "
      << "\"measure_us\": " << options.measure_us << ", "
      << "\"completed_ops\": " << report.completed_ops << ", "
+     << "\"fast_reads\": " << report.fast_reads << ", "
+     << "\"read_fallbacks\": " << report.read_fallbacks << ", "
      << "\"ops_per_sec\": " << report.ops_per_sec << ", "
      << "\"mean_latency_ms\": " << report.mean_latency_ms << ", "
      << "\"p50_us\": " << report.p50_us << ", "

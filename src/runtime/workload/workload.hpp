@@ -68,6 +68,11 @@ struct Options {
 
 struct Report {
   std::uint64_t completed_ops{0};
+  /// Read fast-path accounting (whole run, warmup included): reads that
+  /// completed in a single round / reads that fell back to ordering.
+  /// Both zero when the read path is off.
+  std::uint64_t fast_reads{0};
+  std::uint64_t read_fallbacks{0};
   double ops_per_sec{0};
   double mean_latency_ms{0};
   Micros p50_us{0};
@@ -103,6 +108,13 @@ class ZipfGenerator {
   double eta_{0};
 };
 
+/// One generated operation, tagged so drivers know whether it may take the
+/// read fast path (Config::read_path permitting).
+struct GeneratedOp {
+  Bytes op;
+  bool read_only{false};
+};
+
 /// Per-client operation stream: KV GET/PUT ops with skewed keys and sized
 /// values, or opaque payloads for non-KV stacks. Deterministic from the
 /// seed; each client forks its own stream.
@@ -110,8 +122,8 @@ class OpGenerator {
  public:
   OpGenerator(const Options& options, std::uint64_t client_seed);
 
-  /// Next serialized application operation.
-  [[nodiscard]] Bytes next();
+  /// Next serialized application operation, read-only tagged.
+  [[nodiscard]] GeneratedOp next();
 
  private:
   ZipfGenerator zipf_;

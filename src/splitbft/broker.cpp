@@ -241,6 +241,43 @@ void Broker::cut_batch(Micros now, Out& out) {
   }
 }
 
+void Broker::on_read_request(const net::Envelope& env, Micros now, Out& out) {
+  // Read fast path: queue for the Execution compartment alone — no
+  // ordering, no Preparation/Confirmation ecalls, and no suspicion timer
+  // (a read that goes unanswered falls back to ordering client-side).
+  // Reads are coalesced so one ecall serves up to read_batch_max of them;
+  // like request batching, this amortizes the enclave-crossing cost.
+  auto req = pbft::Request::deserialize(env.payload);
+  if (!req) return;
+  pending_reads_.push_back(std::move(*req));
+  if (pending_reads_.size() >= config_.read_batch_max ||
+      config_.read_batch_max <= 1) {
+    cut_read_batch(now, out);
+  } else if (read_batch_deadline_ == 0) {
+    read_batch_deadline_ = now + config_.read_batch_delay_us;
+  }
+}
+
+void Broker::cut_read_batch(Micros now, Out& out) {
+  (void)now;
+  read_batch_deadline_ = 0;
+  while (!pending_reads_.empty()) {
+    pbft::RequestBatch batch;
+    while (!pending_reads_.empty() &&
+           batch.requests.size() < std::max<std::size_t>(
+                                       config_.read_batch_max, 1)) {
+      batch.requests.push_back(std::move(pending_reads_.front()));
+      pending_reads_.pop_front();
+    }
+    net::Envelope env;
+    env.src = 0;  // local hand-off; the enclave re-checks every read
+    env.dst = principal::enclave({self_, Compartment::Execution});
+    env.type = tag(LocalMsg::ReadBatch);
+    env.payload = batch.serialize();
+    deliver_to(Compartment::Execution, env, out);
+  }
+}
+
 void Broker::requeue_outstanding(Micros now, Out& out) {
   if (outstanding_.empty()) return;
   for (const auto& [key, tracked] : outstanding_) {
@@ -256,6 +293,8 @@ std::vector<net::Envelope> Broker::handle(const net::Envelope& env,
   Out out;
   if (env.type == pbft::tag(pbft::MsgType::Request)) {
     on_client_request(env, now, out);
+  } else if (env.type == pbft::tag(pbft::MsgType::ReadRequest)) {
+    on_read_request(env, now, out);
   } else if (passes_ingress_filter(env)) {
     route(env, out, now);
   }
@@ -281,6 +320,9 @@ std::vector<net::Envelope> Broker::tick(Micros now) {
   Out out;
   if (batch_deadline_ != 0 && now >= batch_deadline_) {
     cut_batch(now, out);
+  }
+  if (read_batch_deadline_ != 0 && now >= read_batch_deadline_) {
+    cut_read_batch(now, out);
   }
   // Fire at most one suspicion per sweep, with exponential backoff (the
   // PBFT view-change timeout doubling), and re-queue expired requests for

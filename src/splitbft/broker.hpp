@@ -59,6 +59,10 @@ class Broker final : public runtime::Actor {
   void route(net::Envelope env, Out& out, Micros now);
   void on_client_request(const net::Envelope& env, Micros now, Out& out);
   void cut_batch(Micros now, Out& out);
+  void on_read_request(const net::Envelope& env, Micros now, Out& out);
+  /// Ships queued fast-path reads to the Execution enclave, coalesced up
+  /// to Config::read_batch_max per ecall.
+  void cut_read_batch(Micros now, Out& out);
   [[nodiscard]] bool is_local(principal::Id id,
                               Compartment& out_compartment) const noexcept;
   /// False iff the ingress filter is on and the envelope carries a
@@ -81,6 +85,10 @@ class Broker final : public runtime::Actor {
 
   std::map<std::pair<ClientId, Timestamp>, pbft::Request> pending_batch_;
   Micros batch_deadline_{0};
+  // Fast-path reads waiting for coalesced delivery to Execution. Pure
+  // liveness state: the enclave re-authenticates every read.
+  std::deque<pbft::Request> pending_reads_;
+  Micros read_batch_deadline_{0};
   // Suspicion timers + request copies for post-view-change re-proposal.
   std::map<std::pair<ClientId, Timestamp>, Outstanding> outstanding_;
   std::deque<net::Envelope> local_queue_;

@@ -1,5 +1,6 @@
 #include "splitbft/client.hpp"
 
+#include "common/serde.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/x25519.hpp"
@@ -129,7 +130,8 @@ std::vector<net::Envelope> SplitClient::broadcast_request() const {
   std::vector<net::Envelope> out;
   net::Envelope env;
   env.src = principal::client(id_);
-  env.type = pbft::tag(pbft::MsgType::Request);
+  env.type = pbft::tag(fast_read_ ? pbft::MsgType::ReadRequest
+                                  : pbft::MsgType::Request);
   env.payload = request_.serialize();
   for (ReplicaId r = 0; r < config_.n; ++r) {
     env.dst = principal::splitbft_env(r);
@@ -138,15 +140,21 @@ std::vector<net::Envelope> SplitClient::broadcast_request() const {
   return out;
 }
 
-std::vector<net::Envelope> SplitClient::submit(Bytes operation, Micros now) {
+std::vector<net::Envelope> SplitClient::submit(Bytes operation, Micros now,
+                                               bool read_only) {
   in_flight_ = true;
   votes_.clear();
+  read_votes_.clear();
+  read_results_.clear();
+  read_replied_.clear();
   ++timestamp_;
 
   request_ = pbft::Request{};
   request_.client = id_;
   request_.timestamp = timestamp_;
   // End-to-end encryption: only Execution enclaves hold the session key.
+  // Fast reads seal under the same request channel — the ordered fallback
+  // re-broadcasts these exact bytes, so the operation is encrypted once.
   request_.payload = crypto::aead_seal(
       session_key_, crypto::make_nonce(channels::kRequest, timestamp_), {},
       operation);
@@ -154,12 +162,98 @@ std::vector<net::Envelope> SplitClient::submit(Bytes operation, Micros now) {
       ByteView{auth_key_.data(), auth_key_.size()}, request_.auth_input());
   request_.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
 
-  retry_deadline_ = now + retry_timeout_us_;
+  fast_read_ = read_only && config_.read_path;
+  if (fast_read_) {
+    read_deadline_ = now + config_.read_fallback_timeout_us;
+    retry_deadline_ = 0;
+  } else {
+    read_deadline_ = 0;
+    retry_deadline_ = now + retry_timeout_us_;
+  }
   return broadcast_request();
 }
 
-std::optional<Bytes> SplitClient::on_reply(const net::Envelope& env) {
-  if (!in_flight_ || env.type != pbft::tag(pbft::MsgType::Reply)) {
+void SplitClient::finish() noexcept {
+  in_flight_ = false;
+  fast_read_ = false;
+  retry_deadline_ = 0;
+  read_deadline_ = 0;
+}
+
+void SplitClient::fall_back(Micros now, std::vector<net::Envelope>& out) {
+  if (!fast_read_) return;
+  fast_read_ = false;
+  read_deadline_ = 0;
+  ++read_fallbacks_;
+  retry_deadline_ = now + retry_timeout_us_;
+  for (auto& env : broadcast_request()) out.push_back(std::move(env));
+}
+
+std::optional<Bytes> SplitClient::on_read_reply(
+    const net::Envelope& env, Micros now, std::vector<net::Envelope>& out) {
+  auto rr = pbft::ReadReply::deserialize(env.payload);
+  if (!rr || rr->client != id_ || rr->timestamp != timestamp_ ||
+      rr->sender >= config_.n) {
+    return std::nullopt;
+  }
+  if (!crypto::hmac_verify(ByteView{auth_key_.data(), auth_key_.size()},
+                           rr->auth_input(), rr->auth)) {
+    return std::nullopt;  // forged read reply
+  }
+  if (env.src != principal::enclave({rr->sender, Compartment::Execution})) {
+    return std::nullopt;  // vote misattributed to another enclave
+  }
+  if (!read_replied_.insert(rr->sender).second) {
+    return std::nullopt;  // one vote per replica
+  }
+
+  const ReadKey key{rr->result_digest, rr->exec_seq};
+  read_votes_[key].insert(rr->sender);
+  if (rr->has_result) {
+    // The designated responder's value is encrypted for us under a key
+    // derived from (timestamp, advertised state version, replica) — see
+    // ExecCompartment::serve_read; it counts only if the decrypted
+    // plaintext digests to the advertised vote.
+    Writer ctx;
+    ctx.u64(rr->timestamp);
+    ctx.u64(rr->exec_seq);
+    ctx.u32(rr->sender);
+    const crypto::Key32 seal_key = crypto::derive_key(
+        ByteView{session_key_.data(), session_key_.size()},
+        "read-reply-seal", std::move(ctx).take());
+    const auto plain = crypto::aead_open(
+        seal_key,
+        crypto::make_nonce(channels::kReadReplyBase + rr->sender,
+                           rr->timestamp),
+        {}, rr->result);
+    if (plain && read_result_digest(session_key_, rr->timestamp, *plain) ==
+                     rr->result_digest) {
+      read_results_.emplace(key, std::move(*plain));
+    }
+  }
+
+  const auto votes = read_votes_.find(key);
+  if (votes->second.size() >= config_.quorum()) {
+    const auto full = read_results_.find(key);
+    if (full != read_results_.end()) {
+      Bytes result = full->second;
+      finish();
+      ++fast_reads_;
+      return result;
+    }
+  }
+  if (read_replied_.size() >= config_.n) fall_back(now, out);
+  return std::nullopt;
+}
+
+std::optional<Bytes> SplitClient::on_reply(const net::Envelope& env,
+                                           Micros now,
+                                           std::vector<net::Envelope>& out) {
+  if (!in_flight_) return std::nullopt;
+  if (fast_read_ && env.type == pbft::tag(pbft::MsgType::ReadReply)) {
+    return on_read_reply(env, now, out);
+  }
+  if (env.type != pbft::tag(pbft::MsgType::Reply)) {
     return std::nullopt;
   }
   auto reply = pbft::Reply::deserialize(env.payload);
@@ -186,9 +280,12 @@ std::optional<Bytes> SplitClient::on_reply(const net::Envelope& env) {
   }
   auto& senders = votes_[vote];
   senders.insert(reply->sender);
-  if (senders.size() >= config_.f + 1) {
-    in_flight_ = false;
-    retry_deadline_ = 0;
+  // See pbft::Client::on_reply: read_path strengthens the ordered reply
+  // quorum to 2f+1 so fast reads can never miss an acknowledged write.
+  const std::uint32_t needed =
+      config_.read_path ? config_.quorum() : config_.f + 1;
+  if (senders.size() >= needed) {
+    finish();
     return vote;
   }
   return std::nullopt;
@@ -215,7 +312,10 @@ std::vector<net::Envelope> SplitClient::tick(Micros now) {
       out.push_back(std::move(env));
     }
   }
-  if (in_flight_ && retry_deadline_ != 0 && now >= retry_deadline_) {
+  if (in_flight_ && fast_read_) {
+    // Unanswered fast read: give up on the single-round path and order it.
+    if (read_deadline_ != 0 && now >= read_deadline_) fall_back(now, out);
+  } else if (in_flight_ && retry_deadline_ != 0 && now >= retry_deadline_) {
     retry_deadline_ = now + retry_timeout_us_;
     for (auto& env : broadcast_request()) out.push_back(std::move(env));
   }
@@ -224,7 +324,10 @@ std::vector<net::Envelope> SplitClient::tick(Micros now) {
 
 std::optional<Micros> SplitClient::next_deadline() const {
   std::optional<Micros> next;
-  if (in_flight_ && retry_deadline_ != 0) next = retry_deadline_;
+  if (in_flight_ && fast_read_ && read_deadline_ != 0) next = read_deadline_;
+  if (in_flight_ && !fast_read_ && retry_deadline_ != 0) {
+    next = retry_deadline_;
+  }
   if (!session_ready() && session_retry_deadline_ != 0 &&
       (!next || session_retry_deadline_ < *next)) {
     next = session_retry_deadline_;

@@ -64,19 +64,40 @@ class SplitClient {
   }
   [[nodiscard]] std::size_t ack_count() const noexcept { return acks_.size(); }
 
-  /// Submits one operation (plaintext; encrypted internally).
-  [[nodiscard]] std::vector<net::Envelope> submit(Bytes operation, Micros now);
+  /// Submits one operation (plaintext; encrypted internally). With
+  /// `read_only` set (and Config::read_path on) the operation is broadcast
+  /// as a ReadRequest served directly by the Execution compartments — a
+  /// single round that bypasses the Preparation/Confirmation enclaves.
+  [[nodiscard]] std::vector<net::Envelope> submit(Bytes operation, Micros now,
+                                                  bool read_only = false);
 
-  /// Feeds a Reply; returns the decrypted result once f+1 replicas agree.
-  [[nodiscard]] std::optional<Bytes> on_reply(const net::Envelope& env);
+  /// Feeds a Reply or ReadReply; returns the decrypted result once the
+  /// in-flight operation completed (ordered: f+1 matching plaintexts;
+  /// fast read: 2f+1 matching (digest, exec-seq) votes plus the designated
+  /// responder's value). `out` receives the ordered re-broadcast when a
+  /// fast read falls back on a reply mismatch.
+  [[nodiscard]] std::optional<Bytes> on_reply(const net::Envelope& env,
+                                              Micros now,
+                                              std::vector<net::Envelope>& out);
 
   [[nodiscard]] std::vector<net::Envelope> tick(Micros now);
   [[nodiscard]] std::optional<Micros> next_deadline() const;
   [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
   [[nodiscard]] ClientId id() const noexcept { return id_; }
+  /// Reads completed via the fast path / reads that fell back to ordering.
+  [[nodiscard]] std::uint64_t fast_reads() const noexcept {
+    return fast_reads_;
+  }
+  [[nodiscard]] std::uint64_t read_fallbacks() const noexcept {
+    return read_fallbacks_;
+  }
 
  private:
   [[nodiscard]] std::vector<net::Envelope> broadcast_request() const;
+  [[nodiscard]] std::optional<Bytes> on_read_reply(
+      const net::Envelope& env, Micros now, std::vector<net::Envelope>& out);
+  void fall_back(Micros now, std::vector<net::Envelope>& out);
+  void finish() noexcept;
   void handle_attest_report(const net::Envelope& env,
                             std::vector<net::Envelope>& out);
   void handle_session_ack(const net::Envelope& env);
@@ -103,6 +124,16 @@ class SplitClient {
   Micros retry_deadline_{0};
   // Decrypted result -> voting replicas.
   std::map<Bytes, std::set<ReplicaId>> votes_;
+
+  // --- read fast path ---
+  bool fast_read_{false};
+  Micros read_deadline_{0};
+  using ReadKey = std::pair<Digest, SeqNum>;  // (plaintext digest, exec seq)
+  std::map<ReadKey, std::set<ReplicaId>> read_votes_;
+  std::map<ReadKey, Bytes> read_results_;  // digest-verified plaintexts
+  std::set<ReplicaId> read_replied_;
+  std::uint64_t fast_reads_{0};
+  std::uint64_t read_fallbacks_{0};
 };
 
 }  // namespace sbft::splitbft

@@ -1,6 +1,9 @@
 #include "splitbft/exec_compartment.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
+#include "pbft/reply_cache.hpp"
 #include "common/serde.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/sha256.hpp"
@@ -61,10 +64,17 @@ bool ExecCompartment::in_window(SeqNum seq) const noexcept {
 
 std::vector<net::Envelope> ExecCompartment::deliver(const net::Envelope& env) {
   Out out;
+  if (env.type == tag(LocalMsg::ReadBatch)) {
+    on_read_batch(env, out);
+    return out;
+  }
   switch (static_cast<pbft::MsgType>(env.type)) {
     case pbft::MsgType::PrePrepare:
       on_pre_prepare(env);
       try_execute(out);
+      break;
+    case pbft::MsgType::ReadRequest:
+      on_read_request(env, out);
       break;
     case pbft::MsgType::Commit:
       on_commit(env, out);
@@ -106,6 +116,83 @@ void ExecCompartment::on_pre_prepare(const net::Envelope& env) {
   if (!verify_pre_prepare_envelope(env, *pp, auth_, signer_id)) return;
   if (crypto::sha256(pp->batch) != pp->batch_digest) return;
   log_[pp->seq].batches[pp->batch_digest] = pp->batch;
+}
+
+// --------------------------------------------------------- read fast path
+
+void ExecCompartment::on_read_request(const net::Envelope& env, Out& out) {
+  if (!config_.read_path) return;  // client falls back via its timeout
+  auto req = pbft::Request::deserialize(env.payload);
+  if (!req) return;
+  serve_read(*req, out);
+}
+
+void ExecCompartment::on_read_batch(const net::Envelope& env, Out& out) {
+  if (!config_.read_path) return;
+  auto batch = pbft::RequestBatch::deserialize(env.payload);
+  if (!batch) return;
+  for (const auto& req : batch->requests) serve_read(req, out);
+}
+
+void ExecCompartment::serve_read(const pbft::Request& req, Out& out) {
+  const crypto::Key32 auth_key = clients_.auth_key(req.client);
+  if (!crypto::hmac_verify(ByteView{auth_key.data(), auth_key.size()},
+                           req.auth_input(), req.auth)) {
+    return;
+  }
+  // Decrypt with the client session; without one (or on a corrupted
+  // operation) the read cannot be served — stay silent, the client's
+  // fallback re-submits through ordering.
+  const auto session = sessions_.find(req.client);
+  if (session == sessions_.end()) return;
+  const auto op = crypto::aead_open(
+      session->second, crypto::make_nonce(kRequestChannel, req.timestamp), {},
+      req.payload);
+  if (!op || !app_->is_read_only(*op)) return;
+
+  // Serve under the current stable (last-executed) state. No sequence
+  // number, no client record, no Preparation/Confirmation ecalls.
+  const Bytes result = app_->execute_read(*op);
+  pbft::ReadReply rr;
+  rr.timestamp = req.timestamp;
+  rr.client = req.client;
+  rr.sender = self_;
+  rr.exec_seq = last_executed_;
+  // Votes compare plaintext digests (ciphertexts are replica-specific);
+  // the digest is keyed so it leaks nothing to the relaying environments.
+  rr.result_digest =
+      read_result_digest(session->second, req.timestamp, result);
+  if (config_.read_responder(req.client, req.timestamp) == self_) {
+    rr.has_result = true;
+    // Seal under a key derived from (timestamp, state version, replica).
+    // A read's plaintext is a pure function of (operation, exec_seq), so
+    // re-serving the same (ts, exec_seq) re-seals identical bytes, while
+    // a REPLAYED ReadRequest served after a state change derives a
+    // different key — the deterministic nonce is never reused with
+    // different plaintext, even with an untrusted broker redelivering.
+    Writer ctx;
+    ctx.u64(req.timestamp);
+    ctx.u64(last_executed_);
+    ctx.u32(self_);
+    const crypto::Key32 seal_key = crypto::derive_key(
+        ByteView{session->second.data(), session->second.size()},
+        "read-reply-seal", std::move(ctx).take());
+    rr.result = crypto::aead_seal(
+        seal_key,
+        crypto::make_nonce(channels::kReadReplyBase + self_, req.timestamp),
+        {}, result);
+  }
+  const Digest mac = crypto::hmac_sha256(
+      ByteView{auth_key.data(), auth_key.size()}, rr.auth_input());
+  rr.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+  ++reads_served_;
+
+  net::Envelope reply;
+  reply.src = signer_->id();
+  reply.dst = principal::client(req.client);
+  reply.type = pbft::tag(pbft::MsgType::ReadReply);
+  reply.payload = rr.serialize();
+  out.push_back(std::move(reply));
 }
 
 // -------------------------------------------------------------- handler (4)
@@ -164,6 +251,10 @@ void ExecCompartment::try_execute(Out& out) {
       batch = std::move(*parsed);
     }
     for (const auto& req : batch.requests) execute_request(req, out);
+    // Deterministic eviction point: every Execution enclave has executed
+    // the identical prefix here, so the pruned tables (and checkpoint
+    // digests over them) agree.
+    gc_client_records();
     executed_digests_[seq] = digest;
     last_executed_ = seq;
     maybe_checkpoint(seq, out);
@@ -231,6 +322,14 @@ net::Envelope ExecCompartment::reply_envelope(
   env.type = pbft::tag(pbft::MsgType::Reply);
   env.payload = reply.serialize();
   return env;
+}
+
+void ExecCompartment::gc_client_records() {
+  // Stripping (not erasing) is what keeps the reply AEAD channels sound:
+  // a record's (client, last_ts) floor outlives its cached result, so an
+  // old timestamp can never re-execute and re-seal different plaintext
+  // under the already-used (kReplyBase + self, ts) nonce.
+  pbft::strip_reply_cache(client_records_, config_.client_record_cap);
 }
 
 // -------------------------------------------------------------- handler (8)

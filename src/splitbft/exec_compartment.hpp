@@ -65,6 +65,24 @@ class ExecCompartment final : public CompartmentLogic {
   [[nodiscard]] std::uint64_t executed_requests() const noexcept {
     return executed_requests_;
   }
+  /// Read-only requests served via the fast path (no sequence number, no
+  /// Preparation/Confirmation involvement).
+  [[nodiscard]] std::uint64_t reads_served() const noexcept {
+    return reads_served_;
+  }
+  /// Client-record count (GC bounds tests).
+  [[nodiscard]] std::size_t client_record_count() const noexcept {
+    return client_records_.size();
+  }
+  /// Records still holding a cached reply body — what client_record_cap
+  /// bounds (the at-most-once floor itself is never dropped).
+  [[nodiscard]] std::size_t cached_reply_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [client, record] : client_records_) {
+      if (record.has_reply) ++n;
+    }
+    return n;
+  }
   [[nodiscard]] const std::map<SeqNum, Digest>& execution_history()
       const noexcept {
     return executed_digests_;
@@ -106,6 +124,11 @@ class ExecCompartment final : public CompartmentLogic {
   using Out = std::vector<net::Envelope>;
 
   void on_pre_prepare(const net::Envelope& env);
+  void on_read_request(const net::Envelope& env, Out& out);
+  void on_read_batch(const net::Envelope& env, Out& out);
+  /// Serves one authenticated read-only request against last-executed
+  /// state (shared by the single-read and coalesced-batch entry points).
+  void serve_read(const pbft::Request& req, Out& out);
   void on_commit(const net::Envelope& env, Out& out);
   void on_checkpoint(const net::Envelope& env, Out& out);
   void on_new_view(const net::Envelope& env, Out& out);
@@ -117,6 +140,9 @@ class ExecCompartment final : public CompartmentLogic {
   void try_execute(Out& out);
   void execute_request(const pbft::Request& req, Out& out);
   void maybe_checkpoint(SeqNum seq, Out& out);
+  /// Deterministic reply-body stripping keeping the cache under
+  /// Config::client_record_cap (see pbft::strip_reply_cache).
+  void gc_client_records();
   void garbage_collect(SeqNum stable);
   void request_state(SeqNum seq, Out& out);
 
@@ -154,6 +180,7 @@ class ExecCompartment final : public CompartmentLogic {
 
   std::map<SeqNum, Digest> executed_digests_;
   std::uint64_t executed_requests_{0};
+  std::uint64_t reads_served_{0};
   Digest null_batch_digest_;
 };
 

@@ -1,6 +1,7 @@
 #include "splitbft/messages.hpp"
 
 #include "common/serde.hpp"
+#include "crypto/hmac.hpp"
 
 namespace sbft::splitbft {
 
@@ -65,6 +66,16 @@ SplitPrePrepare SplitPrePrepare::stripped() const {
   copy.batch.clear();
   copy.has_batch = false;
   return copy;
+}
+
+Digest read_result_digest(const crypto::Key32& session_key,
+                          Timestamp timestamp, ByteView plaintext) {
+  Writer w;
+  w.raw(to_bytes("read-digest"));  // domain separation from other HMAC uses
+  w.u64(timestamp);
+  w.bytes(plaintext);
+  return crypto::hmac_sha256(
+      ByteView{session_key.data(), session_key.size()}, std::move(w).take());
 }
 
 net::Envelope make_signed_proto(const crypto::Signer& signer,

@@ -28,6 +28,9 @@ enum class LocalMsg : std::uint32_t {
   Batch = 40,
   /// Broker suspicion timer fired; Confirmation may start a view change.
   SuspectPrimary = 41,
+  /// Broker delivers coalesced fast-path reads (a serialized RequestBatch)
+  /// to the Execution enclave — one ecall for up to read_batch_max reads.
+  ReadBatch = 42,
 };
 
 [[nodiscard]] constexpr std::uint32_t tag(LocalMsg t) noexcept {
@@ -44,11 +47,30 @@ inline constexpr std::uint32_t kReplyBase = 0x5000;
 inline constexpr std::uint32_t kSessionWrap = 0x5e55;
 /// Encrypted state transfer between Execution enclaves (seq = seq number).
 inline constexpr std::uint32_t kState = 0x57a7;
+/// Fast-path read replies, one channel per replica (seq = timestamp).
+/// Distinct from kReplyBase: the ordered fallback of the same timestamp
+/// re-encrypts a possibly different value, so the two paths must never
+/// share a nonce. Additionally, read replies are sealed under a key
+/// DERIVED from (timestamp, exec_seq, replica): an untrusted broker
+/// replaying a ReadRequest across a state change makes the enclave derive
+/// a fresh key, so the deterministic nonce is never reused with different
+/// plaintext.
+inline constexpr std::uint32_t kReadReplyBase = 0x6e00;
 }  // namespace channels
 
 /// Marker reply sent when the Execution enclave had to execute a no-op
 /// (missing session or corrupted operation).
 [[nodiscard]] inline Bytes no_op_marker() { return to_bytes("<no-op>"); }
+
+/// Read-vote digest over a read result PLAINTEXT. Fast-path read replies
+/// are compared across replicas, but each replica encrypts its reply under
+/// its own nonce channel — so replicas vote with a digest of the plaintext
+/// instead. The digest is keyed with the client session key (domain
+/// separated from every other HMAC use) so it leaks nothing about the
+/// value to the untrusted environments relaying it.
+[[nodiscard]] Digest read_result_digest(const crypto::Key32& session_key,
+                                        Timestamp timestamp,
+                                        ByteView plaintext);
 
 /// Header-signed pre-prepare.
 struct SplitPrePrepare {

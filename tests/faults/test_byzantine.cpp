@@ -325,5 +325,106 @@ TEST(SplitByzantine, FaultyExecutionEnclaveLosesConfidentiality) {
   EXPECT_TRUE(found) << "a compromised Execution enclave sees plaintext";
 }
 
+// ------------------------------------------------- read fast path faults
+
+TEST(ReadPathByzantine, PbftForgedReadRepliesAreOutvoted) {
+  PbftClusterOptions options;
+  options.seed = 48;
+  options.config.read_path = true;
+  PbftCluster cluster(options,
+                      [] { return std::make_unique<apps::KvStore>(); });
+  cluster.add_client(kFirstClientId);
+
+  // Replica 3 serves consistently forged read replies (valid client MAC,
+  // attacker value + matching digest). ts=2 designates replica 2 (honest),
+  // so the honest quorum {0, 1, 2} completes the fast read and outvotes it.
+  auto forger = std::make_shared<faults::ReadReplyForger>(
+      cluster.replica_actor(3), cluster.directory(), to_bytes("forged!"));
+  cluster.harness().replace_actor(principal::pbft_replica(3), forger);
+
+  ASSERT_TRUE(cluster
+                  .execute(kFirstClientId,
+                           apps::kv::encode_put(to_bytes("k"), to_bytes("v")))
+                  .has_value());
+  cluster.harness().run_for(1'000'000);
+  const auto got =
+      cluster.execute_read(kFirstClientId, apps::kv::encode_get(to_bytes("k")));
+  ASSERT_TRUE(got.has_value());
+  const auto reply = apps::kv::decode_reply(*got);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->value, to_bytes("v"));  // honest value wins
+  EXPECT_GT(forger->forged(), 0u);
+  EXPECT_EQ(cluster.client(kFirstClientId).client().fast_reads(), 1u);
+}
+
+TEST(ReadPathByzantine, PbftByzantineDesignatedResponderForcesFallback) {
+  PbftClusterOptions options;
+  options.seed = 49;
+  options.config.read_path = true;
+  PbftCluster cluster(options,
+                      [] { return std::make_unique<apps::KvStore>(); });
+  cluster.add_client(kFirstClientId);
+
+  // ts=2 designates replica (1000 + 2) % 4 = 2 — the forger. The honest
+  // quorum forms but its full value is missing/forged, so the client must
+  // fall back to the ordered path and still read the honest value.
+  auto forger = std::make_shared<faults::ReadReplyForger>(
+      cluster.replica_actor(2), cluster.directory(), to_bytes("forged!"));
+  cluster.harness().replace_actor(principal::pbft_replica(2), forger);
+
+  ASSERT_TRUE(cluster
+                  .execute(kFirstClientId,
+                           apps::kv::encode_put(to_bytes("k"), to_bytes("v")))
+                  .has_value());
+  cluster.harness().run_for(1'000'000);
+  const auto got =
+      cluster.execute_read(kFirstClientId, apps::kv::encode_get(to_bytes("k")));
+  ASSERT_TRUE(got.has_value());
+  const auto reply = apps::kv::decode_reply(*got);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->value, to_bytes("v"));
+  EXPECT_GT(forger->forged(), 0u);
+  EXPECT_EQ(cluster.client(kFirstClientId).client().read_fallbacks(), 1u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ReadPathByzantine, SplitForgedReadRepliesAreOutvoted) {
+  SplitClusterOptions options;
+  options.seed = 50;
+  options.config.read_path = true;
+  // Replica 1's Execution enclave serves stale/forged read votes; ts=2
+  // designates replica 2 (honest), so {0, 2, 3} outvote it in one round.
+  options.compartment_faults[1] = [](ReplicaId,
+                                     const crypto::KeyRing&) {
+    return [](Compartment type,
+              std::unique_ptr<splitbft::CompartmentLogic> inner)
+               -> std::unique_ptr<splitbft::CompartmentLogic> {
+      if (type != Compartment::Execution) return inner;
+      return std::make_unique<faults::ForgingReadExec>(
+          std::move(inner), pbft::ClientDirectory(0x5ec7e7),
+          to_bytes("forged-read"));
+    };
+  };
+  SplitbftCluster cluster(
+      options,
+      splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+
+  ASSERT_TRUE(cluster
+                  .execute(kFirstClientId,
+                           apps::kv::encode_put(to_bytes("k"), to_bytes("v")))
+                  .has_value());
+  cluster.harness().run_for(2'000'000);
+  const auto got =
+      cluster.execute_read(kFirstClientId, apps::kv::encode_get(to_bytes("k")));
+  ASSERT_TRUE(got.has_value());
+  const auto reply = apps::kv::decode_reply(*got);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->value, to_bytes("v"));  // honest value wins
+  EXPECT_EQ(cluster.client(kFirstClientId).client().fast_reads(), 1u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
 }  // namespace
 }  // namespace sbft::runtime

@@ -4,6 +4,7 @@
 
 #include <map>
 
+#include "apps/kv_store.hpp"
 #include "runtime/workload/sim_driver.hpp"
 #include "runtime/workload/thread_driver.hpp"
 
@@ -64,9 +65,13 @@ TEST(Workload, OpStreamIsDeterministicPerSeed) {
   OpGenerator c(options, 78);
   bool diverged = false;
   for (int i = 0; i < 32; ++i) {
-    const Bytes oa = a.next();
-    EXPECT_EQ(oa, b.next());
-    if (oa != c.next()) diverged = true;
+    const GeneratedOp oa = a.next();
+    const GeneratedOp ob = b.next();
+    EXPECT_EQ(oa.op, ob.op);
+    EXPECT_EQ(oa.read_only, ob.read_only);
+    // The tag must agree with the operation's own classification.
+    EXPECT_EQ(oa.read_only, apps::kv::is_read_only(oa.op));
+    if (oa.op != c.next().op) diverged = true;
   }
   EXPECT_TRUE(diverged);  // different seeds -> different streams
 }

@@ -1,0 +1,127 @@
+// Read fast path in SplitBFT: the broker routes tagged reads straight to
+// the Execution compartment, which serves them under its last-executed
+// state — no Preparation/Confirmation ecalls, no sequence numbers, and
+// encrypted replies whose plaintext digests form the client's read quorum.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+
+#include "apps/kv_store.hpp"
+#include "runtime/splitbft_cluster.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+[[nodiscard]] splitbft::ExecAppFactory kv_factory() {
+  return splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); });
+}
+
+TEST(SplitReadPath, FastReadsBypassOrderingEntirely) {
+  SplitClusterOptions options;
+  options.seed = 71;
+  options.config.read_path = true;
+  SplitbftCluster cluster(options, kv_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+
+  ASSERT_TRUE(cluster
+                  .execute(kFirstClientId,
+                           apps::kv::encode_put(to_bytes("k"), to_bytes("v")))
+                  .has_value());
+  cluster.harness().run_for(2'000'000);
+
+  std::array<SeqNum, 4> seq_before{};
+  for (ReplicaId r = 0; r < 4; ++r) {
+    seq_before[r] = cluster.replica(r).exec().last_executed();
+  }
+
+  constexpr int kReads = 5;
+  for (int i = 0; i < kReads; ++i) {
+    const auto got = cluster.execute_read(kFirstClientId,
+                                          apps::kv::encode_get(to_bytes("k")));
+    ASSERT_TRUE(got.has_value()) << "read " << i;
+    const auto reply = apps::kv::decode_reply(*got);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->status, apps::KvStatus::Ok);
+    EXPECT_EQ(reply->value, to_bytes("v"));
+  }
+  cluster.harness().run_for(2'000'000);
+
+  // Exec-compartment bypass: reads consumed no sequence numbers anywhere
+  // and were served by every Execution enclave.
+  for (ReplicaId r = 0; r < 4; ++r) {
+    EXPECT_EQ(cluster.replica(r).exec().last_executed(), seq_before[r])
+        << "r" << r;
+    EXPECT_EQ(cluster.replica(r).exec().reads_served(),
+              static_cast<std::uint64_t>(kReads))
+        << "r" << r;
+  }
+  EXPECT_EQ(cluster.client(kFirstClientId).client().fast_reads(),
+            static_cast<std::uint64_t>(kReads));
+  EXPECT_EQ(cluster.client(kFirstClientId).client().read_fallbacks(), 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(SplitReadPath, EncryptedReadRepliesNeverLeakTheValue) {
+  // The read quorum digests are keyed HMACs and the designated responder's
+  // value is AEAD-sealed: nothing crossing the untrusted environments may
+  // contain the plaintext.
+  const std::string secret = "CONFIDENTIAL-READ-7";
+  SplitClusterOptions options;
+  options.seed = 72;
+  options.config.read_path = true;
+  SplitbftCluster cluster(options, kv_factory());
+  cluster.add_client(kFirstClientId);
+  ASSERT_TRUE(cluster.setup_sessions());
+  ASSERT_TRUE(
+      cluster
+          .execute(kFirstClientId,
+                   apps::kv::encode_put(to_bytes("acct"), to_bytes(secret)))
+          .has_value());
+  cluster.harness().run_for(1'000'000);
+
+  // Observe every envelope leaving replica 0's environment during the read.
+  std::vector<Bytes> observed;
+  class Tap final : public Actor {
+   public:
+    Tap(std::shared_ptr<Actor> inner, std::vector<Bytes>& sink)
+        : inner_(std::move(inner)), sink_(sink) {}
+    std::vector<net::Envelope> handle(const net::Envelope& env,
+                                      Micros now) override {
+      sink_.emplace_back(env.payload.begin(), env.payload.end());
+      auto outs = inner_->handle(env, now);
+      for (const auto& out : outs) {
+        sink_.emplace_back(out.payload.begin(), out.payload.end());
+      }
+      return outs;
+    }
+    std::vector<net::Envelope> tick(Micros now) override {
+      return inner_->tick(now);
+    }
+
+   private:
+    std::shared_ptr<Actor> inner_;
+    std::vector<Bytes>& sink_;
+  };
+  cluster.interpose_env(0, [&observed](std::shared_ptr<Actor> in) {
+    return std::make_shared<Tap>(std::move(in), observed);
+  });
+
+  const auto got = cluster.execute_read(
+      kFirstClientId, apps::kv::encode_get(to_bytes("acct")));
+  ASSERT_TRUE(got.has_value());
+  const auto reply = apps::kv::decode_reply(*got);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->value, to_bytes(secret));
+
+  ASSERT_FALSE(observed.empty());
+  for (const auto& bytes : observed) {
+    const std::string haystack(bytes.begin(), bytes.end());
+    EXPECT_EQ(haystack.find(secret), std::string::npos)
+        << "read path leaked plaintext through an untrusted environment";
+  }
+}
+
+}  // namespace
+}  // namespace sbft::runtime
