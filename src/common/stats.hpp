@@ -45,6 +45,48 @@ class alignas(kCacheLineBytes) Counter {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// Instantaneous level with a high-water mark (queue depths, in-flight
+/// work). Thread-safe; like Counter, the atomics are statistics, not
+/// synchronization, except the peak update which uses a CAS loop so two
+/// concurrent set() calls can never lose the larger observation.
+class alignas(kCacheLineBytes) Gauge {
+ public:
+  Gauge() = default;
+
+  void set(std::uint64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (v > peak &&
+           !peak_.compare_exchange_weak(peak, v, std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::uint64_t n = 1) noexcept {
+    const std::uint64_t v =
+        value_.fetch_add(n, std::memory_order_relaxed) + n;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (v > peak &&
+           !peak_.compare_exchange_weak(peak, v, std::memory_order_relaxed)) {
+    }
+  }
+  void sub(std::uint64_t n = 1) noexcept {
+    value_.fetch_sub(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept {
+    value_.store(0, std::memory_order_relaxed);
+    peak_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
+
 /// Latency summary (count/mean/percentiles) shared by both samplers:
 /// LatencyRecorder computes it from raw samples, LatencyHistogram from its
 /// fixed-memory buckets — consumers keep the same field names either way.

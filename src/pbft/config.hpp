@@ -62,6 +62,17 @@ struct Config {
   /// concurrently active clients; 0 = unbounded.
   std::size_t client_record_cap{65'536};
 
+  /// Self-tuning (runtime/runner AutoTuner): when set, the replica/broker
+  /// adjusts batch_max, pipeline_depth and read_batch_max from the observed
+  /// admitted-but-unexecuted backlog. Tuned knobs only shape proposals on
+  /// the primary — they are consensus-ordered, so replicas never diverge.
+  bool auto_tune{false};
+  /// Admission control: a FRESH request arriving while this many are
+  /// already pending is shed before it creates protocol state or arms a
+  /// suspicion timer (silence = backpressure; the client retransmits).
+  /// Retransmits of already-admitted requests always pass. 0 = unlimited.
+  std::size_t admission_queue_cap{0};
+
   /// Client-request timeout before suspecting the primary.
   Micros request_timeout_us{400'000};
   /// Escalation timeout while waiting for a NewView.

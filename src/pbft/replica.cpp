@@ -20,14 +20,26 @@ Replica::Replica(Config config, ReplicaId id,
                  std::shared_ptr<const crypto::Signer> signer,
                  std::shared_ptr<const crypto::Verifier> verifier,
                  ClientDirectory clients, apps::AppFactory app_factory,
-                 std::shared_ptr<net::VerifyCache> auth)
+                 std::shared_ptr<net::VerifyCache> auth,
+                 std::shared_ptr<runtime::runner::OrderedRunner> runner)
     : config_(config),
       id_(id),
       signer_(std::move(signer)),
       auth_(auth ? std::move(auth)
                  : std::make_shared<net::VerifyCache>(std::move(verifier))),
       clients_(clients),
-      app_(app_factory()) {}
+      app_(app_factory()),
+      runner_(runner ? std::move(runner)
+                     : std::make_shared<runtime::runner::SyncOrderedRunner>()) {
+  if (config_.auto_tune) {
+    tuner_ = std::make_unique<runtime::runner::AutoTuner>(
+        runtime::runner::TuningLimits{}, config_.batch_max,
+        config_.pipeline_depth, config_.read_batch_max);
+    config_.batch_max = tuner_->batch_max();
+    config_.pipeline_depth = tuner_->pipeline_depth();
+    config_.read_batch_max = tuner_->read_batch_max();
+  }
+}
 
 // --------------------------------------------------------------- plumbing
 
@@ -100,7 +112,59 @@ Replica::GcFootprint Replica::gc_footprint() const {
   for (const auto& [client, record] : client_records_) {
     if (record.has_reply) ++fp.cached_replies;
   }
+  fp.runner_queue = runner_->queue_depth();
+  fp.staged_replies = staged_out_.size();
   return fp;
+}
+
+// ---------------------------------------------------------- staged runner
+
+void Replica::stage_reply(ClientId client, Timestamp ts, View view,
+                          Bytes result) {
+  // Parallel stage: build + MAC + serialize from captured copies only.
+  // clients_.auth_key is a thread-safe sharded cache; nothing here may
+  // reference client_records_ (gc_client_records strips bodies while work
+  // is still in flight within the same engine call).
+  runner_->submit([this, client, ts, view, result = std::move(result)]() mutable
+                  -> runtime::runner::Epilogue {
+    Reply reply;
+    reply.view = view;
+    reply.timestamp = ts;
+    reply.client = client;
+    reply.sender = id_;
+    reply.result = std::move(result);
+    const crypto::Key32 key = clients_.auth_key(client);
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           reply.auth_input());
+    reply.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+
+    net::Envelope env;
+    env.src = principal::pbft_replica(id_);
+    env.dst = principal::client(client);
+    env.type = tag(MsgType::Reply);
+    env.payload = reply.serialize();
+    // Ordered stage: queue in submission order on the engine thread.
+    return [this, env = std::move(env)]() mutable {
+      staged_out_.push_back(std::move(env));
+    };
+  });
+}
+
+void Replica::flush_runner(Out& out) {
+  runner_->drain();
+  if (staged_out_.empty()) return;
+  out.insert(out.end(), std::make_move_iterator(staged_out_.begin()),
+             std::make_move_iterator(staged_out_.end()));
+  staged_out_.clear();
+}
+
+void Replica::observe_tuner(Micros now) {
+  if (!tuner_) return;
+  if (tuner_->observe(pending_requests_.size(), now)) {
+    config_.batch_max = tuner_->batch_max();
+    config_.pipeline_depth = tuner_->pipeline_depth();
+    config_.read_batch_max = tuner_->read_batch_max();
+  }
 }
 
 // ------------------------------------------------------------ entry points
@@ -142,11 +206,13 @@ std::vector<net::Envelope> Replica::handle(const net::Envelope& env,
     default:
       break;  // unknown type: drop
   }
+  flush_runner(out);
   return out;
 }
 
 std::vector<net::Envelope> Replica::tick(Micros now) {
   Out out;
+  observe_tuner(now);
   if (batch_deadline_ != 0 && now >= batch_deadline_) {
     batch_deadline_ = 0;
     if (is_primary() && !in_view_change_) cut_batch(now, out);
@@ -161,6 +227,7 @@ std::vector<net::Envelope> Replica::tick(Micros now) {
       now >= view_change_timer_) {
     start_view_change(pending_view_ + 1, now, out);
   }
+  flush_runner(out);
   return out;
 }
 
@@ -195,33 +262,33 @@ void Replica::on_request(const net::Envelope& env, Micros now, Out& out) {
       req->timestamp <= rec_it->second.last_ts) {
     const ClientRecord& record = rec_it->second;
     // At-most-once: retransmit the cached reply for the latest request.
+    // MAC + serialize run on the runner (copies captured — records may be
+    // stripped before the prologue runs).
     if (req->timestamp == record.last_ts && record.has_reply) {
-      Reply reply;
-      reply.view = record.last_view;
-      reply.timestamp = record.last_ts;
-      reply.client = req->client;
-      reply.sender = id_;
-      reply.result = record.last_result;
-      const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
-                                             reply.auth_input());
-      reply.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
-      net::Envelope renv;
-      renv.src = principal::pbft_replica(id_);
-      renv.dst = principal::client(req->client);
-      renv.type = tag(MsgType::Reply);
-      renv.payload = reply.serialize();
-      out.push_back(std::move(renv));
+      stage_reply(req->client, record.last_ts, record.last_view,
+                  record.last_result);
     }
     return;
   }
 
   const auto pending_key = std::make_pair(req->client, req->timestamp);
   const bool fresh = !pending_requests_.contains(pending_key);
+  // Admission control: shed FRESH work past the cap before it creates
+  // protocol state or arms a suspicion timer. Silence is the backpressure
+  // signal — the client retransmits and retries admission. Retransmits of
+  // already-admitted requests always pass (dropping those would turn
+  // overload into a liveness failure).
+  if (fresh && config_.admission_queue_cap != 0 &&
+      pending_requests_.size() >= config_.admission_queue_cap) {
+    ++admission_rejects_;
+    return;
+  }
   pending_requests_[pending_key] = *req;
   // Record the FIRST arrival only: a retransmit of a still-pending request
   // must not refresh its suspicion deadline (nor grow the queue).
   if (fresh) pending_arrivals_.emplace_back(now, pending_key);
   update_request_timer(now);
+  observe_tuner(now);
 
   if (is_primary() && !in_view_change_) {
     if (pending_requests_.size() >= config_.batch_max) {
@@ -255,30 +322,42 @@ void Replica::on_read_request(const net::Envelope& env, Micros now, Out& out) {
   // ordered path.
   if (!app_->is_read_only(req->payload)) return;
 
-  // Execute against last-executed state. No sequence number, no client
-  // record (reads must not grow the at-most-once table), no timers.
-  Bytes result = app_->execute_read(req->payload);
-  ReadReply rr;
-  rr.timestamp = req->timestamp;
-  rr.client = req->client;
-  rr.sender = id_;
-  rr.exec_seq = last_executed_;
-  rr.result_digest = crypto::sha256(result);
-  if (config_.read_responder(req->client, req->timestamp) == id_) {
-    rr.has_result = true;
-    rr.result = std::move(result);
-  }
-  const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
-                                         rr.auth_input());
-  rr.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
-  ++reads_served_;
+  // Serve the read on the runner: execute_read is const against
+  // last-executed state, which is stable for the rest of this engine call
+  // (ordered mutations only happen on the engine thread, and the runner is
+  // drained before handle() returns). No sequence number, no client record
+  // (reads must not grow the at-most-once table), no timers.
+  const ClientId client = req->client;
+  const Timestamp ts = req->timestamp;
+  const SeqNum exec_seq = last_executed_;
+  const bool responder = config_.read_responder(client, ts) == id_;
+  runner_->submit([this, client, ts, exec_seq, key, responder,
+                   payload = req->payload]() -> runtime::runner::Epilogue {
+    Bytes result = app_->execute_read(payload);
+    ReadReply rr;
+    rr.timestamp = ts;
+    rr.client = client;
+    rr.sender = id_;
+    rr.exec_seq = exec_seq;
+    rr.result_digest = crypto::sha256(result);
+    if (responder) {
+      rr.has_result = true;
+      rr.result = std::move(result);
+    }
+    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                           rr.auth_input());
+    rr.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
 
-  net::Envelope renv;
-  renv.src = principal::pbft_replica(id_);
-  renv.dst = principal::client(req->client);
-  renv.type = tag(MsgType::ReadReply);
-  renv.payload = rr.serialize();
-  out.push_back(std::move(renv));
+    net::Envelope renv;
+    renv.src = principal::pbft_replica(id_);
+    renv.dst = principal::client(client);
+    renv.type = tag(MsgType::ReadReply);
+    renv.payload = rr.serialize();
+    return [this, renv = std::move(renv)]() mutable {
+      ++reads_served_;
+      staged_out_.push_back(std::move(renv));
+    };
+  });
 }
 
 SeqNum Replica::in_flight_batches() const noexcept {
@@ -508,6 +587,12 @@ void Replica::execute_batch(SeqNum seq, const RequestBatch& batch, Micros now,
                             Out& out) {
   (void)seq;
   (void)now;
+  (void)out;
+  // Ordered-commit stage, inline on the engine thread: app mutations and
+  // reply-cache updates happen in sequence order so checkpoint digests are
+  // byte-identical to the serial path. Reply MAC/serialize — the dominant
+  // per-request cost after execution — is staged on the runner, so request
+  // i+1 executes here while request i's reply is MAC'd on a worker.
   for (const auto& req : batch.requests) {
     auto& record = client_records_[req.client];
     Bytes result;
@@ -525,23 +610,7 @@ void Replica::execute_batch(SeqNum seq, const RequestBatch& batch, Micros now,
     }
     pending_requests_.erase({req.client, req.timestamp});
 
-    Reply reply;
-    reply.view = view_;
-    reply.timestamp = req.timestamp;
-    reply.client = req.client;
-    reply.sender = id_;
-    reply.result = result;
-    const crypto::Key32 key = clients_.auth_key(req.client);
-    const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
-                                           reply.auth_input());
-    reply.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
-
-    net::Envelope env;
-    env.src = principal::pbft_replica(id_);
-    env.dst = principal::client(req.client);
-    env.type = tag(MsgType::Reply);
-    env.payload = reply.serialize();
-    out.push_back(std::move(env));
+    stage_reply(req.client, req.timestamp, view_, std::move(result));
   }
 }
 

@@ -34,6 +34,8 @@
 #include "pbft/client_directory.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
+#include "runtime/runner/runner.hpp"
+#include "runtime/runner/tuning.hpp"
 
 namespace sbft::pbft {
 
@@ -43,11 +45,18 @@ class Replica {
   /// a ThreadNetwork ingress VerifierPool shares so envelopes pre-verified
   /// at the transport are cache hits here (verify once per replica).
   /// Defaults to a private cache over `verifier`.
+  ///
+  /// `runner` (optional) is the staged execution pipeline: reply
+  /// MAC/serialize and fast-path read service run as prologues on its
+  /// workers while state mutations stay ordered on the engine thread.
+  /// Defaults to the serial SyncOrderedRunner. Always drained before
+  /// handle()/tick() returns, preserving the sans-I/O contract.
   Replica(Config config, ReplicaId id,
           std::shared_ptr<const crypto::Signer> signer,
           std::shared_ptr<const crypto::Verifier> verifier,
           ClientDirectory clients, apps::AppFactory app_factory,
-          std::shared_ptr<net::VerifyCache> auth = nullptr);
+          std::shared_ptr<net::VerifyCache> auth = nullptr,
+          std::shared_ptr<runtime::runner::OrderedRunner> runner = nullptr);
 
   /// Processes one incoming envelope; returns envelopes to transmit.
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
@@ -85,6 +94,19 @@ class Replica {
   [[nodiscard]] const net::VerifyCache& auth() const noexcept {
     return *auth_;
   }
+  /// Fresh requests shed by admission control (Config::admission_queue_cap).
+  [[nodiscard]] std::uint64_t admission_rejects() const noexcept {
+    return admission_rejects_;
+  }
+  /// Staged-pipeline observability (queue gauge + stage latencies).
+  [[nodiscard]] runtime::runner::RunnerStats runner_stats() const {
+    return runner_->stats();
+  }
+  /// Live view of the (possibly auto-tuned) protocol knobs.
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const runtime::runner::AutoTuner* tuner() const noexcept {
+    return tuner_.get();
+  }
 
   /// Bookkeeping footprint, for garbage-collection bounds tests: after a
   /// checkpoint stabilizes, every seq-keyed structure must hold nothing at
@@ -106,6 +128,12 @@ class Replica {
     /// Config::client_record_cap bounds (records themselves are only
     /// stripped, never erased, preserving the at-most-once floor).
     std::size_t cached_replies{0};
+    /// Runner-pipeline memory: work units in the staged runner and reply
+    /// envelopes awaiting flush. Both are drained before handle()/tick()
+    /// returns, so they must read 0 between engine calls — even under
+    /// sustained overload.
+    std::size_t runner_queue{0};
+    std::size_t staged_replies{0};
   };
   [[nodiscard]] GcFootprint gc_footprint() const;
 
@@ -214,6 +242,14 @@ class Replica {
   }
   [[nodiscard]] Slot& slot(SeqNum seq) { return log_[seq]; }
   void update_request_timer(Micros now);
+  /// Stages the build/MAC/serialize of one reply on the runner; the
+  /// epilogue queues the envelope on staged_out_ in submission order.
+  void stage_reply(ClientId client, Timestamp ts, View view, Bytes result);
+  /// Drains the runner and appends staged envelopes to `out` — the last
+  /// step of handle()/tick(), restoring the sans-I/O contract.
+  void flush_runner(Out& out);
+  /// Feeds the AutoTuner (when Config::auto_tune) and applies knob changes.
+  void observe_tuner(Micros now);
 
   Config config_;
   ReplicaId id_;
@@ -222,6 +258,12 @@ class Replica {
   std::shared_ptr<net::VerifyCache> auth_;
   ClientDirectory clients_;
   std::unique_ptr<apps::Application> app_;
+  // Staged pipeline: prologues run on runner workers and may only touch
+  // captured copies plus the thread-safe clients_ key cache; epilogues run
+  // in submission order on the engine thread, pushing into staged_out_.
+  std::shared_ptr<runtime::runner::OrderedRunner> runner_;
+  std::unique_ptr<runtime::runner::AutoTuner> tuner_;
+  Out staged_out_;
 
   View view_{0};
   SeqNum next_seq_{0};      // last assigned (primary)
@@ -262,6 +304,7 @@ class Replica {
   std::map<SeqNum, Digest> executed_digests_;
   std::uint64_t executed_requests_{0};
   std::uint64_t reads_served_{0};
+  std::uint64_t admission_rejects_{0};
 };
 
 }  // namespace sbft::pbft

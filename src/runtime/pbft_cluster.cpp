@@ -29,7 +29,8 @@ PbftCluster::PbftCluster(PbftClusterOptions options,
   for (ReplicaId r = 0; r < options_.config.n; ++r) {
     auto replica = std::make_unique<pbft::Replica>(
         options_.config, r, keyring_.signer(principal::pbft_replica(r)),
-        verifier, directory_, app_factory);
+        verifier, directory_, app_factory, /*auth=*/nullptr,
+        runner::make_runner(options_.exec_workers));
     auto actor = std::make_shared<PbftReplicaActor>(std::move(replica));
     replicas_.push_back(actor);
     harness_.add_actor(principal::pbft_replica(r), actor);

@@ -65,11 +65,13 @@ class DistinctSignTracker {
 
 SplitPerfActor::SplitPerfActor(SimHarness& harness,
                                std::shared_ptr<Actor> inner,
-                               CostProfile profile, bool single_ecall_thread)
+                               CostProfile profile, bool single_ecall_thread,
+                               std::size_t exec_workers)
     : harness_(harness),
       inner_(std::move(inner)),
       profile_(profile),
-      single_thread_(single_ecall_thread) {}
+      single_thread_(single_ecall_thread),
+      exec_workers_(exec_workers > 1 ? exec_workers : 0) {}
 
 Resource& SplitPerfActor::resource_for(Compartment c) {
   if (single_thread_) return shared_ecall_;
@@ -232,6 +234,13 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
   DistinctSignTracker signs;
   std::array<std::size_t, kNumCompartments> ecall_bytes_out{};
   std::size_t replies = 0;
+  // Staged-runner split: seal/MAC/serialize and read service round-robin
+  // over the exec workers; app execution stays on the serial ecall thread.
+  std::vector<double> exec_stage(exec_workers_.size(), 0.0);
+  std::size_t exec_rr = 0;
+  const auto stage_exec = [&](double us) {
+    exec_stage[exec_rr++ % exec_stage.size()] += us;
+  };
   for (const auto& out : outs) {
     const auto out_type = static_cast<MsgType>(out.type);
     broker_us += p.broker_msg_us;  // event-loop send handling
@@ -260,14 +269,21 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
         ecall_bytes_out[static_cast<std::size_t>(Compartment::Confirmation)] +=
             out.payload.size();
         break;
-      case MsgType::Reply:
+      case MsgType::Reply: {
         ++replies;
-        add(Compartment::Execution,
-            p.app_op_us + aead_cost(p, out.payload.size()) + p.hmac_us +
-                serde_cost(p, out.payload.size()));
+        if (exec_workers_.empty()) {
+          add(Compartment::Execution,
+              p.app_op_us + aead_cost(p, out.payload.size()) + p.hmac_us +
+                  serde_cost(p, out.payload.size()));
+        } else {
+          add(Compartment::Execution, p.app_op_us);
+          stage_exec(aead_cost(p, out.payload.size()) + p.hmac_us +
+                     serde_cost(p, out.payload.size()));
+        }
         ecall_bytes_out[static_cast<std::size_t>(Compartment::Execution)] +=
             out.payload.size();
         break;
+      }
       case MsgType::ReadReply: {
         // One served read: request MAC check + AEAD open, the app read,
         // the reply MAC and marshalling — and the value seal ONLY on the
@@ -279,7 +295,14 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
         if (rr && rr->has_result) {
           read_us += aead_cost(p, out.payload.size());
         }
-        add(Compartment::Execution, read_us);
+        if (exec_workers_.empty()) {
+          add(Compartment::Execution, read_us);
+        } else {
+          // Reads are fully parallelizable (stable-snapshot execution);
+          // the ecall thread only pays the crossing.
+          add(Compartment::Execution, 0.0);
+          stage_exec(read_us);
+        }
         ecall_bytes_out[static_cast<std::size_t>(Compartment::Execution)] +=
             out.payload.size();
         break;
@@ -335,6 +358,19 @@ std::vector<net::Envelope> SplitPerfActor::handle(const net::Envelope& env,
     ecall_stats_[c].total_us += service_us;
     done = std::max(done, end);
   }
+  // Book the staged parallel work across the exec workers; each bucket
+  // starts at broker_done, overlapping the ordered stage exactly as the
+  // runner pipelines request i+1's execution with request i's seal.
+  for (const double bucket_us : exec_stage) {
+    if (bucket_us <= 0.5) continue;
+    Resource& w = *std::min_element(
+        exec_workers_.begin(), exec_workers_.end(),
+        [](const Resource& a, const Resource& b) {
+          return a.busy_until < b.busy_until;
+        });
+    done = std::max(done, w.book(broker_done,
+                                 static_cast<Micros>(bucket_us)));
+  }
 
   if (outs.empty()) return {};
   release(std::move(outs), done);
@@ -353,6 +389,8 @@ std::vector<net::Envelope> SplitPerfActor::tick(Micros now) {
   std::size_t prep_bytes = 0;
   std::size_t exec_bytes = 0;
   double broker_us = profile_.broker_msg_us;
+  std::vector<double> exec_stage(exec_workers_.size(), 0.0);
+  std::size_t exec_rr = 0;
   for (const auto& out : outs) {
     broker_us += profile_.broker_msg_us;
     const auto type = static_cast<MsgType>(out.type);
@@ -366,12 +404,18 @@ std::vector<net::Envelope> SplitPerfActor::tick(Micros now) {
     } else if (type == MsgType::ReadReply) {
       // Coalesced fast-path reads served from the read-batch timer: same
       // per-read cost as in handle(), one crossing for the whole batch.
-      exec_us += profile_.hmac_us + aead_cost(profile_, 64) +
-                 profile_.app_op_us + profile_.hmac_us +
-                 serde_cost(profile_, out.payload.size());
+      // With a staged runner each read lands on a different worker.
+      double read_us = profile_.hmac_us + aead_cost(profile_, 64) +
+                       profile_.app_op_us + profile_.hmac_us +
+                       serde_cost(profile_, out.payload.size());
       const auto rr = pbft::ReadReply::deserialize(out.payload);
       if (rr && rr->has_result) {
-        exec_us += aead_cost(profile_, out.payload.size());
+        read_us += aead_cost(profile_, out.payload.size());
+      }
+      if (exec_workers_.empty()) {
+        exec_us += read_us;
+      } else {
+        exec_stage[exec_rr++ % exec_stage.size()] += read_us;
       }
       exec_bytes += out.payload.size();
     }
@@ -387,13 +431,24 @@ std::vector<net::Envelope> SplitPerfActor::tick(Micros now) {
     stats.calls += 1;
     stats.total_us += static_cast<Micros>(prep_us) + crossing;
   }
-  if (exec_us > 0) {
+  const bool exec_staged = exec_rr > 0;
+  if (exec_us > 0 || exec_staged) {
     const Micros crossing =
         profile_.sgx.crossing_cost(exec_bytes, exec_bytes);
     Resource& r = resource_for(Compartment::Execution);
     const Micros end =
         r.book(broker_done, static_cast<Micros>(exec_us) + crossing);
     done = std::max(done, end);
+    for (const double bucket_us : exec_stage) {
+      if (bucket_us <= 0.5) continue;
+      Resource& w = *std::min_element(
+          exec_workers_.begin(), exec_workers_.end(),
+          [](const Resource& a, const Resource& b) {
+            return a.busy_until < b.busy_until;
+          });
+      done = std::max(done, w.book(broker_done,
+                                   static_cast<Micros>(bucket_us)));
+    }
     auto& stats =
         ecall_stats_[static_cast<std::size_t>(Compartment::Execution)];
     stats.calls += 1;
@@ -483,19 +538,23 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
   }
 
   // Outbound crypto (signatures once per distinct message; reply auth and
-  // marshalling parallelized per the paper).
+  // marshalling parallelized per the paper). Mirroring the staged runner,
+  // each output's worker cost round-robins into one bucket per worker so
+  // reply MAC/serialize genuinely spreads across the pool — with one
+  // worker the buckets collapse to the old single booking.
   DistinctSignTracker signs;
-  double worker_out_us = 0;
+  std::vector<double> out_stage(workers_.size(), 0.0);
+  std::size_t out_rr = 0;
   for (const auto& out : outs) {
     const auto out_type = static_cast<MsgType>(out.type);
-    worker_out_us += serde_cost(p, 64);  // per-send framing
+    double out_us = serde_cost(p, 64);  // per-send framing
     switch (out_type) {
       case MsgType::PrePrepare: {
         if (signs.first(out)) {
           const std::size_t k = pbft_batch_size(out.payload);
-          worker_out_us += p.sign_us + static_cast<double>(k) * p.hmac_us +
-                           hash_cost(p, out.payload.size()) +
-                           serde_cost(p, out.payload.size());
+          out_us += p.sign_us + static_cast<double>(k) * p.hmac_us +
+                    hash_cost(p, out.payload.size()) +
+                    serde_cost(p, out.payload.size());
         }
         break;
       }
@@ -504,10 +563,10 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
       case MsgType::Checkpoint:
       case MsgType::ViewChange:
       case MsgType::StateResponse:
-        if (signs.first(out)) worker_out_us += p.sign_us;
+        if (signs.first(out)) out_us += p.sign_us;
         break;
       case MsgType::NewView:
-        if (signs.first(out)) worker_out_us += 4 * p.sign_us;
+        if (signs.first(out)) out_us += 4 * p.sign_us;
         break;
       case MsgType::Reply:
       case MsgType::ReadReply:
@@ -515,11 +574,12 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
         // same committed state); reply auth + marshalling run on the
         // workers.
         protocol_us += p.app_op_us;
-        worker_out_us += p.hmac_us + serde_cost(p, out.payload.size());
+        out_us += p.hmac_us + serde_cost(p, out.payload.size());
         break;
       default:
         break;
     }
+    out_stage[out_rr++ % out_stage.size()] += out_us;
   }
 
   // Plain (non-enclave) block persistence: cheaper than the protected FS.
@@ -540,8 +600,10 @@ std::vector<net::Envelope> PbftPerfActor::handle(const net::Envelope& env,
   const Micros proto_done =
       protocol_.book(in_done, static_cast<Micros>(protocol_us));
   Micros done = proto_done;
-  if (worker_out_us > 0.5) {
-    done = least_busy()->book(proto_done, static_cast<Micros>(worker_out_us));
+  for (const double bucket_us : out_stage) {
+    if (bucket_us <= 0.5) continue;
+    done = std::max(
+        done, least_busy()->book(proto_done, static_cast<Micros>(bucket_us)));
   }
 
   if (outs.empty()) return {};

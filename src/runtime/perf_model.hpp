@@ -92,8 +92,14 @@ struct EcallAccounting {
 /// Wraps a SplitBFT replica actor with the enclave-thread model.
 class SplitPerfActor final : public Actor {
  public:
+  /// `exec_workers` models the Execution enclave's staged runner: when
+  /// > 1, reply seal/MAC/serialize and fast-path read service round-robin
+  /// across that many in-enclave worker threads while app execution stays
+  /// serial on the ecall thread — mirroring SpinOrderedRunner in the
+  /// threaded runtime. <= 1 keeps the fully serial ecall model.
   SplitPerfActor(SimHarness& harness, std::shared_ptr<Actor> inner,
-                 CostProfile profile, bool single_ecall_thread);
+                 CostProfile profile, bool single_ecall_thread,
+                 std::size_t exec_workers = 0);
 
   [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
                                                   Micros now) override;
@@ -132,6 +138,8 @@ class SplitPerfActor final : public Actor {
   Resource broker_;
   std::array<Resource, kNumCompartments> enclaves_;  // [prep, conf, exec]
   Resource shared_ecall_;                            // single-thread variant
+  // Staged-runner workers inside the Execution enclave (empty = serial).
+  std::vector<Resource> exec_workers_;
   std::array<EcallAccounting, kNumCompartments> ecall_stats_{};
 };
 

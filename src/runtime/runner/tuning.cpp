@@ -1,0 +1,77 @@
+#include "runtime/runner/tuning.hpp"
+
+namespace sbft::runtime::runner {
+
+namespace {
+
+[[nodiscard]] std::size_t clamp(std::size_t v, std::size_t lo,
+                                std::size_t hi) noexcept {
+  return std::max(lo, std::min(v, hi));
+}
+
+}  // namespace
+
+AutoTuner::AutoTuner(TuningLimits limits, std::size_t batch0,
+                     std::size_t depth0, std::size_t read_batch0)
+    : limits_(limits),
+      batch_(clamp(batch0, limits.batch_min, limits.batch_max)),
+      // depth0 == 0 means "unbounded" in pbft::Config; start the tuned
+      // pipeline wide open and let the controller pull it in.
+      depth_(clamp(depth0 == 0 ? limits.depth_max : depth0, limits.depth_min,
+                   limits.depth_max)),
+      read_batch_(
+          clamp(read_batch0, limits.read_batch_min, limits.read_batch_max)) {}
+
+bool AutoTuner::observe(std::uint64_t backlog, Micros now) {
+  window_peak_ = std::max(window_peak_, backlog);
+  stats_.peak_backlog = std::max(stats_.peak_backlog, backlog);
+  if (window_end_ == 0) {
+    window_end_ = now + limits_.interval_us;
+    return false;
+  }
+  if (now < window_end_) return false;
+
+  ++stats_.windows;
+  const std::uint64_t peak = window_peak_;
+  window_peak_ = 0;
+  window_end_ = now + limits_.interval_us;
+
+  if (peak > limits_.high_watermark) {
+    // Throughput regime: amortize protocol cost over bigger batches and
+    // keep more of them in flight.
+    const std::size_t batch = clamp(batch_ * 2, limits_.batch_min,
+                                    limits_.batch_max);
+    const std::size_t depth =
+        clamp(depth_ + 1, limits_.depth_min, limits_.depth_max);
+    const std::size_t read = clamp(read_batch_ * 2, limits_.read_batch_min,
+                                   limits_.read_batch_max);
+    const bool changed =
+        batch != batch_ || depth != depth_ || read != read_batch_;
+    batch_ = batch;
+    depth_ = depth;
+    read_batch_ = read;
+    if (changed) ++stats_.grows;
+    return changed;
+  }
+  if (peak < limits_.low_watermark) {
+    // Latency regime: smaller batches cut queueing delay when the system
+    // is far from saturation.
+    const std::size_t batch = clamp(batch_ / 2, limits_.batch_min,
+                                    limits_.batch_max);
+    const std::size_t depth =
+        clamp(depth_ > limits_.depth_min ? depth_ - 1 : depth_,
+              limits_.depth_min, limits_.depth_max);
+    const std::size_t read = clamp(read_batch_ / 2, limits_.read_batch_min,
+                                   limits_.read_batch_max);
+    const bool changed =
+        batch != batch_ || depth != depth_ || read != read_batch_;
+    batch_ = batch;
+    depth_ = depth;
+    read_batch_ = read;
+    if (changed) ++stats_.shrinks;
+    return changed;
+  }
+  return false;
+}
+
+}  // namespace sbft::runtime::runner

@@ -1,0 +1,73 @@
+// Self-tuning for the staged execution pipeline: watches the replica's
+// admitted-but-unexecuted backlog and adjusts the batching knobs between a
+// latency regime (shallow queues, small batches, short pipeline) and a
+// throughput regime (deep queues, large batches, deep pipeline). Purely
+// observational inputs + virtual-time windows, so the simulator tunes
+// deterministically; on the primary the tuned knobs only shape *proposals*,
+// which are then consensus-ordered, so replicas never diverge.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace sbft::runtime::runner {
+
+/// Bounds and thresholds for AutoTuner. Defaults fit the 4-replica bench
+/// configs (batch_max 200, watermark-gap 400).
+struct TuningLimits {
+  std::size_t batch_min{32};
+  std::size_t batch_max{800};
+  std::size_t depth_min{1};
+  std::size_t depth_max{8};
+  std::size_t read_batch_min{8};
+  std::size_t read_batch_max{128};
+  /// Backlog below this at window end -> shrink toward the latency regime.
+  std::uint64_t low_watermark{64};
+  /// Backlog above this at window end -> grow toward the throughput regime.
+  std::uint64_t high_watermark{256};
+  /// Observation window (virtual time in the simulator).
+  Micros interval_us{50'000};
+};
+
+/// Windowed peak-backlog controller. observe() feeds it the instantaneous
+/// backlog; once per interval it doubles/halves batch_max and
+/// read_batch_max and steps pipeline_depth, clamped to the limits.
+class AutoTuner {
+ public:
+  AutoTuner(TuningLimits limits, std::size_t batch0, std::size_t depth0,
+            std::size_t read_batch0);
+
+  /// Returns true when the window closed and a knob changed.
+  bool observe(std::uint64_t backlog, Micros now);
+
+  [[nodiscard]] std::size_t batch_max() const noexcept { return batch_; }
+  [[nodiscard]] std::size_t pipeline_depth() const noexcept {
+    return depth_;
+  }
+  [[nodiscard]] std::size_t read_batch_max() const noexcept {
+    return read_batch_;
+  }
+
+  struct Stats {
+    std::uint64_t windows{0};
+    std::uint64_t grows{0};
+    std::uint64_t shrinks{0};
+    std::uint64_t peak_backlog{0};  // across the whole run
+  };
+  [[nodiscard]] Stats stats() const noexcept { return stats_; }
+
+ private:
+  TuningLimits limits_;
+  std::size_t batch_;
+  std::size_t depth_;
+  std::size_t read_batch_;
+
+  Micros window_end_{0};
+  std::uint64_t window_peak_{0};
+  Stats stats_;
+};
+
+}  // namespace sbft::runtime::runner

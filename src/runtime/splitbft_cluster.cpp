@@ -28,6 +28,7 @@ SplitbftCluster::SplitbftCluster(SplitClusterOptions options,
   replica_options.cost_model = options_.cost_model;
   replica_options.charge_real_time = false;
   replica_options.client_master_secret = options_.client_master_secret;
+  replica_options.exec_workers = options_.exec_workers;
 
   for (ReplicaId r = 0; r < options_.config.n; ++r) {
     const crypto::Key32 dh_secret = crypto::x25519_keygen(rng);

@@ -175,7 +175,8 @@ Report measure(SimHarness& harness, const Options& options,
   std::vector<std::shared_ptr<PbftPerfActor>> perf;
   for (ReplicaId r = 0; r < copts.config.n; ++r) {
     auto actor = std::make_shared<PbftPerfActor>(
-        cluster.harness(), cluster.replica_actor(r), profile);
+        cluster.harness(), cluster.replica_actor(r), profile,
+        std::max<std::size_t>(1, options.workers));
     pbft::Replica* replica = &cluster.replica(r);
     actor->set_auth_stats([replica] { return replica->auth().stats(); });
     cluster.harness().replace_actor(principal::pbft_replica(r), actor);
@@ -197,7 +198,11 @@ Report measure(SimHarness& harness, const Options& options,
                                 /*tick_interval_us=*/500'000);
     clients.push_back(std::move(client));
   }
-  return measure(cluster.harness(), options, clients, hist);
+  Report report = measure(cluster.harness(), options, clients, hist);
+  for (ReplicaId r = 0; r < copts.config.n; ++r) {
+    report.admission_rejects += cluster.replica(r).admission_rejects();
+  }
+  return report;
 }
 
 [[nodiscard]] Report run_splitbft(const Options& options) {
@@ -216,7 +221,7 @@ Report measure(SimHarness& harness, const Options& options,
   for (ReplicaId r = 0; r < copts.config.n; ++r) {
     auto actor = std::make_shared<SplitPerfActor>(
         cluster.harness(), cluster.replica_actor(r), profile,
-        /*single_ecall_thread=*/false);
+        /*single_ecall_thread=*/false, /*exec_workers=*/options.workers);
     splitbft::SplitbftReplica* replica = &cluster.replica(r);
     actor->set_auth_stats(Compartment::Preparation, [replica] {
       return replica->prep().auth().stats();
@@ -259,7 +264,11 @@ Report measure(SimHarness& harness, const Options& options,
                                 /*tick_interval_us=*/500'000);
     clients.push_back(std::move(client));
   }
-  return measure(cluster.harness(), options, clients, hist);
+  Report report = measure(cluster.harness(), options, clients, hist);
+  for (ReplicaId r = 0; r < copts.config.n; ++r) {
+    report.admission_rejects += cluster.replica(r).broker().admission_rejects();
+  }
+  return report;
 }
 
 }  // namespace

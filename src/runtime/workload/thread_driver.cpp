@@ -270,7 +270,8 @@ Report drive(const Options& options, net::ThreadNetwork& net,
     auto locked = std::make_unique<LockedReplica>();
     locked->replica = std::make_unique<pbft::Replica>(
         config, r, keyring.signer(principal::pbft_replica(r)), verifier,
-        directory, [] { return std::make_unique<apps::KvStore>(); });
+        directory, [] { return std::make_unique<apps::KvStore>(); },
+        /*auth=*/nullptr, runner::make_runner(options.workers));
     replicas.push_back(std::move(locked));
   }
 
@@ -303,7 +304,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
         id, pbft::Client(config, id, directory, /*retry=*/2'000'000));
   }
 
-  return drive<pbft::Client>(
+  Report report = drive<pbft::Client>(
       options, net, stations, hist, measuring, [&](Micros now) {
         for (auto& locked : replicas) {
           std::vector<net::Envelope> outs;
@@ -314,6 +315,10 @@ Report drive(const Options& options, net::ThreadNetwork& net,
           for (auto& out : outs) net.send(std::move(out));
         }
       });
+  for (auto& locked : replicas) {
+    report.admission_rejects += locked->replica->admission_rejects();
+  }
+  return report;
 }
 
 [[nodiscard]] Report run_splitbft(const Options& options) {
@@ -342,6 +347,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
   // would only measure the cost model.
   replica_options.cost_model = tee::CostModel::simulation();
   replica_options.charge_real_time = false;
+  replica_options.exec_workers = options.workers;
 
   struct LockedReplica {
     std::mutex mutex;
@@ -402,7 +408,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
     stations[i % n_stations]->add_client(id, std::move(engine));
   }
 
-  return drive<splitbft::SplitClient>(
+  Report report = drive<splitbft::SplitClient>(
       options, net, stations, hist, measuring, [&](Micros now) {
         for (auto& locked : replicas) {
           std::vector<net::Envelope> outs;
@@ -413,6 +419,10 @@ Report drive(const Options& options, net::ThreadNetwork& net,
           for (auto& out : outs) net.send(std::move(out));
         }
       });
+  for (auto& locked : replicas) {
+    report.admission_rejects += locked->replica->broker().admission_rejects();
+  }
+  return report;
 }
 
 }  // namespace

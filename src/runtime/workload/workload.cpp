@@ -147,10 +147,16 @@ std::string report_json(const Options& options, const Report& report) {
      << "\"get_fraction\": " << options.get_fraction << ", "
      << "\"read_path\": " << (options.protocol.read_path ? "true" : "false")
      << ", "
+     << "\"workers\": " << options.workers << ", "
+     << "\"auto_tune\": " << (options.protocol.auto_tune ? "true" : "false")
+     << ", "
+     << "\"admission_queue_cap\": " << options.protocol.admission_queue_cap
+     << ", "
      << "\"measure_us\": " << options.measure_us << ", "
      << "\"completed_ops\": " << report.completed_ops << ", "
      << "\"fast_reads\": " << report.fast_reads << ", "
      << "\"read_fallbacks\": " << report.read_fallbacks << ", "
+     << "\"admission_rejects\": " << report.admission_rejects << ", "
      << "\"ops_per_sec\": " << report.ops_per_sec << ", "
      << "\"mean_latency_ms\": " << report.mean_latency_ms << ", "
      << "\"p50_us\": " << report.p50_us << ", "

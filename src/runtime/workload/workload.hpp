@@ -61,6 +61,11 @@ struct Options {
 
   /// Protocol configuration (n, f, batch_max, pipeline_depth, ...).
   pbft::Config protocol{};
+  /// Execution-runner workers per replica: sizes the PBFT worker pool /
+  /// SplitBFT in-enclave exec stage in the sim perf model, and the
+  /// SpinOrderedRunner thread count in the threaded driver. 0 = serial
+  /// reference path (SyncOrderedRunner; sim books one worker).
+  std::size_t workers{4};
   Micros warmup_us{200'000};
   Micros measure_us{1'000'000};
   std::uint64_t seed{42};
@@ -73,6 +78,9 @@ struct Report {
   /// Both zero when the read path is off.
   std::uint64_t fast_reads{0};
   std::uint64_t read_fallbacks{0};
+  /// Fresh requests shed by replica-side admission control over the run
+  /// (summed across replicas; 0 unless Config::admission_queue_cap is set).
+  std::uint64_t admission_rejects{0};
   double ops_per_sec{0};
   double mean_latency_ms{0};
   Micros p50_us{0};

@@ -12,7 +12,27 @@ Broker::Broker(pbft::Config config, ReplicaId self,
       self_(self),
       prep_(std::move(prep)),
       conf_(std::move(conf)),
-      exec_(std::move(exec)) {}
+      exec_(std::move(exec)) {
+  if (config_.auto_tune) {
+    tuner_ = std::make_unique<runtime::runner::AutoTuner>(
+        runtime::runner::TuningLimits{}, config_.batch_max,
+        config_.pipeline_depth, config_.read_batch_max);
+    config_.batch_max = tuner_->batch_max();
+    config_.read_batch_max = tuner_->read_batch_max();
+  }
+}
+
+void Broker::observe_tuner(Micros now) {
+  if (!tuner_) return;
+  // Backlog = admitted requests not yet answered by a Reply. The tuned
+  // batch knobs only shape what this broker hands its own Preparation
+  // enclave — proposals are then consensus-ordered, so replicas with
+  // different tuner states never diverge.
+  if (tuner_->observe(outstanding_.size(), now)) {
+    config_.batch_max = tuner_->batch_max();
+    config_.read_batch_max = tuner_->read_batch_max();
+  }
+}
 
 tee::EnclaveHost& Broker::host(Compartment c) noexcept {
   switch (c) {
@@ -203,6 +223,18 @@ void Broker::on_client_request(const net::Envelope& env, Micros now,
                                Out& out) {
   auto req = pbft::Request::deserialize(env.payload);
   if (!req) return;
+  const auto key = std::make_pair(req->client, req->timestamp);
+  // Admission control: shed FRESH requests past the cap before they arm a
+  // suspicion timer or enter the batch buffer (silence = backpressure, the
+  // client retransmits). Retransmits of admitted requests pass — dropping
+  // those would turn overload into a liveness failure.
+  const bool fresh = !outstanding_.contains(key);
+  if (fresh && config_.admission_queue_cap != 0 &&
+      outstanding_.size() >= config_.admission_queue_cap) {
+    ++admission_rejects_;
+    return;
+  }
+  observe_tuner(now);
   // Arm the suspicion timer — liveness only; the enclaves re-check
   // authenticity themselves.
   Outstanding tracked;
@@ -318,6 +350,7 @@ std::vector<net::Envelope> Broker::handle(const net::Envelope& env,
 
 std::vector<net::Envelope> Broker::tick(Micros now) {
   Out out;
+  observe_tuner(now);
   if (batch_deadline_ != 0 && now >= batch_deadline_) {
     cut_batch(now, out);
   }

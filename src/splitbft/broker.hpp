@@ -18,6 +18,7 @@
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
 #include "runtime/actor.hpp"
+#include "runtime/runner/tuning.hpp"
 #include "splitbft/messages.hpp"
 #include "tee/enclave_host.hpp"
 
@@ -49,6 +50,29 @@ class Broker final : public runtime::Actor {
   [[nodiscard]] const net::VerifyCache* ingress_cache() const noexcept {
     return ingress_.get();
   }
+  /// Fresh requests shed by admission control
+  /// (Config::admission_queue_cap over the outstanding-request backlog).
+  [[nodiscard]] std::uint64_t admission_rejects() const noexcept {
+    return admission_rejects_;
+  }
+  [[nodiscard]] const runtime::runner::AutoTuner* tuner() const noexcept {
+    return tuner_.get();
+  }
+  /// Live view of the (possibly auto-tuned) batching knobs.
+  [[nodiscard]] const pbft::Config& config() const noexcept {
+    return config_;
+  }
+  /// Queued liveness state (GC/overload bounds tests): requests waiting in
+  /// the batch buffer and reads waiting for coalescing.
+  [[nodiscard]] std::size_t pending_batch_size() const noexcept {
+    return pending_batch_.size();
+  }
+  [[nodiscard]] std::size_t pending_read_count() const noexcept {
+    return pending_reads_.size();
+  }
+  [[nodiscard]] std::size_t outstanding_count() const noexcept {
+    return outstanding_.size();
+  }
 
  private:
   using Out = std::vector<net::Envelope>;
@@ -75,6 +99,13 @@ class Broker final : public runtime::Actor {
   std::unique_ptr<tee::EnclaveHost> conf_;
   std::unique_ptr<tee::EnclaveHost> exec_;
   std::unique_ptr<net::VerifyCache> ingress_;  // null = filter disabled
+  // Self-tuning of the broker-owned batching knobs (batch_max /
+  // read_batch_max; pipeline_depth lives in the Preparation enclave and is
+  // untouched here). Untrusted liveness machinery, like everything else in
+  // the broker — the enclaves re-validate all of it.
+  std::unique_ptr<runtime::runner::AutoTuner> tuner_;
+  std::uint64_t admission_rejects_{0};
+  void observe_tuner(Micros now);
 
   // --- untrusted liveness state ---
   struct Outstanding {

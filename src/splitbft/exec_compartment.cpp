@@ -36,7 +36,9 @@ ExecCompartment::ExecCompartment(pbft::Config config, ReplicaId self,
                                  ExecAppFactory app_factory,
                                  crypto::Key32 exec_group_key,
                                  crypto::Key32 dh_secret, crypto::Key32 fs_key,
-                                 tee::BlockStore* block_store)
+                                 tee::BlockStore* block_store,
+                                 std::shared_ptr<runtime::runner::OrderedRunner>
+                                     runner)
     : config_(config),
       self_(self),
       signer_(std::move(signer)),
@@ -47,6 +49,8 @@ ExecCompartment::ExecCompartment(pbft::Config config, ReplicaId self,
       dh_public_(crypto::x25519_base(dh_secret)),
       checkpoints_(config, self),
       null_batch_digest_(pbft::RequestBatch{}.digest()) {
+  runner_ = runner ? std::move(runner)
+                   : std::make_shared<runtime::runner::SyncOrderedRunner>();
   if (block_store != nullptr) {
     protected_file_.emplace(fs_key, *block_store);
   }
@@ -65,7 +69,10 @@ bool ExecCompartment::in_window(SeqNum seq) const noexcept {
 std::vector<net::Envelope> ExecCompartment::deliver(const net::Envelope& env) {
   Out out;
   if (env.type == tag(LocalMsg::ReadBatch)) {
+    // The coalesced batch fans its reads across the runner workers — the
+    // per-ecall parallelism the broker's coalescing exists to expose.
     on_read_batch(env, out);
+    flush_runner(out);
     return out;
   }
   switch (static_cast<pbft::MsgType>(env.type)) {
@@ -100,7 +107,16 @@ std::vector<net::Envelope> ExecCompartment::deliver(const net::Envelope& env) {
     default:
       break;
   }
+  flush_runner(out);
   return out;
+}
+
+void ExecCompartment::flush_runner(Out& out) {
+  runner_->drain();
+  if (staged_out_.empty()) return;
+  out.insert(out.end(), std::make_move_iterator(staged_out_.begin()),
+             std::make_move_iterator(staged_out_.end()));
+  staged_out_.clear();
 }
 
 // ------------------------------------------------------- duplicated inputs
@@ -135,64 +151,78 @@ void ExecCompartment::on_read_batch(const net::Envelope& env, Out& out) {
 }
 
 void ExecCompartment::serve_read(const pbft::Request& req, Out& out) {
-  const crypto::Key32 auth_key = clients_.auth_key(req.client);
-  if (!crypto::hmac_verify(ByteView{auth_key.data(), auth_key.size()},
-                           req.auth_input(), req.auth)) {
-    return;
-  }
-  // Decrypt with the client session; without one (or on a corrupted
-  // operation) the read cannot be served — stay silent, the client's
-  // fallback re-submits through ordering.
-  const auto session = sessions_.find(req.client);
-  if (session == sessions_.end()) return;
-  const auto op = crypto::aead_open(
-      session->second, crypto::make_nonce(kRequestChannel, req.timestamp), {},
-      req.payload);
-  if (!op || !app_->is_read_only(*op)) return;
+  (void)out;  // staged replies leave via flush_runner
+  // The whole read is parallelizable: authentication, decryption and
+  // execute_read against last-executed state, which is stable for the rest
+  // of this ecall (ordered mutations only happen on the ecall thread, and
+  // the runner drains before deliver() returns). Each read of a coalesced
+  // batch lands on a different worker.
+  const auto session_it = sessions_.find(req.client);
+  if (session_it == sessions_.end()) return;  // cannot serve: stay silent
+  const crypto::Key32 session = session_it->second;
+  const SeqNum exec_seq = last_executed_;
+  const bool responder =
+      config_.read_responder(req.client, req.timestamp) == self_;
+  runner_->submit([this, req, session, exec_seq,
+                   responder]() -> runtime::runner::Epilogue {
+    const crypto::Key32 auth_key = clients_.auth_key(req.client);
+    if (!crypto::hmac_verify(ByteView{auth_key.data(), auth_key.size()},
+                             req.auth_input(), req.auth)) {
+      return {};
+    }
+    // Decrypt with the client session; on a corrupted operation the read
+    // cannot be served — stay silent, the client's fallback re-submits
+    // through ordering.
+    const auto op = crypto::aead_open(
+        session, crypto::make_nonce(kRequestChannel, req.timestamp), {},
+        req.payload);
+    if (!op || !app_->is_read_only(*op)) return {};
 
-  // Serve under the current stable (last-executed) state. No sequence
-  // number, no client record, no Preparation/Confirmation ecalls.
-  const Bytes result = app_->execute_read(*op);
-  pbft::ReadReply rr;
-  rr.timestamp = req.timestamp;
-  rr.client = req.client;
-  rr.sender = self_;
-  rr.exec_seq = last_executed_;
-  // Votes compare plaintext digests (ciphertexts are replica-specific);
-  // the digest is keyed so it leaks nothing to the relaying environments.
-  rr.result_digest =
-      read_result_digest(session->second, req.timestamp, result);
-  if (config_.read_responder(req.client, req.timestamp) == self_) {
-    rr.has_result = true;
-    // Seal under a key derived from (timestamp, state version, replica).
-    // A read's plaintext is a pure function of (operation, exec_seq), so
-    // re-serving the same (ts, exec_seq) re-seals identical bytes, while
-    // a REPLAYED ReadRequest served after a state change derives a
-    // different key — the deterministic nonce is never reused with
-    // different plaintext, even with an untrusted broker redelivering.
-    Writer ctx;
-    ctx.u64(req.timestamp);
-    ctx.u64(last_executed_);
-    ctx.u32(self_);
-    const crypto::Key32 seal_key = crypto::derive_key(
-        ByteView{session->second.data(), session->second.size()},
-        "read-reply-seal", std::move(ctx).take());
-    rr.result = crypto::aead_seal(
-        seal_key,
-        crypto::make_nonce(channels::kReadReplyBase + self_, req.timestamp),
-        {}, result);
-  }
-  const Digest mac = crypto::hmac_sha256(
-      ByteView{auth_key.data(), auth_key.size()}, rr.auth_input());
-  rr.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
-  ++reads_served_;
+    // Serve under the current stable (last-executed) state. No sequence
+    // number, no client record, no Preparation/Confirmation ecalls.
+    const Bytes result = app_->execute_read(*op);
+    pbft::ReadReply rr;
+    rr.timestamp = req.timestamp;
+    rr.client = req.client;
+    rr.sender = self_;
+    rr.exec_seq = exec_seq;
+    // Votes compare plaintext digests (ciphertexts are replica-specific);
+    // the digest is keyed so it leaks nothing to the relaying environments.
+    rr.result_digest = read_result_digest(session, req.timestamp, result);
+    if (responder) {
+      rr.has_result = true;
+      // Seal under a key derived from (timestamp, state version, replica).
+      // A read's plaintext is a pure function of (operation, exec_seq), so
+      // re-serving the same (ts, exec_seq) re-seals identical bytes, while
+      // a REPLAYED ReadRequest served after a state change derives a
+      // different key — the deterministic nonce is never reused with
+      // different plaintext, even with an untrusted broker redelivering.
+      Writer ctx;
+      ctx.u64(req.timestamp);
+      ctx.u64(exec_seq);
+      ctx.u32(self_);
+      const crypto::Key32 seal_key = crypto::derive_key(
+          ByteView{session.data(), session.size()}, "read-reply-seal",
+          std::move(ctx).take());
+      rr.result = crypto::aead_seal(
+          seal_key,
+          crypto::make_nonce(channels::kReadReplyBase + self_, req.timestamp),
+          {}, result);
+    }
+    const Digest mac = crypto::hmac_sha256(
+        ByteView{auth_key.data(), auth_key.size()}, rr.auth_input());
+    rr.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
 
-  net::Envelope reply;
-  reply.src = signer_->id();
-  reply.dst = principal::client(req.client);
-  reply.type = pbft::tag(pbft::MsgType::ReadReply);
-  reply.payload = rr.serialize();
-  out.push_back(std::move(reply));
+    net::Envelope reply;
+    reply.src = signer_->id();
+    reply.dst = principal::client(req.client);
+    reply.type = pbft::tag(pbft::MsgType::ReadReply);
+    reply.payload = rr.serialize();
+    return [this, reply = std::move(reply)]() mutable {
+      ++reads_served_;
+      staged_out_.push_back(std::move(reply));
+    };
+  });
 }
 
 // -------------------------------------------------------------- handler (4)
@@ -262,6 +292,7 @@ void ExecCompartment::try_execute(Out& out) {
 }
 
 void ExecCompartment::execute_request(const pbft::Request& req, Out& out) {
+  (void)out;  // staged replies leave via flush_runner
   // Authenticate (defence in depth — Preparation already checked).
   const crypto::Key32 auth_key = clients_.auth_key(req.client);
   if (!crypto::hmac_verify(ByteView{auth_key.data(), auth_key.size()},
@@ -271,7 +302,7 @@ void ExecCompartment::execute_request(const pbft::Request& req, Out& out) {
   auto& record = client_records_[req.client];
   if (req.timestamp <= record.last_ts) {
     if (req.timestamp == record.last_ts && record.has_reply) {
-      out.push_back(reply_envelope(req.client, req.timestamp, record));
+      stage_client_reply(req.client, req.timestamp, record);
     }
     return;
   }
@@ -293,7 +324,24 @@ void ExecCompartment::execute_request(const pbft::Request& req, Out& out) {
     }
   }
   record.has_reply = true;
-  out.push_back(reply_envelope(req.client, req.timestamp, record));
+  stage_client_reply(req.client, req.timestamp, record);
+}
+
+void ExecCompartment::stage_client_reply(ClientId client, Timestamp ts,
+                                         const ClientRecord& record) {
+  // Parallel stage: deterministic AEAD seal + MAC + serialize — the
+  // dominant per-request cost inside the enclave after execution. The
+  // record is captured BY COPY: gc_client_records may strip its body while
+  // this batch's later requests still execute on the ecall thread.
+  // reply_envelope itself only touches the copy, the session table (not
+  // mutated during execution ecalls) and the thread-safe clients_ cache.
+  runner_->submit(
+      [this, client, ts, copy = record]() -> runtime::runner::Epilogue {
+        net::Envelope env = reply_envelope(client, ts, copy);
+        return [this, env = std::move(env)]() mutable {
+          staged_out_.push_back(std::move(env));
+        };
+      });
 }
 
 net::Envelope ExecCompartment::reply_envelope(

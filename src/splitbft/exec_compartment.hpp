@@ -14,6 +14,7 @@
 
 #include "apps/app.hpp"
 #include "pbft/client_directory.hpp"
+#include "runtime/runner/runner.hpp"
 #include "splitbft/compartment.hpp"
 #include "tee/protected_fs.hpp"
 
@@ -36,13 +37,20 @@ class ExecCompartment final : public CompartmentLogic {
  public:
   /// `block_store` is the UNTRUSTED storage behind the protected FS; may be
   /// nullptr for apps that never persist.
+  ///
+  /// `runner` is the staged execution pipeline (in-enclave worker threads
+  /// in a deployment): reply AEAD-seal/MAC and fast-path read service run
+  /// as prologues while state mutations stay ordered. Defaults to the
+  /// serial SyncOrderedRunner; always drained before deliver() returns.
   ExecCompartment(pbft::Config config, ReplicaId self,
                   std::shared_ptr<const crypto::Signer> signer,
                   std::shared_ptr<const crypto::Verifier> verifier,
                   pbft::ClientDirectory clients, ExecAppFactory app_factory,
                   crypto::Key32 exec_group_key, crypto::Key32 dh_secret,
                   crypto::Key32 fs_key = {},
-                  tee::BlockStore* block_store = nullptr);
+                  tee::BlockStore* block_store = nullptr,
+                  std::shared_ptr<runtime::runner::OrderedRunner> runner =
+                      nullptr);
 
   [[nodiscard]] std::vector<net::Envelope> deliver(
       const net::Envelope& env) override;
@@ -91,6 +99,18 @@ class ExecCompartment final : public CompartmentLogic {
     return sessions_.contains(c);
   }
   [[nodiscard]] const net::VerifyCache& auth() const noexcept { return auth_; }
+  /// Runner-pipeline memory (the splitbft half of the GC bounds tests):
+  /// both must read 0 between deliver() calls, even under overload.
+  [[nodiscard]] std::size_t runner_queue() const noexcept {
+    return runner_->queue_depth();
+  }
+  [[nodiscard]] std::size_t staged_replies() const noexcept {
+    return staged_out_.size();
+  }
+  /// Staged-pipeline observability (queue gauge + stage latencies).
+  [[nodiscard]] runtime::runner::RunnerStats runner_stats() const {
+    return runner_->stats();
+  }
 
   /// Out-of-band session provisioning: installs a pre-established client
   /// session key, as a deployment would after offline attestation. The
@@ -139,6 +159,14 @@ class ExecCompartment final : public CompartmentLogic {
 
   void try_execute(Out& out);
   void execute_request(const pbft::Request& req, Out& out);
+  /// Stages the seal/MAC/serialize of one client reply on the runner from
+  /// captured copies of the record (the record itself may be stripped by
+  /// gc_client_records before the prologue runs).
+  void stage_client_reply(ClientId client, Timestamp ts,
+                          const ClientRecord& record);
+  /// Drains the runner and appends staged envelopes to `out` — the last
+  /// step of deliver().
+  void flush_runner(Out& out);
   void maybe_checkpoint(SeqNum seq, Out& out);
   /// Deterministic reply-body stripping keeping the cache under
   /// Config::client_record_cap (see pbft::strip_reply_cache).
@@ -164,6 +192,11 @@ class ExecCompartment final : public CompartmentLogic {
   std::optional<tee::ProtectedFile> protected_file_;
   std::unique_ptr<apps::Application> app_;
   QuoteFn quote_fn_;
+  // Staged pipeline: prologues may only touch captured copies, the
+  // thread-safe clients_ key cache, and const app reads; epilogues run in
+  // submission order on the ecall thread, pushing into staged_out_.
+  std::shared_ptr<runtime::runner::OrderedRunner> runner_;
+  Out staged_out_;
 
   View view_{0};
   SeqNum last_executed_{0};

@@ -37,7 +37,8 @@ SplitbftReplica::SplitbftReplica(ReplicaOptions options, ReplicaId id,
       options.config, id,
       keyring.signer(principal::enclave({id, Compartment::Execution})),
       verifier, clients, std::move(app_factory), exec_group_key, dh_secret,
-      sealing.sealing_key(exec_measurement), &block_store_);
+      sealing.sealing_key(exec_measurement), &block_store_,
+      runtime::runner::make_runner(options.exec_workers));
   exec_ = exec_logic.get();
   exec_logic->set_quote_fn(
       [&attestation, exec_measurement](ByteView report_data) {

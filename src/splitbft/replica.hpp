@@ -41,6 +41,11 @@ struct ReplicaOptions {
   /// Broker-side pre-verification of inbound wire signatures (DoS defense;
   /// costs one extra verification per honest message, so default off).
   bool broker_ingress_filter{false};
+  /// Staged execution pipeline inside the Execution enclave: 0 = serial
+  /// SyncOrderedRunner (deterministic reference), N >= 1 = N
+  /// SpinOrderedRunner worker threads sealing/signing replies and serving
+  /// coalesced reads in parallel.
+  std::size_t exec_workers{0};
 };
 
 class SplitbftReplica final : public runtime::Actor {

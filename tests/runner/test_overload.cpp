@@ -1,0 +1,168 @@
+// Runner-pipeline memory bounds under sustained overload: the staged
+// runner's queue and the staged-reply buffer must read 0 between engine
+// calls (the drain-before-return contract), and admission control must
+// bound the admitted-but-unexecuted backlog while retransmissions of
+// already-admitted requests keep flowing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/counter_app.hpp"
+#include "apps/kv_store.hpp"
+#include "crypto/hmac.hpp"
+#include "runtime/pbft_cluster.hpp"
+#include "runtime/runner/runner.hpp"
+#include "runtime/splitbft_cluster.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+using apps::CounterApp;
+
+[[nodiscard]] net::Envelope request_envelope(
+    const pbft::ClientDirectory& directory, ClientId client, Timestamp ts,
+    Bytes payload, ReplicaId dst) {
+  pbft::Request req;
+  req.client = client;
+  req.timestamp = ts;
+  req.payload = std::move(payload);
+  const crypto::Key32 key = directory.auth_key(client);
+  const Digest mac = crypto::hmac_sha256(ByteView{key.data(), key.size()},
+                                         req.auth_input());
+  req.auth = Bytes(mac.bytes.begin(), mac.bytes.end());
+  net::Envelope env;
+  env.src = principal::client(client);
+  env.dst = principal::pbft_replica(dst);
+  env.type = pbft::tag(pbft::MsgType::Request);
+  env.payload = req.serialize();
+  return env;
+}
+
+// A backup that never sees PrePrepares accumulates pending requests
+// forever; the admission cap must bound that backlog, shed only FRESH
+// keys, and leave the runner drained after every call.
+TEST(RunnerOverload, AdmissionCapBoundsBackupBacklog) {
+  pbft::Config config;
+  config.n = 4;
+  config.f = 1;
+  config.admission_queue_cap = 64;
+
+  crypto::KeyRing ring(crypto::Scheme::HmacShared, 7);
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    ring.add_principal(principal::pbft_replica(r));
+  }
+  const pbft::ClientDirectory directory(0x5ec7e7);
+  pbft::Replica replica(
+      config, /*id=*/1, ring.signer(principal::pbft_replica(1)),
+      ring.verifier(), directory, [] { return std::make_unique<CounterApp>(); },
+      /*auth=*/nullptr, runner::make_runner(4));
+
+  constexpr std::size_t kFlood = 500;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const ClientId client = kFirstClientId + static_cast<ClientId>(i);
+    const auto out = replica.handle(
+        request_envelope(directory, client, /*ts=*/1, CounterApp::encode_add(1),
+                         /*dst=*/1),
+        static_cast<Micros>(1'000 + i));
+    EXPECT_TRUE(out.empty());
+    const auto fp = replica.gc_footprint();
+    ASSERT_EQ(fp.runner_queue, 0u) << "runner not drained after handle()";
+    ASSERT_EQ(fp.staged_replies, 0u);
+    ASSERT_LE(fp.pending_requests, config.admission_queue_cap);
+  }
+  EXPECT_EQ(replica.gc_footprint().pending_requests,
+            config.admission_queue_cap);
+  EXPECT_EQ(replica.admission_rejects(), kFlood - config.admission_queue_cap);
+
+  // Retransmission of an ADMITTED request is not fresh: it must pass the
+  // admission check even with the queue pinned at the cap.
+  const std::uint64_t rejects_before = replica.admission_rejects();
+  (void)replica.handle(request_envelope(directory, kFirstClientId, 1,
+                                        CounterApp::encode_add(1), 1),
+                       2'000'000);
+  EXPECT_EQ(replica.admission_rejects(), rejects_before);
+}
+
+// Cluster-level overload on the primary with the parallel runner: a
+// 600-request flood against a 128-cap primary executes what it admits,
+// sheds the rest, and every replica's runner reads empty between calls
+// while its stats prove the pipeline actually carried the reply work.
+TEST(RunnerOverload, PrimaryFloodKeepsRunnerDrainedAndBacklogBounded) {
+  PbftClusterOptions options;
+  options.seed = 77;
+  options.config.admission_queue_cap = 128;
+  options.config.batch_max = 16;
+  options.config.pipeline_depth = 2;
+  options.config.request_timeout_us = 60'000'000;  // no VCs mid-flood
+  options.exec_workers = 4;
+  PbftCluster cluster(options,
+                      [] { return std::make_unique<apps::KvStore>(); });
+
+  constexpr std::size_t kFlood = 600;
+  std::vector<net::Envelope> envs;
+  envs.reserve(kFlood);
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const ClientId client = kFirstClientId + static_cast<ClientId>(i);
+    envs.push_back(request_envelope(
+        cluster.directory(), client, /*ts=*/1,
+        apps::kv::encode_put(to_bytes("k"), to_bytes("v")), /*dst=*/0));
+  }
+  cluster.harness().inject(envs);
+  cluster.harness().run_for(5'000'000);
+
+  const std::uint64_t executed = cluster.replica(0).executed_requests();
+  EXPECT_GT(executed, 0u);
+  EXPECT_LT(executed, kFlood);  // the cap really shed load
+  EXPECT_GT(cluster.replica(0).admission_rejects(), 0u);
+  EXPECT_EQ(executed + cluster.replica(0).admission_rejects(), kFlood);
+  EXPECT_TRUE(cluster.check_agreement());
+
+  for (ReplicaId r = 0; r < options.config.n; ++r) {
+    const auto fp = cluster.replica(r).gc_footprint();
+    EXPECT_EQ(fp.runner_queue, 0u) << "replica " << r;
+    EXPECT_EQ(fp.staged_replies, 0u) << "replica " << r;
+    EXPECT_LE(fp.pending_requests, options.config.admission_queue_cap)
+        << "replica " << r;
+    const auto stats = cluster.replica(r).runner_stats();
+    EXPECT_EQ(stats.submitted, stats.drained) << "replica " << r;
+    EXPECT_GT(stats.submitted, 0u) << "replica " << r;
+    EXPECT_EQ(stats.queue_depth, 0u) << "replica " << r;
+  }
+}
+
+// SplitBFT equivalent: the Execution compartment's staged runner must be
+// empty between ecalls even while serving a large committed batch stream.
+TEST(RunnerOverload, SplitbftExecRunnerDrainsBetweenEcalls) {
+  SplitClusterOptions options;
+  options.seed = 78;
+  options.config.batch_max = 8;
+  options.exec_workers = 4;
+  SplitbftCluster cluster(
+      options,
+      splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+  for (ClientId c = kFirstClientId; c < kFirstClientId + 4; ++c) {
+    cluster.add_client(c);
+  }
+  ASSERT_TRUE(cluster.setup_sessions());
+  for (int i = 0; i < 10; ++i) {
+    for (ClientId c = kFirstClientId; c < kFirstClientId + 4; ++c) {
+      ASSERT_TRUE(
+          cluster
+              .execute(c, apps::kv::encode_put(to_bytes("k"), to_bytes("v")))
+              .has_value());
+    }
+  }
+  cluster.harness().run_for(1'000'000);
+  for (ReplicaId r = 0; r < options.config.n; ++r) {
+    const auto& exec = cluster.replica(r).exec();
+    EXPECT_EQ(exec.runner_queue(), 0u) << "replica " << r;
+    EXPECT_EQ(exec.staged_replies(), 0u) << "replica " << r;
+    const auto stats = exec.runner_stats();
+    EXPECT_EQ(stats.submitted, stats.drained) << "replica " << r;
+    EXPECT_GT(stats.submitted, 0u) << "replica " << r;
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+}  // namespace
+}  // namespace sbft::runtime
