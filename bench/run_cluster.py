@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Multi-process cluster benchmark: real TCP transport end to end.
+
+Brings up an n-replica localhost cluster (separate OS processes, real
+sockets) plus a load generator for each protocol stack, runs a closed-loop
+sweep, and collects wall-clock throughput/latency plus transport counters
+into BENCH_transport.json.
+
+Hard assertions (exit nonzero on violation):
+  * the loadgen sustained traffic through every measurement quarter and
+    completed > 0 operations;
+  * every replica averaged >= 2 envelopes per writev syscall on the
+    broadcast path (scatter-gather batching actually engaged);
+  * no decode errors on any node.
+
+Usage:
+  python3 bench/run_cluster.py [--build-dir build] [--smoke]
+                               [--clients N] [--replicas N]
+                               [--out BENCH_transport.json]
+"""
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+
+def parse_args():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--build-dir", default="build")
+    p.add_argument("--smoke", action="store_true",
+                   help="fast CI variant: fewer clients, shorter measure")
+    p.add_argument("--clients", type=int, default=None)
+    p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--base-port", type=int, default=18100)
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--out", default="BENCH_transport.json")
+    return p.parse_args()
+
+
+def run_stack(stack, args, base_port, tmp):
+    """Launches replicas + loadgen for one stack; returns the result dict."""
+    build = REPO / args.build_dir
+    replica_bin = build / "examples" / "bft_replica"
+    loadgen_bin = build / "examples" / "bft_loadgen"
+    clients = args.clients or (200 if args.smoke else 1000)
+    warmup_ms = 500 if args.smoke else 1000
+    measure_ms = 1500 if args.smoke else 4000
+    # Replicas self-terminate (and write their stats) shortly after the
+    # loadgen's window closes; generous margin for process startup.
+    run_secs = (warmup_ms + measure_ms) // 1000 + (4 if args.smoke else 6)
+
+    common = ["--stack", stack, "--replicas", str(args.replicas),
+              "--loadgens", "1", "--clients", str(clients),
+              "--base-port", str(base_port), "--seed", str(args.seed)]
+
+    replicas = []
+    stats_paths = []
+    for r in range(args.replicas):
+        stats = tmp / f"{stack}_replica{r}.json"
+        stats_paths.append(stats)
+        log = open(tmp / f"{stack}_replica{r}.log", "w")
+        replicas.append(subprocess.Popen(
+            [str(replica_bin), "--replica", str(r),
+             "--run-secs", str(run_secs), "--stats-out", str(stats)] + common,
+            stdout=log, stderr=log))
+    time.sleep(0.5)  # let every replica bind before the loadgen dials
+
+    print(f"[{stack}] {args.replicas} replicas up, driving {clients} "
+          f"closed-loop clients for {measure_ms} ms ...", flush=True)
+    loadgen = subprocess.run(
+        [str(loadgen_bin), "--loadgen", "0", "--mode", "closed",
+         "--warmup-ms", str(warmup_ms), "--measure-ms", str(measure_ms)]
+        + common,
+        capture_output=True, text=True, timeout=run_secs + 60)
+
+    failures = []
+    if loadgen.returncode != 0:
+        failures.append(f"loadgen exit {loadgen.returncode}: "
+                        f"{loadgen.stderr.strip()[-500:]}")
+    try:
+        report = json.loads(loadgen.stdout)
+    except json.JSONDecodeError:
+        failures.append(f"loadgen emitted no JSON: {loadgen.stdout[:200]!r}")
+        report = None
+
+    replica_stats = []
+    for r, (proc, stats) in enumerate(zip(replicas, stats_paths)):
+        try:
+            proc.wait(timeout=run_secs + 30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            failures.append(f"replica {r} hung past its run window")
+            continue
+        if proc.returncode != 0:
+            failures.append(f"replica {r} exit {proc.returncode}")
+        if not stats.exists():
+            failures.append(f"replica {r} wrote no stats file")
+            continue
+        s = json.loads(stats.read_text())
+        replica_stats.append(s)
+        if s["writev_calls"] and s["frames_out"] / s["writev_calls"] < 2.0:
+            failures.append(
+                f"replica {r} frames/writev "
+                f"{s['frames_out'] / s['writev_calls']:.2f} < 2 — "
+                "scatter-gather batching not engaged")
+        if s["decode_errors"]:
+            failures.append(f"replica {r} decode_errors={s['decode_errors']}")
+
+    if report is not None:
+        if not report.get("sustained"):
+            failures.append("run did not sustain through every quarter")
+        if not report.get("completed_ops"):
+            failures.append("zero completed operations")
+        print(f"[{stack}] {report.get('ops_per_sec', 0):.0f} ops/s, "
+              f"p50 {report.get('p50_us', 0) / 1000:.1f} ms, "
+              f"replica frames/writev "
+              + ", ".join(f"{s['frames_per_writev']:.1f}"
+                          for s in replica_stats),
+              flush=True)
+
+    for f in failures:
+        print(f"[{stack}] FAIL: {f}", file=sys.stderr, flush=True)
+    return {"report": report, "replicas": replica_stats,
+            "failures": failures}
+
+
+def main():
+    args = parse_args()
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="sbft_cluster_") as td:
+        tmp = pathlib.Path(td)
+        for i, stack in enumerate(("pbft", "splitbft")):
+            # Distinct port range per stack: no TIME_WAIT collisions.
+            results[stack] = run_stack(stack, args, args.base_port + i * 100,
+                                       tmp)
+
+    out = {
+        "bench": "transport",
+        "smoke": args.smoke,
+        "replicas": args.replicas,
+        "clients": args.clients or (200 if args.smoke else 1000),
+        "stacks": results,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(out, indent=2) + "\n")
+    print(f"wrote {args.out}", flush=True)
+
+    failed = [s for s, r in results.items() if r["failures"]]
+    if failed:
+        print(f"FAILED stacks: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("cluster bench OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

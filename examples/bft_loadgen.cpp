@@ -1,0 +1,101 @@
+// Load-generator process of a deployed cluster (see bench/run_cluster.py).
+//
+//   bft_loadgen --stack pbft --loadgen 0 --replicas 4 --loadgens 1 ...
+//   ...       --clients 1000 --base-port 18000 [--host 127.0.0.1] ...
+//   ...       [--uds-dir /tmp/sbft] [--seed 42] [--mode closed|open] ...
+//   ...       [--warmup-ms 500] [--measure-ms 2000] [--think-us 0]
+//
+// Drives the PR-4 workload engine's stations over a TcpTransport against
+// the live replicas and prints the standard workload JSON `Report` (plus
+// the transport counters) to stdout. Exit code 0 iff the run sustained
+// traffic and completed operations.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/workload/tcp_cluster.hpp"
+
+using namespace sbft;
+using namespace sbft::runtime;
+using workload::ClusterTopology;
+using workload::LoadMode;
+using workload::Options;
+using workload::Report;
+using workload::Stack;
+
+namespace {
+
+[[nodiscard]] const char* arg_value(int argc, char** argv, const char* flag,
+                                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+[[nodiscard]] std::uint64_t arg_u64(int argc, char** argv, const char* flag,
+                                    std::uint64_t fallback) {
+  const char* v = arg_value(argc, argv, flag, nullptr);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterTopology topology;
+  topology.replicas = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--replicas", 4));
+  topology.loadgens = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--loadgens", 1));
+  const auto loadgen = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--loadgen", 0));
+  const std::string host = arg_value(argc, argv, "--host", "127.0.0.1");
+  const auto base_port = arg_u64(argc, argv, "--base-port", 18000);
+  const std::string uds_dir = arg_value(argc, argv, "--uds-dir", "");
+  for (std::uint32_t node = 0; node < topology.nodes(); ++node) {
+    topology.addrs.push_back(
+        uds_dir.empty()
+            ? host + ":" + std::to_string(base_port + node)
+            : "unix:" + uds_dir + "/node" + std::to_string(node) + ".sock");
+  }
+
+  Options options;
+  options.stack = std::strcmp(arg_value(argc, argv, "--stack", "pbft"),
+                              "splitbft") == 0
+                      ? Stack::Splitbft
+                      : Stack::Pbft;
+  options.mode = std::strcmp(arg_value(argc, argv, "--mode", "closed"),
+                             "open") == 0
+                     ? LoadMode::Open
+                     : LoadMode::Closed;
+  options.clients = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--clients", 1000));
+  options.seed = arg_u64(argc, argv, "--seed", 42);
+  options.think_time_us = arg_u64(argc, argv, "--think-us", 0);
+  options.interarrival_us = arg_u64(argc, argv, "--interarrival-us", 20'000);
+  options.warmup_us = arg_u64(argc, argv, "--warmup-ms", 500) * 1000;
+  options.measure_us = arg_u64(argc, argv, "--measure-ms", 2000) * 1000;
+  options.protocol.n = static_cast<std::uint32_t>(topology.replicas);
+  options.protocol.f = (options.protocol.n - 1) / 3;
+  options.protocol.batch_max = static_cast<std::size_t>(
+      arg_u64(argc, argv, "--batch-max", 200));
+  options.protocol.batch_timeout_us = 10'000;
+  options.protocol.checkpoint_interval = 50;
+  options.protocol.watermark_window = 400;
+  options.protocol.pipeline_depth = static_cast<std::size_t>(
+      arg_u64(argc, argv, "--pipeline-depth", 8));
+  options.protocol.request_timeout_us = 2'000'000;
+
+  const Report report = workload::run_tcp_workload(options, topology, loadgen);
+  std::printf("%s\n", workload::report_json(options, report).c_str());
+  std::fflush(stdout);
+
+  if (!report.sustained || report.completed_ops == 0) {
+    std::fprintf(stderr, "bft_loadgen %u: run did not sustain (%llu ops)\n",
+                 loadgen,
+                 static_cast<unsigned long long>(report.completed_ops));
+    return 1;
+  }
+  return 0;
+}

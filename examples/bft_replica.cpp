@@ -1,0 +1,132 @@
+// One replica host of a deployed cluster (see bench/run_cluster.py).
+//
+//   bft_replica --stack pbft --replica 0 --replicas 4 --loadgens 1 ...
+//   ...       --clients 1000 --base-port 18000 [--host 127.0.0.1] ...
+//   ...       [--uds-dir /tmp/sbft] [--seed 42] [--workers 4] ...
+//   ...       [--batch-max 200] [--pipeline-depth 8] ...
+//   ...       --run-secs 10 [--stats-out replica0.json]
+//
+// The process assembles its replica (PBFT or SplitBFT) from the shared
+// seed — every process of a deployment derives identical keys, so nothing
+// is exchanged out of band — serves it over a TcpTransport for
+// `--run-secs`, then writes its transport counters as JSON and exits 0.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "runtime/workload/tcp_cluster.hpp"
+
+using namespace sbft;
+using namespace sbft::runtime;
+using workload::ClusterTopology;
+using workload::Options;
+using workload::ReplicaNode;
+using workload::Stack;
+
+namespace {
+
+[[nodiscard]] const char* arg_value(int argc, char** argv, const char* flag,
+                                    const char* fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+[[nodiscard]] std::uint64_t arg_u64(int argc, char** argv, const char* flag,
+                                    std::uint64_t fallback) {
+  const char* v = arg_value(argc, argv, flag, nullptr);
+  return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+[[nodiscard]] std::string stats_json(const net::TransportStats& s) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bytes_in\": %llu, \"bytes_out\": %llu, "
+                "\"frames_in\": %llu, \"frames_out\": %llu, "
+                "\"writev_calls\": %llu, \"frames_per_writev\": %.3f, "
+                "\"connects\": %llu, \"reconnects\": %llu, "
+                "\"accepts\": %llu, \"backpressure_drops\": %llu, "
+                "\"unrouted_drops\": %llu, \"decode_errors\": %llu}",
+                static_cast<unsigned long long>(s.bytes_in),
+                static_cast<unsigned long long>(s.bytes_out),
+                static_cast<unsigned long long>(s.frames_in),
+                static_cast<unsigned long long>(s.frames_out),
+                static_cast<unsigned long long>(s.writev_calls),
+                s.frames_per_writev(),
+                static_cast<unsigned long long>(s.connects),
+                static_cast<unsigned long long>(s.reconnects),
+                static_cast<unsigned long long>(s.accepts),
+                static_cast<unsigned long long>(s.backpressure_drops),
+                static_cast<unsigned long long>(s.unrouted_drops),
+                static_cast<unsigned long long>(s.decode_errors));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClusterTopology topology;
+  topology.replicas = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--replicas", 4));
+  topology.loadgens = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--loadgens", 1));
+  const auto replica = static_cast<ReplicaId>(
+      arg_u64(argc, argv, "--replica", 0));
+  const std::string host = arg_value(argc, argv, "--host", "127.0.0.1");
+  const auto base_port = arg_u64(argc, argv, "--base-port", 18000);
+  const std::string uds_dir = arg_value(argc, argv, "--uds-dir", "");
+  for (std::uint32_t node = 0; node < topology.nodes(); ++node) {
+    topology.addrs.push_back(
+        uds_dir.empty()
+            ? host + ":" + std::to_string(base_port + node)
+            : "unix:" + uds_dir + "/node" + std::to_string(node) + ".sock");
+  }
+
+  Options options;
+  options.stack = std::strcmp(arg_value(argc, argv, "--stack", "pbft"),
+                              "splitbft") == 0
+                      ? Stack::Splitbft
+                      : Stack::Pbft;
+  options.clients = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--clients", 1000));
+  options.seed = arg_u64(argc, argv, "--seed", 42);
+  options.workers = arg_u64(argc, argv, "--workers", 4);
+  options.protocol.n = static_cast<std::uint32_t>(topology.replicas);
+  options.protocol.f = (options.protocol.n - 1) / 3;
+  options.protocol.batch_max = static_cast<std::size_t>(
+      arg_u64(argc, argv, "--batch-max", 200));
+  options.protocol.batch_timeout_us = 10'000;
+  options.protocol.checkpoint_interval = 50;
+  options.protocol.watermark_window = 400;
+  options.protocol.pipeline_depth = static_cast<std::size_t>(
+      arg_u64(argc, argv, "--pipeline-depth", 8));
+  options.protocol.request_timeout_us = 2'000'000;
+
+  ReplicaNode node(options, topology, replica, {});
+  if (!node.start()) {
+    std::fprintf(stderr, "bft_replica %u: %s\n", replica,
+                 node.transport().last_error().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "bft_replica %u up (%s, %s)\n", replica,
+               workload::to_string(options.stack),
+               topology.addrs[replica].c_str());
+
+  const auto run_secs = arg_u64(argc, argv, "--run-secs", 10);
+  std::this_thread::sleep_for(std::chrono::seconds(run_secs));
+  const net::TransportStats stats = node.transport().stats();
+  node.stop();
+
+  const std::string json = stats_json(stats);
+  const char* stats_out = arg_value(argc, argv, "--stats-out", nullptr);
+  if (stats_out) {
+    std::ofstream out(stats_out);
+    out << json << "\n";
+  }
+  std::fprintf(stderr, "bft_replica %u stats %s\n", replica, json.c_str());
+  return 0;
+}

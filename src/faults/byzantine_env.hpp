@@ -48,8 +48,10 @@ class ByzantineEnv final : public runtime::Actor {
     return filter_out(inner_->tick(now));
   }
 
-  /// Every serialized envelope this host observed (in either direction).
-  [[nodiscard]] const std::vector<Bytes>& observed() const noexcept {
+  /// Every envelope wire frame this host observed (in either direction).
+  /// Stored as SharedBytes: recording an observation bumps a refcount on
+  /// the message's memoized wire image instead of copying the bytes.
+  [[nodiscard]] const std::vector<SharedBytes>& observed() const noexcept {
     return observed_;
   }
   [[nodiscard]] std::uint64_t dropped_inbound() const noexcept {
@@ -61,7 +63,7 @@ class ByzantineEnv final : public runtime::Actor {
 
  private:
   void observe(const net::Envelope& env) {
-    if (policy_.record_observed) observed_.push_back(env.serialize());
+    if (policy_.record_observed) observed_.push_back(env.wire());
   }
 
   [[nodiscard]] bool should_drop(
@@ -90,7 +92,7 @@ class ByzantineEnv final : public runtime::Actor {
   std::shared_ptr<runtime::Actor> inner_;
   EnvPolicy policy_;
   Rng rng_;
-  std::vector<Bytes> observed_;
+  std::vector<SharedBytes> observed_;
   std::uint64_t dropped_inbound_{0};
   std::uint64_t dropped_outbound_{0};
 };

@@ -57,9 +57,6 @@ struct Envelope {
   /// received frame itself — serialize once, relay everywhere.
   [[nodiscard]] SharedBytes wire() const;
 
-  /// Compatibility copy of wire() as a plain mutable buffer.
-  [[nodiscard]] Bytes serialize() const { return wire().to_bytes(); }
-
   /// The byte string the signature covers, (type || payload), as a view
   /// into the memoized frame: no allocation after the first call, and none
   /// at all on received envelopes (it aliases the wire image). Valid until

@@ -279,7 +279,7 @@ std::optional<Checkpoint> Checkpoint::deserialize(ByteView data) {
 
 Bytes PreparedProof::serialize() const {
   Writer w;
-  w.bytes(pre_prepare.serialize());
+  w.bytes(pre_prepare.wire());
   put_envelopes(w, prepares);
   return std::move(w).take();
 }

@@ -1,0 +1,282 @@
+#include "runtime/workload/tcp_cluster.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "apps/kv_store.hpp"
+#include "common/rng.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/x25519.hpp"
+#include "pbft/client.hpp"
+#include "pbft/replica.hpp"
+#include "runtime/runner/runner.hpp"
+#include "runtime/workload/station.hpp"
+#include "splitbft/client.hpp"
+#include "splitbft/replica.hpp"
+#include "tee/attestation.hpp"
+#include "tee/sealing.hpp"
+
+namespace sbft::runtime::workload {
+
+namespace {
+
+// Key-derivation offsets shared with the threaded driver: every process of
+// a deployment reconstructs the SAME keyring/attestation/group-key material
+// from the workload seed, replacing the in-process sharing the thread
+// driver gets for free.
+constexpr std::uint64_t kPbftKeyringSalt = 0x6b657972696e67ULL;
+constexpr std::uint64_t kSplitKeyringSalt = 0x5b5f7b657972ULL;
+constexpr std::uint64_t kAttestationSalt = 0xa77e57ULL;
+constexpr std::uint64_t kSealingSalt = 0x5ea1ULL;
+constexpr std::uint64_t kClusterRngSalt = 0x5b5f636c7573ULL;
+constexpr std::uint64_t kDirectorySeed = 0x5ec7e7;
+
+}  // namespace
+
+std::uint32_t ClusterTopology::node_of(principal::Id id) const noexcept {
+  if (id >= kFirstClientId) {
+    return replicas +
+           static_cast<std::uint32_t>((id - kFirstClientId) % loadgens);
+  }
+  if (id >= principal::splitbft_env(0)) {
+    return static_cast<std::uint32_t>(id - principal::splitbft_env(0));
+  }
+  if (id >= principal::enclave({0, Compartment::Preparation}) &&
+      id < principal::hybrid_replica(0)) {
+    return static_cast<std::uint32_t>(
+        (id - principal::enclave({0, Compartment::Preparation})) /
+        kNumCompartments);
+  }
+  if (id >= principal::pbft_replica(0)) {
+    return static_cast<std::uint32_t>(id - principal::pbft_replica(0));
+  }
+  return 0;
+}
+
+net::TcpTransport::RouteFn ClusterTopology::route() const {
+  const ClusterTopology copy{replicas, loadgens, {}};
+  return [copy](principal::Id id) { return copy.node_of(id); };
+}
+
+std::unique_ptr<net::TcpTransport> ClusterTopology::make_transport(
+    std::uint32_t node, net::TcpTransport::Options options) const {
+  options.listen_addr = addrs.at(node);
+  auto transport =
+      std::make_unique<net::TcpTransport>(node, std::move(options), route());
+  for (std::uint32_t other = 0; other < nodes(); ++other) {
+    if (other != node) transport->add_peer(other, addrs.at(other));
+  }
+  return transport;
+}
+
+// ------------------------------------------------------------ ReplicaNode
+
+struct ReplicaNode::Impl {
+  std::mutex mutex;
+  std::unique_ptr<pbft::Replica> pbft;
+  std::shared_ptr<splitbft::SplitbftReplica> split;
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) {
+    const std::scoped_lock lock(mutex);
+    return pbft ? pbft->handle(env, now) : split->handle(env, now);
+  }
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) {
+    const std::scoped_lock lock(mutex);
+    return pbft ? pbft->tick(now) : split->tick(now);
+  }
+};
+
+ReplicaNode::ReplicaNode(const Options& options,
+                         const ClusterTopology& topology, ReplicaId replica,
+                         net::TcpTransport::Options transport_options)
+    : options_(options),
+      topology_(topology),
+      replica_(replica),
+      transport_(topology.make_transport(replica, std::move(transport_options))),
+      impl_(std::make_unique<Impl>()) {
+  const pbft::Config config = options_.protocol;
+  const pbft::ClientDirectory directory(kDirectorySeed);
+
+  if (options_.stack == Stack::Pbft) {
+    crypto::KeyRing keyring(crypto::Scheme::HmacShared,
+                            options_.seed ^ kPbftKeyringSalt);
+    for (ReplicaId r = 0; r < config.n; ++r) {
+      keyring.add_principal(principal::pbft_replica(r));
+    }
+    impl_->pbft = std::make_unique<pbft::Replica>(
+        config, replica_, keyring.signer(principal::pbft_replica(replica_)),
+        keyring.verifier(), directory,
+        [] { return std::make_unique<apps::KvStore>(); },
+        /*auth=*/nullptr, runner::make_runner(options_.workers));
+    return;
+  }
+
+  crypto::KeyRing keyring(crypto::Scheme::HmacShared,
+                          options_.seed ^ kSplitKeyringSalt);
+  tee::AttestationService attestation(options_.seed ^ kAttestationSalt);
+  tee::SealingService sealing(options_.seed ^ kSealingSalt);
+  Rng rng(options_.seed ^ kClusterRngSalt);
+  crypto::Key32 exec_group_key;
+  for (auto& b : exec_group_key) b = static_cast<std::uint8_t>(rng.next_u64());
+
+  for (ReplicaId r = 0; r < config.n; ++r) {
+    for (const Compartment c :
+         {Compartment::Preparation, Compartment::Confirmation,
+          Compartment::Execution}) {
+      keyring.add_principal(principal::enclave({r, c}));
+    }
+  }
+
+  splitbft::ReplicaOptions replica_options;
+  replica_options.config = config;
+  replica_options.cost_model = tee::CostModel::simulation();
+  replica_options.charge_real_time = false;
+  replica_options.exec_workers = options_.workers;
+
+  // The thread driver draws every replica's DH key from ONE rng stream;
+  // replay that stream so replica r's key is identical in every process.
+  crypto::Key32 dh_secret{};
+  for (ReplicaId r = 0; r <= replica_; ++r) {
+    dh_secret = crypto::x25519_keygen(rng);
+  }
+  impl_->split = std::make_shared<splitbft::SplitbftReplica>(
+      replica_options, replica_, keyring, attestation, sealing, exec_group_key,
+      dh_secret,
+      splitbft::plain_app([] { return std::make_unique<apps::KvStore>(); }));
+
+  // Out-of-band session provisioning (see workload::session_key): install
+  // every expected client's key, mirroring the in-process drivers.
+  for (std::uint32_t i = 0; i < options_.clients; ++i) {
+    const ClientId id = kFirstClientId + i;
+    impl_->split->exec_mutable().install_session(
+        id, session_key(options_.seed, id));
+  }
+}
+
+ReplicaNode::~ReplicaNode() { stop(); }
+
+bool ReplicaNode::start() {
+  if (running_.exchange(true)) return true;
+  Impl* impl = impl_.get();
+  net::TcpTransport* transport = transport_.get();
+  const auto handler = [impl, transport](net::Envelope env) {
+    auto outs = impl->handle(env, wall_clock_us());
+    for (auto& out : outs) transport->send(std::move(out));
+  };
+  if (options_.stack == Stack::Pbft) {
+    transport_->register_endpoint(principal::pbft_replica(replica_), handler);
+  } else {
+    transport_->register_endpoint_group(
+        {principal::splitbft_env(replica_),
+         principal::enclave({replica_, Compartment::Preparation}),
+         principal::enclave({replica_, Compartment::Confirmation}),
+         principal::enclave({replica_, Compartment::Execution})},
+        handler);
+  }
+  if (!transport_->start()) {
+    running_.store(false);
+    return false;
+  }
+  ticker_ = std::thread([this] { ticker_main(); });
+  return true;
+}
+
+void ReplicaNode::ticker_main() {
+  while (running_.load(std::memory_order_relaxed)) {
+    auto outs = impl_->tick(wall_clock_us());
+    for (auto& out : outs) transport_->send(std::move(out));
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+void ReplicaNode::stop() {
+  if (!running_.exchange(false)) return;
+  if (ticker_.joinable()) ticker_.join();
+  transport_->shutdown();
+}
+
+std::uint64_t ReplicaNode::admission_rejects() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->pbft ? impl_->pbft->admission_rejects()
+                     : impl_->split->broker().admission_rejects();
+}
+
+// -------------------------------------------------------------- loadgen
+
+namespace {
+
+template <typename Engine, typename MakeEngine>
+Report run_loadgen(const Options& options, const ClusterTopology& topology,
+                   net::TcpTransport& transport, std::uint32_t loadgen_index,
+                   MakeEngine&& make_engine) {
+  LatencyHistogram hist;
+  std::atomic<bool> measuring{false};
+
+  using S = Station<Engine, net::TcpTransport>;
+  std::vector<std::unique_ptr<S>> stations;
+  const std::size_t n_stations = station_count(options);
+  for (std::size_t s = 0; s < n_stations; ++s) {
+    stations.push_back(
+        std::make_unique<S>(options, transport, hist, measuring));
+  }
+  std::size_t local = 0;
+  for (std::uint32_t i = 0; i < options.clients; ++i) {
+    if (i % topology.loadgens != loadgen_index) continue;
+    const ClientId id = kFirstClientId + i;
+    stations[local++ % n_stations]->add_client(id, make_engine(id));
+  }
+
+  // Replica timers live in the replica processes: the loadgen ticker only
+  // paces clients.
+  Report report = drive<Engine, net::TcpTransport>(
+      options, transport, stations, hist, measuring, [](Micros) {});
+
+  const net::TransportStats stats = transport.stats();
+  report.transport.bytes_in = stats.bytes_in;
+  report.transport.bytes_out = stats.bytes_out;
+  report.transport.frames_in = stats.frames_in;
+  report.transport.frames_out = stats.frames_out;
+  report.transport.writev_calls = stats.writev_calls;
+  report.transport.frames_per_writev = stats.frames_per_writev();
+  report.transport.reconnects = stats.reconnects;
+  report.transport.backpressure_drops = stats.backpressure_drops;
+  return report;
+}
+
+}  // namespace
+
+Report run_tcp_workload(const Options& options,
+                        const ClusterTopology& topology,
+                        std::uint32_t loadgen_index,
+                        net::TcpTransport::Options transport_options) {
+  auto transport = topology.make_transport(topology.replicas + loadgen_index,
+                                           std::move(transport_options));
+  if (!transport->start()) {
+    Report report;  // bind failure: report an unsustained zero run
+    return report;
+  }
+
+  const pbft::ClientDirectory directory(kDirectorySeed);
+  const pbft::Config config = options.protocol;
+
+  if (options.stack == Stack::Pbft) {
+    return run_loadgen<pbft::Client>(
+        options, topology, *transport, loadgen_index, [&](ClientId id) {
+          return pbft::Client(config, id, directory, /*retry=*/2'000'000);
+        });
+  }
+
+  tee::AttestationService attestation(options.seed ^ kAttestationSalt);
+  splitbft::SplitClient::TrustAnchors anchors;
+  anchors.attestation_root = attestation.root_public_key();
+  return run_loadgen<splitbft::SplitClient>(
+      options, topology, *transport, loadgen_index, [&](ClientId id) {
+        splitbft::SplitClient engine(config, id, directory, anchors,
+                                     options.seed, /*retry=*/2'000'000);
+        engine.adopt_session(session_key(options.seed, id));
+        return engine;
+      });
+}
+
+}  // namespace sbft::runtime::workload

@@ -1,0 +1,100 @@
+// Multi-process cluster assembly over the real TCP transport.
+//
+// A deployment is `replicas + loadgens` NODES, each one TcpTransport
+// instance (usually one process, but tests host several nodes in-process —
+// the sockets are real either way). Node ids are positional:
+//
+//   nodes [0, replicas)                     replica hosts
+//   nodes [replicas, replicas + loadgens)   load generators
+//
+// `ClusterTopology::route()` maps every principal to its host node; all
+// processes derive identical keys from the shared seed (the same
+// deterministic provisioning the threaded driver uses in-process), so no
+// key-distribution channel is needed — this is a benchmark harness, not a
+// PKI.
+//
+//  * `ReplicaNode` assembles one replica of either stack behind a
+//    transport endpoint plus a 500µs protocol ticker thread.
+//  * `run_tcp_workload` is the loadgen side: the PR-4 workload engine's
+//    stations paced over the transport, reporting the same JSON `Report`
+//    schema as the sim/thread drivers plus the transport counters.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp_transport.hpp"
+#include "runtime/workload/workload.hpp"
+
+namespace sbft::runtime::workload {
+
+struct ClusterTopology {
+  std::uint32_t replicas{4};
+  std::uint32_t loadgens{1};
+  /// Listen address per node (size == replicas + loadgens):
+  /// "host:port" or "unix:/path".
+  std::vector<std::string> addrs;
+
+  [[nodiscard]] std::uint32_t nodes() const noexcept {
+    return replicas + loadgens;
+  }
+
+  /// The node hosting a principal. Clients round-robin over loadgens;
+  /// a replica's every principal (PBFT replica, SplitBFT broker and
+  /// enclaves) lives on its node.
+  [[nodiscard]] std::uint32_t node_of(principal::Id id) const noexcept;
+
+  /// route() for TcpTransport (a pure function of the counts above).
+  [[nodiscard]] net::TcpTransport::RouteFn route() const;
+
+  /// Transport for node `node`, listening on its topology address with
+  /// every other node declared as a peer.
+  [[nodiscard]] std::unique_ptr<net::TcpTransport> make_transport(
+      std::uint32_t node, net::TcpTransport::Options options = {}) const;
+};
+
+/// One replica host: protocol state machine + transport + ticker thread.
+class ReplicaNode {
+ public:
+  /// `options` carries the stack, seed, protocol config, worker count and
+  /// the expected client count (for out-of-band SplitBFT session keys).
+  ReplicaNode(const Options& options, const ClusterTopology& topology,
+              ReplicaId replica, net::TcpTransport::Options transport_options);
+  ~ReplicaNode();
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  /// Binds, registers endpoints and starts the ticker. False on bind
+  /// errors (see transport().last_error()).
+  [[nodiscard]] bool start();
+  void stop();
+
+  [[nodiscard]] net::TcpTransport& transport() noexcept { return *transport_; }
+  [[nodiscard]] std::uint64_t admission_rejects() const;
+
+ private:
+  struct Impl;
+  void ticker_main();
+
+  Options options_;
+  ClusterTopology topology_;
+  ReplicaId replica_;
+  std::unique_ptr<net::TcpTransport> transport_;
+  std::unique_ptr<Impl> impl_;
+  std::thread ticker_;
+  std::atomic<bool> running_{false};
+};
+
+/// Runs the workload from loadgen node `replicas + loadgen_index`: this
+/// process drives every client with `id % loadgens == loadgen_index`.
+/// Blocks for warmup + measure, then reports (transport counters filled).
+[[nodiscard]] Report run_tcp_workload(const Options& options,
+                                      const ClusterTopology& topology,
+                                      std::uint32_t loadgen_index,
+                                      net::TcpTransport::Options
+                                          transport_options = {});
+
+}  // namespace sbft::runtime::workload

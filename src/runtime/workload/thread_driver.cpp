@@ -1,5 +1,7 @@
 #include "runtime/workload/thread_driver.hpp"
 
+#include "runtime/workload/station.hpp"
+
 #include <atomic>
 #include <chrono>
 #include <deque>
@@ -28,227 +30,6 @@ namespace {
 [[nodiscard]] Micros now_us() {
   static const SteadyClock clock;
   return clock.now();
-}
-
-/// One client's pacing state inside a station.
-template <typename Engine>
-struct StationClient {
-  StationClient(Engine e, const Options& options, std::uint64_t seed)
-      : engine(std::move(e)),
-        gen(options, seed),
-        rng(seed ^ 0x10adc11e47ULL) {}
-
-  Engine engine;
-  OpGenerator gen;
-  Rng rng;
-  Micros inflight_from{0};
-  /// Closed loop: pending think-time release (0 = none). Open loop: the
-  /// next Poisson arrival.
-  Micros due_at{0};
-  // open-loop waiting arrivals
-  std::deque<std::pair<Micros, GeneratedOp>> queued;
-};
-
-/// A station multiplexes many clients onto ONE ThreadNetwork endpoint
-/// group: replies arrive on the station's consumer thread, timers fire
-/// from the ticker thread; the station mutex serializes both.
-template <typename Engine>
-class Station {
- public:
-  Station(const Options& options, net::ThreadNetwork& net,
-          LatencyHistogram& hist, const std::atomic<bool>& measuring)
-      : options_(options), net_(net), hist_(hist), measuring_(measuring) {}
-
-  void add_client(ClientId id, Engine engine) {
-    clients_.emplace(id, StationClient<Engine>(std::move(engine), options_,
-                                               options_.seed * 1'000'003 + id));
-  }
-
-  /// Sums the clients' read fast-path counters (post-run reporting).
-  void accumulate_read_stats(std::uint64_t& fast_reads,
-                             std::uint64_t& read_fallbacks) {
-    const std::scoped_lock lock(mutex_);
-    for (const auto& [id, c] : clients_) {
-      fast_reads += c.engine.fast_reads();
-      read_fallbacks += c.engine.read_fallbacks();
-    }
-  }
-
-  [[nodiscard]] std::vector<principal::Id> principals() const {
-    std::vector<principal::Id> ids;
-    ids.reserve(clients_.size());
-    for (const auto& [id, client] : clients_) {
-      ids.push_back(principal::client(id));
-    }
-    return ids;
-  }
-
-  void start(Micros now) {
-    const std::scoped_lock lock(mutex_);
-    for (auto& [id, c] : clients_) {
-      if (options_.mode == LoadMode::Open) {
-        c.due_at = now + std::max<Micros>(
-                             1, exponential_us(c.rng, options_.interarrival_us));
-      } else {
-        submit(c, c.gen.next(), now, now);
-      }
-    }
-  }
-
-  void deliver(net::Envelope env) {
-    const Micros now = now_us();
-    // principal::client is the identity mapping: the dst IS the client id.
-    const auto target = static_cast<ClientId>(env.dst);
-    std::vector<net::Envelope> outs;
-    {
-      const std::scoped_lock lock(mutex_);
-      const auto it = clients_.find(target);
-      if (it == clients_.end()) return;
-      auto& c = it->second;
-      if (env.type == pbft::tag(pbft::MsgType::Reply) ||
-          env.type == pbft::tag(pbft::MsgType::ReadReply)) {
-        // `outs` carries the ordered re-broadcast on a fast-read fallback.
-        if (c.engine.on_reply(env, now, outs)) completed(c, now);
-      } else if constexpr (requires(Engine& e, const net::Envelope& v,
-                                    Micros t) { e.on_message(v, t); }) {
-        outs = c.engine.on_message(env, now);
-      }
-    }
-    for (auto& out : outs) net_.send(std::move(out));
-  }
-
-  /// Ticker entry: due submissions, open-loop arrivals, engine retries.
-  void tick(Micros now) {
-    std::vector<net::Envelope> outs;
-    {
-      const std::scoped_lock lock(mutex_);
-      for (auto& [id, c] : clients_) {
-        if (options_.mode == LoadMode::Open) {
-          while (c.due_at != 0 && now >= c.due_at) {
-            on_arrival(c, c.due_at);
-            c.due_at += std::max<Micros>(
-                1, exponential_us(c.rng, options_.interarrival_us));
-          }
-        } else if (c.due_at != 0 && now >= c.due_at) {
-          c.due_at = 0;
-          submit(c, c.gen.next(), now, now);
-        }
-        auto retries = c.engine.tick(now);
-        outs.insert(outs.end(), std::make_move_iterator(retries.begin()),
-                    std::make_move_iterator(retries.end()));
-      }
-    }
-    for (auto& out : outs) net_.send(std::move(out));
-  }
-
- private:
-  static constexpr std::size_t kMaxQueued = 256;
-
-  void submit(StationClient<Engine>& c, GeneratedOp op, Micros measured_from,
-              Micros now) {
-    c.inflight_from = measured_from;
-    // Sending under the station lock is deadlock-free: ThreadNetwork
-    // queue mutexes are leaves, and no endpoint handler takes another
-    // station's lock.
-    for (auto& env : c.engine.submit(std::move(op.op), now, op.read_only)) {
-      net_.send(std::move(env));
-    }
-  }
-
-  void completed(StationClient<Engine>& c, Micros now) {
-    if (measuring_.load(std::memory_order_relaxed)) {
-      hist_.record(now - c.inflight_from);
-    }
-    if (options_.mode == LoadMode::Open) {
-      if (!c.queued.empty()) {
-        auto [arrived, op] = std::move(c.queued.front());
-        c.queued.pop_front();
-        submit(c, std::move(op), arrived, now);
-      }
-      return;
-    }
-    const Micros think = exponential_us(c.rng, options_.think_time_us);
-    if (think == 0) {
-      submit(c, c.gen.next(), now, now);
-    } else {
-      c.due_at = now + think;
-    }
-  }
-
-  void on_arrival(StationClient<Engine>& c, Micros arrived) {
-    if (!c.engine.in_flight()) {
-      submit(c, c.gen.next(), arrived, now_us());
-    } else if (c.queued.size() < kMaxQueued) {
-      c.queued.emplace_back(arrived, c.gen.next());
-    }
-    // else: shed load (open-loop back-pressure)
-  }
-
-  const Options& options_;
-  net::ThreadNetwork& net_;
-  LatencyHistogram& hist_;
-  const std::atomic<bool>& measuring_;
-  std::mutex mutex_;
-  std::unordered_map<ClientId, StationClient<Engine>> clients_;
-};
-
-/// Shared run skeleton: `replica_tick(now)` drives protocol timers,
-/// stations drive client pacing; measurement is quartered for the
-/// sustained check, exactly as in the simulator driver.
-template <typename Engine, typename ReplicaTickFn>
-Report drive(const Options& options, net::ThreadNetwork& net,
-             std::vector<std::unique_ptr<Station<Engine>>>& stations,
-             LatencyHistogram& hist, std::atomic<bool>& measuring,
-             ReplicaTickFn&& replica_tick) {
-  for (auto& station : stations) {
-    Station<Engine>* s = station.get();
-    net.register_endpoint_group(
-        s->principals(), [s](net::Envelope env) { s->deliver(std::move(env)); });
-  }
-
-  std::atomic<bool> quit{false};
-  std::thread ticker([&] {
-    while (!quit.load(std::memory_order_relaxed)) {
-      const Micros now = now_us();
-      replica_tick(now);
-      for (auto& station : stations) station->tick(now);
-      std::this_thread::sleep_for(std::chrono::microseconds(500));
-    }
-  });
-
-  const Micros start = now_us();
-  for (auto& station : stations) station->start(start);
-  std::this_thread::sleep_for(std::chrono::microseconds(options.warmup_us));
-
-  measuring.store(true);
-  bool sustained = true;
-  std::uint64_t prev = hist.count();
-  for (int quarter = 0; quarter < 4; ++quarter) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(options.measure_us / 4));
-    const std::uint64_t count = hist.count();
-    if (count == prev) sustained = false;
-    prev = count;
-  }
-  measuring.store(false);
-
-  quit.store(true);
-  ticker.join();
-  net.shutdown();
-
-  Report report;
-  summarize_into(hist, options.measure_us, report);
-  report.sustained = sustained && report.completed_ops > 0;
-  for (auto& station : stations) {
-    station->accumulate_read_stats(report.fast_reads, report.read_fallbacks);
-  }
-  return report;
-}
-
-[[nodiscard]] std::size_t station_count(const Options& options) {
-  const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
-  return std::max<std::size_t>(
-      1, std::min<std::size_t>({hw / 2, 8, options.clients}));
 }
 
 [[nodiscard]] Report run_pbft(const Options& options) {
@@ -292,7 +73,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
         });
   }
 
-  using S = Station<pbft::Client>;
+  using S = Station<pbft::Client, net::ThreadNetwork>;
   std::vector<std::unique_ptr<S>> stations;
   const std::size_t n_stations = station_count(options);
   for (std::size_t s = 0; s < n_stations; ++s) {
@@ -304,7 +85,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
         id, pbft::Client(config, id, directory, /*retry=*/2'000'000));
   }
 
-  Report report = drive<pbft::Client>(
+  Report report = drive<pbft::Client, net::ThreadNetwork>(
       options, net, stations, hist, measuring, [&](Micros now) {
         for (auto& locked : replicas) {
           std::vector<net::Envelope> outs;
@@ -389,7 +170,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
   splitbft::SplitClient::TrustAnchors anchors;
   anchors.attestation_root = attestation.root_public_key();
 
-  using S = Station<splitbft::SplitClient>;
+  using S = Station<splitbft::SplitClient, net::ThreadNetwork>;
   std::vector<std::unique_ptr<S>> stations;
   const std::size_t n_stations = station_count(options);
   for (std::size_t s = 0; s < n_stations; ++s) {
@@ -408,7 +189,7 @@ Report drive(const Options& options, net::ThreadNetwork& net,
     stations[i % n_stations]->add_client(id, std::move(engine));
   }
 
-  Report report = drive<splitbft::SplitClient>(
+  Report report = drive<splitbft::SplitClient, net::ThreadNetwork>(
       options, net, stations, hist, measuring, [&](Micros now) {
         for (auto& locked : replicas) {
           std::vector<net::Envelope> outs;

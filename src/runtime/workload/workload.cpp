@@ -164,6 +164,16 @@ std::string report_json(const Options& options, const Report& report) {
      << "\"p99_us\": " << report.p99_us << ", "
      << "\"max_us\": " << report.max_us << ", "
      << "\"sustained\": " << (report.sustained ? "true" : "false") << ", "
+     << "\"transport\": {"
+     << "\"bytes_in\": " << report.transport.bytes_in << ", "
+     << "\"bytes_out\": " << report.transport.bytes_out << ", "
+     << "\"frames_in\": " << report.transport.frames_in << ", "
+     << "\"frames_out\": " << report.transport.frames_out << ", "
+     << "\"writev_calls\": " << report.transport.writev_calls << ", "
+     << "\"frames_per_writev\": " << report.transport.frames_per_writev << ", "
+     << "\"reconnects\": " << report.transport.reconnects << ", "
+     << "\"backpressure_drops\": " << report.transport.backpressure_drops
+     << "}, "
      << "\"histogram\": [";
   for (std::size_t i = 0; i < report.histogram.size(); ++i) {
     const auto& b = report.histogram[i];

@@ -93,6 +93,20 @@ struct Report {
   /// operations and no client starved (its in-flight request survived the
   /// whole measurement).
   bool sustained{false};
+
+  /// Transport-level counters, filled by drivers that run over a real
+  /// transport (all zero for ThreadNetwork / simulator runs).
+  struct TransportCounters {
+    std::uint64_t bytes_in{0};
+    std::uint64_t bytes_out{0};
+    std::uint64_t frames_in{0};
+    std::uint64_t frames_out{0};
+    std::uint64_t writev_calls{0};
+    double frames_per_writev{0};
+    std::uint64_t reconnects{0};
+    std::uint64_t backpressure_drops{0};
+  };
+  TransportCounters transport;
 };
 
 /// Fills the percentile/histogram fields of `report` from `hist`.

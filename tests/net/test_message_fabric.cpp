@@ -32,7 +32,7 @@ namespace {
 
 TEST(FrameEnvelope, RoundTripBasic) {
   const Envelope env = make_envelope("hello");
-  const auto decoded = Envelope::deserialize(env.serialize());
+  const auto decoded = Envelope::deserialize(env.wire().view());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, env);
 }
@@ -42,13 +42,13 @@ TEST(FrameEnvelope, RoundTripEmptyPayloadAndSignature) {
   env.src = 1;
   env.dst = 2;
   env.type = 3;
-  const auto decoded = Envelope::deserialize(env.serialize());
+  const auto decoded = Envelope::deserialize(env.wire().view());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, env);
   EXPECT_TRUE(decoded->payload.empty());
   EXPECT_TRUE(decoded->signature.empty());
   // And the decoded envelope re-serializes identically.
-  EXPECT_EQ(decoded->serialize(), env.serialize());
+  EXPECT_EQ(decoded->wire(), env.wire());
 }
 
 TEST(FrameEnvelope, RoundTripLargeFields) {
@@ -58,14 +58,14 @@ TEST(FrameEnvelope, RoundTripLargeFields) {
   env.type = ~0U;
   env.payload = Bytes(1 << 20, 0xa5);  // 1 MiB payload
   env.signature = Bytes(64, 0x5a);
-  const auto decoded = Envelope::deserialize(env.serialize());
+  const auto decoded = Envelope::deserialize(env.wire().view());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, env);
 }
 
 TEST(FrameEnvelope, TruncatedFramesRejectedAtEveryBoundary) {
   const Envelope env = make_envelope("truncate me");
-  const Bytes wire = env.serialize();
+  const SharedBytes wire = env.wire();
   for (std::size_t cut = 0; cut < wire.size(); ++cut) {
     const auto decoded =
         Envelope::deserialize(ByteView{wire.data(), cut});
@@ -74,7 +74,7 @@ TEST(FrameEnvelope, TruncatedFramesRejectedAtEveryBoundary) {
 }
 
 TEST(FrameEnvelope, TrailingGarbageRejected) {
-  Bytes wire = make_envelope("x").serialize();
+  Bytes wire = make_envelope("x").wire().to_bytes();
   wire.push_back(0x00);
   EXPECT_FALSE(Envelope::deserialize(wire).has_value());
 }
@@ -83,7 +83,7 @@ TEST(FrameEnvelope, TrailingGarbageRejected) {
 
 TEST(FrameEnvelope, FromFrameAliasesInsteadOfAllocating) {
   const Envelope sent = make_envelope("zero copy payload");
-  SharedBytes frame(sent.serialize());
+  const SharedBytes frame = sent.wire();
 
   const auto before = SharedBytes::alloc_stats();
   auto received = Envelope::from_frame(frame);
@@ -110,7 +110,7 @@ TEST(FrameEnvelope, PayloadViewOutlivesTheEnvelopeHandle) {
   SharedBytes payload_view;
   {
     auto env = Envelope::from_frame(
-        SharedBytes(make_envelope("outlives the envelope").serialize()));
+        make_envelope("outlives the envelope").wire());
     ASSERT_TRUE(env.has_value());
     payload_view = env->payload;
   }  // envelope (and its frame handle) destroyed
@@ -127,8 +127,7 @@ TEST(FrameEnvelope, WireIsMemoizedAcrossCallsAndCopies) {
   EXPECT_EQ(envelope_wire_builds(), before + 1);  // built exactly once
   EXPECT_TRUE(w1.same_buffer(w2));
   EXPECT_TRUE(w1.same_buffer(w3));
-  // Old-style serialize() agrees with the frame path.
-  EXPECT_EQ(w1, env.serialize());
+  EXPECT_EQ(w1.to_bytes(), env.wire().to_bytes());
 
   // Rewriting the destination (broadcast) re-encodes — the wire image
   // contains dst — but the digest below does not.
@@ -167,7 +166,7 @@ TEST(FrameEnvelope, MemoInvalidatesWhenFieldsChange) {
   ring.add_principal(1);
   sign_envelope(env, *ring.signer(1));
   EXPECT_TRUE(verify_envelope(env, *ring.verifier(), 1));
-  const auto decoded = Envelope::deserialize(env.serialize());
+  const auto decoded = Envelope::deserialize(env.wire().view());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->digest(), env.digest());
 }

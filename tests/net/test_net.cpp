@@ -19,14 +19,14 @@ TEST(Envelope, SerializationRoundTrip) {
   env.type = 77;
   env.payload = to_bytes("payload");
   env.signature = to_bytes("sig");
-  const auto decoded = Envelope::deserialize(env.serialize());
+  const auto decoded = Envelope::deserialize(env.wire().view());
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, env);
 }
 
 TEST(Envelope, RejectsTrailingBytes) {
   Envelope env;
-  Bytes data = env.serialize();
+  Bytes data = env.wire().to_bytes();
   data.push_back(1);
   EXPECT_FALSE(Envelope::deserialize(data).has_value());
 }

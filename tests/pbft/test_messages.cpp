@@ -261,7 +261,7 @@ namespace {
 // silent success on a shorter input. Only the full image parses.
 TEST(PbftMessages, NestedProofTruncatedAtEveryByteIsRejected) {
   const net::Envelope env = nested_proof_envelope();
-  const Bytes wire = env.serialize();
+  const Bytes wire = env.wire().to_bytes();
   ASSERT_GT(wire.size(), 100u);
 
   for (std::size_t len = 0; len < wire.size(); ++len) {

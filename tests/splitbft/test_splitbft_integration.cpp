@@ -149,7 +149,7 @@ TEST(SplitbftIntegration, ConfidentialityFromEnvironment) {
       [&observed](const net::Envelope& env)
           -> std::optional<
               std::vector<std::pair<net::Envelope, Micros>>> {
-        observed.push_back(env.serialize());
+        observed.push_back(env.wire().to_bytes());
         return std::nullopt;  // deliver normally
       });
 
