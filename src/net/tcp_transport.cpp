@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/clock.hpp"
@@ -71,7 +72,20 @@ struct Addr {
       return false;
     }
     const std::string host = spec.substr(0, colon);
-    const int port = std::atoi(spec.c_str() + colon + 1);
+    const std::string port_str = spec.substr(colon + 1);
+    // Strict decimal port: a typo'd port must fail loudly, not silently
+    // become 0 (atoi) or wrap mod 65536. Port 0 stays legal — it means
+    // "ephemeral" for listen addresses (see Options::listen_addr).
+    if (port_str.empty() || port_str.size() > 5 ||
+        port_str.find_first_not_of("0123456789") != std::string::npos) {
+      error = "port must be decimal 0..65535: " + spec;
+      return false;
+    }
+    const unsigned long port = std::strtoul(port_str.c_str(), nullptr, 10);
+    if (port > 65535) {
+      error = "port out of range [0, 65535]: " + spec;
+      return false;
+    }
     auto* sin = reinterpret_cast<sockaddr_in*>(&out.ss);
     sin->sin_family = AF_INET;
     sin->sin_port = htons(static_cast<std::uint16_t>(port));
@@ -88,11 +102,14 @@ struct Addr {
 enum class FdKind : std::uint64_t { Listen = 1, Wake = 2, PeerOut = 3,
                                     ConnIn = 4 };
 
-[[nodiscard]] std::uint64_t tag(FdKind kind, std::uint32_t id,
-                                std::uint32_t fd) {
+/// Tag layout: kind(8) | node id(24) | fd(32). The FULL fd is encoded so
+/// conn lookups and the PeerOut stale-fd check never alias even when fd
+/// numbers exceed 2^24. Node ids are cluster indices and must fit 24 bits
+/// (documented on add_peer).
+[[nodiscard]] std::uint64_t tag(FdKind kind, std::uint32_t id, int fd) {
   return (static_cast<std::uint64_t>(kind) << 56) |
-         (static_cast<std::uint64_t>(id) << 24) |
-         (static_cast<std::uint64_t>(fd) & 0xffffff);
+         (static_cast<std::uint64_t>(id & 0xffffff) << 32) |
+         static_cast<std::uint32_t>(fd);
 }
 
 }  // namespace
@@ -134,6 +151,10 @@ struct TcpTransport::Loop {
   int wake_fd{-1};
   int listen_fd{-1};
   bool listen_uds{false};
+  /// Nonzero when accept4 failed with an fd-exhaustion-class error: the
+  /// listen fd is edge-triggered, so the pending backlog will not
+  /// re-trigger EPOLLIN by itself — retry at this deadline instead.
+  Micros accept_retry_at{0};
   std::unordered_map<int, std::unique_ptr<Conn>> conns;
 };
 
@@ -167,7 +188,7 @@ bool TcpTransport::start() {
   }
   epoll_event ev{};
   ev.events = EPOLLIN | EPOLLET;
-  ev.data.u64 = tag(FdKind::Wake, 0, static_cast<std::uint32_t>(loop_->wake_fd));
+  ev.data.u64 = tag(FdKind::Wake, 0, loop_->wake_fd);
   ::epoll_ctl(loop_->epoll_fd, EPOLL_CTL_ADD, loop_->wake_fd, &ev);
 
   if (!options_.listen_addr.empty()) {
@@ -201,7 +222,7 @@ bool TcpTransport::start() {
     loop_->listen_fd = fd;
     epoll_event lev{};
     lev.events = EPOLLIN | EPOLLET;
-    lev.data.u64 = tag(FdKind::Listen, 0, static_cast<std::uint32_t>(fd));
+    lev.data.u64 = tag(FdKind::Listen, 0, fd);
     ::epoll_ctl(loop_->epoll_fd, EPOLL_CTL_ADD, fd, &lev);
   }
 
@@ -213,23 +234,34 @@ void TcpTransport::shutdown() {
   if (!running_.exchange(false)) return;
   wake();
   if (thread_.joinable()) thread_.join();
-  // Loop thread has exited: tear down every fd it owned.
-  for (auto& [node, peer] : peers_) {
-    if (peer->fd >= 0) ::close(peer->fd);
-    peer->fd = -1;
-    peer->state = Peer::State::Disconnected;
-    peer->queue.clear();
+  // Loop thread has exited, but send() is documented thread-safe and may
+  // still be running: everything it touches (peers_, queues, local_, the
+  // wake fd) is torn down under mu_ so a late send races with nothing.
+  {
+    const std::scoped_lock lock(mu_);
+    for (auto& [node, peer] : peers_) {
+      if (peer->fd >= 0) ::close(peer->fd);
+      peer->fd = -1;
+      peer->state = Peer::State::Disconnected;
+      peer->queue.clear();
+    }
+    local_.clear();
+    if (loop_->wake_fd >= 0) ::close(loop_->wake_fd);
+    loop_->wake_fd = -1;
   }
   for (auto& [fd, conn] : loop_->conns) ::close(fd);
   loop_->conns.clear();
   if (loop_->listen_fd >= 0) ::close(loop_->listen_fd);
-  if (loop_->wake_fd >= 0) ::close(loop_->wake_fd);
   if (loop_->epoll_fd >= 0) ::close(loop_->epoll_fd);
-  loop_->listen_fd = loop_->wake_fd = loop_->epoll_fd = -1;
+  loop_->listen_fd = loop_->epoll_fd = -1;
   if (!listen_path_.empty()) ::unlink(listen_path_.c_str());
 }
 
 void TcpTransport::wake() const {
+  // mu_ also guards the wake fd's LIFETIME: shutdown() closes and resets
+  // it under the same lock, so a concurrent send() can never write into a
+  // closed (and possibly kernel-reused) descriptor.
+  const std::scoped_lock lock(mu_);
   if (loop_->wake_fd >= 0) {
     const std::uint64_t one = 1;
     [[maybe_unused]] const auto n =
@@ -322,6 +354,7 @@ void TcpTransport::loop_main() {
   std::vector<SharedBytes> frames;
   std::vector<Envelope> inbound;
   std::deque<Envelope> local;
+  std::vector<Peer*> peer_scan;
 
   const auto fail_peer = [&](Peer& peer, Micros now) {
     if (peer.fd >= 0) {
@@ -442,8 +475,7 @@ void TcpTransport::loop_main() {
     }
     epoll_event ev{};
     ev.events = EPOLLIN | EPOLLOUT | EPOLLET;
-    ev.data.u64 = tag(FdKind::PeerOut, peer.node,
-                      static_cast<std::uint32_t>(fd));
+    ev.data.u64 = tag(FdKind::PeerOut, peer.node, fd);
     ::epoll_ctl(loop_->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
     if (peer.state == State::Connected && !flush_peer(peer)) {
       fail_peer(peer, now);
@@ -507,11 +539,21 @@ void TcpTransport::loop_main() {
     }
   };
 
-  const auto accept_all = [&] {
+  const auto accept_all = [&](Micros now) {
+    loop_->accept_retry_at = 0;
     while (true) {
       const int fd = ::accept4(loop_->listen_fd, nullptr, nullptr,
                                SOCK_NONBLOCK | SOCK_CLOEXEC);
-      if (fd < 0) return;  // EAGAIN or transient error: try next wakeup
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;  // drained
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        // EMFILE/ENFILE-class failure: connections may still be queued in
+        // the backlog, and edge-triggered EPOLLIN only fires again on a
+        // brand-new dial. Schedule a timed retry so they drain once fds
+        // free up instead of stalling indefinitely.
+        loop_->accept_retry_at = now + options_.reconnect_backoff_min_us;
+        return;
+      }
       set_nonblocking_nodelay(fd, !loop_->listen_uds);
       counters_.accepts.fetch_add(1, std::memory_order_relaxed);
       loop_->conns.emplace(
@@ -519,25 +561,30 @@ void TcpTransport::loop_main() {
                                      options_.read_chunk_bytes));
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLET;
-      ev.data.u64 = tag(FdKind::ConnIn, 0, static_cast<std::uint32_t>(fd));
+      ev.data.u64 = tag(FdKind::ConnIn, 0, fd);
       ::epoll_ctl(loop_->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
     }
   };
 
   while (running_.load(std::memory_order_relaxed)) {
-    // Timeout: the earliest pending reconnect deadline, else block.
+    // Timeout: the earliest pending reconnect/accept-retry deadline, else
+    // block.
     int timeout_ms = -1;
     {
       const Micros now = now_us();
+      const auto consider = [&](Micros at) {
+        const Micros wait_us = at > now ? at - now : 0;
+        const int ms = static_cast<int>(wait_us / 1000) + 1;
+        if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+      };
       const std::scoped_lock lock(mu_);
       for (const auto& [node, peer] : peers_) {
         if (peer->state != State::Disconnected || peer->queue.empty()) {
           continue;
         }
-        const Micros wait_us = peer->retry_at > now ? peer->retry_at - now : 0;
-        const int ms = static_cast<int>(wait_us / 1000) + 1;
-        if (timeout_ms < 0 || ms < timeout_ms) timeout_ms = ms;
+        consider(peer->retry_at);
       }
+      if (loop_->accept_retry_at != 0) consider(loop_->accept_retry_at);
     }
 
     const int n = ::epoll_wait(loop_->epoll_fd, events.data(),
@@ -545,11 +592,15 @@ void TcpTransport::loop_main() {
     if (!running_.load(std::memory_order_relaxed)) break;
     const Micros now = now_us();
 
+    if (loop_->accept_retry_at != 0 && now >= loop_->accept_retry_at) {
+      accept_all(now);  // timed retry after an fd-exhaustion accept failure
+    }
+
     for (int i = 0; i < n; ++i) {
       const std::uint64_t data = events[static_cast<std::size_t>(i)].data.u64;
       const auto kind = static_cast<FdKind>(data >> 56);
-      const auto id = static_cast<std::uint32_t>((data >> 24) & 0xffffffff);
-      const auto fd_low = static_cast<int>(data & 0xffffff);
+      const auto id = static_cast<std::uint32_t>((data >> 32) & 0xffffff);
+      const int ev_fd = static_cast<int>(static_cast<std::uint32_t>(data));
       const std::uint32_t evs = events[static_cast<std::size_t>(i)].events;
 
       switch (kind) {
@@ -560,16 +611,21 @@ void TcpTransport::loop_main() {
           break;
         }
         case FdKind::Listen:
-          accept_all();
+          accept_all(now);
           break;
         case FdKind::PeerOut: {
-          const auto it = peers_.find(id);
-          if (it == peers_.end()) break;
-          Peer& peer = *it->second;
-          if (peer.fd < 0 ||
-              (peer.fd & 0xffffff) != fd_low) {  // stale event for old fd
-            break;
+          Peer* peer_ptr = nullptr;
+          {
+            // add_peer() may insert (and rehash) concurrently; the map is
+            // only read under mu_. Peers are never erased, so the Peer*
+            // stays valid once the lock is dropped.
+            const std::scoped_lock lock(mu_);
+            const auto it = peers_.find(id);
+            if (it != peers_.end()) peer_ptr = it->second.get();
           }
+          if (peer_ptr == nullptr) break;
+          Peer& peer = *peer_ptr;
+          if (peer.fd != ev_fd) break;  // stale event for a replaced fd
           if (evs & (EPOLLERR | EPOLLHUP)) {
             fail_peer(peer, now);
             break;
@@ -601,13 +657,13 @@ void TcpTransport::loop_main() {
           break;
         }
         case FdKind::ConnIn: {
-          const auto it = loop_->conns.find(fd_low);
+          const auto it = loop_->conns.find(ev_fd);
           if (it == loop_->conns.end()) break;
           if ((evs & (EPOLLERR | EPOLLHUP)) && !(evs & EPOLLIN)) {
-            close_conn(fd_low);
+            close_conn(ev_fd);
             break;
           }
-          if (!read_conn(*it->second)) close_conn(fd_low);
+          if (!read_conn(*it->second)) close_conn(ev_fd);
           break;
         }
       }
@@ -624,15 +680,18 @@ void TcpTransport::loop_main() {
     inbound.clear();
 
     // Progress every peer: dial if due, flush if connected. Peer counts
-    // are cluster-sized (n + loadgens), so the scan is trivial.
-    for (auto& [node, peer_ptr] : peers_) {
-      Peer& peer = *peer_ptr;
-      bool has_data;
-      {
-        const std::scoped_lock lock(mu_);
-        has_data = !peer.queue.empty();
+    // are cluster-sized (n + loadgens), so the scan is trivial. The map is
+    // snapshot under mu_ (add_peer may insert and rehash concurrently);
+    // peers are never erased, so the Peer*s outlive the lock.
+    peer_scan.clear();
+    {
+      const std::scoped_lock lock(mu_);
+      for (auto& [node, peer_ptr] : peers_) {
+        if (!peer_ptr->queue.empty()) peer_scan.push_back(peer_ptr.get());
       }
-      if (!has_data) continue;
+    }
+    for (Peer* peer_ptr : peer_scan) {
+      Peer& peer = *peer_ptr;
       if (peer.state == State::Disconnected && now >= peer.retry_at) {
         connect_peer(peer, now);
       } else if (peer.state == State::Connected && !flush_peer(peer)) {

@@ -34,8 +34,10 @@
 //    partially-written front frame is rewound to its boundary so the fresh
 //    connection never starts mid-frame.
 //
-// Threading: send() and register_endpoint are thread-safe; everything
-// socket-shaped happens on the loop thread. stats() is readable anywhere.
+// Threading: send(), add_peer() and register_endpoint are thread-safe
+// (peers_ and the send queues are only ever touched under mu_, including
+// by the loop thread and shutdown()); everything socket-shaped happens on
+// the loop thread. stats() is readable anywhere.
 #pragma once
 
 #include <atomic>
@@ -107,6 +109,8 @@ class TcpTransport final : public Transport {
   /// connections are established lazily on first send toward the node.
   /// Re-declaring a node updates its dial address (picked up by the next
   /// connect attempt — how a restarted node's new home is announced).
+  /// Node ids must fit in 24 bits (they share an epoll tag word with the
+  /// full 32-bit fd) — cluster indices, not arbitrary principal ids.
   void add_peer(NodeId node, std::string addr);
 
   /// Binds/listens and spawns the event loop. False on socket/bind errors

@@ -11,6 +11,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstring>
@@ -590,6 +591,85 @@ TEST(TcpTransport, BackpressureDropsNewestAndCounts) {
 
   sender.shutdown();
   lonely.shutdown();
+}
+
+TEST(TcpTransport, MalformedPortsAreRejectedNotMisparsed) {
+  // atoi-style parsing would silently bind port 0 ("http") or wrap mod
+  // 65536 (70000); both must instead fail start() with a parse error.
+  for (const char* bad : {"127.0.0.1:http", "127.0.0.1:", "127.0.0.1:-1",
+                          "127.0.0.1:65536", "127.0.0.1:70000",
+                          "127.0.0.1:123456"}) {
+    TcpTransport::Options options;
+    options.listen_addr = bad;
+    TcpTransport t(0, options, two_node_route());
+    EXPECT_FALSE(t.start()) << bad;
+    EXPECT_FALSE(t.last_error().empty()) << bad;
+  }
+  // Port 0 stays legal: it means "ephemeral", resolved via listen_port().
+  TcpTransport::Options options;
+  options.listen_addr = "127.0.0.1:0";
+  TcpTransport ok(0, options, two_node_route());
+  ASSERT_TRUE(ok.start()) << ok.last_error();
+  EXPECT_GT(ok.listen_port(), 0);
+  ok.shutdown();
+}
+
+TEST(TcpTransport, ConcurrentAddPeerWhileLoopBusyIsSafe) {
+  // add_peer is documented callable after start(): hammer re-declarations
+  // and fresh inserts (forcing unordered_map rehashes) from a second
+  // thread while the event loop flushes traffic. Run under TSan this
+  // pins the loop's locked snapshot of peers_.
+  TcpTransport::Options options;
+  options.listen_addr = "127.0.0.1:0";
+  TcpTransport receiver(1, options, two_node_route());
+  ASSERT_TRUE(receiver.start()) << receiver.last_error();
+  Receiver sink;
+  receiver.register_endpoint(2,
+                             [&](Envelope env) { sink.on(std::move(env)); });
+
+  TcpTransport sender(0, options, two_node_route());
+  ASSERT_TRUE(sender.start()) << sender.last_error();
+  const std::string addr =
+      "127.0.0.1:" + std::to_string(receiver.listen_port());
+  sender.add_peer(1, addr);
+
+  std::atomic<bool> stop{false};
+  std::thread churn([&] {
+    TcpTransport::NodeId next = 100;
+    while (!stop.load(std::memory_order_relaxed)) {
+      sender.add_peer(1, addr);                // re-declaration path
+      sender.add_peer(next++, "127.0.0.1:1");  // insert/rehash path
+    }
+  });
+
+  constexpr std::size_t kCount = 300;
+  for (std::size_t i = 0; i < kCount; ++i) {
+    sender.send(make_envelope(1, 2, "churn " + std::to_string(i)));
+  }
+  EXPECT_TRUE(sink.wait_for(kCount));
+  stop.store(true);
+  churn.join();
+  sender.shutdown();
+  receiver.shutdown();
+}
+
+TEST(TcpTransport, ShutdownRacingActiveSendersIsSafe) {
+  // send() is documented thread-safe and shutdown() tears the queues
+  // down; the two must serialize (late sends are silently dropped).
+  TcpTransport::Options options;
+  options.send_queue_max_bytes = 4096;
+  TcpTransport sender(0, options, two_node_route());
+  ASSERT_TRUE(sender.start()) << sender.last_error();
+  sender.add_peer(1, "127.0.0.1:1");  // nothing listens there
+
+  std::thread pusher([&] {
+    for (int i = 0; i < 2000; ++i) {
+      sender.send(make_envelope(1, 2, "racing the teardown"));
+    }
+  });
+  sender.shutdown();  // races the pushes; must not corrupt the queue
+  pusher.join();
+  sender.shutdown();  // idempotent
 }
 
 }  // namespace
