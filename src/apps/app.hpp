@@ -5,6 +5,8 @@
 // operation sequence yields the same state and replies on every replica.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <memory>
 
@@ -44,6 +46,57 @@ class Application {
 
   /// Digest over the current state (checkpoint agreement).
   [[nodiscard]] virtual Digest state_digest() const = 0;
+
+  // --- incremental snapshot API (streaming state transfer) ---------------
+  //
+  // The streaming transfer path produces and consumes the snapshot in
+  // pieces so neither side materializes it beyond one chunk. The defaults
+  // below are compatibility shims over snapshot()/restore(): correct for
+  // any app, but with whole-snapshot memory cost. Apps with large state
+  // (KvStore) override them.
+
+  /// Emits the snapshot as consecutive pieces of at most `chunk_bytes`
+  /// each (the concatenation must equal snapshot()). Default: slices one
+  /// materialized snapshot() call.
+  virtual void snapshot_chunks(
+      std::size_t chunk_bytes,
+      const std::function<void(ByteView)>& sink) const {
+    const Bytes full = snapshot();
+    const std::size_t step = chunk_bytes == 0 ? full.size() + 1 : chunk_bytes;
+    for (std::size_t off = 0; off < full.size(); off += step) {
+      sink(ByteView{full.data() + off, std::min(step, full.size() - off)});
+    }
+  }
+
+  /// Starts an incremental restore of `expected_bytes` of snapshot data.
+  /// Staged state only: live state keeps serving until apply_end() commits.
+  /// Calling apply_begin again discards any previous staging.
+  virtual void apply_begin(std::uint64_t expected_bytes) {
+    staging_.clear();
+    staging_.reserve(static_cast<std::size_t>(expected_bytes));
+  }
+
+  /// Feeds the next contiguous snapshot bytes; false rejects the restore
+  /// (staging is discarded, live state untouched).
+  [[nodiscard]] virtual bool apply_chunk(ByteView data) {
+    staging_.insert(staging_.end(), data.begin(), data.end());
+    return true;
+  }
+
+  /// Atomically commits the staged restore; false leaves live state as it
+  /// was. Default shim: restore(<buffered bytes>).
+  [[nodiscard]] virtual bool apply_end() {
+    Bytes buffered = std::move(staging_);
+    staging_.clear();
+    return restore(buffered);
+  }
+
+  /// Discards staged restore state without touching live state.
+  virtual void apply_abort() { staging_.clear(); }
+
+ protected:
+  /// Buffer backing the default (whole-snapshot) apply_* shims.
+  Bytes staging_;
 };
 
 /// Factory so every replica can construct its own instance.

@@ -143,4 +143,127 @@ bool KvStore::restore(ByteView snapshot) {
 
 Digest KvStore::state_digest() const { return crypto::sha256(snapshot()); }
 
+void KvStore::snapshot_chunks(
+    std::size_t chunk_bytes,
+    const std::function<void(ByteView)>& sink) const {
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  Bytes buf;
+  buf.reserve(chunk_bytes * 2);
+  const auto flush_full = [&] {
+    std::size_t off = 0;
+    while (buf.size() - off >= chunk_bytes) {
+      sink(ByteView{buf.data() + off, chunk_bytes});
+      off += chunk_bytes;
+    }
+    buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(off));
+  };
+  {
+    Writer w;
+    w.u64(table_.size());
+    append(buf, w.data());
+  }
+  for (const auto& [key, value] : table_) {
+    Writer w;
+    w.bytes(key);
+    w.bytes(value);
+    append(buf, w.data());
+    flush_full();
+  }
+  if (!buf.empty()) sink(buf);
+}
+
+void KvStore::apply_begin(std::uint64_t expected_bytes) {
+  (void)expected_bytes;  // records are parsed as they stream in
+  staging_table_.clear();
+  apply_buf_.clear();
+  apply_records_expected_ = 0;
+  apply_records_seen_ = 0;
+  apply_header_seen_ = false;
+  apply_failed_ = false;
+}
+
+bool KvStore::apply_chunk(ByteView data) {
+  if (apply_failed_) return false;
+  append(apply_buf_, data);
+  std::size_t off = 0;
+  const auto read_u32 = [&](std::uint32_t& v) {
+    if (apply_buf_.size() - off < 4) return false;
+    v = static_cast<std::uint32_t>(apply_buf_[off]) |
+        static_cast<std::uint32_t>(apply_buf_[off + 1]) << 8 |
+        static_cast<std::uint32_t>(apply_buf_[off + 2]) << 16 |
+        static_cast<std::uint32_t>(apply_buf_[off + 3]) << 24;
+    off += 4;
+    return true;
+  };
+  if (!apply_header_seen_) {
+    if (apply_buf_.size() < 8) return true;  // wait for the count header
+    for (int i = 0; i < 8; ++i) {
+      apply_records_expected_ |= static_cast<std::uint64_t>(apply_buf_[off])
+                                 << (8 * i);
+      ++off;
+    }
+    apply_header_seen_ = true;
+  }
+  // Parse complete key/value records greedily; a partial record stays
+  // buffered until the next chunk completes it, so resident overhead is
+  // one record + one chunk, never the whole snapshot.
+  while (apply_records_seen_ < apply_records_expected_) {
+    const std::size_t mark = off;
+    std::uint32_t klen = 0;
+    if (!read_u32(klen) || apply_buf_.size() - off < klen) {
+      off = mark;
+      break;
+    }
+    const std::size_t key_at = off;
+    off += klen;
+    std::uint32_t vlen = 0;
+    if (!read_u32(vlen) || apply_buf_.size() - off < vlen) {
+      off = mark;
+      break;
+    }
+    Bytes key(apply_buf_.begin() + static_cast<std::ptrdiff_t>(key_at),
+              apply_buf_.begin() + static_cast<std::ptrdiff_t>(key_at + klen));
+    Bytes value(apply_buf_.begin() + static_cast<std::ptrdiff_t>(off),
+                apply_buf_.begin() + static_cast<std::ptrdiff_t>(off + vlen));
+    off += vlen;
+    // Snapshots are emitted from an ordered map: out-of-order or duplicate
+    // keys mean corrupt input.
+    if (!staging_table_.empty() && !(staging_table_.rbegin()->first < key)) {
+      apply_failed_ = true;
+      return false;
+    }
+    staging_table_.emplace_hint(staging_table_.end(), std::move(key),
+                                std::move(value));
+    ++apply_records_seen_;
+  }
+  apply_buf_.erase(apply_buf_.begin(), apply_buf_.begin() +
+                                           static_cast<std::ptrdiff_t>(off));
+  // Bytes past the final record are framing garbage.
+  if (apply_records_seen_ == apply_records_expected_ && !apply_buf_.empty()) {
+    apply_failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+bool KvStore::apply_end() {
+  if (apply_failed_ || !apply_header_seen_ || !apply_buf_.empty() ||
+      apply_records_seen_ != apply_records_expected_) {
+    apply_abort();
+    return false;
+  }
+  table_ = std::move(staging_table_);
+  apply_abort();
+  return true;
+}
+
+void KvStore::apply_abort() {
+  staging_table_.clear();
+  apply_buf_.clear();
+  apply_records_expected_ = 0;
+  apply_records_seen_ = 0;
+  apply_header_seen_ = false;
+  apply_failed_ = true;
+}
+
 }  // namespace sbft::apps

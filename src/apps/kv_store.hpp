@@ -54,11 +54,32 @@ class KvStore final : public Application {
   [[nodiscard]] bool restore(ByteView snapshot) override;
   [[nodiscard]] Digest state_digest() const override;
 
+  // Streaming snapshot/restore: neither direction materializes the full
+  // snapshot. Emission serializes record by record through a chunk-sized
+  // buffer; application parses records as chunks arrive into a staging
+  // table that swaps in atomically at apply_end (an aborted half-restore
+  // never corrupts the live table).
+  void snapshot_chunks(
+      std::size_t chunk_bytes,
+      const std::function<void(ByteView)>& sink) const override;
+  void apply_begin(std::uint64_t expected_bytes) override;
+  [[nodiscard]] bool apply_chunk(ByteView data) override;
+  [[nodiscard]] bool apply_end() override;
+  void apply_abort() override;
+
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
 
  private:
   // std::map keeps keys ordered so snapshots/digests are canonical.
   std::map<Bytes, Bytes> table_;
+
+  // Incremental-restore staging (live only between apply_begin/apply_end).
+  std::map<Bytes, Bytes> staging_table_;
+  Bytes apply_buf_;  // unconsumed partial-record bytes
+  std::uint64_t apply_records_expected_{0};
+  std::uint64_t apply_records_seen_{0};
+  bool apply_header_seen_{false};
+  bool apply_failed_{true};
 };
 
 }  // namespace sbft::apps

@@ -1,0 +1,121 @@
+#include "crypto/merkle.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+constexpr std::uint8_t kLeafTag = 0x00;
+constexpr std::uint8_t kNodeTag = 0x01;
+
+[[nodiscard]] Digest hash_node(const Digest& left,
+                               const Digest& right) noexcept {
+  Sha256 h;
+  h.update(ByteView{&kNodeTag, 1});
+  h.update(left.view());
+  h.update(right.view());
+  return h.finalize();
+}
+
+void put_u64_le(Sha256& h, std::uint64_t v) noexcept {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  h.update(ByteView{buf, sizeof buf});
+}
+
+}  // namespace
+
+Digest merkle_leaf(ByteView chunk) noexcept {
+  Sha256 h;
+  h.update(ByteView{&kLeafTag, 1});
+  h.update(chunk);
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+  if (leaves.empty()) leaves.push_back(merkle_leaf({}));
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+      above.push_back(hash_node(below[i], below[i + 1]));
+    }
+    if (below.size() % 2 != 0) above.push_back(below.back());  // promote
+    levels_.push_back(std::move(above));
+  }
+}
+
+MerkleProof MerkleTree::proof(std::size_t index) const {
+  MerkleProof path;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = index ^ 1u;
+    if (sibling < nodes.size()) {
+      path.push_back({nodes[sibling], (sibling & 1u) == 0});
+    }
+    // A promoted odd tail has no sibling at this level; it rises as-is.
+    index /= 2;
+  }
+  return path;
+}
+
+bool MerkleTree::verify(const Digest& root, std::size_t index,
+                        std::size_t leaf_count, ByteView chunk,
+                        const MerkleProof& path) noexcept {
+  if (leaf_count == 0 || index >= leaf_count) return false;
+  // Replay the reduction shape: at each level the node either has a
+  // sibling (consume one proof step, on the correct side) or is a
+  // promoted odd tail (consume nothing). This pins the proof length AND
+  // the left/right orientation of every step to (index, leaf_count).
+  Digest acc = merkle_leaf(chunk);
+  std::size_t nodes = leaf_count;
+  std::size_t pos = index;
+  std::size_t step = 0;
+  while (nodes > 1) {
+    const std::size_t sibling = pos ^ 1u;
+    if (sibling < nodes) {
+      if (step >= path.size()) return false;
+      const bool expect_left = (sibling & 1u) == 0;
+      if (path[step].sibling_is_left != expect_left) return false;
+      acc = expect_left ? hash_node(path[step].sibling, acc)
+                        : hash_node(acc, path[step].sibling);
+      ++step;
+    }
+    pos /= 2;
+    nodes = (nodes + 1) / 2;
+  }
+  if (step != path.size()) return false;
+  return acc == root;
+}
+
+Digest SnapshotManifest::commitment() const noexcept {
+  static constexpr char kDomain[] = "sbft.manifest.v1";
+  Sha256 h;
+  h.update(ByteView{reinterpret_cast<const std::uint8_t*>(kDomain),
+                    sizeof(kDomain) - 1});
+  put_u64_le(h, total_bytes);
+  put_u64_le(h, chunk_bytes);
+  h.update(root.view());
+  return h.finalize();
+}
+
+MerkleTree build_snapshot_tree(ByteView snapshot, std::uint64_t chunk_bytes) {
+  std::vector<Digest> leaves;
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  const std::size_t step = static_cast<std::size_t>(chunk_bytes);
+  leaves.reserve(snapshot.size() / step + 1);
+  for (std::size_t off = 0; off < snapshot.size(); off += step) {
+    const std::size_t len = std::min(step, snapshot.size() - off);
+    leaves.push_back(merkle_leaf(snapshot.subspan(off, len)));
+  }
+  if (leaves.empty()) leaves.push_back(merkle_leaf({}));
+  return MerkleTree{std::move(leaves)};
+}
+
+}  // namespace sbft::crypto

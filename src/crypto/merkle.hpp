@@ -1,0 +1,108 @@
+// Merkle commitments over chunked snapshots.
+//
+// A snapshot of `total_bytes` is cut into fixed-size chunks of
+// `chunk_bytes` (the final chunk may be short; an empty snapshot is one
+// empty chunk so every snapshot has at least one leaf). The tree hashes
+//
+//   leaf(i)  = H(0x00 || chunk_i)
+//   node     = H(0x01 || left || right)
+//
+// with the last node of an odd level promoted unchanged (Bitcoin-style
+// duplication would let a forger equivocate between n and n+1 leaves;
+// promotion keeps the leaf count bound into the structure). Domain
+// separation between leaf and interior hashes blocks second-preimage
+// splices of interior nodes as leaves.
+//
+// The checkpoint digest is NOT the root alone: SnapshotManifest binds
+// (total_bytes, chunk_bytes, root) into one commitment digest, so the
+// 2f+1 checkpoint certificate also authenticates the transfer geometry —
+// a Byzantine responder cannot lie about the snapshot size or chunk size
+// to stall or blow up a recovering replica.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace sbft::crypto {
+
+/// Sibling path from a leaf to the root, bottom-up. Each element carries
+/// the sibling digest and which side it sits on.
+struct MerkleStep {
+  Digest sibling;
+  bool sibling_is_left{false};
+};
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Upper bound on a plausible proof length (2^40 leaves is far beyond any
+/// snapshot we can hold); deserializers reject longer paths before
+/// allocating.
+inline constexpr std::size_t kMaxMerkleProofLen = 40;
+
+/// Hashes one chunk as a leaf (domain-separated).
+[[nodiscard]] Digest merkle_leaf(ByteView chunk) noexcept;
+
+/// Merkle tree over an indexed sequence of leaf digests. Built once on
+/// the serving side; proofs are O(log n) lookups into the stored levels.
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  [[nodiscard]] const Digest& root() const noexcept {
+    return levels_.back().front();
+  }
+  [[nodiscard]] std::size_t leaf_count() const noexcept {
+    return levels_.front().size();
+  }
+
+  /// Sibling path for leaf `index` (must be < leaf_count()).
+  [[nodiscard]] MerkleProof proof(std::size_t index) const;
+
+  /// Recomputes the root from `chunk` + `path` and compares. `index` and
+  /// `leaf_count` must come from an authenticated manifest: the path
+  /// length is checked against the tree shape they imply, so a forger
+  /// cannot present a truncated path that verifies an interior node.
+  [[nodiscard]] static bool verify(const Digest& root, std::size_t index,
+                                   std::size_t leaf_count, ByteView chunk,
+                                   const MerkleProof& path) noexcept;
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+/// The transfer geometry bound into the checkpoint digest.
+struct SnapshotManifest {
+  std::uint64_t total_bytes{0};
+  std::uint64_t chunk_bytes{0};  // > 0
+  Digest root{};
+
+  [[nodiscard]] friend bool operator==(const SnapshotManifest&,
+                                       const SnapshotManifest&) = default;
+
+  /// Number of chunks (>= 1; an empty snapshot is one empty chunk).
+  [[nodiscard]] std::uint64_t chunk_count() const noexcept {
+    if (chunk_bytes == 0) return 0;  // invalid manifest
+    if (total_bytes == 0) return 1;
+    return (total_bytes + chunk_bytes - 1) / chunk_bytes;
+  }
+
+  /// Size of chunk `index` in bytes.
+  [[nodiscard]] std::uint64_t chunk_size(std::uint64_t index) const noexcept {
+    if (total_bytes == 0) return 0;
+    const std::uint64_t start = index * chunk_bytes;
+    const std::uint64_t end = start + chunk_bytes;
+    return (end > total_bytes ? total_bytes : end) - start;
+  }
+
+  /// The digest the checkpoint certificate signs:
+  /// H("sbft.manifest.v1" || total_bytes || chunk_bytes || root).
+  [[nodiscard]] Digest commitment() const noexcept;
+};
+
+/// Chunks `snapshot` with `chunk_bytes`-sized slices and builds the tree.
+[[nodiscard]] MerkleTree build_snapshot_tree(ByteView snapshot,
+                                             std::uint64_t chunk_bytes);
+
+}  // namespace sbft::crypto

@@ -1,0 +1,146 @@
+#include "faults/state_transfer_faults.hpp"
+
+namespace sbft::faults {
+
+namespace {
+
+[[nodiscard]] bool is_chunk_response(const net::Envelope& env) noexcept {
+  return env.type == pbft::tag(pbft::MsgType::StateChunkResponse);
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- forgery
+
+ChunkForger::ChunkForger(std::shared_ptr<runtime::Actor> inner,
+                         std::shared_ptr<const crypto::Signer> signer)
+    : inner_(std::move(inner)), signer_(std::move(signer)) {}
+
+void ChunkForger::forge(std::vector<net::Envelope>& envs) {
+  for (auto& e : envs) {
+    if (!is_chunk_response(e)) continue;
+    auto resp = pbft::StateChunkResponse::deserialize(e.payload);
+    if (!resp || resp->chunk.empty()) continue;
+    // Flip one byte mid-chunk: geometry, root and proof stay truthful, so
+    // only leaf hashing can notice — the strongest position for a forger
+    // whose envelope MAC is genuinely valid.
+    resp->chunk[resp->chunk.size() / 2] ^= 0xFF;
+    e.payload = resp->serialize();
+    net::sign_envelope(e, *signer_);
+    ++forged_;
+  }
+}
+
+std::vector<net::Envelope> ChunkForger::handle(const net::Envelope& env,
+                                               Micros now) {
+  std::vector<net::Envelope> out = inner_->handle(env, now);
+  forge(out);
+  return out;
+}
+
+std::vector<net::Envelope> ChunkForger::tick(Micros now) {
+  std::vector<net::Envelope> out = inner_->tick(now);
+  forge(out);
+  return out;
+}
+
+// ---------------------------------------------------------- withholding
+
+ChunkWithholder::ChunkWithholder(std::shared_ptr<runtime::Actor> inner,
+                                 Policy policy)
+    : inner_(std::move(inner)), policy_(policy) {}
+
+void ChunkWithholder::filter(std::vector<net::Envelope>& envs) {
+  std::vector<net::Envelope> kept;
+  kept.reserve(envs.size());
+  for (auto& e : envs) {
+    if (!is_chunk_response(e)) {
+      kept.push_back(std::move(e));
+      continue;
+    }
+    if (served_ < policy_.serve_first) {
+      ++served_;
+      kept.push_back(std::move(e));
+      continue;
+    }
+    ++withheld_;
+    if (policy_.drip_interval_us > 0) queue_.push_back(std::move(e));
+  }
+  envs = std::move(kept);
+}
+
+void ChunkWithholder::drip(std::vector<net::Envelope>& out, Micros now) {
+  if (policy_.drip_interval_us == 0) return;
+  while (!queue_.empty() && now >= next_release_) {
+    out.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    ++dripped_;
+    next_release_ = now + policy_.drip_interval_us;
+  }
+}
+
+std::vector<net::Envelope> ChunkWithholder::handle(const net::Envelope& env,
+                                                   Micros now) {
+  std::vector<net::Envelope> out = inner_->handle(env, now);
+  filter(out);
+  drip(out, now);
+  return out;
+}
+
+std::vector<net::Envelope> ChunkWithholder::tick(Micros now) {
+  std::vector<net::Envelope> out = inner_->tick(now);
+  filter(out);
+  drip(out, now);
+  return out;
+}
+
+// --------------------------------------------------------- stale replay
+
+StaleRootReplayer::StaleRootReplayer(
+    std::shared_ptr<runtime::Actor> inner,
+    std::shared_ptr<const crypto::Signer> signer)
+    : inner_(std::move(inner)), signer_(std::move(signer)) {}
+
+void StaleRootReplayer::rewrite(std::vector<net::Envelope>& envs) {
+  for (auto& e : envs) {
+    if (!is_chunk_response(e)) continue;
+    auto resp = pbft::StateChunkResponse::deserialize(e.payload);
+    if (!resp) continue;
+    if (!stale_) {
+      // First checkpoint this replica ever serves becomes the stale
+      // template; it is still served honestly.
+      stale_ = *resp;
+      continue;
+    }
+    if (resp->seq <= stale_->seq) continue;  // not yet superseded
+    // Replay: the requested (seq, sender, checkpoint proof) with the OLD
+    // snapshot's geometry, chunk bytes and Merkle path. Internally the
+    // proof verifies against the stale root; the receiver's certificate
+    // binds `seq` to the NEW commitment, so manifest().commitment() must
+    // mismatch before any chunk byte is inspected.
+    resp->total_bytes = stale_->total_bytes;
+    resp->chunk_bytes = stale_->chunk_bytes;
+    resp->root = stale_->root;
+    resp->index = stale_->index;
+    resp->chunk = stale_->chunk;
+    resp->proof = stale_->proof;
+    e.payload = resp->serialize();
+    net::sign_envelope(e, *signer_);
+    ++replayed_;
+  }
+}
+
+std::vector<net::Envelope> StaleRootReplayer::handle(const net::Envelope& env,
+                                                     Micros now) {
+  std::vector<net::Envelope> out = inner_->handle(env, now);
+  rewrite(out);
+  return out;
+}
+
+std::vector<net::Envelope> StaleRootReplayer::tick(Micros now) {
+  std::vector<net::Envelope> out = inner_->tick(now);
+  rewrite(out);
+  return out;
+}
+
+}  // namespace sbft::faults

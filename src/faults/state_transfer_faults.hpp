@@ -1,0 +1,125 @@
+// Streaming state-transfer fault injection.
+//
+// Three adversaries against the chunked snapshot fetch (pbft/state_transfer):
+//
+//  * ChunkForger — a compromised serving peer that corrupts chunk bytes but
+//    re-signs the envelope with its own (legitimate) key: the MAC verifies,
+//    the Merkle path does not. The fetcher must reject the chunk, strike the
+//    peer and refetch from another one; no forged byte may ever be installed.
+//  * ChunkWithholder — a peer that answers the announce but then withholds
+//    (or slow-drips) chunk responses, modelling a slow-loris serving peer.
+//    The fetcher's per-chunk timeout must reassign the range elsewhere.
+//  * StaleRootReplayer — a peer that serves chunks and Merkle proofs from an
+//    OLDER checkpoint under the current sequence number (valid signature,
+//    stale root). The manifest-vs-certificate commitment check must reject
+//    the response before any chunk bytes are trusted.
+//
+// All three follow the wrapper idiom of ReadReplyForger: they process
+// traffic through the wrapped honest engine (keeping the group live) and
+// rewrite/suppress only the state-transfer envelopes it emits. They speak
+// the PBFT wire format; for SplitBFT the equivalent network-level behaviour
+// (withholding) is expressed with ByzantineEnv drop predicates, since a
+// compromised host cannot forge enclave-authenticated chunks at all.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "crypto/keyring.hpp"
+#include "pbft/messages.hpp"
+#include "runtime/actor.hpp"
+
+namespace sbft::faults {
+
+/// Corrupts every outbound StateChunkResponse's chunk bytes, then re-signs
+/// the envelope so it passes authentication and fails Merkle verification.
+class ChunkForger final : public runtime::Actor {
+ public:
+  ChunkForger(std::shared_ptr<runtime::Actor> inner,
+              std::shared_ptr<const crypto::Signer> signer);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override;
+
+  /// Chunk responses corrupted and re-signed.
+  [[nodiscard]] std::uint64_t forged() const noexcept { return forged_; }
+
+ private:
+  void forge(std::vector<net::Envelope>& envs);
+
+  std::shared_ptr<runtime::Actor> inner_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  std::uint64_t forged_{0};
+};
+
+/// Withholds outbound StateChunkResponses after serving the first
+/// `serve_first`. With `drip_interval_us == 0` the responses are dropped
+/// outright; otherwise they are queued and released one per interval — the
+/// slow-drip that must lose the race against the fetcher's chunk timeout.
+class ChunkWithholder final : public runtime::Actor {
+ public:
+  struct Policy {
+    /// Responses served honestly before withholding begins. The announce
+    /// (chunk 0 + checkpoint proof) counts, so 1 = "advertise, then stall".
+    std::uint64_t serve_first{1};
+    /// 0 = drop withheld responses; >0 = release one per this many µs.
+    Micros drip_interval_us{0};
+  };
+
+  ChunkWithholder(std::shared_ptr<runtime::Actor> inner, Policy policy);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override;
+
+  /// Responses diverted from immediate delivery (dropped or queued).
+  [[nodiscard]] std::uint64_t withheld() const noexcept { return withheld_; }
+  /// Queued responses eventually released by the drip.
+  [[nodiscard]] std::uint64_t dripped() const noexcept { return dripped_; }
+
+ private:
+  void filter(std::vector<net::Envelope>& envs);
+  void drip(std::vector<net::Envelope>& out, Micros now);
+
+  std::shared_ptr<runtime::Actor> inner_;
+  Policy policy_;
+  std::uint64_t served_{0};
+  std::uint64_t withheld_{0};
+  std::uint64_t dripped_{0};
+  std::deque<net::Envelope> queue_;
+  Micros next_release_{0};
+};
+
+/// Records the snapshot geometry of an early checkpoint and replays it:
+/// once the wrapped replica starts serving a LATER checkpoint, every
+/// outbound chunk response is rewritten to carry the recorded stale root,
+/// chunk bytes and Merkle proof — internally consistent (the proof verifies
+/// against the stale root) and validly signed, so only the binding between
+/// the checkpoint certificate and the manifest commitment can reject it.
+class StaleRootReplayer final : public runtime::Actor {
+ public:
+  StaleRootReplayer(std::shared_ptr<runtime::Actor> inner,
+                    std::shared_ptr<const crypto::Signer> signer);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override;
+
+  /// True once a stale template has been captured.
+  [[nodiscard]] bool armed() const noexcept { return stale_.has_value(); }
+  /// Responses rewritten to the stale root.
+  [[nodiscard]] std::uint64_t replayed() const noexcept { return replayed_; }
+
+ private:
+  void rewrite(std::vector<net::Envelope>& envs);
+
+  std::shared_ptr<runtime::Actor> inner_;
+  std::shared_ptr<const crypto::Signer> signer_;
+  std::optional<pbft::StateChunkResponse> stale_;
+  std::uint64_t replayed_{0};
+};
+
+}  // namespace sbft::faults

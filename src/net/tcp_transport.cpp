@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -281,6 +282,10 @@ void TcpTransport::send(Envelope env) {
     wake();
     return;
   }
+  const bool state_frame = is_state_type(env.type);
+  // wire() memoizes the frame the queue flush will send, so sizing the
+  // state-transfer counter here costs nothing extra.
+  const std::uint64_t frame_bytes = state_frame ? env.wire().size() : 0;
   bool dropped_backpressure = false;
   bool dropped_unrouted = false;
   {
@@ -300,7 +305,17 @@ void TcpTransport::send(Envelope env) {
     counters_.backpressure_drops.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  if (state_frame) {
+    counters_.state_frames_out.fetch_add(1, std::memory_order_relaxed);
+    counters_.state_bytes_out.fetch_add(frame_bytes,
+                                        std::memory_order_relaxed);
+  }
   wake();
+}
+
+bool TcpTransport::is_state_type(std::uint32_t type) const noexcept {
+  const auto& types = options_.state_transfer_types;
+  return std::find(types.begin(), types.end(), type) != types.end();
 }
 
 void TcpTransport::register_endpoint(principal::Id id, DeliveryFn handler) {
@@ -329,6 +344,13 @@ TransportStats TcpTransport::stats() const {
       counters_.backpressure_drops.load(std::memory_order_relaxed);
   s.unrouted_drops = counters_.unrouted_drops.load(std::memory_order_relaxed);
   s.decode_errors = counters_.decode_errors.load(std::memory_order_relaxed);
+  s.state_frames_in =
+      counters_.state_frames_in.load(std::memory_order_relaxed);
+  s.state_frames_out =
+      counters_.state_frames_out.load(std::memory_order_relaxed);
+  s.state_bytes_in = counters_.state_bytes_in.load(std::memory_order_relaxed);
+  s.state_bytes_out =
+      counters_.state_bytes_out.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -534,6 +556,11 @@ void TcpTransport::loop_main() {
           continue;
         }
         counters_.frames_in.fetch_add(1, std::memory_order_relaxed);
+        if (is_state_type(env->type)) {
+          counters_.state_frames_in.fetch_add(1, std::memory_order_relaxed);
+          counters_.state_bytes_in.fetch_add(env->wire().size(),
+                                             std::memory_order_relaxed);
+        }
         inbound.push_back(std::move(*env));
       }
     }

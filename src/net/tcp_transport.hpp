@@ -72,6 +72,15 @@ struct TransportStats {
   std::uint64_t unrouted_drops{0};      // no peer/endpoint for dst
   std::uint64_t decode_errors{0};       // framing/parse failures
 
+  /// State-transfer traffic (envelope types listed in
+  /// Options::state_transfer_types): how much of the pipe recovery
+  /// consumed, split out so a workload report can show protocol traffic
+  /// and recovery traffic side by side. Egress is counted at enqueue.
+  std::uint64_t state_frames_in{0};
+  std::uint64_t state_frames_out{0};
+  std::uint64_t state_bytes_in{0};
+  std::uint64_t state_bytes_out{0};
+
   /// Scatter-gather batching actually engaged? (>= 2 means multiple
   /// envelopes per syscall on average.)
   [[nodiscard]] double frames_per_writev() const noexcept {
@@ -98,6 +107,10 @@ class TcpTransport final : public Transport {
     std::size_t read_chunk_bytes{256u << 10};
     Micros reconnect_backoff_min_us{10'000};
     Micros reconnect_backoff_max_us{1'000'000};
+    /// Envelope types classified as state-transfer traffic in
+    /// TransportStats (the transport itself is protocol-agnostic; the
+    /// harness passes the protocol's StateRequest/StateChunk* tags).
+    std::vector<std::uint32_t> state_transfer_types;
   };
 
   TcpTransport(NodeId self, Options options, RouteFn route);
@@ -148,6 +161,8 @@ class TcpTransport final : public Transport {
     std::atomic<std::uint64_t> connects{0}, reconnects{0}, accepts{0};
     std::atomic<std::uint64_t> backpressure_drops{0}, unrouted_drops{0};
     std::atomic<std::uint64_t> decode_errors{0};
+    std::atomic<std::uint64_t> state_frames_in{0}, state_frames_out{0};
+    std::atomic<std::uint64_t> state_bytes_in{0}, state_bytes_out{0};
   };
 
   struct Peer;  // outbound (egress) connection state
@@ -157,6 +172,7 @@ class TcpTransport final : public Transport {
   void loop_main();
   void deliver(Envelope env);
   void wake() const;
+  [[nodiscard]] bool is_state_type(std::uint32_t type) const noexcept;
 
   NodeId self_;
   Options options_;

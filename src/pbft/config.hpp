@@ -78,6 +78,29 @@ struct Config {
   /// Escalation timeout while waiting for a NewView.
   Micros view_change_retry_us{800'000};
 
+  // --- Streaming state transfer -----------------------------------------
+  /// When true (default), a lagging replica recovers via chunked
+  /// multi-peer fetch (StateChunkRequest/StateChunkResponse) under the
+  /// Merkle commitment in the checkpoint certificate. False restores the
+  /// legacy single-envelope StateResponse path.
+  bool streaming_state{true};
+  /// Snapshot chunk size. Every replica of a group must agree on it: the
+  /// value is bound into the checkpoint digest via the manifest.
+  std::uint64_t state_chunk_bytes{64u << 10};
+  /// Chunks asked of one peer per StateChunkRequest (wire-capped by
+  /// kMaxChunksPerRequest).
+  std::uint32_t state_chunks_per_request{16};
+  /// Bound on un-applied verified + in-flight requested bytes during a
+  /// transfer — the knob that keeps recovery inside the transport's
+  /// backpressure budget instead of materializing the whole snapshot.
+  std::uint64_t state_inflight_max_bytes{1u << 20};
+  /// Re-request a chunk range from a different peer after this long.
+  Micros state_chunk_timeout_us{250'000};
+  /// StateRequest re-broadcast backoff while behind a stable checkpoint:
+  /// doubles from min to max per retry, resetting when a transfer starts.
+  Micros state_request_backoff_min_us{100'000};
+  Micros state_request_backoff_max_us{2'000'000};
+
   [[nodiscard]] constexpr std::uint32_t quorum() const noexcept {
     return 2 * f + 1;
   }

@@ -390,10 +390,91 @@ std::optional<StateResponse> StateResponse::deserialize(ByteView data) {
   Reader r(data);
   StateResponse m;
   m.seq = r.u64();
+  // Reader::bytes() checks the length prefix against the remaining input
+  // before allocating, so a hostile prefix cannot size a huge snapshot
+  // buffer; the proof vector is bounded inside get_envelopes.
   m.snapshot = r.bytes();
   auto proof = get_envelopes(r);
   if (!proof) return std::nullopt;
   m.checkpoint_proof = std::move(*proof);
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  return m;
+}
+
+Bytes StateChunkRequest::serialize() const {
+  Writer w;
+  w.u64(seq);
+  w.u64(first_chunk);
+  w.u32(count);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<StateChunkRequest> StateChunkRequest::deserialize(
+    ByteView data) {
+  Reader r(data);
+  StateChunkRequest m;
+  m.seq = r.u64();
+  m.first_chunk = r.u64();
+  m.count = r.u32();
+  m.sender = r.u32();
+  if (!r.done()) return std::nullopt;
+  if (m.count == 0 || m.count > kMaxChunksPerRequest) return std::nullopt;
+  return m;
+}
+
+Bytes StateChunkResponse::serialize() const {
+  Writer w;
+  w.u64(seq);
+  w.u64(total_bytes);
+  w.u64(chunk_bytes);
+  put_digest(w, root);
+  w.u64(index);
+  w.bytes(chunk);
+  w.u32(static_cast<std::uint32_t>(proof.size()));
+  for (const auto& step : proof) {
+    put_digest(w, step.sibling);
+    w.boolean(step.sibling_is_left);
+  }
+  put_envelopes(w, checkpoint_proof);
+  w.u32(sender);
+  return std::move(w).take();
+}
+
+std::optional<StateChunkResponse> StateChunkResponse::deserialize(
+    ByteView data) {
+  Reader r(data);
+  StateChunkResponse m;
+  m.seq = r.u64();
+  m.total_bytes = r.u64();
+  m.chunk_bytes = r.u64();
+  m.root = get_digest(r);
+  m.index = r.u64();
+  // Bound the payload before it is framed: the wire length prefix must
+  // agree with the manifest's chunk size, which is itself capped.
+  if (m.chunk_bytes == 0 || m.chunk_bytes > kMaxStateChunkBytes) {
+    return std::nullopt;
+  }
+  m.chunk = r.bytes();
+  if (r.failed() || m.chunk.size() > m.chunk_bytes + kStateChunkSealOverhead) {
+    return std::nullopt;
+  }
+  const std::uint32_t steps = r.u32();
+  // A proof step costs 33 bytes on the wire; bound the count by both the
+  // plausible tree depth and the input actually present.
+  if (steps > crypto::kMaxMerkleProofLen) return std::nullopt;
+  if (steps > r.remaining() / 33) return std::nullopt;
+  m.proof.reserve(steps);
+  for (std::uint32_t i = 0; i < steps; ++i) {
+    crypto::MerkleStep step;
+    step.sibling = get_digest(r);
+    step.sibling_is_left = r.boolean();
+    m.proof.push_back(step);
+  }
+  auto cert = get_envelopes(r);
+  if (!cert) return std::nullopt;
+  m.checkpoint_proof = std::move(*cert);
   m.sender = r.u32();
   if (!r.done()) return std::nullopt;
   return m;

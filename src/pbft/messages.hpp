@@ -10,6 +10,7 @@
 
 #include "common/bytes.hpp"
 #include "common/types.hpp"
+#include "crypto/merkle.hpp"
 #include "net/message.hpp"
 
 namespace sbft::pbft {
@@ -32,6 +33,10 @@ enum class MsgType : std::uint32_t {
   // ordered path re-broadcasts the identical Request bytes as Request.
   ReadRequest = 11,
   ReadReply = 12,
+  // Streaming state transfer: chunked snapshot fetch under the Merkle
+  // commitment the checkpoint certificate signs (see crypto/merkle.hpp).
+  StateChunkRequest = 13,
+  StateChunkResponse = 14,
   // SplitBFT-only client/session traffic.
   AttestRequest = 20,
   AttestReport = 21,
@@ -200,6 +205,64 @@ struct StateResponse {
 
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static std::optional<StateResponse> deserialize(ByteView data);
+};
+
+/// Upper bound on chunks one StateChunkRequest may name: keeps a forged
+/// request from commanding an unbounded burst of responses, and lets the
+/// fetcher's in-flight budget stay meaningful.
+inline constexpr std::uint32_t kMaxChunksPerRequest = 256;
+
+/// Hard plausibility cap on a single chunk's bytes (well above any sane
+/// Config::state_chunk_bytes; deserialization rejects beyond it before
+/// the payload is even framed).
+inline constexpr std::uint64_t kMaxStateChunkBytes = 16u << 20;
+
+/// Wire chunks may exceed the manifest chunk size by this much: SplitBFT
+/// Execution compartments transfer chunks AEAD-sealed (ciphertext =
+/// plaintext + 16-byte tag). The fetcher still checks the exact plaintext
+/// size against the manifest after unsealing.
+inline constexpr std::uint64_t kStateChunkSealOverhead = 16;
+
+/// Asks `sender`'s peer for chunks [first_chunk, first_chunk + count) of
+/// the snapshot at stable checkpoint `seq`.
+struct StateChunkRequest {
+  SeqNum seq{0};
+  std::uint64_t first_chunk{0};
+  std::uint32_t count{1};
+  ReplicaId sender{0};
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<StateChunkRequest> deserialize(
+      ByteView data);
+};
+
+/// One verified-transferable chunk. Carries the full manifest geometry
+/// (total_bytes, chunk_bytes, root) so the receiver can check it against
+/// the commitment its 2f+1 checkpoint certificate proved — a lying
+/// responder is caught before any chunk bytes are trusted — plus the
+/// Merkle path authenticating `chunk` at `index` under `root`.
+struct StateChunkResponse {
+  SeqNum seq{0};
+  std::uint64_t total_bytes{0};
+  std::uint64_t chunk_bytes{0};
+  Digest root;
+  std::uint64_t index{0};
+  Bytes chunk;
+  crypto::MerkleProof proof;
+  /// Normally empty. A response to a StateRequest (the "announce" that
+  /// bootstraps a rebooted replica) carries the 2f+1 Checkpoint envelopes
+  /// proving the manifest commitment at `seq`, so the receiver can adopt
+  /// the checkpoint and start fetching without any prior local state.
+  std::vector<net::Envelope> checkpoint_proof;
+  ReplicaId sender{0};
+
+  [[nodiscard]] crypto::SnapshotManifest manifest() const noexcept {
+    return {total_bytes, chunk_bytes, root};
+  }
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static std::optional<StateChunkResponse> deserialize(
+      ByteView data);
 };
 
 }  // namespace sbft::pbft

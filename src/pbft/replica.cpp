@@ -203,6 +203,12 @@ std::vector<net::Envelope> Replica::handle(const net::Envelope& env,
     case MsgType::StateResponse:
       on_state_response(env, now, out);
       break;
+    case MsgType::StateChunkRequest:
+      on_state_chunk_request(env, out);
+      break;
+    case MsgType::StateChunkResponse:
+      on_state_chunk_response(env, now, out);
+      break;
     default:
       break;  // unknown type: drop
   }
@@ -213,6 +219,16 @@ std::vector<net::Envelope> Replica::handle(const net::Envelope& env,
 std::vector<net::Envelope> Replica::tick(Micros now) {
   Out out;
   observe_tuner(now);
+  if (!boot_probe_sent_) {
+    boot_probe_sent_ = true;
+    // Rebooted with no state: probe for the group's stable checkpoint.
+    // Peers still at seq 0 ignore it; a peer ahead answers with its
+    // certificate and the fetch starts. One shot — re-broadcasts are only
+    // armed while a transfer is actually pending.
+    if (last_stable_ == 0 && last_executed_ == 0 && !awaiting_state_) {
+      send_state_request(now, out);
+    }
+  }
   if (batch_deadline_ != 0 && now >= batch_deadline_) {
     batch_deadline_ = 0;
     if (is_primary() && !in_view_change_) cut_batch(now, out);
@@ -227,6 +243,15 @@ std::vector<net::Envelope> Replica::tick(Micros now) {
       now >= view_change_timer_) {
     start_view_change(pending_view_ + 1, now, out);
   }
+  if (awaiting_state_) {
+    if (fetcher_) {
+      // Chunk-level retry/backoff lives in the fetcher: expired
+      // assignments move to other peers here.
+      emit_chunk_requests(fetcher_->pump(now), out);
+    } else if (state_request_timer_ != 0 && now >= state_request_timer_) {
+      send_state_request(now, out);
+    }
+  }
   flush_runner(out);
   return out;
 }
@@ -239,6 +264,13 @@ std::optional<Micros> Replica::next_deadline() const {
   consider(batch_deadline_);
   if (!in_view_change_) consider(request_timer_);
   if (in_view_change_) consider(view_change_timer_);
+  if (awaiting_state_) {
+    if (fetcher_) {
+      if (const auto d = fetcher_->next_deadline()) consider(*d);
+    } else {
+      consider(state_request_timer_);
+    }
+  }
   return next;
 }
 
@@ -639,12 +671,10 @@ Bytes Replica::protocol_snapshot() const {
   return std::move(w).take();
 }
 
-bool Replica::restore_protocol_snapshot(ByteView data) {
-  Reader r(data);
-  const Bytes app_snapshot = r.bytes();
+bool Replica::parse_client_records(
+    Reader& r, std::unordered_map<ClientId, ClientRecord>& records) const {
   const std::uint32_t count = r.u32();
   if (r.failed() || count > 1'000'000) return false;
-  std::unordered_map<ClientId, ClientRecord> records;
   for (std::uint32_t i = 0; i < count; ++i) {
     const ClientId client = r.u32();
     ClientRecord record;
@@ -654,14 +684,22 @@ bool Replica::restore_protocol_snapshot(ByteView data) {
     record.has_reply = r.boolean();
     records.emplace(client, std::move(record));
   }
-  if (!r.done()) return false;
+  return r.done();
+}
+
+bool Replica::restore_protocol_snapshot(ByteView data) {
+  Reader r(data);
+  const Bytes app_snapshot = r.bytes();
+  if (r.failed()) return false;
+  std::unordered_map<ClientId, ClientRecord> records;
+  if (!parse_client_records(r, records)) return false;
   if (!app_->restore(app_snapshot)) return false;
   client_records_ = std::move(records);
   return true;
 }
 
 Digest Replica::snapshot_digest(ByteView snapshot) const {
-  return crypto::sha256(snapshot);
+  return snapshot_commitment(snapshot, config_.state_chunk_bytes);
 }
 
 void Replica::maybe_checkpoint(SeqNum seq, Micros now, Out& out) {
@@ -669,10 +707,14 @@ void Replica::maybe_checkpoint(SeqNum seq, Micros now, Out& out) {
       seq % config_.checkpoint_interval != 0) {
     return;
   }
-  Bytes snapshot = protocol_snapshot();
+  // Chunk + tree once; the certificate digest and every future chunk
+  // response come from the same ChunkedSnapshot.
+  ChunkedSnapshot snapshot(
+      protocol_snapshot(),
+      std::max<std::uint64_t>(config_.state_chunk_bytes, 1));
   Checkpoint cp;
   cp.seq = seq;
-  cp.state_digest = snapshot_digest(snapshot);
+  cp.state_digest = snapshot.commitment();
   cp.sender = id_;
   snapshots_[seq] = std::move(snapshot);
 
@@ -718,28 +760,34 @@ void Replica::on_checkpoint(const net::Envelope& env, Micros now, Out& out) {
 void Replica::make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
                           Micros now, Out& out) {
   if (seq <= last_stable_) return;
+  const SeqNum prev_stable = last_stable_;
   last_stable_ = seq;
   stable_proof_ = std::move(proof);
 
   log_.erase(log_.begin(), log_.upper_bound(seq));
   checkpoints_.erase(checkpoints_.begin(), checkpoints_.upper_bound(seq));
-  // Keep only the stable snapshot (if we have it).
+  // Retain the PREVIOUS stable snapshot alongside the new one: a peer
+  // mid-fetch of it gets one checkpoint interval of hysteresis to finish
+  // instead of restarting from chunk 0 every time the group checkpoints —
+  // without this, recovery livelocks whenever a transfer takes longer
+  // than one checkpoint period.
   for (auto it = snapshots_.begin(); it != snapshots_.end();) {
-    if (it->first < seq) {
+    if (it->first < prev_stable) {
       it = snapshots_.erase(it);
     } else {
       ++it;
     }
   }
 
-  if (last_executed_ < seq && !awaiting_state_) {
-    // The group moved past us: fetch the checkpointed state.
-    awaiting_state_ = true;
-    awaited_state_seq_ = seq;
-    StateRequest sr;
-    sr.seq = seq;
-    sr.sender = id_;
-    broadcast(MsgType::StateRequest, SharedBytes(sr.serialize()), out);
+  if (last_executed_ < seq &&
+      (!awaiting_state_ || (fetcher_ && fetcher_->seq() < prev_stable) ||
+       (awaiting_state_ && !fetcher_ && config_.streaming_state))) {
+    // The group moved past us — fetch the newer checkpointed state. An
+    // active fetch is retargeted only once its snapshot ages out of the
+    // peers' retention window (older than the previous stable seq);
+    // inside the window it completes, and finish_streaming_restore
+    // chains the follow-up fetch if we are still behind.
+    begin_state_fetch(seq, now, out);
   }
   // The watermark window advanced: release a batch the window was gating.
   if (batch_gated_) cut_batch(now, out);
@@ -747,16 +795,195 @@ void Replica::make_stable(SeqNum seq, std::vector<net::VerifiedEnvelope> proof,
 
 // ------------------------------------------------------------ state trans.
 
+void Replica::begin_state_fetch(SeqNum seq, Micros now, Out& out) {
+  awaiting_state_ = true;
+  awaited_state_seq_ = seq;
+  if (!config_.streaming_state) {
+    state_request_backoff_ = 0;
+    send_state_request(now, out);
+    return;
+  }
+  // The expected manifest commitment comes from our own stable
+  // certificate — 2f+1 signatures strong before any peer is consulted.
+  Digest commitment;
+  if (!stable_proof_.empty()) {
+    if (const auto cp =
+            Checkpoint::deserialize(stable_proof_.front().envelope().payload)) {
+      commitment = cp->state_digest;
+    }
+  }
+  if (commitment.is_zero()) {
+    // No usable certificate (cannot happen for quorum-made checkpoints) —
+    // fall back to the announce path.
+    state_request_backoff_ = 0;
+    send_state_request(now, out);
+    return;
+  }
+  if (fetcher_) accumulate_fetcher_stats();
+  ChunkFetcher::Config fc;
+  fc.n = config_.n;
+  fc.self = id_;
+  fc.chunks_per_request = config_.state_chunks_per_request;
+  fc.inflight_max_bytes = config_.state_inflight_max_bytes;
+  fc.chunk_timeout_us = config_.state_chunk_timeout_us;
+  fetcher_ = std::make_unique<ChunkFetcher>(fc, seq, commitment, now);
+  applier_ = std::make_unique<SnapshotApplier>(app_.get());
+  state_request_timer_ = 0;
+  logger().info() << "r" << id_ << " streaming state fetch toward seq "
+                  << seq;
+  emit_chunk_requests(fetcher_->pump(now), out);
+}
+
+void Replica::send_state_request(Micros now, Out& out) {
+  StateRequest sr;
+  sr.seq = awaited_state_seq_;
+  sr.sender = id_;
+  broadcast(MsgType::StateRequest, SharedBytes(sr.serialize()), out);
+  ++xfer_stats_.state_requests_sent;
+  // Exponential backoff between re-broadcasts: a replica stuck behind a
+  // stable checkpoint asks again, but never storms the group.
+  const Micros min_b = std::max<Micros>(config_.state_request_backoff_min_us, 1);
+  state_request_backoff_ =
+      state_request_backoff_ == 0
+          ? min_b
+          : std::min(state_request_backoff_ * 2,
+                     std::max<Micros>(config_.state_request_backoff_max_us,
+                                      min_b));
+  state_request_timer_ = now + state_request_backoff_;
+}
+
+void Replica::emit_chunk_requests(
+    const std::vector<ChunkFetcher::Request>& requests, Out& out) {
+  for (const auto& req : requests) {
+    StateChunkRequest cr;
+    cr.seq = fetcher_->seq();
+    cr.first_chunk = req.first_chunk;
+    cr.count = req.count;
+    cr.sender = id_;
+    out.push_back(make_signed(MsgType::StateChunkRequest,
+                              SharedBytes(cr.serialize()),
+                              principal::pbft_replica(req.peer)));
+    ++xfer_stats_.chunk_requests_sent;
+  }
+}
+
+void Replica::accumulate_fetcher_stats() {
+  if (!fetcher_) return;
+  const auto& s = fetcher_->stats();
+  xfer_stats_.chunks_accepted += s.chunks_accepted;
+  xfer_stats_.chunks_rejected += s.chunks_rejected;
+  xfer_stats_.chunks_duplicate += s.chunks_duplicate;
+  xfer_stats_.refetches += s.refetches;
+  xfer_stats_.chunk_bytes_received += s.bytes_received;
+  xfer_stats_.peak_inflight_bytes =
+      std::max(xfer_stats_.peak_inflight_bytes, s.peak_inflight_bytes);
+}
+
+Replica::StateTransferStats Replica::state_transfer_stats() const {
+  StateTransferStats stats = xfer_stats_;
+  if (fetcher_) {
+    const auto& s = fetcher_->stats();
+    stats.chunks_accepted += s.chunks_accepted;
+    stats.chunks_rejected += s.chunks_rejected;
+    stats.chunks_duplicate += s.chunks_duplicate;
+    stats.refetches += s.refetches;
+    stats.chunk_bytes_received += s.bytes_received;
+    stats.peak_inflight_bytes =
+        std::max(stats.peak_inflight_bytes, s.peak_inflight_bytes);
+  }
+  return stats;
+}
+
+void Replica::abandon_transfer(Micros now) {
+  accumulate_fetcher_stats();
+  if (applier_) applier_->abort();
+  fetcher_.reset();
+  applier_.reset();
+  // Still behind: fall back to a fresh announce (rate-limited).
+  state_request_backoff_ = 0;
+  state_request_timer_ = now + 1;
+}
+
+void Replica::drain_fetcher(Micros now, Out& out) {
+  for (Bytes& chunk : fetcher_->take_ready()) {
+    if (!applier_->feed(chunk)) {
+      logger().info() << "r" << id_ << " snapshot apply failed, restarting";
+      abandon_transfer(now);
+      return;
+    }
+  }
+  if (fetcher_->complete()) {
+    finish_streaming_restore(now, out);
+  } else {
+    emit_chunk_requests(fetcher_->pump(now), out);
+  }
+}
+
+void Replica::finish_streaming_restore(Micros now, Out& out) {
+  const SeqNum seq = fetcher_->seq();
+  // Validate the protocol tail BEFORE committing the app: a malformed
+  // tail must not leave the app restored but the client table stale.
+  std::unordered_map<ClientId, ClientRecord> records;
+  Reader tail(applier_->tail());
+  if (!applier_->app_complete() || !parse_client_records(tail, records) ||
+      !applier_->finish()) {
+    logger().info() << "r" << id_ << " streaming restore failed at seq "
+                    << seq;
+    abandon_transfer(now);
+    return;
+  }
+  client_records_ = std::move(records);
+  last_executed_ = seq;
+  log_.erase(log_.begin(), log_.upper_bound(seq));
+  awaiting_state_ = false;
+  // Deliberately NOT materializing snapshots_[seq]: the transfer streamed
+  // into the app precisely to avoid holding snapshot-sized buffers; this
+  // replica serves peers from its next own checkpoint.
+  accumulate_fetcher_stats();
+  ++xfer_stats_.transfers_completed;
+  fetcher_.reset();
+  applier_.reset();
+  state_request_timer_ = 0;
+  logger().info() << "r" << id_ << " streaming state transfer to seq "
+                  << seq;
+  try_execute(now, out);
+  if (last_executed_ < last_stable_) {
+    // The group checkpointed again while we streamed: chain straight into
+    // a fetch of the newer stable state instead of waiting for the next
+    // certificate to arrive (it may never, once traffic quiesces).
+    begin_state_fetch(last_stable_, now, out);
+  }
+}
+
 void Replica::on_state_request(const net::Envelope& env, Out& out) {
   auto sr = StateRequest::deserialize(env.payload);
   if (!sr || sr->sender >= config_.n || sr->sender == id_) return;
   if (!auth_->check(env, principal::pbft_replica(sr->sender))) return;
-  const auto it = snapshots_.find(sr->seq);
-  if (it == snapshots_.end() || sr->seq != last_stable_) return;
+  // Serve our latest stable state whenever it would help the requester
+  // (sr->seq may trail last_stable_: the requester learns the newer
+  // checkpoint from the attached certificate).
+  if (last_stable_ == 0 || sr->seq > last_stable_) return;
+  const auto it = snapshots_.find(last_stable_);
+  if (it == snapshots_.end()) return;
 
+  if (config_.streaming_state) {
+    // Announce: chunk 0 plus the checkpoint certificate. The requester
+    // adopts the checkpoint, verifies the manifest commitment against it,
+    // and fetches the rest in ranges from everyone.
+    StateChunkResponse resp;
+    resp.seq = last_stable_;
+    if (!it->second.fill(0, resp)) return;
+    resp.checkpoint_proof = net::unwrap(stable_proof_);
+    resp.sender = id_;
+    ++xfer_stats_.chunks_served;
+    out.push_back(make_signed(MsgType::StateChunkResponse,
+                              SharedBytes(resp.serialize()),
+                              principal::pbft_replica(sr->sender)));
+    return;
+  }
   StateResponse resp;
-  resp.seq = sr->seq;
-  resp.snapshot = it->second;
+  resp.seq = last_stable_;
+  resp.snapshot = it->second.data();
   resp.checkpoint_proof = net::unwrap(stable_proof_);
   resp.sender = id_;
   out.push_back(make_signed(MsgType::StateResponse,
@@ -764,9 +991,74 @@ void Replica::on_state_request(const net::Envelope& env, Out& out) {
                             principal::pbft_replica(sr->sender)));
 }
 
+void Replica::on_state_chunk_request(const net::Envelope& env, Out& out) {
+  if (!config_.streaming_state) return;
+  auto cr = StateChunkRequest::deserialize(env.payload);
+  if (!cr || cr->sender >= config_.n || cr->sender == id_) return;
+  if (!auth_->check(env, principal::pbft_replica(cr->sender))) return;
+  // Serve any retained snapshot (the latest stable and, for hysteresis,
+  // the previous one) — never anything claiming to be ahead of us.
+  if (cr->seq > last_stable_) return;
+  const auto it = snapshots_.find(cr->seq);
+  if (it == snapshots_.end()) return;
+  const std::uint64_t chunk_count = it->second.manifest().chunk_count();
+  const std::uint64_t end =
+      std::min<std::uint64_t>(cr->first_chunk + cr->count, chunk_count);
+  for (std::uint64_t index = cr->first_chunk; index < end; ++index) {
+    StateChunkResponse resp;
+    resp.seq = cr->seq;
+    if (!it->second.fill(index, resp)) break;
+    resp.sender = id_;
+    ++xfer_stats_.chunks_served;
+    out.push_back(make_signed(MsgType::StateChunkResponse,
+                              SharedBytes(resp.serialize()),
+                              principal::pbft_replica(cr->sender)));
+  }
+}
+
+void Replica::on_state_chunk_response(const net::Envelope& env, Micros now,
+                                      Out& out) {
+  if (!config_.streaming_state) return;
+  auto resp = StateChunkResponse::deserialize(env.payload);
+  if (!resp || resp->sender >= config_.n || resp->sender == id_) return;
+  if (!auth_->check(env, principal::pbft_replica(resp->sender))) return;
+
+  // Announce adoption: a certificate for a checkpoint ahead of ours lets
+  // a rebooted replica (or one whose target went stale) latch on. The
+  // proof is validated against the manifest commitment — the usual
+  // make_stable path then starts/retargets the fetch.
+  if (!resp->checkpoint_proof.empty() && resp->seq > last_stable_ &&
+      last_executed_ < resp->seq) {
+    std::vector<net::VerifiedEnvelope> proof = verified_checkpoint_proof(
+        resp->checkpoint_proof, resp->seq, resp->manifest().commitment());
+    if (proof.size() >= config_.quorum()) {
+      make_stable(resp->seq, std::move(proof), now, out);
+    }
+  }
+
+  if (!awaiting_state_ || !fetcher_ || resp->seq != fetcher_->seq()) return;
+  switch (fetcher_->on_chunk(*resp, now)) {
+    case ChunkFetcher::ChunkResult::Accepted:
+      drain_fetcher(now, out);
+      break;
+    case ChunkFetcher::ChunkResult::Rejected:
+      // The fetcher struck the sender; re-plan (possibly re-assigning the
+      // poisoned range to another peer right away).
+      emit_chunk_requests(fetcher_->pump(now), out);
+      break;
+    case ChunkFetcher::ChunkResult::Duplicate:
+    case ChunkFetcher::ChunkResult::Ignored:
+      break;
+  }
+}
+
 void Replica::on_state_response(const net::Envelope& env, Micros now,
                                 Out& out) {
   if (!awaiting_state_) return;
+  // The streaming path never installs monolithic snapshots — a Byzantine
+  // peer must not be able to bypass chunked verification (and its bounded
+  // memory) by volunteering a full StateResponse.
+  if (config_.streaming_state) return;
   auto resp = StateResponse::deserialize(env.payload);
   if (!resp || resp->sender >= config_.n) return;
   if (!auth_->check(env, principal::pbft_replica(resp->sender))) return;
@@ -784,9 +1076,13 @@ void Replica::on_state_response(const net::Envelope& env, Micros now,
     last_stable_ = resp->seq;
     stable_proof_ = std::move(proof);
   }
-  snapshots_[resp->seq] = resp->snapshot;
+  snapshots_[resp->seq] = ChunkedSnapshot(
+      std::move(resp->snapshot),
+      std::max<std::uint64_t>(config_.state_chunk_bytes, 1));
   log_.erase(log_.begin(), log_.upper_bound(resp->seq));
   awaiting_state_ = false;
+  state_request_timer_ = 0;
+  state_request_backoff_ = 0;
   logger().info() << "r" << id_ << " state transfer to seq " << resp->seq;
   try_execute(now, out);
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "apps/app.hpp"
+#include "common/serde.hpp"
 #include "common/types.hpp"
 #include "crypto/keyring.hpp"
 #include "net/auth.hpp"
@@ -34,6 +35,7 @@
 #include "pbft/client_directory.hpp"
 #include "pbft/config.hpp"
 #include "pbft/messages.hpp"
+#include "pbft/state_transfer.hpp"
 #include "runtime/runner/runner.hpp"
 #include "runtime/runner/tuning.hpp"
 
@@ -97,6 +99,18 @@ class Replica {
   /// Fresh requests shed by admission control (Config::admission_queue_cap).
   [[nodiscard]] std::uint64_t admission_rejects() const noexcept {
     return admission_rejects_;
+  }
+  /// State-transfer traffic counters (see pbft/state_transfer.hpp).
+  using StateTransferStats = ::sbft::pbft::StateTransferStats;
+  [[nodiscard]] StateTransferStats state_transfer_stats() const;
+  /// StateRequest broadcasts actually sent (backoff-limited) — the
+  /// regression counter for the re-broadcast storm fix.
+  [[nodiscard]] std::uint64_t state_requests_sent() const noexcept {
+    return xfer_stats_.state_requests_sent;
+  }
+  /// True while recovering via state transfer (execution is paused).
+  [[nodiscard]] bool awaiting_state() const noexcept {
+    return awaiting_state_;
   }
   /// Staged-pipeline observability (queue gauge + stage latencies).
   [[nodiscard]] runtime::runner::RunnerStats runner_stats() const {
@@ -168,6 +182,31 @@ class Replica {
   void on_new_view(const net::Envelope& env, Micros now, Out& out);
   void on_state_request(const net::Envelope& env, Out& out);
   void on_state_response(const net::Envelope& env, Micros now, Out& out);
+  void on_state_chunk_request(const net::Envelope& env, Out& out);
+  void on_state_chunk_response(const net::Envelope& env, Micros now, Out& out);
+
+  // -- streaming state transfer (fetch side) --
+  /// Starts (or retargets) recovery toward stable checkpoint `seq`, whose
+  /// certificate is already in stable_proof_.
+  void begin_state_fetch(SeqNum seq, Micros now, Out& out);
+  /// Signs and emits StateChunkRequest envelopes planned by the fetcher.
+  void emit_chunk_requests(const std::vector<ChunkFetcher::Request>& requests,
+                           Out& out);
+  /// Streams newly contiguous verified chunks into the applier; finishes
+  /// the restore when the fetch completes.
+  void drain_fetcher(Micros now, Out& out);
+  void finish_streaming_restore(Micros now, Out& out);
+  /// Tears down a wedged transfer and re-arms the StateRequest backoff so
+  /// recovery restarts from a fresh announce.
+  void abandon_transfer(Micros now);
+  /// Broadcasts one StateRequest and arms the exponential-backoff timer
+  /// (satellite fix: no more unbounded re-broadcast storms).
+  void send_state_request(Micros now, Out& out);
+  /// Folds a finished/discarded fetcher's counters into xfer_stats_.
+  void accumulate_fetcher_stats();
+  /// Parses the protocol tail (client-record table) of a snapshot.
+  [[nodiscard]] bool parse_client_records(
+      Reader& r, std::unordered_map<ClientId, ClientRecord>& records) const;
 
   // -- normal operation helpers --
   void cut_batch(Micros now, Out& out);
@@ -275,7 +314,9 @@ class Replica {
   std::map<SeqNum,
            std::map<Digest, std::map<ReplicaId, net::VerifiedEnvelope>>>
       checkpoints_;
-  std::map<SeqNum, Bytes> snapshots_;  // own snapshots (pending + stable)
+  // Own snapshots (pending + stable), pre-chunked under the Merkle
+  // commitment their checkpoint certificates sign.
+  std::map<SeqNum, ChunkedSnapshot> snapshots_;
   std::vector<net::VerifiedEnvelope> stable_proof_;
 
   std::unordered_map<ClientId, ClientRecord> client_records_;
@@ -300,6 +341,19 @@ class Replica {
 
   bool awaiting_state_{false};
   SeqNum awaited_state_seq_{0};
+  // One-shot startup probe: a rebooted replica has no way to learn the
+  // group moved past it until a fresh checkpoint certificate happens to
+  // arrive — ask once; any peer ahead answers with its stable certificate
+  // (the announce), which make_stable turns into a fetch.
+  bool boot_probe_sent_{false};
+  // Streaming fetch machinery (non-null only while recovering).
+  std::unique_ptr<ChunkFetcher> fetcher_;
+  std::unique_ptr<SnapshotApplier> applier_;
+  // StateRequest re-broadcast rate limiting (satellite fix): one timer,
+  // exponential backoff between config_.state_request_backoff_min/max.
+  Micros state_request_timer_{0};    // 0 = not armed
+  Micros state_request_backoff_{0};  // current interval
+  StateTransferStats xfer_stats_;
 
   std::map<SeqNum, Digest> executed_digests_;
   std::uint64_t executed_requests_{0};

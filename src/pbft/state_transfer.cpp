@@ -1,0 +1,347 @@
+#include "pbft/state_transfer.hpp"
+
+#include <algorithm>
+
+namespace sbft::pbft {
+
+Digest snapshot_commitment(ByteView snapshot, std::uint64_t chunk_bytes) {
+  crypto::SnapshotManifest manifest;
+  manifest.total_bytes = snapshot.size();
+  manifest.chunk_bytes = std::max<std::uint64_t>(chunk_bytes, 1);
+  manifest.root =
+      crypto::build_snapshot_tree(snapshot, manifest.chunk_bytes).root();
+  return manifest.commitment();
+}
+
+// --------------------------------------------------------- ChunkedSnapshot
+
+ChunkedSnapshot::ChunkedSnapshot(Bytes snapshot, std::uint64_t chunk_bytes)
+    : data_(std::move(snapshot)) {
+  if (chunk_bytes == 0) chunk_bytes = 1;
+  manifest_.total_bytes = data_.size();
+  manifest_.chunk_bytes = chunk_bytes;
+  tree_.emplace(crypto::build_snapshot_tree(data_, chunk_bytes));
+  manifest_.root = tree_->root();
+}
+
+ByteView ChunkedSnapshot::chunk_view(std::uint64_t index) const {
+  if (!tree_ || index >= manifest_.chunk_count()) return {};
+  const std::size_t off =
+      static_cast<std::size_t>(index * manifest_.chunk_bytes);
+  const std::size_t len = static_cast<std::size_t>(manifest_.chunk_size(index));
+  return ByteView{data_.data() + off, len};
+}
+
+bool ChunkedSnapshot::fill(std::uint64_t index, StateChunkResponse& resp) const {
+  if (!tree_ || index >= manifest_.chunk_count()) return false;
+  resp.total_bytes = manifest_.total_bytes;
+  resp.chunk_bytes = manifest_.chunk_bytes;
+  resp.root = manifest_.root;
+  resp.index = index;
+  const ByteView chunk = chunk_view(index);
+  resp.chunk.assign(chunk.begin(), chunk.end());
+  resp.proof = tree_->proof(static_cast<std::size_t>(index));
+  return true;
+}
+
+// ------------------------------------------------------------ ChunkFetcher
+
+ChunkFetcher::ChunkFetcher(Config config, SeqNum seq, Digest commitment,
+                           Micros now)
+    : config_(config), seq_(seq), commitment_(commitment) {
+  (void)now;
+  if (config_.chunks_per_request == 0) config_.chunks_per_request = 1;
+  config_.chunks_per_request =
+      std::min(config_.chunks_per_request, kMaxChunksPerRequest);
+  peers_.resize(config_.n);
+  rotor_ = (config_.self + 1) % config_.n;
+}
+
+ChunkFetcher::ChunkFetcher(Config config, const Progress& resume_from,
+                           Micros now)
+    : ChunkFetcher(config, resume_from.seq, resume_from.commitment, now) {
+  next_to_take_ = resume_from.next_index;
+}
+
+void ChunkFetcher::adopt_manifest(const crypto::SnapshotManifest& manifest) {
+  manifest_ = manifest;
+  chunk_count_ = manifest.chunk_count();
+  // A resumed fetcher's applied prefix may already cover everything.
+  next_to_take_ = std::min(next_to_take_, chunk_count_);
+  state_.assign(static_cast<std::size_t>(chunk_count_), ChunkState::Needed);
+  for (std::uint64_t i = 0; i < next_to_take_; ++i) {
+    state_[static_cast<std::size_t>(i)] = ChunkState::Taken;
+  }
+}
+
+void ChunkFetcher::strike(ReplicaId peer, Micros now) {
+  if (peer >= peers_.size()) return;
+  auto& score = peers_[peer];
+  score.strikes = std::min<std::uint32_t>(score.strikes + 1, 16);
+  // Exponential ban: a withholding or forging peer is consulted less and
+  // less, but never permanently excluded (pick_peer falls back when every
+  // peer is banned, preserving liveness against transient faults).
+  const Micros ban =
+      config_.chunk_timeout_us * (Micros{1} << std::min(score.strikes, 6u));
+  score.banned_until = now + ban;
+}
+
+ReplicaId ChunkFetcher::pick_peer(Micros now, ReplicaId avoid) {
+  ReplicaId best = config_.self;
+  Micros best_ban = ~Micros{0};
+  for (std::uint32_t step = 0; step < config_.n; ++step) {
+    const ReplicaId candidate = rotor_;
+    rotor_ = (rotor_ + 1) % config_.n;
+    if (candidate == config_.self) continue;
+    if (candidate == avoid && config_.n > 2) continue;
+    if (peers_[candidate].banned_until <= now) return candidate;
+    if (peers_[candidate].banned_until < best_ban) {
+      best_ban = peers_[candidate].banned_until;
+      best = candidate;
+    }
+  }
+  if (best != config_.self) return best;  // least-banned fallback
+  // Only `avoid` remains (n == 2 or everything else banned harder).
+  return avoid == config_.self ? (config_.self + 1) % config_.n : avoid;
+}
+
+void ChunkFetcher::note_inflight(std::uint64_t delta_up,
+                                 std::uint64_t delta_down) {
+  inflight_bytes_ += delta_up;
+  inflight_bytes_ -= std::min(inflight_bytes_, delta_down);
+  stats_.peak_inflight_bytes =
+      std::max(stats_.peak_inflight_bytes, inflight_bytes_);
+}
+
+std::vector<ChunkFetcher::Request> ChunkFetcher::pump(Micros now) {
+  std::vector<Request> requests;
+  if (complete()) return requests;
+
+  // 1. Expire timed-out assignments: the chunk goes back to Needed, the
+  //    peer takes a strike, and the re-assignment below avoids it.
+  for (auto it = assigned_.begin(); it != assigned_.end();) {
+    if (now < it->second.deadline) {
+      ++it;
+      continue;
+    }
+    const std::uint64_t index = it->first;
+    strike(it->second.peer, now);
+    last_failed_peer_[index] = it->second.peer;
+    ++stats_.refetches;
+    if (it->second.counted) note_inflight(0, manifest_->chunk_size(index));
+    if (manifest_) state_[static_cast<std::size_t>(index)] = ChunkState::Needed;
+    it = assigned_.erase(it);
+  }
+
+  // 2. Pre-manifest: probe one peer for chunk 0 (it carries the geometry).
+  if (!manifest_) {
+    if (assigned_.empty()) {
+      ReplicaId avoid = config_.self;
+      if (const auto it = last_failed_peer_.find(0);
+          it != last_failed_peer_.end()) {
+        avoid = it->second;
+      }
+      const ReplicaId peer = pick_peer(now, avoid);
+      assigned_[0] = {peer, now + config_.chunk_timeout_us, false};
+      requests.push_back({peer, 0, 1});
+      ++stats_.requests_sent;
+    }
+    return requests;
+  }
+
+  // 3. Assign Needed chunks under the in-flight budget, grouping
+  //    consecutive indices into per-peer range requests. Always allow at
+  //    least one outstanding chunk so a budget smaller than one chunk
+  //    cannot deadlock the transfer.
+  std::uint64_t index = next_to_take_;
+  while (index < chunk_count_) {
+    if (state_[static_cast<std::size_t>(index)] != ChunkState::Needed) {
+      ++index;
+      continue;
+    }
+    // The head chunk (next_to_take_) is always requestable even over
+    // budget: buffered out-of-order chunks may fill the budget while the
+    // head is missing, and only the head's arrival can drain them.
+    if (index != next_to_take_ &&
+        inflight_bytes_ + manifest_->chunk_size(index) >
+            config_.inflight_max_bytes) {
+      break;
+    }
+    ReplicaId avoid = config_.self;
+    if (const auto it = last_failed_peer_.find(index);
+        it != last_failed_peer_.end()) {
+      avoid = it->second;
+    }
+    const ReplicaId peer = pick_peer(now, avoid);
+    Request req{peer, index, 0};
+    while (index < chunk_count_ && req.count < config_.chunks_per_request &&
+           state_[static_cast<std::size_t>(index)] == ChunkState::Needed) {
+      if (req.count > 0 &&
+          inflight_bytes_ + manifest_->chunk_size(index) >
+              config_.inflight_max_bytes) {
+        break;
+      }
+      state_[static_cast<std::size_t>(index)] = ChunkState::Requested;
+      assigned_[index] = {peer, now + config_.chunk_timeout_us, true};
+      note_inflight(manifest_->chunk_size(index), 0);
+      ++req.count;
+      ++index;
+    }
+    requests.push_back(req);
+    ++stats_.requests_sent;
+  }
+  return requests;
+}
+
+ChunkFetcher::ChunkResult ChunkFetcher::on_chunk(const StateChunkResponse& resp,
+                                                 Micros now) {
+  if (resp.seq != seq_ || complete()) return ChunkResult::Ignored;
+
+  // Commitment gate: the responder's claimed geometry must hash to the
+  // digest 2f+1 checkpoint signatures vouched for. This is what defeats
+  // stale-root replay and size lies before any chunk byte is considered.
+  if (resp.manifest().commitment() != commitment_) {
+    ++stats_.chunks_rejected;
+    strike(resp.sender, now);
+    return ChunkResult::Rejected;
+  }
+  if (!manifest_) adopt_manifest(resp.manifest());
+
+  if (resp.index >= chunk_count_) {
+    ++stats_.chunks_rejected;
+    strike(resp.sender, now);
+    return ChunkResult::Rejected;
+  }
+  const auto slot = static_cast<std::size_t>(resp.index);
+  if (state_[slot] == ChunkState::Ready || state_[slot] == ChunkState::Taken) {
+    ++stats_.chunks_duplicate;
+    return ChunkResult::Duplicate;
+  }
+
+  // Byte-level verification: exact advertised size and a Merkle path from
+  // this chunk to the proven root. A forged chunk (valid envelope MAC,
+  // wrong bytes) dies here and strikes its sender.
+  if (resp.chunk.size() != manifest_->chunk_size(resp.index) ||
+      !crypto::MerkleTree::verify(manifest_->root,
+                                  static_cast<std::size_t>(resp.index),
+                                  static_cast<std::size_t>(chunk_count_),
+                                  resp.chunk, resp.proof)) {
+    ++stats_.chunks_rejected;
+    strike(resp.sender, now);
+    last_failed_peer_[resp.index] = resp.sender;
+    if (const auto it = assigned_.find(resp.index);
+        it != assigned_.end() && it->second.peer == resp.sender) {
+      state_[slot] = ChunkState::Needed;
+      if (it->second.counted) note_inflight(0, manifest_->chunk_size(resp.index));
+      assigned_.erase(it);
+      ++stats_.refetches;
+    }
+    return ChunkResult::Rejected;
+  }
+
+  // Accepted: the requested-estimate becomes buffered-actual (same size,
+  // verified above). Unsolicited-but-valid chunks (the chunk-0 announce
+  // that starts a transfer) enter the buffered budget here too.
+  bool counted = false;
+  if (const auto it = assigned_.find(resp.index); it != assigned_.end()) {
+    counted = it->second.counted;
+    assigned_.erase(it);
+  }
+  if (!counted) note_inflight(resp.chunk.size(), 0);
+  state_[slot] = ChunkState::Ready;
+  ready_[resp.index] = resp.chunk;
+  ++stats_.chunks_accepted;
+  stats_.bytes_received += resp.chunk.size();
+  return ChunkResult::Accepted;
+}
+
+std::vector<Bytes> ChunkFetcher::take_ready() {
+  std::vector<Bytes> chunks;
+  while (next_to_take_ < chunk_count_) {
+    const auto it = ready_.find(next_to_take_);
+    if (it == ready_.end()) break;
+    note_inflight(0, it->second.size());
+    chunks.push_back(std::move(it->second));
+    ready_.erase(it);
+    state_[static_cast<std::size_t>(next_to_take_)] = ChunkState::Taken;
+    ++next_to_take_;
+  }
+  return chunks;
+}
+
+std::optional<Micros> ChunkFetcher::next_deadline() const {
+  if (complete()) return std::nullopt;
+  std::optional<Micros> deadline;
+  for (const auto& [index, a] : assigned_) {
+    if (!deadline || a.deadline < *deadline) deadline = a.deadline;
+  }
+  if (!deadline) {
+    // Nothing outstanding (budget exhausted waiting on take_ready, or all
+    // peers banned): wake when the earliest ban lifts so pump can retry.
+    for (ReplicaId p = 0; p < peers_.size(); ++p) {
+      if (p == config_.self) continue;
+      const Micros until = peers_[p].banned_until;
+      if (until > 0 && (!deadline || until < *deadline)) deadline = until;
+    }
+  }
+  return deadline;
+}
+
+// --------------------------------------------------------- SnapshotApplier
+
+SnapshotApplier::~SnapshotApplier() { abort(); }
+
+bool SnapshotApplier::feed(ByteView data) {
+  if (failed_) return false;
+  std::size_t off = 0;
+  // Accumulate the 4-byte little-endian app length prefix.
+  while (header_.size() < 4 && off < data.size()) {
+    header_.push_back(data[off++]);
+    if (header_.size() == 4) {
+      app_len_ = static_cast<std::uint64_t>(header_[0]) |
+                 static_cast<std::uint64_t>(header_[1]) << 8 |
+                 static_cast<std::uint64_t>(header_[2]) << 16 |
+                 static_cast<std::uint64_t>(header_[3]) << 24;
+      app_->apply_begin(app_len_);
+      begun_ = true;
+    }
+  }
+  if (header_.size() < 4) return true;
+  // Stream the app region straight into the application's staging.
+  if (app_fed_ < app_len_) {
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(
+            app_len_ - app_fed_, data.size() - off));
+    if (!app_->apply_chunk(data.subspan(off, want))) {
+      failed_ = true;
+      app_->apply_abort();
+      return false;
+    }
+    app_fed_ += want;
+    off += want;
+  }
+  // Everything after the app region is the (small) protocol tail.
+  if (off < data.size()) {
+    tail_.insert(tail_.end(), data.begin() + static_cast<std::ptrdiff_t>(off),
+                 data.end());
+  }
+  return true;
+}
+
+bool SnapshotApplier::finish() {
+  if (failed_ || !app_complete() || !begun_) return false;
+  if (!app_->apply_end()) {
+    failed_ = true;
+    return false;
+  }
+  begun_ = false;
+  return true;
+}
+
+void SnapshotApplier::abort() {
+  if (begun_) app_->apply_abort();
+  begun_ = false;
+  failed_ = true;
+}
+
+}  // namespace sbft::pbft

@@ -1,0 +1,267 @@
+// Streaming, verifiable state transfer (sans-I/O core, shared by the PBFT
+// replica and the SplitBFT Execution compartment).
+//
+// A checkpoint's state digest is the COMMITMENT of a SnapshotManifest
+// (crypto/merkle.hpp): H(domain || total_bytes || chunk_bytes || root).
+// The 2f+1 checkpoint certificate therefore authenticates the transfer
+// geometry and, transitively, every chunk — a recovering replica trusts
+// nothing a responder says until it checks out against that commitment.
+//
+// Three pieces:
+//  * ChunkedSnapshot — serving side: snapshot bytes + Merkle tree, fills
+//    StateChunkResponse messages with chunk + inclusion proof.
+//  * ChunkFetcher   — fetching side: multi-peer parallel range fetch with
+//    a per-peer scoreboard (strikes + backoff bans), per-chunk timeouts
+//    that re-assign to a DIFFERENT peer, bounded in-flight bytes, and an
+//    in-order drain (take_ready) so the caller streams chunks into the
+//    application without materializing the snapshot. Resumable: progress()
+//    exports the applied prefix, a new fetcher picks up from it.
+//  * SnapshotApplier — streams the protocol-snapshot framing
+//    (u32 app_len | app bytes | tail) into Application::apply_chunk,
+//    buffering only the small tail (client-record table) for the caller.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "common/bytes.hpp"
+#include "common/clock.hpp"
+#include "common/types.hpp"
+#include "crypto/merkle.hpp"
+#include "pbft/messages.hpp"
+
+namespace sbft::pbft {
+
+/// Serving side of a checkpointed snapshot: owns the bytes and the Merkle
+/// tree, answers chunk queries with inclusion proofs.
+class ChunkedSnapshot {
+ public:
+  ChunkedSnapshot() = default;
+  ChunkedSnapshot(Bytes snapshot, std::uint64_t chunk_bytes);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return data_; }
+  [[nodiscard]] const crypto::SnapshotManifest& manifest() const noexcept {
+    return manifest_;
+  }
+  /// The digest the checkpoint certificate signs for this snapshot.
+  [[nodiscard]] Digest commitment() const noexcept {
+    return manifest_.commitment();
+  }
+
+  /// Fills geometry, chunk bytes and proof for `index` into `resp`
+  /// (seq/sender left to the caller). False when out of range.
+  [[nodiscard]] bool fill(std::uint64_t index, StateChunkResponse& resp) const;
+
+  /// The plaintext slice of chunk `index` (for callers that seal it).
+  [[nodiscard]] ByteView chunk_view(std::uint64_t index) const;
+
+ private:
+  Bytes data_;
+  crypto::SnapshotManifest manifest_;
+  std::optional<crypto::MerkleTree> tree_;
+};
+
+/// The checkpoint digest for `snapshot` under chunking geometry
+/// `chunk_bytes`: the SnapshotManifest commitment (see crypto/merkle.hpp),
+/// NOT a flat hash — the same 2f+1 certificate that proves the state also
+/// proves the chunk geometry and Merkle root every streamed chunk verifies
+/// against.
+[[nodiscard]] Digest snapshot_commitment(ByteView snapshot,
+                                         std::uint64_t chunk_bytes);
+
+/// State-transfer traffic counters (both roles), shared by the PBFT
+/// replica and the SplitBFT Execution compartment. Fetch-side counters
+/// fold in the live transfer, so mid-recovery reads are accurate.
+struct StateTransferStats {
+  std::uint64_t state_requests_sent{0};  // rate-limited re-broadcasts
+  std::uint64_t chunk_requests_sent{0};
+  std::uint64_t chunks_served{0};  // serving side
+  std::uint64_t chunks_accepted{0};
+  std::uint64_t chunks_rejected{0};
+  std::uint64_t chunks_duplicate{0};
+  std::uint64_t refetches{0};
+  std::uint64_t chunk_bytes_received{0};
+  std::uint64_t peak_inflight_bytes{0};
+  std::uint64_t transfers_completed{0};
+};
+
+/// Fetching side: drives a chunked transfer toward a proven commitment.
+class ChunkFetcher {
+ public:
+  struct Config {
+    std::uint32_t n{4};
+    ReplicaId self{0};
+    std::uint32_t chunks_per_request{16};
+    std::uint64_t inflight_max_bytes{1u << 20};
+    Micros chunk_timeout_us{250'000};
+  };
+
+  /// One request the caller should send (sans-I/O: the fetcher never
+  /// touches the network).
+  struct Request {
+    ReplicaId peer{0};
+    std::uint64_t first_chunk{0};
+    std::uint32_t count{1};
+  };
+
+  enum class ChunkResult {
+    Accepted,   // verified and buffered (or duplicate-free re-fetch)
+    Duplicate,  // already have it — harmless
+    Rejected,   // failed commitment or Merkle verification — peer struck
+    Ignored,    // wrong seq / not fetching
+  };
+
+  struct Stats {
+    std::uint64_t requests_sent{0};
+    std::uint64_t chunks_accepted{0};
+    std::uint64_t chunks_duplicate{0};
+    std::uint64_t chunks_rejected{0};
+    /// Chunk assignments re-issued after a timeout or rejection.
+    std::uint64_t refetches{0};
+    std::uint64_t bytes_received{0};
+    /// High-water mark of buffered-verified + requested-in-flight bytes —
+    /// the transfer's memory footprint, hard-asserted against the full
+    /// snapshot size in BENCH_state_transfer.json.
+    std::uint64_t peak_inflight_bytes{0};
+  };
+
+  /// Resumable progress: chunks below `next_index` were verified AND
+  /// handed to the caller (applied); a fetcher constructed with a
+  /// Progress re-requests only the rest.
+  struct Progress {
+    SeqNum seq{0};
+    Digest commitment;
+    std::uint64_t next_index{0};
+  };
+
+  ChunkFetcher(Config config, SeqNum seq, Digest commitment, Micros now);
+  ChunkFetcher(Config config, const Progress& resume_from, Micros now);
+
+  [[nodiscard]] SeqNum seq() const noexcept { return seq_; }
+  [[nodiscard]] const Digest& commitment() const noexcept {
+    return commitment_;
+  }
+  [[nodiscard]] bool manifest_known() const noexcept {
+    return manifest_.has_value();
+  }
+  [[nodiscard]] const crypto::SnapshotManifest& manifest() const {
+    return *manifest_;
+  }
+
+  /// Expires timed-out assignments (striking their peers) and plans the
+  /// next requests under the in-flight budget. Call after construction,
+  /// after every on_chunk, and on timer ticks.
+  [[nodiscard]] std::vector<Request> pump(Micros now);
+
+  /// Feeds one response. Accepted chunks buffer until take_ready drains
+  /// them in order.
+  [[nodiscard]] ChunkResult on_chunk(const StateChunkResponse& resp,
+                                     Micros now);
+
+  /// Drains verified chunks contiguous from the applied prefix, in index
+  /// order. The caller must apply (and, if it wants crash-resume, persist)
+  /// them before the next progress() snapshot.
+  [[nodiscard]] std::vector<Bytes> take_ready();
+
+  /// All chunks verified and drained.
+  [[nodiscard]] bool complete() const noexcept {
+    return manifest_.has_value() && next_to_take_ == chunk_count_;
+  }
+
+  /// Earliest pending timeout (nullopt when nothing is outstanding and no
+  /// peer ban is pending expiry).
+  [[nodiscard]] std::optional<Micros> next_deadline() const;
+
+  [[nodiscard]] Progress progress() const noexcept {
+    return {seq_, commitment_, next_to_take_};
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  enum class ChunkState : std::uint8_t { Needed, Requested, Ready, Taken };
+
+  struct PeerScore {
+    std::uint32_t strikes{0};
+    Micros banned_until{0};
+  };
+
+  void adopt_manifest(const crypto::SnapshotManifest& manifest);
+  void strike(ReplicaId peer, Micros now);
+  /// Picks the next eligible peer (round-robin, skipping bans and
+  /// `avoid`); falls back to the least-banned peer so the fetch can
+  /// always make progress against f faulty peers.
+  [[nodiscard]] ReplicaId pick_peer(Micros now, ReplicaId avoid);
+  void note_inflight(std::uint64_t delta_up, std::uint64_t delta_down);
+
+  Config config_;
+  SeqNum seq_;
+  Digest commitment_;
+  std::optional<crypto::SnapshotManifest> manifest_;
+  std::uint64_t chunk_count_{0};
+
+  std::vector<ChunkState> state_;
+  // Requested chunks: index -> (peer, deadline). Also used for the
+  // pre-manifest probe (index 0).
+  struct Assignment {
+    ReplicaId peer{0};
+    Micros deadline{0};
+    /// Whether this assignment's size estimate entered inflight_bytes_
+    /// (false for the pre-manifest probe, whose size is unknown).
+    bool counted{false};
+  };
+  std::map<std::uint64_t, Assignment> assigned_;
+  // Last peer that failed to deliver each chunk (re-assign elsewhere).
+  std::map<std::uint64_t, ReplicaId> last_failed_peer_;
+  std::map<std::uint64_t, Bytes> ready_;
+  std::uint64_t next_to_take_{0};
+
+  std::vector<PeerScore> peers_;
+  ReplicaId rotor_{0};
+
+  std::uint64_t inflight_bytes_{0};  // requested estimate + buffered ready
+  Stats stats_;
+};
+
+/// Streams the protocol-snapshot framing into an Application. Both stacks
+/// serialize checkpoints as `Writer::bytes(app snapshot)` followed by a
+/// protocol tail, i.e. u32 app_len | app bytes | tail.
+class SnapshotApplier {
+ public:
+  explicit SnapshotApplier(apps::Application* app) : app_(app) {}
+  ~SnapshotApplier();
+  SnapshotApplier(const SnapshotApplier&) = delete;
+  SnapshotApplier& operator=(const SnapshotApplier&) = delete;
+
+  /// Feeds the next contiguous snapshot bytes. False on framing overrun
+  /// or application rejection (the applier is then failed and must be
+  /// abandoned; live application state is untouched).
+  [[nodiscard]] bool feed(ByteView data);
+
+  /// True when exactly the advertised app bytes were fed.
+  [[nodiscard]] bool app_complete() const noexcept {
+    return header_.size() == 4 && app_fed_ == app_len_;
+  }
+  /// The buffered protocol tail (valid once feeding is done). The caller
+  /// validates it BEFORE finish() so a bad tail never half-installs.
+  [[nodiscard]] const Bytes& tail() const noexcept { return tail_; }
+
+  /// Commits the staged application state (Application::apply_end).
+  [[nodiscard]] bool finish();
+
+  /// Discards staged state without touching the live application.
+  void abort();
+
+ private:
+  apps::Application* app_;
+  Bytes header_;  // the 4-byte app length prefix, accumulated
+  std::uint64_t app_len_{0};
+  std::uint64_t app_fed_{0};
+  bool begun_{false};
+  bool failed_{false};
+  Bytes tail_;
+};
+
+}  // namespace sbft::pbft

@@ -61,6 +61,15 @@ net::TcpTransport::RouteFn ClusterTopology::route() const {
 std::unique_ptr<net::TcpTransport> ClusterTopology::make_transport(
     std::uint32_t node, net::TcpTransport::Options options) const {
   options.listen_addr = addrs.at(node);
+  if (options.state_transfer_types.empty()) {
+    // Classify recovery traffic for TransportStats (both stacks use the
+    // PBFT state-transfer message family).
+    options.state_transfer_types = {
+        pbft::tag(pbft::MsgType::StateRequest),
+        pbft::tag(pbft::MsgType::StateResponse),
+        pbft::tag(pbft::MsgType::StateChunkRequest),
+        pbft::tag(pbft::MsgType::StateChunkResponse)};
+  }
   auto transport =
       std::make_unique<net::TcpTransport>(node, std::move(options), route());
   for (std::uint32_t other = 0; other < nodes(); ++other) {
@@ -202,6 +211,30 @@ std::uint64_t ReplicaNode::admission_rejects() const {
                      : impl_->split->broker().admission_rejects();
 }
 
+SeqNum ReplicaNode::last_executed() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->pbft ? impl_->pbft->last_executed()
+                     : impl_->split->exec().last_executed();
+}
+
+SeqNum ReplicaNode::last_stable() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->pbft ? impl_->pbft->last_stable()
+                     : impl_->split->exec().last_stable();
+}
+
+bool ReplicaNode::awaiting_state() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->pbft ? impl_->pbft->awaiting_state()
+                     : impl_->split->exec().awaiting_state();
+}
+
+pbft::StateTransferStats ReplicaNode::state_transfer_stats() const {
+  const std::scoped_lock lock(impl_->mutex);
+  return impl_->pbft ? impl_->pbft->state_transfer_stats()
+                     : impl_->split->exec().state_transfer_stats();
+}
+
 // -------------------------------------------------------------- loadgen
 
 namespace {
@@ -241,6 +274,10 @@ Report run_loadgen(const Options& options, const ClusterTopology& topology,
   report.transport.frames_per_writev = stats.frames_per_writev();
   report.transport.reconnects = stats.reconnects;
   report.transport.backpressure_drops = stats.backpressure_drops;
+  report.transport.state_frames_in = stats.state_frames_in;
+  report.transport.state_frames_out = stats.state_frames_out;
+  report.transport.state_bytes_in = stats.state_bytes_in;
+  report.transport.state_bytes_out = stats.state_bytes_out;
   return report;
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/tcp_transport.hpp"
+#include "pbft/state_transfer.hpp"
 #include "runtime/workload/workload.hpp"
 
 namespace sbft::runtime::workload {
@@ -74,6 +75,12 @@ class ReplicaNode {
 
   [[nodiscard]] net::TcpTransport& transport() noexcept { return *transport_; }
   [[nodiscard]] std::uint64_t admission_rejects() const;
+  /// Recovery introspection (mid-transfer kill tests, bench): the engine's
+  /// execution frontier and its state-transfer counters.
+  [[nodiscard]] SeqNum last_executed() const;
+  [[nodiscard]] SeqNum last_stable() const;
+  [[nodiscard]] bool awaiting_state() const;
+  [[nodiscard]] pbft::StateTransferStats state_transfer_stats() const;
 
  private:
   struct Impl;

@@ -173,6 +173,11 @@ std::string report_json(const Options& options, const Report& report) {
      << "\"frames_per_writev\": " << report.transport.frames_per_writev << ", "
      << "\"reconnects\": " << report.transport.reconnects << ", "
      << "\"backpressure_drops\": " << report.transport.backpressure_drops
+     << ", "
+     << "\"state_frames_in\": " << report.transport.state_frames_in << ", "
+     << "\"state_frames_out\": " << report.transport.state_frames_out << ", "
+     << "\"state_bytes_in\": " << report.transport.state_bytes_in << ", "
+     << "\"state_bytes_out\": " << report.transport.state_bytes_out
      << "}, "
      << "\"histogram\": [";
   for (std::size_t i = 0; i < report.histogram.size(); ++i) {

@@ -105,6 +105,12 @@ struct Report {
     double frames_per_writev{0};
     std::uint64_t reconnects{0};
     std::uint64_t backpressure_drops{0};
+    /// State-transfer traffic split out from the totals above (recovery
+    /// bandwidth vs. protocol bandwidth).
+    std::uint64_t state_frames_in{0};
+    std::uint64_t state_frames_out{0};
+    std::uint64_t state_bytes_in{0};
+    std::uint64_t state_bytes_out{0};
   };
   TransportCounters transport;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/serde.hpp"
+
 namespace sbft::splitbft {
 
 Broker::Broker(pbft::Config config, ReplicaId self,
@@ -351,6 +353,18 @@ std::vector<net::Envelope> Broker::handle(const net::Envelope& env,
 std::vector<net::Envelope> Broker::tick(Micros now) {
   Out out;
   observe_tuner(now);
+  // Execution owns no clock (compartments are deliver-only): forward the
+  // tick so its streaming state transfer can expire chunk assignments and
+  // pace StateRequest re-broadcasts.
+  {
+    Writer w;
+    w.u64(now);
+    net::Envelope env;
+    env.dst = principal::enclave({self_, Compartment::Execution});
+    env.type = tag(LocalMsg::StateTick);
+    env.payload = std::move(w).take();
+    deliver_to(Compartment::Execution, env, out);
+  }
   if (batch_deadline_ != 0 && now >= batch_deadline_) {
     cut_batch(now, out);
   }

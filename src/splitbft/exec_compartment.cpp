@@ -22,6 +22,7 @@ constexpr std::uint32_t kRequestChannel = channels::kRequest;
 constexpr std::uint32_t kReplyChannelBase = channels::kReplyBase;
 constexpr std::uint32_t kSessionWrapChannel = channels::kSessionWrap;
 constexpr std::uint32_t kStateChannel = channels::kState;
+constexpr std::uint32_t kStateChunkChannel = channels::kStateChunk;
 
 }  // namespace
 
@@ -75,6 +76,11 @@ std::vector<net::Envelope> ExecCompartment::deliver(const net::Envelope& env) {
     flush_runner(out);
     return out;
   }
+  if (env.type == tag(LocalMsg::StateTick)) {
+    on_state_tick(env, out);
+    flush_runner(out);
+    return out;
+  }
   switch (static_cast<pbft::MsgType>(env.type)) {
     case pbft::MsgType::PrePrepare:
       on_pre_prepare(env);
@@ -103,6 +109,12 @@ std::vector<net::Envelope> ExecCompartment::deliver(const net::Envelope& env) {
       break;
     case pbft::MsgType::StateResponse:
       on_state_response(env, out);
+      break;
+    case pbft::MsgType::StateChunkRequest:
+      on_state_chunk_request(env, out);
+      break;
+    case pbft::MsgType::StateChunkResponse:
+      on_state_chunk_response(env, out);
       break;
     default:
       break;
@@ -403,12 +415,10 @@ Bytes ExecCompartment::exec_snapshot() const {
   return std::move(w).take();
 }
 
-bool ExecCompartment::restore_exec_snapshot(ByteView data) {
-  Reader r(data);
-  const Bytes app_snapshot = r.bytes();
+bool ExecCompartment::parse_client_records(
+    Reader& r, std::unordered_map<ClientId, ClientRecord>& records) const {
   const std::uint32_t n_records = r.u32();
   if (r.failed() || n_records > 1'000'000) return false;
-  std::unordered_map<ClientId, ClientRecord> records;
   for (std::uint32_t i = 0; i < n_records; ++i) {
     const ClientId c = r.u32();
     ClientRecord rec;
@@ -418,7 +428,15 @@ bool ExecCompartment::restore_exec_snapshot(ByteView data) {
     rec.has_reply = r.boolean();
     records.emplace(c, std::move(rec));
   }
-  if (!r.done()) return false;
+  return r.done();
+}
+
+bool ExecCompartment::restore_exec_snapshot(ByteView data) {
+  Reader r(data);
+  const Bytes app_snapshot = r.bytes();
+  if (r.failed()) return false;
+  std::unordered_map<ClientId, ClientRecord> records;
+  if (!parse_client_records(r, records)) return false;
   if (!app_->restore(app_snapshot)) return false;
   client_records_ = std::move(records);
   return true;
@@ -429,10 +447,14 @@ void ExecCompartment::maybe_checkpoint(SeqNum seq, Out& out) {
       seq % config_.checkpoint_interval != 0) {
     return;
   }
-  Bytes snapshot = exec_snapshot();
+  // Chunk + tree once; the certificate digest (the manifest commitment,
+  // see pbft/state_transfer.hpp) and every future chunk response come from
+  // the same ChunkedSnapshot.
+  pbft::ChunkedSnapshot snapshot(
+      exec_snapshot(), std::max<std::uint64_t>(config_.state_chunk_bytes, 1));
   pbft::Checkpoint cp;
   cp.seq = seq;
-  cp.state_digest = crypto::sha256(snapshot);
+  cp.state_digest = snapshot.commitment();
   cp.sender = self_;
   snapshots_[seq] = std::move(snapshot);
 
@@ -466,19 +488,80 @@ void ExecCompartment::on_checkpoint(const net::Envelope& env, Out& out) {
 
 void ExecCompartment::garbage_collect(SeqNum stable) {
   log_.erase(log_.begin(), log_.upper_bound(stable));
+  // Retain the PREVIOUS stable snapshot alongside the new one: a peer
+  // mid-fetch of it gets one checkpoint interval of hysteresis to finish
+  // instead of restarting from chunk 0 every time the group checkpoints.
+  if (stable > gc_stable_) {
+    retain_floor_ = gc_stable_;
+    gc_stable_ = stable;
+  }
   for (auto it = snapshots_.begin(); it != snapshots_.end();) {
-    it = it->first < stable ? snapshots_.erase(it) : std::next(it);
+    it = it->first < retain_floor_ ? snapshots_.erase(it) : std::next(it);
   }
 }
 
 // ---------------------------------------------------------- state transfer
 
 void ExecCompartment::request_state(SeqNum seq, Out& out) {
-  if (awaiting_state_) return;
+  if (awaiting_state_) {
+    // Retarget a streaming fetch only once its target ages out of the
+    // peers' retention window (older than the previous stable seq) — or
+    // when it can now start, the announce having been adopted. Inside the
+    // window the fetch completes and finish_streaming_restore chains the
+    // follow-up; restarting on every new checkpoint would livelock
+    // whenever a transfer outlasts one checkpoint period.
+    const bool retarget =
+        config_.streaming_state &&
+        (!fetcher_ || fetcher_->seq() < retain_floor_);
+    if (!retarget) return;
+  }
+  begin_state_fetch(seq, out);
+}
+
+void ExecCompartment::begin_state_fetch(SeqNum seq, Out& out) {
   awaiting_state_ = true;
   awaited_state_seq_ = seq;
+  if (!config_.streaming_state) {
+    state_request_backoff_ = 0;
+    send_state_request(out);
+    return;
+  }
+  // The expected manifest commitment comes from the adopted stable
+  // certificate — 2f+1 Execution signatures strong before any peer is
+  // consulted. Without one (reboot from nothing), announce via
+  // StateRequest; the chunk-0 response carries the certificate.
+  Digest commitment;
+  if (checkpoints_.last_stable() == seq) {
+    const auto proof = checkpoints_.stable_proof();
+    if (!proof.empty()) {
+      if (const auto cp = pbft::Checkpoint::deserialize(proof.front().payload)) {
+        commitment = cp->state_digest;
+      }
+    }
+  }
+  if (commitment.is_zero()) {
+    state_request_backoff_ = 0;
+    send_state_request(out);
+    return;
+  }
+  if (fetcher_) accumulate_fetcher_stats();
+  pbft::ChunkFetcher::Config fc;
+  fc.n = config_.n;
+  fc.self = self_;
+  fc.chunks_per_request = config_.state_chunks_per_request;
+  fc.inflight_max_bytes = config_.state_inflight_max_bytes;
+  fc.chunk_timeout_us = config_.state_chunk_timeout_us;
+  fetcher_ = std::make_unique<pbft::ChunkFetcher>(fc, seq, commitment, now_);
+  applier_ = std::make_unique<pbft::SnapshotApplier>(app_.get());
+  state_request_deadline_ = 0;
+  logger().info() << "exec@r" << self_ << " streaming state fetch toward "
+                  << seq;
+  emit_chunk_requests(fetcher_->pump(now_), out);
+}
+
+void ExecCompartment::send_state_request(Out& out) {
   pbft::StateRequest sr;
-  sr.seq = seq;
+  sr.seq = awaited_state_seq_;
   sr.sender = self_;
   // Serialize + sign the state request once; copies share the frames.
   const net::Envelope proto = make_signed_proto(
@@ -490,6 +573,175 @@ void ExecCompartment::request_state(SeqNum seq, Out& out) {
     env.dst = principal::enclave({r, Compartment::Execution});
     out.push_back(std::move(env));
   }
+  ++xfer_stats_.state_requests_sent;
+  // Exponential backoff between re-broadcasts: ask again while stuck, but
+  // never storm the group.
+  const Micros min_b =
+      std::max<Micros>(config_.state_request_backoff_min_us, 1);
+  state_request_backoff_ =
+      state_request_backoff_ == 0
+          ? min_b
+          : std::min(state_request_backoff_ * 2,
+                     std::max<Micros>(config_.state_request_backoff_max_us,
+                                      min_b));
+  state_request_deadline_ = now_ + state_request_backoff_;
+}
+
+void ExecCompartment::emit_chunk_requests(
+    const std::vector<pbft::ChunkFetcher::Request>& requests, Out& out) {
+  for (const auto& req : requests) {
+    pbft::StateChunkRequest cr;
+    cr.seq = fetcher_->seq();
+    cr.first_chunk = req.first_chunk;
+    cr.count = req.count;
+    cr.sender = self_;
+    net::Envelope env;
+    env.src = signer_->id();
+    env.dst = principal::enclave({req.peer, Compartment::Execution});
+    env.type = pbft::tag(pbft::MsgType::StateChunkRequest);
+    env.payload = cr.serialize();
+    net::sign_envelope(env, *signer_);
+    out.push_back(std::move(env));
+    ++xfer_stats_.chunk_requests_sent;
+  }
+}
+
+void ExecCompartment::accumulate_fetcher_stats() {
+  if (!fetcher_) return;
+  const auto& s = fetcher_->stats();
+  xfer_stats_.chunks_accepted += s.chunks_accepted;
+  xfer_stats_.chunks_rejected += s.chunks_rejected;
+  xfer_stats_.chunks_duplicate += s.chunks_duplicate;
+  xfer_stats_.refetches += s.refetches;
+  xfer_stats_.chunk_bytes_received += s.bytes_received;
+  xfer_stats_.peak_inflight_bytes =
+      std::max(xfer_stats_.peak_inflight_bytes, s.peak_inflight_bytes);
+}
+
+pbft::StateTransferStats ExecCompartment::state_transfer_stats() const {
+  pbft::StateTransferStats stats = xfer_stats_;
+  if (fetcher_) {
+    const auto& s = fetcher_->stats();
+    stats.chunks_accepted += s.chunks_accepted;
+    stats.chunks_rejected += s.chunks_rejected;
+    stats.chunks_duplicate += s.chunks_duplicate;
+    stats.refetches += s.refetches;
+    stats.chunk_bytes_received += s.bytes_received;
+    stats.peak_inflight_bytes =
+        std::max(stats.peak_inflight_bytes, s.peak_inflight_bytes);
+  }
+  return stats;
+}
+
+void ExecCompartment::abandon_transfer() {
+  accumulate_fetcher_stats();
+  if (applier_) applier_->abort();
+  fetcher_.reset();
+  applier_.reset();
+  // Still behind: fall back to a fresh announce (rate-limited; fires on
+  // the next StateTick).
+  state_request_backoff_ = 0;
+  state_request_deadline_ = now_ + 1;
+}
+
+void ExecCompartment::drain_fetcher(Out& out) {
+  for (Bytes& chunk : fetcher_->take_ready()) {
+    if (!applier_->feed(chunk)) {
+      logger().info() << "exec@r" << self_
+                      << " snapshot apply failed, restarting";
+      abandon_transfer();
+      return;
+    }
+  }
+  if (fetcher_->complete()) {
+    finish_streaming_restore(out);
+  } else {
+    emit_chunk_requests(fetcher_->pump(now_), out);
+  }
+}
+
+void ExecCompartment::finish_streaming_restore(Out& out) {
+  const SeqNum seq = fetcher_->seq();
+  // Validate the protocol tail BEFORE committing the app: a malformed
+  // tail must not leave the app restored but the client table stale.
+  std::unordered_map<ClientId, ClientRecord> records;
+  Reader tail(applier_->tail());
+  if (!applier_->app_complete() || !parse_client_records(tail, records) ||
+      !applier_->finish()) {
+    logger().info() << "exec@r" << self_ << " streaming restore failed at "
+                    << seq;
+    abandon_transfer();
+    return;
+  }
+  client_records_ = std::move(records);
+  last_executed_ = seq;
+  garbage_collect(seq);
+  awaiting_state_ = false;
+  // Deliberately NOT materializing snapshots_[seq]: the transfer streamed
+  // into the app precisely to avoid snapshot-sized buffers; this enclave
+  // serves peers from its next own checkpoint.
+  accumulate_fetcher_stats();
+  ++xfer_stats_.transfers_completed;
+  fetcher_.reset();
+  applier_.reset();
+  state_request_deadline_ = 0;
+  logger().info() << "exec@r" << self_ << " streaming state transfer to "
+                  << seq;
+  try_execute(out);
+  if (last_executed_ < checkpoints_.last_stable()) {
+    // The group checkpointed again while we streamed: chain straight into
+    // a fetch of the newer stable state instead of waiting for the next
+    // certificate to arrive (it may never, once traffic quiesces).
+    begin_state_fetch(checkpoints_.last_stable(), out);
+  }
+}
+
+void ExecCompartment::on_state_tick(const net::Envelope& env, Out& out) {
+  Reader r(env.payload);
+  const Micros now = r.u64();
+  if (r.failed()) return;
+  now_ = std::max(now_, now);
+  if (!boot_probe_sent_) {
+    boot_probe_sent_ = true;
+    // Rebooted with no state: probe for the group's stable checkpoint.
+    // Peers still at seq 0 ignore it; a peer ahead answers with its
+    // certificate (the sealed chunk-0 announce) and the fetch starts.
+    if (checkpoints_.last_stable() == 0 && last_executed_ == 0 &&
+        !awaiting_state_) {
+      send_state_request(out);
+    }
+  }
+  if (!awaiting_state_) return;
+  if (fetcher_) {
+    emit_chunk_requests(fetcher_->pump(now_), out);
+  } else if (state_request_deadline_ != 0 && now_ >= state_request_deadline_) {
+    send_state_request(out);
+  }
+}
+
+crypto::Key32 ExecCompartment::chunk_seal_key(SeqNum seq) const {
+  Bytes ctx(8);
+  for (int i = 0; i < 8; ++i) {
+    ctx[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return crypto::derive_key(
+      ByteView{exec_group_key_.data(), exec_group_key_.size()},
+      "state-chunk-seal", ctx);
+}
+
+Bytes ExecCompartment::seal_chunk(SeqNum seq, std::uint64_t index,
+                                  ByteView chunk) const {
+  return crypto::aead_seal(chunk_seal_key(seq),
+                           crypto::make_nonce(kStateChunkChannel, index), {},
+                           chunk);
+}
+
+std::optional<Bytes> ExecCompartment::open_chunk(SeqNum seq,
+                                                 std::uint64_t index,
+                                                 ByteView sealed) const {
+  return crypto::aead_open(chunk_seal_key(seq),
+                           crypto::make_nonce(kStateChunkChannel, index), {},
+                           sealed);
 }
 
 void ExecCompartment::on_state_request(const net::Envelope& env, Out& out) {
@@ -498,17 +750,42 @@ void ExecCompartment::on_state_request(const net::Envelope& env, Out& out) {
   const principal::Id signer_id =
       principal::enclave({sr->sender, Compartment::Execution});
   if (!auth_.check(env, signer_id)) return;
-  const auto it = snapshots_.find(sr->seq);
-  if (it == snapshots_.end() || sr->seq != checkpoints_.last_stable()) return;
+  // Serve our latest stable state whenever it would help the requester
+  // (sr->seq may trail it: the requester learns the newer checkpoint from
+  // the attached certificate).
+  const SeqNum stable = checkpoints_.last_stable();
+  if (stable == 0 || sr->seq > stable) return;
+  const auto it = snapshots_.find(stable);
+  if (it == snapshots_.end()) return;
 
-  // Snapshots hold confidential state (app data, session keys): encrypt
-  // under the execution-compartment group key before it crosses the
-  // untrusted environment.
+  if (config_.streaming_state) {
+    // Announce: sealed chunk 0 plus the checkpoint certificate. The
+    // requester adopts the checkpoint, verifies the manifest commitment
+    // against it, and fetches the rest in ranges from everyone.
+    pbft::StateChunkResponse resp;
+    resp.seq = stable;
+    if (!it->second.fill(0, resp)) return;
+    resp.chunk = seal_chunk(stable, 0, it->second.chunk_view(0));
+    resp.checkpoint_proof = checkpoints_.stable_proof();
+    resp.sender = self_;
+    ++xfer_stats_.chunks_served;
+    net::Envelope out_env;
+    out_env.src = signer_->id();
+    out_env.dst = principal::enclave({sr->sender, Compartment::Execution});
+    out_env.type = pbft::tag(pbft::MsgType::StateChunkResponse);
+    out_env.payload = resp.serialize();
+    net::sign_envelope(out_env, *signer_);
+    out.push_back(std::move(out_env));
+    return;
+  }
+  // Monolithic path: snapshots hold confidential state (app data, client
+  // results), so encrypt under the execution-compartment group key before
+  // it crosses the untrusted environment.
   pbft::StateResponse resp;
-  resp.seq = sr->seq;
+  resp.seq = stable;
   resp.snapshot = crypto::aead_seal(
-      exec_group_key_, crypto::make_nonce(kStateChannel, sr->seq), {},
-      it->second);
+      exec_group_key_, crypto::make_nonce(kStateChannel, stable), {},
+      it->second.data());
   resp.checkpoint_proof = checkpoints_.stable_proof();
   resp.sender = self_;
 
@@ -521,8 +798,91 @@ void ExecCompartment::on_state_request(const net::Envelope& env, Out& out) {
   out.push_back(std::move(out_env));
 }
 
+void ExecCompartment::on_state_chunk_request(const net::Envelope& env,
+                                             Out& out) {
+  if (!config_.streaming_state) return;
+  auto cr = pbft::StateChunkRequest::deserialize(env.payload);
+  if (!cr || cr->sender >= config_.n || cr->sender == self_) return;
+  const principal::Id signer_id =
+      principal::enclave({cr->sender, Compartment::Execution});
+  if (!auth_.check(env, signer_id)) return;
+  // Serve any retained snapshot (the latest stable and, for hysteresis,
+  // the previous one) — never anything claiming to be ahead of us.
+  if (cr->seq > checkpoints_.last_stable()) return;
+  const auto it = snapshots_.find(cr->seq);
+  if (it == snapshots_.end()) return;
+  const std::uint64_t chunk_count = it->second.manifest().chunk_count();
+  const std::uint64_t end =
+      std::min<std::uint64_t>(cr->first_chunk + cr->count, chunk_count);
+  for (std::uint64_t index = cr->first_chunk; index < end; ++index) {
+    pbft::StateChunkResponse resp;
+    resp.seq = cr->seq;
+    if (!it->second.fill(index, resp)) break;
+    resp.chunk = seal_chunk(cr->seq, index, it->second.chunk_view(index));
+    resp.sender = self_;
+    ++xfer_stats_.chunks_served;
+    net::Envelope out_env;
+    out_env.src = signer_->id();
+    out_env.dst = principal::enclave({cr->sender, Compartment::Execution});
+    out_env.type = pbft::tag(pbft::MsgType::StateChunkResponse);
+    out_env.payload = resp.serialize();
+    net::sign_envelope(out_env, *signer_);
+    out.push_back(std::move(out_env));
+  }
+}
+
+void ExecCompartment::on_state_chunk_response(const net::Envelope& env,
+                                              Out& out) {
+  if (!config_.streaming_state) return;
+  auto resp = pbft::StateChunkResponse::deserialize(env.payload);
+  if (!resp || resp->sender >= config_.n || resp->sender == self_) return;
+  const principal::Id signer_id =
+      principal::enclave({resp->sender, Compartment::Execution});
+  if (!auth_.check(env, signer_id)) return;
+
+  // Announce adoption: a certificate for a checkpoint ahead of ours lets
+  // a rebooted enclave latch on. The proof is validated against the
+  // manifest commitment before anything else is believed.
+  if (!resp->checkpoint_proof.empty() &&
+      resp->seq > checkpoints_.last_stable() && last_executed_ < resp->seq) {
+    if (auto proof =
+            verify_checkpoint_proof(resp->checkpoint_proof, resp->seq,
+                                    resp->manifest().commitment(), config_,
+                                    auth_)) {
+      checkpoints_.adopt(resp->seq, std::move(*proof));
+      garbage_collect(resp->seq);
+      request_state(resp->seq, out);
+    }
+  }
+
+  if (!awaiting_state_ || !fetcher_ || resp->seq != fetcher_->seq()) return;
+  // Unseal before Merkle verification (the tree commits to plaintext). A
+  // failed unseal clears the chunk so the fetcher rejects it and strikes
+  // the sender, exactly like a forged chunk.
+  if (auto opened = open_chunk(resp->seq, resp->index, resp->chunk)) {
+    resp->chunk = std::move(*opened);
+  } else {
+    resp->chunk.clear();
+  }
+  switch (fetcher_->on_chunk(*resp, now_)) {
+    case pbft::ChunkFetcher::ChunkResult::Accepted:
+      drain_fetcher(out);
+      break;
+    case pbft::ChunkFetcher::ChunkResult::Rejected:
+      emit_chunk_requests(fetcher_->pump(now_), out);
+      break;
+    case pbft::ChunkFetcher::ChunkResult::Duplicate:
+    case pbft::ChunkFetcher::ChunkResult::Ignored:
+      break;
+  }
+}
+
 void ExecCompartment::on_state_response(const net::Envelope& env, Out& out) {
   if (!awaiting_state_) return;
+  // The streaming path never installs monolithic snapshots — a Byzantine
+  // peer must not bypass chunked verification (and its bounded memory) by
+  // volunteering a full StateResponse.
+  if (config_.streaming_state) return;
   auto resp = pbft::StateResponse::deserialize(env.payload);
   if (!resp || resp->sender >= config_.n) return;
   const principal::Id signer_id =
@@ -534,16 +894,20 @@ void ExecCompartment::on_state_response(const net::Envelope& env, Out& out) {
       exec_group_key_, crypto::make_nonce(kStateChannel, resp->seq), {},
       resp->snapshot);
   if (!snapshot) return;
-  const Digest digest = crypto::sha256(*snapshot);
+  const Digest digest =
+      pbft::snapshot_commitment(*snapshot, config_.state_chunk_bytes);
   auto proof = verify_checkpoint_proof(resp->checkpoint_proof, resp->seq,
                                        digest, config_, auth_);
   if (!proof) return;
   if (!restore_exec_snapshot(*snapshot)) return;
   last_executed_ = resp->seq;
   checkpoints_.adopt(resp->seq, std::move(*proof));
-  snapshots_[resp->seq] = *snapshot;
+  snapshots_[resp->seq] = pbft::ChunkedSnapshot(
+      *snapshot, std::max<std::uint64_t>(config_.state_chunk_bytes, 1));
   garbage_collect(resp->seq);
   awaiting_state_ = false;
+  state_request_deadline_ = 0;
+  state_request_backoff_ = 0;
   logger().info() << "exec@r" << self_ << " state transfer to " << resp->seq;
   try_execute(out);
 }

@@ -13,7 +13,9 @@
 #include <unordered_map>
 
 #include "apps/app.hpp"
+#include "common/serde.hpp"
 #include "pbft/client_directory.hpp"
+#include "pbft/state_transfer.hpp"
 #include "runtime/runner/runner.hpp"
 #include "splitbft/compartment.hpp"
 #include "tee/protected_fs.hpp"
@@ -111,6 +113,16 @@ class ExecCompartment final : public CompartmentLogic {
   [[nodiscard]] runtime::runner::RunnerStats runner_stats() const {
     return runner_->stats();
   }
+  /// State-transfer traffic counters (both roles, live transfer folded in).
+  [[nodiscard]] pbft::StateTransferStats state_transfer_stats() const;
+  /// StateRequest broadcasts actually sent (backoff-limited).
+  [[nodiscard]] std::uint64_t state_requests_sent() const noexcept {
+    return xfer_stats_.state_requests_sent;
+  }
+  /// True while recovering via state transfer (execution is paused).
+  [[nodiscard]] bool awaiting_state() const noexcept {
+    return awaiting_state_;
+  }
 
   /// Out-of-band session provisioning: installs a pre-established client
   /// session key, as a deployment would after offline attestation. The
@@ -156,6 +168,11 @@ class ExecCompartment final : public CompartmentLogic {
   void on_session_init(const net::Envelope& env, Out& out);
   void on_state_request(const net::Envelope& env, Out& out);
   void on_state_response(const net::Envelope& env, Out& out);
+  void on_state_chunk_request(const net::Envelope& env, Out& out);
+  void on_state_chunk_response(const net::Envelope& env, Out& out);
+  /// Broker-forwarded clock tick (LocalMsg::StateTick): pumps chunk
+  /// re-request timeouts and the StateRequest re-broadcast backoff.
+  void on_state_tick(const net::Envelope& env, Out& out);
 
   void try_execute(Out& out);
   void execute_request(const pbft::Request& req, Out& out);
@@ -172,7 +189,31 @@ class ExecCompartment final : public CompartmentLogic {
   /// Config::client_record_cap (see pbft::strip_reply_cache).
   void gc_client_records();
   void garbage_collect(SeqNum stable);
+  /// Starts (or retargets) recovery toward stable checkpoint `seq`.
   void request_state(SeqNum seq, Out& out);
+  void begin_state_fetch(SeqNum seq, Out& out);
+  /// Rate-limited StateRequest broadcast to peer Execution enclaves.
+  void send_state_request(Out& out);
+  void emit_chunk_requests(
+      const std::vector<pbft::ChunkFetcher::Request>& requests, Out& out);
+  void drain_fetcher(Out& out);
+  void finish_streaming_restore(Out& out);
+  void abandon_transfer();
+  /// Folds a finished/discarded fetcher's counters into xfer_stats_.
+  void accumulate_fetcher_stats();
+  /// Per-checkpoint chunk sealing key: chunks cross the untrusted
+  /// environment AEAD-sealed under a key derived from the Execution group
+  /// key and `seq`, nonce = (kStateChunk, chunk index) — unique per
+  /// (key, nonce) even across checkpoints.
+  [[nodiscard]] crypto::Key32 chunk_seal_key(SeqNum seq) const;
+  [[nodiscard]] Bytes seal_chunk(SeqNum seq, std::uint64_t index,
+                                 ByteView chunk) const;
+  [[nodiscard]] std::optional<Bytes> open_chunk(SeqNum seq,
+                                                std::uint64_t index,
+                                                ByteView sealed) const;
+  /// Parses the client-record table (the protocol tail of exec_snapshot).
+  [[nodiscard]] bool parse_client_records(
+      Reader& r, std::unordered_map<ClientId, ClientRecord>& records) const;
 
   [[nodiscard]] Bytes exec_snapshot() const;
   [[nodiscard]] bool restore_exec_snapshot(ByteView data);
@@ -203,13 +244,33 @@ class ExecCompartment final : public CompartmentLogic {
   /// Input log in_exec.
   std::map<SeqNum, Slot> log_;
   CheckpointCollector checkpoints_;
-  std::map<SeqNum, Bytes> snapshots_;
+  std::map<SeqNum, pbft::ChunkedSnapshot> snapshots_;
 
   std::unordered_map<ClientId, crypto::Key32> sessions_;
   std::unordered_map<ClientId, ClientRecord> client_records_;
 
   bool awaiting_state_{false};
   SeqNum awaited_state_seq_{0};
+  // One-shot startup probe: a rebooted enclave cannot learn the group
+  // moved past it until a fresh checkpoint certificate happens to arrive —
+  // ask once; any Execution peer ahead answers with its stable
+  // certificate (the announce), which request_state turns into a fetch.
+  bool boot_probe_sent_{false};
+  // Snapshot retention: snapshots at or above retain_floor_ (the stable
+  // seq BEFORE the latest one) survive garbage collection — one
+  // checkpoint interval of serving hysteresis for peers mid-fetch. A
+  // fetch whose target drops below the floor is the one case worth
+  // retargeting.
+  SeqNum retain_floor_{0};
+  SeqNum gc_stable_{0};  // latest stable seq garbage_collect ran at
+  // Streaming fetch machinery (non-null only while recovering). The clock
+  // is the broker's: now_ advances on every StateTick delivery.
+  std::unique_ptr<pbft::ChunkFetcher> fetcher_;
+  std::unique_ptr<pbft::SnapshotApplier> applier_;
+  Micros now_{0};
+  Micros state_request_deadline_{0};  // 0 = not armed
+  Micros state_request_backoff_{0};   // current interval
+  pbft::StateTransferStats xfer_stats_;
 
   std::map<SeqNum, Digest> executed_digests_;
   std::uint64_t executed_requests_{0};

@@ -31,6 +31,11 @@ enum class LocalMsg : std::uint32_t {
   /// Broker delivers coalesced fast-path reads (a serialized RequestBatch)
   /// to the Execution enclave — one ecall for up to read_batch_max reads.
   ReadBatch = 42,
+  /// Broker tick forwarded to the Execution enclave (payload: u64 now in
+  /// µs). Compartments are deliver-only and own no clock; streaming state
+  /// transfer needs one for chunk re-request timeouts and StateRequest
+  /// re-broadcast backoff.
+  StateTick = 43,
 };
 
 [[nodiscard]] constexpr std::uint32_t tag(LocalMsg t) noexcept {
@@ -47,6 +52,10 @@ inline constexpr std::uint32_t kReplyBase = 0x5000;
 inline constexpr std::uint32_t kSessionWrap = 0x5e55;
 /// Encrypted state transfer between Execution enclaves (seq = seq number).
 inline constexpr std::uint32_t kState = 0x57a7;
+/// Streaming state-transfer chunks (seq = chunk index); the key is
+/// per-checkpoint (derived from the group key and the checkpoint seq), so
+/// (key, channel, index) never repeats across checkpoints.
+inline constexpr std::uint32_t kStateChunk = 0x57c4;
 /// Fast-path read replies, one channel per replica (seq = timestamp).
 /// Distinct from kReplyBase: the ordered fallback of the same timestamp
 /// re-encrypts a possibly different value, so the two paths must never

@@ -1,0 +1,140 @@
+// Incremental snapshot emission/application (Application::snapshot_chunks /
+// apply_*): the KvStore override and the whole-snapshot compatibility shim
+// must both reproduce snapshot()/restore() exactly, chunk size be damned.
+#include <gtest/gtest.h>
+
+#include "apps/counter_app.hpp"
+#include "apps/kv_store.hpp"
+
+namespace sbft::apps {
+namespace {
+
+[[nodiscard]] KvStore filled_store(int keys) {
+  KvStore store;
+  for (int i = 0; i < keys; ++i) {
+    Bytes key = to_bytes("key-" + std::to_string(i));
+    Bytes value(static_cast<std::size_t>(17 * (i + 1)));
+    for (std::size_t j = 0; j < value.size(); ++j) {
+      value[j] = static_cast<std::uint8_t>(i + j);
+    }
+    (void)store.execute(kv::encode_put(key, value));
+  }
+  return store;
+}
+
+[[nodiscard]] Bytes collect_chunks(const Application& app,
+                                   std::size_t chunk_bytes,
+                                   std::size_t* max_piece = nullptr) {
+  Bytes all;
+  app.snapshot_chunks(chunk_bytes, [&](ByteView piece) {
+    if (max_piece) *max_piece = std::max(*max_piece, piece.size());
+    all.insert(all.end(), piece.begin(), piece.end());
+  });
+  return all;
+}
+
+TEST(StreamingSnapshot, ChunksConcatenateToSnapshot) {
+  const KvStore store = filled_store(20);
+  const Bytes full = store.snapshot();
+  for (const std::size_t chunk : {1u, 64u, 1000u, 1u << 20}) {
+    std::size_t max_piece = 0;
+    EXPECT_EQ(collect_chunks(store, chunk, &max_piece), full)
+        << "chunk=" << chunk;
+    EXPECT_LE(max_piece, chunk);
+  }
+}
+
+TEST(StreamingSnapshot, ApplyRebuildsAtAnyChunkBoundary) {
+  const KvStore source = filled_store(20);
+  const Bytes full = source.snapshot();
+  for (const std::size_t chunk : {1u, 7u, 64u, 4096u}) {
+    KvStore target;
+    target.apply_begin(full.size());
+    for (std::size_t off = 0; off < full.size(); off += chunk) {
+      ASSERT_TRUE(target.apply_chunk(
+          ByteView{full.data() + off, std::min(chunk, full.size() - off)}))
+          << "chunk=" << chunk << " off=" << off;
+    }
+    ASSERT_TRUE(target.apply_end()) << "chunk=" << chunk;
+    EXPECT_EQ(target.state_digest(), source.state_digest());
+    EXPECT_EQ(target.size(), source.size());
+  }
+}
+
+TEST(StreamingSnapshot, LiveStateServesUntilCommitAndAbortKeepsIt) {
+  KvStore store;
+  (void)store.execute(kv::encode_put(to_bytes("live"), to_bytes("value")));
+  const Digest before = store.state_digest();
+
+  const Bytes incoming = filled_store(5).snapshot();
+  store.apply_begin(incoming.size());
+  ASSERT_TRUE(store.apply_chunk(ByteView{incoming.data(), incoming.size() / 2}));
+  // Mid-restore the live table is untouched.
+  EXPECT_EQ(store.state_digest(), before);
+  store.apply_abort();
+  EXPECT_EQ(store.state_digest(), before);
+  const auto reply = kv::decode_reply(store.execute(kv::encode_get(to_bytes("live"))));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->value, to_bytes("value"));
+}
+
+TEST(StreamingSnapshot, TruncatedApplyFailsWithoutCorruptingLiveState) {
+  KvStore store;
+  (void)store.execute(kv::encode_put(to_bytes("live"), to_bytes("value")));
+  const Digest before = store.state_digest();
+
+  const Bytes incoming = filled_store(5).snapshot();
+  store.apply_begin(incoming.size());
+  ASSERT_TRUE(store.apply_chunk(ByteView{incoming.data(), incoming.size() - 3}));
+  EXPECT_FALSE(store.apply_end());  // records missing
+  EXPECT_EQ(store.state_digest(), before);
+}
+
+TEST(StreamingSnapshot, GarbageChunkIsRejected) {
+  KvStore store;
+  // A length prefix claiming far more records than bytes can follow.
+  Bytes garbage(64, 0xFF);
+  store.apply_begin(garbage.size());
+  const bool fed = store.apply_chunk(garbage);
+  EXPECT_FALSE(fed && store.apply_end());
+}
+
+TEST(StreamingSnapshot, RestartedApplyDiscardsPreviousStaging) {
+  const KvStore a = filled_store(3);
+  const KvStore b = filled_store(9);
+  const Bytes snap_a = a.snapshot();
+  const Bytes snap_b = b.snapshot();
+
+  KvStore target;
+  target.apply_begin(snap_a.size());
+  ASSERT_TRUE(target.apply_chunk(ByteView{snap_a.data(), snap_a.size() / 2}));
+  // Begin again: the half-fed restore must not leak into the new one.
+  target.apply_begin(snap_b.size());
+  ASSERT_TRUE(target.apply_chunk(snap_b));
+  ASSERT_TRUE(target.apply_end());
+  EXPECT_EQ(target.state_digest(), b.state_digest());
+}
+
+TEST(StreamingSnapshot, DefaultShimMatchesRestoreForCounterApp) {
+  CounterApp source;
+  (void)source.execute(CounterApp::encode_add(41));
+  const Bytes full = source.snapshot();
+
+  // CounterApp has no overrides: the base-class buffering shim applies.
+  CounterApp target;
+  std::size_t max_piece = 0;
+  const Bytes chunks = collect_chunks(source, 3, &max_piece);
+  EXPECT_EQ(chunks, full);
+  EXPECT_LE(max_piece, 3u);
+
+  target.apply_begin(full.size());
+  for (std::size_t off = 0; off < full.size(); off += 3) {
+    ASSERT_TRUE(target.apply_chunk(
+        ByteView{full.data() + off, std::min<std::size_t>(3, full.size() - off)}));
+  }
+  ASSERT_TRUE(target.apply_end());
+  EXPECT_EQ(target.state_digest(), source.state_digest());
+}
+
+}  // namespace
+}  // namespace sbft::apps

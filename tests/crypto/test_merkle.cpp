@@ -1,0 +1,110 @@
+#include "crypto/merkle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.hpp"
+
+namespace sbft::crypto {
+namespace {
+
+[[nodiscard]] Bytes pattern(std::size_t n, std::uint8_t salt = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(i * 7 + salt);
+  }
+  return b;
+}
+
+TEST(Merkle, LeafIsDomainSeparated) {
+  const Bytes chunk = pattern(100);
+  EXPECT_NE(merkle_leaf(chunk), sha256(chunk));
+}
+
+TEST(Merkle, EveryChunkProofVerifies) {
+  for (const std::size_t total : {0u, 1u, 63u, 64u, 65u, 300u}) {
+    const Bytes snapshot = pattern(total);
+    const std::uint64_t chunk_bytes = 64;
+    const MerkleTree tree = build_snapshot_tree(snapshot, chunk_bytes);
+    const SnapshotManifest manifest{total, chunk_bytes, tree.root()};
+    ASSERT_EQ(tree.leaf_count(), manifest.chunk_count()) << "total=" << total;
+    for (std::uint64_t i = 0; i < manifest.chunk_count(); ++i) {
+      const std::uint64_t off = i * chunk_bytes;
+      const ByteView chunk{snapshot.data() + off,
+                           static_cast<std::size_t>(manifest.chunk_size(i))};
+      EXPECT_TRUE(MerkleTree::verify(tree.root(), i, tree.leaf_count(), chunk,
+                                     tree.proof(i)))
+          << "total=" << total << " chunk=" << i;
+    }
+  }
+}
+
+TEST(Merkle, TamperedChunkFailsVerification) {
+  Bytes snapshot = pattern(300);
+  const MerkleTree tree = build_snapshot_tree(snapshot, 64);
+  Bytes chunk(snapshot.begin(), snapshot.begin() + 64);
+  chunk[10] ^= 0x01;
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 0, tree.leaf_count(), chunk, tree.proof(0)));
+}
+
+TEST(Merkle, WrongIndexFailsVerification) {
+  const Bytes snapshot = pattern(300);
+  const MerkleTree tree = build_snapshot_tree(snapshot, 64);
+  const ByteView chunk{snapshot.data(), 64};
+  // Right chunk + proof, wrong claimed position.
+  EXPECT_FALSE(
+      MerkleTree::verify(tree.root(), 1, tree.leaf_count(), chunk, tree.proof(0)));
+}
+
+TEST(Merkle, TruncatedProofFailsVerification) {
+  const Bytes snapshot = pattern(64 * 8);
+  const MerkleTree tree = build_snapshot_tree(snapshot, 64);
+  MerkleProof proof = tree.proof(0);
+  ASSERT_GT(proof.size(), 1u);
+  proof.pop_back();
+  EXPECT_FALSE(MerkleTree::verify(tree.root(), 0, tree.leaf_count(),
+                                  ByteView{snapshot.data(), 64}, proof));
+}
+
+TEST(Merkle, LeafCountBoundIntoStructure) {
+  // The promoted-odd-node construction must distinguish n leaves from the
+  // same leaves plus a duplicate tail — a Bitcoin-style tree would not.
+  const Bytes five = pattern(64 * 5);
+  Bytes six = five;
+  six.insert(six.end(), five.end() - 64, five.end());
+  EXPECT_NE(build_snapshot_tree(five, 64).root(),
+            build_snapshot_tree(six, 64).root());
+}
+
+TEST(Merkle, EmptySnapshotIsOneEmptyLeaf) {
+  const MerkleTree tree = build_snapshot_tree({}, 64);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), 0, 1, {}, tree.proof(0)));
+}
+
+TEST(SnapshotManifest, GeometryHelpers) {
+  const SnapshotManifest m{300, 64, {}};
+  EXPECT_EQ(m.chunk_count(), 5u);
+  EXPECT_EQ(m.chunk_size(0), 64u);
+  EXPECT_EQ(m.chunk_size(4), 44u);
+  EXPECT_EQ(SnapshotManifest({0, 64, {}}).chunk_count(), 1u);
+  EXPECT_EQ(SnapshotManifest({300, 0, {}}).chunk_count(), 0u);  // invalid
+}
+
+TEST(SnapshotManifest, CommitmentBindsGeometry) {
+  const MerkleTree tree = build_snapshot_tree(pattern(300), 64);
+  const SnapshotManifest base{300, 64, tree.root()};
+  SnapshotManifest other = base;
+  other.total_bytes = 301;
+  EXPECT_NE(base.commitment(), other.commitment());
+  other = base;
+  other.chunk_bytes = 128;
+  EXPECT_NE(base.commitment(), other.commitment());
+  other = base;
+  other.root.bytes[0] ^= 1;
+  EXPECT_NE(base.commitment(), other.commitment());
+  EXPECT_EQ(base.commitment(), SnapshotManifest(base).commitment());
+}
+
+}  // namespace
+}  // namespace sbft::crypto

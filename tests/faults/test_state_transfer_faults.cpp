@@ -1,0 +1,162 @@
+// Byzantine serving peers against streaming state transfer: forged chunks
+// with valid MACs, withholding/slow-drip, and stale-root replay. In every
+// scenario the recovering replica must catch up off the honest peers and
+// never install an unverified byte (agreement holds throughout).
+#include "faults/state_transfer_faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+#include "runtime/pbft_cluster.hpp"
+
+namespace sbft::faults {
+namespace {
+
+using runtime::PbftCluster;
+using runtime::PbftClusterOptions;
+
+[[nodiscard]] PbftClusterOptions recovery_config(std::uint64_t seed) {
+  PbftClusterOptions options;
+  options.seed = seed;
+  options.config.checkpoint_interval = 5;
+  options.config.batch_max = 1;
+  options.config.state_chunk_bytes = 2048;
+  options.config.state_inflight_max_bytes = 8192;
+  options.config.state_chunk_timeout_us = 100'000;
+  return options;
+}
+
+[[nodiscard]] apps::AppFactory kv_factory() {
+  return [] { return std::make_unique<apps::KvStore>(); };
+}
+
+[[nodiscard]] Bytes kv_put(std::uint64_t key, std::uint8_t salt) {
+  Bytes value(1500);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = static_cast<std::uint8_t>(key * 31 + salt + i);
+  }
+  return apps::kv::encode_put(apps::kv::encode_key(key), value);
+}
+
+/// Crashes replica 3 past a checkpoint it missed; leaves it restored and
+/// the cluster ready for the recovery phase.
+void fall_behind(PbftCluster& cluster) {
+  cluster.add_client(kFirstClientId);
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 0)).has_value());
+  }
+  cluster.restore_replica(3);
+}
+
+/// Drives traffic until replica 3 has caught up with replica 0.
+[[nodiscard]] bool recover(PbftCluster& cluster, std::uint8_t salt) {
+  for (int i = 0; i < 8; ++i) {
+    if (!cluster.execute(kFirstClientId, kv_put(i, salt)).has_value()) {
+      return false;
+    }
+  }
+  return cluster.harness().run_until(
+      [&] {
+        return !cluster.replica(3).awaiting_state() &&
+               cluster.replica(3).last_executed() >=
+                   cluster.replica(0).last_executed();
+      },
+      120'000'000);
+}
+
+TEST(StateTransferFaults, ForgedChunksAreRejectedAndRecoveryCompletes) {
+  PbftCluster cluster(recovery_config(31), kv_factory());
+  fall_behind(cluster);
+
+  auto forger = std::make_shared<ChunkForger>(
+      cluster.replica_actor(1),
+      cluster.keyring().signer(principal::pbft_replica(1)));
+  cluster.harness().replace_actor(principal::pbft_replica(1), forger);
+
+  ASSERT_TRUE(recover(cluster, 1));
+  const pbft::StateTransferStats stats =
+      cluster.replica(3).state_transfer_stats();
+  EXPECT_GE(stats.transfers_completed, 1u);
+  // The forger was asked at least once, rejected every time, and the
+  // ranges were refetched from honest peers.
+  EXPECT_GT(forger->forged(), 0u);
+  EXPECT_GT(stats.chunks_rejected, 0u);
+  EXPECT_GE(stats.refetches, stats.chunks_rejected);
+  EXPECT_TRUE(cluster.check_agreement());
+  // No forged byte installed: the recovered state digest matches.
+  EXPECT_EQ(cluster.replica(3).app().state_digest(),
+            cluster.replica(0).app().state_digest());
+}
+
+TEST(StateTransferFaults, WithholdingPeerTimesOutAndRecoveryCompletes) {
+  PbftCluster cluster(recovery_config(32), kv_factory());
+  fall_behind(cluster);
+
+  auto withholder = std::make_shared<ChunkWithholder>(
+      cluster.replica_actor(1),
+      ChunkWithholder::Policy{/*serve_first=*/1, /*drip_interval_us=*/0});
+  cluster.harness().replace_actor(principal::pbft_replica(1), withholder);
+
+  ASSERT_TRUE(recover(cluster, 1));
+  const pbft::StateTransferStats stats =
+      cluster.replica(3).state_transfer_stats();
+  EXPECT_GE(stats.transfers_completed, 1u);
+  if (withholder->withheld() > 0) {
+    EXPECT_GT(stats.refetches, 0u);
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(StateTransferFaults, SlowDripLosesRaceAgainstChunkTimeout) {
+  PbftCluster cluster(recovery_config(33), kv_factory());
+  fall_behind(cluster);
+
+  // Drip an order of magnitude slower than the fetcher's patience.
+  auto withholder = std::make_shared<ChunkWithholder>(
+      cluster.replica_actor(1),
+      ChunkWithholder::Policy{/*serve_first=*/1,
+                              /*drip_interval_us=*/1'000'000});
+  cluster.harness().replace_actor(principal::pbft_replica(1), withholder);
+
+  ASSERT_TRUE(recover(cluster, 1));
+  EXPECT_GE(cluster.replica(3).state_transfer_stats().transfers_completed, 1u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(StateTransferFaults, StaleRootReplayIsRejectedByCommitmentGate) {
+  PbftCluster cluster(recovery_config(34), kv_factory());
+  fall_behind(cluster);
+
+  auto replayer = std::make_shared<StaleRootReplayer>(
+      cluster.replica_actor(1),
+      cluster.keyring().signer(principal::pbft_replica(1)));
+  cluster.harness().replace_actor(principal::pbft_replica(1), replayer);
+
+  // First recovery: the replayer serves honestly and captures the template.
+  ASSERT_TRUE(recover(cluster, 1));
+  ASSERT_TRUE(replayer->armed());
+
+  // Fall behind again past NEWER checkpoints: now every chunk response
+  // replica 1 serves carries the stale root under the current seq.
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 2)).has_value());
+  }
+  cluster.restore_replica(3);
+  ASSERT_TRUE(recover(cluster, 3));
+
+  const pbft::StateTransferStats stats =
+      cluster.replica(3).state_transfer_stats();
+  EXPECT_GE(stats.transfers_completed, 2u);
+  if (replayer->replayed() > 0) {
+    // Every replayed response failed the manifest-vs-certificate gate.
+    EXPECT_GT(stats.chunks_rejected, 0u);
+  }
+  EXPECT_TRUE(cluster.check_agreement());
+  EXPECT_EQ(cluster.replica(3).app().state_digest(),
+            cluster.replica(0).app().state_digest());
+}
+
+}  // namespace
+}  // namespace sbft::faults

@@ -1,0 +1,472 @@
+// Streaming state transfer: ChunkedSnapshot/ChunkFetcher units, wire
+// bounds, and end-to-end recovery on the deterministic simulator.
+#include "pbft/state_transfer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "apps/kv_store.hpp"
+#include "faults/byzantine_env.hpp"
+#include "runtime/pbft_cluster.hpp"
+
+namespace sbft::pbft {
+namespace {
+
+[[nodiscard]] Bytes pattern(std::size_t n, std::uint8_t salt = 0) {
+  Bytes b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<std::uint8_t>(i * 31 + salt);
+  }
+  return b;
+}
+
+// ------------------------------------------------------- ChunkedSnapshot
+
+TEST(ChunkedSnapshot, FillsVerifiableResponses) {
+  const Bytes snapshot = pattern(300);
+  const ChunkedSnapshot chunked(snapshot, 64);
+  EXPECT_EQ(chunked.manifest().chunk_count(), 5u);
+  EXPECT_EQ(chunked.commitment(), snapshot_commitment(snapshot, 64));
+
+  Bytes reassembled;
+  for (std::uint64_t i = 0; i < chunked.manifest().chunk_count(); ++i) {
+    StateChunkResponse resp;
+    ASSERT_TRUE(chunked.fill(i, resp));
+    EXPECT_EQ(resp.manifest(), chunked.manifest());
+    EXPECT_EQ(resp.index, i);
+    EXPECT_TRUE(crypto::MerkleTree::verify(
+        resp.root, resp.index, chunked.manifest().chunk_count(), resp.chunk,
+        resp.proof));
+    reassembled.insert(reassembled.end(), resp.chunk.begin(), resp.chunk.end());
+  }
+  EXPECT_EQ(reassembled, snapshot);
+
+  StateChunkResponse out_of_range;
+  EXPECT_FALSE(chunked.fill(5, out_of_range));
+}
+
+TEST(ChunkedSnapshot, CommitmentDependsOnChunkGeometry) {
+  const Bytes snapshot = pattern(300);
+  EXPECT_NE(snapshot_commitment(snapshot, 64), snapshot_commitment(snapshot, 128));
+}
+
+// ---------------------------------------------------------- ChunkFetcher
+
+constexpr std::uint64_t kChunk = 64;
+
+[[nodiscard]] ChunkFetcher::Config fetcher_config() {
+  ChunkFetcher::Config c;
+  c.n = 4;
+  c.self = 3;
+  c.chunks_per_request = 2;
+  c.inflight_max_bytes = 4 * kChunk;
+  c.chunk_timeout_us = 1'000;
+  return c;
+}
+
+/// Serves requests from a ChunkedSnapshot as peer `peer` would.
+[[nodiscard]] std::vector<StateChunkResponse> serve(
+    const ChunkedSnapshot& chunked, const ChunkFetcher::Request& req,
+    SeqNum seq) {
+  std::vector<StateChunkResponse> out;
+  for (std::uint64_t i = req.first_chunk; i < req.first_chunk + req.count;
+       ++i) {
+    StateChunkResponse resp;
+    if (!chunked.fill(i, resp)) break;
+    resp.seq = seq;
+    resp.sender = req.peer;
+    out.push_back(std::move(resp));
+  }
+  return out;
+}
+
+TEST(ChunkFetcher, FetchesAcrossPeersAndDrainsInOrder) {
+  const Bytes snapshot = pattern(kChunk * 9 + 13);
+  const ChunkedSnapshot chunked(snapshot, kChunk);
+  ChunkFetcher fetcher(fetcher_config(), /*seq=*/50, chunked.commitment(), 0);
+
+  Micros now = 0;
+  Bytes reassembled;
+  std::set<ReplicaId> peers_used;
+  std::uint64_t guard = 0;
+  while (!fetcher.complete()) {
+    ASSERT_LT(++guard, 1000u);
+    now += 10;
+    for (const auto& req : fetcher.pump(now)) {
+      EXPECT_NE(req.peer, fetcher_config().self);
+      peers_used.insert(req.peer);
+      for (const auto& resp : serve(chunked, req, 50)) {
+        EXPECT_NE(fetcher.on_chunk(resp, now), ChunkFetcher::ChunkResult::Rejected);
+      }
+    }
+    for (const auto& chunk : fetcher.take_ready()) {
+      reassembled.insert(reassembled.end(), chunk.begin(), chunk.end());
+    }
+  }
+  EXPECT_EQ(reassembled, snapshot);
+  // Disjoint ranges went to multiple peers, not one favourite.
+  EXPECT_GT(peers_used.size(), 1u);
+  EXPECT_EQ(fetcher.stats().chunks_accepted, 10u);
+  EXPECT_LE(fetcher.stats().peak_inflight_bytes,
+            fetcher_config().inflight_max_bytes + kChunk);
+}
+
+TEST(ChunkFetcher, RejectsForgedChunkAndRefetchesElsewhere) {
+  const Bytes snapshot = pattern(kChunk * 4);
+  const ChunkedSnapshot chunked(snapshot, kChunk);
+  ChunkFetcher fetcher(fetcher_config(), 50, chunked.commitment(), 0);
+
+  auto reqs = fetcher.pump(0);
+  ASSERT_FALSE(reqs.empty());
+  const ReplicaId forger = reqs[0].peer;
+  auto responses = serve(chunked, reqs[0], 50);
+  ASSERT_FALSE(responses.empty());
+  responses[0].chunk[5] ^= 0xFF;
+  EXPECT_EQ(fetcher.on_chunk(responses[0], 0),
+            ChunkFetcher::ChunkResult::Rejected);
+  EXPECT_EQ(fetcher.stats().chunks_rejected, 1u);
+
+  // The re-assignment must avoid the peer that just lied.
+  bool refetched = false;
+  for (const auto& req : fetcher.pump(1)) {
+    if (req.first_chunk <= responses[0].index &&
+        responses[0].index < req.first_chunk + req.count) {
+      refetched = true;
+      EXPECT_NE(req.peer, forger);
+    }
+  }
+  EXPECT_TRUE(refetched);
+  EXPECT_GE(fetcher.stats().refetches, 1u);
+}
+
+TEST(ChunkFetcher, RejectsManifestNotMatchingCommitment) {
+  const Bytes snapshot = pattern(kChunk * 4);
+  const ChunkedSnapshot chunked(snapshot, kChunk);
+  // Commitment for a DIFFERENT geometry: same bytes, other chunk size.
+  ChunkFetcher fetcher(fetcher_config(), 50,
+                       snapshot_commitment(snapshot, kChunk * 2), 0);
+  auto reqs = fetcher.pump(0);
+  ASSERT_FALSE(reqs.empty());
+  const auto responses = serve(chunked, reqs[0], 50);
+  ASSERT_FALSE(responses.empty());
+  EXPECT_EQ(fetcher.on_chunk(responses[0], 0),
+            ChunkFetcher::ChunkResult::Rejected);
+  EXPECT_FALSE(fetcher.manifest_known());
+}
+
+TEST(ChunkFetcher, TimeoutReassignsToDifferentPeer) {
+  const Bytes snapshot = pattern(kChunk * 4);
+  const ChunkedSnapshot chunked(snapshot, kChunk);
+  ChunkFetcher fetcher(fetcher_config(), 50, chunked.commitment(), 0);
+
+  auto reqs = fetcher.pump(0);
+  ASSERT_FALSE(reqs.empty());
+  // Answer only the probe so the manifest is known, then go silent.
+  const auto first = serve(chunked, reqs[0], 50);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(fetcher.on_chunk(first[0], 0), ChunkFetcher::ChunkResult::Accepted);
+  reqs = fetcher.pump(0);
+  ASSERT_FALSE(reqs.empty());
+  const ReplicaId silent = reqs[0].peer;
+  const std::uint64_t stalled = reqs[0].first_chunk;
+
+  const Micros late = fetcher_config().chunk_timeout_us + 10;
+  bool reassigned = false;
+  for (const auto& req : fetcher.pump(late)) {
+    if (req.first_chunk <= stalled && stalled < req.first_chunk + req.count) {
+      reassigned = true;
+      EXPECT_NE(req.peer, silent);
+    }
+  }
+  EXPECT_TRUE(reassigned);
+  EXPECT_GE(fetcher.stats().refetches, 1u);
+  EXPECT_TRUE(fetcher.next_deadline().has_value());
+}
+
+TEST(ChunkFetcher, DuplicateAndWrongSeqChunks) {
+  const Bytes snapshot = pattern(kChunk * 2);
+  const ChunkedSnapshot chunked(snapshot, kChunk);
+  ChunkFetcher fetcher(fetcher_config(), 50, chunked.commitment(), 0);
+
+  const auto reqs = fetcher.pump(0);
+  ASSERT_FALSE(reqs.empty());
+  const auto responses = serve(chunked, {reqs[0].peer, 0, 2}, 50);
+  ASSERT_EQ(responses.size(), 2u);
+
+  StateChunkResponse wrong_seq = responses[0];
+  wrong_seq.seq = 49;
+  EXPECT_EQ(fetcher.on_chunk(wrong_seq, 0), ChunkFetcher::ChunkResult::Ignored);
+
+  EXPECT_EQ(fetcher.on_chunk(responses[0], 0),
+            ChunkFetcher::ChunkResult::Accepted);
+  EXPECT_EQ(fetcher.on_chunk(responses[0], 0),
+            ChunkFetcher::ChunkResult::Duplicate);
+  EXPECT_EQ(fetcher.stats().chunks_duplicate, 1u);
+}
+
+TEST(ChunkFetcher, ResumesFromProgressWithoutRefetchingAppliedPrefix) {
+  const Bytes snapshot = pattern(kChunk * 6);
+  const ChunkedSnapshot chunked(snapshot, kChunk);
+  auto config = fetcher_config();
+  config.chunks_per_request = 1;
+  ChunkFetcher first(config, 50, chunked.commitment(), 0);
+
+  // Fetch and drain the first couple of chunks, then "crash".
+  Bytes applied;
+  std::uint64_t guard = 0;
+  while (first.progress().next_index < 2) {
+    ASSERT_LT(++guard, 1000u);
+    for (const auto& req : first.pump(guard)) {
+      for (const auto& resp : serve(chunked, req, 50)) {
+        (void)first.on_chunk(resp, guard);
+      }
+    }
+    for (const auto& chunk : first.take_ready()) {
+      applied.insert(applied.end(), chunk.begin(), chunk.end());
+    }
+  }
+  const ChunkFetcher::Progress progress = first.progress();
+  EXPECT_EQ(progress.seq, 50u);
+  EXPECT_EQ(progress.commitment, chunked.commitment());
+
+  ChunkFetcher resumed(config, progress, 1'000'000);
+  guard = 0;
+  while (!resumed.complete()) {
+    ASSERT_LT(++guard, 1000u);
+    const Micros now = 1'000'000 + guard;
+    for (const auto& req : resumed.pump(now)) {
+      // Until the geometry is re-learned the fetcher probes chunk 0; every
+      // post-manifest request must skip the already-applied prefix.
+      if (resumed.manifest_known()) {
+        EXPECT_GE(req.first_chunk, progress.next_index);
+      }
+      for (const auto& resp : serve(chunked, req, 50)) {
+        (void)resumed.on_chunk(resp, now);
+      }
+    }
+    for (const auto& chunk : resumed.take_ready()) {
+      applied.insert(applied.end(), chunk.begin(), chunk.end());
+    }
+  }
+  EXPECT_EQ(applied, snapshot);
+}
+
+// ------------------------------------------------------------ wire bounds
+
+TEST(StateChunkWire, RequestRoundtripAndBounds) {
+  StateChunkRequest req;
+  req.seq = 50;
+  req.first_chunk = 7;
+  req.count = 16;
+  req.sender = 2;
+  const auto back = StateChunkRequest::deserialize(req.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->first_chunk, 7u);
+  EXPECT_EQ(back->count, 16u);
+
+  req.count = kMaxChunksPerRequest + 1;
+  EXPECT_FALSE(StateChunkRequest::deserialize(req.serialize()).has_value());
+  req.count = 0;
+  EXPECT_FALSE(StateChunkRequest::deserialize(req.serialize()).has_value());
+}
+
+TEST(StateChunkWire, ResponseRoundtripAndBounds) {
+  const Bytes snapshot = pattern(300);
+  const ChunkedSnapshot chunked(snapshot, 64);
+  StateChunkResponse resp;
+  ASSERT_TRUE(chunked.fill(1, resp));
+  resp.seq = 50;
+  resp.sender = 1;
+  const auto back = StateChunkResponse::deserialize(resp.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->manifest(), chunked.manifest());
+  EXPECT_EQ(back->chunk, resp.chunk);
+  EXPECT_EQ(back->proof.size(), resp.proof.size());
+
+  // Chunk larger than the claimed geometry (plus seal slack): rejected
+  // before any plausibility-unchecked reserve.
+  StateChunkResponse fat = resp;
+  fat.chunk = pattern(64 + kStateChunkSealOverhead + 1);
+  EXPECT_FALSE(StateChunkResponse::deserialize(fat.serialize()).has_value());
+
+  StateChunkResponse huge = resp;
+  huge.chunk_bytes = kMaxStateChunkBytes + 1;
+  EXPECT_FALSE(StateChunkResponse::deserialize(huge.serialize()).has_value());
+
+  StateChunkResponse zero = resp;
+  zero.chunk_bytes = 0;
+  EXPECT_FALSE(StateChunkResponse::deserialize(zero.serialize()).has_value());
+
+  // Implausibly deep Merkle path: rejected before the reserve.
+  StateChunkResponse deep = resp;
+  deep.proof.resize(crypto::kMaxMerkleProofLen + 1);
+  EXPECT_FALSE(StateChunkResponse::deserialize(deep.serialize()).has_value());
+
+  // Truncation at every prefix either fails or parses — never crashes.
+  const Bytes wire = resp.serialize();
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    EXPECT_FALSE(
+        StateChunkResponse::deserialize(ByteView{wire.data(), len}).has_value())
+        << "len=" << len;
+  }
+}
+
+// --------------------------------------------------- simulated recovery
+
+using runtime::PbftCluster;
+using runtime::PbftClusterOptions;
+
+[[nodiscard]] PbftClusterOptions recovery_config(std::uint64_t seed) {
+  PbftClusterOptions options;
+  options.seed = seed;
+  options.config.checkpoint_interval = 5;
+  options.config.batch_max = 1;
+  options.config.state_chunk_bytes = 2048;
+  options.config.state_inflight_max_bytes = 8192;
+  return options;
+}
+
+[[nodiscard]] apps::AppFactory kv_factory() {
+  return [] { return std::make_unique<apps::KvStore>(); };
+}
+
+/// PUT of a `bytes`-sized deterministic value.
+[[nodiscard]] Bytes kv_put(std::uint64_t key, std::size_t bytes,
+                           std::uint8_t salt) {
+  return apps::kv::encode_put(apps::kv::encode_key(key), pattern(bytes, salt));
+}
+
+TEST(StateTransferSim, StreamingRecoveryCatchesUpWithBoundedInflight) {
+  PbftCluster cluster(recovery_config(21), kv_factory());
+  cluster.add_client(kFirstClientId);
+
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 0)).has_value());
+  }
+  cluster.restore_replica(3);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 1)).has_value());
+  }
+  ASSERT_TRUE(cluster.harness().run_until(
+      [&] {
+        return cluster.replica(3).last_executed() >=
+               cluster.replica(0).last_executed();
+      },
+      60'000'000));
+
+  const StateTransferStats stats = cluster.replica(3).state_transfer_stats();
+  EXPECT_GE(stats.transfers_completed, 1u);
+  EXPECT_GT(stats.chunks_accepted, 1u);
+  EXPECT_EQ(stats.chunks_rejected, 0u);
+  // The whole point: recovery never buffers anywhere near the snapshot.
+  const std::uint64_t snapshot_bytes =
+      cluster.replica(0).app().snapshot().size();
+  EXPECT_GT(snapshot_bytes, 15'000u);
+  EXPECT_LE(stats.peak_inflight_bytes,
+            recovery_config(21).config.state_inflight_max_bytes +
+                recovery_config(21).config.state_chunk_bytes);
+  EXPECT_FALSE(cluster.replica(3).awaiting_state());
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(StateTransferSim, ServingPeerCrashMidTransferReassigns) {
+  PbftCluster cluster(recovery_config(22), kv_factory());
+  cluster.add_client(kFirstClientId);
+
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 0)).has_value());
+  }
+  cluster.restore_replica(3);
+  // Nudge the victim into the transfer, then kill one serving peer. The
+  // remaining two replicas + victim keep a quorum, and the fetcher's
+  // timeouts must steer every range away from the dead peer.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 1)).has_value());
+  }
+  cluster.crash_replica(1);
+  ASSERT_TRUE(cluster.harness().run_until(
+      [&] {
+        return !cluster.replica(3).awaiting_state() &&
+               cluster.replica(3).last_executed() >= 15;
+      },
+      120'000'000));
+  EXPECT_GE(cluster.replica(3).state_transfer_stats().transfers_completed, 1u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(StateTransferSim, LegacyMonolithicPathStillRecovers) {
+  auto options = recovery_config(23);
+  options.config.streaming_state = false;
+  PbftCluster cluster(options, kv_factory());
+  cluster.add_client(kFirstClientId);
+
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 0)).has_value());
+  }
+  cluster.restore_replica(3);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 1)).has_value());
+  }
+  ASSERT_TRUE(cluster.harness().run_until(
+      [&] {
+        return cluster.replica(3).last_executed() >=
+               cluster.replica(0).last_executed();
+      },
+      60'000'000));
+  const StateTransferStats stats = cluster.replica(3).state_transfer_stats();
+  EXPECT_EQ(stats.chunk_requests_sent, 0u);
+  EXPECT_EQ(stats.transfers_completed, 0u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(StateTransferSim, StateRequestRebroadcastIsBackoffLimited) {
+  auto options = recovery_config(24);
+  // Legacy mode: recovery hinges on the StateRequest -> StateResponse
+  // round-trip, so an unanswered replica re-broadcasts — with backoff.
+  // (Streaming mode reads the commitment straight out of the checkpoint
+  // certificate and retries at the chunk level instead.)
+  options.config.streaming_state = false;
+  options.config.state_request_backoff_min_us = 100'000;
+  options.config.state_request_backoff_max_us = 1'000'000;
+  PbftCluster cluster(options, kv_factory());
+  cluster.add_client(kFirstClientId);
+
+  cluster.crash_replica(3);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 0)).has_value());
+  }
+  // Reattach replica 3 behind an environment that eats every state-transfer
+  // response: it keeps re-broadcasting StateRequest but can never restore.
+  cluster.restore_replica(3);
+  faults::EnvPolicy policy;
+  policy.record_observed = false;
+  policy.drop_inbound_if = [](const net::Envelope& env) {
+    return env.type == tag(MsgType::StateResponse) ||
+           env.type == tag(MsgType::StateChunkResponse);
+  };
+  auto muzzled = std::make_shared<faults::ByzantineEnv>(
+      cluster.replica_actor(3), policy, /*seed=*/9);
+  cluster.harness().replace_actor(principal::pbft_replica(3), muzzled);
+
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(cluster.execute(kFirstClientId, kv_put(i, 1500, 1)).has_value());
+  }
+  const std::uint64_t before =
+      cluster.replica(3).state_transfer_stats().state_requests_sent;
+  cluster.harness().run_for(5'000'000);
+  const std::uint64_t sent =
+      cluster.replica(3).state_transfer_stats().state_requests_sent - before;
+  // 5 s at 100 ms..1 s exponential backoff: a handful of requests, not one
+  // per 1 ms tick (which would be 5000).
+  EXPECT_GE(sent, 2u);
+  EXPECT_LE(sent, 20u);
+  EXPECT_TRUE(cluster.replica(3).awaiting_state());
+}
+
+}  // namespace
+}  // namespace sbft::pbft
