@@ -13,9 +13,17 @@ Hard assertions (exit nonzero on violation):
     broadcast path (scatter-gather batching actually engaged);
   * no decode errors on any node.
 
+With --shards N > 1 the deployment becomes N independent replica groups
+over one flat port plan (shard s, node k -> base_port + s*(replicas+1)+k);
+every replica process joins one shard with shard-derived keys, the loadgen
+routes per key and runs cross-shard multi-ops as 2PC-over-BFT. A nonzero
+--cross-fraction adds the torn-write audit: the run fails if any multi-op
+key group reads back inconsistent.
+
 Usage:
   python3 bench/run_cluster.py [--build-dir build] [--smoke]
                                [--clients N] [--replicas N]
+                               [--shards N] [--cross-fraction F]
                                [--out BENCH_transport.json]
 """
 
@@ -37,6 +45,11 @@ def parse_args():
                    help="fast CI variant: fewer clients, shorter measure")
     p.add_argument("--clients", type=int, default=None)
     p.add_argument("--replicas", type=int, default=4)
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--cross-fraction", type=float, default=0.0,
+                   dest="cross_fraction",
+                   help="fraction of ops issued as multi-key transactions "
+                        "(enables the torn-write audit when > 0)")
     p.add_argument("--base-port", type=int, default=18100)
     p.add_argument("--seed", type=int, default=42)
     p.add_argument("--out", default="BENCH_transport.json")
@@ -52,32 +65,42 @@ def run_stack(stack, args, base_port, tmp):
     warmup_ms = 500 if args.smoke else 1000
     measure_ms = 1500 if args.smoke else 4000
     # Replicas self-terminate (and write their stats) shortly after the
-    # loadgen's window closes; generous margin for process startup.
-    run_secs = (warmup_ms + measure_ms) // 1000 + (4 if args.smoke else 6)
+    # loadgen's window closes; generous margin for process startup, plus
+    # room for the post-run torn-write audit when one is requested.
+    audit_secs = 10 if args.cross_fraction > 0 else 0
+    run_secs = (warmup_ms + measure_ms) // 1000 + (4 if args.smoke else 6) \
+        + audit_secs
 
     common = ["--stack", stack, "--replicas", str(args.replicas),
               "--loadgens", "1", "--clients", str(clients),
-              "--base-port", str(base_port), "--seed", str(args.seed)]
+              "--base-port", str(base_port), "--seed", str(args.seed),
+              "--shards", str(args.shards)]
 
     replicas = []
     stats_paths = []
-    for r in range(args.replicas):
-        stats = tmp / f"{stack}_replica{r}.json"
-        stats_paths.append(stats)
-        log = open(tmp / f"{stack}_replica{r}.log", "w")
-        replicas.append(subprocess.Popen(
-            [str(replica_bin), "--replica", str(r),
-             "--run-secs", str(run_secs), "--stats-out", str(stats)] + common,
-            stdout=log, stderr=log))
+    for s in range(args.shards):
+        for r in range(args.replicas):
+            stats = tmp / f"{stack}_s{s}_replica{r}.json"
+            stats_paths.append(stats)
+            log = open(tmp / f"{stack}_s{s}_replica{r}.log", "w")
+            replicas.append(subprocess.Popen(
+                [str(replica_bin), "--replica", str(r),
+                 "--shard-index", str(s),
+                 "--run-secs", str(run_secs), "--stats-out", str(stats)]
+                + common,
+                stdout=log, stderr=log))
     time.sleep(0.5)  # let every replica bind before the loadgen dials
 
-    print(f"[{stack}] {args.replicas} replicas up, driving {clients} "
-          f"closed-loop clients for {measure_ms} ms ...", flush=True)
+    print(f"[{stack}] {args.shards} shard(s) x {args.replicas} replicas up, "
+          f"driving {clients} closed-loop clients for {measure_ms} ms ...",
+          flush=True)
     loadgen = subprocess.run(
         [str(loadgen_bin), "--loadgen", "0", "--mode", "closed",
-         "--warmup-ms", str(warmup_ms), "--measure-ms", str(measure_ms)]
+         "--warmup-ms", str(warmup_ms), "--measure-ms", str(measure_ms),
+         "--cross-fraction", str(args.cross_fraction),
+         "--multi-groups", "64" if args.smoke else "256"]
         + common,
-        capture_output=True, text=True, timeout=run_secs + 60)
+        capture_output=True, text=True, timeout=run_secs + audit_secs + 60)
 
     failures = []
     if loadgen.returncode != 0:
@@ -117,6 +140,15 @@ def run_stack(stack, args, base_port, tmp):
             failures.append("run did not sustain through every quarter")
         if not report.get("completed_ops"):
             failures.append("zero completed operations")
+        if args.cross_fraction > 0:
+            sharding = report.get("sharding", {})
+            if not sharding.get("groups_checked"):
+                failures.append("torn-write audit checked zero groups")
+            if sharding.get("torn_groups"):
+                failures.append(
+                    f"torn multi-op groups: {sharding['torn_groups']}")
+            if args.shards > 1 and not sharding.get("cross_shard_tx"):
+                failures.append("no cross-shard transactions were driven")
         print(f"[{stack}] {report.get('ops_per_sec', 0):.0f} ops/s, "
               f"p50 {report.get('p50_us', 0) / 1000:.1f} ms, "
               f"replica frames/writev "
@@ -144,6 +176,8 @@ def main():
         "bench": "transport",
         "smoke": args.smoke,
         "replicas": args.replicas,
+        "shards": args.shards,
+        "cross_fraction": args.cross_fraction,
         "clients": args.clients or (200 if args.smoke else 1000),
         "stacks": results,
     }

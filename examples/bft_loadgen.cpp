@@ -1,6 +1,8 @@
 // Load-generator process of a deployed cluster (see bench/run_cluster.py).
 //
 //   bft_loadgen --stack pbft --loadgen 0 --replicas 4 --loadgens 1 ...
+//   ...       [--shards 1] [--cross-fraction 0.0] ...
+//   ...       [--multi-keys 2] [--multi-groups 1024] ...
 //   ...       --clients 1000 --base-port 18000 [--host 127.0.0.1] ...
 //   ...       [--uds-dir /tmp/sbft] [--seed 42] [--mode closed|open] ...
 //   ...       [--warmup-ms 500] [--measure-ms 2000] [--think-us 0]
@@ -9,10 +11,18 @@
 // the live replicas and prints the standard workload JSON `Report` (plus
 // the transport counters) to stdout. Exit code 0 iff the run sustained
 // traffic and completed operations.
+//
+// With `--shards N > 1` every client becomes a shard router over one
+// transport per shard (single-key ops one-group fast, cross-shard
+// multi-ops via 2PC-over-BFT), and a `--cross-fraction > 0` run ends
+// with the torn-write audit — its verdict rides in the report's
+// `sharding` object.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "runtime/workload/tcp_cluster.hpp"
 
@@ -40,6 +50,12 @@ namespace {
   return v ? std::strtoull(v, nullptr, 10) : fallback;
 }
 
+[[nodiscard]] double arg_f64(int argc, char** argv, const char* flag,
+                             double fallback) {
+  const char* v = arg_value(argc, argv, flag, nullptr);
+  return v ? std::strtod(v, nullptr) : fallback;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,15 +66,22 @@ int main(int argc, char** argv) {
       arg_u64(argc, argv, "--loadgens", 1));
   const auto loadgen = static_cast<std::uint32_t>(
       arg_u64(argc, argv, "--loadgen", 0));
+  const auto shards = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(arg_u64(argc, argv, "--shards", 1)));
   const std::string host = arg_value(argc, argv, "--host", "127.0.0.1");
   const auto base_port = arg_u64(argc, argv, "--base-port", 18000);
   const std::string uds_dir = arg_value(argc, argv, "--uds-dir", "");
-  for (std::uint32_t node = 0; node < topology.nodes(); ++node) {
-    topology.addrs.push_back(
+  // Flat address plan over every shard; shard 0's slice doubles as the
+  // unsharded topology.
+  std::vector<std::string> flat_addrs;
+  for (std::uint32_t node = 0; node < shards * topology.nodes(); ++node) {
+    flat_addrs.push_back(
         uds_dir.empty()
             ? host + ":" + std::to_string(base_port + node)
             : "unix:" + uds_dir + "/node" + std::to_string(node) + ".sock");
   }
+  topology.addrs.assign(flat_addrs.begin(),
+                        flat_addrs.begin() + topology.nodes());
 
   Options options;
   options.stack = std::strcmp(arg_value(argc, argv, "--stack", "pbft"),
@@ -86,8 +109,21 @@ int main(int argc, char** argv) {
   options.protocol.pipeline_depth = static_cast<std::size_t>(
       arg_u64(argc, argv, "--pipeline-depth", 8));
   options.protocol.request_timeout_us = 2'000'000;
+  options.shards = shards;
+  options.cross_shard_fraction =
+      arg_f64(argc, argv, "--cross-fraction", 0.0);
+  options.multi_keys = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--multi-keys", 2));
+  options.multi_groups = arg_u64(argc, argv, "--multi-groups", 1024);
 
-  const Report report = workload::run_tcp_workload(options, topology, loadgen);
+  const Report report =
+      shards > 1
+          ? workload::run_sharded_tcp_workload(
+                options,
+                workload::sharded_topologies(shards, topology.replicas,
+                                             topology.loadgens, flat_addrs),
+                loadgen)
+          : workload::run_tcp_workload(options, topology, loadgen);
   std::printf("%s\n", workload::report_json(options, report).c_str());
   std::fflush(stdout);
 

@@ -1,6 +1,7 @@
 // One replica host of a deployed cluster (see bench/run_cluster.py).
 //
 //   bft_replica --stack pbft --replica 0 --replicas 4 --loadgens 1 ...
+//   ...       [--shards 1 --shard-index 0] ...
 //   ...       --clients 1000 --base-port 18000 [--host 127.0.0.1] ...
 //   ...       [--uds-dir /tmp/sbft] [--seed 42] [--workers 4] ...
 //   ...       [--batch-max 200] [--pipeline-depth 8] ...
@@ -10,6 +11,11 @@
 // seed — every process of a deployment derives identical keys, so nothing
 // is exchanged out of band — serves it over a TcpTransport for
 // `--run-secs`, then writes its transport counters as JSON and exits 0.
+//
+// A sharded deployment (`--shards N`) is N fully independent groups over
+// one flat address plan: this process joins shard `--shard-index` only
+// (its slice of the plan) and derives its keys from the shard seed, so
+// groups share no key material.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -76,14 +82,20 @@ int main(int argc, char** argv) {
       arg_u64(argc, argv, "--loadgens", 1));
   const auto replica = static_cast<ReplicaId>(
       arg_u64(argc, argv, "--replica", 0));
+  const auto shards = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--shards", 1));
+  const auto shard_index = static_cast<std::uint32_t>(
+      arg_u64(argc, argv, "--shard-index", 0));
   const std::string host = arg_value(argc, argv, "--host", "127.0.0.1");
   const auto base_port = arg_u64(argc, argv, "--base-port", 18000);
   const std::string uds_dir = arg_value(argc, argv, "--uds-dir", "");
+  // This shard's slice of the flat `shards * nodes()` address plan.
   for (std::uint32_t node = 0; node < topology.nodes(); ++node) {
+    const std::uint32_t flat = shard_index * topology.nodes() + node;
     topology.addrs.push_back(
         uds_dir.empty()
-            ? host + ":" + std::to_string(base_port + node)
-            : "unix:" + uds_dir + "/node" + std::to_string(node) + ".sock");
+            ? host + ":" + std::to_string(base_port + flat)
+            : "unix:" + uds_dir + "/node" + std::to_string(flat) + ".sock");
   }
 
   Options options;
@@ -105,15 +117,16 @@ int main(int argc, char** argv) {
   options.protocol.pipeline_depth = static_cast<std::size_t>(
       arg_u64(argc, argv, "--pipeline-depth", 8));
   options.protocol.request_timeout_us = 2'000'000;
+  if (shards > 1) options = workload::shard_options(options, shard_index);
 
   ReplicaNode node(options, topology, replica, {});
   if (!node.start()) {
-    std::fprintf(stderr, "bft_replica %u: %s\n", replica,
+    std::fprintf(stderr, "bft_replica %u/%u: %s\n", shard_index, replica,
                  node.transport().last_error().c_str());
     return 1;
   }
-  std::fprintf(stderr, "bft_replica %u up (%s, %s)\n", replica,
-               workload::to_string(options.stack),
+  std::fprintf(stderr, "bft_replica shard %u replica %u up (%s, %s)\n",
+               shard_index, replica, workload::to_string(options.stack),
                topology.addrs[replica].c_str());
 
   const auto run_secs = arg_u64(argc, argv, "--run-secs", 10);

@@ -1,5 +1,7 @@
 #include "apps/kv_store.hpp"
 
+#include <algorithm>
+
 #include "common/serde.hpp"
 #include "crypto/sha256.hpp"
 
@@ -14,6 +16,55 @@ namespace {
   w.bytes(key);
   w.bytes(a);
   w.bytes(b);
+  return std::move(w).take();
+}
+
+void write_subs(Writer& w, const std::vector<SubOp>& subs) {
+  w.u32(static_cast<std::uint32_t>(subs.size()));
+  for (const auto& sub : subs) {
+    w.u8(static_cast<std::uint8_t>(sub.op));
+    w.bytes(sub.key);
+    w.bytes(sub.expected);
+    w.bytes(sub.value);
+  }
+}
+
+[[nodiscard]] bool read_subs(Reader& r, std::vector<SubOp>& subs) {
+  const std::uint32_t count = r.u32();
+  // Plausibility bound before any reserve: a hostile count must not
+  // drive allocation.
+  if (r.failed() || count == 0 || count > kMaxMultiSubs) return false;
+  subs.reserve(count);
+  for (std::uint32_t i = 0; i < count && !r.failed(); ++i) {
+    SubOp sub;
+    sub.op = static_cast<KvOp>(r.u8());
+    sub.key = r.bytes();
+    sub.expected = r.bytes();
+    sub.value = r.bytes();
+    if (sub.op != KvOp::Put && sub.op != KvOp::Cas && sub.op != KvOp::Del) {
+      return false;
+    }
+    subs.push_back(std::move(sub));
+  }
+  return !r.failed();
+}
+
+void write_txid(Writer& w, TxId txid) {
+  w.u64(txid.client);
+  w.u64(txid.serial);
+}
+
+[[nodiscard]] TxId read_txid(Reader& r) {
+  TxId txid;
+  txid.client = r.u64();
+  txid.serial = r.u64();
+  return txid;
+}
+
+[[nodiscard]] Bytes encode_tx_ref(KvOp op, TxId txid) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(op));
+  write_txid(w, txid);
   return std::move(w).take();
 }
 }  // namespace
@@ -33,6 +84,60 @@ Bytes encode_get(ByteView key) { return encode_op(KvOp::Get, key, {}, {}); }
 Bytes encode_del(ByteView key) { return encode_op(KvOp::Del, key, {}, {}); }
 Bytes encode_cas(ByteView key, ByteView expected, ByteView value) {
   return encode_op(KvOp::Cas, key, expected, value);
+}
+
+Bytes encode_multi(const MultiOp& multi) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(KvOp::Multi));
+  write_subs(w, multi.subs);
+  return std::move(w).take();
+}
+
+std::optional<MultiOp> decode_multi(ByteView operation) {
+  Reader r(operation);
+  if (static_cast<KvOp>(r.u8()) != KvOp::Multi || r.failed()) {
+    return std::nullopt;
+  }
+  MultiOp multi;
+  if (!read_subs(r, multi.subs) || !r.done()) return std::nullopt;
+  return multi;
+}
+
+Bytes encode_tx_prepare(TxId txid, std::uint32_t home_shard, bool is_home,
+                        std::uint32_t expiry_ops,
+                        const std::vector<SubOp>& subs) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(KvOp::TxPrepare));
+  write_txid(w, txid);
+  w.u32(home_shard);
+  w.boolean(is_home);
+  w.u32(expiry_ops);
+  write_subs(w, subs);
+  return std::move(w).take();
+}
+
+Bytes encode_tx_commit(TxId txid) {
+  return encode_tx_ref(KvOp::TxCommit, txid);
+}
+Bytes encode_tx_abort(TxId txid) { return encode_tx_ref(KvOp::TxAbort, txid); }
+Bytes encode_tx_resolve(TxId txid) {
+  return encode_tx_ref(KvOp::TxResolve, txid);
+}
+
+Bytes encode_busy_info(const BusyInfo& info) {
+  Writer w;
+  write_txid(w, info.blocker);
+  w.u32(info.home_shard);
+  return std::move(w).take();
+}
+
+std::optional<BusyInfo> decode_busy_info(ByteView data) {
+  Reader r(data);
+  BusyInfo info;
+  info.blocker = read_txid(r);
+  info.home_shard = r.u32();
+  if (r.failed() || !r.done()) return std::nullopt;
+  return info;
 }
 
 bool is_read_only(ByteView operation) {
@@ -55,30 +160,114 @@ std::optional<Reply> decode_reply(ByteView data) {
   return reply;
 }
 
-}  // namespace kv
-
-namespace {
-[[nodiscard]] Bytes encode_reply(KvStatus status, ByteView value = {}) {
+Bytes encode_reply(KvStatus status, ByteView value) {
   Writer w;
   w.u8(static_cast<std::uint8_t>(status));
   w.bytes(value);
   return std::move(w).take();
 }
+
+std::optional<ByteView> key_of(ByteView operation) {
+  Reader r(operation);
+  const auto op = static_cast<KvOp>(r.u8());
+  if (r.failed()) return std::nullopt;
+  if (op != KvOp::Put && op != KvOp::Get && op != KvOp::Del &&
+      op != KvOp::Cas) {
+    return std::nullopt;
+  }
+  const ByteView key = r.view(r.u32());
+  if (r.failed()) return std::nullopt;
+  r.skip(r.u32());
+  r.skip(r.u32());
+  if (r.failed() || !r.done()) return std::nullopt;
+  return key;
+}
+
+std::uint32_t shard_of(ByteView key, std::uint32_t shards) {
+  if (shards <= 1) return 0;
+  // FNV-1a 64: tiny, deterministic, endian-free — the whole fleet (C++
+  // replicas, loadgens, run_cluster.py) must compute the same partition.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t byte : key) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<std::uint32_t>(h % shards);
+}
+
+OpKind classify(ByteView operation) {
+  Reader r(operation);
+  const auto op = static_cast<KvOp>(r.u8());
+  if (r.failed()) return OpKind::Invalid;
+  switch (op) {
+    case KvOp::Put:
+    case KvOp::Get:
+    case KvOp::Del:
+    case KvOp::Cas:
+      return key_of(operation) ? OpKind::SingleKey : OpKind::Invalid;
+    case KvOp::Multi:
+      return OpKind::Multi;
+    case KvOp::TxPrepare:
+    case KvOp::TxCommit:
+    case KvOp::TxAbort:
+    case KvOp::TxResolve:
+      return OpKind::Tx;
+  }
+  return OpKind::Invalid;
+}
+
+}  // namespace kv
+
+namespace {
+using kv::encode_reply;
 }  // namespace
 
 Bytes KvStore::execute(ByteView operation) {
+  // The logical clock ticks once per ordered op and drives the home
+  // shard's deterministic presumed-abort — replicas execute the same op
+  // sequence, so they expire the same transactions at the same instant.
+  ++exec_ops_;
+  expire_pending();
+
   Reader r(operation);
   const auto op = static_cast<KvOp>(r.u8());
-  const Bytes key = r.bytes();
-  const Bytes a = r.bytes();
-  const Bytes b = r.bytes();
-  if (!r.done()) return encode_reply(KvStatus::BadRequest);
-
+  if (r.failed()) return encode_reply(KvStatus::BadRequest);
   switch (op) {
-    case KvOp::Put: {
+    case KvOp::Put:
+    case KvOp::Get:
+    case KvOp::Del:
+    case KvOp::Cas: {
+      const Bytes key = r.bytes();
+      const Bytes a = r.bytes();
+      const Bytes b = r.bytes();
+      if (r.failed() || !r.done()) return encode_reply(KvStatus::BadRequest);
+      return exec_single(op, key, a, b);
+    }
+    case KvOp::Multi:
+      return exec_multi(operation);
+    case KvOp::TxPrepare:
+      return exec_tx_prepare(operation);
+    case KvOp::TxCommit:
+    case KvOp::TxAbort:
+      return exec_tx_decide(op, operation);
+    case KvOp::TxResolve:
+      return exec_tx_resolve(operation);
+  }
+  return encode_reply(KvStatus::BadRequest);
+}
+
+Bytes KvStore::exec_single(KvOp op, const Bytes& key, const Bytes& a,
+                           const Bytes& b) {
+  // Writes respect transaction locks (strict 2PL keeps cross-shard
+  // batches serializable even against single-key traffic); reads are
+  // lock-free read-committed.
+  if (op != KvOp::Get) {
+    if (auto busy = busy_check(key, std::nullopt)) return *std::move(busy);
+  }
+  switch (op) {
+    case KvOp::Put:
       table_[key] = a;
       return encode_reply(KvStatus::Ok);
-    }
     case KvOp::Get: {
       const auto it = table_.find(key);
       if (it == table_.end()) return encode_reply(KvStatus::NotFound);
@@ -97,8 +286,201 @@ Bytes KvStore::execute(ByteView operation) {
       it->second = b;
       return encode_reply(KvStatus::Ok);
     }
+    default:
+      return encode_reply(KvStatus::BadRequest);
   }
-  return encode_reply(KvStatus::BadRequest);
+}
+
+std::optional<Bytes> KvStore::busy_check(
+    const Bytes& key, const std::optional<kv::TxId>& self) const {
+  const auto lock = locks_.find(key);
+  if (lock == locks_.end()) return std::nullopt;
+  if (self && lock->second == *self) return std::nullopt;
+  kv::BusyInfo info;
+  info.blocker = lock->second;
+  const auto pending = pending_.find(lock->second);
+  info.home_shard =
+      pending != pending_.end() ? pending->second.home_shard : 0;
+  return encode_reply(KvStatus::TxBusy, kv::encode_busy_info(info));
+}
+
+Bytes KvStore::exec_multi(ByteView operation) {
+  const auto multi = kv::decode_multi(operation);
+  if (!multi) return encode_reply(KvStatus::BadRequest);
+  // Validate everything, then apply everything: the batch is atomic.
+  for (const auto& sub : multi->subs) {
+    if (auto busy = busy_check(sub.key, std::nullopt)) return *std::move(busy);
+  }
+  for (const auto& sub : multi->subs) {
+    if (sub.op != KvOp::Cas) continue;
+    const auto it = table_.find(sub.key);
+    if (it == table_.end()) return encode_reply(KvStatus::NotFound);
+    if (it->second != sub.expected) {
+      return encode_reply(KvStatus::CasMismatch, it->second);
+    }
+  }
+  apply_subs(multi->subs);
+  return encode_reply(KvStatus::Ok);
+}
+
+Bytes KvStore::exec_tx_prepare(ByteView operation) {
+  Reader r(operation);
+  (void)r.u8();
+  const kv::TxId txid{r.u64(), r.u64()};
+  const std::uint32_t home_shard = r.u32();
+  const bool is_home = r.boolean();
+  const std::uint32_t expiry_ops = r.u32();
+  PendingTx tx;
+  if (r.failed() || !kv::read_subs(r, tx.subs) || !r.done()) {
+    return encode_reply(KvStatus::BadRequest);
+  }
+  // A decision (including a presumed abort already recorded for this
+  // txid) outranks any late prepare.
+  if (const auto decided = decision_of(txid)) {
+    return encode_reply(*decided ? KvStatus::TxCommitted
+                                 : KvStatus::TxAborted);
+  }
+  if (pending_.contains(txid)) return encode_reply(KvStatus::Ok);  // dup
+
+  for (const auto& sub : tx.subs) {
+    if (auto busy = busy_check(sub.key, txid)) return *std::move(busy);
+  }
+  // CAS validation happens at prepare time; the locks then freeze the
+  // read values until the decision, so the vote stays truthful.
+  for (const auto& sub : tx.subs) {
+    if (sub.op != KvOp::Cas) continue;
+    const auto it = table_.find(sub.key);
+    if (it == table_.end()) return encode_reply(KvStatus::NotFound);
+    if (it->second != sub.expected) {
+      return encode_reply(KvStatus::CasMismatch, it->second);
+    }
+  }
+  tx.home_shard = home_shard;
+  tx.is_home = is_home;
+  for (const auto& sub : tx.subs) locks_[sub.key] = txid;
+  if (is_home) {
+    tx.expires_at = exec_ops_ + std::max<std::uint32_t>(expiry_ops, 1);
+    expiry_.emplace(tx.expires_at, txid);
+  }
+  pending_.emplace(txid, std::move(tx));
+  return encode_reply(KvStatus::Ok);
+}
+
+Bytes KvStore::exec_tx_decide(KvOp op, ByteView operation) {
+  Reader r(operation);
+  (void)r.u8();
+  const kv::TxId txid{r.u64(), r.u64()};
+  if (r.failed() || !r.done()) return encode_reply(KvStatus::BadRequest);
+  const bool commit = op == KvOp::TxCommit;
+  if (const auto decided = decision_of(txid)) {
+    // Idempotent replay: answer the recorded decision, never re-apply.
+    // A commit after a recorded abort (home lease expired first) reports
+    // TxAborted so the coordinator unwinds instead of tearing.
+    return encode_reply(*decided ? KvStatus::TxCommitted
+                                 : KvStatus::TxAborted);
+  }
+  const auto it = pending_.find(txid);
+  if (it == pending_.end()) {
+    if (commit) {
+      // Commit for a transaction this shard never prepared (or already
+      // presumed dead): refuse — committing would apply an unknown
+      // write set.
+      return encode_reply(KvStatus::BadRequest);
+    }
+    record_decision(txid, false);  // presumed abort is always safe
+    return encode_reply(KvStatus::TxAborted);
+  }
+  if (commit) apply_subs(it->second.subs);
+  release_tx(txid, it->second);
+  pending_.erase(it);
+  record_decision(txid, commit);
+  return encode_reply(commit ? KvStatus::TxCommitted : KvStatus::TxAborted);
+}
+
+Bytes KvStore::exec_tx_resolve(ByteView operation) {
+  Reader r(operation);
+  (void)r.u8();
+  const kv::TxId txid{r.u64(), r.u64()};
+  if (r.failed() || !r.done()) return encode_reply(KvStatus::BadRequest);
+  // expire_pending() already ran for this op, so a dead home lease has
+  // been converted into an abort decision by now.
+  if (const auto decided = decision_of(txid)) {
+    return encode_reply(*decided ? KvStatus::TxCommitted
+                                 : KvStatus::TxAborted);
+  }
+  if (pending_.contains(txid)) return encode_reply(KvStatus::TxUndecided);
+  // Unknown at the decision authority: presumed abort, recorded so any
+  // late prepare or commit for this txid is refused consistently.
+  record_decision(txid, false);
+  return encode_reply(KvStatus::TxAborted);
+}
+
+void KvStore::apply_subs(const std::vector<kv::SubOp>& subs) {
+  for (const auto& sub : subs) {
+    switch (sub.op) {
+      case KvOp::Put:
+      case KvOp::Cas:
+        table_[sub.key] = sub.value;
+        break;
+      case KvOp::Del:
+        table_.erase(sub.key);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+void KvStore::release_tx(const kv::TxId& txid, const PendingTx& tx) {
+  for (const auto& sub : tx.subs) {
+    const auto lock = locks_.find(sub.key);
+    if (lock != locks_.end() && lock->second == txid) locks_.erase(lock);
+  }
+  if (tx.is_home) {
+    const auto [begin, end] = expiry_.equal_range(tx.expires_at);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == txid) {
+        expiry_.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+void KvStore::record_decision(const kv::TxId& txid, bool commit) {
+  if (decision_cap_ == 0) return;
+  if (!decisions_.emplace(txid, commit).second) return;
+  decision_order_.push_back(txid);
+  while (decision_order_.size() > decision_cap_) {
+    decisions_.erase(decision_order_.front());
+    decision_order_.pop_front();
+  }
+}
+
+std::optional<bool> KvStore::decision_of(const kv::TxId& txid) const {
+  const auto it = decisions_.find(txid);
+  if (it == decisions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::expire_pending() {
+  while (!expiry_.empty() && expiry_.begin()->first <= exec_ops_) {
+    const kv::TxId txid = expiry_.begin()->second;
+    expiry_.erase(expiry_.begin());
+    const auto it = pending_.find(txid);
+    if (it == pending_.end()) continue;  // decided meanwhile
+    for (const auto& sub : it->second.subs) {
+      const auto lock = locks_.find(sub.key);
+      if (lock != locks_.end() && lock->second == txid) locks_.erase(lock);
+    }
+    pending_.erase(it);
+    record_decision(txid, false);
+  }
+}
+
+KvStore::TxFootprint KvStore::tx_footprint() const noexcept {
+  return TxFootprint{locks_.size(), pending_.size(), decisions_.size(),
+                     expiry_.size()};
 }
 
 bool KvStore::is_read_only(ByteView operation) const {
@@ -117,12 +499,96 @@ Bytes KvStore::execute_read(ByteView operation) const {
   return encode_reply(KvStatus::Ok, it->second);
 }
 
+namespace {
+// Tx-section framing marker. The section is appended after the KV
+// records only when transaction state exists, so a store that never saw
+// a transaction snapshots byte-identically to the pre-sharding format.
+constexpr std::uint8_t kTxSectionTag = 1;
+// Plausibility ceilings for snapshot decode, checked before any loop.
+constexpr std::uint64_t kMaxSnapshotPending = 1u << 20;
+constexpr std::uint64_t kMaxSnapshotDecisions = 1u << 20;
+}  // namespace
+
+void KvStore::serialize_tx_section(Writer& w) const {
+  w.u8(kTxSectionTag);
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const auto& [txid, tx] : pending_) {
+    w.u64(txid.client);
+    w.u64(txid.serial);
+    w.u32(tx.home_shard);
+    w.boolean(tx.is_home);
+    // Leases serialize as ops-remaining, not absolute exec_ops_ deadlines:
+    // expiry only ever compares differences of the logical clock, and a
+    // relative wire format keeps the state digest a pure function of the
+    // application state (two replicas with equal tables and tx state must
+    // digest equal regardless of how many ops each has executed).
+    w.u64(tx.expires_at > exec_ops_ ? tx.expires_at - exec_ops_ : 0);
+    kv::write_subs(w, tx.subs);
+  }
+  w.u32(static_cast<std::uint32_t>(decision_order_.size()));
+  for (const auto& txid : decision_order_) {
+    w.u64(txid.client);
+    w.u64(txid.serial);
+    w.boolean(decisions_.at(txid));
+  }
+}
+
+bool KvStore::restore_tx_section(Reader& r) {
+  if (static_cast<std::uint8_t>(r.u8()) != kTxSectionTag || r.failed()) {
+    return false;
+  }
+  const std::uint32_t pending_count = r.u32();
+  if (r.failed() || pending_count > kMaxSnapshotPending) return false;
+  std::map<kv::TxId, PendingTx> pending;
+  for (std::uint32_t i = 0; i < pending_count && !r.failed(); ++i) {
+    const kv::TxId txid{r.u64(), r.u64()};
+    PendingTx tx;
+    tx.home_shard = r.u32();
+    tx.is_home = r.boolean();
+    // Wire carries ops-remaining; the restored replica's clock restarts at
+    // zero, so the deadline is the remaining count itself and every replica
+    // (restored or not) expires the lease after the same further ops.
+    tx.expires_at = r.u64();
+    if (!kv::read_subs(r, tx.subs)) return false;
+    if (!pending.emplace(txid, std::move(tx)).second) return false;
+  }
+  const std::uint32_t decision_count = r.u32();
+  if (r.failed() || decision_count > kMaxSnapshotDecisions) return false;
+  std::map<kv::TxId, bool> decisions;
+  std::deque<kv::TxId> decision_order;
+  for (std::uint32_t i = 0; i < decision_count && !r.failed(); ++i) {
+    const kv::TxId txid{r.u64(), r.u64()};
+    const bool commit = r.boolean();
+    if (!decisions.emplace(txid, commit).second) return false;
+    decision_order.push_back(txid);
+  }
+  if (r.failed() || !r.done()) return false;
+  exec_ops_ = 0;
+  pending_ = std::move(pending);
+  decisions_ = std::move(decisions);
+  decision_order_ = std::move(decision_order);
+  rebuild_tx_indexes();
+  return true;
+}
+
+void KvStore::rebuild_tx_indexes() {
+  locks_.clear();
+  expiry_.clear();
+  for (const auto& [txid, tx] : pending_) {
+    for (const auto& sub : tx.subs) locks_[sub.key] = txid;
+    if (tx.is_home) expiry_.emplace(tx.expires_at, txid);
+  }
+}
+
 Bytes KvStore::snapshot() const {
   Writer w;
   w.u64(table_.size());
   for (const auto& [key, value] : table_) {
     w.bytes(key);
     w.bytes(value);
+  }
+  if (!pending_.empty() || !decision_order_.empty()) {
+    serialize_tx_section(w);
   }
   return std::move(w).take();
 }
@@ -136,7 +602,18 @@ bool KvStore::restore(ByteView snapshot) {
     Bytes value = r.bytes();
     table.emplace(std::move(key), std::move(value));
   }
-  if (!r.done()) return false;
+  if (r.failed()) return false;
+  if (r.done()) {
+    // Pre-sharding format: no tx section means no transaction state.
+    table_ = std::move(table);
+    exec_ops_ = 0;
+    pending_.clear();
+    decisions_.clear();
+    decision_order_.clear();
+    rebuild_tx_indexes();
+    return true;
+  }
+  if (!restore_tx_section(r)) return false;
   table_ = std::move(table);
   return true;
 }
@@ -166,6 +643,12 @@ void KvStore::snapshot_chunks(
     Writer w;
     w.bytes(key);
     w.bytes(value);
+    append(buf, w.data());
+    flush_full();
+  }
+  if (!pending_.empty() || !decision_order_.empty()) {
+    Writer w;
+    serialize_tx_section(w);
     append(buf, w.data());
     flush_full();
   }
@@ -238,21 +721,43 @@ bool KvStore::apply_chunk(ByteView data) {
   }
   apply_buf_.erase(apply_buf_.begin(), apply_buf_.begin() +
                                            static_cast<std::ptrdiff_t>(off));
-  // Bytes past the final record are framing garbage.
-  if (apply_records_seen_ == apply_records_expected_ && !apply_buf_.empty()) {
-    apply_failed_ = true;
-    return false;
-  }
+  // Bytes past the final record are the transaction section; it is small
+  // (bounded by the pending/decision caps), so buffering it until
+  // apply_end keeps the streaming-memory story intact.
   return true;
 }
 
 bool KvStore::apply_end() {
-  if (apply_failed_ || !apply_header_seen_ || !apply_buf_.empty() ||
+  if (apply_failed_ || !apply_header_seen_ ||
       apply_records_seen_ != apply_records_expected_) {
     apply_abort();
     return false;
   }
+  std::uint64_t exec_ops = 0;
+  std::map<kv::TxId, PendingTx> pending;
+  std::map<kv::TxId, bool> decisions;
+  std::deque<kv::TxId> decision_order;
+  if (!apply_buf_.empty()) {
+    // Trailing bytes must parse as a well-formed tx section; reuse the
+    // materialized parser on a throwaway store state via restore_tx_section
+    // semantics, but without clobbering live state on failure.
+    Reader r(apply_buf_);
+    KvStore scratch;
+    if (!scratch.restore_tx_section(r)) {
+      apply_abort();
+      return false;
+    }
+    exec_ops = scratch.exec_ops_;
+    pending = std::move(scratch.pending_);
+    decisions = std::move(scratch.decisions_);
+    decision_order = std::move(scratch.decision_order_);
+  }
   table_ = std::move(staging_table_);
+  exec_ops_ = exec_ops;
+  pending_ = std::move(pending);
+  decisions_ = std::move(decisions);
+  decision_order_ = std::move(decision_order);
+  rebuild_tx_indexes();
   apply_abort();
   return true;
 }

@@ -2,25 +2,97 @@
 //
 // Operations are serialized with the project codec; `kv::` helpers build
 // and parse them so clients, tests and workload generators share one format.
+//
+// Beyond the classic single-key ops the store is a 2PC *participant* for
+// cross-shard transactions (PR 9). Prepare/commit/abort records arrive as
+// ordered ops like any other request, so every phase of a transaction is
+// BFT-replicated inside its shard and survives replica recovery via the
+// snapshot/state-transfer path:
+//
+//  * `TxPrepare` validates the sub-ops (CAS expectations), acquires
+//    per-key locks and parks the write set in a pending table. The shard
+//    flagged `is_home` is the *decision authority*: only it may later
+//    presume-abort the transaction, driven by a deterministic logical
+//    clock (executed-op count), so a crashed coordinator cannot wedge a
+//    shard and replicas never disagree about an expiry.
+//  * `TxCommit` / `TxAbort` apply or discard the pending write set and
+//    record the decision in a FIFO-capped table, making retransmitted or
+//    replayed decisions idempotent.
+//  * `TxResolve` is the termination protocol: it answers with the
+//    recorded decision, reports `TxUndecided` while the home lease is
+//    live, and records a presumed-abort for unknown transactions.
+//
+// Locks block conflicting *writes* (single-key or transactional) with a
+// `TxBusy` reply naming the blocker and its home shard, which is exactly
+// what a recovery client needs to drive `TxResolve`. Reads stay
+// lock-free (read-committed) so the PR-5 read fast path is untouched.
 #pragma once
 
+#include <compare>
+#include <deque>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "apps/app.hpp"
+#include "common/serde.hpp"
 
 namespace sbft::apps {
 
-enum class KvOp : std::uint8_t { Put = 1, Get = 2, Del = 3, Cas = 4 };
+enum class KvOp : std::uint8_t {
+  Put = 1,
+  Get = 2,
+  Del = 3,
+  Cas = 4,
+  // Sharded/transactional ops (PR 9).
+  Multi = 5,      // atomic multi-key batch, single shard
+  TxPrepare = 6,  // 2PC phase 1: validate + lock + park write set
+  TxCommit = 7,   // 2PC phase 2: apply pending write set
+  TxAbort = 8,    // 2PC phase 2: discard pending write set
+  TxResolve = 9,  // termination protocol against the home shard
+};
 enum class KvStatus : std::uint8_t {
   Ok = 0,
   NotFound = 1,
   CasMismatch = 2,
   BadRequest = 3,
+  TxBusy = 4,       // key locked by another transaction (blocker in value)
+  TxCommitted = 5,  // decision record: committed
+  TxAborted = 6,    // decision record: aborted
+  TxUndecided = 7,  // home lease still live; retry resolve later
 };
 
 namespace kv {
+
+/// Transaction id: issuing client + per-client serial. Globally unique
+/// because client ids are.
+struct TxId {
+  std::uint64_t client{0};
+  std::uint64_t serial{0};
+  auto operator<=>(const TxId&) const = default;
+};
+
+/// One sub-operation of a multi-key batch. `expected` is only meaningful
+/// for Cas (compare-and-swap against the current value).
+struct SubOp {
+  KvOp op{KvOp::Put};
+  Bytes key;
+  Bytes expected;
+  Bytes value;
+  auto operator<=>(const SubOp&) const = default;
+};
+
+/// Multi-key batch: applied atomically. Single-shard batches execute as
+/// one ordered `Multi` op; cross-shard batches are split into per-shard
+/// `TxPrepare` write sets by the router's 2PC coordinator.
+struct MultiOp {
+  std::vector<SubOp> subs;
+};
+
+/// Plausibility ceiling on sub-ops per batch, checked before any reserve.
+inline constexpr std::size_t kMaxMultiSubs = 64;
 
 [[nodiscard]] Bytes encode_put(ByteView key, ByteView value);
 [[nodiscard]] Bytes encode_get(ByteView key);
@@ -32,11 +104,44 @@ namespace kv {
 /// Compare-and-swap: writes `value` only if the current value == expected.
 [[nodiscard]] Bytes encode_cas(ByteView key, ByteView expected, ByteView value);
 
+[[nodiscard]] Bytes encode_multi(const MultiOp& multi);
+[[nodiscard]] std::optional<MultiOp> decode_multi(ByteView operation);
+
+[[nodiscard]] Bytes encode_tx_prepare(TxId txid, std::uint32_t home_shard,
+                                      bool is_home, std::uint32_t expiry_ops,
+                                      const std::vector<SubOp>& subs);
+[[nodiscard]] Bytes encode_tx_commit(TxId txid);
+[[nodiscard]] Bytes encode_tx_abort(TxId txid);
+[[nodiscard]] Bytes encode_tx_resolve(TxId txid);
+
+/// Payload of a `TxBusy` reply: who holds the lock and where to resolve.
+struct BusyInfo {
+  TxId blocker;
+  std::uint32_t home_shard{0};
+};
+[[nodiscard]] Bytes encode_busy_info(const BusyInfo& info);
+[[nodiscard]] std::optional<BusyInfo> decode_busy_info(ByteView data);
+
 struct Reply {
   KvStatus status{KvStatus::BadRequest};
   Bytes value;  // previous/current value where applicable
 };
 [[nodiscard]] std::optional<Reply> decode_reply(ByteView data);
+[[nodiscard]] Bytes encode_reply(KvStatus status, ByteView value = {});
+
+/// The key a well-formed single-key op (Put/Get/Del/Cas) addresses, as a
+/// view into `operation`. nullopt for batches, tx records and garbage —
+/// callers route those separately.
+[[nodiscard]] std::optional<ByteView> key_of(ByteView operation);
+
+/// Deterministic hash partition of the keyspace (FNV-1a 64). Every
+/// client, replica and tool must agree on this map, so it is a pure
+/// function of the bytes and the shard count.
+[[nodiscard]] std::uint32_t shard_of(ByteView key, std::uint32_t shards);
+
+/// Coarse op classification for routers.
+enum class OpKind : std::uint8_t { SingleKey, Multi, Tx, Invalid };
+[[nodiscard]] OpKind classify(ByteView operation);
 
 /// True iff `operation` is a well-formed read-only KV op (currently: Get).
 /// Shared by the KvStore itself and load generators that must tag the
@@ -58,7 +163,9 @@ class KvStore final : public Application {
   // snapshot. Emission serializes record by record through a chunk-sized
   // buffer; application parses records as chunks arrive into a staging
   // table that swaps in atomically at apply_end (an aborted half-restore
-  // never corrupts the live table).
+  // never corrupts the live table). Bytes past the final KV record are
+  // the transaction section (parsed at apply_end), absent when there is
+  // no transaction state — the pre-sharding byte format.
   void snapshot_chunks(
       std::size_t chunk_bytes,
       const std::function<void(ByteView)>& sink) const override;
@@ -69,9 +176,68 @@ class KvStore final : public Application {
 
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
 
+  /// Everything the 2PC participant keeps alive, for GC bounds tests: a
+  /// committed or aborted transaction must free its locks, pending entry
+  /// and (home only) expiry-queue entry; decisions stay bounded by the
+  /// FIFO cap.
+  struct TxFootprint {
+    std::size_t locks{0};
+    std::size_t pending{0};
+    std::size_t decisions{0};
+    std::size_t expiry_entries{0};
+  };
+  [[nodiscard]] TxFootprint tx_footprint() const noexcept;
+
+  /// Decision-record FIFO cap (oldest evicted first; deterministic).
+  void set_decision_cap(std::size_t cap) noexcept { decision_cap_ = cap; }
+  [[nodiscard]] std::uint64_t executed_ops() const noexcept {
+    return exec_ops_;
+  }
+
  private:
+  struct PendingTx {
+    std::vector<kv::SubOp> subs;
+    std::uint32_t home_shard{0};
+    bool is_home{false};
+    std::uint64_t expires_at{0};  // exec_ops_ deadline, home only
+  };
+
+  [[nodiscard]] Bytes exec_single(KvOp op, const Bytes& key, const Bytes& a,
+                                  const Bytes& b);
+  [[nodiscard]] Bytes exec_multi(ByteView operation);
+  [[nodiscard]] Bytes exec_tx_prepare(ByteView operation);
+  [[nodiscard]] Bytes exec_tx_decide(KvOp op, ByteView operation);
+  [[nodiscard]] Bytes exec_tx_resolve(ByteView operation);
+
+  /// First lock conflicting with `key` held by a transaction other than
+  /// `self`, as a TxBusy reply; nullopt when free.
+  [[nodiscard]] std::optional<Bytes> busy_check(
+      const Bytes& key, const std::optional<kv::TxId>& self) const;
+  void apply_subs(const std::vector<kv::SubOp>& subs);
+  void release_tx(const kv::TxId& txid, const PendingTx& tx);
+  void record_decision(const kv::TxId& txid, bool commit);
+  [[nodiscard]] std::optional<bool> decision_of(const kv::TxId& txid) const;
+  /// Deterministic presumed-abort of expired home-lease transactions;
+  /// runs at the top of every ordered op.
+  void expire_pending();
+
+  void serialize_tx_section(Writer& w) const;
+  [[nodiscard]] bool restore_tx_section(Reader& r);
+  void rebuild_tx_indexes();
+
   // std::map keeps keys ordered so snapshots/digests are canonical.
   std::map<Bytes, Bytes> table_;
+
+  // 2PC participant state. All of it is covered by snapshot() /
+  // state_digest() — recovered replicas must agree on locks and pending
+  // transactions, not just the KV table.
+  std::uint64_t exec_ops_{0};  // deterministic logical clock
+  std::map<kv::TxId, PendingTx> pending_;
+  std::map<Bytes, kv::TxId> locks_;                    // rebuilt on restore
+  std::multimap<std::uint64_t, kv::TxId> expiry_;      // rebuilt on restore
+  std::map<kv::TxId, bool> decisions_;                 // txid -> committed?
+  std::deque<kv::TxId> decision_order_;                // FIFO for eviction
+  std::size_t decision_cap_{4096};
 
   // Incremental-restore staging (live only between apply_begin/apply_end).
   std::map<Bytes, Bytes> staging_table_;

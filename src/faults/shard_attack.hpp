@@ -1,0 +1,42 @@
+// Byzantine 2PC participant: a replica that lies about its vote.
+//
+// Wraps one replica of a shard group and rewrites the ordered Replies it
+// emits: any KV reply whose status signals a failed prepare (CAS
+// mismatch, missing key, busy lock) is replaced with a forged
+// "prepare-ok" carrying a VALID client MAC (replicas hold the shared
+// per-client auth keys). The replica's local protocol state keeps
+// running honestly underneath, so the group stays live — the forgery is
+// exactly "votes prepare-ok then diverges from the honest outcome".
+// The client's per-shard reply quorum (f+1 matching results) must
+// outvote it; with at most f such replicas a coordinator can never act
+// on the forged vote.
+#pragma once
+
+#include <memory>
+
+#include "pbft/client_directory.hpp"
+#include "runtime/actor.hpp"
+
+namespace sbft::faults {
+
+class KvReplyForger final : public runtime::Actor {
+ public:
+  KvReplyForger(std::shared_ptr<runtime::Actor> inner,
+                pbft::ClientDirectory directory);
+
+  [[nodiscard]] std::vector<net::Envelope> handle(const net::Envelope& env,
+                                                  Micros now) override;
+  [[nodiscard]] std::vector<net::Envelope> tick(Micros now) override;
+
+  /// Replies rewritten so far.
+  [[nodiscard]] std::uint64_t forged() const noexcept { return forged_; }
+
+ private:
+  void forge(std::vector<net::Envelope>& envs);
+
+  std::shared_ptr<runtime::Actor> inner_;
+  pbft::ClientDirectory directory_;
+  std::uint64_t forged_{0};
+};
+
+}  // namespace sbft::faults

@@ -1,0 +1,272 @@
+#include "runtime/workload/sharded_driver.hpp"
+
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "apps/kv_store.hpp"
+#include "runtime/perf_model.hpp"
+#include "runtime/sharded_cluster.hpp"
+
+namespace sbft::runtime::workload {
+namespace {
+
+void wrap_perf(PbftCluster& group, std::size_t workers) {
+  const CostProfile profile{};
+  for (ReplicaId r = 0; r < group.config().n; ++r) {
+    auto actor = std::make_shared<PbftPerfActor>(
+        group.harness(), group.replica_actor(r), profile,
+        std::max<std::size_t>(1, workers));
+    pbft::Replica* replica = &group.replica(r);
+    actor->set_auth_stats([replica] { return replica->auth().stats(); });
+    group.harness().replace_actor(principal::pbft_replica(r),
+                                  std::move(actor));
+  }
+}
+
+void wrap_perf(SplitbftCluster& group, std::size_t workers) {
+  const CostProfile profile{};
+  for (ReplicaId r = 0; r < group.config().n; ++r) {
+    auto actor = std::make_shared<SplitPerfActor>(
+        group.harness(), group.replica_actor(r), profile,
+        /*single_ecall_thread=*/false, /*exec_workers=*/workers);
+    splitbft::SplitbftReplica* replica = &group.replica(r);
+    actor->set_auth_stats(Compartment::Preparation, [replica] {
+      return replica->prep().auth().stats();
+    });
+    actor->set_auth_stats(Compartment::Confirmation, [replica] {
+      return replica->conf().auth().stats();
+    });
+    actor->set_auth_stats(Compartment::Execution, [replica] {
+      return replica->exec().auth().stats();
+    });
+    for (const principal::Id id : group.replica_principals(r)) {
+      group.harness().replace_actor(id, actor);
+    }
+  }
+}
+
+[[nodiscard]] std::uint64_t admission_rejects(PbftCluster& group) {
+  std::uint64_t total = 0;
+  for (ReplicaId r = 0; r < group.config().n; ++r) {
+    total += group.replica(r).admission_rejects();
+  }
+  return total;
+}
+
+[[nodiscard]] std::uint64_t admission_rejects(SplitbftCluster& group) {
+  std::uint64_t total = 0;
+  for (ReplicaId r = 0; r < group.config().n; ++r) {
+    total += group.replica(r).broker().admission_rejects();
+  }
+  return total;
+}
+
+/// Per-client pacing state; submission/completion plumbing runs through
+/// the ShardedCluster result callbacks instead of a dedicated actor.
+struct Slot {
+  ClientId id{0};
+  std::unique_ptr<OpGenerator> gen;
+  Rng rng{0};
+  bool measuring{false};
+  bool stopped{false};
+  Micros measured_from{0};
+  std::deque<std::pair<Micros, GeneratedOp>> queued;
+};
+
+template <typename Stack>
+class ShardedLoad {
+ public:
+  explicit ShardedLoad(const Options& options) : options_(options) {
+    ShardedClusterOptions copts;
+    copts.shards = std::max<std::uint32_t>(options.shards, 1);
+    copts.config = options.protocol;
+    copts.seed = options.seed;
+    copts.link_params.min_delay_us = 60;
+    copts.link_params.max_delay_us = 140;
+    cluster_ = std::make_unique<ShardedCluster<Stack>>(copts);
+    for (std::uint32_t s = 0; s < cluster_->shards(); ++s) {
+      wrap_perf(cluster_->group(s), options_.workers);
+    }
+  }
+
+  [[nodiscard]] Report run() {
+    add_load_clients();
+    start_staggered();
+    cluster_->run_for(options_.warmup_us);
+    for (auto& slot : slots_) slot->measuring = true;
+    bool sustained = true;
+    std::uint64_t prev = hist_.count();
+    for (int quarter = 0; quarter < 4; ++quarter) {
+      cluster_->run_for(options_.measure_us / 4);
+      const std::uint64_t now_count = hist_.count();
+      if (now_count == prev) sustained = false;
+      prev = now_count;
+    }
+    for (auto& slot : slots_) slot->measuring = false;
+
+    Report report;
+    summarize_into(hist_, options_.measure_us, report);
+    report.sustained = sustained && report.completed_ops > 0;
+    for (const auto& slot : slots_) {
+      const auto& router = cluster_->router(slot->id);
+      report.fast_reads += router.fast_reads();
+      report.read_fallbacks += router.read_fallbacks();
+      const auto& stats = router.stats();
+      report.sharding.multi_ops += stats.multi_ops;
+      report.sharding.single_shard_multi += stats.single_shard_multi;
+      report.sharding.cross_shard_tx += stats.cross_shard_tx;
+      report.sharding.tx_commits += stats.tx_commits;
+      report.sharding.tx_aborts += stats.tx_aborts_vote +
+                                   stats.tx_aborts_busy +
+                                   stats.tx_aborts_expired;
+      report.sharding.busy_retries += stats.busy_retries;
+    }
+    for (std::uint32_t s = 0; s < cluster_->shards(); ++s) {
+      report.admission_rejects += admission_rejects(cluster_->group(s));
+    }
+    if (options_.cross_shard_fraction > 0 && options_.multi_keys >= 2) {
+      audit_atomicity(report);
+    }
+    return report;
+  }
+
+ private:
+  void submit(Slot& slot, GeneratedOp op, Micros measured_from) {
+    slot.measured_from = measured_from;
+    cluster_->submit(slot.id, std::move(op.op), op.read_only);
+  }
+
+  void on_complete(const std::shared_ptr<Slot>& slot, Micros now) {
+    if (slot->measuring) hist_.record(now - slot->measured_from);
+    if (slot->stopped) return;
+    if (options_.mode == LoadMode::Open) {
+      if (!slot->queued.empty()) {
+        auto [arrived, op] = std::move(slot->queued.front());
+        slot->queued.pop_front();
+        // Open loop measures from ARRIVAL: queueing delay stays visible.
+        submit(*slot, std::move(op), arrived);
+      }
+      return;
+    }
+    const Micros think = exponential_us(slot->rng, options_.think_time_us);
+    if (think == 0) {
+      submit(*slot, slot->gen->next(), now);
+      return;
+    }
+    cluster_->scheduler().after(think, [this, slot] {
+      if (slot->stopped) return;
+      const Micros t = cluster_->now();
+      submit(*slot, slot->gen->next(), t);
+    });
+  }
+
+  void schedule_arrival(const std::shared_ptr<Slot>& slot) {
+    const Micros gap = std::max<Micros>(
+        1, exponential_us(slot->rng, options_.interarrival_us));
+    cluster_->scheduler().after(gap, [this, slot] {
+      if (slot->stopped) return;
+      const Micros t = cluster_->now();
+      if (!cluster_->router(slot->id).in_flight()) {
+        submit(*slot, slot->gen->next(), t);
+      } else if (slot->queued.size() < kMaxQueued) {
+        slot->queued.emplace_back(t, slot->gen->next());
+      }
+      // else: shed load, as the single-group driver does.
+      schedule_arrival(slot);
+    });
+  }
+
+  void add_load_clients() {
+    slots_.reserve(options_.clients);
+    for (std::uint32_t i = 0; i < options_.clients; ++i) {
+      auto slot = std::make_shared<Slot>();
+      slot->id = kFirstClientId + i;
+      slot->gen = std::make_unique<OpGenerator>(
+          options_, options_.seed * 1'000'003 + i);
+      slot->rng = Rng((options_.seed * 1'000'003 + i) ^ 0x10adc11e47ULL);
+      cluster_->add_client(slot->id, /*retry_us=*/4'000'000,
+                           [this, slot](Bytes, Micros now) {
+                             on_complete(slot, now);
+                           });
+      slots_.push_back(std::move(slot));
+    }
+  }
+
+  void start_staggered() {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      auto slot = slots_[i];
+      cluster_->scheduler().at(
+          cluster_->now() + static_cast<Micros>(i * 13 + 1), [this, slot] {
+            if (options_.mode == LoadMode::Open) {
+              schedule_arrival(slot);
+            } else {
+              submit(*slot, slot->gen->next(), cluster_->now());
+            }
+          });
+    }
+  }
+
+  /// Stops the load, drains in-flight transactions, and reads back every
+  /// multi-op key group through the protocol: all keys of a group were
+  /// only ever written together with one value, so any disagreement
+  /// (including a mix of present and missing keys) is a torn write.
+  void audit_atomicity(Report& report) {
+    for (auto& slot : slots_) slot->stopped = true;
+    (void)cluster_->run_until(
+        [&] {
+          for (const auto& slot : slots_) {
+            if (cluster_->router(slot->id).in_flight()) return false;
+          }
+          return true;
+        },
+        30'000'000);
+
+    const ClientId verifier = kFirstClientId + options_.clients;
+    cluster_->add_client(verifier, /*retry_us=*/4'000'000);
+    for (std::uint64_t g = 0; g < options_.multi_groups; ++g) {
+      bool first = true;
+      bool torn = false;
+      Bytes reference;
+      for (const auto& key : group_keys(options_, g)) {
+        const auto result =
+            cluster_->execute(verifier, apps::kv::encode_get(key));
+        if (!result) {
+          torn = true;  // an unreadable key fails loudly, not silently
+          break;
+        }
+        // Compare full replies so NotFound vs an empty value differ.
+        if (first) {
+          reference = *result;
+          first = false;
+        } else if (*result != reference) {
+          torn = true;
+          break;
+        }
+      }
+      ++report.sharding.groups_checked;
+      if (torn) ++report.sharding.torn_groups;
+    }
+  }
+
+  static constexpr std::size_t kMaxQueued = 256;
+
+  Options options_;
+  std::unique_ptr<ShardedCluster<Stack>> cluster_;
+  std::vector<std::shared_ptr<Slot>> slots_;
+  LatencyHistogram hist_;
+};
+
+}  // namespace
+
+Report run_sharded_sim_workload(const Options& options) {
+  if (options.stack == Stack::Pbft) {
+    ShardedLoad<PbftShardStack> load(options);
+    return load.run();
+  }
+  ShardedLoad<SplitbftShardStack> load(options);
+  return load.run();
+}
+
+}  // namespace sbft::runtime::workload

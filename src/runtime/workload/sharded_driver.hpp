@@ -1,0 +1,24 @@
+// Workload engine, sharded simulator driver.
+//
+// Runs the configured load shape against an N-group sharded deployment
+// (runtime/sharded_cluster.hpp) in virtual time: every load client is a
+// shard::Router spanning all groups, replicas are wrapped in the perf
+// model, and the groups advance in lockstep. `Options::shards == 1`
+// runs the same code path (router + one group), so shard-count sweeps
+// compare like with like.
+//
+// When `cross_shard_fraction > 0`, the run ends with an atomicity
+// audit: load stops, in-flight transactions drain, and a verifier
+// client reads back every multi-op key group — any group whose keys
+// disagree is a torn transaction and lands in
+// `Report::sharding.torn_groups`.
+#pragma once
+
+#include "runtime/workload/workload.hpp"
+
+namespace sbft::runtime::workload {
+
+/// Runs one sharded load point to completion in virtual time.
+[[nodiscard]] Report run_sharded_sim_workload(const Options& options);
+
+}  // namespace sbft::runtime::workload

@@ -104,4 +104,37 @@ class ReplicaNode {
                                       net::TcpTransport::Options
                                           transport_options = {});
 
+// ------------------------------------------------------------- sharding
+//
+// A sharded deployment is `shards` fully independent groups sharing one
+// flat address plan: shard `s`'s nodes occupy the contiguous block
+// starting at `s * (replicas + loadgens)`. Replica processes join ONE
+// shard (their topology slice, with the shard-derived seed); loadgen
+// processes open one transport per shard, because the shards' principal
+// id spaces coincide and only the socket tells them apart.
+
+/// Slices a flat `shards * (replicas + loadgens)` address plan into one
+/// topology per shard.
+[[nodiscard]] std::vector<ClusterTopology> sharded_topologies(
+    std::uint32_t shards, std::uint32_t replicas, std::uint32_t loadgens,
+    const std::vector<std::string>& flat_addrs);
+
+/// Per-shard effective options: the seed is replaced by
+/// `shard::shard_seed(seed, shard)`, so each group's replica processes
+/// and the loadgen's per-shard client engines derive that group's key
+/// material independently, with no distribution channel.
+[[nodiscard]] Options shard_options(Options options, std::uint32_t shard);
+
+/// Loadgen node of a sharded deployment: every driven client is a
+/// `shard::Router` over one engine per shard, single-key ops one-group
+/// fast, cross-shard `MultiOp`s via 2PC-over-BFT. When
+/// `options.cross_shard_fraction > 0` the run ends with the torn-write
+/// audit (load stops, transactions drain, a verifier reads back every
+/// multi-op key group through the protocol); results land in
+/// `Report::sharding`. Transport counters are summed over the shards.
+[[nodiscard]] Report run_sharded_tcp_workload(
+    const Options& options, const std::vector<ClusterTopology>& topologies,
+    std::uint32_t loadgen_index,
+    net::TcpTransport::Options transport_options = {});
+
 }  // namespace sbft::runtime::workload

@@ -75,24 +75,74 @@ std::uint64_t ZipfGenerator::next(Rng& rng) {
 
 // ------------------------------------------------------------ op stream
 
+std::vector<Bytes> group_keys(const Options& options, std::uint64_t group) {
+  std::vector<Bytes> keys;
+  keys.reserve(options.multi_keys);
+  const std::uint64_t base =
+      options.key_space + group * options.multi_keys;
+  for (std::uint32_t j = 0; j < options.multi_keys; ++j) {
+    keys.push_back(apps::kv::encode_key(base + j));
+  }
+  return keys;
+}
+
 OpGenerator::OpGenerator(const Options& options, std::uint64_t client_seed)
     : zipf_(options.key_space, options.key_skew),
       get_fraction_(options.get_fraction),
+      cas_fraction_(options.cas_fraction),
+      del_fraction_(options.del_fraction),
       value_min_(options.value_min_bytes),
       value_max_(std::max(options.value_max_bytes, options.value_min_bytes)),
+      multi_fraction_(options.multi_keys >= 2 ? options.cross_shard_fraction
+                                              : 0.0),
+      multi_keys_(options.multi_keys),
+      multi_groups_(std::max<std::uint64_t>(options.multi_groups, 1)),
+      group_base_(options.key_space),
       rng_(client_seed) {}
 
-GeneratedOp OpGenerator::next() {
-  const Bytes key = apps::kv::encode_key(zipf_.next(rng_));
-  if (rng_.chance(get_fraction_)) {
-    return {apps::kv::encode_get(key), /*read_only=*/true};
-  }
+Bytes OpGenerator::next_value() {
   const std::size_t len =
       value_min_ +
       (value_max_ > value_min_
            ? rng_.below(value_max_ - value_min_ + 1)
            : 0);
-  return {apps::kv::encode_put(key, rng_.bytes(len)), /*read_only=*/false};
+  return rng_.bytes(len);
+}
+
+GeneratedOp OpGenerator::next_multi() {
+  // Whole-group write with ONE (random, effectively unique) value: at
+  // quiescence every key of a group must hold the same bytes, whichever
+  // transaction won — the torn-write detector benches rely on.
+  const std::uint64_t group = rng_.below(multi_groups_);
+  const Bytes value = next_value();
+  apps::kv::MultiOp multi;
+  const std::uint64_t base = group_base_ + group * multi_keys_;
+  for (std::uint32_t j = 0; j < multi_keys_; ++j) {
+    multi.subs.push_back(apps::kv::SubOp{apps::KvOp::Put,
+                                         apps::kv::encode_key(base + j),
+                                         {},
+                                         value});
+  }
+  return {apps::kv::encode_multi(multi), /*read_only=*/false};
+}
+
+GeneratedOp OpGenerator::next() {
+  if (multi_fraction_ > 0 && rng_.chance(multi_fraction_)) {
+    return next_multi();
+  }
+  const Bytes key = apps::kv::encode_key(zipf_.next(rng_));
+  if (rng_.chance(get_fraction_)) {
+    return {apps::kv::encode_get(key), /*read_only=*/true};
+  }
+  const double w = rng_.unit();
+  if (w < cas_fraction_) {
+    return {apps::kv::encode_cas(key, next_value(), next_value()),
+            /*read_only=*/false};
+  }
+  if (w < cas_fraction_ + del_fraction_) {
+    return {apps::kv::encode_del(key), /*read_only=*/false};
+  }
+  return {apps::kv::encode_put(key, next_value()), /*read_only=*/false};
 }
 
 crypto::Key32 session_key(std::uint64_t seed, ClientId client) {
@@ -145,6 +195,11 @@ std::string report_json(const Options& options, const Report& report) {
      << "\"key_space\": " << options.key_space << ", "
      << "\"key_skew\": " << options.key_skew << ", "
      << "\"get_fraction\": " << options.get_fraction << ", "
+     << "\"cas_fraction\": " << options.cas_fraction << ", "
+     << "\"del_fraction\": " << options.del_fraction << ", "
+     << "\"shards\": " << options.shards << ", "
+     << "\"cross_shard_fraction\": " << options.cross_shard_fraction << ", "
+     << "\"multi_keys\": " << options.multi_keys << ", "
      << "\"read_path\": " << (options.protocol.read_path ? "true" : "false")
      << ", "
      << "\"workers\": " << options.workers << ", "
@@ -164,6 +219,17 @@ std::string report_json(const Options& options, const Report& report) {
      << "\"p99_us\": " << report.p99_us << ", "
      << "\"max_us\": " << report.max_us << ", "
      << "\"sustained\": " << (report.sustained ? "true" : "false") << ", "
+     << "\"sharding\": {"
+     << "\"multi_ops\": " << report.sharding.multi_ops << ", "
+     << "\"single_shard_multi\": " << report.sharding.single_shard_multi
+     << ", "
+     << "\"cross_shard_tx\": " << report.sharding.cross_shard_tx << ", "
+     << "\"tx_commits\": " << report.sharding.tx_commits << ", "
+     << "\"tx_aborts\": " << report.sharding.tx_aborts << ", "
+     << "\"busy_retries\": " << report.sharding.busy_retries << ", "
+     << "\"groups_checked\": " << report.sharding.groups_checked << ", "
+     << "\"torn_groups\": " << report.sharding.torn_groups
+     << "}, "
      << "\"transport\": {"
      << "\"bytes_in\": " << report.transport.bytes_in << ", "
      << "\"bytes_out\": " << report.transport.bytes_out << ", "

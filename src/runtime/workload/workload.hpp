@@ -53,11 +53,32 @@ struct Options {
   std::uint64_t key_space{16'384};
   /// Zipf skew theta in [0, 1): 0 = uniform, 0.99 = YCSB-style hot keys.
   double key_skew{0.99};
-  /// Fraction of GETs (remainder are PUTs with a fresh value).
+  /// Fraction of GETs (remainder are writes).
   double get_fraction{0.5};
+  /// Write mix: fraction of writes issued as CAS (expected = a fresh
+  /// random value, so most mismatch — exercising the failure path) and
+  /// as DEL. The remainder are plain PUTs.
+  double cas_fraction{0.0};
+  double del_fraction{0.0};
   /// Value size: uniform in [value_min_bytes, value_max_bytes].
   std::size_t value_min_bytes{10};
   std::size_t value_max_bytes{10};
+
+  // --- sharding ---
+  /// Shard groups the deployment runs (1 = single group, no router 2PC).
+  std::uint32_t shards{1};
+  /// Fraction of generated ops that are multi-key MultiOps over a key
+  /// *group*. Group keys live ABOVE the single-key space and are only
+  /// ever written whole-group with one unique value, so "all keys of a
+  /// group are equal at quiescence" is the cross-shard atomicity
+  /// invariant benches assert. Whether a given group actually spans
+  /// shards is organic (keys are hash-placed); with `multi_keys` = k and
+  /// s shards a fraction 1 - s^(1-k) of groups cross shards.
+  double cross_shard_fraction{0.0};
+  /// Keys per multi-op group (write-set size).
+  std::uint32_t multi_keys{2};
+  /// Number of distinct groups (uniformly chosen per multi op).
+  std::uint64_t multi_groups{1024};
 
   /// Protocol configuration (n, f, batch_max, pipeline_depth, ...).
   pbft::Config protocol{};
@@ -93,6 +114,22 @@ struct Report {
   /// operations and no client starved (its in-flight request survived the
   /// whole measurement).
   bool sustained{false};
+
+  /// Sharding counters, summed over routers by the sharded drivers (all
+  /// zero for single-group runs).
+  struct ShardingCounters {
+    std::uint64_t multi_ops{0};
+    std::uint64_t single_shard_multi{0};
+    std::uint64_t cross_shard_tx{0};
+    std::uint64_t tx_commits{0};
+    std::uint64_t tx_aborts{0};
+    std::uint64_t busy_retries{0};
+    /// Post-run atomicity audit: key groups read back after quiescence /
+    /// groups whose keys disagreed (MUST stay 0 — a torn multi-op).
+    std::uint64_t groups_checked{0};
+    std::uint64_t torn_groups{0};
+  };
+  ShardingCounters sharding;
 
   /// Transport-level counters, filled by drivers that run over a real
   /// transport (all zero for ThreadNetwork / simulator runs).
@@ -143,9 +180,15 @@ struct GeneratedOp {
   bool read_only{false};
 };
 
-/// Per-client operation stream: KV GET/PUT ops with skewed keys and sized
-/// values, or opaque payloads for non-KV stacks. Deterministic from the
-/// seed; each client forks its own stream.
+/// Keys of multi-op group `group`: `multi_keys` consecutive ids starting
+/// at key_space + group * multi_keys — disjoint from the single-key
+/// space, so only whole-group writes ever touch them.
+[[nodiscard]] std::vector<Bytes> group_keys(const Options& options,
+                                            std::uint64_t group);
+
+/// Per-client operation stream: KV GET/PUT/CAS/DEL ops with skewed keys
+/// and sized values, plus whole-group MultiOps at `cross_shard_fraction`.
+/// Deterministic from the seed; each client forks its own stream.
 class OpGenerator {
  public:
   OpGenerator(const Options& options, std::uint64_t client_seed);
@@ -154,10 +197,19 @@ class OpGenerator {
   [[nodiscard]] GeneratedOp next();
 
  private:
+  [[nodiscard]] GeneratedOp next_multi();
+  [[nodiscard]] Bytes next_value();
+
   ZipfGenerator zipf_;
   double get_fraction_;
+  double cas_fraction_;
+  double del_fraction_;
   std::size_t value_min_;
   std::size_t value_max_;
+  double multi_fraction_;
+  std::uint32_t multi_keys_;
+  std::uint64_t multi_groups_;
+  std::uint64_t group_base_;
   Rng rng_;
 };
 

@@ -1,0 +1,22 @@
+#include "shard/router.hpp"
+
+namespace sbft::shard {
+
+std::optional<TxPlan> plan_multi(const apps::kv::MultiOp& multi,
+                                 std::uint32_t shards) {
+  if (multi.subs.empty() || multi.subs.size() > apps::kv::kMaxMultiSubs) {
+    return std::nullopt;
+  }
+  TxPlan plan;
+  for (const auto& sub : multi.subs) {
+    const auto shard = apps::kv::shard_of(sub.key, shards);
+    plan.by_shard[shard].push_back(sub);
+  }
+  // Lowest participant shard is the decision authority — a pure function
+  // of the write set, so every honest coordinator and recovery client
+  // agrees where decisions live.
+  plan.home = plan.by_shard.begin()->first;
+  return plan;
+}
+
+}  // namespace sbft::shard

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "apps/kv_store.hpp"
+#include "runtime/workload/sharded_driver.hpp"
 #include "runtime/workload/sim_driver.hpp"
 #include "runtime/workload/thread_driver.hpp"
 
@@ -158,6 +159,147 @@ TEST(ThreadWorkload, CompletesOnSplitbft) {
   options.measure_us = 100'000;
   const Report report = run_thread_workload(options);
   EXPECT_GT(report.completed_ops, 0u);
+}
+
+// --- mixed-op generator (CAS/DEL + whole-group MultiOps) ---
+
+[[nodiscard]] Options mixed_options() {
+  Options options;
+  options.get_fraction = 0.3;
+  options.cas_fraction = 0.2;
+  options.del_fraction = 0.2;
+  options.shards = 2;
+  options.cross_shard_fraction = 0.25;
+  options.multi_keys = 3;
+  options.multi_groups = 8;
+  options.key_space = 1024;
+  return options;
+}
+
+TEST(Workload, MixedOpStreamCoversEveryKind) {
+  OpGenerator gen(mixed_options(), 5);
+  std::map<apps::KvOp, int> seen;
+  for (int i = 0; i < 600; ++i) {
+    const GeneratedOp op = gen.next();
+    ASSERT_FALSE(op.op.empty());
+    ++seen[static_cast<apps::KvOp>(op.op[0])];
+    EXPECT_EQ(op.read_only, apps::kv::is_read_only(op.op));
+  }
+  EXPECT_GT(seen[apps::KvOp::Get], 0);
+  EXPECT_GT(seen[apps::KvOp::Put], 0);
+  EXPECT_GT(seen[apps::KvOp::Cas], 0);
+  EXPECT_GT(seen[apps::KvOp::Del], 0);
+  EXPECT_GT(seen[apps::KvOp::Multi], 0);
+}
+
+TEST(Workload, MultiOpsWriteWholeGroupsWithOneValue) {
+  const Options options = mixed_options();
+  OpGenerator gen(options, 6);
+  int multis = 0;
+  for (int i = 0; i < 600 && multis < 20; ++i) {
+    const GeneratedOp op = gen.next();
+    const auto multi = apps::kv::decode_multi(op.op);
+    if (!multi) continue;
+    ++multis;
+    ASSERT_EQ(multi->subs.size(), options.multi_keys);
+    for (std::size_t j = 0; j < multi->subs.size(); ++j) {
+      EXPECT_EQ(multi->subs[j].op, apps::KvOp::Put);
+      // Same (unique) value across the group: the atomicity invariant.
+      EXPECT_EQ(multi->subs[j].value, multi->subs[0].value);
+    }
+    // The group lives above the single-key space and is one of the
+    // configured groups, whole and aligned.
+    bool found = false;
+    for (std::uint64_t g = 0; g < options.multi_groups && !found; ++g) {
+      found = group_keys(options, g) ==
+              std::vector<Bytes>{multi->subs[0].key, multi->subs[1].key,
+                                 multi->subs[2].key};
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_GE(multis, 20);
+}
+
+TEST(Workload, MixedOpStreamIsDeterministicPerSeed) {
+  const Options options = mixed_options();
+  OpGenerator a(options, 91);
+  OpGenerator b(options, 91);
+  OpGenerator c(options, 92);
+  bool diverged = false;
+  for (int i = 0; i < 128; ++i) {
+    const GeneratedOp oa = a.next();
+    EXPECT_EQ(oa.op, b.next().op);
+    if (oa.op != c.next().op) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+// --- sharded simulator driver ---
+
+[[nodiscard]] Options sharded_point(Stack stack, std::uint32_t shards) {
+  Options options = small_point(stack);
+  options.shards = shards;
+  options.cross_shard_fraction = 0.2;
+  options.multi_keys = 2;
+  options.multi_groups = 12;
+  options.clients = 16;
+  return options;
+}
+
+TEST(ShardedSimWorkload, SustainsAndStaysAtomicOnPbft) {
+  const Report report =
+      run_sharded_sim_workload(sharded_point(Stack::Pbft, 2));
+  EXPECT_GT(report.completed_ops, 0u);
+  EXPECT_TRUE(report.sustained);
+  EXPECT_GT(report.sharding.multi_ops, 0u);
+  EXPECT_GT(report.sharding.tx_commits, 0u);
+  EXPECT_EQ(report.sharding.groups_checked, 12u);
+  EXPECT_EQ(report.sharding.torn_groups, 0u);
+}
+
+TEST(ShardedSimWorkload, SustainsAndStaysAtomicOnSplitbft) {
+  Options options = sharded_point(Stack::Splitbft, 2);
+  options.clients = 12;
+  const Report report = run_sharded_sim_workload(options);
+  EXPECT_GT(report.completed_ops, 0u);
+  EXPECT_TRUE(report.sustained);
+  EXPECT_GT(report.sharding.tx_commits, 0u);
+  EXPECT_EQ(report.sharding.torn_groups, 0u);
+}
+
+TEST(ShardedSimWorkload, DeterministicFromSeed) {
+  const Options options = sharded_point(Stack::Pbft, 2);
+  const Report a = run_sharded_sim_workload(options);
+  const Report b = run_sharded_sim_workload(options);
+  EXPECT_EQ(a.completed_ops, b.completed_ops);
+  EXPECT_EQ(a.sharding.tx_commits, b.sharding.tx_commits);
+  EXPECT_EQ(a.sharding.cross_shard_tx, b.sharding.cross_shard_tx);
+  EXPECT_EQ(a.p99_us, b.p99_us);
+}
+
+TEST(ShardedSimWorkload, SingleShardPathRunsTheSameDriver) {
+  Options options = sharded_point(Stack::Pbft, 1);
+  const Report report = run_sharded_sim_workload(options);
+  EXPECT_GT(report.completed_ops, 0u);
+  EXPECT_TRUE(report.sustained);
+  // One group: every multi op executes as one ordered op, no 2PC.
+  EXPECT_GT(report.sharding.single_shard_multi, 0u);
+  EXPECT_EQ(report.sharding.cross_shard_tx, 0u);
+  EXPECT_EQ(report.sharding.torn_groups, 0u);
+}
+
+TEST(Workload, ReportJsonContainsShardingCounters) {
+  Options options;
+  options.shards = 4;
+  options.cross_shard_fraction = 0.1;
+  Report report;
+  report.sharding.tx_commits = 7;
+  report.sharding.torn_groups = 0;
+  const std::string json = report_json(options, report);
+  EXPECT_NE(json.find("\"shards\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"cross_shard_fraction\": 0.1"), std::string::npos);
+  EXPECT_NE(json.find("\"tx_commits\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"torn_groups\": 0"), std::string::npos);
 }
 
 TEST(Workload, ReportJsonContainsPercentiles) {

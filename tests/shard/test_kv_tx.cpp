@@ -1,0 +1,330 @@
+// 2PC participant engine inside apps::KvStore: locks, pending
+// transactions, deterministic home-lease expiry, idempotent decisions,
+// and snapshot coverage of all of it.
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+
+namespace sbft::apps {
+namespace {
+
+using kv::SubOp;
+using kv::TxId;
+
+[[nodiscard]] Bytes key(std::uint64_t i) { return kv::encode_key(i); }
+[[nodiscard]] Bytes val(const char* s) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(s);
+  return Bytes(p, p + std::char_traits<char>::length(s));
+}
+
+[[nodiscard]] kv::Reply exec(KvStore& store, const Bytes& op) {
+  const auto reply = kv::decode_reply(store.execute(op));
+  EXPECT_TRUE(reply.has_value());
+  return reply.value_or(kv::Reply{});
+}
+
+[[nodiscard]] std::vector<SubOp> puts(std::initializer_list<std::uint64_t> ks,
+                                      const Bytes& value) {
+  std::vector<SubOp> subs;
+  for (const auto k : ks) subs.push_back(SubOp{KvOp::Put, key(k), {}, value});
+  return subs;
+}
+
+TEST(KvTx, PrepareCommitAppliesAtomically) {
+  KvStore store;
+  const TxId tx{1000, 1};
+  auto reply = exec(store, kv::encode_tx_prepare(tx, 0, true, 100,
+                                                 puts({1, 2}, val("v"))));
+  EXPECT_EQ(reply.status, KvStatus::Ok);
+  // Locked, not yet applied.
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).status, KvStatus::NotFound);
+  EXPECT_EQ(store.tx_footprint().locks, 2u);
+  EXPECT_EQ(store.tx_footprint().pending, 1u);
+  EXPECT_EQ(store.tx_footprint().expiry_entries, 1u);
+
+  reply = exec(store, kv::encode_tx_commit(tx));
+  EXPECT_EQ(reply.status, KvStatus::TxCommitted);
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).value, val("v"));
+  EXPECT_EQ(exec(store, kv::encode_get(key(2))).value, val("v"));
+  // Everything freed except the bounded decision record.
+  const auto fp = store.tx_footprint();
+  EXPECT_EQ(fp.locks, 0u);
+  EXPECT_EQ(fp.pending, 0u);
+  EXPECT_EQ(fp.expiry_entries, 0u);
+  EXPECT_EQ(fp.decisions, 1u);
+}
+
+TEST(KvTx, AbortDiscardsAndFrees) {
+  KvStore store;
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 100,
+                                              puts({7}, val("x"))))
+                .status,
+            KvStatus::Ok);
+  EXPECT_EQ(exec(store, kv::encode_tx_abort(tx)).status, KvStatus::TxAborted);
+  EXPECT_EQ(exec(store, kv::encode_get(key(7))).status, KvStatus::NotFound);
+  const auto fp = store.tx_footprint();
+  EXPECT_EQ(fp.locks, 0u);
+  EXPECT_EQ(fp.pending, 0u);
+  EXPECT_EQ(fp.expiry_entries, 0u);
+}
+
+TEST(KvTx, DecisionsAreIdempotent) {
+  KvStore store;
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 100,
+                                              puts({1}, val("a"))))
+                .status,
+            KvStatus::Ok);
+  EXPECT_EQ(exec(store, kv::encode_tx_commit(tx)).status,
+            KvStatus::TxCommitted);
+  // Replays answer the recorded decision without re-applying.
+  EXPECT_EQ(exec(store, kv::encode_put(key(1), val("b"))).status,
+            KvStatus::Ok);
+  EXPECT_EQ(exec(store, kv::encode_tx_commit(tx)).status,
+            KvStatus::TxCommitted);
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).value, val("b"));
+  // A late duplicate prepare is answered by the decision too.
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 100,
+                                              puts({1}, val("a"))))
+                .status,
+            KvStatus::TxCommitted);
+  // An abort for an unknown txid records presumed-abort; a later commit
+  // for it is refused.
+  const TxId tx2{1000, 2};
+  EXPECT_EQ(exec(store, kv::encode_tx_abort(tx2)).status, KvStatus::TxAborted);
+  EXPECT_EQ(exec(store, kv::encode_tx_commit(tx2)).status,
+            KvStatus::TxAborted);
+}
+
+TEST(KvTx, CommitForUnknownTxIsRefused) {
+  KvStore store;
+  EXPECT_EQ(exec(store, kv::encode_tx_commit(TxId{9, 9})).status,
+            KvStatus::BadRequest);
+}
+
+TEST(KvTx, LocksBlockConflictingWrites) {
+  KvStore store;
+  EXPECT_EQ(exec(store, kv::encode_put(key(1), val("old"))).status,
+            KvStatus::Ok);
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 3, false, 100,
+                                              puts({1}, val("new"))))
+                .status,
+            KvStatus::Ok);
+  // Single-key writes bounce with the blocker's identity + home shard.
+  auto reply = exec(store, kv::encode_put(key(1), val("z")));
+  ASSERT_EQ(reply.status, KvStatus::TxBusy);
+  const auto busy = kv::decode_busy_info(reply.value);
+  ASSERT_TRUE(busy.has_value());
+  EXPECT_EQ(busy->blocker, tx);
+  EXPECT_EQ(busy->home_shard, 3u);
+  // Batches and competing prepares bounce the same way.
+  kv::MultiOp multi;
+  multi.subs = puts({1, 2}, val("m"));
+  EXPECT_EQ(exec(store, kv::encode_multi(multi)).status, KvStatus::TxBusy);
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(TxId{1001, 1}, 0, true, 100,
+                                              puts({1}, val("w"))))
+                .status,
+            KvStatus::TxBusy);
+  // Reads stay lock-free (read-committed).
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).value, val("old"));
+}
+
+TEST(KvTx, CasValidatesAtPrepare) {
+  KvStore store;
+  EXPECT_EQ(exec(store, kv::encode_put(key(1), val("a"))).status,
+            KvStatus::Ok);
+  std::vector<SubOp> subs{SubOp{KvOp::Cas, key(1), val("b"), val("c")}};
+  auto reply = exec(store, kv::encode_tx_prepare(TxId{1000, 1}, 0, true, 100,
+                                                 subs));
+  EXPECT_EQ(reply.status, KvStatus::CasMismatch);
+  EXPECT_EQ(reply.value, val("a"));
+  // A failed vote leaves nothing behind.
+  EXPECT_EQ(store.tx_footprint().locks, 0u);
+  EXPECT_EQ(store.tx_footprint().pending, 0u);
+  // Cas against a missing key votes NotFound.
+  std::vector<SubOp> missing{SubOp{KvOp::Cas, key(9), val("b"), val("c")}};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(TxId{1000, 2}, 0, true, 100,
+                                              missing))
+                .status,
+            KvStatus::NotFound);
+}
+
+TEST(KvTx, HomeLeaseExpiresDeterministically) {
+  KvStore store;
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 3,
+                                              puts({1}, val("v"))))
+                .status,
+            KvStatus::Ok);
+  // Two more ops: lease (3 ops) not yet expired.
+  EXPECT_EQ(exec(store, kv::encode_get(key(5))).status, KvStatus::NotFound);
+  EXPECT_EQ(exec(store, kv::encode_tx_resolve(tx)).status,
+            KvStatus::TxUndecided);
+  // Third op after the prepare crosses the deadline: presumed abort.
+  EXPECT_EQ(exec(store, kv::encode_get(key(5))).status, KvStatus::NotFound);
+  EXPECT_EQ(exec(store, kv::encode_tx_resolve(tx)).status,
+            KvStatus::TxAborted);
+  // The late commit finds the abort decision — no torn write.
+  EXPECT_EQ(exec(store, kv::encode_tx_commit(tx)).status, KvStatus::TxAborted);
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).status, KvStatus::NotFound);
+  const auto fp = store.tx_footprint();
+  EXPECT_EQ(fp.locks, 0u);
+  EXPECT_EQ(fp.pending, 0u);
+  EXPECT_EQ(fp.expiry_entries, 0u);
+}
+
+TEST(KvTx, NonHomeNeverExpires) {
+  KvStore store;
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 2, false, 3,
+                                              puts({1}, val("v"))))
+                .status,
+            KvStatus::Ok);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(exec(store, kv::encode_get(key(5))).status, KvStatus::NotFound);
+  }
+  // Still pending: only the home shard may presume-abort.
+  EXPECT_EQ(store.tx_footprint().pending, 1u);
+  EXPECT_EQ(store.tx_footprint().expiry_entries, 0u);
+  EXPECT_EQ(exec(store, kv::encode_tx_commit(tx)).status,
+            KvStatus::TxCommitted);
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).value, val("v"));
+}
+
+TEST(KvTx, ResolveUnknownRecordsPresumedAbort) {
+  KvStore store;
+  const TxId tx{42, 7};
+  EXPECT_EQ(exec(store, kv::encode_tx_resolve(tx)).status,
+            KvStatus::TxAborted);
+  // The recorded presumed-abort refuses a later prepare of the same txid.
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 100,
+                                              puts({1}, val("v"))))
+                .status,
+            KvStatus::TxAborted);
+}
+
+TEST(KvTx, DecisionTableIsFifoBounded) {
+  KvStore store;
+  store.set_decision_cap(4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(exec(store, kv::encode_tx_abort(TxId{1, i})).status,
+              KvStatus::TxAborted);
+  }
+  EXPECT_EQ(store.tx_footprint().decisions, 4u);
+}
+
+TEST(KvTx, MultiAppliesAtomicallyOrNotAtAll) {
+  KvStore store;
+  EXPECT_EQ(exec(store, kv::encode_put(key(1), val("a"))).status,
+            KvStatus::Ok);
+  kv::MultiOp bad;
+  bad.subs = {SubOp{KvOp::Put, key(2), {}, val("x")},
+              SubOp{KvOp::Cas, key(1), val("wrong"), val("y")}};
+  EXPECT_EQ(exec(store, kv::encode_multi(bad)).status, KvStatus::CasMismatch);
+  EXPECT_EQ(exec(store, kv::encode_get(key(2))).status, KvStatus::NotFound);
+
+  kv::MultiOp good;
+  good.subs = {SubOp{KvOp::Put, key(2), {}, val("x")},
+               SubOp{KvOp::Cas, key(1), val("a"), val("y")},
+               SubOp{KvOp::Del, key(1), {}, {}}};
+  EXPECT_EQ(exec(store, kv::encode_multi(good)).status, KvStatus::Ok);
+  EXPECT_EQ(exec(store, kv::encode_get(key(2))).value, val("x"));
+  EXPECT_EQ(exec(store, kv::encode_get(key(1))).status, KvStatus::NotFound);
+}
+
+TEST(KvTx, SnapshotCoversTransactionState) {
+  KvStore store;
+  EXPECT_EQ(exec(store, kv::encode_put(key(1), val("committed"))).status,
+            KvStatus::Ok);
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 50,
+                                              puts({2, 3}, val("pending"))))
+                .status,
+            KvStatus::Ok);
+  EXPECT_EQ(exec(store, kv::encode_tx_abort(TxId{1000, 2})).status,
+            KvStatus::TxAborted);
+
+  // Restore into a fresh store: digest, locks and decisions must carry.
+  KvStore copy;
+  ASSERT_TRUE(copy.restore(store.snapshot()));
+  EXPECT_EQ(copy.state_digest(), store.state_digest());
+  EXPECT_EQ(copy.tx_footprint().locks, 2u);
+  EXPECT_EQ(copy.tx_footprint().pending, 1u);
+  EXPECT_EQ(copy.tx_footprint().expiry_entries, 1u);
+  EXPECT_EQ(copy.tx_footprint().decisions, 1u);
+  // Leases travel as ops-remaining: the restored clock restarts at zero
+  // and expiry depends only on further ops, never on how many the source
+  // had executed (which would leak op counts into the state digest).
+  EXPECT_EQ(copy.executed_ops(), 0u);
+  // The recovered replica enforces the same locks...
+  EXPECT_EQ(exec(copy, kv::encode_put(key(2), val("z"))).status,
+            KvStatus::TxBusy);
+  // ...and can still commit the pending transaction.
+  EXPECT_EQ(exec(copy, kv::encode_tx_commit(tx)).status,
+            KvStatus::TxCommitted);
+  EXPECT_EQ(exec(copy, kv::encode_get(key(3))).value, val("pending"));
+}
+
+TEST(KvTx, SnapshotWithoutTxStateKeepsLegacyFormat) {
+  KvStore store;
+  // Hand-built legacy snapshot (count + records, no tx section).
+  Writer w;
+  w.u64(1);
+  w.bytes(key(1));
+  w.bytes(val("v"));
+  KvStore restored;
+  ASSERT_TRUE(restored.restore(std::move(w).take()));
+  EXPECT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.tx_footprint().pending, 0u);
+}
+
+TEST(KvTx, StreamingSnapshotCarriesTxSection) {
+  KvStore store;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(exec(store, kv::encode_put(key(i), val("v"))).status,
+              KvStatus::Ok);
+  }
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 1, true, 50,
+                                              puts({100, 101}, val("p"))))
+                .status,
+            KvStatus::Ok);
+
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, std::size_t{1000},
+        std::size_t{1} << 20}) {
+    KvStore target;
+    target.apply_begin(0);
+    bool ok = true;
+    store.snapshot_chunks(chunk, [&](ByteView data) {
+      if (ok) ok = target.apply_chunk(data);
+    });
+    ASSERT_TRUE(ok) << "chunk=" << chunk;
+    ASSERT_TRUE(target.apply_end()) << "chunk=" << chunk;
+    EXPECT_EQ(target.state_digest(), store.state_digest());
+    EXPECT_EQ(target.tx_footprint().locks, 2u);
+    EXPECT_EQ(target.tx_footprint().pending, 1u);
+  }
+}
+
+TEST(KvTx, StreamingApplyRejectsCorruptTxSection) {
+  KvStore store;
+  const TxId tx{1000, 1};
+  EXPECT_EQ(exec(store, kv::encode_tx_prepare(tx, 0, true, 50,
+                                              puts({1}, val("p"))))
+                .status,
+            KvStatus::Ok);
+  Bytes snapshot = store.snapshot();
+  // Truncating the tx section must fail apply_end, not corrupt state.
+  snapshot.pop_back();
+  KvStore target;
+  target.apply_begin(0);
+  (void)target.apply_chunk(snapshot);
+  EXPECT_FALSE(target.apply_end());
+  EXPECT_FALSE(target.restore(snapshot));
+}
+
+}  // namespace
+}  // namespace sbft::apps

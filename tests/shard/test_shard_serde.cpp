@@ -1,0 +1,184 @@
+// Wire hardening for the sharding/2PC types: plausibility bounds before
+// any allocation, truncation-at-every-byte, and the routing helpers
+// (key_of / shard_of / classify / plan_multi) everything above relies on.
+#include <gtest/gtest.h>
+
+#include "apps/kv_store.hpp"
+#include "common/serde.hpp"
+#include "shard/router.hpp"
+
+namespace sbft::apps {
+namespace {
+
+using kv::SubOp;
+using kv::TxId;
+
+[[nodiscard]] Bytes key(std::uint64_t i) { return kv::encode_key(i); }
+
+[[nodiscard]] kv::MultiOp sample_multi() {
+  kv::MultiOp multi;
+  multi.subs = {SubOp{KvOp::Put, key(1), {}, Bytes{0xaa, 0xbb}},
+                SubOp{KvOp::Cas, key(2), Bytes{0x01}, Bytes{0x02}},
+                SubOp{KvOp::Del, key(3), {}, {}}};
+  return multi;
+}
+
+TEST(ShardSerde, MultiRoundTrip) {
+  const auto multi = sample_multi();
+  const auto decoded = kv::decode_multi(kv::encode_multi(multi));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->subs.size(), multi.subs.size());
+  for (std::size_t i = 0; i < multi.subs.size(); ++i) {
+    EXPECT_EQ(decoded->subs[i], multi.subs[i]);
+  }
+}
+
+TEST(ShardSerde, MultiTruncationAtEveryByteIsRejected) {
+  const Bytes full = kv::encode_multi(sample_multi());
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    const ByteView view{full.data(), len};
+    EXPECT_FALSE(kv::decode_multi(view).has_value()) << "len=" << len;
+    KvStore store;
+    const auto reply = kv::decode_reply(store.execute(view));
+    ASSERT_TRUE(reply.has_value()) << "len=" << len;
+    EXPECT_EQ(reply->status, KvStatus::BadRequest) << "len=" << len;
+  }
+}
+
+TEST(ShardSerde, PrepareTruncationAtEveryByteIsRejected) {
+  const Bytes full = kv::encode_tx_prepare(TxId{7, 9}, 2, true, 100,
+                                           sample_multi().subs);
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    KvStore store;
+    const auto reply =
+        kv::decode_reply(store.execute(ByteView{full.data(), len}));
+    ASSERT_TRUE(reply.has_value()) << "len=" << len;
+    EXPECT_EQ(reply->status, KvStatus::BadRequest) << "len=" << len;
+    // A rejected prepare must leave no partial locks behind.
+    EXPECT_EQ(store.tx_footprint().locks, 0u) << "len=" << len;
+  }
+}
+
+TEST(ShardSerde, TxRefTruncationAtEveryByteIsRejected) {
+  for (const auto& full :
+       {kv::encode_tx_commit(TxId{1, 2}), kv::encode_tx_abort(TxId{1, 2}),
+        kv::encode_tx_resolve(TxId{1, 2})}) {
+    for (std::size_t len = 0; len < full.size(); ++len) {
+      KvStore store;
+      const auto reply =
+          kv::decode_reply(store.execute(ByteView{full.data(), len}));
+      ASSERT_TRUE(reply.has_value());
+      EXPECT_EQ(reply->status, KvStatus::BadRequest) << "len=" << len;
+    }
+  }
+}
+
+TEST(ShardSerde, BusyInfoTruncationAtEveryByteIsRejected) {
+  const Bytes full = kv::encode_busy_info(kv::BusyInfo{TxId{3, 4}, 2});
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    EXPECT_FALSE(kv::decode_busy_info(ByteView{full.data(), len}).has_value())
+        << "len=" << len;
+  }
+  EXPECT_TRUE(kv::decode_busy_info(full).has_value());
+}
+
+TEST(ShardSerde, HostileSubCountCannotDriveAllocation) {
+  // Claim 2^32-1 subs: the bound check must fire before any reserve.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(KvOp::Multi));
+  w.u32(0xffffffffu);
+  const Bytes op = std::move(w).take();
+  EXPECT_FALSE(kv::decode_multi(op).has_value());
+  KvStore store;
+  const auto reply = kv::decode_reply(store.execute(op));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->status, KvStatus::BadRequest);
+}
+
+TEST(ShardSerde, OversizedAndEmptyBatchesAreRejected) {
+  kv::MultiOp multi;
+  EXPECT_FALSE(kv::decode_multi(kv::encode_multi(multi)).has_value());
+  for (std::uint64_t i = 0; i <= kv::kMaxMultiSubs; ++i) {
+    multi.subs.push_back(SubOp{KvOp::Put, key(i), {}, {}});
+  }
+  EXPECT_FALSE(kv::decode_multi(kv::encode_multi(multi)).has_value());
+  EXPECT_FALSE(shard::plan_multi(multi, 4).has_value());
+}
+
+TEST(ShardSerde, SubOpKindIsValidated) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(KvOp::Multi));
+  w.u32(1);
+  w.u8(static_cast<std::uint8_t>(KvOp::Get));  // reads don't belong here
+  w.bytes(key(1));
+  w.bytes({});
+  w.bytes({});
+  EXPECT_FALSE(kv::decode_multi(std::move(w).take()).has_value());
+}
+
+TEST(ShardSerde, KeyOfExtractsSingleKeyOps) {
+  const Bytes k = key(42);
+  for (const auto& op :
+       {kv::encode_put(k, Bytes{0x01}), kv::encode_get(k), kv::encode_del(k),
+        kv::encode_cas(k, Bytes{0x01}, Bytes{0x02})}) {
+    const auto view = kv::key_of(op);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(Bytes(view->begin(), view->end()), k);
+  }
+  EXPECT_FALSE(kv::key_of(kv::encode_multi(sample_multi())).has_value());
+  EXPECT_FALSE(kv::key_of(kv::encode_tx_commit(TxId{1, 1})).has_value());
+  EXPECT_FALSE(kv::key_of(Bytes{}).has_value());
+}
+
+TEST(ShardSerde, ClassifyPartitionsTheOpSpace) {
+  EXPECT_EQ(kv::classify(kv::encode_get(key(1))), kv::OpKind::SingleKey);
+  EXPECT_EQ(kv::classify(kv::encode_multi(sample_multi())),
+            kv::OpKind::Multi);
+  EXPECT_EQ(kv::classify(kv::encode_tx_resolve(TxId{1, 1})), kv::OpKind::Tx);
+  EXPECT_EQ(kv::classify(Bytes{}), kv::OpKind::Invalid);
+  EXPECT_EQ(kv::classify(Bytes{0x7f}), kv::OpKind::Invalid);
+}
+
+TEST(ShardSerde, ShardOfIsDeterministicAndCoversAllShards) {
+  // Pinned values: the partition map is a wire-compatibility surface
+  // (run_cluster.py and every process must agree).
+  EXPECT_EQ(kv::shard_of(key(0), 4), kv::shard_of(key(0), 4));
+  EXPECT_EQ(kv::shard_of(key(123), 1), 0u);
+  std::vector<std::uint64_t> hits(4, 0);
+  for (std::uint64_t i = 0; i < 4096; ++i) {
+    const auto s = kv::shard_of(key(i), 4);
+    ASSERT_LT(s, 4u);
+    ++hits[s];
+  }
+  for (const auto h : hits) {
+    EXPECT_GT(h, 4096 / 8) << "suspiciously unbalanced partition";
+  }
+}
+
+TEST(ShardSerde, PlanMultiSplitsByShardWithLowestHome) {
+  kv::MultiOp multi;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    multi.subs.push_back(SubOp{KvOp::Put, key(i), {}, Bytes{0x01}});
+  }
+  const auto plan = shard::plan_multi(multi, 4);
+  ASSERT_TRUE(plan.has_value());
+  std::size_t total = 0;
+  for (const auto& [shard, subs] : plan->by_shard) {
+    ASSERT_LT(shard, 4u);
+    for (const auto& sub : subs) {
+      EXPECT_EQ(kv::shard_of(sub.key, 4), shard);
+    }
+    total += subs.size();
+  }
+  EXPECT_EQ(total, multi.subs.size());
+  EXPECT_EQ(plan->home, plan->by_shard.begin()->first);
+}
+
+TEST(ShardSerde, ShardSeedSeparatesGroups) {
+  EXPECT_NE(shard::shard_seed(42, 0), shard::shard_seed(42, 1));
+  EXPECT_NE(shard::shard_seed(42, 0), shard::shard_seed(43, 0));
+  EXPECT_EQ(shard::shard_seed(42, 3), shard::shard_seed(42, 3));
+}
+
+}  // namespace
+}  // namespace sbft::apps

@@ -1,0 +1,438 @@
+// End-to-end sharded cluster tests: routing, 2PC commit/abort atomicity,
+// contention, coordinator crashes (timeout-abort and decision-replay),
+// a Byzantine participant, and replica recovery with pending tx state.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/kv_store.hpp"
+#include "faults/shard_attack.hpp"
+#include "runtime/sharded_cluster.hpp"
+
+namespace sbft::runtime {
+namespace {
+
+namespace kv = apps::kv;
+using apps::KvOp;
+using apps::KvStatus;
+using PbftPhase = shard::Router<pbft::Client>::Phase;
+
+constexpr ClientId kClientA = kFirstClientId;
+constexpr ClientId kClientB = kFirstClientId + 1;
+
+[[nodiscard]] Bytes val(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// i-th distinct key (by search order) living on `target` of `shards`.
+[[nodiscard]] Bytes key_on_shard(std::uint32_t shards, std::uint32_t target,
+                                 std::uint64_t skip = 0) {
+  for (std::uint64_t i = 0;; ++i) {
+    Bytes k = kv::encode_key(i);
+    if (kv::shard_of(k, shards) != target) continue;
+    if (skip == 0) return k;
+    --skip;
+  }
+}
+
+[[nodiscard]] kv::MultiOp multi_put(std::vector<Bytes> keys,
+                                    const Bytes& value) {
+  kv::MultiOp multi;
+  for (auto& k : keys) {
+    multi.subs.push_back(kv::SubOp{KvOp::Put, std::move(k), {}, value});
+  }
+  return multi;
+}
+
+[[nodiscard]] std::optional<KvStatus> status_of(
+    const std::optional<Bytes>& result) {
+  if (!result) return std::nullopt;
+  const auto reply = kv::decode_reply(*result);
+  if (!reply) return std::nullopt;
+  return reply->status;
+}
+
+[[nodiscard]] const apps::KvStore& store_of(ShardedPbftCluster& cluster,
+                                            std::uint32_t shard, ReplicaId r) {
+  return dynamic_cast<const apps::KvStore&>(
+      cluster.group(shard).replica(r).app());
+}
+
+/// Every replica of every shard must hold zero locks and zero pending
+/// transactions — the quiescent-state invariant after all 2PC traffic
+/// has drained.
+void expect_tx_quiescent(ShardedPbftCluster& cluster) {
+  for (std::uint32_t s = 0; s < cluster.shards(); ++s) {
+    for (ReplicaId r = 0; r < cluster.group(s).config().n; ++r) {
+      const auto fp = store_of(cluster, s, r).tx_footprint();
+      EXPECT_EQ(fp.locks, 0u) << "shard " << s << " replica " << r;
+      EXPECT_EQ(fp.pending, 0u) << "shard " << s << " replica " << r;
+    }
+  }
+}
+
+/// Re-submits `op` until it lands TxCommitted (lock contention surfaces
+/// as a TxBusy failure the caller retries as new work).
+[[nodiscard]] bool drive_to_commit(ShardedPbftCluster& cluster, ClientId id,
+                                   const Bytes& op, int max_attempts = 20) {
+  for (int i = 0; i < max_attempts; ++i) {
+    if (status_of(cluster.execute(id, op)) == KvStatus::TxCommitted) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ShardedPbft, SingleKeyOpsRouteToTheirShardWithFastReads) {
+  ShardedClusterOptions options;
+  options.shards = 4;
+  options.seed = 11;
+  options.config.read_path = true;
+  ShardedPbftCluster cluster(options);
+  auto& router = cluster.add_client(kClientA);
+
+  // A put routed to the wrong group would make the (always key-routed)
+  // get come back NotFound — round-tripping every key is the routing
+  // proof, no store introspection needed.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Bytes k = kv::encode_key(i);
+    ASSERT_EQ(cluster.put(kClientA, k, kv::encode_key(i * 7)), KvStatus::Ok);
+  }
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto got = cluster.get(kClientA, kv::encode_key(i));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, KvStatus::Ok);
+    EXPECT_EQ(got->value, kv::encode_key(i * 7));
+  }
+  EXPECT_EQ(router.stats().single_key_ops, 16u);
+  EXPECT_EQ(router.stats().multi_ops, 0u);
+
+  // The PR-5 read fast path survives the routing layer.
+  const auto read = cluster.execute_read(kClientA, kv::encode_get(
+                                                       kv::encode_key(3)));
+  ASSERT_TRUE(read.has_value());
+  EXPECT_GE(router.fast_reads(), 1u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, CrossShardMultiCommitsAtomically) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 12;
+  ShardedPbftCluster cluster(options);
+  auto& router = cluster.add_client(kClientA);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+  const auto status = status_of(
+      cluster.execute(kClientA, kv::encode_multi(multi_put({k0, k1},
+                                                           val("atomic")))));
+  ASSERT_EQ(status, KvStatus::TxCommitted);
+  for (const auto& k : {k0, k1}) {
+    const auto got = cluster.get(kClientA, k);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->value, val("atomic"));
+  }
+  EXPECT_EQ(router.stats().cross_shard_tx, 1u);
+  EXPECT_EQ(router.stats().tx_commits, 1u);
+  const auto fp = router.gc_footprint();
+  EXPECT_EQ(fp.active_tx, 0u);
+  EXPECT_EQ(fp.waiting_shards, 0u);
+  EXPECT_EQ(fp.prepared_shards, 0u);
+  expect_tx_quiescent(cluster);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, SingleShardMultiBypassesTwoPhaseCommit) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 13;
+  ShardedPbftCluster cluster(options);
+  auto& router = cluster.add_client(kClientA);
+
+  const Bytes k0 = key_on_shard(2, 1, 0);
+  const Bytes k1 = key_on_shard(2, 1, 1);
+  const auto status = status_of(
+      cluster.execute(kClientA, kv::encode_multi(multi_put({k0, k1},
+                                                           val("local")))));
+  ASSERT_EQ(status, KvStatus::Ok);  // one ordered op, no 2PC vocabulary
+  EXPECT_EQ(router.stats().single_shard_multi, 1u);
+  EXPECT_EQ(router.stats().cross_shard_tx, 0u);
+  for (const auto& k : {k0, k1}) {
+    const auto got = cluster.get(kClientA, k);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->value, val("local"));
+  }
+  expect_tx_quiescent(cluster);
+}
+
+TEST(ShardedPbft, CasVoteFailureAbortsEveryParticipant) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 14;
+  ShardedPbftCluster cluster(options);
+  auto& router = cluster.add_client(kClientA);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+  ASSERT_EQ(cluster.put(kClientA, k1, val("actual")), KvStatus::Ok);
+
+  kv::MultiOp multi;
+  multi.subs.push_back(kv::SubOp{KvOp::Put, k0, {}, val("torn?")});
+  multi.subs.push_back(kv::SubOp{KvOp::Cas, k1, val("stale"), val("new")});
+  const auto status =
+      status_of(cluster.execute(kClientA, kv::encode_multi(multi)));
+  ASSERT_EQ(status, KvStatus::CasMismatch);
+
+  // Nothing was applied anywhere: the Put participant voted yes but the
+  // coordinator unwound it before any apply.
+  const auto got0 = cluster.get(kClientA, k0);
+  ASSERT_TRUE(got0.has_value());
+  EXPECT_EQ(got0->status, KvStatus::NotFound);
+  const auto got1 = cluster.get(kClientA, k1);
+  ASSERT_TRUE(got1.has_value());
+  EXPECT_EQ(got1->value, val("actual"));
+  EXPECT_EQ(router.stats().tx_aborts_vote, 1u);
+  EXPECT_EQ(router.stats().tx_commits, 0u);
+  expect_tx_quiescent(cluster);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, ContendingCoordinatorsSerialize) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 15;
+  options.router.busy_retries = 8;
+  ShardedPbftCluster cluster(options);
+  cluster.add_client(kClientA);
+  cluster.add_client(kClientB);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+  const Bytes op_a = kv::encode_multi(multi_put({k0, k1}, val("AAAA")));
+  const Bytes op_b = kv::encode_multi(multi_put({k0, k1}, val("BBBB")));
+
+  // Race the two prepares, then retry whichever coordinator lost.
+  cluster.submit(kClientA, op_a);
+  cluster.submit(kClientB, op_b);
+  ASSERT_TRUE(cluster.run_until(
+      [&] {
+        return !cluster.router(kClientA).in_flight() &&
+               !cluster.router(kClientB).in_flight();
+      },
+      20'000'000));
+  if (status_of(cluster.results(kClientA).back()) != KvStatus::TxCommitted) {
+    ASSERT_TRUE(drive_to_commit(cluster, kClientA, op_a));
+  }
+  if (status_of(cluster.results(kClientB).back()) != KvStatus::TxCommitted) {
+    ASSERT_TRUE(drive_to_commit(cluster, kClientB, op_b));
+  }
+
+  // Serializability: whatever order they landed in, the two keys carry
+  // the SAME value — a torn interleaving would mix AAAA and BBBB.
+  const auto got0 = cluster.get(kClientA, k0);
+  const auto got1 = cluster.get(kClientA, k1);
+  ASSERT_TRUE(got0.has_value() && got1.has_value());
+  EXPECT_EQ(got0->value, got1->value);
+  expect_tx_quiescent(cluster);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, CoordinatorCrashBeforeDecisionAbortsEverywhere) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 16;
+  options.router.tx_expiry_ops = 3;  // lease expires under B's own traffic
+  options.router.busy_retries = 8;
+  ShardedPbftCluster cluster(options);
+  cluster.add_client(kClientA);
+  auto& router_b = cluster.add_client(kClientB);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+  const Bytes k2 = key_on_shard(2, 1, 1);  // only in A's write set
+
+  // A locks both shards, then dies before ever learning its votes. The
+  // prepares are already ordered — the locks are durable server state.
+  cluster.submit(kClientA,
+                 kv::encode_multi(multi_put({k0, k1, k2}, val("AAAA"))));
+  cluster.crash_client(kClientA);
+  cluster.run_for(5'000'000);
+
+  // B's conflicting transaction runs the termination protocol: resolve
+  // at A's home answers TxUndecided until the lease expires, then the
+  // presumed abort is replayed wherever B still hits A's locks.
+  ASSERT_TRUE(drive_to_commit(
+      cluster, kClientB, kv::encode_multi(multi_put({k0, k1}, val("BBBB")))));
+  EXPECT_GE(router_b.stats().resolves, 1u);
+
+  const auto got0 = cluster.get(kClientB, k0);
+  const auto got1 = cluster.get(kClientB, k1);
+  const auto got2 = cluster.get(kClientB, k2);
+  ASSERT_TRUE(got0.has_value() && got1.has_value() && got2.has_value());
+  EXPECT_EQ(got0->value, val("BBBB"));
+  EXPECT_EQ(got1->value, val("BBBB"));
+  // A's abort was atomic: no key of its write set survives, including
+  // the one B never touched.
+  EXPECT_EQ(got2->status, KvStatus::NotFound);
+  expect_tx_quiescent(cluster);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, CoordinatorCrashAfterDecisionReplaysCommit) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 17;
+  ShardedPbftCluster cluster(options);
+  cluster.add_client(kClientA);
+  auto& router_b = cluster.add_client(kClientB);
+
+  const Bytes kh = key_on_shard(2, 0);     // home-shard key
+  const Bytes k1 = key_on_shard(2, 1, 0);  // B will contend here
+  const Bytes k2 = key_on_shard(2, 1, 1);  // nobody else touches this
+
+  // Crash the coordinator the moment its TxCommit is in flight at the
+  // home shard: the decision gets ordered (and is durable), but the
+  // fanout to shard 1 never happens — shard 1 stays locked.
+  cluster.submit(kClientA,
+                 kv::encode_multi(multi_put({kh, k1, k2}, val("AAAA"))));
+  ASSERT_TRUE(cluster.run_until(
+      [&] {
+        return cluster.router(kClientA).phase() == PbftPhase::DecideHome;
+      },
+      10'000'000));
+  cluster.crash_client(kClientA);
+  cluster.run_for(10'000'000);
+
+  // B's single-key write hits the stale lock, resolves at the home
+  // shard, learns TxCommitted, and must finish A's commit — not abort
+  // it — before taking the lock itself.
+  ASSERT_EQ(cluster.put(kClientB, k1, val("BBBB")), KvStatus::Ok);
+  EXPECT_EQ(router_b.stats().blocker_commit_replays, 1u);
+
+  const auto goth = cluster.get(kClientB, kh);
+  const auto got1 = cluster.get(kClientB, k1);
+  const auto got2 = cluster.get(kClientB, k2);
+  ASSERT_TRUE(goth.has_value() && got1.has_value() && got2.has_value());
+  EXPECT_EQ(goth->value, val("AAAA"));  // applied at the decision
+  EXPECT_EQ(got1->value, val("BBBB"));  // A's value, then B's overwrite
+  EXPECT_EQ(got2->value, val("AAAA"));  // applied by B's replay
+  expect_tx_quiescent(cluster);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, ByzantineParticipantVoteIsOutvoted) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 18;
+  ShardedPbftCluster cluster(options);
+  auto& router = cluster.add_client(kClientA);
+
+  // Replica 3 of shard 1 forges every failed vote into prepare-ok (with
+  // a valid client MAC). The per-shard f+1 matching-reply quorum must
+  // keep the honest outcome.
+  auto& group = cluster.group(1);
+  auto forger = std::make_shared<faults::KvReplyForger>(
+      group.replica_actor(3), group.directory());
+  group.harness().replace_actor(principal::pbft_replica(3), forger);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+  ASSERT_EQ(cluster.put(kClientA, k1, val("actual")), KvStatus::Ok);
+
+  kv::MultiOp multi;
+  multi.subs.push_back(kv::SubOp{KvOp::Put, k0, {}, val("torn?")});
+  multi.subs.push_back(kv::SubOp{KvOp::Cas, k1, val("stale"), val("new")});
+  const auto status =
+      status_of(cluster.execute(kClientA, kv::encode_multi(multi)));
+  ASSERT_EQ(status, KvStatus::CasMismatch);
+  EXPECT_GT(forger->forged(), 0u);
+
+  const auto got0 = cluster.get(kClientA, k0);
+  ASSERT_TRUE(got0.has_value());
+  EXPECT_EQ(got0->status, KvStatus::NotFound);  // no torn write
+  EXPECT_EQ(router.stats().tx_commits, 0u);
+
+  // And with the liar still wired in, an honest transaction commits.
+  ASSERT_EQ(status_of(cluster.execute(
+                kClientA, kv::encode_multi(multi_put({k0, k1}, val("ok"))))),
+            KvStatus::TxCommitted);
+  expect_tx_quiescent(cluster);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedPbft, ReplicaRestoreCarriesPendingTxState) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 19;
+  options.config.checkpoint_interval = 5;
+  options.config.batch_max = 1;
+  options.router.tx_expiry_ops = 500;  // outlives the checkpoint traffic
+  ShardedPbftCluster cluster(options);
+  cluster.add_client(kClientA);
+  cluster.add_client(kClientB);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+
+  // Replica 3 of shard 0 is down while a coordinator locks the shard
+  // and dies: the pending transaction exists only in its peers' state.
+  cluster.crash_replica(0, 3);
+  cluster.submit(kClientA, kv::encode_multi(multi_put({k0, k1}, val("AA"))));
+  cluster.crash_client(kClientA);
+  cluster.run_for(5'000'000);
+  ASSERT_EQ(store_of(cluster, 0, 0).tx_footprint().pending, 1u);
+
+  // Push shard 0 past a checkpoint so recovery must go through state
+  // transfer — and the snapshot must carry the lock table with it. The
+  // post-restore puts give the victim fresh checkpoint evidence.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const Bytes k = key_on_shard(2, 0, 2 + i);
+    ASSERT_EQ(cluster.put(kClientB, k, val("fill")), KvStatus::Ok);
+  }
+  cluster.restore_replica(0, 3);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Bytes k = key_on_shard(2, 0, 20 + i);
+    ASSERT_EQ(cluster.put(kClientB, k, val("fill")), KvStatus::Ok);
+  }
+  ASSERT_TRUE(cluster.run_until(
+      [&] {
+        return cluster.group(0).replica(3).last_executed() >=
+               cluster.group(0).replica(0).last_executed();
+      },
+      60'000'000));
+
+  const auto fp = store_of(cluster, 0, 3).tx_footprint();
+  EXPECT_EQ(fp.pending, 1u);
+  EXPECT_GE(fp.locks, 1u);
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+TEST(ShardedSplitbft, CrossShardCommitAndSingleKeyRouting) {
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.seed = 20;
+  ShardedSplitbftCluster cluster(options);
+  auto& router = cluster.add_client(kClientA);
+
+  const Bytes k0 = key_on_shard(2, 0);
+  const Bytes k1 = key_on_shard(2, 1);
+  ASSERT_EQ(status_of(cluster.execute(
+                kClientA, kv::encode_multi(multi_put({k0, k1}, val("sb"))))),
+            KvStatus::TxCommitted);
+  for (const auto& k : {k0, k1}) {
+    const auto got = cluster.get(kClientA, k);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, KvStatus::Ok);
+    EXPECT_EQ(got->value, val("sb"));
+  }
+  EXPECT_EQ(router.stats().tx_commits, 1u);
+  ASSERT_EQ(cluster.put(kClientA, k0, val("single")), KvStatus::Ok);
+  const auto got = cluster.get(kClientA, k0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->value, val("single"));
+  EXPECT_TRUE(cluster.check_agreement());
+}
+
+}  // namespace
+}  // namespace sbft::runtime
